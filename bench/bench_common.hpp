@@ -1,0 +1,123 @@
+// Shared plumbing for the table/figure reproduction binaries.
+//
+// Every bench accepts `--full` to run at the paper's scale (1024-node
+// synthetic system, 1490-node Grizzly system). The default is a reduced
+// scale tuned for a single-core CI box; the result *shapes* (who wins, by
+// what factor, where crossovers sit) are preserved, which is the
+// reproduction target (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/dmsim.hpp"
+#include "util/table.hpp"
+
+namespace dmsim::bench {
+
+struct Scale {
+  bool full = false;
+  int synth_nodes = 384;
+  std::size_t synth_jobs = 768;
+  int synth_max_job_nodes = 48;
+  int grizzly_nodes = 256;
+  int grizzly_max_job_nodes = 48;
+  int grizzly_weeks = 16;
+  std::uint64_t seed = 42;
+};
+
+[[nodiscard]] inline Scale parse_scale(int argc, char** argv) {
+  Scale s;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      s.full = true;
+      s.synth_nodes = 1024;
+      s.synth_jobs = 2048;
+      s.synth_max_job_nodes = 128;
+      s.grizzly_nodes = 1490;
+      s.grizzly_max_job_nodes = 128;
+      s.grizzly_weeks = 52;
+    }
+  }
+  return s;
+}
+
+/// Generate (and memoize) the synthetic workload for a (mix, overestimation)
+/// pair: one workload is shared by every system/policy cell in a column.
+class WorkloadCache {
+ public:
+  explicit WorkloadCache(const Scale& scale) : scale_(scale) {}
+
+  const workload::SyntheticWorkload& get(double pct_large,
+                                         double overestimation) {
+    const auto key = std::make_pair(pct_large, overestimation);
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+      workload::SyntheticWorkloadConfig cfg;
+      cfg.cirne.num_jobs = scale_.synth_jobs;
+      cfg.cirne.system_nodes = scale_.synth_nodes;
+      cfg.cirne.max_job_nodes = scale_.synth_max_job_nodes;
+      cfg.cirne.target_load = 0.85;
+      cfg.pct_large_jobs = pct_large;
+      cfg.overestimation = overestimation;
+      cfg.seed = scale_.seed;
+      it = cache_.emplace(key, workload::generate_synthetic(cfg)).first;
+    }
+    return it->second;
+  }
+
+ private:
+  Scale scale_;
+  std::map<std::pair<double, double>, workload::SyntheticWorkload> cache_;
+};
+
+[[nodiscard]] inline harness::CellResult run_policy(
+    const harness::SystemConfig& system, policy::PolicyKind kind,
+    const trace::Workload& jobs, const slowdown::AppPool& apps) {
+  harness::CellConfig cell;
+  cell.system = system;
+  cell.policy = kind;
+  return harness::run_cell(cell, jobs, apps);
+}
+
+/// The reference for normalized-throughput plots: Baseline on the fully
+/// provisioned (100% large nodes) system against the same job mix at +0%
+/// overestimation, as in Fig. 5.
+[[nodiscard]] inline double baseline_reference(WorkloadCache& cache,
+                                               double pct_large,
+                                               int total_nodes) {
+  const auto& w = cache.get(pct_large, 0.0);
+  harness::SystemConfig sys;
+  sys.total_nodes = total_nodes;
+  sys.pct_large_nodes = 1.0;
+  const auto r = run_policy(sys, policy::PolicyKind::Baseline, w.jobs, w.apps);
+  return r.valid ? r.throughput() : 0.0;
+}
+
+/// The memory ladder restricted to the points the paper's figures display
+/// (>= ~37% of a fully-large system).
+[[nodiscard]] inline std::vector<harness::SystemConfig> figure_ladder(
+    int total_nodes) {
+  std::vector<harness::SystemConfig> out;
+  for (const auto& sys : harness::memory_ladder(total_nodes)) {
+    if (sys.memory_fraction() >= 0.37) out.push_back(sys);
+  }
+  return out;
+}
+
+[[nodiscard]] inline std::string mem_label(const harness::SystemConfig& sys) {
+  return std::to_string(
+      static_cast<int>(sys.memory_fraction() * 100.0 + 0.5));
+}
+
+inline void print_scale_banner(const Scale& scale, const char* what) {
+  std::cout << "# dmsim reproduction: " << what << "\n"
+            << "# scale: " << (scale.full ? "FULL (paper)" : "reduced")
+            << " — synthetic " << scale.synth_nodes << " nodes / "
+            << scale.synth_jobs << " jobs; grizzly " << scale.grizzly_nodes
+            << " nodes (pass --full for paper scale)\n\n";
+}
+
+}  // namespace dmsim::bench

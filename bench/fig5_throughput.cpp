@@ -1,0 +1,111 @@
+// Figure 5: normalized throughput (jobs/s) vs. total system memory, for
+// large-job mixes {0,15,25,50,75,100}% plus the Grizzly trace, at +0% and
+// +60% overestimation, under Baseline / Static / Dynamic.
+//
+// Throughput is normalized by the Baseline policy on the 100%-memory system
+// (per job mix, +0% overestimation). "-" marks a missing bar: the system
+// cannot run the mix at all under that policy.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace dmsim;
+
+void synthetic_panel(bench::WorkloadCache& cache, const bench::Scale& scale,
+                     double overestimation) {
+  const double mixes[] = {0.0, 0.15, 0.25, 0.50, 0.75, 1.00};
+  const auto ladder = bench::figure_ladder(scale.synth_nodes);
+
+  for (const double mix : mixes) {
+    const auto& w = cache.get(mix, overestimation);
+    const double ref = bench::baseline_reference(cache, mix, scale.synth_nodes);
+    util::TextTable table("Fig 5 | jobs large " + util::fmt_pct(mix, 0) +
+                          " | overestimation +" +
+                          util::fmt(overestimation * 100, 0) + "%");
+    table.set_header({"mem%", "baseline", "static", "dynamic", "oom_jobs%"});
+    for (const auto& sys : ladder) {
+      std::vector<std::string> row = {bench::mem_label(sys)};
+      double oom_fraction = 0.0;
+      for (const auto kind : {policy::PolicyKind::Baseline,
+                              policy::PolicyKind::Static,
+                              policy::PolicyKind::Dynamic}) {
+        const auto r = bench::run_policy(sys, kind, w.jobs, w.apps);
+        if (!r.valid) {
+          row.push_back("-");
+        } else {
+          row.push_back(util::fmt(ref > 0 ? r.throughput() / ref : 0.0, 3));
+          if (kind == policy::PolicyKind::Dynamic) {
+            oom_fraction = r.summary.oom_job_fraction();
+          }
+        }
+      }
+      row.push_back(util::fmt_pct(oom_fraction, 2));
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+}
+
+void grizzly_panel(const bench::Scale& scale, double overestimation) {
+  workload::GrizzlyConfig gcfg;
+  gcfg.weeks = scale.grizzly_weeks;
+  gcfg.system_nodes = scale.grizzly_nodes;
+  gcfg.max_job_nodes = scale.grizzly_max_job_nodes;
+  gcfg.sample_weeks = 1;
+  gcfg.overestimation = overestimation;
+  gcfg.seed = scale.seed;
+  const workload::GrizzlyTrace trace = workload::generate_grizzly(gcfg);
+  int week = 0;
+  for (const auto& wk : trace.weeks) {
+    if (wk.selected) {
+      week = wk.index;
+      break;
+    }
+  }
+  const trace::Workload jobs = materialize_grizzly_week(gcfg, trace, week);
+
+  // Reference: baseline on 100% large nodes with exact (+0%) requests.
+  workload::GrizzlyConfig exact = gcfg;
+  exact.overestimation = 0.0;
+  const trace::Workload exact_jobs = materialize_grizzly_week(exact, trace, week);
+  harness::SystemConfig full;
+  full.total_nodes = scale.grizzly_nodes;
+  full.pct_large_nodes = 1.0;
+  const auto ref_run =
+      bench::run_policy(full, policy::PolicyKind::Baseline, exact_jobs, trace.apps);
+  const double ref = ref_run.valid ? ref_run.throughput() : 0.0;
+
+  util::TextTable table("Fig 5 | Grizzly trace (week " + std::to_string(week) +
+                        ", " + std::to_string(jobs.size()) +
+                        " jobs) | overestimation +" +
+                        util::fmt(overestimation * 100, 0) + "%");
+  table.set_header({"mem%", "baseline", "static", "dynamic"});
+  for (const auto& sys : bench::figure_ladder(scale.grizzly_nodes)) {
+    std::vector<std::string> row = {bench::mem_label(sys)};
+    for (const auto kind : {policy::PolicyKind::Baseline,
+                            policy::PolicyKind::Static,
+                            policy::PolicyKind::Dynamic}) {
+      const auto r = bench::run_policy(sys, kind, jobs, trace.apps);
+      row.push_back(r.valid
+                        ? util::fmt(ref > 0 ? r.throughput() / ref : 0.0, 3)
+                        : "-");
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto scale = dmsim::bench::parse_scale(argc, argv);
+  dmsim::bench::print_scale_banner(scale, "Figure 5 — throughput vs provisioned memory");
+  dmsim::bench::WorkloadCache cache(scale);
+  for (const double overestimation : {0.0, 0.6}) {
+    synthetic_panel(cache, scale, overestimation);
+    grizzly_panel(scale, overestimation);
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 7: cost-benefit analysis — throughput per dollar (y) versus the
+// large-job mix (x), for system memory provisionings of 100/75/50/25%, at
+// +0% and +60% overestimation, Static vs Dynamic. Costs follow Table 4
+// ($10,154 per node excluding memory, $1,280 per 128 GB).
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace dmsim;
+
+// Memory provisioning levels as (node family, % large nodes): 100% = all
+// 128 GiB, 75% = half 64/half 128, 50% = all 64 GiB, 25% = all 32 GiB.
+struct Provisioning {
+  const char* name;
+  MiB normal;
+  MiB large;
+  double pct_large;
+};
+
+constexpr Provisioning kSystems[] = {
+    {"Sys 100%", gib(64), gib(128), 1.0},
+    {"Sys 75%", gib(64), gib(128), 0.5},
+    {"Sys 50%", gib(32), gib(64), 1.0},
+    {"Sys 25%", gib(32), gib(64), 0.0},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto scale = bench::parse_scale(argc, argv);
+  bench::print_scale_banner(scale, "Figure 7 — throughput per dollar");
+  bench::WorkloadCache cache(scale);
+
+  for (const double overestimation : {0.0, 0.6}) {
+    for (const auto& prov : kSystems) {
+      harness::SystemConfig sys;
+      sys.total_nodes = scale.synth_nodes;
+      sys.normal_capacity = prov.normal;
+      sys.large_capacity = prov.large;
+      sys.pct_large_nodes = prov.pct_large;
+
+      util::TextTable table(
+          std::string("Fig 7 | ") + prov.name + " (" +
+          bench::mem_label(sys) + "% memory) | overestimation +" +
+          util::fmt(overestimation * 100, 0) + "%");
+      table.set_header({"jobs large%", "static thr/$", "dynamic thr/$",
+                        "dynamic gain"});
+      for (const double mix : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        const auto& w = cache.get(mix, overestimation);
+        const auto stat =
+            bench::run_policy(sys, policy::PolicyKind::Static, w.jobs, w.apps);
+        const auto dyn =
+            bench::run_policy(sys, policy::PolicyKind::Dynamic, w.jobs, w.apps);
+        std::vector<std::string> row = {util::fmt(mix * 100, 0)};
+        if (!stat.valid || !dyn.valid) {
+          row.insert(row.end(), {"-", "-", "-"});
+        } else {
+          row.push_back(util::fmt_sci(stat.throughput_per_dollar(), 3));
+          row.push_back(util::fmt_sci(dyn.throughput_per_dollar(), 3));
+          row.push_back(util::fmt_pct(
+              stat.throughput_per_dollar() > 0
+                  ? dyn.throughput_per_dollar() / stat.throughput_per_dollar() -
+                        1.0
+                  : 0.0,
+              1));
+        }
+        table.add_row(std::move(row));
+      }
+      table.print(std::cout);
+      std::cout << '\n';
+    }
+  }
+  std::cout << "paper: dynamic improves throughput/$ by up to 8% at +0% and "
+               "up to 38% at +60% overestimation,\nwith the static policy "
+               "falling off steeply on lean systems as the large-job share "
+               "grows.\n";
+  return 0;
+}

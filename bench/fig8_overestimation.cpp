@@ -1,0 +1,98 @@
+// Figure 8: effect of memory overestimation on throughput. Panels sweep the
+// overestimation factor {0,25,50,60,75,100}% for the synthetic trace at 50%
+// large jobs (top row) and the Grizzly-style trace (bottom row), across the
+// memory-provisioning ladder, for all three policies.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace dmsim;
+
+constexpr double kOverestimations[] = {0.0, 0.25, 0.50, 0.60, 0.75, 1.00};
+
+void synthetic_row(bench::WorkloadCache& cache, const bench::Scale& scale) {
+  const double ref = bench::baseline_reference(cache, 0.5, scale.synth_nodes);
+  const auto ladder = bench::figure_ladder(scale.synth_nodes);
+  for (const double over : kOverestimations) {
+    const auto& w = cache.get(0.5, over);
+    util::TextTable table("Fig 8 | synthetic, 50% large jobs | +" +
+                          util::fmt(over * 100, 0) + "% overestimation");
+    table.set_header({"mem%", "baseline", "static", "dynamic"});
+    for (const auto& sys : ladder) {
+      std::vector<std::string> row = {bench::mem_label(sys)};
+      for (const auto kind : {policy::PolicyKind::Baseline,
+                              policy::PolicyKind::Static,
+                              policy::PolicyKind::Dynamic}) {
+        const auto r = bench::run_policy(sys, kind, w.jobs, w.apps);
+        row.push_back(
+            r.valid ? util::fmt(ref > 0 ? r.throughput() / ref : 0.0, 3) : "-");
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+}
+
+void grizzly_row(const bench::Scale& scale) {
+  workload::GrizzlyConfig gcfg;
+  gcfg.weeks = scale.grizzly_weeks;
+  gcfg.system_nodes = scale.grizzly_nodes;
+  gcfg.max_job_nodes = scale.grizzly_max_job_nodes;
+  gcfg.sample_weeks = 1;
+  gcfg.seed = scale.seed;
+  const workload::GrizzlyTrace trace = workload::generate_grizzly(gcfg);
+  int week = 0;
+  for (const auto& wk : trace.weeks) {
+    if (wk.selected) {
+      week = wk.index;
+      break;
+    }
+  }
+
+  // Reference throughput: baseline, full provisioning, exact requests.
+  const trace::Workload exact_jobs = materialize_grizzly_week(gcfg, trace, week);
+  harness::SystemConfig full;
+  full.total_nodes = scale.grizzly_nodes;
+  full.pct_large_nodes = 1.0;
+  const auto ref_run = bench::run_policy(full, policy::PolicyKind::Baseline,
+                                         exact_jobs, trace.apps);
+  const double ref = ref_run.valid ? ref_run.throughput() : 0.0;
+
+  const auto ladder = bench::figure_ladder(scale.grizzly_nodes);
+  for (const double over : kOverestimations) {
+    workload::GrizzlyConfig cfg = gcfg;
+    cfg.overestimation = over;
+    const trace::Workload jobs = materialize_grizzly_week(cfg, trace, week);
+    util::TextTable table("Fig 8 | Grizzly-style trace | +" +
+                          util::fmt(over * 100, 0) + "% overestimation");
+    table.set_header({"mem%", "baseline", "static", "dynamic"});
+    for (const auto& sys : ladder) {
+      std::vector<std::string> row = {bench::mem_label(sys)};
+      for (const auto kind : {policy::PolicyKind::Baseline,
+                              policy::PolicyKind::Static,
+                              policy::PolicyKind::Dynamic}) {
+        const auto r = bench::run_policy(sys, kind, jobs, trace.apps);
+        row.push_back(
+            r.valid ? util::fmt(ref > 0 ? r.throughput() / ref : 0.0, 3) : "-");
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto scale = bench::parse_scale(argc, argv);
+  bench::print_scale_banner(scale, "Figure 8 — throughput vs overestimation");
+  bench::WorkloadCache cache(scale);
+  synthetic_row(cache, scale);
+  grizzly_row(scale);
+  std::cout << "paper: the dynamic approach is barely affected by "
+               "overestimation; at +100% the static-dynamic gap exceeds 38% "
+               "on a 37%-memory system while dynamic stays above ~80%.\n";
+  return 0;
+}

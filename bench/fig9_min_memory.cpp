@@ -1,0 +1,44 @@
+// Figure 9: the smallest memory provisioning that sustains >= 95% of the
+// fully-provisioned baseline throughput, as a function of the
+// overestimation factor, for Static vs Dynamic (synthetic trace, 50% large
+// jobs). Built on the harness::min_memory_for_threshold library driver.
+#include "bench_common.hpp"
+#include "harness/experiments.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dmsim;
+  const auto scale = bench::parse_scale(argc, argv);
+  bench::print_scale_banner(scale,
+                            "Figure 9 — min memory for 95% of throughput");
+  bench::WorkloadCache cache(scale);
+
+  const auto& exact = cache.get(0.5, 0.0);
+  const double reference =
+      harness::reference_throughput(exact.jobs, exact.apps, scale.synth_nodes);
+  const auto ladder = bench::figure_ladder(scale.synth_nodes);
+
+  util::TextTable table("Fig 9 | min total system memory reaching 95% throughput");
+  table.set_header({"overestimation", "static mem%", "dynamic mem%",
+                    "dynamic saving"});
+  for (const double over : {0.0, 0.25, 0.50, 0.60, 0.75, 1.00}) {
+    const auto& w = cache.get(0.5, over);
+    const auto static_mem = harness::min_memory_for_threshold(
+        w.jobs, w.apps, ladder, policy::PolicyKind::Static, reference);
+    const auto dynamic_mem = harness::min_memory_for_threshold(
+        w.jobs, w.apps, ladder, policy::PolicyKind::Dynamic, reference);
+    table.add_row({
+        "+" + util::fmt(over * 100, 0) + "%",
+        static_mem ? util::fmt(*static_mem * 100, 0) : "none",
+        dynamic_mem ? util::fmt(*dynamic_mem * 100, 0) : "none",
+        (static_mem && dynamic_mem)
+            ? util::fmt_pct(1.0 - *dynamic_mem / *static_mem, 1)
+            : "-",
+    });
+  }
+  table.print(std::cout);
+  std::cout << "\npaper: the static policy needs ever more memory as "
+               "overestimation grows; the dynamic policy holds the 95% "
+               "threshold on underprovisioned systems, saving up to ~40% "
+               "memory.\n";
+  return 0;
+}

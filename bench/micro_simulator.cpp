@@ -1,0 +1,153 @@
+// Google-benchmark micro-benchmarks for the simulator substrate: event
+// engine, memory ledger, RDP compression, contention model and end-to-end
+// small simulations. These bound the cost of the primitives the figure
+// reproductions lean on.
+#include <benchmark/benchmark.h>
+
+#include "core/dmsim.hpp"
+
+namespace {
+
+using namespace dmsim;
+
+constexpr MiB kGiB = 1024;
+
+void BM_EngineScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    std::uint64_t fired = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      engine.schedule(static_cast<Seconds>(i % 97), [&fired] { ++fired; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EngineScheduleRun)->Arg(1000)->Arg(10000);
+
+void BM_EngineCancelHeavy(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    std::vector<sim::EventId> ids;
+    ids.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      ids.push_back(engine.schedule(static_cast<Seconds>(i), [] {}));
+    }
+    for (std::uint64_t i = 0; i < n; i += 2) engine.cancel(ids[i]);
+    engine.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EngineCancelHeavy)->Arg(10000);
+
+void BM_LedgerGrowShrinkRemote(benchmark::State& state) {
+  cluster::Cluster c(
+      cluster::make_cluster_config(static_cast<int>(state.range(0)), 64 * kGiB,
+                                   0, 0));
+  const JobId job{1};
+  c.assign_job(job, std::vector<NodeId>{NodeId{0}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.grow_remote(job, NodeId{0}, 32 * kGiB));
+    benchmark::DoNotOptimize(c.shrink_remote(job, NodeId{0}, 32 * kGiB));
+  }
+}
+BENCHMARK(BM_LedgerGrowShrinkRemote)->Arg(128)->Arg(1024);
+
+void BM_RdpCompression(benchmark::State& state) {
+  util::Rng rng(3);
+  std::vector<trace::UsagePoint> pts;
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) {
+    pts.push_back({static_cast<double>(i) / n,
+                   1000 + rng.uniform_int(0, 4000)});
+  }
+  const trace::UsageTrace t(std::move(pts));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.compressed(100.0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_RdpCompression)->Arg(256)->Arg(2048);
+
+void BM_ContentionEvaluate(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  cluster::Cluster c(
+      cluster::make_cluster_config(jobs * 2, 64 * kGiB, 0, 0));
+  const slowdown::AppPool pool =
+      slowdown::AppPool::synthetic(util::Rng(1), 32);
+  std::vector<slowdown::ContentionModel::JobInput> inputs;
+  for (int i = 0; i < jobs; ++i) {
+    const JobId job{static_cast<std::uint32_t>(i + 1)};
+    c.assign_job(job, std::vector<NodeId>{NodeId{static_cast<std::uint32_t>(i)}});
+    (void)c.grow_local(job, NodeId{static_cast<std::uint32_t>(i)}, 32 * kGiB);
+    (void)c.grow_remote(job, NodeId{static_cast<std::uint32_t>(i)}, 16 * kGiB);
+    inputs.push_back({job, i % 32});
+  }
+  const slowdown::ContentionModel model(&pool);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.evaluate(c, inputs));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * jobs);
+}
+BENCHMARK(BM_ContentionEvaluate)->Arg(64)->Arg(512);
+
+void BM_UsageTraceMaxIn(benchmark::State& state) {
+  util::Rng rng(7);
+  std::vector<trace::UsagePoint> pts;
+  for (int i = 0; i < 64; ++i) {
+    pts.push_back({i / 64.0, rng.uniform_int(100, 100000)});
+  }
+  const trace::UsageTrace t(std::move(pts));
+  double p = 0.0;
+  for (auto _ : state) {
+    p += 0.001;
+    if (p > 0.9) p = 0.0;
+    benchmark::DoNotOptimize(t.max_in(p, p + 0.1));
+  }
+}
+BENCHMARK(BM_UsageTraceMaxIn);
+
+void BM_EndToEndSmallSimulation(benchmark::State& state) {
+  workload::SyntheticWorkloadConfig cfg;
+  cfg.cirne.num_jobs = 128;
+  cfg.cirne.system_nodes = 64;
+  cfg.cirne.max_job_nodes = 16;
+  cfg.pct_large_jobs = 0.5;
+  cfg.overestimation = 0.6;
+  cfg.seed = 4;
+  const auto w = workload::generate_synthetic(cfg);
+  harness::SystemConfig sys;
+  sys.total_nodes = 64;
+  sys.pct_large_nodes = 0.25;
+  for (auto _ : state) {
+    harness::CellConfig cell;
+    cell.system = sys;
+    cell.policy = policy::PolicyKind::Dynamic;
+    benchmark::DoNotOptimize(harness::run_cell(cell, w.jobs, w.apps));
+  }
+}
+BENCHMARK(BM_EndToEndSmallSimulation)->Unit(benchmark::kMillisecond);
+
+void BM_WorkloadGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    workload::SyntheticWorkloadConfig cfg;
+    cfg.cirne.num_jobs = static_cast<std::size_t>(state.range(0));
+    cfg.cirne.system_nodes = 256;
+    cfg.cirne.max_job_nodes = 64;
+    cfg.pct_large_jobs = 0.5;
+    cfg.seed = 5;
+    benchmark::DoNotOptimize(workload::generate_synthetic(cfg));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_WorkloadGeneration)->Arg(512)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Table 2: maximum memory usage per node as a percentage of jobs, split by
+// job size (small <= 32 nodes, large > 32 nodes), for the synthetic and
+// Grizzly-style traces. Paper values are printed beside the measured ones.
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+#include "workload/archer.hpp"
+
+namespace {
+
+using namespace dmsim;
+
+constexpr const char* kBucketNames[] = {"(0,12)", "[12,24)", "[24,48)",
+                                        "[48,96)", "[96,128)"};
+
+util::Histogram bucket_histogram() {
+  return util::Histogram(
+      {0.0, 12.0 * 1024, 24.0 * 1024, 48.0 * 1024, 96.0 * 1024, 128.0 * 1024});
+}
+
+struct Split {
+  util::Histogram all = bucket_histogram();
+  util::Histogram small = bucket_histogram();
+  util::Histogram large = bucket_histogram();
+
+  void add(int nodes, MiB peak) {
+    const auto v = static_cast<double>(peak);
+    all.add(v);
+    (nodes <= 32 ? small : large).add(v);
+  }
+};
+
+void print_split(const std::string& title, const Split& split,
+                 workload::TraceFamily paper_family) {
+  util::TextTable table(title);
+  table.set_header({"max mem (GB/node)", "all%", "paper", "small%", "paper",
+                    "large%", "paper"});
+  const auto p_all =
+      workload::memory_bucket_percentages(paper_family, workload::SizeClass::All);
+  const auto p_small = workload::memory_bucket_percentages(
+      paper_family, workload::SizeClass::Small);
+  const auto p_large = workload::memory_bucket_percentages(
+      paper_family, workload::SizeClass::Large);
+  for (std::size_t b = 0; b < 5; ++b) {
+    table.add_row({
+        kBucketNames[b],
+        util::fmt(split.all.fraction(b) * 100.0, 1),
+        util::fmt(p_all[b], 1),
+        util::fmt(split.small.fraction(b) * 100.0, 1),
+        util::fmt(p_small[b], 1),
+        util::fmt(split.large.fraction(b) * 100.0, 1),
+        util::fmt(p_large[b], 1),
+    });
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto scale = bench::parse_scale(argc, argv);
+  bench::print_scale_banner(scale,
+                            "Table 2 — max memory usage per node distribution");
+
+  // Synthetic trace at the paper's base mix. The published synthetic column
+  // reflects a mostly-normal-memory workload; ~9% of jobs exceed 48 GB/node
+  // in Table 2, consistent with a small large-memory share.
+  bench::WorkloadCache cache(scale);
+  Split synth;
+  const auto& w = cache.get(0.10, 0.0);
+  for (const auto& j : w.jobs) synth.add(j.num_nodes, j.peak_usage());
+  print_split("Table 2 | synthetic trace (10% large-memory mix)", synth,
+              workload::TraceFamily::Synthetic);
+
+  // Grizzly-style trace: aggregate all generated weeks.
+  workload::GrizzlyConfig gcfg;
+  gcfg.weeks = scale.grizzly_weeks;
+  gcfg.system_nodes = scale.grizzly_nodes;
+  gcfg.max_job_nodes = scale.grizzly_max_job_nodes;
+  gcfg.seed = scale.seed;
+  const workload::GrizzlyTrace trace = workload::generate_grizzly(gcfg);
+  Split grizzly;
+  for (const auto& week : trace.weeks) {
+    const trace::Workload jobs =
+        materialize_grizzly_week(gcfg, trace, week.index);
+    for (const auto& j : jobs) grizzly.add(j.num_nodes, j.peak_usage());
+  }
+  print_split("Table 2 | Grizzly-style trace (all weeks)", grizzly,
+              workload::TraceFamily::Grizzly);
+
+  std::cout << "Paper columns are encoded from Table 2; the Grizzly-style\n"
+               "trace samples them directly, so measured == paper up to\n"
+               "sampling noise. The synthetic columns emerge from the\n"
+               "Table 3 class-conditional peak distributions.\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Table 3: normal- vs large-memory job characteristics (per-node memory and
+// node-hours quartiles) of the synthetic trace, printed beside the paper's
+// published quartiles.
+#include <vector>
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dmsim;
+  const auto scale = bench::parse_scale(argc, argv);
+  bench::print_scale_banner(scale, "Table 3 — job class characteristics");
+
+  bench::WorkloadCache cache(scale);
+  const auto& w = cache.get(0.5, 0.0);
+
+  std::vector<double> normal_mem, large_mem, normal_nh, large_nh;
+  for (const auto& j : w.jobs) {
+    const bool large = workload::is_large_memory_job(j, gib(64));
+    (large ? large_mem : normal_mem)
+        .push_back(static_cast<double>(j.peak_usage()));
+    (large ? large_nh : normal_nh).push_back(j.node_seconds());
+  }
+
+  const auto qn_mem = util::quartiles(normal_mem);
+  const auto ql_mem = util::quartiles(large_mem);
+  const auto qn_nh = util::quartiles(normal_nh);
+  const auto ql_nh = util::quartiles(large_nh);
+
+  util::TextTable table("Table 3 | memory (MiB/node) and node-seconds quartiles");
+  table.set_header({"metric", "normal(meas)", "normal(paper)", "large(meas)",
+                    "large(paper)"});
+  const auto row = [&](const char* name, double nm, double np, double lm,
+                       double lp) {
+    table.add_row({name, util::fmt(nm, 0), util::fmt(np, 0), util::fmt(lm, 0),
+                   util::fmt(lp, 0)});
+  };
+  row("mem q1", qn_mem.q1, 4037, ql_mem.q1, 76176);
+  row("mem median", qn_mem.median, 8089, ql_mem.median, 86961);
+  row("mem q3", qn_mem.q3, 15341, ql_mem.q3, 99956);
+  row("mem max", qn_mem.max, 65532, ql_mem.max, 130046);
+  row("node-sec q1", qn_nh.q1, 132, ql_nh.q1, 256);
+  row("node-sec median", qn_nh.median, 2717, ql_nh.median, 6720);
+  row("node-sec q3", qn_nh.q3, 29264, ql_nh.q3, 77028);
+  table.print(std::cout);
+
+  std::cout << "\nMemory quartiles are calibration targets (log-normal fits of"
+               "\nthe paper's Table 3); node-hours come from the CIRNE model"
+               "\nand are expected to match in order of magnitude only.\n";
+  return 0;
+}

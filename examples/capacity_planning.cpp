@@ -1,0 +1,75 @@
+// Capacity planning: an operator sizing a new disaggregated-memory system.
+//
+// Given an expected job mix and a user population that overestimates its
+// memory demands, sweep the memory-provisioning ladder and report, for each
+// allocation policy, the throughput, cost, and throughput-per-dollar — the
+// Fig. 7/Fig. 9 style analysis an operator would run before buying memory.
+//
+//   ./capacity_planning [pct_large_jobs] [overestimation]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/dmsim.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dmsim;
+
+  const double pct_large = argc > 1 ? std::atof(argv[1]) : 0.5;
+  const double overestimation = argc > 2 ? std::atof(argv[2]) : 0.6;
+  const int nodes = 256;
+
+  workload::SyntheticWorkloadConfig wl;
+  wl.cirne.num_jobs = 512;
+  wl.cirne.system_nodes = nodes;
+  wl.cirne.max_job_nodes = 32;
+  wl.cirne.target_load = 0.85;
+  wl.pct_large_jobs = pct_large;
+  wl.overestimation = overestimation;
+  wl.seed = 7;
+  const auto w = workload::generate_synthetic(wl);
+
+  std::cout << "Sizing a " << nodes << "-node system for "
+            << util::fmt_pct(pct_large, 0) << " large-memory jobs, users "
+            << "overestimating by +" << util::fmt(overestimation * 100, 0)
+            << "%\n\n";
+
+  const metrics::CostModel cost;
+  util::TextTable table("provisioning ladder (normalized to 100% = all 128 GiB nodes)");
+  table.set_header({"mem%", "capex($)", "policy", "throughput(jobs/s)",
+                    "thr/$ (x1e-9)", "note"});
+
+  for (const auto& sys : harness::memory_ladder(nodes)) {
+    if (sys.memory_fraction() < 0.37) continue;
+    const double capex = cost.system_cost(
+        static_cast<std::size_t>(sys.total_nodes), sys.total_memory());
+    for (const auto kind : {policy::PolicyKind::Static,
+                            policy::PolicyKind::Dynamic}) {
+      harness::CellConfig cell;
+      cell.system = sys;
+      cell.policy = kind;
+      const auto r = harness::run_cell(cell, w.jobs, w.apps);
+      std::string note;
+      if (!r.valid) {
+        note = "cannot run mix";
+      } else if (r.summary.oom_events > 0) {
+        note = std::to_string(r.summary.oom_events) + " OOM restarts";
+      }
+      table.add_row({
+          std::to_string(static_cast<int>(sys.memory_fraction() * 100 + 0.5)),
+          util::fmt(capex, 0),
+          std::string(policy::to_string(kind)),
+          r.valid ? util::fmt_sci(r.throughput(), 3) : "-",
+          r.valid ? util::fmt(r.throughput_per_dollar() * 1e9, 2) : "-",
+          note,
+      });
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nReading the table: with dynamic provisioning the cheap "
+               "(low-memory) systems hold their\nthroughput, so the best "
+               "throughput-per-dollar shifts toward leaner configurations — "
+               "the\npaper's argument for reclaiming overallocated memory "
+               "instead of buying more of it.\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Grizzly week replay: the paper's real-trace workflow end to end.
+//
+// Synthesizes the LANL-Grizzly-style dataset, characterizes its one-week
+// periods (Fig. 2), picks a representative high-utilization week, and
+// replays it on a disaggregated system under all three policies at a chosen
+// overestimation factor.
+//
+//   ./grizzly_week [overestimation] [pct_large_nodes]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/dmsim.hpp"
+#include "metrics/timeline.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dmsim;
+
+  const double overestimation = argc > 1 ? std::atof(argv[1]) : 0.6;
+  const double pct_large_nodes = argc > 2 ? std::atof(argv[2]) : 0.25;
+
+  workload::GrizzlyConfig gcfg;
+  gcfg.weeks = 12;
+  gcfg.system_nodes = 256;  // scaled-down Grizzly (1490 nodes in the paper)
+  gcfg.max_job_nodes = 48;
+  gcfg.sample_weeks = 3;
+  gcfg.overestimation = overestimation;
+  const workload::GrizzlyTrace trace = workload::generate_grizzly(gcfg);
+
+  // Fig. 2: pick the first selected representative week.
+  int week = -1;
+  for (const auto& w : trace.weeks) {
+    if (w.selected) {
+      week = w.index;
+      break;
+    }
+  }
+  if (week < 0) {
+    std::cerr << "no week above the utilization floor; lower the floor\n";
+    return 1;
+  }
+  const auto& wk = trace.weeks[static_cast<std::size_t>(week)];
+  std::cout << "Replaying week " << week << ": "
+            << util::fmt_pct(wk.cpu_utilization, 1) << " CPU utilization, "
+            << wk.job_count << " jobs, peak job memory "
+            << util::fmt(to_gib(wk.max_job_memory), 0) << " GiB/node, users "
+            << "overestimating by +" << util::fmt(overestimation * 100, 0)
+            << "%\n\n";
+
+  const trace::Workload jobs = materialize_grizzly_week(gcfg, trace, week);
+
+  util::TextTable table("policy comparison on the replayed week");
+  table.set_header({"policy", "valid", "throughput(jobs/s)", "median resp(s)",
+                    "avg alloc%", "avg used%", "waste%"});
+  for (const auto kind : {policy::PolicyKind::Baseline,
+                          policy::PolicyKind::Static,
+                          policy::PolicyKind::Dynamic}) {
+    SimulationConfig cfg;
+    cfg.system.total_nodes = gcfg.system_nodes;
+    cfg.system.pct_large_nodes = pct_large_nodes;
+    cfg.policy = kind;
+    cfg.sched.sample_interval = 900.0;
+    Simulator sim(cfg, jobs, &trace.apps);
+    const SimulationResult r = sim.run();
+    if (!r.valid) {
+      table.add_row({std::string(policy::to_string(kind)), "no", "-", "-", "-",
+                     "-", "-"});
+      continue;
+    }
+    const util::Ecdf ecdf(r.summary.response_times);
+    const auto util_report = metrics::utilization_report(
+        r.samples, r.provisioned_memory, cfg.system.total_nodes);
+    table.add_row({
+        std::string(policy::to_string(kind)),
+        "yes",
+        util::fmt_sci(r.summary.throughput, 3),
+        util::fmt(ecdf.empty() ? 0.0 : ecdf.quantile(0.5), 0),
+        util::fmt_pct(util_report.avg_allocated_fraction, 1),
+        util::fmt_pct(util_report.avg_used_fraction, 1),
+        util::fmt_pct(util_report.avg_waste_fraction, 1),
+    });
+  }
+  table.print(std::cout);
+  std::cout << "\nGrizzly-style workloads are memory-underutilized (Panwar et "
+               "al.: ~18% average node\nmemory use), so the dynamic policy's "
+               "waste column collapses while static carries the\nfull "
+               "overestimated requests.\n";
+  return 0;
+}

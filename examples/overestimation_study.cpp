@@ -1,0 +1,82 @@
+// Overestimation study: quantify the "tragedy of the commons" the paper
+// motivates — users padding their memory requests hurt everyone under a
+// static policy, while dynamic provisioning absorbs the padding.
+//
+// Sweeps the overestimation factor on a fixed underprovisioned system and
+// reports throughput, median response time and wasted (allocated-but-unused)
+// memory for both disaggregated policies.
+//
+//   ./overestimation_study [num_jobs]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/dmsim.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dmsim;
+
+  const std::size_t num_jobs =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 512;
+  const int nodes = 256;
+
+  harness::SystemConfig sys;
+  sys.total_nodes = nodes;
+  sys.pct_large_nodes = 0.25;  // underprovisioned for a 50% large-job mix
+
+  util::TextTable table("overestimation sweep, 50% large jobs, 25% large nodes");
+  table.set_header({"overest", "policy", "throughput(jobs/s)", "median resp(s)",
+                    "avg allocated(GiB)", "avg used(GiB)", "waste%"});
+
+  for (const double over : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    workload::SyntheticWorkloadConfig wl;
+    wl.cirne.num_jobs = num_jobs;
+    wl.cirne.system_nodes = nodes;
+    wl.cirne.max_job_nodes = 32;
+    wl.cirne.target_load = 0.85;
+    wl.pct_large_jobs = 0.5;
+    wl.overestimation = over;
+    wl.seed = 3;
+    const auto w = workload::generate_synthetic(wl);
+
+    for (const auto kind : {policy::PolicyKind::Static,
+                            policy::PolicyKind::Dynamic}) {
+      SimulationConfig cfg;
+      cfg.system = sys;
+      cfg.policy = kind;
+      cfg.sched.sample_interval = 600.0;
+      Simulator sim(cfg, w.jobs, &w.apps);
+      const SimulationResult r = sim.run();
+      if (!r.valid) {
+        table.add_row({"+" + util::fmt(over * 100, 0) + "%",
+                       std::string(policy::to_string(kind)), "-", "-", "-", "-",
+                       "-"});
+        continue;
+      }
+      // Time-weighted allocated vs ground-truth used memory from samples.
+      double used_sum = 0.0;
+      for (const auto& s : r.samples) used_sum += static_cast<double>(s.used);
+      const double avg_used =
+          r.samples.empty() ? 0.0 : used_sum / static_cast<double>(r.samples.size());
+      const util::Ecdf ecdf(r.summary.response_times);
+      const double waste =
+          r.avg_allocated_mib > 0 ? 1.0 - avg_used / r.avg_allocated_mib : 0.0;
+      table.add_row({
+          "+" + util::fmt(over * 100, 0) + "%",
+          std::string(policy::to_string(kind)),
+          util::fmt_sci(r.summary.throughput, 3),
+          util::fmt(ecdf.quantile(0.5), 0),
+          util::fmt(to_gib(static_cast<MiB>(r.avg_allocated_mib)), 0),
+          util::fmt(to_gib(static_cast<MiB>(avg_used)), 0),
+          util::fmt_pct(waste, 1),
+      });
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nUnder the static policy the waste column grows with the "
+               "overestimation factor\n(allocation = request, forever); the "
+               "dynamic policy tracks actual usage, so its\nwaste stays "
+               "nearly flat and its throughput barely degrades.\n";
+  return 0;
+}

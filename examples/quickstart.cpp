@@ -1,0 +1,72 @@
+// Quickstart: generate a small synthetic workload, run it under all three
+// memory-allocation policies on an underprovisioned disaggregated system,
+// and compare throughput and response time.
+//
+//   ./quickstart [num_jobs] [overestimation]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/dmsim.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dmsim;
+
+  const std::size_t num_jobs =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 400;
+  const double overestimation = argc > 2 ? std::atof(argv[2]) : 0.6;
+
+  // A 256-node system, half large nodes (128 GiB), half normal (64 GiB).
+  harness::SystemConfig system;
+  system.total_nodes = 256;
+  system.pct_large_nodes = 0.5;
+
+  // Workload: 50% large-memory jobs, users overestimate their peak demand.
+  workload::SyntheticWorkloadConfig wl;
+  wl.cirne.num_jobs = num_jobs;
+  wl.cirne.system_nodes = system.total_nodes;
+  wl.cirne.target_load = 0.8;
+  wl.pct_large_jobs = 0.5;
+  wl.overestimation = overestimation;
+  wl.seed = 1;
+  const workload::SyntheticWorkload workload = workload::generate_synthetic(wl);
+
+  std::cout << "Workload: " << workload.jobs.size() << " jobs over "
+            << workload.horizon / 86400.0 << " simulated days, offered load "
+            << workload.offered_load << ", overestimation +"
+            << overestimation * 100 << "%\n\n";
+
+  util::TextTable table("policy comparison, underprovisioned system");
+  table.set_header({"policy", "valid", "completed", "throughput(jobs/s)",
+                    "median resp(s)", "oom jobs", "avg busy nodes"});
+
+  for (const auto kind : {policy::PolicyKind::Baseline,
+                          policy::PolicyKind::Static,
+                          policy::PolicyKind::Dynamic}) {
+    SimulationConfig cfg;
+    cfg.system = system;
+    cfg.policy = kind;
+    Simulator sim(cfg, workload.jobs, &workload.apps);
+    const SimulationResult result = sim.run();
+    if (!result.valid) {
+      table.add_row({std::string(policy::to_string(kind)), "no", "-", "-", "-",
+                     "-", "-"});
+      continue;
+    }
+    const util::Ecdf ecdf(result.summary.response_times);
+    table.add_row({
+        std::string(policy::to_string(kind)),
+        "yes",
+        std::to_string(result.summary.completed),
+        util::fmt_sci(result.summary.throughput, 3),
+        util::fmt(ecdf.quantile(0.5), 0),
+        std::to_string(result.summary.jobs_with_oom),
+        util::fmt(result.avg_busy_nodes, 1),
+    });
+  }
+  table.print(std::cout);
+  std::cout << "\nWith overestimated demands the baseline cannot start some "
+               "jobs at all,\nand the dynamic policy reclaims idle allocation "
+               "so jobs wait less.\n";
+  return 0;
+}

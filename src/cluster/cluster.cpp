@@ -1,0 +1,294 @@
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace dmsim::cluster {
+
+ClusterConfig make_cluster_config(int normal_count, MiB normal_mib,
+                                  int large_count, MiB large_mib, int cores) {
+  DMSIM_ASSERT(normal_count >= 0 && large_count >= 0,
+               "node counts must be non-negative");
+  DMSIM_ASSERT(normal_count + large_count > 0, "cluster must have nodes");
+  ClusterConfig cfg;
+  cfg.nodes.reserve(static_cast<std::size_t>(normal_count + large_count));
+  for (int i = 0; i < normal_count; ++i) {
+    cfg.nodes.push_back(NodeConfig{cores, normal_mib, false});
+  }
+  for (int i = 0; i < large_count; ++i) {
+    cfg.nodes.push_back(NodeConfig{cores, large_mib, true});
+  }
+  return cfg;
+}
+
+Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
+  DMSIM_ASSERT(!config_.nodes.empty(), "cluster must have at least one node");
+  nodes_.reserve(config_.nodes.size());
+  std::uint32_t next = 0;
+  for (const auto& nc : config_.nodes) {
+    DMSIM_ASSERT(nc.capacity > 0, "node capacity must be positive");
+    DMSIM_ASSERT(nc.cores > 0, "node cores must be positive");
+    Node n;
+    n.id = NodeId{next++};
+    n.cores = nc.cores;
+    n.capacity = nc.capacity;
+    n.large = nc.large;
+    total_capacity_ += nc.capacity;
+    nodes_.push_back(n);
+  }
+}
+
+const Node& Cluster::node(NodeId id) const {
+  DMSIM_ASSERT(id.valid() && id.get() < nodes_.size(), "node id out of range");
+  return nodes_[id.get()];
+}
+
+Node& Cluster::node_mut(NodeId id) {
+  DMSIM_ASSERT(id.valid() && id.get() < nodes_.size(), "node id out of range");
+  return nodes_[id.get()];
+}
+
+int Cluster::idle_hostable_nodes() const noexcept {
+  int n = 0;
+  for (const auto& node : nodes_) {
+    if (node.idle() && !node.memory_node()) ++n;
+  }
+  return n;
+}
+
+bool Cluster::can_host(NodeId id) const {
+  const Node& n = node(id);
+  return n.idle() && !n.memory_node();
+}
+
+void Cluster::assign_job(JobId job, std::span<const NodeId> hosts) {
+  DMSIM_ASSERT(job.valid(), "cannot assign an invalid job");
+  DMSIM_ASSERT(!hosts.empty(), "job needs at least one host");
+  DMSIM_ASSERT(!job_hosts_.contains(job.get()), "job already assigned");
+  for (NodeId h : hosts) {
+    DMSIM_ASSERT(can_host(h), "host is busy or a memory node");
+  }
+  std::vector<NodeId> host_list(hosts.begin(), hosts.end());
+  for (NodeId h : host_list) {
+    node_mut(h).running_job = job;
+    AllocationSlot slot;
+    slot.job = job;
+    slot.host = h;
+    const auto [it, inserted] = slots_.emplace(key(job, h), std::move(slot));
+    DMSIM_ASSERT(inserted, "duplicate host in job assignment");
+    (void)it;
+  }
+  job_hosts_.emplace(job.get(), std::move(host_list));
+}
+
+void Cluster::finish_job(JobId job) {
+  const auto hit = job_hosts_.find(job.get());
+  DMSIM_ASSERT(hit != job_hosts_.end(), "finishing a job that is not assigned");
+  for (NodeId h : hit->second) {
+    const auto sit = slots_.find(key(job, h));
+    DMSIM_ASSERT(sit != slots_.end(), "missing slot for assigned host");
+    AllocationSlot& slot = sit->second;
+    // Return all borrows.
+    for (const auto& [lender, amount] : slot.remote) {
+      Node& ln = node_mut(lender);
+      DMSIM_ASSERT(ln.lent >= amount, "lender under-ledgered");
+      ln.lent -= amount;
+      total_allocated_ -= amount;
+      total_lent_ -= amount;
+    }
+    // Release local share and the host itself.
+    Node& hn = node_mut(h);
+    DMSIM_ASSERT(hn.local_used >= slot.local, "host under-ledgered");
+    hn.local_used -= slot.local;
+    total_allocated_ -= slot.local;
+    DMSIM_ASSERT(hn.running_job == job, "host running a different job");
+    hn.running_job = JobId{};
+    slots_.erase(sit);
+  }
+  job_hosts_.erase(hit);
+}
+
+MiB Cluster::grow_local(JobId job, NodeId host, MiB amount) {
+  DMSIM_ASSERT(amount >= 0, "grow_local amount must be non-negative");
+  AllocationSlot& slot = slot_mut(job, host);
+  Node& n = node_mut(host);
+  const MiB granted = std::min(amount, n.free());
+  slot.local += granted;
+  n.local_used += granted;
+  total_allocated_ += granted;
+  return granted;
+}
+
+MiB Cluster::shrink_local(JobId job, NodeId host, MiB amount) {
+  DMSIM_ASSERT(amount >= 0, "shrink_local amount must be non-negative");
+  AllocationSlot& slot = slot_mut(job, host);
+  Node& n = node_mut(host);
+  const MiB released = std::min(amount, slot.local);
+  slot.local -= released;
+  n.local_used -= released;
+  total_allocated_ -= released;
+  return released;
+}
+
+std::vector<NodeId> Cluster::ordered_lenders(NodeId exclude) const {
+  std::vector<NodeId> out;
+  out.reserve(nodes_.size());
+  for (const auto& n : nodes_) {
+    if (n.id != exclude && n.free() > 0) out.push_back(n.id);
+  }
+  const auto by_free_desc = [this](NodeId a, NodeId b) {
+    const MiB fa = node(a).free();
+    const MiB fb = node(b).free();
+    if (fa != fb) return fa > fb;
+    return a < b;  // deterministic tie-break
+  };
+  const auto by_free_asc = [this](NodeId a, NodeId b) {
+    const MiB fa = node(a).free();
+    const MiB fb = node(b).free();
+    if (fa != fb) return fa < fb;
+    return a < b;
+  };
+  switch (config_.lender_policy) {
+    case LenderPolicy::MostFree:
+      std::sort(out.begin(), out.end(), by_free_desc);
+      break;
+    case LenderPolicy::LeastFree:
+      std::sort(out.begin(), out.end(), by_free_asc);
+      break;
+    case LenderPolicy::MemoryNodesFirst:
+      std::sort(out.begin(), out.end(), [this, &by_free_desc](NodeId a, NodeId b) {
+        const bool ma = node(a).memory_node();
+        const bool mb = node(b).memory_node();
+        if (ma != mb) return ma;  // memory nodes first
+        return by_free_desc(a, b);
+      });
+      break;
+  }
+  return out;
+}
+
+MiB Cluster::grow_remote(JobId job, NodeId host, MiB amount) {
+  DMSIM_ASSERT(amount >= 0, "grow_remote amount must be non-negative");
+  if (amount == 0) return 0;
+  AllocationSlot& slot = slot_mut(job, host);
+  MiB remaining = amount;
+  for (NodeId lender : ordered_lenders(host)) {
+    if (remaining == 0) break;
+    Node& ln = node_mut(lender);
+    const MiB take = std::min(remaining, ln.free());
+    if (take <= 0) continue;
+    ln.lent += take;
+    total_allocated_ += take;
+    total_lent_ += take;
+    remaining -= take;
+    // Merge into an existing edge if present.
+    auto edge = std::find_if(slot.remote.begin(), slot.remote.end(),
+                             [lender](const auto& e) { return e.first == lender; });
+    if (edge != slot.remote.end()) {
+      edge->second += take;
+    } else {
+      slot.remote.emplace_back(lender, take);
+    }
+  }
+  return amount - remaining;
+}
+
+MiB Cluster::shrink_remote(JobId job, NodeId host, MiB amount) {
+  DMSIM_ASSERT(amount >= 0, "shrink_remote amount must be non-negative");
+  AllocationSlot& slot = slot_mut(job, host);
+  MiB remaining = std::min(amount, slot.remote_total());
+  const MiB released = remaining;
+  // Return the largest borrows first: frees memory-node status soonest.
+  std::sort(slot.remote.begin(), slot.remote.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  for (auto& [lender, borrowed] : slot.remote) {
+    if (remaining == 0) break;
+    const MiB give = std::min(remaining, borrowed);
+    Node& ln = node_mut(lender);
+    DMSIM_ASSERT(ln.lent >= give, "lender under-ledgered on shrink");
+    ln.lent -= give;
+    total_allocated_ -= give;
+    total_lent_ -= give;
+    borrowed -= give;
+    remaining -= give;
+  }
+  std::erase_if(slot.remote, [](const auto& e) { return e.second == 0; });
+  return released;
+}
+
+const AllocationSlot& Cluster::slot(JobId job, NodeId host) const {
+  const auto it = slots_.find(key(job, host));
+  DMSIM_ASSERT(it != slots_.end(), "no allocation slot for (job, host)");
+  return it->second;
+}
+
+bool Cluster::has_slot(JobId job, NodeId host) const {
+  return slots_.contains(key(job, host));
+}
+
+AllocationSlot& Cluster::slot_mut(JobId job, NodeId host) {
+  const auto it = slots_.find(key(job, host));
+  DMSIM_ASSERT(it != slots_.end(), "no allocation slot for (job, host)");
+  return it->second;
+}
+
+std::vector<const AllocationSlot*> Cluster::job_slots(JobId job) const {
+  std::vector<const AllocationSlot*> out;
+  const auto hit = job_hosts_.find(job.get());
+  if (hit == job_hosts_.end()) return out;
+  out.reserve(hit->second.size());
+  for (NodeId h : hit->second) out.push_back(&slot(job, h));
+  return out;
+}
+
+std::vector<Cluster::BorrowEdge> Cluster::borrowers_of(NodeId lender) const {
+  std::vector<BorrowEdge> out;
+  for (const auto& [k, slot] : slots_) {
+    (void)k;
+    for (const auto& [from, amount] : slot.remote) {
+      if (from == lender && amount > 0) {
+        out.push_back(BorrowEdge{slot.job, slot.host, amount});
+      }
+    }
+  }
+  return out;
+}
+
+void Cluster::check_invariants() const {
+  std::vector<MiB> local(nodes_.size(), 0);
+  std::vector<MiB> lent(nodes_.size(), 0);
+  MiB allocated = 0;
+  for (const auto& [k, slot] : slots_) {
+    (void)k;
+    DMSIM_ASSERT(slot.local >= 0, "negative local share");
+    local[slot.host.get()] += slot.local;
+    allocated += slot.local;
+    for (const auto& [lender, amount] : slot.remote) {
+      DMSIM_ASSERT(amount > 0, "zero/negative borrow edge left in ledger");
+      DMSIM_ASSERT(lender != slot.host, "self-borrow edge");
+      lent[lender.get()] += amount;
+      allocated += amount;
+    }
+    DMSIM_ASSERT(node(slot.host).running_job == slot.job,
+                 "slot host not running the slot's job");
+  }
+  for (const auto& n : nodes_) {
+    DMSIM_ASSERT(n.local_used == local[n.id.get()],
+                 "node local_used disagrees with slots");
+    DMSIM_ASSERT(n.lent == lent[n.id.get()], "node lent disagrees with edges");
+    DMSIM_ASSERT(n.local_used + n.lent <= n.capacity, "node over-committed");
+    DMSIM_ASSERT(n.local_used >= 0 && n.lent >= 0, "negative ledger entry");
+  }
+  DMSIM_ASSERT(allocated == total_allocated_,
+               "aggregate allocation counter out of sync");
+  MiB lent_total = 0;
+  for (const auto& n : nodes_) lent_total += n.lent;
+  DMSIM_ASSERT(lent_total == total_lent_, "aggregate lent counter out of sync");
+}
+
+}  // namespace dmsim::cluster

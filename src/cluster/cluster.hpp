@@ -1,0 +1,189 @@
+// Cluster model with a disaggregated memory ledger.
+//
+// A cluster is a set of nodes, each with cores and local DRAM. Node
+// allocation is exclusive (one job per node, as in the paper's Slurm setup),
+// but memory is a pooled resource: a job hosted on node H may have part of
+// its allocation *borrowed* from lender nodes L1..Lk. The ledger tracks, per
+// (job, host) slot, the local share and every borrow edge, and enforces the
+// paper's rules:
+//
+//   * free memory on a node = capacity - hosted-job local share - lent,
+//   * any free memory may be lent to remote jobs,
+//   * a node that has lent more than half of its capacity temporarily becomes
+//     a "memory node": it keeps lending but accepts no new jobs (§2.1).
+//
+// All mutation goes through grow/shrink operations that keep aggregate
+// counters consistent; `check_invariants()` revalidates the full ledger and
+// is exercised heavily by the test suite.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace dmsim::cluster {
+
+/// How the ledger picks lender nodes when a job needs remote memory.
+/// The paper does not pin this down; MemoryNodesFirst keeps lending
+/// concentrated (fewer contended nodes), MostFree spreads it. The ablation
+/// bench compares them.
+enum class LenderPolicy {
+  MostFree,          ///< lend from nodes with the most free memory first
+  MemoryNodesFirst,  ///< prefer nodes already past the half-capacity mark, then most-free
+  LeastFree,         ///< pack lenders tightly (worst-fit inverse)
+};
+
+struct NodeConfig {
+  int cores = 32;
+  MiB capacity = 0;
+  bool large = false;  ///< classification only; capacity carries the size
+};
+
+struct ClusterConfig {
+  std::vector<NodeConfig> nodes;
+  LenderPolicy lender_policy = LenderPolicy::MemoryNodesFirst;
+};
+
+/// Convenience builder: `normal_count` nodes of `normal_mib` plus
+/// `large_count` nodes of `large_mib`.
+[[nodiscard]] ClusterConfig make_cluster_config(int normal_count, MiB normal_mib,
+                                                int large_count, MiB large_mib,
+                                                int cores = 32);
+
+struct Node {
+  NodeId id{};
+  int cores = 0;
+  MiB capacity = 0;
+  bool large = false;
+
+  JobId running_job{};  ///< invalid when idle
+  MiB local_used = 0;   ///< allocated to the hosted job from this node's DRAM
+  MiB lent = 0;         ///< allocated to jobs hosted elsewhere
+
+  [[nodiscard]] bool idle() const noexcept { return !running_job.valid(); }
+  [[nodiscard]] MiB free() const noexcept { return capacity - local_used - lent; }
+  /// Past the half-capacity lending mark => memory node (cannot host).
+  [[nodiscard]] bool memory_node() const noexcept { return lent * 2 > capacity; }
+};
+
+/// One job's memory on one of its hosts: local share plus borrow edges.
+struct AllocationSlot {
+  JobId job{};
+  NodeId host{};
+  MiB local = 0;
+  /// Lender -> amount; kept merged (at most one entry per lender).
+  std::vector<std::pair<NodeId, MiB>> remote;
+
+  [[nodiscard]] MiB remote_total() const noexcept {
+    MiB t = 0;
+    for (const auto& [node, amount] : remote) t += amount;
+    return t;
+  }
+  [[nodiscard]] MiB total() const noexcept { return local + remote_total(); }
+  /// Fraction of the allocation that is remote (0 when empty).
+  [[nodiscard]] double remote_fraction() const noexcept {
+    const MiB t = total();
+    return t == 0 ? 0.0 : static_cast<double>(remote_total()) / static_cast<double>(t);
+  }
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+
+  // --- topology / aggregate queries -------------------------------------
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] const Node& node(NodeId id) const;
+  [[nodiscard]] std::span<const Node> nodes() const noexcept { return nodes_; }
+  [[nodiscard]] MiB total_capacity() const noexcept { return total_capacity_; }
+  [[nodiscard]] MiB total_allocated() const noexcept { return total_allocated_; }
+  [[nodiscard]] MiB total_free() const noexcept {
+    return total_capacity_ - total_allocated_;
+  }
+  /// Aggregate memory currently lent across all nodes. Zero means no job
+  /// has any remote memory (the contention model is trivially idle).
+  [[nodiscard]] MiB total_lent() const noexcept { return total_lent_; }
+  [[nodiscard]] int idle_hostable_nodes() const noexcept;
+  [[nodiscard]] LenderPolicy lender_policy() const noexcept {
+    return config_.lender_policy;
+  }
+
+  /// True if the node is idle and not a memory node (may accept a job).
+  [[nodiscard]] bool can_host(NodeId id) const;
+
+  // --- job placement -----------------------------------------------------
+  /// Mark `hosts` as running `job` and create empty allocation slots.
+  /// Every host must currently satisfy can_host().
+  void assign_job(JobId job, std::span<const NodeId> hosts);
+
+  /// Release all of the job's memory (local + every borrow edge) and free
+  /// its hosts.
+  void finish_job(JobId job);
+
+  // --- memory operations (policy layer calls these) ----------------------
+  /// Grow the slot's local share by up to `amount`; returns granted MiB.
+  MiB grow_local(JobId job, NodeId host, MiB amount);
+
+  /// Shrink the slot's local share by up to `amount`; returns released MiB.
+  MiB shrink_local(JobId job, NodeId host, MiB amount);
+
+  /// Grow the slot's remote share by up to `amount`, choosing lenders
+  /// according to the configured LenderPolicy; returns granted MiB.
+  MiB grow_remote(JobId job, NodeId host, MiB amount);
+
+  /// Shrink the slot's remote share by up to `amount`, returning memory to
+  /// lenders (largest borrow first, to clear memory-node status soonest);
+  /// returns released MiB.
+  MiB shrink_remote(JobId job, NodeId host, MiB amount);
+
+  [[nodiscard]] const AllocationSlot& slot(JobId job, NodeId host) const;
+  [[nodiscard]] bool has_slot(JobId job, NodeId host) const;
+
+  /// All slots of a job (one per host), in host order.
+  [[nodiscard]] std::vector<const AllocationSlot*> job_slots(JobId job) const;
+
+  /// Jobs borrowing from `lender` as (job, host, amount) triples.
+  struct BorrowEdge {
+    JobId job{};
+    NodeId host{};
+    MiB amount = 0;
+  };
+  [[nodiscard]] std::vector<BorrowEdge> borrowers_of(NodeId lender) const;
+
+  /// Full-ledger consistency check; aborts (DMSIM_ASSERT) on violation.
+  void check_invariants() const;
+
+ private:
+  struct SlotKey {
+    std::uint64_t packed;
+    friend bool operator==(SlotKey, SlotKey) noexcept = default;
+  };
+  struct SlotKeyHash {
+    [[nodiscard]] std::size_t operator()(SlotKey k) const noexcept {
+      return std::hash<std::uint64_t>{}(k.packed);
+    }
+  };
+  [[nodiscard]] static SlotKey key(JobId job, NodeId host) noexcept {
+    return SlotKey{(static_cast<std::uint64_t>(job.get()) << 32) | host.get()};
+  }
+
+  [[nodiscard]] Node& node_mut(NodeId id);
+  [[nodiscard]] AllocationSlot& slot_mut(JobId job, NodeId host);
+
+  /// Candidate lenders with free memory, ordered by the lender policy.
+  [[nodiscard]] std::vector<NodeId> ordered_lenders(NodeId exclude) const;
+
+  ClusterConfig config_;
+  std::vector<Node> nodes_;
+  std::unordered_map<SlotKey, AllocationSlot, SlotKeyHash> slots_;
+  std::unordered_map<std::uint32_t, std::vector<NodeId>> job_hosts_;
+  MiB total_capacity_ = 0;
+  MiB total_allocated_ = 0;
+  MiB total_lent_ = 0;
+};
+
+}  // namespace dmsim::cluster

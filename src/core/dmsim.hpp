@@ -1,0 +1,35 @@
+// Umbrella header: the full dmsim public API.
+//
+// dmsim reproduces "Dynamic Memory Provisioning on Disaggregated HPC
+// Systems" (Zacarias, Carpenter, Petrucci — SC-W 2023): a Slurm-like
+// discrete-event scheduler simulator with Baseline / Static / Dynamic
+// disaggregated-memory allocation policies, a contention-aware slowdown
+// model, and the paper's complete trace-generation methodology.
+#pragma once
+
+#include "cluster/cluster.hpp"        // nodes, disaggregated memory ledger
+#include "core/simulator.hpp"         // Simulator facade
+#include "harness/scenario.hpp"       // sweeps: systems x policies x workloads
+#include "metrics/metrics.hpp"        // throughput, response time, cost model
+#include "metrics/timeline.hpp"       // utilization/waste/bounded-slowdown
+#include "policy/policy.hpp"          // Baseline / Static / Dynamic policies
+#include "sched/scheduler.hpp"        // FCFS + backfill, dynamic updates
+#include "sim/engine.hpp"             // discrete-event core
+#include "slowdown/model.hpp"         // sensitivity curves, contention
+#include "trace/job_spec.hpp"         // jobs and usage traces
+#include "trace/swf.hpp"              // Standard Workload Format I/O
+#include "trace/usage_trace.hpp"      // progress-indexed usage, RDP
+#include "workload/archer.hpp"        // Table 2 memory distributions
+#include "workload/cirne.hpp"         // CIRNE comprehensive model
+#include "workload/filter.hpp"        // mix resampling (Fig. 3 step 7)
+#include "workload/generator.hpp"     // Fig. 3 synthetic pipeline
+#include "workload/google_usage.hpp"  // usage-shape library
+#include "workload/grizzly.hpp"       // Grizzly-style traces (Fig. 2)
+#include "workload/stats.hpp"         // Table 1/3-style characterization
+
+// Opt-in extras (not pulled in by default to keep the umbrella light):
+//   harness/config_file.hpp   slurm.conf-style configuration files
+//   metrics/json_export.hpp   JSON result documents
+//   slowdown/profile_io.hpp   app-profile files
+//   trace/swf_validate.hpp    SWF trace linting
+//   trace/usage_io.hpp        per-job usage-trace files

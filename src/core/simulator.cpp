@@ -1,0 +1,44 @@
+#include "core/simulator.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace dmsim {
+
+Simulator::Simulator(const SimulationConfig& config, trace::Workload workload,
+                     const slowdown::AppPool* apps)
+    : config_(config),
+      engine_(std::make_unique<sim::Engine>()),
+      cluster_(std::make_unique<cluster::Cluster>(
+          config.system.to_cluster_config())),
+      policy_(policy::make_policy(config.policy)) {
+  scheduler_ = std::make_unique<sched::Scheduler>(*engine_, *cluster_, *policy_,
+                                                  apps, config.sched);
+  scheduler_->submit_workload(std::move(workload));
+  infeasible_ = scheduler_->infeasible_count();
+}
+
+SimulationResult Simulator::run() {
+  DMSIM_ASSERT(!ran_, "Simulator::run may only be called once");
+  ran_ = true;
+
+  SimulationResult result;
+  result.provisioned_memory = cluster_->total_capacity();
+  result.system_cost_usd = metrics::CostModel{}.system_cost(*cluster_);
+  result.valid = (infeasible_ == 0);
+  if (!result.valid) {
+    result.records = scheduler_->records();
+    return result;
+  }
+  scheduler_->run();
+  result.summary = metrics::summarize(scheduler_->records(), scheduler_->totals());
+  result.totals = scheduler_->totals();
+  result.records = scheduler_->records();
+  result.samples = scheduler_->samples();
+  result.avg_allocated_mib = scheduler_->avg_allocated_mib();
+  result.avg_busy_nodes = scheduler_->avg_busy_nodes();
+  return result;
+}
+
+}  // namespace dmsim

@@ -1,0 +1,72 @@
+// dmsim public facade.
+//
+// Simulator bundles the engine, cluster, policy and scheduler behind a
+// two-call API:
+//
+//   dmsim::Simulator sim(config, workload, &apps);
+//   dmsim::SimulationResult result = sim.run();
+//
+// For parameter sweeps across many configurations prefer the stateless
+// harness (harness/scenario.hpp), which this class shares its internals
+// with.
+#pragma once
+
+#include <memory>
+
+#include "cluster/cluster.hpp"
+#include "harness/scenario.hpp"
+#include "metrics/metrics.hpp"
+#include "policy/policy.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/engine.hpp"
+#include "slowdown/model.hpp"
+#include "trace/job_spec.hpp"
+
+namespace dmsim {
+
+struct SimulationConfig {
+  harness::SystemConfig system;
+  policy::PolicyKind policy = policy::PolicyKind::Dynamic;
+  sched::SchedulerConfig sched;
+};
+
+struct SimulationResult {
+  bool valid = false;  ///< false: workload contains jobs this system can never run
+  metrics::WorkloadSummary summary;
+  sched::SchedulerTotals totals;
+  std::vector<sched::JobRecord> records;
+  std::vector<sched::SystemSample> samples;
+  double avg_allocated_mib = 0.0;
+  double avg_busy_nodes = 0.0;
+  MiB provisioned_memory = 0;
+  double system_cost_usd = 0.0;
+};
+
+class Simulator {
+ public:
+  /// `apps` may be nullptr (contention-insensitive jobs); when non-null it
+  /// must outlive the Simulator.
+  Simulator(const SimulationConfig& config, trace::Workload workload,
+            const slowdown::AppPool* apps);
+
+  /// Run to completion. May only be called once.
+  [[nodiscard]] SimulationResult run();
+
+  [[nodiscard]] const cluster::Cluster& cluster() const noexcept {
+    return *cluster_;
+  }
+  [[nodiscard]] const sched::Scheduler& scheduler() const noexcept {
+    return *scheduler_;
+  }
+
+ private:
+  SimulationConfig config_;
+  std::unique_ptr<sim::Engine> engine_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<policy::AllocationPolicy> policy_;
+  std::unique_ptr<sched::Scheduler> scheduler_;
+  std::size_t infeasible_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace dmsim

@@ -1,0 +1,258 @@
+#include "harness/config_file.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace dmsim::harness {
+
+namespace {
+
+[[nodiscard]] std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+[[nodiscard]] std::string strip(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) return {};
+  const auto last = s.find_last_not_of(" \t\r\n");
+  return s.substr(first, last - first + 1);
+}
+
+[[nodiscard]] double parse_number(const std::string& value, const char* what) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    throw ConfigError(std::string("invalid ") + what + ": '" + value + "'");
+  }
+}
+
+/// Split a "<number><suffix>" value; suffix may be empty.
+[[nodiscard]] std::pair<double, std::string> split_unit(const std::string& value,
+                                                        const char* what) {
+  std::size_t pos = 0;
+  while (pos < value.size() &&
+         (std::isdigit(static_cast<unsigned char>(value[pos])) ||
+          value[pos] == '.' || value[pos] == '-' || value[pos] == '+')) {
+    ++pos;
+  }
+  if (pos == 0) {
+    throw ConfigError(std::string("invalid ") + what + ": '" + value + "'");
+  }
+  const double number = parse_number(value.substr(0, pos), what);
+  return {number, lower(strip(value.substr(pos)))};
+}
+
+}  // namespace
+
+MiB parse_memory(const std::string& value) {
+  const auto [number, unit] = split_unit(strip(value), "memory size");
+  double mib = 0.0;
+  if (unit.empty() || unit == "m" || unit == "mb" || unit == "mib") {
+    mib = number;
+  } else if (unit == "g" || unit == "gb" || unit == "gib") {
+    mib = number * 1024.0;
+  } else if (unit == "t" || unit == "tb" || unit == "tib") {
+    mib = number * 1024.0 * 1024.0;
+  } else if (unit == "k" || unit == "kb" || unit == "kib") {
+    mib = number / 1024.0;
+  } else {
+    throw ConfigError("unknown memory unit: '" + unit + "'");
+  }
+  if (mib < 0) throw ConfigError("memory size must be non-negative: " + value);
+  return static_cast<MiB>(std::llround(mib));
+}
+
+Seconds parse_duration(const std::string& value) {
+  const auto [number, unit] = split_unit(strip(value), "duration");
+  double seconds = 0.0;
+  if (unit.empty() || unit == "s" || unit == "sec" || unit == "secs" ||
+      unit == "seconds") {
+    seconds = number;
+  } else if (unit == "m" || unit == "min" || unit == "mins" ||
+             unit == "minutes") {
+    seconds = number * 60.0;
+  } else if (unit == "h" || unit == "hr" || unit == "hours") {
+    seconds = number * 3600.0;
+  } else if (unit == "d" || unit == "days") {
+    seconds = number * 86400.0;
+  } else {
+    throw ConfigError("unknown duration unit: '" + unit + "'");
+  }
+  if (seconds < 0) throw ConfigError("duration must be non-negative: " + value);
+  return seconds;
+}
+
+bool parse_bool(const std::string& value) {
+  const std::string v = lower(strip(value));
+  if (v == "yes" || v == "true" || v == "1" || v == "on") return true;
+  if (v == "no" || v == "false" || v == "0" || v == "off") return false;
+  throw ConfigError("invalid boolean: '" + value + "'");
+}
+
+policy::PolicyKind parse_policy(const std::string& value) {
+  const std::string v = lower(strip(value));
+  if (v == "baseline") return policy::PolicyKind::Baseline;
+  if (v == "static") return policy::PolicyKind::Static;
+  if (v == "dynamic") return policy::PolicyKind::Dynamic;
+  throw ConfigError("unknown allocation policy: '" + value + "'");
+}
+
+cluster::LenderPolicy parse_lender_policy(const std::string& value) {
+  const std::string v = lower(strip(value));
+  if (v == "memory_nodes_first" || v == "memorynodesfirst") {
+    return cluster::LenderPolicy::MemoryNodesFirst;
+  }
+  if (v == "most_free" || v == "mostfree") return cluster::LenderPolicy::MostFree;
+  if (v == "least_free" || v == "leastfree") {
+    return cluster::LenderPolicy::LeastFree;
+  }
+  throw ConfigError("unknown lender policy: '" + value + "'");
+}
+
+sched::OomHandling parse_oom_handling(const std::string& value) {
+  const std::string v = lower(strip(value));
+  if (v == "fail_restart" || v == "failrestart" || v == "f/r") {
+    return sched::OomHandling::FailRestart;
+  }
+  if (v == "checkpoint_restart" || v == "checkpointrestart" || v == "c/r") {
+    return sched::OomHandling::CheckpointRestart;
+  }
+  throw ConfigError("unknown OOM handling: '" + value + "'");
+}
+
+FileConfig parse_config(std::istream& in) {
+  FileConfig out;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip trailing comments, then whitespace.
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    const std::string text = strip(line);
+    if (text.empty()) continue;
+    const auto eq = text.find('=');
+    if (eq == std::string::npos) {
+      throw ConfigError("config line " + std::to_string(line_no) +
+                        ": expected Key=Value, got '" + text + "'");
+    }
+    const std::string key = lower(strip(text.substr(0, eq)));
+    const std::string value = strip(text.substr(eq + 1));
+    if (key.empty() || value.empty()) {
+      throw ConfigError("config line " + std::to_string(line_no) +
+                        ": empty key or value");
+    }
+
+    auto& sys = out.simulation.system;
+    auto& sch = out.simulation.sched;
+    auto& wl = out.workload;
+
+    if (key == "nodes") {
+      sys.total_nodes = static_cast<int>(parse_number(value, "Nodes"));
+      wl.cirne.system_nodes = sys.total_nodes;
+    } else if (key == "pctlargenodes") {
+      sys.pct_large_nodes = parse_number(value, "PctLargeNodes");
+    } else if (key == "normalcapacity") {
+      sys.normal_capacity = parse_memory(value);
+    } else if (key == "largecapacity") {
+      sys.large_capacity = parse_memory(value);
+    } else if (key == "corespernode") {
+      sys.cores_per_node = static_cast<int>(parse_number(value, "CoresPerNode"));
+    } else if (key == "lenderpolicy") {
+      sys.lender_policy = parse_lender_policy(value);
+    } else if (key == "allocationpolicy") {
+      out.simulation.policy = parse_policy(value);
+    } else if (key == "schedulerinterval") {
+      sch.sched_interval = parse_duration(value);
+    } else if (key == "queuedepth") {
+      sch.queue_depth = static_cast<int>(parse_number(value, "QueueDepth"));
+    } else if (key == "backfilldepth") {
+      sch.backfill_depth = static_cast<int>(parse_number(value, "BackfillDepth"));
+    } else if (key == "enablebackfill") {
+      sch.enable_backfill = parse_bool(value);
+    } else if (key == "backfillmode") {
+      const std::string v = lower(strip(value));
+      if (v == "off") {
+        sch.backfill_mode = sched::BackfillMode::Off;
+      } else if (v == "easy") {
+        sch.backfill_mode = sched::BackfillMode::Easy;
+      } else if (v == "conservative") {
+        sch.backfill_mode = sched::BackfillMode::Conservative;
+      } else {
+        throw ConfigError("unknown backfill mode: '" + value + "'");
+      }
+    } else if (key == "updatemode") {
+      const std::string v = lower(strip(value));
+      if (v == "per_job" || v == "staggered" || v == "per_job_staggered") {
+        sch.update_mode = sched::UpdateMode::PerJobStaggered;
+      } else if (v == "global" || v == "global_batch") {
+        sch.update_mode = sched::UpdateMode::GlobalBatch;
+      } else {
+        throw ConfigError("unknown update mode: '" + value + "'");
+      }
+    } else if (key == "updateinterval") {
+      sch.update_interval = parse_duration(value);
+    } else if (key == "oomhandling") {
+      sch.oom_handling = parse_oom_handling(value);
+    } else if (key == "guaranteedafterfailures") {
+      sch.guaranteed_after_failures =
+          static_cast<int>(parse_number(value, "GuaranteedAfterFailures"));
+    } else if (key == "priorityboostperfailure") {
+      sch.priority_boost_per_failure =
+          static_cast<int>(parse_number(value, "PriorityBoostPerFailure"));
+    } else if (key == "maxrestarts") {
+      sch.max_restarts = static_cast<int>(parse_number(value, "MaxRestarts"));
+    } else if (key == "enforcewalltime") {
+      sch.enforce_walltime = parse_bool(value);
+    } else if (key == "sampleinterval") {
+      sch.sample_interval = parse_duration(value);
+    } else if (key == "jobs") {
+      wl.cirne.num_jobs = static_cast<std::size_t>(parse_number(value, "Jobs"));
+      out.has_workload = true;
+    } else if (key == "targetload") {
+      wl.cirne.target_load = parse_number(value, "TargetLoad");
+      out.has_workload = true;
+    } else if (key == "pctlargejobs") {
+      wl.pct_large_jobs = parse_number(value, "PctLargeJobs");
+      out.has_workload = true;
+    } else if (key == "overestimation") {
+      wl.overestimation = parse_number(value, "Overestimation");
+      out.has_workload = true;
+    } else if (key == "maxjobnodes") {
+      wl.cirne.max_job_nodes =
+          static_cast<int>(parse_number(value, "MaxJobNodes"));
+      out.has_workload = true;
+    } else if (key == "seed") {
+      wl.seed = static_cast<std::uint64_t>(parse_number(value, "Seed"));
+      out.has_workload = true;
+    } else {
+      throw ConfigError("config line " + std::to_string(line_no) +
+                        ": unknown key '" + key + "'");
+    }
+  }
+  // Memory-class boundaries of the workload follow the system's node sizes.
+  out.workload.normal_capacity = out.simulation.system.normal_capacity;
+  out.workload.large_capacity = out.simulation.system.large_capacity;
+  return out;
+}
+
+FileConfig parse_config_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ConfigError("cannot open config file: " + path);
+  return parse_config(in);
+}
+
+}  // namespace dmsim::harness

@@ -1,0 +1,80 @@
+#include "harness/experiments.hpp"
+
+#include "util/error.hpp"
+
+namespace dmsim::harness {
+
+namespace {
+
+[[nodiscard]] std::optional<double> run_policy_normalized(
+    const SystemConfig& system, policy::PolicyKind kind,
+    const trace::Workload& jobs, const slowdown::AppPool& apps,
+    const sched::SchedulerConfig& sched_config, double reference,
+    double* oom_fraction = nullptr) {
+  CellConfig cell;
+  cell.system = system;
+  cell.policy = kind;
+  cell.sched = sched_config;
+  const CellResult result = run_cell(cell, jobs, apps);
+  if (!result.valid) return std::nullopt;
+  if (oom_fraction != nullptr) {
+    *oom_fraction = result.summary.oom_job_fraction();
+  }
+  if (reference > 0.0) return result.throughput() / reference;
+  return result.throughput();
+}
+
+}  // namespace
+
+std::vector<ThroughputPoint> throughput_vs_memory(
+    const trace::Workload& jobs, const slowdown::AppPool& apps,
+    const std::vector<SystemConfig>& systems, double reference,
+    const sched::SchedulerConfig& sched_config) {
+  std::vector<ThroughputPoint> out;
+  out.reserve(systems.size());
+  for (const SystemConfig& system : systems) {
+    ThroughputPoint point;
+    point.system = system;
+    point.memory_fraction = system.memory_fraction();
+    point.baseline = run_policy_normalized(
+        system, policy::PolicyKind::Baseline, jobs, apps, sched_config,
+        reference);
+    point.static_policy = run_policy_normalized(
+        system, policy::PolicyKind::Static, jobs, apps, sched_config,
+        reference);
+    point.dynamic_policy = run_policy_normalized(
+        system, policy::PolicyKind::Dynamic, jobs, apps, sched_config,
+        reference, &point.dynamic_oom_job_fraction);
+    out.push_back(point);
+  }
+  return out;
+}
+
+double reference_throughput(const trace::Workload& jobs,
+                            const slowdown::AppPool& apps, int total_nodes) {
+  SystemConfig full;
+  full.total_nodes = total_nodes;
+  full.pct_large_nodes = 1.0;
+  CellConfig cell;
+  cell.system = full;
+  cell.policy = policy::PolicyKind::Baseline;
+  const CellResult result = run_cell(cell, jobs, apps);
+  return result.valid ? result.throughput() : 0.0;
+}
+
+std::optional<double> min_memory_for_threshold(
+    const trace::Workload& jobs, const slowdown::AppPool& apps,
+    const std::vector<SystemConfig>& systems, policy::PolicyKind policy,
+    double reference, double threshold) {
+  DMSIM_ASSERT(reference > 0.0, "need a positive reference throughput");
+  for (const SystemConfig& system : systems) {
+    const auto normalized = run_policy_normalized(system, policy, jobs, apps,
+                                                  {}, reference);
+    if (normalized.has_value() && *normalized >= threshold) {
+      return system.memory_fraction();
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace dmsim::harness

@@ -1,0 +1,48 @@
+// Reusable experiment drivers: the paper's figure sweeps as library
+// functions returning structured data. The bench binaries print the same
+// quantities; these entry points let library users (and the test suite) run
+// the sweeps programmatically.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "harness/scenario.hpp"
+
+namespace dmsim::harness {
+
+/// One x-axis point of a Fig. 5/8-style sweep: normalized throughput per
+/// policy at one memory provisioning. std::nullopt = missing bar (the
+/// system cannot run the mix under that policy).
+struct ThroughputPoint {
+  SystemConfig system;
+  double memory_fraction = 0.0;
+  std::optional<double> baseline;
+  std::optional<double> static_policy;
+  std::optional<double> dynamic_policy;
+  double dynamic_oom_job_fraction = 0.0;
+};
+
+/// Sweep the given systems under all three policies, normalizing by
+/// `reference_throughput` (Fig. 5's baseline-at-100% convention; pass 0 to
+/// report raw jobs/s).
+[[nodiscard]] std::vector<ThroughputPoint> throughput_vs_memory(
+    const trace::Workload& jobs, const slowdown::AppPool& apps,
+    const std::vector<SystemConfig>& systems, double reference_throughput,
+    const sched::SchedulerConfig& sched_config = {});
+
+/// Baseline throughput on the fully provisioned (100% large) system — the
+/// normalization reference of Figs. 5 and 8.
+[[nodiscard]] double reference_throughput(const trace::Workload& jobs,
+                                          const slowdown::AppPool& apps,
+                                          int total_nodes);
+
+/// Fig. 9 search: the smallest memory fraction in `systems` (assumed sorted
+/// ascending) whose normalized throughput reaches `threshold` under
+/// `policy`. std::nullopt if no point qualifies.
+[[nodiscard]] std::optional<double> min_memory_for_threshold(
+    const trace::Workload& jobs, const slowdown::AppPool& apps,
+    const std::vector<SystemConfig>& systems, policy::PolicyKind policy,
+    double reference, double threshold = 0.95);
+
+}  // namespace dmsim::harness

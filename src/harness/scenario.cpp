@@ -1,0 +1,88 @@
+#include "harness/scenario.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "sim/engine.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dmsim::harness {
+
+cluster::ClusterConfig SystemConfig::to_cluster_config() const {
+  DMSIM_ASSERT(total_nodes > 0, "system must have nodes");
+  DMSIM_ASSERT(pct_large_nodes >= 0.0 && pct_large_nodes <= 1.0,
+               "pct_large_nodes must be a fraction");
+  cluster::ClusterConfig cfg = cluster::make_cluster_config(
+      normal_count(), normal_capacity, large_count(), large_capacity,
+      cores_per_node);
+  cfg.lender_policy = lender_policy;
+  return cfg;
+}
+
+std::vector<SystemConfig> memory_ladder(int total_nodes) {
+  const double mixes[] = {0.0, 0.15, 0.25, 0.50, 0.75, 1.00};
+  std::vector<SystemConfig> out;
+  for (const auto& [normal, large] :
+       {std::pair<MiB, MiB>{gib(32), gib(64)}, {gib(64), gib(128)}}) {
+    for (double mix : mixes) {
+      SystemConfig sys;
+      sys.total_nodes = total_nodes;
+      sys.pct_large_nodes = mix;
+      sys.normal_capacity = normal;
+      sys.large_capacity = large;
+      out.push_back(sys);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const SystemConfig& a, const SystemConfig& b) {
+    return a.memory_fraction() < b.memory_fraction();
+  });
+  // The two families meet at 50% (all-large 64 GiB == all-normal 64 GiB);
+  // drop duplicate memory fractions, keeping the first.
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const SystemConfig& a, const SystemConfig& b) {
+                          return std::abs(a.memory_fraction() -
+                                          b.memory_fraction()) < 1e-9;
+                        }),
+            out.end());
+  return out;
+}
+
+CellResult run_cell(const CellConfig& cell, const trace::Workload& jobs,
+                    const slowdown::AppPool& apps) {
+  cluster::Cluster cluster(cell.system.to_cluster_config());
+  const auto policy = policy::make_policy(cell.policy);
+  sim::Engine engine;
+  sched::Scheduler scheduler(engine, cluster, *policy, &apps, cell.sched);
+  scheduler.submit_workload(jobs);
+
+  CellResult result;
+  result.infeasible_jobs = scheduler.infeasible_count();
+  result.valid = (result.infeasible_jobs == 0);
+  result.provisioned_memory = cluster.total_capacity();
+  result.system_cost_usd = metrics::CostModel{}.system_cost(cluster);
+  if (!result.valid) {
+    // The paper leaves the bar out entirely: the system cannot run the mix.
+    return result;
+  }
+  scheduler.run();
+  result.summary = metrics::summarize(scheduler.records(), scheduler.totals());
+  result.totals = scheduler.totals();
+  result.avg_allocated_mib = scheduler.avg_allocated_mib();
+  result.avg_busy_nodes = scheduler.avg_busy_nodes();
+  return result;
+}
+
+std::vector<CellResult> run_cells(const std::vector<CellConfig>& cells,
+                                  const trace::Workload& jobs,
+                                  const slowdown::AppPool& apps,
+                                  std::size_t threads) {
+  std::vector<CellResult> results(cells.size());
+  util::ThreadPool pool(threads);
+  pool.parallel_for(cells.size(), [&](std::size_t i) {
+    results[i] = run_cell(cells[i], jobs, apps);
+  });
+  return results;
+}
+
+}  // namespace dmsim::harness

@@ -1,0 +1,87 @@
+// Experiment harness: simulated-system descriptions (Table 4), simulation
+// cells (one workload x system x policy run), and parallel sweep execution.
+// Every bench binary reproducing a paper table/figure is built on this.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "metrics/metrics.hpp"
+#include "policy/policy.hpp"
+#include "sched/scheduler.hpp"
+#include "workload/generator.hpp"
+
+namespace dmsim::harness {
+
+/// A simulated system in the style of Table 4: `total_nodes` nodes split
+/// into normal and large classes, large nodes having double capacity.
+struct SystemConfig {
+  int total_nodes = 1024;
+  double pct_large_nodes = 0.5;  ///< fraction of large-capacity nodes
+  MiB normal_capacity = gib(64);
+  MiB large_capacity = gib(128);
+  int cores_per_node = 32;
+  cluster::LenderPolicy lender_policy = cluster::LenderPolicy::MemoryNodesFirst;
+
+  [[nodiscard]] int large_count() const noexcept {
+    return static_cast<int>(pct_large_nodes * total_nodes + 0.5);
+  }
+  [[nodiscard]] int normal_count() const noexcept {
+    return total_nodes - large_count();
+  }
+  [[nodiscard]] MiB total_memory() const noexcept {
+    return static_cast<MiB>(normal_count()) * normal_capacity +
+           static_cast<MiB>(large_count()) * large_capacity;
+  }
+  /// Memory normalized to a 100%-large reference system (the figures'
+  /// x-axis: "% of total system memory").
+  [[nodiscard]] double memory_fraction(MiB reference_capacity = gib(128)) const noexcept {
+    return static_cast<double>(total_memory()) /
+           static_cast<double>(static_cast<MiB>(total_nodes) * reference_capacity);
+  }
+  [[nodiscard]] cluster::ClusterConfig to_cluster_config() const;
+};
+
+/// The memory-provisioning ladder of Figs. 5 & 8: both node families of
+/// Table 4 — (normal 32 GiB, large 64 GiB) and (normal 64 GiB, large 128 GiB)
+/// — across the paper's %-large-node mixes, sorted by memory fraction.
+/// Yields x-axis points {25,29,31,37,43,50,57,62,75,87,100}%.
+[[nodiscard]] std::vector<SystemConfig> memory_ladder(int total_nodes);
+
+/// One simulation cell: run `workload` on `system` under `policy`.
+struct CellConfig {
+  SystemConfig system;
+  policy::PolicyKind policy = policy::PolicyKind::Dynamic;
+  sched::SchedulerConfig sched;
+  std::string label;
+};
+
+struct CellResult {
+  bool valid = false;  ///< false: some job can never run (missing bar)
+  std::size_t infeasible_jobs = 0;
+  metrics::WorkloadSummary summary;
+  sched::SchedulerTotals totals;
+  double avg_allocated_mib = 0.0;
+  double avg_busy_nodes = 0.0;
+  MiB provisioned_memory = 0;
+  double system_cost_usd = 0.0;
+
+  [[nodiscard]] double throughput() const noexcept { return summary.throughput; }
+  [[nodiscard]] double throughput_per_dollar() const noexcept {
+    return system_cost_usd > 0.0 ? summary.throughput / system_cost_usd : 0.0;
+  }
+};
+
+/// Run one cell. The workload (and its app pool) are shared, read-only.
+[[nodiscard]] CellResult run_cell(const CellConfig& cell,
+                                  const trace::Workload& jobs,
+                                  const slowdown::AppPool& apps);
+
+/// Run many cells against the same workload on a thread pool.
+[[nodiscard]] std::vector<CellResult> run_cells(
+    const std::vector<CellConfig>& cells, const trace::Workload& jobs,
+    const slowdown::AppPool& apps, std::size_t threads = 0);
+
+}  // namespace dmsim::harness

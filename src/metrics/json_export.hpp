@@ -1,0 +1,62 @@
+// JSON export of simulation results — the machine-readable counterpart of
+// the text tables, for plotting pipelines (matplotlib/R) without parsing
+// aligned columns. Hand-rolled writer, no external dependencies.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/simulator.hpp"
+
+namespace dmsim::metrics {
+
+/// Minimal streaming JSON writer. Usage:
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("name").value("fig5");
+///   w.key("rows").begin_array(); ... w.end_array();
+///   w.end_object();
+///   std::string text = w.str();
+/// The writer validates nesting with DMSIM_ASSERT.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(std::string_view name);
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool b);
+  JsonWriter& null();
+
+  [[nodiscard]] std::string str() const;
+  [[nodiscard]] bool complete() const noexcept { return stack_.empty() && started_; }
+
+ private:
+  enum class Scope { Object, Array };
+  void comma_if_needed();
+  void note_value();
+
+  std::ostringstream out_;
+  std::vector<std::pair<Scope, bool>> stack_;  // (scope, has_elements)
+  bool pending_key_ = false;
+  bool started_ = false;
+};
+
+/// Escape a string for JSON embedding (quotes not included).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Full result document: config echo, summary, totals, per-job records and
+/// (when sampled) the system time series.
+[[nodiscard]] std::string to_json(const SimulationResult& result,
+                                  bool include_records = true,
+                                  bool include_samples = true);
+
+}  // namespace dmsim::metrics

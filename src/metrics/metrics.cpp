@@ -1,0 +1,51 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+
+namespace dmsim::metrics {
+
+WorkloadSummary summarize(std::span<const sched::JobRecord> records,
+                          const sched::SchedulerTotals& totals) {
+  WorkloadSummary out;
+  out.total_jobs = records.size();
+  out.oom_events = totals.oom_events;
+
+  bool any = false;
+  for (const auto& rec : records) {
+    if (rec.infeasible) {
+      ++out.infeasible;
+      continue;
+    }
+    if (!any) {
+      out.first_submit = rec.submit_time;
+      any = true;
+    } else {
+      out.first_submit = std::min(out.first_submit, rec.submit_time);
+    }
+    if (rec.oom_failures > 0) ++out.jobs_with_oom;
+    switch (rec.outcome) {
+      case sched::JobOutcome::Completed: {
+        ++out.completed;
+        out.last_end = std::max(out.last_end, rec.end_time);
+        const double response = rec.response_time();
+        out.response_time.add(response);
+        out.response_times.push_back(response);
+        out.wait_time.add(rec.wait_time());
+        break;
+      }
+      case sched::JobOutcome::AbandonedOom:
+        ++out.abandoned;
+        break;
+      case sched::JobOutcome::KilledWalltime:
+      case sched::JobOutcome::NeverStarted:
+        break;
+    }
+  }
+  if (out.completed > 0 && out.makespan() > 0.0) {
+    out.throughput =
+        static_cast<double>(out.completed) / out.makespan();
+  }
+  return out;
+}
+
+}  // namespace dmsim::metrics

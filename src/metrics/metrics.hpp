@@ -1,0 +1,71 @@
+// Evaluation metrics (paper §4): system throughput in jobs/second, job
+// response time (waiting + running, from original submission to final
+// completion), utilization, and the cost model of Table 4.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "sched/scheduler.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace dmsim::metrics {
+
+struct WorkloadSummary {
+  std::size_t total_jobs = 0;
+  std::size_t completed = 0;
+  std::size_t infeasible = 0;
+  std::size_t abandoned = 0;
+  std::size_t jobs_with_oom = 0;   ///< jobs that failed at least once
+  std::uint64_t oom_events = 0;
+
+  Seconds first_submit = 0.0;
+  Seconds last_end = 0.0;
+  /// Jobs per second over [first_submit, last_end] (the paper's throughput).
+  double throughput = 0.0;
+
+  util::OnlineStats response_time;
+  util::OnlineStats wait_time;
+  std::vector<double> response_times;  ///< per completed job (for ECDFs)
+
+  [[nodiscard]] Seconds makespan() const noexcept {
+    return last_end - first_submit;
+  }
+  /// Fraction of feasible jobs that suffered at least one OOM failure (§2.2
+  /// reports < 1% in the worst case).
+  [[nodiscard]] double oom_job_fraction() const noexcept {
+    const std::size_t feasible = total_jobs - infeasible;
+    return feasible == 0 ? 0.0
+                         : static_cast<double>(jobs_with_oom) /
+                               static_cast<double>(feasible);
+  }
+};
+
+/// Summarize a finished scheduler run. OOM totals are taken from `totals`.
+[[nodiscard]] WorkloadSummary summarize(
+    std::span<const sched::JobRecord> records,
+    const sched::SchedulerTotals& totals);
+
+/// Cost model of Table 4: a node costs $10,154 excluding memory (node,
+/// network, switches, small storage), and 128 GB of memory cost $1,280.
+struct CostModel {
+  double node_cost_usd = 10154.0;
+  double cost_per_128gb_usd = 1280.0;
+
+  [[nodiscard]] double system_cost(std::size_t nodes, MiB total_memory) const noexcept {
+    const double memory_units = to_gib(total_memory) / 128.0;
+    return static_cast<double>(nodes) * node_cost_usd +
+           memory_units * cost_per_128gb_usd;
+  }
+  [[nodiscard]] double system_cost(const cluster::Cluster& cluster) const noexcept {
+    return system_cost(cluster.node_count(), cluster.total_capacity());
+  }
+  [[nodiscard]] double throughput_per_dollar(double throughput,
+                                             double cost) const noexcept {
+    return cost > 0.0 ? throughput / cost : 0.0;
+  }
+};
+
+}  // namespace dmsim::metrics

@@ -1,0 +1,85 @@
+#include "metrics/timeline.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dmsim::metrics {
+
+UtilizationReport utilization_report(
+    std::span<const sched::SystemSample> samples, MiB total_capacity,
+    int total_nodes) {
+  DMSIM_ASSERT(total_capacity > 0, "capacity must be positive");
+  DMSIM_ASSERT(total_nodes > 0, "node count must be positive");
+  UtilizationReport out;
+  out.samples = samples.size();
+  if (samples.empty()) return out;
+
+  const auto cap = static_cast<double>(total_capacity);
+  double alloc_sum = 0.0;
+  double used_sum = 0.0;
+  double waste_sum = 0.0;
+  std::size_t waste_count = 0;
+  double busy_sum = 0.0;
+  double pending_sum = 0.0;
+  for (const auto& s : samples) {
+    const auto alloc = static_cast<double>(s.allocated);
+    const auto used = static_cast<double>(s.used);
+    alloc_sum += alloc / cap;
+    used_sum += used / cap;
+    if (alloc > 0.0) {
+      waste_sum += (alloc - used) / alloc;
+      ++waste_count;
+    }
+    out.peak_allocated_fraction =
+        std::max(out.peak_allocated_fraction, alloc / cap);
+    busy_sum += static_cast<double>(s.busy_nodes) / total_nodes;
+    pending_sum += static_cast<double>(s.pending_jobs);
+  }
+  const auto n = static_cast<double>(samples.size());
+  out.avg_allocated_fraction = alloc_sum / n;
+  out.avg_used_fraction = used_sum / n;
+  out.avg_waste_fraction =
+      waste_count > 0 ? waste_sum / static_cast<double>(waste_count) : 0.0;
+  out.avg_busy_node_fraction = busy_sum / n;
+  out.avg_pending_jobs = pending_sum / n;
+  return out;
+}
+
+double bounded_slowdown(const sched::JobRecord& record, Seconds tau) {
+  DMSIM_ASSERT(tau > 0.0, "tau must be positive");
+  if (record.outcome != sched::JobOutcome::Completed) return 0.0;
+  const Seconds response = record.response_time();
+  const Seconds runtime = record.end_time - record.last_start;
+  return response / std::max(runtime, tau);
+}
+
+SlowdownReport slowdown_report(std::span<const sched::JobRecord> records,
+                               Seconds tau) {
+  SlowdownReport out;
+  std::vector<double> values;
+  for (const auto& r : records) {
+    if (r.outcome != sched::JobOutcome::Completed) continue;
+    const double s = bounded_slowdown(r, tau);
+    out.bounded.add(s);
+    values.push_back(s);
+  }
+  out.jobs = values.size();
+  if (!values.empty()) {
+    out.median_bounded = util::quantile(values, 0.5);
+    out.p90_bounded = util::quantile(values, 0.9);
+  }
+  return out;
+}
+
+std::vector<std::pair<Seconds, MiB>> waste_series(
+    std::span<const sched::SystemSample> samples) {
+  std::vector<std::pair<Seconds, MiB>> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) {
+    out.emplace_back(s.time, s.allocated - s.used);
+  }
+  return out;
+}
+
+}  // namespace dmsim::metrics

@@ -1,0 +1,56 @@
+// Timeline and scheduling-quality metrics built on top of the raw records
+// and system samples: utilization over time, memory waste (allocated vs
+// actually used), and the bounded-slowdown metric standard in the job
+// scheduling literature (response / max(runtime, tau)).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace dmsim::metrics {
+
+/// Utilization aggregates over a run's system samples.
+struct UtilizationReport {
+  double avg_allocated_fraction = 0.0;  ///< allocated / capacity
+  double avg_used_fraction = 0.0;       ///< ground-truth used / capacity
+  double avg_waste_fraction = 0.0;      ///< (allocated - used) / allocated
+  double peak_allocated_fraction = 0.0;
+  double avg_busy_node_fraction = 0.0;
+  double avg_pending_jobs = 0.0;
+
+  [[nodiscard]] bool empty() const noexcept { return samples == 0; }
+  std::size_t samples = 0;
+};
+
+/// Aggregate a sample series against the system's capacity.
+[[nodiscard]] UtilizationReport utilization_report(
+    std::span<const sched::SystemSample> samples, MiB total_capacity,
+    int total_nodes);
+
+/// Bounded slowdown of one job: response_time / max(runtime, tau). The
+/// tau floor (default 10 s, as in Feitelson's metric) keeps very short jobs
+/// from dominating the average.
+[[nodiscard]] double bounded_slowdown(const sched::JobRecord& record,
+                                      Seconds tau = 10.0);
+
+/// Scheduling-quality aggregates over completed jobs.
+struct SlowdownReport {
+  util::OnlineStats bounded;      ///< bounded slowdown distribution
+  double median_bounded = 0.0;
+  double p90_bounded = 0.0;
+  std::size_t jobs = 0;
+};
+
+[[nodiscard]] SlowdownReport slowdown_report(
+    std::span<const sched::JobRecord> records, Seconds tau = 10.0);
+
+/// Per-interval memory waste series: (time, allocated - used) in MiB.
+/// Useful for plotting what the dynamic policy reclaims.
+[[nodiscard]] std::vector<std::pair<Seconds, MiB>> waste_series(
+    std::span<const sched::SystemSample> samples);
+
+}  // namespace dmsim::metrics

@@ -1,0 +1,191 @@
+#include "policy/policy.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dmsim::policy {
+
+std::string_view to_string(PolicyKind kind) noexcept {
+  switch (kind) {
+    case PolicyKind::Baseline:
+      return "baseline";
+    case PolicyKind::Static:
+      return "static";
+    case PolicyKind::Dynamic:
+      return "dynamic";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// Baseline
+// ---------------------------------------------------------------------------
+
+bool BaselinePolicy::try_start(const trace::JobSpec& spec,
+                               cluster::Cluster& cluster) {
+  DMSIM_ASSERT(spec.num_nodes > 0, "job must request at least one node");
+  // Baseline nodes never lend, so an idle node has its whole capacity free.
+  std::vector<NodeId> candidates;
+  for (const auto& n : cluster.nodes()) {
+    if (n.idle() && n.capacity >= spec.requested_mem) {
+      candidates.push_back(n.id);
+    }
+  }
+  if (std::cmp_less(candidates.size(), spec.num_nodes)) return false;
+  // Best fit: smallest sufficient node first, saving large nodes for large
+  // jobs (deterministic id tie-break).
+  std::sort(candidates.begin(), candidates.end(), [&](NodeId a, NodeId b) {
+    const MiB ca = cluster.node(a).capacity;
+    const MiB cb = cluster.node(b).capacity;
+    if (ca != cb) return ca < cb;
+    return a < b;
+  });
+  candidates.resize(static_cast<std::size_t>(spec.num_nodes));
+  cluster.assign_job(spec.id, candidates);
+  for (NodeId h : candidates) {
+    const MiB granted = cluster.grow_local(spec.id, h, spec.requested_mem);
+    DMSIM_ASSERT(granted == spec.requested_mem,
+                 "baseline host unexpectedly short of memory");
+  }
+  return true;
+}
+
+bool BaselinePolicy::feasible(const trace::JobSpec& spec,
+                              const cluster::Cluster& cluster) const {
+  int fitting = 0;
+  for (const auto& n : cluster.nodes()) {
+    if (n.capacity >= spec.requested_mem) ++fitting;
+  }
+  return fitting >= spec.num_nodes;
+}
+
+// ---------------------------------------------------------------------------
+// Static (and Dynamic's initial placement)
+// ---------------------------------------------------------------------------
+
+bool StaticPolicy::try_start(const trace::JobSpec& spec,
+                             cluster::Cluster& cluster) {
+  DMSIM_ASSERT(spec.num_nodes > 0, "job must request at least one node");
+  // Hosts must be idle and not memory nodes (§2.1 half-capacity rule).
+  std::vector<NodeId> hostable;
+  for (const auto& n : cluster.nodes()) {
+    if (n.idle() && !n.memory_node()) hostable.push_back(n.id);
+  }
+  if (std::cmp_less(hostable.size(), spec.num_nodes)) return false;
+
+  // The policy "tries to run the job on nodes with enough free memory. If
+  // this is not possible, then it will choose nodes with the most free
+  // memory and borrow the remaining memory from other nodes" (§2.1).
+  // Among sufficient nodes we take the tightest fit so large-memory nodes
+  // stay available for large jobs.
+  std::vector<NodeId> sufficient;
+  std::vector<NodeId> insufficient;
+  for (NodeId id : hostable) {
+    (cluster.node(id).free() >= spec.requested_mem ? sufficient : insufficient)
+        .push_back(id);
+  }
+  std::sort(sufficient.begin(), sufficient.end(), [&](NodeId a, NodeId b) {
+    const MiB fa = cluster.node(a).free();
+    const MiB fb = cluster.node(b).free();
+    if (fa != fb) return fa < fb;  // tightest fit first
+    return a < b;
+  });
+  std::sort(insufficient.begin(), insufficient.end(), [&](NodeId a, NodeId b) {
+    const MiB fa = cluster.node(a).free();
+    const MiB fb = cluster.node(b).free();
+    if (fa != fb) return fa > fb;  // most free first
+    return a < b;
+  });
+
+  std::vector<NodeId> hosts;
+  hosts.reserve(static_cast<std::size_t>(spec.num_nodes));
+  for (NodeId id : sufficient) {
+    if (std::cmp_equal(hosts.size(), spec.num_nodes)) break;
+    hosts.push_back(id);
+  }
+  for (NodeId id : insufficient) {
+    if (std::cmp_equal(hosts.size(), spec.num_nodes)) break;
+    hosts.push_back(id);
+  }
+  DMSIM_ASSERT(std::cmp_equal(hosts.size(), spec.num_nodes),
+               "hostable count checked above");
+
+  // Fast reject: the whole allocation can never exceed system free memory.
+  const MiB total_need =
+      static_cast<MiB>(spec.num_nodes) * spec.requested_mem;
+  if (total_need > cluster.total_free()) return false;
+
+  cluster.assign_job(spec.id, hosts);
+  for (NodeId h : hosts) {
+    MiB need = spec.requested_mem;
+    need -= cluster.grow_local(spec.id, h, need);
+    if (need > 0) need -= cluster.grow_remote(spec.id, h, need);
+    if (need > 0) {
+      // Lenders ran dry (free memory was fragmented into host-local shares
+      // we already consumed). Roll the whole job back.
+      cluster.finish_job(spec.id);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool StaticPolicy::feasible(const trace::JobSpec& spec,
+                            const cluster::Cluster& cluster) const {
+  if (std::cmp_less(cluster.node_count(), spec.num_nodes)) return false;
+  const MiB total_need =
+      static_cast<MiB>(spec.num_nodes) * spec.requested_mem;
+  return total_need <= cluster.total_capacity();
+}
+
+// ---------------------------------------------------------------------------
+// Resize primitive (Dynamic's Actuator, §2.2)
+// ---------------------------------------------------------------------------
+
+ResizeOutcome resize_to_demand(cluster::Cluster& cluster, JobId job,
+                               NodeId host, MiB demand) {
+  DMSIM_ASSERT(demand >= 0, "demand must be non-negative");
+  ResizeOutcome out;
+  const cluster::AllocationSlot& slot = cluster.slot(job, host);
+  const MiB current = slot.total();
+  if (demand <= current) {
+    // Shrink: deallocate remote memory before local (§2.2).
+    MiB excess = current - demand;
+    const MiB from_remote = cluster.shrink_remote(job, host, excess);
+    excess -= from_remote;
+    const MiB from_local = cluster.shrink_local(job, host, excess);
+    out.released = from_remote + from_local;
+    out.remote_changed = from_remote > 0;
+    out.satisfied = true;
+  } else {
+    // Grow: allocate locally if possible, then remotely (§2.2).
+    MiB need = demand - current;
+    const MiB local = cluster.grow_local(job, host, need);
+    need -= local;
+    const MiB remote = need > 0 ? cluster.grow_remote(job, host, need) : 0;
+    need -= remote;
+    out.acquired = local + remote;
+    out.remote_changed = remote > 0;
+    out.satisfied = (need == 0);
+  }
+  out.allocated = cluster.slot(job, host).total();
+  return out;
+}
+
+std::unique_ptr<AllocationPolicy> make_policy(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::Baseline:
+      return std::make_unique<BaselinePolicy>();
+    case PolicyKind::Static:
+      return std::make_unique<StaticPolicy>();
+    case PolicyKind::Dynamic:
+      return std::make_unique<DynamicPolicy>();
+  }
+  DMSIM_ASSERT(false, "unknown policy kind");
+  return nullptr;
+}
+
+}  // namespace dmsim::policy

@@ -1,0 +1,116 @@
+// Memory allocation policies (paper §3.5):
+//
+//   * Baseline — no disaggregation. A job only starts on nodes whose local
+//     capacity covers its request; node memory is exclusive to the job.
+//   * Static — disaggregated memory with a fixed allocation equal to the
+//     submission request (Zacarias et al., ICPADS 2021). Prefers nodes with
+//     enough free memory; otherwise picks the nodes with the most free
+//     memory and borrows the remainder from lender nodes.
+//   * Dynamic — this paper's contribution (§2.2): starts like Static, then
+//     tracks actual usage, releasing over-allocation (remote first) and
+//     growing on demand (local first). Out-of-memory growth is resolved by
+//     the scheduler via Fail/Restart or Checkpoint/Restart.
+//
+// A policy's try_start() both selects hosts and performs the initial memory
+// allocation; on failure the cluster is left untouched.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "cluster/cluster.hpp"
+#include "trace/job_spec.hpp"
+#include "util/units.hpp"
+
+namespace dmsim::policy {
+
+enum class PolicyKind { Baseline, Static, Dynamic };
+
+[[nodiscard]] std::string_view to_string(PolicyKind kind) noexcept;
+
+class AllocationPolicy {
+ public:
+  virtual ~AllocationPolicy() = default;
+
+  [[nodiscard]] virtual PolicyKind kind() const noexcept = 0;
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Whether jobs under this policy receive Monitor/Decider updates.
+  [[nodiscard]] virtual bool dynamic_updates() const noexcept { return false; }
+
+  /// Attempt to place `spec` and perform its initial memory allocation.
+  /// On success the cluster ledger holds the job; on failure the cluster is
+  /// unchanged and the job stays pending.
+  [[nodiscard]] virtual bool try_start(const trace::JobSpec& spec,
+                                       cluster::Cluster& cluster) = 0;
+
+  /// Whether the job could ever start on an *empty* instance of this
+  /// cluster. Infeasible jobs would head-block the FCFS queue forever; the
+  /// harness uses this to mark a whole scenario as "missing bar" (Fig. 5).
+  [[nodiscard]] virtual bool feasible(const trace::JobSpec& spec,
+                                      const cluster::Cluster& cluster) const = 0;
+};
+
+/// Baseline: exclusive node memory, no lending.
+class BaselinePolicy final : public AllocationPolicy {
+ public:
+  [[nodiscard]] PolicyKind kind() const noexcept override {
+    return PolicyKind::Baseline;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "baseline";
+  }
+  [[nodiscard]] bool try_start(const trace::JobSpec& spec,
+                               cluster::Cluster& cluster) override;
+  [[nodiscard]] bool feasible(const trace::JobSpec& spec,
+                              const cluster::Cluster& cluster) const override;
+};
+
+/// Static disaggregated: fixed request-sized allocation with borrowing.
+class StaticPolicy : public AllocationPolicy {
+ public:
+  [[nodiscard]] PolicyKind kind() const noexcept override {
+    return PolicyKind::Static;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "static";
+  }
+  [[nodiscard]] bool try_start(const trace::JobSpec& spec,
+                               cluster::Cluster& cluster) override;
+  [[nodiscard]] bool feasible(const trace::JobSpec& spec,
+                              const cluster::Cluster& cluster) const override;
+};
+
+/// Dynamic disaggregated: Static initial allocation + usage-driven resizing.
+class DynamicPolicy final : public StaticPolicy {
+ public:
+  [[nodiscard]] PolicyKind kind() const noexcept override {
+    return PolicyKind::Dynamic;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "dynamic";
+  }
+  [[nodiscard]] bool dynamic_updates() const noexcept override { return true; }
+};
+
+/// Outcome of a Decider/Actuator resize step on one (job, host) slot.
+struct ResizeOutcome {
+  bool satisfied = false;     ///< allocation now covers the demand
+  bool remote_changed = false;///< borrow edges changed (contention must be re-evaluated)
+  MiB allocated = 0;          ///< slot total after the attempt
+  MiB released = 0;           ///< memory given back (shrink path)
+  MiB acquired = 0;           ///< memory obtained (grow path)
+};
+
+/// Actuator primitive (§2.2): bring the slot's allocation to `demand`.
+/// Shrinks release remote memory before local; grows take local memory
+/// before remote. On an unsatisfiable grow the slot keeps whatever it
+/// obtained and `satisfied` is false — the caller (scheduler) then applies
+/// the configured out-of-memory handling.
+[[nodiscard]] ResizeOutcome resize_to_demand(cluster::Cluster& cluster,
+                                             JobId job, NodeId host,
+                                             MiB demand);
+
+[[nodiscard]] std::unique_ptr<AllocationPolicy> make_policy(PolicyKind kind);
+
+}  // namespace dmsim::policy

@@ -1,0 +1,608 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace dmsim::sched {
+
+namespace {
+constexpr double kProgressEps = 1e-12;
+constexpr double kSlowdownEps = 1e-9;
+
+/// Deterministic per-job phase in [0, 1) used to stagger Monitor updates so
+/// they arrive "on average" every interval (§2.2) instead of in lockstep.
+[[nodiscard]] double update_phase(JobId id) noexcept {
+  const std::uint32_t h = id.get() * 2654435761u;
+  return static_cast<double>(h % 4096u) / 4096.0;
+}
+}  // namespace
+
+Scheduler::Scheduler(sim::Engine& engine, cluster::Cluster& cluster,
+                     policy::AllocationPolicy& policy,
+                     const slowdown::AppPool* pool, SchedulerConfig config)
+    : engine_(engine),
+      cluster_(cluster),
+      policy_(policy),
+      model_(pool),
+      config_(std::move(config)) {
+  DMSIM_ASSERT(config_.sched_interval >= 0.0, "negative scheduling interval");
+  DMSIM_ASSERT(config_.queue_depth > 0, "queue depth must be positive");
+  DMSIM_ASSERT(config_.backfill_depth >= 0, "negative backfill depth");
+  DMSIM_ASSERT(config_.update_interval > 0.0, "update interval must be positive");
+  DMSIM_ASSERT(config_.max_restarts > 0, "max_restarts must be positive");
+}
+
+JobRecord& Scheduler::record_of(JobId id) {
+  const auto it = record_index_.find(id.get());
+  DMSIM_ASSERT(it != record_index_.end(), "no record for job");
+  return records_[it->second];
+}
+
+void Scheduler::submit_workload(trace::Workload workload) {
+  DMSIM_ASSERT(workload_.empty(), "submit_workload may only be called once");
+  workload_ = std::move(workload);
+  records_.reserve(workload_.size());
+
+  // Resolve SWF dependencies: a dependent waits for its predecessor's
+  // terminal event. References to ids outside the workload (or to jobs that
+  // will never run here, i.e. infeasible ones) are treated as released.
+  std::unordered_set<std::uint32_t> known_ids;
+  known_ids.reserve(workload_.size());
+  for (const auto& spec : workload_) known_ids.insert(spec.id.get());
+
+  for (std::size_t i = 0; i < workload_.size(); ++i) {
+    const trace::JobSpec& spec = workload_[i];
+    DMSIM_ASSERT(spec.id.valid(), "workload job without id");
+    DMSIM_ASSERT(!record_index_.contains(spec.id.get()),
+                 "duplicate job id in workload");
+    JobRecord rec;
+    rec.id = spec.id;
+    rec.submit_time = spec.submit_time;
+    rec.num_nodes = spec.num_nodes;
+    rec.requested_mem = spec.requested_mem;
+    rec.peak_usage = spec.peak_usage();
+    record_index_.emplace(spec.id.get(), records_.size());
+
+    if (!policy_.feasible(spec, cluster_)) {
+      rec.infeasible = true;
+      ++infeasible_count_;
+      records_.push_back(rec);
+      continue;
+    }
+    records_.push_back(rec);
+    // Only honor forward references (pred id < job id, the SWF convention):
+    // this keeps the dependency graph acyclic by construction.
+    if (spec.preceding_job.valid() &&
+        spec.preceding_job.get() < spec.id.get() &&
+        known_ids.contains(spec.preceding_job.get())) {
+      dependents_[spec.preceding_job.get()].push_back(i);
+      continue;  // submit event fires when the predecessor terminates
+    }
+    engine_.schedule(spec.submit_time, [this, i] {
+      enqueue_pending(PendingEntry{i, 0, 0.0, false, 0});
+      request_scheduling_pass();
+    });
+  }
+
+  // Dependencies on infeasible predecessors can never be satisfied; release
+  // those dependents at their own submit times.
+  for (auto it = dependents_.begin(); it != dependents_.end();) {
+    const JobRecord& pred_rec = record_of(JobId{it->first});
+    if (pred_rec.infeasible) {
+      for (const std::size_t i : it->second) {
+        engine_.schedule(workload_[i].submit_time, [this, i] {
+          enqueue_pending(PendingEntry{i, 0, 0.0, false, 0});
+          request_scheduling_pass();
+        });
+      }
+      it = dependents_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (config_.sample_interval > 0.0) {
+    engine_.schedule(0.0, [this] { take_sample(); });
+  }
+}
+
+void Scheduler::run() {
+  engine_.run();
+  touch_utilization();
+  horizon_ = engine_.now();
+  DMSIM_ASSERT(running_.empty(), "engine drained with jobs still running");
+  DMSIM_ASSERT(pending_.empty(), "engine drained with jobs still pending");
+  DMSIM_ASSERT(dependents_.empty(), "engine drained with unresolved dependencies");
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling passes
+// ---------------------------------------------------------------------------
+
+void Scheduler::enqueue_pending(PendingEntry entry) {
+  // Queue is kept sorted by priority (descending); insertion after the last
+  // entry with priority >= the new one preserves FIFO within a level.
+  auto it = pending_.end();
+  while (it != pending_.begin() && std::prev(it)->priority < entry.priority) {
+    --it;
+  }
+  pending_.insert(it, entry);
+}
+
+void Scheduler::request_scheduling_pass() {
+  if (pass_scheduled_) return;
+  const Seconds when =
+      std::max(engine_.now(), last_pass_time_ + config_.sched_interval);
+  pass_scheduled_ = true;
+  engine_.schedule(when, [this] { scheduling_pass(); });
+}
+
+void Scheduler::scheduling_pass() {
+  pass_scheduled_ = false;
+  last_pass_time_ = engine_.now();
+  ++totals_.scheduling_passes;
+  if (pending_.empty()) return;
+  touch_utilization();
+
+  // FCFS: start jobs strictly in queue order until the head blocks.
+  int started = 0;
+  while (!pending_.empty() && started < config_.queue_depth) {
+    if (!try_start_entry(pending_.front())) break;
+    pending_.pop_front();
+    ++started;
+    ++totals_.fcfs_starts;
+  }
+
+  // Backfill: jobs behind the blocked head may start now if their requested
+  // walltime ends before the reservation they might delay. EASY guards the
+  // head's reservation only; Conservative tightens the bound to the earliest
+  // reservation of every blocked job seen so far.
+  const BackfillMode mode =
+      config_.enable_backfill ? config_.backfill_mode : BackfillMode::Off;
+  if (!pending_.empty() && mode != BackfillMode::Off &&
+      config_.backfill_depth > 0) {
+    const trace::JobSpec& head = spec_of(pending_.front().spec_index);
+    Seconds shadow = reservation_shadow_time(head);
+    std::size_t examined = 0;
+    for (std::size_t idx = 1;
+         idx < pending_.size() &&
+         examined < static_cast<std::size_t>(config_.backfill_depth);) {
+      ++examined;
+      const PendingEntry entry = pending_[idx];
+      const trace::JobSpec& spec = spec_of(entry.spec_index);
+      if (engine_.now() + spec.walltime <= shadow && try_start_entry(entry)) {
+        pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(idx));
+        ++totals_.backfill_starts;
+      } else {
+        if (mode == BackfillMode::Conservative) {
+          // This job stays queued: later candidates must not delay it either.
+          shadow = std::min(shadow, reservation_shadow_time(spec));
+        }
+        ++idx;
+      }
+    }
+  }
+
+  if (started > 0) refresh_slowdowns();
+}
+
+bool Scheduler::try_start_entry(const PendingEntry& entry) {
+  const trace::JobSpec& spec = spec_of(entry.spec_index);
+  if (!policy_.try_start(spec, cluster_)) return false;
+  start_running(entry);
+  return true;
+}
+
+void Scheduler::start_running(const PendingEntry& entry) {
+  const trace::JobSpec& spec = spec_of(entry.spec_index);
+  const Seconds now = engine_.now();
+
+  RunningJob rj;
+  rj.spec_index = entry.spec_index;
+  rj.start_time = now;
+  rj.progress = entry.checkpoint;
+  rj.checkpoint = entry.checkpoint;
+  rj.last_fold = now;
+  rj.slowdown = 1.0;
+  rj.restarts = entry.restarts;
+  rj.guaranteed = entry.guaranteed;
+
+  busy_nodes_ += spec.num_nodes;
+
+  JobRecord& rec = record_of(spec.id);
+  if (rec.first_start == kNoTime) rec.first_start = now;
+  rec.last_start = now;
+  if (entry.guaranteed) {
+    rec.ran_guaranteed = true;
+    ++totals_.guaranteed_starts;
+  }
+
+  auto [it, inserted] = running_.emplace(spec.id.get(), std::move(rj));
+  DMSIM_ASSERT(inserted, "job already running");
+  RunningJob& job = it->second;
+  project_end(spec.id, job);
+
+  if (policy_.dynamic_updates() && !job.guaranteed) {
+    if (config_.update_mode == UpdateMode::PerJobStaggered) {
+      const Seconds first =
+          config_.update_interval * (0.5 + update_phase(spec.id));
+      job.update_event = engine_.schedule_after(
+          first, [this, id = spec.id] { on_update(id); });
+    } else if (!global_update_scheduled_) {
+      global_update_scheduled_ = true;
+      engine_.schedule_after(config_.update_interval,
+                             [this] { on_global_update(); });
+    }
+  }
+  if (config_.enforce_walltime && spec.walltime > 0.0) {
+    job.walltime_event = engine_.schedule_after(
+        spec.walltime, [this, id = spec.id] { on_walltime(id); });
+  }
+}
+
+Seconds Scheduler::reservation_shadow_time(const trace::JobSpec& head) const {
+  const Seconds now = engine_.now();
+  if (running_.empty()) return now;
+
+  struct Release {
+    Seconds time;
+    int nodes;
+    MiB mem;
+  };
+  std::vector<Release> releases;
+  releases.reserve(running_.size());
+  for (const auto& [id_value, rj] : running_) {
+    const trace::JobSpec& spec = spec_of(rj.spec_index);
+    // Conservative projected end: the later of the walltime-based estimate
+    // and the current slowdown-based projection. Progress must be brought
+    // current (rj.progress is only folded on events).
+    double progress = rj.progress;
+    if (spec.duration > 0.0) {
+      progress = std::min(
+          1.0, progress + (now - rj.last_fold) / (spec.duration * rj.slowdown));
+    }
+    const Seconds by_walltime = rj.start_time + std::max(spec.walltime, 0.0);
+    const Seconds by_progress =
+        now + std::max(0.0, 1.0 - progress) * spec.duration * rj.slowdown;
+    MiB mem = 0;
+    for (const auto* slot : cluster_.job_slots(spec.id)) mem += slot->total();
+    releases.push_back(
+        Release{std::max({now, by_walltime, by_progress}), spec.num_nodes, mem});
+  }
+  std::sort(releases.begin(), releases.end(),
+            [](const Release& a, const Release& b) { return a.time < b.time; });
+
+  int avail_nodes = cluster_.idle_hostable_nodes();
+  MiB free_mem = cluster_.total_free();
+  const MiB need_mem = static_cast<MiB>(head.num_nodes) * head.requested_mem;
+  const auto satisfied = [&] {
+    return avail_nodes >= head.num_nodes && free_mem >= need_mem;
+  };
+  if (satisfied()) return now;  // blocked by fragmentation only
+  for (const Release& r : releases) {
+    avail_nodes += r.nodes;
+    free_mem += r.mem;
+    if (satisfied()) return r.time;
+  }
+  // Once everything drains, lending vanishes and a feasible head can start;
+  // approximate the shadow with the final release time.
+  return releases.back().time;
+}
+
+// ---------------------------------------------------------------------------
+// Job lifecycle events
+// ---------------------------------------------------------------------------
+
+void Scheduler::fold_progress(RunningJob& rj) {
+  const Seconds now = engine_.now();
+  const trace::JobSpec& spec = spec_of(rj.spec_index);
+  if (spec.duration <= 0.0) {
+    rj.progress = 1.0;
+  } else {
+    const double rate = 1.0 / (spec.duration * rj.slowdown);
+    rj.progress =
+        std::min(1.0, rj.progress + (now - rj.last_fold) * rate);
+  }
+  rj.last_fold = now;
+}
+
+void Scheduler::project_end(JobId id, RunningJob& rj) {
+  const trace::JobSpec& spec = spec_of(rj.spec_index);
+  engine_.cancel(rj.end_event);
+  const Seconds remaining =
+      std::max(0.0, 1.0 - rj.progress) * spec.duration * rj.slowdown;
+  rj.end_event =
+      engine_.schedule_after(remaining, [this, id] { on_job_end(id); });
+}
+
+void Scheduler::refresh_slowdowns() {
+  if (running_.empty()) return;
+  // Fast path: with no remote memory anywhere there is no contention and no
+  // latency exposure — every job runs at full speed.
+  if (cluster_.total_lent() == 0) {
+    for (auto& [id_value, rj] : running_) {
+      if (rj.slowdown != 1.0) {
+        fold_progress(rj);
+        rj.slowdown = 1.0;
+        project_end(JobId{id_value}, rj);
+      }
+    }
+    return;
+  }
+  std::vector<slowdown::ContentionModel::JobInput> inputs;
+  std::vector<std::uint32_t> ids;
+  inputs.reserve(running_.size());
+  ids.reserve(running_.size());
+  for (const auto& [id_value, rj] : running_) {
+    inputs.push_back({JobId{id_value}, spec_of(rj.spec_index).app_profile});
+    ids.push_back(id_value);
+  }
+  const std::vector<double> slowdowns = model_.evaluate(cluster_, inputs);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    RunningJob& rj = running_.at(ids[i]);
+    if (std::abs(slowdowns[i] - rj.slowdown) <= kSlowdownEps) continue;
+    fold_progress(rj);
+    rj.slowdown = slowdowns[i];
+    project_end(JobId{ids[i]}, rj);
+  }
+}
+
+void Scheduler::cancel_job_events(RunningJob& rj) {
+  engine_.cancel(rj.end_event);
+  engine_.cancel(rj.update_event);
+  engine_.cancel(rj.walltime_event);
+  rj.end_event = rj.update_event = rj.walltime_event = sim::EventId{};
+}
+
+void Scheduler::release_dependents(JobId pred) {
+  const auto it = dependents_.find(pred.get());
+  if (it == dependents_.end()) return;
+  const Seconds now = engine_.now();
+  for (const std::size_t i : it->second) {
+    const trace::JobSpec& spec = workload_[i];
+    const Seconds when =
+        std::max(spec.submit_time, now + std::max(spec.think_time, 0.0));
+    engine_.schedule(when, [this, i] {
+      enqueue_pending(PendingEntry{i, 0, 0.0, false, 0});
+      request_scheduling_pass();
+    });
+  }
+  dependents_.erase(it);
+}
+
+void Scheduler::on_job_end(JobId id) {
+  const auto it = running_.find(id.get());
+  DMSIM_ASSERT(it != running_.end(), "end event for a job that is not running");
+  RunningJob& rj = it->second;
+  touch_utilization();
+  fold_progress(rj);
+  DMSIM_ASSERT(rj.progress >= 1.0 - 1e-6, "job ended before completing work");
+
+  const trace::JobSpec& spec = spec_of(rj.spec_index);
+  cancel_job_events(rj);
+  cluster_.finish_job(id);
+  busy_nodes_ -= spec.num_nodes;
+
+  JobRecord& rec = record_of(id);
+  rec.end_time = engine_.now();
+  rec.outcome = JobOutcome::Completed;
+  ++totals_.completed;
+
+  running_.erase(it);
+  release_dependents(id);
+  refresh_slowdowns();
+  if (!pending_.empty()) request_scheduling_pass();
+}
+
+Scheduler::UpdateResult Scheduler::apply_update(RunningJob& rj, JobId id) {
+  UpdateResult result;
+  ++totals_.update_events;
+  fold_progress(rj);
+  if (rj.progress >= 1.0 - kProgressEps) return result;  // end event fires now
+
+  rj.checkpoint = rj.progress;  // Monitor point doubles as the C/R checkpoint
+  const trace::JobSpec& spec = spec_of(rj.spec_index);
+
+  // Demand for the coming window: the maximum usage between this progress
+  // point and the next expected update (§2.3).
+  double window_end = 1.0;
+  if (spec.duration > 0.0) {
+    window_end = rj.progress +
+                 config_.update_interval / (spec.duration * rj.slowdown);
+  }
+  const MiB base_demand = spec.usage.max_in(rj.progress, window_end);
+
+  const auto slots = cluster_.job_slots(id);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    // Per-node heterogeneity: lighter nodes demand a scaled-down footprint.
+    const MiB demand = static_cast<MiB>(std::llround(
+        static_cast<double>(base_demand) * spec.usage_scale(i)));
+    const policy::ResizeOutcome out =
+        policy::resize_to_demand(cluster_, id, slots[i]->host, demand);
+    result.released += out.released;
+    result.remote_changed |= out.remote_changed;
+    if (!out.satisfied) {
+      result.oom = true;
+      break;
+    }
+  }
+  return result;
+}
+
+void Scheduler::on_update(JobId id) {
+  const auto it = running_.find(id.get());
+  DMSIM_ASSERT(it != running_.end(), "update event for a job that is not running");
+  RunningJob& rj = it->second;
+  touch_utilization();
+  const UpdateResult result = apply_update(rj, id);
+
+  if (result.oom) {
+    kill_and_requeue(id,
+                     config_.oom_handling == OomHandling::CheckpointRestart);
+    return;
+  }
+
+  rj.update_event = engine_.schedule_after(config_.update_interval,
+                                           [this, id] { on_update(id); });
+  // Contention only shifts when borrow edges changed; purely local resizes
+  // leave every job's slowdown untouched.
+  if (result.remote_changed) refresh_slowdowns();
+  if (result.released > 0 && !pending_.empty()) request_scheduling_pass();
+}
+
+void Scheduler::on_global_update() {
+  // §2.3 sim_mgr mode: a single timer updates every running dynamic job.
+  touch_utilization();
+  std::vector<std::uint32_t> ids;
+  ids.reserve(running_.size());
+  for (const auto& [id_value, rj] : running_) {
+    if (!rj.guaranteed) ids.push_back(id_value);
+  }
+  bool any_remote_changed = false;
+  MiB released = 0;
+  std::vector<JobId> victims;
+  for (const std::uint32_t id_value : ids) {
+    const auto it = running_.find(id_value);
+    if (it == running_.end()) continue;  // killed earlier in this batch
+    const UpdateResult result = apply_update(it->second, JobId{id_value});
+    any_remote_changed |= result.remote_changed;
+    released += result.released;
+    if (result.oom) victims.push_back(JobId{id_value});
+  }
+  for (const JobId victim : victims) {
+    kill_and_requeue(victim,
+                     config_.oom_handling == OomHandling::CheckpointRestart);
+  }
+  if (any_remote_changed && victims.empty()) refresh_slowdowns();
+  if (released > 0 && !pending_.empty()) request_scheduling_pass();
+
+  if (!running_.empty()) {
+    engine_.schedule_after(config_.update_interval,
+                           [this] { on_global_update(); });
+  } else {
+    global_update_scheduled_ = false;
+  }
+}
+
+void Scheduler::kill_and_requeue(JobId id, bool checkpoint_restart) {
+  const auto it = running_.find(id.get());
+  DMSIM_ASSERT(it != running_.end(), "killing a job that is not running");
+  RunningJob& rj = it->second;
+  const trace::JobSpec& spec = spec_of(rj.spec_index);
+
+  ++totals_.oom_events;
+  JobRecord& rec = record_of(id);
+  ++rec.oom_failures;
+
+  cancel_job_events(rj);
+  cluster_.finish_job(id);
+  busy_nodes_ -= spec.num_nodes;
+
+  const int restarts = rj.restarts + 1;
+  const double checkpoint = checkpoint_restart ? rj.checkpoint : 0.0;
+  const std::size_t spec_index = rj.spec_index;
+  running_.erase(it);
+
+  if (restarts > config_.max_restarts) {
+    rec.end_time = engine_.now();
+    rec.outcome = JobOutcome::AbandonedOom;
+    ++totals_.abandoned;
+    release_dependents(id);
+  } else {
+    const bool guaranteed = config_.guaranteed_after_failures > 0 &&
+                            restarts >= config_.guaranteed_after_failures;
+    const int priority = restarts * config_.priority_boost_per_failure;
+    enqueue_pending(
+        PendingEntry{spec_index, restarts, checkpoint, guaranteed, priority});
+    ++totals_.requeues;
+    request_scheduling_pass();
+  }
+  refresh_slowdowns();
+}
+
+void Scheduler::on_walltime(JobId id) {
+  const auto it = running_.find(id.get());
+  DMSIM_ASSERT(it != running_.end(), "walltime event for a job that is not running");
+  RunningJob& rj = it->second;
+  touch_utilization();
+  const trace::JobSpec& spec = spec_of(rj.spec_index);
+
+  cancel_job_events(rj);
+  cluster_.finish_job(id);
+  busy_nodes_ -= spec.num_nodes;
+
+  JobRecord& rec = record_of(id);
+  rec.end_time = engine_.now();
+  rec.outcome = JobOutcome::KilledWalltime;
+  ++totals_.walltime_kills;
+
+  running_.erase(it);
+  release_dependents(id);
+  refresh_slowdowns();
+  if (!pending_.empty()) request_scheduling_pass();
+}
+
+// ---------------------------------------------------------------------------
+// Utilization accounting and sampling
+// ---------------------------------------------------------------------------
+
+void Scheduler::touch_utilization() {
+  const Seconds now = engine_.now();
+  const Seconds dt = now - util_last_touch_;
+  if (dt > 0.0) {
+    allocated_integral_ += static_cast<double>(cluster_.total_allocated()) * dt;
+    busy_integral_ += static_cast<double>(busy_nodes_) * dt;
+    util_last_touch_ = now;
+  }
+}
+
+double Scheduler::avg_allocated_mib() const noexcept {
+  const Seconds t = std::max(horizon_, util_last_touch_);
+  return t > 0.0 ? allocated_integral_ / t : 0.0;
+}
+
+double Scheduler::avg_busy_nodes() const noexcept {
+  const Seconds t = std::max(horizon_, util_last_touch_);
+  return t > 0.0 ? busy_integral_ / t : 0.0;
+}
+
+MiB Scheduler::current_used_memory() const {
+  const Seconds now = engine_.now();
+  MiB used = 0;
+  for (const auto& [id_value, rj] : running_) {
+    const trace::JobSpec& spec = spec_of(rj.spec_index);
+    double progress = rj.progress;
+    if (spec.duration > 0.0) {
+      progress = std::min(
+          1.0, progress + (now - rj.last_fold) / (spec.duration * rj.slowdown));
+    }
+    const MiB per_node = spec.usage.at(progress);
+    double scale_sum = 0.0;
+    for (int n = 0; n < spec.num_nodes; ++n) {
+      scale_sum += spec.usage_scale(static_cast<std::size_t>(n));
+    }
+    used += static_cast<MiB>(std::llround(
+        static_cast<double>(per_node) * scale_sum));
+  }
+  return used;
+}
+
+void Scheduler::take_sample() {
+  touch_utilization();
+  samples_.push_back(SystemSample{engine_.now(), cluster_.total_allocated(),
+                                  current_used_memory(), busy_nodes_,
+                                  pending_.size()});
+  const std::uint64_t terminal = totals_.completed + totals_.abandoned +
+                                 totals_.walltime_kills;
+  const std::uint64_t feasible =
+      static_cast<std::uint64_t>(records_.size()) - infeasible_count_;
+  if (terminal < feasible) {
+    engine_.schedule_after(config_.sample_interval, [this] { take_sample(); });
+  }
+}
+
+}  // namespace dmsim::sched

@@ -1,0 +1,67 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace dmsim::sim {
+
+EventId Engine::schedule(Seconds when, Callback fn) {
+  DMSIM_ASSERT(when >= now_, "cannot schedule an event in the past");
+  DMSIM_ASSERT(fn != nullptr, "event callback must be callable");
+  const std::uint64_t id = next_id_++;
+  queue_.push(Entry{when, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return EventId{id};
+}
+
+void Engine::cancel(EventId id) {
+  if (!id.valid()) return;
+  const auto it = callbacks_.find(id.value);
+  if (it == callbacks_.end()) return;  // already fired or cancelled+drained
+  callbacks_.erase(it);
+  cancelled_.insert(id.value);
+}
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    const Entry top = queue_.top();
+    queue_.pop();
+    if (const auto cit = cancelled_.find(top.id); cit != cancelled_.end()) {
+      cancelled_.erase(cit);
+      continue;  // lazily drop a cancelled entry
+    }
+    const auto it = callbacks_.find(top.id);
+    DMSIM_ASSERT(it != callbacks_.end(), "live event lost its callback");
+    Callback fn = std::move(it->second);
+    callbacks_.erase(it);
+    DMSIM_ASSERT(top.time >= now_, "event queue went backwards in time");
+    now_ = top.time;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Engine::run(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+std::uint64_t Engine::run_until(Seconds until) {
+  std::uint64_t n = 0;
+  while (!queue_.empty()) {
+    // Peek past cancelled entries without firing anything late.
+    while (!queue_.empty() && cancelled_.contains(queue_.top().id)) {
+      cancelled_.erase(queue_.top().id);
+      queue_.pop();
+    }
+    if (queue_.empty() || queue_.top().time > until) break;
+    if (step()) ++n;
+  }
+  now_ = std::max(now_, until);
+  return n;
+}
+
+}  // namespace dmsim::sim

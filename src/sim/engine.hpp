@@ -1,0 +1,95 @@
+// Discrete-event simulation engine.
+//
+// A single time-ordered event queue drives the whole simulator. Events are
+// closures scheduled at an absolute simulated time; ties are broken by
+// schedule order, which makes runs fully deterministic. Cancellation is by
+// handle: a rescheduled job-end invalidates its stale event in O(1) and the
+// queue drops cancelled entries lazily when they surface.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace dmsim::sim {
+
+/// Opaque handle for a scheduled event; used only for cancellation.
+struct EventId {
+  std::uint64_t value = 0;
+  [[nodiscard]] constexpr bool valid() const noexcept { return value != 0; }
+  friend constexpr bool operator==(EventId, EventId) noexcept = default;
+};
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] Seconds now() const noexcept { return now_; }
+
+  /// Schedule `fn` at absolute time `when` (must be >= now()).
+  EventId schedule(Seconds when, Callback fn);
+
+  /// Schedule `fn` after a relative delay (must be >= 0).
+  EventId schedule_after(Seconds delay, Callback fn) {
+    return schedule(now_ + delay, std::move(fn));
+  }
+
+  /// Cancel a pending event. Cancelling an already-fired or invalid handle
+  /// is a no-op, so callers need not track firing themselves.
+  void cancel(EventId id);
+
+  /// True if no runnable (non-cancelled) events remain.
+  [[nodiscard]] bool empty() const noexcept {
+    return queue_.size() == cancelled_.size();
+  }
+
+  [[nodiscard]] std::size_t pending_events() const noexcept {
+    return queue_.size() - cancelled_.size();
+  }
+
+  /// Run a single event. Returns false if the queue is empty.
+  bool step();
+
+  /// Run until the queue drains (or `max_events` fire — a runaway guard).
+  /// Returns the number of events executed.
+  std::uint64_t run(std::uint64_t max_events = UINT64_MAX);
+
+  /// Run all events with time <= until (events exactly at `until` included).
+  /// Afterwards now() == max(now, until).
+  std::uint64_t run_until(Seconds until);
+
+  [[nodiscard]] std::uint64_t executed_events() const noexcept { return executed_; }
+
+ private:
+  struct Entry {
+    Seconds time;
+    std::uint64_t seq;  // tie-break: FIFO among equal times
+    std::uint64_t id;
+    // Ordering for a min-heap via std::priority_queue (which is a max-heap).
+    [[nodiscard]] bool operator<(const Entry& other) const noexcept {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  // Callbacks live beside the heap so Entry stays trivially movable.
+  std::priority_queue<Entry> queue_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  Seconds now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace dmsim::sim

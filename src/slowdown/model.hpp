@@ -1,0 +1,136 @@
+// Contention-aware slowdown model for disaggregated memory.
+//
+// Reimplementation of the performance model the paper inherits from
+// Zacarias et al. (Computing Frontiers 2020, ICPADS 2021): each application
+// is characterized by
+//   * a contentiousness figure — the remote memory bandwidth it drives at
+//     full performance (GB/s per node), and
+//   * a sensitivity curve — slowdown as a function of the aggregate remote
+//     memory bandwidth contending at the memory pool it uses.
+// Remote accesses additionally pay a latency exposure proportional to the
+// fraction of the job's allocation that is remote. Only *remote* bandwidth
+// enters contention, as remote accesses bypass local caches in the paper's
+// system model (§2.1).
+//
+// The model is simulation-side only: production policies never see it
+// (paper §2.1, "profiling is not an input to the resource management
+// policy").
+//
+// Substitution note (DESIGN.md §1.4): the authors' profiled curves are not
+// public, so AppPool::synthetic() generates profiles spanning the published
+// ranges (slowdowns up to ~2.5x under full contention, bandwidth demands of
+// 1-20 GB/s/node).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace dmsim::slowdown {
+
+/// Piecewise-linear, monotonically non-decreasing slowdown curve.
+/// x: aggregate remote bandwidth pressure (GB/s) at a lender node;
+/// y: multiplicative slowdown (>= 1).
+class SensitivityCurve {
+ public:
+  struct Knot {
+    double pressure_gbs = 0.0;
+    double slowdown = 1.0;
+  };
+
+  SensitivityCurve() = default;
+  /// Knots must be sorted by strictly increasing pressure with the first at
+  /// pressure 0, and non-decreasing slowdown >= 1.
+  explicit SensitivityCurve(std::vector<Knot> knots);
+
+  /// Linear interpolation; clamps to the last knot beyond the curve.
+  [[nodiscard]] double at(double pressure_gbs) const noexcept;
+
+  [[nodiscard]] std::span<const Knot> knots() const noexcept { return knots_; }
+
+  /// A flat curve (slowdown 1 everywhere) — an insensitive application.
+  [[nodiscard]] static SensitivityCurve flat();
+
+ private:
+  std::vector<Knot> knots_ = {Knot{0.0, 1.0}};
+};
+
+/// Profiled application characteristics (paper Fig. 3 step 2's "pool of
+/// executed apps"). typical_* features drive Euclidean matching.
+struct AppProfile {
+  std::string name;
+  double bw_demand_gbs = 0.0;   ///< contentiousness at full performance
+  double remote_penalty = 0.0;  ///< extra slowdown per unit remote fraction
+  SensitivityCurve sensitivity;
+
+  // Features used for trace -> app matching (Fig. 3 step 3).
+  double typical_nodes = 1.0;
+  double typical_runtime_s = 3600.0;
+  MiB typical_mem = 0;
+};
+
+/// The pool of profiled applications plus Euclidean-distance matching.
+class AppPool {
+ public:
+  AppPool() = default;
+  explicit AppPool(std::vector<AppProfile> apps) : apps_(std::move(apps)) {}
+
+  /// Deterministically generate `count` profiles spanning the published
+  /// parameter ranges. Same rng seed => same pool.
+  [[nodiscard]] static AppPool synthetic(const util::Rng& rng, std::size_t count);
+
+  [[nodiscard]] std::size_t size() const noexcept { return apps_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return apps_.empty(); }
+  [[nodiscard]] const AppProfile& app(int index) const;
+
+  /// Nearest profile by Euclidean distance over (log nodes, log runtime)
+  /// (paper Fig. 3 step 3 matches on size and runtime). Returns -1 on an
+  /// empty pool.
+  [[nodiscard]] int match(double nodes, double runtime_s) const noexcept;
+
+  /// Nearest profile also considering memory demand (Fig. 3 step 6 matches
+  /// on size, runtime, *and* memory similarity).
+  [[nodiscard]] int match(double nodes, double runtime_s, MiB mem) const noexcept;
+
+ private:
+  std::vector<AppProfile> apps_;
+};
+
+/// Computes per-job slowdowns from the cluster's borrow ledger.
+class ContentionModel {
+ public:
+  struct JobInput {
+    JobId job{};
+    int app_profile = -1;  ///< -1 => insensitive (slowdown from remoteness only)
+  };
+
+  explicit ContentionModel(const AppPool* pool) : pool_(pool) {}
+
+  /// Slowdown (>= 1) for every job in `jobs`, given the current ledger.
+  ///
+  /// pressure(L) = sum over borrow edges e=(job j, host h -> L) of
+  ///               bw_demand(j) * amount(e) / total_alloc(j, h)
+  /// slowdown(j) = max over j's slots s of
+  ///               sensitivity_j(max pressure at s's lenders)
+  ///               * (1 + remote_penalty_j * remote_fraction(s))
+  ///
+  /// The max over slots models bulk-synchronous HPC jobs running at the pace
+  /// of their slowest node.
+  [[nodiscard]] std::vector<double> evaluate(
+      const cluster::Cluster& cluster, std::span<const JobInput> jobs) const;
+
+  /// Convenience: slowdown of a single job.
+  [[nodiscard]] double evaluate_one(const cluster::Cluster& cluster, JobId job,
+                                    int app_profile) const;
+
+ private:
+  [[nodiscard]] const AppProfile* profile(int index) const noexcept;
+
+  const AppPool* pool_;  // non-owning; may be nullptr (all jobs insensitive)
+};
+
+}  // namespace dmsim::slowdown

@@ -1,0 +1,108 @@
+#include "slowdown/profile_io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dmsim::slowdown {
+
+void write_app_pool(std::ostream& out, const AppPool& pool) {
+  out << "# dmsim application profiles (" << pool.size() << " apps)\n";
+  out.precision(17);
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    const AppProfile& app = pool.app(static_cast<int>(i));
+    DMSIM_ASSERT(app.name.find_first_of(" \t\n") == std::string::npos,
+                 "app names must not contain whitespace");
+    out << "app " << (app.name.empty() ? "unnamed_" + std::to_string(i)
+                                       : app.name)
+        << '\n';
+    out << "bw_demand " << app.bw_demand_gbs << '\n';
+    out << "remote_penalty " << app.remote_penalty << '\n';
+    out << "features " << app.typical_nodes << ' ' << app.typical_runtime_s
+        << ' ' << app.typical_mem << '\n';
+    const auto knots = app.sensitivity.knots();
+    out << "curve " << knots.size();
+    for (const auto& k : knots) {
+      out << ' ' << k.pressure_gbs << ' ' << k.slowdown;
+    }
+    out << '\n';
+  }
+}
+
+void write_app_pool_file(const std::string& path, const AppPool& pool) {
+  std::ofstream out(path);
+  if (!out) throw TraceError("cannot open profile file for writing: " + path);
+  write_app_pool(out, pool);
+}
+
+AppPool read_app_pool(std::istream& in) {
+  std::vector<AppProfile> apps;
+  AppProfile current;
+  bool in_app = false;
+  std::string line;
+  std::size_t line_no = 0;
+
+  const auto flush = [&] {
+    if (in_app) {
+      apps.push_back(std::move(current));
+      current = AppProfile{};
+      in_app = false;
+    }
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream fields(line);
+    std::string head;
+    fields >> head;
+    const auto fail = [&](const std::string& what) {
+      throw TraceError("profile line " + std::to_string(line_no) + ": " + what);
+    };
+    if (head == "app") {
+      flush();
+      if (!(fields >> current.name)) fail("missing app name");
+      in_app = true;
+    } else if (!in_app) {
+      fail("field outside an app block");
+    } else if (head == "bw_demand") {
+      if (!(fields >> current.bw_demand_gbs) || current.bw_demand_gbs < 0) {
+        fail("bad bw_demand");
+      }
+    } else if (head == "remote_penalty") {
+      if (!(fields >> current.remote_penalty) || current.remote_penalty < 0) {
+        fail("bad remote_penalty");
+      }
+    } else if (head == "features") {
+      if (!(fields >> current.typical_nodes >> current.typical_runtime_s >>
+            current.typical_mem)) {
+        fail("bad features line");
+      }
+    } else if (head == "curve") {
+      std::size_t n = 0;
+      if (!(fields >> n) || n == 0) fail("bad curve length");
+      std::vector<SensitivityCurve::Knot> knots(n);
+      for (auto& k : knots) {
+        if (!(fields >> k.pressure_gbs >> k.slowdown)) fail("short curve");
+      }
+      current.sensitivity = SensitivityCurve(std::move(knots));
+    } else {
+      fail("unknown field '" + head + "'");
+    }
+  }
+  flush();
+  return AppPool(std::move(apps));
+}
+
+AppPool read_app_pool_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw TraceError("cannot open profile file: " + path);
+  return read_app_pool(in);
+}
+
+}  // namespace dmsim::slowdown

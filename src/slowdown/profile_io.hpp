@@ -1,0 +1,30 @@
+// On-disk format for application profiles (the "pool of executed apps" of
+// Fig. 3 step 2), so a profiled pool can be shared between trace generation
+// and replay runs.
+//
+// Line-oriented text, one block per app:
+//
+//     app <name>
+//     bw_demand <GB/s>
+//     remote_penalty <fraction>
+//     features <typical_nodes> <typical_runtime_s> <typical_mem_mib>
+//     curve <n> <pressure0> <slowdown0> ... <pressureN-1> <slowdownN-1>
+//
+// `#` comments and blank lines are ignored. Names must not contain spaces.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "slowdown/model.hpp"
+
+namespace dmsim::slowdown {
+
+void write_app_pool(std::ostream& out, const AppPool& pool);
+void write_app_pool_file(const std::string& path, const AppPool& pool);
+
+/// Throws dmsim::TraceError on malformed input.
+[[nodiscard]] AppPool read_app_pool(std::istream& in);
+[[nodiscard]] AppPool read_app_pool_file(const std::string& path);
+
+}  // namespace dmsim::slowdown

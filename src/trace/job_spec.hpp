@@ -1,0 +1,77 @@
+// JobSpec: the static description of a job as the scheduler sees it at
+// submission time, plus the (simulator-only) ground-truth usage trace.
+//
+// The scheduler and allocation policies may read everything except `usage`,
+// which in a real system would be observed online by the Monitor; here the
+// simulator replays it (paper §2.3: the Decider receives memory usage from
+// the offline usage trace rather than from the cluster nodes).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/usage_trace.hpp"
+#include "util/units.hpp"
+
+namespace dmsim::trace {
+
+struct JobSpec {
+  JobId id{};
+  Seconds submit_time = 0.0;
+
+  /// Number of (exclusively allocated) nodes the job needs.
+  int num_nodes = 1;
+
+  /// Memory the user requested per node — the figure the static policy
+  /// allocates for the whole job lifetime. Includes any overestimation.
+  MiB requested_mem = 0;
+
+  /// Full-speed runtime: the wallclock the job would take with all-local
+  /// memory and no contention. Slowdowns stretch this.
+  Seconds duration = 0.0;
+
+  /// User-requested time limit; used by backfill for reservations.
+  Seconds walltime = 0.0;
+
+  /// Ground-truth per-node memory usage as a function of progress. This is
+  /// the footprint of the job's heaviest node (typically rank 0).
+  UsageTrace usage;
+
+  /// Optional per-node usage heterogeneity: node i of the job consumes
+  /// usage * node_usage_scale[i], with factors in (0, 1]. Empty means all
+  /// nodes track `usage` uniformly. LDMS-style data is per node; rank-0
+  /// heavy jobs are common, and the dynamic policy reclaims the difference
+  /// on the lighter nodes.
+  std::vector<double> node_usage_scale;
+
+  /// Index of the matched application profile in the app pool (slowdown
+  /// model inputs); negative = unmatched (treated as insensitive).
+  int app_profile = -1;
+
+  /// SWF dependency fields: this job may only be considered for scheduling
+  /// `think_time` seconds after `preceding_job` reaches a terminal state
+  /// (and never before its own submit_time). Invalid id = no dependency.
+  JobId preceding_job{};
+  Seconds think_time = 0.0;
+
+  /// Usage scale of the job's i-th node (1.0 when uniform).
+  [[nodiscard]] double usage_scale(std::size_t node_index) const noexcept {
+    if (node_index < node_usage_scale.size()) {
+      return node_usage_scale[node_index];
+    }
+    return 1.0;
+  }
+
+  /// True peak per-node usage (the heaviest node); convenience over
+  /// usage.peak().
+  [[nodiscard]] MiB peak_usage() const noexcept { return usage.peak(); }
+
+  /// Node-hours at full speed (the paper's size metric in Table 3).
+  [[nodiscard]] double node_seconds() const noexcept {
+    return static_cast<double>(num_nodes) * duration;
+  }
+};
+
+using Workload = std::vector<JobSpec>;
+
+}  // namespace dmsim::trace

@@ -1,0 +1,65 @@
+// Standard Workload Format (SWF) v2 reader/writer.
+//
+// The Slurm simulator consumes job traces in SWF (Feitelson's format, see
+// https://www.cs.huji.ac.il/labs/parallel/workload/swf.html): one line per
+// job with 18 whitespace-separated fields, `;` comment lines, and -1 for
+// unknown values. We implement the full record and a lossy conversion to/from
+// dmsim JobSpec (SWF has no memory-over-time channel; that arrives separately
+// as usage traces, exactly as in the paper's toolchain).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/job_spec.hpp"
+#include "util/units.hpp"
+
+namespace dmsim::trace {
+
+/// One SWF record; field names follow the SWF standard. -1 == unknown.
+struct SwfRecord {
+  std::int64_t job_number = -1;
+  double submit_time = -1;        // seconds since trace start
+  double wait_time = -1;          // seconds
+  double run_time = -1;           // seconds
+  std::int64_t allocated_procs = -1;
+  double avg_cpu_time = -1;
+  std::int64_t used_memory_kb = -1;      // per processor
+  std::int64_t requested_procs = -1;
+  double requested_time = -1;
+  std::int64_t requested_memory_kb = -1;  // per processor
+  std::int64_t status = -1;               // 1 = completed OK
+  std::int64_t user_id = -1;
+  std::int64_t group_id = -1;
+  std::int64_t executable = -1;
+  std::int64_t queue = -1;
+  std::int64_t partition = -1;
+  std::int64_t preceding_job = -1;
+  double think_time = -1;
+
+  friend bool operator==(const SwfRecord&, const SwfRecord&) = default;
+};
+
+struct SwfTrace {
+  std::vector<std::string> header_comments;  // lines without leading ';'
+  std::vector<SwfRecord> records;
+};
+
+/// Parse SWF from a stream. Throws TraceError on malformed lines.
+[[nodiscard]] SwfTrace read_swf(std::istream& in);
+[[nodiscard]] SwfTrace read_swf_file(const std::string& path);
+
+/// Serialize to SWF text.
+void write_swf(std::ostream& out, const SwfTrace& trace);
+void write_swf_file(const std::string& path, const SwfTrace& trace);
+
+/// Convert a workload to SWF records (procs = nodes * cores_per_node;
+/// memory reported per processor as SWF requires).
+[[nodiscard]] SwfTrace to_swf(const Workload& jobs, int cores_per_node);
+
+/// Build JobSpecs from SWF records. Usage traces are set to a constant at
+/// the requested memory (callers attach real usage traces afterwards).
+[[nodiscard]] Workload from_swf(const SwfTrace& trace, int cores_per_node);
+
+}  // namespace dmsim::trace

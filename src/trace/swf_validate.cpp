@@ -1,0 +1,93 @@
+#include "trace/swf_validate.hpp"
+
+#include <unordered_set>
+
+namespace dmsim::trace {
+
+std::string_view to_string(SwfIssueKind kind) noexcept {
+  switch (kind) {
+    case SwfIssueKind::DuplicateJobNumber:
+      return "duplicate job number";
+    case SwfIssueKind::NonMonotonicSubmit:
+      return "submit times not ascending";
+    case SwfIssueKind::MissingRuntime:
+      return "no usable runtime";
+    case SwfIssueKind::MissingProcs:
+      return "no processor count";
+    case SwfIssueKind::NegativeField:
+      return "negative field";
+    case SwfIssueKind::WalltimeBelowRuntime:
+      return "requested time below runtime";
+  }
+  return "unknown";
+}
+
+std::vector<SwfIssue> validate_swf(const SwfTrace& trace) {
+  std::vector<SwfIssue> issues;
+  const auto add = [&](SwfIssueKind kind, std::size_t idx,
+                       std::int64_t job, std::string msg) {
+    issues.push_back(SwfIssue{kind, idx, job, std::move(msg)});
+  };
+
+  std::unordered_set<std::int64_t> seen;
+  double prev_submit = -1.0;
+  for (std::size_t i = 0; i < trace.records.size(); ++i) {
+    const SwfRecord& r = trace.records[i];
+    if (r.job_number >= 0 && !seen.insert(r.job_number).second) {
+      add(SwfIssueKind::DuplicateJobNumber, i, r.job_number,
+          "job " + std::to_string(r.job_number) + " appears more than once");
+    }
+    if (r.submit_time >= 0) {
+      if (r.submit_time < prev_submit) {
+        add(SwfIssueKind::NonMonotonicSubmit, i, r.job_number,
+            "submit " + std::to_string(r.submit_time) + " after " +
+                std::to_string(prev_submit));
+      }
+      prev_submit = r.submit_time;
+    }
+    if (r.run_time < 0 && r.requested_time < 0) {
+      add(SwfIssueKind::MissingRuntime, i, r.job_number,
+          "record has neither run_time nor requested_time");
+    }
+    if (r.allocated_procs <= 0 && r.requested_procs <= 0) {
+      add(SwfIssueKind::MissingProcs, i, r.job_number,
+          "record has neither allocated nor requested processors");
+    }
+    // Fields that are either -1 (unknown) or non-negative.
+    const auto check_non_negative = [&](double v, const char* name) {
+      if (v < 0 && v != -1) {
+        add(SwfIssueKind::NegativeField, i, r.job_number,
+            std::string(name) + " is negative");
+      }
+    };
+    check_non_negative(r.submit_time, "submit_time");
+    check_non_negative(r.run_time, "run_time");
+    check_non_negative(r.requested_time, "requested_time");
+    check_non_negative(static_cast<double>(r.used_memory_kb), "used_memory");
+    check_non_negative(static_cast<double>(r.requested_memory_kb),
+                       "requested_memory");
+    if (r.run_time > 0 && r.requested_time > 0 &&
+        r.requested_time < r.run_time) {
+      add(SwfIssueKind::WalltimeBelowRuntime, i, r.job_number,
+          "requested_time " + std::to_string(r.requested_time) +
+              " < run_time " + std::to_string(r.run_time));
+    }
+  }
+  return issues;
+}
+
+bool swf_simulatable(const std::vector<SwfIssue>& issues) noexcept {
+  for (const auto& issue : issues) {
+    switch (issue.kind) {
+      case SwfIssueKind::DuplicateJobNumber:
+      case SwfIssueKind::MissingRuntime:
+      case SwfIssueKind::MissingProcs:
+        return false;
+      default:
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace dmsim::trace

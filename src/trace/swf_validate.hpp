@@ -1,0 +1,37 @@
+// SWF trace validation: structural checks producing human-readable warnings
+// rather than exceptions, for vetting third-party traces before simulation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/swf.hpp"
+
+namespace dmsim::trace {
+
+enum class SwfIssueKind {
+  DuplicateJobNumber,
+  NonMonotonicSubmit,   ///< submit times not sorted (SWF requires ascending)
+  MissingRuntime,       ///< neither run_time nor requested_time usable
+  MissingProcs,         ///< neither allocated nor requested processors
+  NegativeField,        ///< a field that must be non-negative is negative
+  WalltimeBelowRuntime, ///< requested_time < run_time (job would be killed)
+};
+
+struct SwfIssue {
+  SwfIssueKind kind;
+  std::size_t record_index = 0;  ///< index into SwfTrace::records
+  std::int64_t job_number = -1;
+  std::string message;
+};
+
+/// Validate a parsed trace. Returns all issues found (empty = clean).
+[[nodiscard]] std::vector<SwfIssue> validate_swf(const SwfTrace& trace);
+
+/// True if the trace has no issues that would break a simulation (duplicate
+/// ids, missing runtime/procs). Warnings-only traces pass.
+[[nodiscard]] bool swf_simulatable(const std::vector<SwfIssue>& issues) noexcept;
+
+[[nodiscard]] std::string_view to_string(SwfIssueKind kind) noexcept;
+
+}  // namespace dmsim::trace

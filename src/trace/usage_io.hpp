@@ -1,0 +1,53 @@
+// On-disk format for per-job memory usage traces (paper Fig. 3 steps 8-9:
+// "generate usage trace file for every job trace file").
+//
+// The format is line-oriented text, one block per job:
+//
+//     # optional comments
+//     job <id> <num_points>
+//     scales <n> <s0> <s1> ... <sn-1>     (optional, per-node usage factors)
+//     <progress> <mem_mib>
+//     ...
+//
+// Progress values are fractions in [0, 1] starting at 0; memory is MiB.
+// The optional `scales` line carries per-node usage heterogeneity
+// (JobSpec::node_usage_scale). Blocks may appear in any order; duplicate job
+// ids are an error.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/job_spec.hpp"
+#include "trace/usage_trace.hpp"
+#include "util/units.hpp"
+
+namespace dmsim::trace {
+
+/// One job's usage data as stored on disk.
+struct JobUsage {
+  UsageTrace trace;
+  std::vector<double> node_scales;  ///< empty = uniform across nodes
+};
+
+using UsageTraceMap = std::unordered_map<std::uint32_t, JobUsage>;
+
+/// Serialize usage traces. Jobs are emitted in ascending id order so the
+/// output is canonical (diff-able).
+void write_usage_traces(std::ostream& out, const UsageTraceMap& traces);
+void write_usage_traces_file(const std::string& path, const UsageTraceMap& traces);
+
+/// Parse usage traces. Throws TraceError on malformed input.
+[[nodiscard]] UsageTraceMap read_usage_traces(std::istream& in);
+[[nodiscard]] UsageTraceMap read_usage_traces_file(const std::string& path);
+
+/// Collect the usage traces of a workload, keyed by job id.
+[[nodiscard]] UsageTraceMap collect_usage_traces(const Workload& jobs);
+
+/// Attach traces to a workload in place (jobs without an entry keep their
+/// current trace). Returns the number of jobs updated.
+std::size_t attach_usage_traces(Workload& jobs, const UsageTraceMap& traces);
+
+}  // namespace dmsim::trace

@@ -1,0 +1,165 @@
+#include "trace/usage_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace dmsim::trace {
+
+UsageTrace::UsageTrace(std::vector<UsagePoint> points)
+    : points_(std::move(points)) {
+  DMSIM_ASSERT(!points_.empty(), "usage trace must have at least one point");
+  DMSIM_ASSERT(points_.front().progress == 0.0,
+               "usage trace must start at progress 0");
+  double prev = -1.0;
+  for (const auto& p : points_) {
+    DMSIM_ASSERT(p.progress > prev, "usage trace progress must be increasing");
+    DMSIM_ASSERT(p.progress >= 0.0 && p.progress <= 1.0,
+                 "usage trace progress out of [0,1]");
+    DMSIM_ASSERT(p.mem >= 0, "usage trace memory must be non-negative");
+    prev = p.progress;
+  }
+}
+
+UsageTrace UsageTrace::constant(MiB mem) {
+  return UsageTrace({UsagePoint{0.0, mem}});
+}
+
+MiB UsageTrace::at(double progress) const noexcept {
+  if (points_.empty()) return 0;
+  progress = std::clamp(progress, 0.0, 1.0);
+  // Last point with .progress <= progress.
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), progress,
+      [](double v, const UsagePoint& p) { return v < p.progress; });
+  DMSIM_ASSERT(it != points_.begin(), "trace starts at 0; lookup cannot precede it");
+  return std::prev(it)->mem;
+}
+
+MiB UsageTrace::max_in(double from, double to) const noexcept {
+  if (points_.empty()) return 0;
+  if (from > to) std::swap(from, to);
+  from = std::clamp(from, 0.0, 1.0);
+  to = std::clamp(to, 0.0, 1.0);
+  MiB best = at(from);
+  // Interior samples strictly after `from`, at or before `to`.
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), from,
+      [](double v, const UsagePoint& p) { return v < p.progress; });
+  for (; it != points_.end() && it->progress <= to; ++it) {
+    best = std::max(best, it->mem);
+  }
+  return best;
+}
+
+MiB UsageTrace::peak() const noexcept {
+  MiB best = 0;
+  for (const auto& p : points_) best = std::max(best, p.mem);
+  return best;
+}
+
+double UsageTrace::average() const noexcept {
+  if (points_.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const double next =
+        (i + 1 < points_.size()) ? points_[i + 1].progress : 1.0;
+    acc += static_cast<double>(points_[i].mem) * (next - points_[i].progress);
+  }
+  return acc;
+}
+
+UsageTrace UsageTrace::compressed(double epsilon_mib) const {
+  if (points_.size() <= 2) return *this;
+  std::vector<double> xs(points_.size());
+  std::vector<double> ys(points_.size());
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    xs[i] = points_[i].progress;
+    ys[i] = static_cast<double>(points_[i].mem);
+  }
+  const auto keep = rdp_keep_indices(xs, ys, epsilon_mib);
+  std::vector<UsagePoint> out;
+  out.reserve(keep.size());
+  for (auto idx : keep) out.push_back(points_[idx]);
+  return UsageTrace(std::move(out));
+}
+
+UsageTrace UsageTrace::scaled(double factor) const {
+  DMSIM_ASSERT(factor >= 0.0, "scale factor must be non-negative");
+  std::vector<UsagePoint> out(points_.begin(), points_.end());
+  for (auto& p : out) {
+    p.mem = std::max<MiB>(
+        0, static_cast<MiB>(std::llround(static_cast<double>(p.mem) * factor)));
+  }
+  return UsageTrace(std::move(out));
+}
+
+namespace {
+
+/// Perpendicular distance from (px, py) to the segment (x0,y0)-(x1,y1).
+/// Progress and memory are different units; RDP here is applied after the
+/// caller normalizes (epsilon is expressed in the y unit, with x-extent
+/// treated as negligible versus typical epsilon-scaled y ranges — for
+/// monotone x this reduces to vertical deviation, which is what trace
+/// compression wants).
+[[nodiscard]] double deviation(double x0, double y0, double x1, double y1,
+                               double px, double py) noexcept {
+  const double dx = x1 - x0;
+  const double dy = y1 - y0;
+  if (dx == 0.0 && dy == 0.0) return std::hypot(px - x0, py - y0);
+  // Vertical distance from the point to the chord at px (x is monotone).
+  if (dx != 0.0) {
+    const double t = (px - x0) / dx;
+    const double y_on_chord = y0 + t * dy;
+    return std::abs(py - y_on_chord);
+  }
+  return std::hypot(px - x0, py - y0);
+}
+
+void rdp_recurse(std::span<const double> xs, std::span<const double> ys,
+                 std::size_t lo, std::size_t hi, double epsilon,
+                 std::vector<bool>& keep) {
+  if (hi <= lo + 1) return;
+  double worst = -1.0;
+  std::size_t worst_idx = lo;
+  for (std::size_t i = lo + 1; i < hi; ++i) {
+    const double d = deviation(xs[lo], ys[lo], xs[hi], ys[hi], xs[i], ys[i]);
+    if (d > worst) {
+      worst = d;
+      worst_idx = i;
+    }
+  }
+  if (worst > epsilon) {
+    keep[worst_idx] = true;
+    rdp_recurse(xs, ys, lo, worst_idx, epsilon, keep);
+    rdp_recurse(xs, ys, worst_idx, hi, epsilon, keep);
+  }
+}
+
+}  // namespace
+
+std::vector<std::size_t> rdp_keep_indices(std::span<const double> xs,
+                                          std::span<const double> ys,
+                                          double epsilon) {
+  DMSIM_ASSERT(xs.size() == ys.size(), "rdp: xs/ys size mismatch");
+  DMSIM_ASSERT(epsilon >= 0.0, "rdp: epsilon must be non-negative");
+  const std::size_t n = xs.size();
+  std::vector<std::size_t> out;
+  if (n == 0) return out;
+  if (n <= 2) {
+    for (std::size_t i = 0; i < n; ++i) out.push_back(i);
+    return out;
+  }
+  std::vector<bool> keep(n, false);
+  keep.front() = true;
+  keep.back() = true;
+  rdp_recurse(xs, ys, 0, n - 1, epsilon, keep);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (keep[i]) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace dmsim::trace

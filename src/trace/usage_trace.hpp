@@ -1,0 +1,76 @@
+// Per-job memory-usage traces.
+//
+// A usage trace records a job's per-node memory footprint as a function of
+// *progress* — the fraction of the job's full-speed work completed, in [0, 1].
+// Indexing by progress (rather than wallclock) means that when contention
+// stretches a job's execution, its memory phases stretch with it, matching
+// the paper's simulator, which advances usage along with job progress (§2.3).
+//
+// Traces are piecewise-constant: the value at progress p is the value of the
+// last sample at or before p. This mirrors how the paper treats the Google
+// trace, where the maximum usage over a 5-minute window defines the usage for
+// the period between two measurements (§3.2.2).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace dmsim::trace {
+
+struct UsagePoint {
+  double progress = 0.0;  ///< fraction of job work completed, in [0, 1]
+  MiB mem = 0;            ///< per-node memory footprint from this point on
+
+  friend constexpr bool operator==(const UsagePoint&, const UsagePoint&) = default;
+};
+
+class UsageTrace {
+ public:
+  /// Empty trace: usage is 0 everywhere. Mostly useful as a placeholder.
+  UsageTrace() = default;
+
+  /// Points must be sorted by strictly increasing progress, start at
+  /// progress 0, lie within [0, 1], and carry non-negative memory.
+  explicit UsageTrace(std::vector<UsagePoint> points);
+
+  /// Flat trace using `mem` for the whole job.
+  [[nodiscard]] static UsageTrace constant(MiB mem);
+
+  [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+  [[nodiscard]] std::span<const UsagePoint> points() const noexcept { return points_; }
+
+  /// Usage at a given progress (piecewise constant, clamped to [0, 1]).
+  [[nodiscard]] MiB at(double progress) const noexcept;
+
+  /// Maximum usage over the progress interval [from, to]. This is what the
+  /// Decider uses as the demand for the next monitoring window.
+  [[nodiscard]] MiB max_in(double from, double to) const noexcept;
+
+  /// Peak usage over the whole job — the figure a perfectly informed user
+  /// would request (+0% overestimation).
+  [[nodiscard]] MiB peak() const noexcept;
+
+  /// Progress-weighted average usage.
+  [[nodiscard]] double average() const noexcept;
+
+  /// Lossy compression with the Ramer–Douglas–Peucker algorithm: drop points
+  /// whose removal perturbs the polyline by at most `epsilon_mib`.
+  [[nodiscard]] UsageTrace compressed(double epsilon_mib) const;
+
+  /// Returns a copy with every memory value scaled by `factor` (rounded,
+  /// clamped below at 0). Used to denormalize Google-style traces.
+  [[nodiscard]] UsageTrace scaled(double factor) const;
+
+ private:
+  std::vector<UsagePoint> points_;
+};
+
+/// Generic Ramer–Douglas–Peucker on a polyline given as (x, y) pairs.
+/// Returns indices of retained points (always keeps first and last).
+[[nodiscard]] std::vector<std::size_t> rdp_keep_indices(
+    std::span<const double> xs, std::span<const double> ys, double epsilon);
+
+}  // namespace dmsim::trace

@@ -1,0 +1,16 @@
+#include "util/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dmsim::detail {
+
+void assert_fail(const char* expr, const std::string& msg,
+                 std::source_location loc) {
+  std::fprintf(stderr, "dmsim invariant violated: %s\n  at %s:%u (%s)\n  %s\n",
+               expr, loc.file_name(), loc.line(), loc.function_name(),
+               msg.c_str());
+  std::abort();
+}
+
+}  // namespace dmsim::detail

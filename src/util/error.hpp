@@ -1,0 +1,47 @@
+// Error handling for dmsim.
+//
+// Library errors are reported with dmsim::Error (invalid configuration,
+// malformed traces). Internal invariant violations use DMSIM_ASSERT, which is
+// active in all build types: a simulator whose ledger goes inconsistent must
+// stop rather than publish wrong results.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace dmsim {
+
+/// Base exception for user-facing dmsim errors.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when a configuration is invalid (negative capacity, empty trace, ...).
+class ConfigError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown when an input trace file cannot be parsed.
+class TraceError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const std::string& msg,
+                              std::source_location loc);
+}  // namespace detail
+
+}  // namespace dmsim
+
+/// Always-on invariant check. `msg` may use string concatenation.
+#define DMSIM_ASSERT(expr, msg)                                             \
+  do {                                                                      \
+    if (!(expr)) [[unlikely]] {                                             \
+      ::dmsim::detail::assert_fail(#expr, (msg),                            \
+                                   std::source_location::current());        \
+    }                                                                       \
+  } while (false)

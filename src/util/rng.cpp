@@ -1,0 +1,129 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace dmsim::util {
+
+namespace {
+[[nodiscard]] constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept : seed_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+Rng Rng::child(std::string_view name, std::uint64_t index) const noexcept {
+  std::uint64_t mix = seed_ ^ fnv1a(name);
+  mix ^= 0x94D049BB133111EBULL * (index + 1);
+  // One extra splitmix pass decorrelates children with related names/indices.
+  std::uint64_t sm = mix;
+  return Rng(splitmix64(sm));
+}
+
+double Rng::uniform() noexcept {
+  // 53 random bits into [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  DMSIM_ASSERT(lo <= hi, "uniform_int requires lo <= hi");
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>((*this)());  // full range
+  // Lemire's nearly-divisionless bounded integers would be faster; rejection
+  // sampling keeps the distribution exactly uniform with simpler code.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % range);
+  std::uint64_t x = (*this)();
+  while (x >= limit) x = (*this)();
+  return lo + static_cast<std::int64_t>(x % range);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  // Box–Muller; u1 in (0,1] so log() is finite.
+  const double u1 = 1.0 - uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * r * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::lognormal(double mu, double sigma) noexcept {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::exponential(double rate) noexcept {
+  DMSIM_ASSERT(rate > 0.0, "exponential rate must be positive");
+  return -std::log(1.0 - uniform()) / rate;
+}
+
+double Rng::weibull(double shape, double scale) noexcept {
+  DMSIM_ASSERT(shape > 0.0 && scale > 0.0, "weibull parameters must be positive");
+  return scale * std::pow(-std::log(1.0 - uniform()), 1.0 / shape);
+}
+
+double Rng::gamma(double shape, double scale) noexcept {
+  DMSIM_ASSERT(shape > 0.0 && scale > 0.0, "gamma parameters must be positive");
+  if (shape < 1.0) {
+    // Boost to shape+1 and apply the standard power correction.
+    const double u = uniform();
+    return gamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia–Tsang squeeze method.
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = 0.0;
+    double v = 0.0;
+    do {
+      x = normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v * scale;
+    if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) return d * v * scale;
+  }
+}
+
+bool Rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+std::size_t Rng::discrete(std::span<const double> weights) noexcept {
+  double total = 0.0;
+  for (double w : weights) {
+    DMSIM_ASSERT(w >= 0.0, "discrete weights must be non-negative");
+    total += w;
+  }
+  DMSIM_ASSERT(total > 0.0, "discrete weights must not all be zero");
+  double r = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  return weights.size() - 1;  // numerical edge: land on the last bucket
+}
+
+}  // namespace dmsim::util

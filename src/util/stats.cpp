@@ -1,0 +1,140 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dmsim::util {
+
+void OnlineStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double quantile(std::span<const double> sample, double q) {
+  DMSIM_ASSERT(!sample.empty(), "quantile of empty sample");
+  DMSIM_ASSERT(q >= 0.0 && q <= 1.0, "quantile level out of [0,1]");
+  std::vector<double> v(sample.begin(), sample.end());
+  std::sort(v.begin(), v.end());
+  const double h = q * (static_cast<double>(v.size()) - 1.0);
+  const auto lo = static_cast<std::size_t>(h);
+  const auto hi = std::min(lo + 1, v.size() - 1);
+  const double frac = h - static_cast<double>(lo);
+  return v[lo] + frac * (v[hi] - v[lo]);
+}
+
+Quartiles quartiles(std::span<const double> sample) {
+  DMSIM_ASSERT(!sample.empty(), "quartiles of empty sample");
+  std::vector<double> v(sample.begin(), sample.end());
+  std::sort(v.begin(), v.end());
+  const auto at = [&](double q) {
+    const double h = q * (static_cast<double>(v.size()) - 1.0);
+    const auto lo = static_cast<std::size_t>(h);
+    const auto hi = std::min(lo + 1, v.size() - 1);
+    const double frac = h - static_cast<double>(lo);
+    return v[lo] + frac * (v[hi] - v[lo]);
+  };
+  return Quartiles{v.front(), at(0.25), at(0.5), at(0.75), v.back()};
+}
+
+Ecdf::Ecdf(std::vector<double> sample) : sorted_(std::move(sample)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::at(double x) const noexcept {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::quantile(double p) const {
+  DMSIM_ASSERT(!sorted_.empty(), "quantile of empty ECDF");
+  DMSIM_ASSERT(p > 0.0 && p <= 1.0, "ECDF quantile level out of (0,1]");
+  const auto n = static_cast<double>(sorted_.size());
+  auto idx = static_cast<std::size_t>(std::ceil(p * n)) - 1;
+  idx = std::min(idx, sorted_.size() - 1);
+  return sorted_[idx];
+}
+
+double Ecdf::ks_distance(const Ecdf& a, const Ecdf& b) {
+  DMSIM_ASSERT(!a.empty() && !b.empty(), "KS distance of empty ECDF");
+  double d = 0.0;
+  for (double x : a.sorted_) d = std::max(d, std::abs(a.at(x) - b.at(x)));
+  for (double x : b.sorted_) d = std::max(d, std::abs(a.at(x) - b.at(x)));
+  return d;
+}
+
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+  DMSIM_ASSERT(edges_.size() >= 2, "histogram needs at least two edges");
+  DMSIM_ASSERT(std::is_sorted(edges_.begin(), edges_.end()),
+               "histogram edges must be sorted");
+  counts_.assign(edges_.size() - 1, 0.0);
+}
+
+void Histogram::add(double x, double weight) noexcept {
+  if (x < edges_.front()) {
+    underflow_ += weight;
+    return;
+  }
+  if (x >= edges_.back()) {
+    overflow_ += weight;
+    return;
+  }
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), x);
+  const auto bucket = static_cast<std::size_t>(it - edges_.begin()) - 1;
+  counts_[bucket] += weight;
+}
+
+double Histogram::count(std::size_t bucket) const {
+  DMSIM_ASSERT(bucket < counts_.size(), "histogram bucket out of range");
+  return counts_[bucket];
+}
+
+double Histogram::total() const noexcept {
+  double t = underflow_ + overflow_;
+  for (double c : counts_) t += c;
+  return t;
+}
+
+double Histogram::fraction(std::size_t bucket) const {
+  const double t = total();
+  if (t == 0.0) return 0.0;
+  return count(bucket) / t;
+}
+
+}  // namespace dmsim::util

@@ -1,0 +1,91 @@
+// Statistics primitives used by the metrics layer and the trace generators:
+// online moments (Welford), quantiles, ECDF, and fixed-bucket histograms.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dmsim::util {
+
+/// Numerically stable online mean / variance / extrema accumulator.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const OnlineStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Population variance; 0 for fewer than 2 samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Linear-interpolation quantile of an unsorted sample (type-7, as in R).
+/// q in [0, 1]. Requires a non-empty sample.
+[[nodiscard]] double quantile(std::span<const double> sample, double q);
+
+/// All five-number-summary quartiles in one sort: {min, q1, median, q3, max}.
+struct Quartiles {
+  double min = 0.0, q1 = 0.0, median = 0.0, q3 = 0.0, max = 0.0;
+};
+[[nodiscard]] Quartiles quartiles(std::span<const double> sample);
+
+/// Empirical cumulative distribution function over a fixed sample.
+class Ecdf {
+ public:
+  Ecdf() = default;
+  explicit Ecdf(std::vector<double> sample);
+
+  /// P(X <= x).
+  [[nodiscard]] double at(double x) const noexcept;
+  /// Inverse ECDF: smallest sample value v with P(X <= v) >= p, p in (0, 1].
+  [[nodiscard]] double quantile(double p) const;
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return sorted_.empty(); }
+  [[nodiscard]] const std::vector<double>& sorted() const noexcept { return sorted_; }
+
+  /// Largest vertical distance between two ECDFs (Kolmogorov–Smirnov statistic).
+  [[nodiscard]] static double ks_distance(const Ecdf& a, const Ecdf& b);
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Histogram over caller-supplied right-open buckets [edge[i], edge[i+1]).
+/// Values below the first edge or at/above the last edge are counted in
+/// underflow/overflow.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> edges);
+
+  void add(double x, double weight = 1.0) noexcept;
+
+  [[nodiscard]] std::size_t bucket_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] double count(std::size_t bucket) const;
+  [[nodiscard]] double underflow() const noexcept { return underflow_; }
+  [[nodiscard]] double overflow() const noexcept { return overflow_; }
+  [[nodiscard]] double total() const noexcept;
+  /// Fraction of the total mass (incl. under/overflow) in a bucket.
+  [[nodiscard]] double fraction(std::size_t bucket) const;
+  [[nodiscard]] const std::vector<double>& edges() const noexcept { return edges_; }
+
+ private:
+  std::vector<double> edges_;
+  std::vector<double> counts_;
+  double underflow_ = 0.0;
+  double overflow_ = 0.0;
+};
+
+}  // namespace dmsim::util

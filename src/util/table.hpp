@@ -1,0 +1,36 @@
+// Plain-text table and CSV emission for the bench harness. Every figure/table
+// reproduction prints through these helpers so output formats stay uniform.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dmsim::util {
+
+/// A column-aligned text table with an optional title, printed to a stream.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {}) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  void print(std::ostream& os) const;
+  /// Comma-separated form (no alignment padding), suitable for re-plotting.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("0.123", "12.3%", "4.56e-08").
+[[nodiscard]] std::string fmt(double v, int precision = 3);
+[[nodiscard]] std::string fmt_pct(double fraction, int precision = 1);
+[[nodiscard]] std::string fmt_sci(double v, int precision = 2);
+
+}  // namespace dmsim::util

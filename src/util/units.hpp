@@ -1,0 +1,70 @@
+// Units and fundamental scalar types used across dmsim.
+//
+// Conventions (see DESIGN.md §6):
+//   * memory is measured in MiB and carried as std::int64_t (MiB),
+//   * simulated time is measured in seconds and carried as double (Seconds),
+//   * node/job identifiers are strongly typed wrappers to prevent mixing.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <functional>
+#include <limits>
+
+namespace dmsim {
+
+/// Memory quantity in mebibytes. 64-bit: a 1490-node x 128 GiB system is
+/// ~195M MiB, far below the 2^63 limit even when aggregated over time.
+using MiB = std::int64_t;
+
+/// Simulated time in seconds since the start of the simulation.
+using Seconds = double;
+
+inline constexpr MiB kMiBPerGiB = 1024;
+
+/// Convert whole GiB to MiB.
+[[nodiscard]] constexpr MiB gib(std::int64_t g) noexcept { return g * kMiBPerGiB; }
+
+/// Convert MiB to (fractional) GiB for reporting.
+[[nodiscard]] constexpr double to_gib(MiB m) noexcept {
+  return static_cast<double>(m) / static_cast<double>(kMiBPerGiB);
+}
+
+/// Time helpers for readability in configs and tests.
+[[nodiscard]] constexpr Seconds minutes(double m) noexcept { return m * 60.0; }
+[[nodiscard]] constexpr Seconds hours(double h) noexcept { return h * 3600.0; }
+[[nodiscard]] constexpr Seconds days(double d) noexcept { return d * 86400.0; }
+
+/// Sentinel for "no time" / unset timestamps.
+inline constexpr Seconds kNoTime = -1.0;
+
+/// Strongly typed integer id. Tag types keep NodeId and JobId incompatible.
+template <typename Tag>
+struct Id {
+  std::uint32_t value = kInvalid;
+
+  static constexpr std::uint32_t kInvalid = std::numeric_limits<std::uint32_t>::max();
+
+  constexpr Id() noexcept = default;
+  constexpr explicit Id(std::uint32_t v) noexcept : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const noexcept { return value != kInvalid; }
+  [[nodiscard]] constexpr std::uint32_t get() const noexcept { return value; }
+
+  friend constexpr auto operator<=>(Id, Id) noexcept = default;
+};
+
+struct NodeTag {};
+struct JobTag {};
+
+using NodeId = Id<NodeTag>;
+using JobId = Id<JobTag>;
+
+}  // namespace dmsim
+
+template <typename Tag>
+struct std::hash<dmsim::Id<Tag>> {
+  [[nodiscard]] std::size_t operator()(dmsim::Id<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};

@@ -1,0 +1,94 @@
+#include "workload/archer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dmsim::workload {
+
+namespace {
+
+// Table 2 of the paper, percentages by column. Order matches kMemoryBucketsGb.
+constexpr std::array<double, 5> kSyntheticAll = {61.0, 18.6, 11.5, 6.9, 2.0};
+constexpr std::array<double, 5> kSyntheticSmall = {69.5, 19.4, 7.7, 3.0, 0.4};
+constexpr std::array<double, 5> kSyntheticLarge = {53.0, 16.9, 14.8, 11.2, 4.2};
+constexpr std::array<double, 5> kGrizzlyAll = {73.3, 12.4, 8.2, 5.7, 0.5};
+constexpr std::array<double, 5> kGrizzlySmall = {63.5, 20.2, 8.5, 7.0, 0.8};
+constexpr std::array<double, 5> kGrizzlyLarge = {77.8, 8.9, 8.0, 5.0, 0.3};
+
+}  // namespace
+
+std::span<const double> memory_bucket_percentages(
+    TraceFamily family, SizeClass size_class) noexcept {
+  switch (family) {
+    case TraceFamily::Synthetic:
+      switch (size_class) {
+        case SizeClass::All:
+          return kSyntheticAll;
+        case SizeClass::Small:
+          return kSyntheticSmall;
+        case SizeClass::Large:
+          return kSyntheticLarge;
+      }
+      break;
+    case TraceFamily::Grizzly:
+      switch (size_class) {
+        case SizeClass::All:
+          return kGrizzlyAll;
+        case SizeClass::Small:
+          return kGrizzlySmall;
+        case SizeClass::Large:
+          return kGrizzlyLarge;
+      }
+      break;
+  }
+  return kSyntheticAll;
+}
+
+MiB sample_peak_memory(util::Rng& rng, TraceFamily family,
+                       SizeClass size_class, MiB cap) {
+  const auto weights = memory_bucket_percentages(family, size_class);
+  const std::size_t bucket = rng.discrete(weights);
+  const auto [lo_gb, hi_gb] = kMemoryBucketsGb[bucket];
+  // Log-uniform within the bucket; the lowest bucket starts at 256 MiB to
+  // keep the logarithm finite (jobs always use some memory).
+  const double lo = std::max(256.0, lo_gb * 1024.0);
+  const double hi = hi_gb * 1024.0;
+  const double value = std::exp(rng.uniform(std::log(lo), std::log(hi)));
+  MiB mem = static_cast<MiB>(std::llround(value));
+  if (cap > 0) mem = std::min(mem, cap);
+  return std::max<MiB>(1, mem);
+}
+
+MiB sample_normal_class_peak(util::Rng& rng, MiB normal_capacity_mib) {
+  DMSIM_ASSERT(normal_capacity_mib > 0, "normal capacity must be positive");
+  // Log-normal fit of Table 3's normal-memory quartiles (values in MiB):
+  // median 8089 -> mu = ln(8089) ~ 9.0; (q3 - q1) in log space -> sigma ~ 0.99.
+  const double value = rng.lognormal(9.0, 0.99);
+  const MiB capped =
+      std::min<MiB>(static_cast<MiB>(std::llround(value)), normal_capacity_mib);
+  return std::max<MiB>(64, capped);
+}
+
+MiB sample_large_class_peak(util::Rng& rng, MiB normal_capacity_mib,
+                            MiB large_capacity_mib) {
+  DMSIM_ASSERT(large_capacity_mib > normal_capacity_mib,
+               "large capacity must exceed normal capacity");
+  // Log-normal fit of Table 3's large-memory quartiles: median 86961 MiB ->
+  // mu ~ 11.37, sigma ~ 0.20; clamped into (normal, large] so the job truly
+  // needs a large node under the baseline policy.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const MiB value = static_cast<MiB>(std::llround(rng.lognormal(11.37, 0.20)));
+    if (value > normal_capacity_mib && value <= large_capacity_mib) return value;
+  }
+  // Degenerate capacities (e.g. 32/64 GiB family): fall back to log-uniform
+  // across the valid range.
+  const double lo = std::log(static_cast<double>(normal_capacity_mib + 1));
+  const double hi = std::log(static_cast<double>(large_capacity_mib));
+  const double value = std::exp(rng.uniform(lo, hi));
+  return std::clamp<MiB>(static_cast<MiB>(std::llround(value)),
+                         normal_capacity_mib + 1, large_capacity_mib);
+}
+
+}  // namespace dmsim::workload

@@ -1,0 +1,54 @@
+// Per-node peak-memory distributions (paper Table 2).
+//
+// The paper generates memory requests following the Archer supercomputer's
+// memory-request distribution (Turner & McIntosh-Smith) and reports the
+// resulting buckets in Table 2, for both the synthetic trace and the Grizzly
+// trace, split by *job size* (small <= 32 nodes, large > 32 nodes). This
+// module encodes that table and samples per-node peak memory from it
+// (log-uniform within a bucket).
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace dmsim::workload {
+
+/// Job-size class used by Table 2 (note: this is by node count, unlike the
+/// normal/large *memory* classes of Table 3).
+enum class SizeClass { All, Small, Large };
+
+/// Which trace's column of Table 2 to use.
+enum class TraceFamily { Synthetic, Grizzly };
+
+/// Table 2 buckets, GB per node, right-open: [lo, hi).
+inline constexpr std::array<std::pair<double, double>, 5> kMemoryBucketsGb = {{
+    {0.0, 12.0},
+    {12.0, 24.0},
+    {24.0, 48.0},
+    {48.0, 96.0},
+    {96.0, 128.0},
+}};
+
+/// Bucket probabilities (percent of jobs) straight from Table 2.
+[[nodiscard]] std::span<const double> memory_bucket_percentages(
+    TraceFamily family, SizeClass size_class) noexcept;
+
+/// Sample a per-node peak memory (MiB) from the Table 2 distribution,
+/// log-uniform within the chosen bucket, optionally clamped to `cap`.
+[[nodiscard]] MiB sample_peak_memory(util::Rng& rng, TraceFamily family,
+                                     SizeClass size_class, MiB cap = 0);
+
+/// Table 3 memory-class distributions: per-node peak memory conditioned on
+/// the normal/large *memory* class. Calibrated log-normal fits of the paper's
+/// quartiles (normal: q1 4037 / med 8089 / q3 15341 MB, max 65532;
+/// large: q1 76176 / med 86961 / q3 99956 MB, range [65538, 130046]).
+[[nodiscard]] MiB sample_normal_class_peak(util::Rng& rng,
+                                           MiB normal_capacity_mib);
+[[nodiscard]] MiB sample_large_class_peak(util::Rng& rng,
+                                          MiB normal_capacity_mib,
+                                          MiB large_capacity_mib);
+
+}  // namespace dmsim::workload

@@ -1,0 +1,94 @@
+#include "workload/cirne.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace dmsim::workload {
+
+namespace {
+
+/// Relative submission intensity by hour of day: the Cirne–Berman model's
+/// daily cycle peaks in working hours and bottoms out at night.
+[[nodiscard]] double daily_weight(double t_seconds) noexcept {
+  const double hour = std::fmod(t_seconds, 86400.0) / 3600.0;
+  // Smooth bimodal-ish day: low at 4am, peak around 2pm.
+  return 1.0 + 0.8 * std::sin((hour - 8.0) / 24.0 * 2.0 * std::numbers::pi);
+}
+
+[[nodiscard]] int sample_size(util::Rng& rng, const CirneConfig& cfg) {
+  if (rng.bernoulli(cfg.serial_fraction)) return 1;
+  const int max_exp = static_cast<int>(std::floor(std::log2(cfg.max_job_nodes)));
+  if (rng.bernoulli(cfg.power_of_two_fraction)) {
+    // Power of two, smaller sizes more likely (geometric-ish weights).
+    std::vector<double> weights;
+    weights.reserve(static_cast<std::size_t>(max_exp));
+    for (int e = 1; e <= max_exp; ++e) {
+      weights.push_back(std::pow(0.72, e));
+    }
+    const auto pick = rng.discrete(weights);
+    return 1 << (static_cast<int>(pick) + 1);
+  }
+  // Non-power-of-two: log-uniform over [2, max_nodes].
+  const double v = std::exp(rng.uniform(std::log(2.0),
+                                        std::log(static_cast<double>(cfg.max_job_nodes))));
+  return std::clamp(static_cast<int>(std::llround(v)), 2, cfg.max_job_nodes);
+}
+
+}  // namespace
+
+CirneTrace generate_cirne(const CirneConfig& cfg) {
+  DMSIM_ASSERT(cfg.num_jobs > 0, "cirne: need at least one job");
+  DMSIM_ASSERT(cfg.system_nodes > 0, "cirne: system must have nodes");
+  DMSIM_ASSERT(cfg.max_job_nodes >= 1 &&
+                   cfg.max_job_nodes <= cfg.system_nodes,
+               "cirne: max job size must fit the system");
+  DMSIM_ASSERT(cfg.target_load > 0.0 && cfg.target_load <= 1.5,
+               "cirne: implausible target load");
+
+  util::Rng master(cfg.seed);
+  util::Rng size_rng = master.child("cirne.size");
+  util::Rng runtime_rng = master.child("cirne.runtime");
+  util::Rng wall_rng = master.child("cirne.walltime");
+  util::Rng arrival_rng = master.child("cirne.arrival");
+
+  CirneTrace out;
+  out.jobs.resize(cfg.num_jobs);
+
+  double total_node_seconds = 0.0;
+  for (auto& job : out.jobs) {
+    job.nodes = sample_size(size_rng, cfg);
+    job.runtime = std::clamp(runtime_rng.lognormal(cfg.runtime_mu, cfg.runtime_sigma),
+                             60.0, days(7));
+    job.walltime = job.runtime * wall_rng.uniform(cfg.walltime_factor_lo,
+                                                  cfg.walltime_factor_hi);
+    total_node_seconds += static_cast<double>(job.nodes) * job.runtime;
+  }
+
+  // Horizon giving the requested offered load.
+  out.horizon = total_node_seconds /
+                (static_cast<double>(cfg.system_nodes) * cfg.target_load);
+  out.offered_load = total_node_seconds /
+                     (static_cast<double>(cfg.system_nodes) * out.horizon);
+
+  // Arrivals: rejection-sample the daily-cycle density over [0, horizon).
+  constexpr double kMaxWeight = 1.8;
+  for (auto& job : out.jobs) {
+    for (;;) {
+      const double t = arrival_rng.uniform(0.0, out.horizon);
+      if (arrival_rng.uniform(0.0, kMaxWeight) <= daily_weight(t)) {
+        job.arrival = t;
+        break;
+      }
+    }
+  }
+  std::sort(out.jobs.begin(), out.jobs.end(),
+            [](const CirneJob& a, const CirneJob& b) {
+              return a.arrival < b.arrival;
+            });
+  return out;
+}
+
+}  // namespace dmsim::workload

@@ -1,0 +1,58 @@
+// CIRNE comprehensive workload model (Cirne & Berman, WWC-4 2001), as used
+// by the paper to synthesize HPC job arrival patterns, node counts, runtimes
+// and time limits (§3.1.2). Parameters are adapted to the published model:
+//
+//   * arrivals follow a daily cycle (more submissions during working hours),
+//     with the trace horizon derived from a target offered load,
+//   * job sizes are power-of-two biased, between 1 and max_nodes,
+//   * runtimes are log-normal with a heavy tail, clipped to [1 min, 7 days],
+//   * requested time limits overestimate the runtime (users pad their
+//     walltime), which is what EASY backfill reservations consume.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace dmsim::workload {
+
+/// A job skeleton before memory information is attached (Fig. 3 step 1).
+struct CirneJob {
+  Seconds arrival = 0.0;
+  int nodes = 1;
+  Seconds runtime = 0.0;   ///< actual (full-speed) runtime
+  Seconds walltime = 0.0;  ///< user-requested limit (>= runtime)
+};
+
+struct CirneConfig {
+  std::size_t num_jobs = 1000;
+  int system_nodes = 1024;
+  int max_job_nodes = 128;
+  /// Offered load: sum(nodes * runtime) / (system_nodes * horizon). The
+  /// horizon is derived from this; >= 0.7 matches the representative weeks
+  /// the paper simulates (§3.2.1).
+  double target_load = 0.8;
+  /// Fraction of serial (1-node) jobs.
+  double serial_fraction = 0.24;
+  /// Probability that a parallel job's size is a power of two.
+  double power_of_two_fraction = 0.75;
+  /// Log-normal runtime parameters (log-seconds).
+  double runtime_mu = 8.9;
+  double runtime_sigma = 1.4;
+  /// Walltime padding factor range: walltime = runtime * U[lo, hi].
+  double walltime_factor_lo = 1.1;
+  double walltime_factor_hi = 2.5;
+  std::uint64_t seed = 42;
+};
+
+struct CirneTrace {
+  std::vector<CirneJob> jobs;  ///< sorted by arrival (Fig. 3 step 4)
+  Seconds horizon = 0.0;       ///< derived submission window
+  double offered_load = 0.0;   ///< realized load over the horizon
+};
+
+[[nodiscard]] CirneTrace generate_cirne(const CirneConfig& config);
+
+}  // namespace dmsim::workload

@@ -1,0 +1,85 @@
+#include "workload/filter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "workload/generator.hpp"
+
+namespace dmsim::workload {
+
+trace::Workload resample_mix(const trace::Workload& jobs,
+                             double target_large_fraction, MiB normal_capacity,
+                             util::Rng& rng) {
+  DMSIM_ASSERT(target_large_fraction >= 0.0 && target_large_fraction <= 1.0,
+               "target large fraction must be in [0,1]");
+  // Partition indices by memory class.
+  std::vector<std::size_t> normal;
+  std::vector<std::size_t> large;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    (is_large_memory_job(jobs[i], normal_capacity) ? large : normal)
+        .push_back(i);
+  }
+
+  std::size_t want_large = 0;
+  std::size_t want_normal = 0;
+  if (target_large_fraction >= 1.0) {
+    want_large = large.size();
+  } else if (target_large_fraction <= 0.0) {
+    want_normal = normal.size();
+  } else {
+    // Output size limited by whichever class budget binds first.
+    const double by_large =
+        static_cast<double>(large.size()) / target_large_fraction;
+    const double by_normal =
+        static_cast<double>(normal.size()) / (1.0 - target_large_fraction);
+    const auto total =
+        static_cast<std::size_t>(std::floor(std::min(by_large, by_normal)));
+    want_large = static_cast<std::size_t>(
+        std::llround(static_cast<double>(total) * target_large_fraction));
+    want_large = std::min(want_large, large.size());
+    want_normal = std::min(total - want_large, normal.size());
+  }
+
+  rng.shuffle(normal);
+  rng.shuffle(large);
+  normal.resize(want_normal);
+  large.resize(want_large);
+
+  std::vector<std::size_t> chosen;
+  chosen.reserve(want_normal + want_large);
+  chosen.insert(chosen.end(), normal.begin(), normal.end());
+  chosen.insert(chosen.end(), large.begin(), large.end());
+  std::sort(chosen.begin(), chosen.end());  // preserve arrival order
+
+  trace::Workload out;
+  out.reserve(chosen.size());
+  for (const std::size_t idx : chosen) out.push_back(jobs[idx]);
+  return out;
+}
+
+trace::Workload rescale_arrivals(const trace::Workload& jobs,
+                                 double time_scale) {
+  DMSIM_ASSERT(time_scale > 0.0, "time scale must be positive");
+  trace::Workload out = jobs;
+  if (out.empty()) return out;
+  Seconds first = out.front().submit_time;
+  for (const auto& j : out) first = std::min(first, j.submit_time);
+  for (auto& j : out) {
+    j.submit_time = (j.submit_time - first) * time_scale;
+  }
+  return out;
+}
+
+trace::Workload with_overestimation(const trace::Workload& jobs,
+                                    double overestimation) {
+  DMSIM_ASSERT(overestimation >= 0.0, "overestimation must be non-negative");
+  trace::Workload out = jobs;
+  for (auto& j : out) {
+    j.requested_mem = static_cast<MiB>(std::llround(
+        static_cast<double>(j.peak_usage()) * (1.0 + overestimation)));
+  }
+  return out;
+}
+
+}  // namespace dmsim::workload

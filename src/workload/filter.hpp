@@ -1,0 +1,48 @@
+// Workload filtering and resampling utilities (paper Fig. 3 step 7: "filter
+// trace into a specific system memory ratio").
+//
+// The synthetic generator draws memory classes in the target proportion
+// directly; these utilities implement the paper's alternative path — start
+// from an existing trace and reshape it — and are what you would use on an
+// imported SWF trace.
+#pragma once
+
+#include "trace/job_spec.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace dmsim::workload {
+
+/// Keep only jobs matching `keep` (stable). Ids and submit times are
+/// preserved.
+template <typename Pred>
+[[nodiscard]] trace::Workload filter_jobs(const trace::Workload& jobs,
+                                          Pred keep) {
+  trace::Workload out;
+  for (const auto& j : jobs) {
+    if (keep(j)) out.push_back(j);
+  }
+  return out;
+}
+
+/// Resample (without replacement) to the target large-memory job fraction,
+/// preserving arrival order. The result is as large as the class budgets
+/// allow: with L large and N normal jobs available, the output holds
+/// min(L / target, N / (1 - target)) jobs split in the target proportion.
+/// target 0 or 1 selects only the respective class. Deterministic in `rng`.
+[[nodiscard]] trace::Workload resample_mix(const trace::Workload& jobs,
+                                           double target_large_fraction,
+                                           MiB normal_capacity,
+                                           util::Rng& rng);
+
+/// Shift all submit times so the first job arrives at 0 and optionally
+/// compress/stretch interarrival gaps by `time_scale` (> 1 stretches the
+/// trace, lowering offered load). Durations are untouched.
+[[nodiscard]] trace::Workload rescale_arrivals(const trace::Workload& jobs,
+                                               double time_scale = 1.0);
+
+/// Apply a new overestimation factor: request := peak * (1 + overestimation).
+[[nodiscard]] trace::Workload with_overestimation(const trace::Workload& jobs,
+                                                  double overestimation);
+
+}  // namespace dmsim::workload

@@ -1,0 +1,89 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "workload/archer.hpp"
+
+namespace dmsim::workload {
+
+SyntheticWorkload generate_synthetic(const SyntheticWorkloadConfig& config) {
+  DMSIM_ASSERT(config.pct_large_jobs >= 0.0 && config.pct_large_jobs <= 1.0,
+               "pct_large_jobs must be a fraction");
+  DMSIM_ASSERT(config.overestimation >= 0.0,
+               "overestimation must be non-negative");
+  DMSIM_ASSERT(config.large_capacity > config.normal_capacity,
+               "large capacity must exceed normal capacity");
+
+  util::Rng master(config.seed);
+
+  // Step 1: CIRNE skeleton (arrivals, sizes, runtimes, walltimes).
+  CirneConfig cirne_cfg = config.cirne;
+  cirne_cfg.seed = master.child("generator.cirne").seed();
+  const CirneTrace skeleton = generate_cirne(cirne_cfg);
+
+  // Step 2: pools of profiled apps and usage shapes.
+  SyntheticWorkload out;
+  out.apps = slowdown::AppPool::synthetic(master.child("generator.apps"),
+                                          config.app_pool_size);
+  out.usage_library = GoogleUsageLibrary::synthetic(
+      master.child("generator.usage"), config.usage_library_size);
+  out.horizon = skeleton.horizon;
+  out.offered_load = skeleton.offered_load;
+
+  // Steps 3-7: per job, match an app profile, draw the memory class and
+  // peak, match a usage shape, and apply the overestimation factor.
+  util::Rng class_rng = master.child("generator.class");
+  util::Rng mem_rng = master.child("generator.mem");
+  util::Rng hetero_rng = master.child("generator.hetero");
+  out.jobs.reserve(skeleton.jobs.size());
+  std::uint32_t next_id = 1;
+  for (const CirneJob& cj : skeleton.jobs) {
+    trace::JobSpec job;
+    job.id = JobId{next_id++};
+    job.submit_time = cj.arrival;
+    job.num_nodes = cj.nodes;
+    job.duration = cj.runtime;
+
+    // Step 7 (mix filter) folded into generation: draw the memory class in
+    // the target proportion, then the class-conditional peak (Table 3 fits).
+    const bool large = class_rng.bernoulli(config.pct_large_jobs);
+    const MiB peak =
+        large ? sample_large_class_peak(mem_rng, config.normal_capacity,
+                                        config.large_capacity)
+              : sample_normal_class_peak(mem_rng, config.normal_capacity);
+
+    // Step 3: nearest profiled app by (size, runtime).
+    job.app_profile = out.apps.match(static_cast<double>(cj.nodes), cj.runtime);
+
+    // Step 6: nearest Google-style usage shape by (size, runtime, memory),
+    // instantiated at the job's peak and RDP-compressed.
+    const std::size_t shape = out.usage_library.match(
+        static_cast<double>(cj.nodes), cj.runtime, peak);
+    job.usage =
+        out.usage_library.instantiate(shape, peak, config.rdp_epsilon_frac);
+
+    // Step 5 + overestimation sweep (§3.2.1): the user's request equals the
+    // true peak inflated by the overestimation factor.
+    job.requested_mem = static_cast<MiB>(std::llround(
+        static_cast<double>(job.peak_usage()) * (1.0 + config.overestimation)));
+
+    // Walltime must cover the padded runtime; keep the CIRNE padding.
+    job.walltime = cj.walltime;
+
+    // Per-node heterogeneity: some multi-node jobs are rank-0 heavy — the
+    // head node carries the full footprint, the rest a fraction of it.
+    if (cj.nodes > 1 && hetero_rng.bernoulli(config.rank0_heavy_fraction)) {
+      job.node_usage_scale.resize(static_cast<std::size_t>(cj.nodes), 1.0);
+      for (std::size_t n = 1; n < job.node_usage_scale.size(); ++n) {
+        job.node_usage_scale[n] = hetero_rng.uniform(0.5, 0.9);
+      }
+    }
+
+    out.jobs.push_back(std::move(job));
+  }
+  return out;
+}
+
+}  // namespace dmsim::workload

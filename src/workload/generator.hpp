@@ -1,0 +1,53 @@
+// End-to-end synthetic workload assembly (paper Fig. 3).
+//
+// Combines the CIRNE skeleton (step 1), the profiled app pool and
+// size/runtime matching (steps 2-4), memory requests (step 5), Google-style
+// usage-shape matching and RDP compression (step 6), the large-job-mix
+// filter (step 7) and the overestimation factor into a ready-to-simulate
+// Workload (steps 8-9).
+#pragma once
+
+#include <cstdint>
+
+#include "slowdown/model.hpp"
+#include "trace/job_spec.hpp"
+#include "workload/cirne.hpp"
+#include "workload/google_usage.hpp"
+
+namespace dmsim::workload {
+
+struct SyntheticWorkloadConfig {
+  CirneConfig cirne;             ///< arrival/size/runtime model
+  double pct_large_jobs = 0.5;   ///< fraction of large-memory jobs (Table 3 classes)
+  double overestimation = 0.0;   ///< request = peak * (1 + overestimation)
+  MiB normal_capacity = gib(64); ///< memory-class boundary (normal node size)
+  MiB large_capacity = gib(128); ///< upper clamp for large-class peaks
+  std::size_t app_pool_size = 64;
+  std::size_t usage_library_size = 256;
+  double rdp_epsilon_frac = 0.02;
+  /// Fraction of multi-node jobs that are rank-0 heavy: their non-head
+  /// nodes use a scaled-down footprint (LDMS traces show per-node spread).
+  /// 0 disables per-node heterogeneity.
+  double rank0_heavy_fraction = 0.3;
+  std::uint64_t seed = 42;       ///< master seed (also reseeds cirne)
+};
+
+struct SyntheticWorkload {
+  trace::Workload jobs;          ///< sorted by submit time, ids assigned
+  slowdown::AppPool apps;        ///< matched app profiles (jobs reference it)
+  GoogleUsageLibrary usage_library;
+  Seconds horizon = 0.0;
+  double offered_load = 0.0;
+};
+
+[[nodiscard]] SyntheticWorkload generate_synthetic(
+    const SyntheticWorkloadConfig& config);
+
+/// The memory class a job belongs to given the capacity boundary
+/// (Table 3: large-memory jobs cannot run on a normal node under Baseline).
+[[nodiscard]] inline bool is_large_memory_job(const trace::JobSpec& job,
+                                              MiB normal_capacity) noexcept {
+  return job.peak_usage() > normal_capacity;
+}
+
+}  // namespace dmsim::workload

@@ -1,0 +1,155 @@
+#include "workload/grizzly.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "workload/archer.hpp"
+
+namespace dmsim::workload {
+
+namespace {
+
+constexpr Seconds kWeek = 7.0 * 86400.0;
+
+struct RawJob {
+  Seconds arrival = 0.0;
+  int nodes = 1;
+  Seconds runtime = 0.0;
+  Seconds walltime = 0.0;
+  MiB peak = 0;
+};
+
+/// Draw the jobs of one week: node-seconds accumulate until the week's
+/// utilization target is met. Memory peaks follow Table 2's Grizzly columns
+/// by size class.
+[[nodiscard]] std::vector<RawJob> draw_week_jobs(const GrizzlyConfig& cfg,
+                                                 util::Rng rng,
+                                                 double utilization) {
+  const double target_node_seconds =
+      utilization * static_cast<double>(cfg.system_nodes) * kWeek;
+  std::vector<RawJob> jobs;
+  double acc = 0.0;
+  while (acc < target_node_seconds) {
+    RawJob j;
+    j.arrival = rng.uniform(0.0, kWeek);
+    // Grizzly sizes skew small; a few capability jobs span hundreds of nodes.
+    const double u = rng.uniform();
+    if (u < 0.35) {
+      j.nodes = 1;
+    } else if (u < 0.85 || cfg.max_job_nodes <= 32) {
+      j.nodes = static_cast<int>(
+          std::pow(2.0, static_cast<double>(rng.uniform_int(1, 5))));
+    } else {
+      // Capability jobs (> 32 nodes) only exist when the cap allows them.
+      j.nodes = static_cast<int>(rng.uniform_int(33, cfg.max_job_nodes));
+    }
+    j.nodes = std::min({j.nodes, cfg.system_nodes, cfg.max_job_nodes});
+    j.runtime = std::clamp(rng.lognormal(9.3, 1.3), 120.0, kWeek);
+    j.walltime = j.runtime * rng.uniform(1.1, 2.5);
+    const SizeClass size_class =
+        j.nodes > 32 ? SizeClass::Large : SizeClass::Small;
+    j.peak = sample_peak_memory(rng, TraceFamily::Grizzly, size_class,
+                                cfg.node_capacity);
+    acc += static_cast<double>(j.nodes) * j.runtime;
+    jobs.push_back(j);
+  }
+  std::sort(jobs.begin(), jobs.end(),
+            [](const RawJob& a, const RawJob& b) { return a.arrival < b.arrival; });
+  return jobs;
+}
+
+}  // namespace
+
+GrizzlyTrace generate_grizzly(const GrizzlyConfig& cfg) {
+  DMSIM_ASSERT(cfg.weeks > 0, "grizzly: need at least one week");
+  DMSIM_ASSERT(cfg.system_nodes > 0, "grizzly: system must have nodes");
+  DMSIM_ASSERT(cfg.sample_weeks > 0, "grizzly: must sample at least one week");
+
+  util::Rng master(cfg.seed);
+  GrizzlyTrace out;
+  out.apps = slowdown::AppPool::synthetic(master.child("grizzly.apps"),
+                                          cfg.app_pool_size);
+  out.usage_library = GoogleUsageLibrary::synthetic(
+      master.child("grizzly.usage"), cfg.usage_library_size);
+
+  util::Rng util_rng = master.child("grizzly.utilization");
+  out.weeks.reserve(static_cast<std::size_t>(cfg.weeks));
+  for (int w = 0; w < cfg.weeks; ++w) {
+    const double utilization = std::clamp(
+        util_rng.normal(cfg.utilization_mean, cfg.utilization_stddev), 0.15,
+        0.95);
+    const auto jobs = draw_week_jobs(
+        cfg, master.child("grizzly.week", static_cast<std::uint64_t>(w)),
+        utilization);
+    GrizzlyWeek week;
+    week.index = w;
+    week.target_utilization = utilization;
+    week.job_count = jobs.size();
+    double node_seconds = 0.0;
+    for (const RawJob& j : jobs) {
+      node_seconds += static_cast<double>(j.nodes) * j.runtime;
+      week.max_job_node_hours =
+          std::max(week.max_job_node_hours,
+                   static_cast<double>(j.nodes) * j.runtime / 3600.0);
+      week.max_job_memory = std::max(week.max_job_memory, j.peak);
+    }
+    week.cpu_utilization =
+        node_seconds / (static_cast<double>(cfg.system_nodes) * kWeek);
+    out.weeks.push_back(week);
+  }
+
+  // Fig. 2: random sample among the representative (>= 70% util) weeks.
+  std::vector<int> eligible;
+  for (const auto& w : out.weeks) {
+    if (w.cpu_utilization >= cfg.utilization_floor) {
+      eligible.push_back(w.index);
+    }
+  }
+  util::Rng pick_rng = master.child("grizzly.pick");
+  pick_rng.shuffle(eligible);
+  const std::size_t take =
+      std::min<std::size_t>(eligible.size(),
+                            static_cast<std::size_t>(cfg.sample_weeks));
+  for (std::size_t i = 0; i < take; ++i) {
+    out.weeks[static_cast<std::size_t>(eligible[i])].selected = true;
+  }
+  return out;
+}
+
+trace::Workload materialize_grizzly_week(const GrizzlyConfig& cfg,
+                                         const GrizzlyTrace& trace,
+                                         int week_index) {
+  DMSIM_ASSERT(week_index >= 0 &&
+                   static_cast<std::size_t>(week_index) < trace.weeks.size(),
+               "grizzly week index out of range");
+  util::Rng master(cfg.seed);
+  const GrizzlyWeek& week = trace.weeks[static_cast<std::size_t>(week_index)];
+  // Re-draw the identical raw jobs (same child seed as generate_grizzly).
+  const auto raw = draw_week_jobs(
+      cfg, master.child("grizzly.week", static_cast<std::uint64_t>(week_index)),
+      week.target_utilization);
+
+  trace::Workload jobs;
+  jobs.reserve(raw.size());
+  std::uint32_t next_id = 1;
+  for (const RawJob& rj : raw) {
+    trace::JobSpec job;
+    job.id = JobId{next_id++};
+    job.submit_time = rj.arrival;
+    job.num_nodes = rj.nodes;
+    job.duration = rj.runtime;
+    job.walltime = rj.walltime;
+    job.app_profile =
+        trace.apps.match(static_cast<double>(rj.nodes), rj.runtime);
+    const std::size_t shape = trace.usage_library.match(
+        static_cast<double>(rj.nodes), rj.runtime, rj.peak);
+    job.usage = trace.usage_library.instantiate(shape, rj.peak);
+    job.requested_mem = static_cast<MiB>(std::llround(
+        static_cast<double>(job.peak_usage()) * (1.0 + cfg.overestimation)));
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+}  // namespace dmsim::workload

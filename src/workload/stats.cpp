@@ -1,0 +1,67 @@
+#include "workload/stats.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dmsim::workload {
+
+WorkloadStats characterize(std::span<const trace::JobSpec> jobs,
+                           MiB normal_capacity) {
+  DMSIM_ASSERT(normal_capacity > 0, "normal capacity must be positive");
+  WorkloadStats out;
+  out.total_jobs = jobs.size();
+  if (jobs.empty()) return out;
+
+  std::vector<double> submits;
+  std::vector<double> normal_mem, large_mem, normal_ns, large_ns;
+  submits.reserve(jobs.size());
+
+  bool first = true;
+  for (const auto& j : jobs) {
+    if (first) {
+      out.first_submit = j.submit_time;
+      out.last_submit = j.submit_time;
+      first = false;
+    } else {
+      out.first_submit = std::min(out.first_submit, j.submit_time);
+      out.last_submit = std::max(out.last_submit, j.submit_time);
+    }
+    submits.push_back(j.submit_time);
+    out.nodes.add(static_cast<double>(j.num_nodes));
+    out.runtime.add(j.duration);
+    out.total_node_seconds += j.node_seconds();
+
+    const MiB peak = j.peak_usage();
+    if (peak > 0) {
+      out.request_ratio.add(static_cast<double>(j.requested_mem) /
+                            static_cast<double>(peak));
+    }
+    const bool large = peak > normal_capacity;
+    ClassSummary& cls = large ? out.large : out.normal;
+    if (large) ++out.large_memory_jobs;
+    ++cls.jobs;
+    (large ? large_mem : normal_mem).push_back(static_cast<double>(peak));
+    (large ? large_ns : normal_ns).push_back(j.node_seconds());
+    if (peak > 0) {
+      cls.avg_peak_ratio.add(j.usage.average() / static_cast<double>(peak));
+    }
+  }
+
+  std::sort(submits.begin(), submits.end());
+  for (std::size_t i = 1; i < submits.size(); ++i) {
+    out.interarrival.add(submits[i] - submits[i - 1]);
+  }
+  if (!normal_mem.empty()) {
+    out.normal.peak_memory_mib = util::quartiles(normal_mem);
+    out.normal.node_seconds = util::quartiles(normal_ns);
+  }
+  if (!large_mem.empty()) {
+    out.large.peak_memory_mib = util::quartiles(large_mem);
+    out.large.node_seconds = util::quartiles(large_ns);
+  }
+  return out;
+}
+
+}  // namespace dmsim::workload

@@ -1,0 +1,53 @@
+// Workload characterization: the Table 1/Table 3-style summaries the paper
+// uses to describe its traces, computed for any dmsim workload.
+#pragma once
+
+#include <span>
+
+#include "trace/job_spec.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace dmsim::workload {
+
+struct ClassSummary {
+  std::size_t jobs = 0;
+  util::Quartiles peak_memory_mib{};   ///< per-node peak usage
+  util::Quartiles node_seconds{};
+  util::OnlineStats avg_peak_ratio;    ///< usage.average() / peak per job
+};
+
+struct WorkloadStats {
+  std::size_t total_jobs = 0;
+  Seconds first_submit = 0.0;
+  Seconds last_submit = 0.0;
+  double total_node_seconds = 0.0;
+
+  util::OnlineStats nodes;          ///< job sizes
+  util::OnlineStats runtime;        ///< full-speed durations
+  util::OnlineStats interarrival;   ///< gaps between successive submits
+  util::OnlineStats request_ratio;  ///< requested / peak (1 + overestimation)
+
+  std::size_t large_memory_jobs = 0;  ///< peak > normal capacity
+  ClassSummary normal;
+  ClassSummary large;
+
+  /// Offered load against a system of `nodes` over the submission window.
+  [[nodiscard]] double offered_load(int system_nodes) const noexcept {
+    const Seconds window = last_submit - first_submit;
+    if (window <= 0.0 || system_nodes <= 0) return 0.0;
+    return total_node_seconds / (static_cast<double>(system_nodes) * window);
+  }
+  [[nodiscard]] double large_fraction() const noexcept {
+    return total_jobs == 0
+               ? 0.0
+               : static_cast<double>(large_memory_jobs) /
+                     static_cast<double>(total_jobs);
+  }
+};
+
+/// Characterize a workload; `normal_capacity` sets the Table 3 class split.
+[[nodiscard]] WorkloadStats characterize(std::span<const trace::JobSpec> jobs,
+                                         MiB normal_capacity);
+
+}  // namespace dmsim::workload

@@ -1,0 +1,108 @@
+// Detailed ledger behaviours: shrink ordering, borrow merging, and
+// aggregate counters under interleaved multi-job traffic.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+
+namespace dmsim::cluster {
+namespace {
+
+constexpr MiB kGiB = 1024;
+
+TEST(LedgerDetail, ShrinkReturnsLargestBorrowFirst) {
+  // Host on node 3 borrows from nodes 0..2 in uneven amounts.
+  Cluster c(make_cluster_config(4, 64 * kGiB, 0, 0, 32));
+  const JobId job{1};
+  c.assign_job(job, std::vector<NodeId>{NodeId{3}});
+  (void)c.grow_local(job, NodeId{3}, 64 * kGiB);
+  // MostFree would equalize; force uneven borrows with targeted grows.
+  // First borrow drains node 0 (most free, id tie-break) fully.
+  (void)c.grow_remote(job, NodeId{3}, 64 * kGiB);          // node 0: 64
+  (void)c.grow_remote(job, NodeId{3}, 10 * kGiB);          // node 1: 10
+  ASSERT_EQ(c.node(NodeId{0}).lent, 64 * kGiB);
+  ASSERT_EQ(c.node(NodeId{1}).lent, 10 * kGiB);
+
+  // Shrinking 30 GiB must come from the largest borrow (node 0).
+  EXPECT_EQ(c.shrink_remote(job, NodeId{3}, 30 * kGiB), 30 * kGiB);
+  EXPECT_EQ(c.node(NodeId{0}).lent, 34 * kGiB);
+  EXPECT_EQ(c.node(NodeId{1}).lent, 10 * kGiB);
+  c.check_invariants();
+}
+
+TEST(LedgerDetail, RepeatedBorrowsMergeEdges) {
+  Cluster c(make_cluster_config(2, 64 * kGiB, 0, 0, 32));
+  const JobId job{1};
+  c.assign_job(job, std::vector<NodeId>{NodeId{0}});
+  for (int i = 0; i < 10; ++i) {
+    (void)c.grow_remote(job, NodeId{0}, 1 * kGiB);
+  }
+  const AllocationSlot& slot = c.slot(job, NodeId{0});
+  ASSERT_EQ(slot.remote.size(), 1u);  // one merged edge, not ten
+  EXPECT_EQ(slot.remote_total(), 10 * kGiB);
+  EXPECT_EQ(c.borrowers_of(NodeId{1}).size(), 1u);
+}
+
+TEST(LedgerDetail, TotalLentTracksAllTraffic) {
+  Cluster c(make_cluster_config(4, 64 * kGiB, 0, 0, 32));
+  EXPECT_EQ(c.total_lent(), 0);
+  const JobId a{1};
+  const JobId b{2};
+  c.assign_job(a, std::vector<NodeId>{NodeId{0}});
+  c.assign_job(b, std::vector<NodeId>{NodeId{1}});
+  (void)c.grow_remote(a, NodeId{0}, 20 * kGiB);
+  (void)c.grow_remote(b, NodeId{1}, 12 * kGiB);
+  EXPECT_EQ(c.total_lent(), 32 * kGiB);
+  (void)c.shrink_remote(a, NodeId{0}, 5 * kGiB);
+  EXPECT_EQ(c.total_lent(), 27 * kGiB);
+  c.finish_job(a);
+  EXPECT_EQ(c.total_lent(), 12 * kGiB);
+  c.finish_job(b);
+  EXPECT_EQ(c.total_lent(), 0);
+  c.check_invariants();
+}
+
+TEST(LedgerDetail, BorrowersOfEmptyAfterFullShrink) {
+  Cluster c(make_cluster_config(2, 64 * kGiB, 0, 0, 32));
+  const JobId job{1};
+  c.assign_job(job, std::vector<NodeId>{NodeId{0}});
+  (void)c.grow_remote(job, NodeId{0}, 8 * kGiB);
+  EXPECT_EQ(c.borrowers_of(NodeId{1}).size(), 1u);
+  (void)c.shrink_remote(job, NodeId{0}, 8 * kGiB);
+  EXPECT_TRUE(c.borrowers_of(NodeId{1}).empty());
+  // The zeroed edge is purged from the slot too.
+  EXPECT_TRUE(c.slot(job, NodeId{0}).remote.empty());
+}
+
+TEST(LedgerDetail, GrowLocalZeroIsNoop) {
+  Cluster c(make_cluster_config(1, 64 * kGiB, 0, 0, 32));
+  const JobId job{1};
+  c.assign_job(job, std::vector<NodeId>{NodeId{0}});
+  EXPECT_EQ(c.grow_local(job, NodeId{0}, 0), 0);
+  EXPECT_EQ(c.grow_remote(job, NodeId{0}, 0), 0);
+  EXPECT_EQ(c.shrink_local(job, NodeId{0}, 0), 0);
+  EXPECT_EQ(c.shrink_remote(job, NodeId{0}, 0), 0);
+  EXPECT_EQ(c.total_allocated(), 0);
+  c.check_invariants();
+}
+
+TEST(LedgerDetail, SingleNodeClusterCannotBorrow) {
+  Cluster c(make_cluster_config(1, 64 * kGiB, 0, 0, 32));
+  const JobId job{1};
+  c.assign_job(job, std::vector<NodeId>{NodeId{0}});
+  EXPECT_EQ(c.grow_remote(job, NodeId{0}, 10 * kGiB), 0);
+  EXPECT_EQ(c.total_lent(), 0);
+}
+
+TEST(LedgerDetail, RemoteFractionBounds) {
+  Cluster c(make_cluster_config(3, 64 * kGiB, 0, 0, 32));
+  const JobId job{1};
+  c.assign_job(job, std::vector<NodeId>{NodeId{0}});
+  EXPECT_DOUBLE_EQ(c.slot(job, NodeId{0}).remote_fraction(), 0.0);  // empty
+  (void)c.grow_remote(job, NodeId{0}, 10 * kGiB);
+  EXPECT_DOUBLE_EQ(c.slot(job, NodeId{0}).remote_fraction(), 1.0);  // all remote
+  (void)c.grow_local(job, NodeId{0}, 30 * kGiB);
+  EXPECT_DOUBLE_EQ(c.slot(job, NodeId{0}).remote_fraction(), 0.25);
+}
+
+}  // namespace
+}  // namespace dmsim::cluster

@@ -1,0 +1,100 @@
+// Facade-level consistency checks complementing simulator_test.cpp.
+#include <gtest/gtest.h>
+
+#include "core/dmsim.hpp"
+#include "metrics/timeline.hpp"
+
+namespace dmsim {
+namespace {
+
+constexpr MiB kGiB = 1024;
+
+trace::Workload small_workload(std::size_t n) {
+  trace::Workload jobs;
+  for (std::uint32_t i = 1; i <= n; ++i) {
+    trace::JobSpec j;
+    j.id = JobId{i};
+    j.submit_time = i * 3.0;
+    j.num_nodes = 1 + static_cast<int>(i % 2);
+    j.requested_mem = 24 * kGiB;
+    j.duration = 200.0 + 13.0 * i;
+    j.walltime = j.duration * 1.5;
+    j.usage = trace::UsageTrace(
+        {{0.0, 24 * kGiB}, {0.5, static_cast<MiB>(4 + i) * kGiB}});
+    jobs.push_back(std::move(j));
+  }
+  return jobs;
+}
+
+TEST(FacadeDetail, NoSamplesUnlessConfigured) {
+  SimulationConfig cfg;
+  cfg.system.total_nodes = 8;
+  cfg.system.pct_large_nodes = 0.5;
+  Simulator sim(cfg, small_workload(6), nullptr);
+  const SimulationResult r = sim.run();
+  EXPECT_TRUE(r.valid);
+  EXPECT_TRUE(r.samples.empty());
+}
+
+TEST(FacadeDetail, CostMatchesCostModelExactly) {
+  SimulationConfig cfg;
+  cfg.system.total_nodes = 10;
+  cfg.system.pct_large_nodes = 0.3;
+  Simulator sim(cfg, small_workload(3), nullptr);
+  const SimulationResult r = sim.run();
+  const metrics::CostModel cost;
+  EXPECT_DOUBLE_EQ(r.system_cost_usd,
+                   cost.system_cost(10, cfg.system.total_memory()));
+}
+
+TEST(FacadeDetail, RecordsAlignWithSummary) {
+  SimulationConfig cfg;
+  cfg.system.total_nodes = 8;
+  cfg.system.pct_large_nodes = 0.5;
+  cfg.policy = policy::PolicyKind::Dynamic;
+  Simulator sim(cfg, small_workload(10), nullptr);
+  const SimulationResult r = sim.run();
+  std::size_t completed = 0;
+  for (const auto& rec : r.records) {
+    if (rec.outcome == sched::JobOutcome::Completed) ++completed;
+  }
+  EXPECT_EQ(completed, r.summary.completed);
+  EXPECT_EQ(r.records.size(), r.summary.total_jobs);
+}
+
+TEST(FacadeDetail, TimelineReportsComposeWithFacadeOutput) {
+  SimulationConfig cfg;
+  cfg.system.total_nodes = 8;
+  cfg.system.pct_large_nodes = 0.5;
+  cfg.policy = policy::PolicyKind::Dynamic;
+  cfg.sched.sample_interval = 60.0;
+  Simulator sim(cfg, small_workload(10), nullptr);
+  const SimulationResult r = sim.run();
+  ASSERT_FALSE(r.samples.empty());
+  const auto util = metrics::utilization_report(r.samples, r.provisioned_memory,
+                                                cfg.system.total_nodes);
+  EXPECT_GT(util.avg_allocated_fraction, 0.0);
+  EXPECT_LE(util.peak_allocated_fraction, 1.0);
+  EXPECT_GE(util.avg_allocated_fraction, util.avg_used_fraction - 1e-9);
+  const auto slowdowns = metrics::slowdown_report(r.records);
+  EXPECT_EQ(slowdowns.jobs, r.summary.completed);
+  EXPECT_GE(slowdowns.bounded.mean(), 1.0 - 1e-9);
+}
+
+TEST(FacadeDetail, WalltimeKilledJobsExcludedFromThroughput) {
+  SimulationConfig cfg;
+  cfg.system.total_nodes = 4;
+  cfg.system.pct_large_nodes = 0.5;
+  cfg.sched.enforce_walltime = true;
+  trace::Workload jobs = small_workload(4);
+  jobs[0].walltime = jobs[0].duration / 2;  // will be killed
+  Simulator sim(cfg, std::move(jobs), nullptr);
+  const SimulationResult r = sim.run();
+  EXPECT_EQ(r.totals.walltime_kills, 1u);
+  EXPECT_EQ(r.summary.completed, 3u);
+  // Killed jobs contribute no response-time samples.
+  EXPECT_EQ(r.summary.response_times.size(), 3u);
+}
+
+}  // namespace
+}  // namespace dmsim

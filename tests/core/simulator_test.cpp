@@ -1,0 +1,78 @@
+#include "core/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dmsim {
+namespace {
+
+constexpr MiB kGiB = 1024;
+
+trace::Workload tiny_workload() {
+  trace::Workload jobs;
+  for (std::uint32_t i = 1; i <= 5; ++i) {
+    trace::JobSpec j;
+    j.id = JobId{i};
+    j.submit_time = i * 5.0;
+    j.num_nodes = 1;
+    j.requested_mem = 16 * kGiB;
+    j.duration = 100.0;
+    j.walltime = 150.0;
+    j.usage = trace::UsageTrace::constant(16 * kGiB);
+    jobs.push_back(j);
+  }
+  return jobs;
+}
+
+SimulationConfig tiny_config(policy::PolicyKind kind) {
+  SimulationConfig cfg;
+  cfg.system.total_nodes = 4;
+  cfg.system.pct_large_nodes = 0.5;
+  cfg.policy = kind;
+  return cfg;
+}
+
+TEST(Simulator, RunsWorkloadToCompletion) {
+  Simulator sim(tiny_config(policy::PolicyKind::Dynamic), tiny_workload(),
+                nullptr);
+  const SimulationResult r = sim.run();
+  EXPECT_TRUE(r.valid);
+  EXPECT_EQ(r.summary.completed, 5u);
+  EXPECT_EQ(r.records.size(), 5u);
+  EXPECT_GT(r.summary.throughput, 0.0);
+  EXPECT_EQ(r.provisioned_memory, 2 * gib(64) + 2 * gib(128));
+  EXPECT_GT(r.system_cost_usd, 0.0);
+  EXPECT_EQ(sim.cluster().total_allocated(), 0);
+}
+
+TEST(Simulator, InvalidWorkloadShortCircuits) {
+  trace::Workload jobs = tiny_workload();
+  jobs[0].requested_mem = 4096 * kGiB;  // cannot ever fit
+  Simulator sim(tiny_config(policy::PolicyKind::Baseline), std::move(jobs),
+                nullptr);
+  const SimulationResult r = sim.run();
+  EXPECT_FALSE(r.valid);
+  EXPECT_EQ(r.summary.completed, 0u);
+  EXPECT_EQ(r.records.size(), 5u);  // records still reported
+}
+
+TEST(Simulator, SamplesExposedWhenConfigured) {
+  SimulationConfig cfg = tiny_config(policy::PolicyKind::Static);
+  cfg.sched.sample_interval = 25.0;
+  Simulator sim(cfg, tiny_workload(), nullptr);
+  const SimulationResult r = sim.run();
+  EXPECT_GT(r.samples.size(), 2u);
+}
+
+TEST(Simulator, AllPolicyKindsRun) {
+  for (const auto kind : {policy::PolicyKind::Baseline,
+                          policy::PolicyKind::Static,
+                          policy::PolicyKind::Dynamic}) {
+    Simulator sim(tiny_config(kind), tiny_workload(), nullptr);
+    const SimulationResult r = sim.run();
+    EXPECT_TRUE(r.valid) << to_string(kind);
+    EXPECT_EQ(r.summary.completed, 5u) << to_string(kind);
+  }
+}
+
+}  // namespace
+}  // namespace dmsim

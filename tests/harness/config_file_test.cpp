@@ -1,0 +1,215 @@
+#include "harness/config_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace dmsim::harness {
+namespace {
+
+TEST(ParseMemory, UnitsAndDefaults) {
+  EXPECT_EQ(parse_memory("1024"), 1024);       // bare MiB
+  EXPECT_EQ(parse_memory("64G"), 64 * 1024);
+  EXPECT_EQ(parse_memory("64 GB"), 64 * 1024);
+  EXPECT_EQ(parse_memory("2GiB"), 2048);
+  EXPECT_EQ(parse_memory("1T"), 1024 * 1024);
+  EXPECT_EQ(parse_memory("512M"), 512);
+  EXPECT_EQ(parse_memory("2048K"), 2);
+  EXPECT_EQ(parse_memory("1.5G"), 1536);
+}
+
+TEST(ParseMemory, Rejections) {
+  EXPECT_THROW(parse_memory("abc"), ConfigError);
+  EXPECT_THROW(parse_memory("64X"), ConfigError);
+  EXPECT_THROW(parse_memory("-5G"), ConfigError);
+}
+
+TEST(ParseDuration, UnitsAndDefaults) {
+  EXPECT_DOUBLE_EQ(parse_duration("300"), 300.0);  // bare seconds
+  EXPECT_DOUBLE_EQ(parse_duration("30s"), 30.0);
+  EXPECT_DOUBLE_EQ(parse_duration("5min"), 300.0);
+  EXPECT_DOUBLE_EQ(parse_duration("5 m"), 300.0);
+  EXPECT_DOUBLE_EQ(parse_duration("2h"), 7200.0);
+  EXPECT_DOUBLE_EQ(parse_duration("1d"), 86400.0);
+  EXPECT_DOUBLE_EQ(parse_duration("0.5h"), 1800.0);
+}
+
+TEST(ParseDuration, Rejections) {
+  EXPECT_THROW(parse_duration("soon"), ConfigError);
+  EXPECT_THROW(parse_duration("5 fortnights"), ConfigError);
+  EXPECT_THROW(parse_duration("-3s"), ConfigError);
+}
+
+TEST(ParseBool, Variants) {
+  EXPECT_TRUE(parse_bool("yes"));
+  EXPECT_TRUE(parse_bool("TRUE"));
+  EXPECT_TRUE(parse_bool("1"));
+  EXPECT_TRUE(parse_bool("on"));
+  EXPECT_FALSE(parse_bool("no"));
+  EXPECT_FALSE(parse_bool("False"));
+  EXPECT_FALSE(parse_bool("0"));
+  EXPECT_FALSE(parse_bool("off"));
+  EXPECT_THROW(parse_bool("maybe"), ConfigError);
+}
+
+TEST(ParseEnums, PolicyNames) {
+  EXPECT_EQ(parse_policy("baseline"), policy::PolicyKind::Baseline);
+  EXPECT_EQ(parse_policy("Static"), policy::PolicyKind::Static);
+  EXPECT_EQ(parse_policy("DYNAMIC"), policy::PolicyKind::Dynamic);
+  EXPECT_THROW(parse_policy("magic"), ConfigError);
+}
+
+TEST(ParseEnums, LenderAndOom) {
+  EXPECT_EQ(parse_lender_policy("memory_nodes_first"),
+            cluster::LenderPolicy::MemoryNodesFirst);
+  EXPECT_EQ(parse_lender_policy("most_free"), cluster::LenderPolicy::MostFree);
+  EXPECT_EQ(parse_lender_policy("LEAST_FREE"), cluster::LenderPolicy::LeastFree);
+  EXPECT_THROW(parse_lender_policy("greedy"), ConfigError);
+  EXPECT_EQ(parse_oom_handling("fail_restart"), sched::OomHandling::FailRestart);
+  EXPECT_EQ(parse_oom_handling("C/R"), sched::OomHandling::CheckpointRestart);
+  EXPECT_THROW(parse_oom_handling("panic"), ConfigError);
+}
+
+TEST(ParseConfig, FullExample) {
+  std::istringstream in(R"(
+# system
+Nodes = 512
+PctLargeNodes = 0.25
+NormalCapacity = 64G
+LargeCapacity = 128G
+CoresPerNode = 36
+LenderPolicy = most_free
+
+AllocationPolicy = dynamic
+SchedulerInterval = 30s
+QueueDepth = 50
+BackfillDepth = 80
+EnableBackfill = yes
+UpdateInterval = 5min
+OomHandling = checkpoint_restart
+GuaranteedAfterFailures = 2
+PriorityBoostPerFailure = 1
+MaxRestarts = 20
+EnforceWalltime = no
+SampleInterval = 10min
+
+Jobs = 777            # inline comment
+TargetLoad = 0.9
+PctLargeJobs = 0.4
+Overestimation = 0.6
+MaxJobNodes = 64
+Seed = 1234
+)");
+  const FileConfig cfg = parse_config(in);
+  EXPECT_EQ(cfg.simulation.system.total_nodes, 512);
+  EXPECT_DOUBLE_EQ(cfg.simulation.system.pct_large_nodes, 0.25);
+  EXPECT_EQ(cfg.simulation.system.normal_capacity, 64 * 1024);
+  EXPECT_EQ(cfg.simulation.system.large_capacity, 128 * 1024);
+  EXPECT_EQ(cfg.simulation.system.cores_per_node, 36);
+  EXPECT_EQ(cfg.simulation.system.lender_policy,
+            cluster::LenderPolicy::MostFree);
+  EXPECT_EQ(cfg.simulation.policy, policy::PolicyKind::Dynamic);
+  EXPECT_DOUBLE_EQ(cfg.simulation.sched.sched_interval, 30.0);
+  EXPECT_EQ(cfg.simulation.sched.queue_depth, 50);
+  EXPECT_EQ(cfg.simulation.sched.backfill_depth, 80);
+  EXPECT_TRUE(cfg.simulation.sched.enable_backfill);
+  EXPECT_DOUBLE_EQ(cfg.simulation.sched.update_interval, 300.0);
+  EXPECT_EQ(cfg.simulation.sched.oom_handling,
+            sched::OomHandling::CheckpointRestart);
+  EXPECT_EQ(cfg.simulation.sched.guaranteed_after_failures, 2);
+  EXPECT_EQ(cfg.simulation.sched.priority_boost_per_failure, 1);
+  EXPECT_EQ(cfg.simulation.sched.max_restarts, 20);
+  EXPECT_FALSE(cfg.simulation.sched.enforce_walltime);
+  EXPECT_DOUBLE_EQ(cfg.simulation.sched.sample_interval, 600.0);
+  EXPECT_TRUE(cfg.has_workload);
+  EXPECT_EQ(cfg.workload.cirne.num_jobs, 777u);
+  EXPECT_DOUBLE_EQ(cfg.workload.cirne.target_load, 0.9);
+  EXPECT_DOUBLE_EQ(cfg.workload.pct_large_jobs, 0.4);
+  EXPECT_DOUBLE_EQ(cfg.workload.overestimation, 0.6);
+  EXPECT_EQ(cfg.workload.cirne.max_job_nodes, 64);
+  EXPECT_EQ(cfg.workload.seed, 1234u);
+  // Workload classes inherit the system's node sizes.
+  EXPECT_EQ(cfg.workload.normal_capacity, 64 * 1024);
+  EXPECT_EQ(cfg.workload.large_capacity, 128 * 1024);
+  // Workload system size follows Nodes.
+  EXPECT_EQ(cfg.workload.cirne.system_nodes, 512);
+}
+
+TEST(ParseConfig, BackfillAndUpdateModes) {
+  std::istringstream in(
+      "BackfillMode = conservative\n"
+      "UpdateMode = global_batch\n");
+  const FileConfig cfg = parse_config(in);
+  EXPECT_EQ(cfg.simulation.sched.backfill_mode,
+            sched::BackfillMode::Conservative);
+  EXPECT_EQ(cfg.simulation.sched.update_mode, sched::UpdateMode::GlobalBatch);
+
+  std::istringstream in2("BackfillMode = off\nUpdateMode = staggered\n");
+  const FileConfig cfg2 = parse_config(in2);
+  EXPECT_EQ(cfg2.simulation.sched.backfill_mode, sched::BackfillMode::Off);
+  EXPECT_EQ(cfg2.simulation.sched.update_mode,
+            sched::UpdateMode::PerJobStaggered);
+
+  std::istringstream bad("BackfillMode = eager\n");
+  EXPECT_THROW(parse_config(bad), ConfigError);
+  std::istringstream bad2("UpdateMode = psychic\n");
+  EXPECT_THROW(parse_config(bad2), ConfigError);
+}
+
+TEST(ParseConfig, DefaultsWhenEmpty) {
+  std::istringstream in("");
+  const FileConfig cfg = parse_config(in);
+  EXPECT_FALSE(cfg.has_workload);
+  EXPECT_EQ(cfg.simulation.policy, policy::PolicyKind::Dynamic);
+  EXPECT_EQ(cfg.simulation.sched.queue_depth, 100);
+}
+
+TEST(ParseConfig, KeysAreCaseInsensitive) {
+  std::istringstream in("NODES=16\nallocationPOLICY=static\n");
+  const FileConfig cfg = parse_config(in);
+  EXPECT_EQ(cfg.simulation.system.total_nodes, 16);
+  EXPECT_EQ(cfg.simulation.policy, policy::PolicyKind::Static);
+}
+
+TEST(ParseConfig, UnknownKeyRejected) {
+  std::istringstream in("Nodse = 16\n");
+  EXPECT_THROW(parse_config(in), ConfigError);
+}
+
+TEST(ParseConfig, MissingEqualsRejected) {
+  std::istringstream in("Nodes 16\n");
+  EXPECT_THROW(parse_config(in), ConfigError);
+}
+
+TEST(ParseConfig, EmptyValueRejected) {
+  std::istringstream in("Nodes =\n");
+  EXPECT_THROW(parse_config(in), ConfigError);
+}
+
+TEST(ParseConfig, MissingFileThrows) {
+  EXPECT_THROW(parse_config_file("/nonexistent/cluster.conf"), ConfigError);
+}
+
+TEST(ParseConfig, ParsedConfigRunsEndToEnd) {
+  std::istringstream in(R"(
+Nodes = 32
+PctLargeNodes = 0.5
+AllocationPolicy = dynamic
+Jobs = 60
+TargetLoad = 0.7
+PctLargeJobs = 0.3
+MaxJobNodes = 8
+Seed = 5
+)");
+  const FileConfig cfg = parse_config(in);
+  auto generated = workload::generate_synthetic(cfg.workload);
+  Simulator sim(cfg.simulation, generated.jobs, &generated.apps);
+  const SimulationResult r = sim.run();
+  EXPECT_TRUE(r.valid);
+  EXPECT_EQ(r.summary.completed, 60u);
+}
+
+}  // namespace
+}  // namespace dmsim::harness

@@ -1,0 +1,103 @@
+#include "harness/experiments.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.hpp"
+
+namespace dmsim::harness {
+namespace {
+
+struct Fixture : ::testing::Test {
+  Fixture() {
+    workload::SyntheticWorkloadConfig cfg;
+    cfg.cirne.num_jobs = 150;
+    cfg.cirne.system_nodes = 48;
+    cfg.cirne.max_job_nodes = 8;
+    cfg.cirne.target_load = 0.85;
+    cfg.pct_large_jobs = 0.5;
+    cfg.overestimation = 0.6;
+    cfg.seed = 19;
+    generated = workload::generate_synthetic(cfg);
+    systems = {make_system(0.0), make_system(0.25), make_system(0.5),
+               make_system(1.0)};
+  }
+
+  static SystemConfig make_system(double pct_large) {
+    SystemConfig sys;
+    sys.total_nodes = 48;
+    sys.pct_large_nodes = pct_large;
+    return sys;
+  }
+
+  workload::SyntheticWorkload generated;
+  std::vector<SystemConfig> systems;
+};
+
+using ExperimentsTest = Fixture;
+
+TEST_F(ExperimentsTest, ReferenceThroughputPositive) {
+  // The +60% workload cannot run under Baseline; the reference convention
+  // uses the +0% workload, so build one here.
+  workload::SyntheticWorkloadConfig cfg;
+  cfg.cirne.num_jobs = 150;
+  cfg.cirne.system_nodes = 48;
+  cfg.cirne.max_job_nodes = 8;
+  cfg.pct_large_jobs = 0.5;
+  cfg.seed = 19;
+  const auto exact = workload::generate_synthetic(cfg);
+  EXPECT_GT(reference_throughput(exact.jobs, exact.apps, 48), 0.0);
+}
+
+TEST_F(ExperimentsTest, SweepCoversEverySystem) {
+  const auto points = throughput_vs_memory(generated.jobs, generated.apps,
+                                           systems, 0.0);
+  ASSERT_EQ(points.size(), systems.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(points[i].memory_fraction,
+                     systems[i].memory_fraction());
+    // +60% overestimation: baseline bars must be missing, disaggregated
+    // policies present.
+    EXPECT_FALSE(points[i].baseline.has_value());
+    ASSERT_TRUE(points[i].static_policy.has_value());
+    ASSERT_TRUE(points[i].dynamic_policy.has_value());
+    EXPECT_GT(*points[i].static_policy, 0.0);
+    EXPECT_GE(*points[i].dynamic_policy, *points[i].static_policy * 0.95);
+  }
+}
+
+TEST_F(ExperimentsTest, NormalizationDividesByReference) {
+  const auto raw = throughput_vs_memory(generated.jobs, generated.apps,
+                                        {systems.back()}, 0.0);
+  const double reference = *raw[0].dynamic_policy;
+  const auto normalized = throughput_vs_memory(
+      generated.jobs, generated.apps, {systems.back()}, reference);
+  EXPECT_NEAR(*normalized[0].dynamic_policy, 1.0, 1e-9);
+}
+
+TEST_F(ExperimentsTest, MinMemorySearchFindsSmallestQualifying) {
+  const auto raw = throughput_vs_memory(generated.jobs, generated.apps,
+                                        systems, 0.0);
+  const double reference = *raw.back().dynamic_policy;
+  const auto dyn = min_memory_for_threshold(generated.jobs, generated.apps,
+                                            systems,
+                                            policy::PolicyKind::Dynamic,
+                                            reference, 0.95);
+  ASSERT_TRUE(dyn.has_value());
+  const auto stat = min_memory_for_threshold(generated.jobs, generated.apps,
+                                             systems,
+                                             policy::PolicyKind::Static,
+                                             reference, 0.95);
+  if (stat.has_value()) {
+    EXPECT_LE(*dyn, *stat);  // dynamic never needs more memory than static
+  }
+}
+
+TEST_F(ExperimentsTest, ImpossibleThresholdReturnsNothing) {
+  const auto result = min_memory_for_threshold(
+      generated.jobs, generated.apps, systems, policy::PolicyKind::Static,
+      /*reference=*/1.0, /*threshold=*/0.95);  // absurd reference
+  EXPECT_FALSE(result.has_value());
+}
+
+}  // namespace
+}  // namespace dmsim::harness

@@ -1,0 +1,64 @@
+// Thread-pool sweep execution details.
+#include <gtest/gtest.h>
+
+#include "harness/scenario.hpp"
+
+namespace dmsim::harness {
+namespace {
+
+workload::SyntheticWorkload tiny_workload() {
+  workload::SyntheticWorkloadConfig cfg;
+  cfg.cirne.num_jobs = 40;
+  cfg.cirne.system_nodes = 16;
+  cfg.cirne.max_job_nodes = 4;
+  cfg.pct_large_jobs = 0.25;
+  cfg.seed = 2;
+  return workload::generate_synthetic(cfg);
+}
+
+std::vector<CellConfig> cell_matrix(int n) {
+  std::vector<CellConfig> cells;
+  for (int i = 0; i < n; ++i) {
+    CellConfig cell;
+    cell.system.total_nodes = 16;
+    cell.system.pct_large_nodes = (i % 4) * 0.25;
+    cell.policy = (i % 2 == 0) ? policy::PolicyKind::Static
+                               : policy::PolicyKind::Dynamic;
+    cells.push_back(cell);
+  }
+  return cells;
+}
+
+TEST(RunCells, MoreThreadsThanCells) {
+  const auto w = tiny_workload();
+  const auto cells = cell_matrix(3);
+  const auto results = run_cells(cells, w.jobs, w.apps, 8);
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& r : results) {
+    EXPECT_EQ(r.summary.completed + r.summary.abandoned +
+                  static_cast<std::size_t>(!r.valid) * w.jobs.size(),
+              w.jobs.size());
+  }
+}
+
+TEST(RunCells, SingleThreadMatchesMultiThread) {
+  const auto w = tiny_workload();
+  const auto cells = cell_matrix(6);
+  const auto serial = run_cells(cells, w.jobs, w.apps, 1);
+  const auto parallel = run_cells(cells, w.jobs, w.apps, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].valid, parallel[i].valid);
+    EXPECT_DOUBLE_EQ(serial[i].summary.throughput,
+                     parallel[i].summary.throughput);
+    EXPECT_EQ(serial[i].totals.update_events, parallel[i].totals.update_events);
+  }
+}
+
+TEST(RunCells, EmptyCellListIsFine) {
+  const auto w = tiny_workload();
+  EXPECT_TRUE(run_cells({}, w.jobs, w.apps, 2).empty());
+}
+
+}  // namespace
+}  // namespace dmsim::harness

@@ -1,0 +1,171 @@
+// Integration tests: scaled-down versions of the paper's headline claims.
+// These run the full pipeline (trace generation -> scheduler -> metrics) and
+// assert the *shape* of the results, not absolute numbers.
+#include <gtest/gtest.h>
+
+#include "core/dmsim.hpp"
+
+namespace dmsim {
+namespace {
+
+struct Scenario {
+  workload::SyntheticWorkload workload;
+  harness::SystemConfig system;
+};
+
+Scenario make_scenario(double pct_large, double overestimation, int nodes = 96,
+                 double pct_large_nodes = 0.5, std::uint64_t seed = 11) {
+  workload::SyntheticWorkloadConfig cfg;
+  cfg.cirne.num_jobs = 260;
+  cfg.cirne.system_nodes = nodes;
+  cfg.cirne.max_job_nodes = 16;
+  cfg.cirne.target_load = 0.85;
+  cfg.pct_large_jobs = pct_large;
+  cfg.overestimation = overestimation;
+  cfg.seed = seed;
+  Scenario s{workload::generate_synthetic(cfg), {}};
+  s.system.total_nodes = nodes;
+  s.system.pct_large_nodes = pct_large_nodes;
+  return s;
+}
+
+harness::CellResult run(const Scenario& s, policy::PolicyKind kind) {
+  harness::CellConfig cell;
+  cell.system = s.system;
+  cell.policy = kind;
+  return harness::run_cell(cell, s.workload.jobs, s.workload.apps);
+}
+
+TEST(Integration, BaselineInfeasibleUnderOverestimation) {
+  // Fig. 5 bottom row: with +60% overestimation some jobs request more than
+  // the largest node, so the baseline has no bar while disaggregated
+  // policies still run the mix.
+  const Scenario s = make_scenario(0.5, 0.6);
+  EXPECT_FALSE(run(s, policy::PolicyKind::Baseline).valid);
+  EXPECT_TRUE(run(s, policy::PolicyKind::Static).valid);
+  EXPECT_TRUE(run(s, policy::PolicyKind::Dynamic).valid);
+}
+
+TEST(Integration, AllPoliciesCloseWhenWellProvisioned) {
+  // Fig. 5 top row, high provisioning: little difference between policies.
+  const Scenario s = make_scenario(0.25, 0.0, 96, 1.0);  // all large nodes
+  const auto base = run(s, policy::PolicyKind::Baseline);
+  const auto stat = run(s, policy::PolicyKind::Static);
+  const auto dyn = run(s, policy::PolicyKind::Dynamic);
+  ASSERT_TRUE(base.valid && stat.valid && dyn.valid);
+  EXPECT_EQ(base.summary.completed, s.workload.jobs.size());
+  EXPECT_NEAR(stat.throughput() / base.throughput(), 1.0, 0.15);
+  EXPECT_NEAR(dyn.throughput() / base.throughput(), 1.0, 0.15);
+}
+
+TEST(Integration, DynamicBeatsStaticWhenUnderprovisionedAndOverestimated) {
+  // The headline: underprovisioned system + overestimated demands -> the
+  // dynamic policy reclaims the padding and wins on throughput.
+  const Scenario s = make_scenario(0.75, 0.6, 96, 0.25);
+  const auto stat = run(s, policy::PolicyKind::Static);
+  const auto dyn = run(s, policy::PolicyKind::Dynamic);
+  ASSERT_TRUE(stat.valid && dyn.valid);
+  EXPECT_GT(dyn.throughput(), stat.throughput() * 1.02);
+}
+
+TEST(Integration, DynamicReducesMedianResponseTime) {
+  // Fig. 6 bottom-right: on a matching/underprovisioned system with
+  // overestimation, dynamic reallocation lets jobs start sooner.
+  const Scenario s = make_scenario(0.75, 0.6, 96, 0.25);
+  const auto stat = run(s, policy::PolicyKind::Static);
+  const auto dyn = run(s, policy::PolicyKind::Dynamic);
+  ASSERT_TRUE(stat.valid && dyn.valid);
+  const util::Ecdf es(stat.summary.response_times);
+  const util::Ecdf ed(dyn.summary.response_times);
+  EXPECT_LT(ed.quantile(0.5), es.quantile(0.5));
+}
+
+TEST(Integration, DynamicImprovesThroughputPerDollar) {
+  // Fig. 7 bottom row: with overestimation the static policy's
+  // throughput/$ falls off much faster on lean systems.
+  const Scenario s = make_scenario(0.75, 0.6, 96, 0.25);
+  const auto stat = run(s, policy::PolicyKind::Static);
+  const auto dyn = run(s, policy::PolicyKind::Dynamic);
+  ASSERT_TRUE(stat.valid && dyn.valid);
+  EXPECT_GT(dyn.throughput_per_dollar(), stat.throughput_per_dollar());
+}
+
+TEST(Integration, OomFailuresAreRare) {
+  // §2.2: even in an extreme scenario fewer than ~1% of jobs OOM-fail. At
+  // this scale we assert a loose bound.
+  const Scenario s = make_scenario(1.0, 1.0, 96, 0.5);
+  const auto dyn = run(s, policy::PolicyKind::Dynamic);
+  ASSERT_TRUE(dyn.valid);
+  EXPECT_LT(dyn.summary.oom_job_fraction(), 0.05);
+  EXPECT_EQ(dyn.summary.completed + dyn.summary.abandoned,
+            s.workload.jobs.size());
+  EXPECT_EQ(dyn.summary.abandoned, 0u);
+}
+
+TEST(Integration, DynamicInsensitiveToOverestimation) {
+  // Fig. 8: the dynamic policy's throughput barely moves as overestimation
+  // grows, while the static policy degrades.
+  const Scenario s0 = make_scenario(0.5, 0.0, 96, 0.25);
+  const Scenario s100 = make_scenario(0.5, 1.0, 96, 0.25);
+  const double dyn0 = run(s0, policy::PolicyKind::Dynamic).throughput();
+  const double dyn100 = run(s100, policy::PolicyKind::Dynamic).throughput();
+  const double stat0 = run(s0, policy::PolicyKind::Static).throughput();
+  const double stat100 = run(s100, policy::PolicyKind::Static).throughput();
+  const double dyn_drop = (dyn0 - dyn100) / dyn0;
+  const double stat_drop = (stat0 - stat100) / stat0;
+  EXPECT_LT(dyn_drop, stat_drop);
+  EXPECT_LT(dyn_drop, 0.15);
+}
+
+TEST(Integration, DisaggregationRunsMixesBaselineCannot) {
+  // Fig. 5: on a system with no large nodes, the baseline cannot run large
+  // jobs at all while both disaggregated policies can.
+  const Scenario s = make_scenario(0.5, 0.0, 96, 0.0);
+  EXPECT_FALSE(run(s, policy::PolicyKind::Baseline).valid);
+  const auto stat = run(s, policy::PolicyKind::Static);
+  const auto dyn = run(s, policy::PolicyKind::Dynamic);
+  ASSERT_TRUE(stat.valid && dyn.valid);
+  EXPECT_EQ(stat.summary.completed, s.workload.jobs.size());
+  EXPECT_EQ(dyn.summary.completed, s.workload.jobs.size());
+}
+
+TEST(Integration, GrizzlyWeekRunsUnderAllDisaggregatedPolicies) {
+  workload::GrizzlyConfig gcfg;
+  gcfg.weeks = 4;
+  gcfg.system_nodes = 64;
+  gcfg.max_job_nodes = 16;  // keep worst-case request below system capacity
+  gcfg.sample_weeks = 1;
+  gcfg.overestimation = 0.6;
+  const workload::GrizzlyTrace trace = workload::generate_grizzly(gcfg);
+  const trace::Workload jobs = materialize_grizzly_week(gcfg, trace, 0);
+  harness::SystemConfig sys;
+  sys.total_nodes = 64;
+  sys.pct_large_nodes = 0.5;
+  for (const auto kind :
+       {policy::PolicyKind::Static, policy::PolicyKind::Dynamic}) {
+    harness::CellConfig cell;
+    cell.system = sys;
+    cell.policy = kind;
+    const auto r = harness::run_cell(cell, jobs, trace.apps);
+    ASSERT_TRUE(r.valid) << policy::to_string(kind);
+    EXPECT_EQ(r.summary.completed + r.summary.abandoned, jobs.size());
+  }
+}
+
+TEST(Integration, ContentionSlowsJobsDown) {
+  // With the app pool wired in, heavy borrowing must stretch makespans
+  // relative to an insensitive run.
+  const Scenario s = make_scenario(0.75, 0.0, 64, 0.25, 13);
+  harness::CellConfig cell;
+  cell.system = s.system;
+  cell.policy = policy::PolicyKind::Static;
+  const auto with_model =
+      harness::run_cell(cell, s.workload.jobs, s.workload.apps);
+  const auto without_model =
+      harness::run_cell(cell, s.workload.jobs, slowdown::AppPool{});
+  ASSERT_TRUE(with_model.valid && without_model.valid);
+  EXPECT_LE(with_model.throughput(), without_model.throughput() * 1.001);
+}
+
+}  // namespace
+}  // namespace dmsim

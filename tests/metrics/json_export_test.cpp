@@ -1,0 +1,96 @@
+#include "metrics/json_export.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dmsim::metrics {
+namespace {
+
+TEST(JsonWriter, FlatObject) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("a").value(1);
+  w.key("b").value("x");
+  w.key("c").value(true);
+  w.key("d").null();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"a":1,"b":"x","c":true,"d":null})");
+}
+
+TEST(JsonWriter, NestedStructures) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("rows").begin_array();
+  w.begin_object().key("v").value(1.5).end_object();
+  w.begin_object().key("v").value(2.5).end_object();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"rows":[{"v":1.5},{"v":2.5}]})");
+}
+
+TEST(JsonWriter, ArrayOfScalars) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(1);
+  w.value(2);
+  w.value(3);
+  w.end_array();
+  EXPECT_EQ(w.str(), "[1,2,3]");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.value(std::numeric_limits<double>::infinity());
+  w.end_array();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(JsonEscape, SpecialCharacters) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(json_escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+  EXPECT_EQ(json_escape("plain"), "plain");
+}
+
+TEST(ToJson, FullSimulationDocument) {
+  // Run a tiny simulation and export it.
+  trace::Workload jobs;
+  trace::JobSpec j;
+  j.id = JobId{1};
+  j.submit_time = 0.0;
+  j.num_nodes = 1;
+  j.requested_mem = 1024;
+  j.duration = 100.0;
+  j.walltime = 150.0;
+  j.usage = trace::UsageTrace::constant(1024);
+  jobs.push_back(j);
+
+  SimulationConfig cfg;
+  cfg.system.total_nodes = 2;
+  cfg.system.pct_large_nodes = 0.5;
+  cfg.policy = policy::PolicyKind::Static;
+  cfg.sched.sample_interval = 50.0;
+  Simulator sim(cfg, std::move(jobs), nullptr);
+  const SimulationResult result = sim.run();
+
+  const std::string json = to_json(result);
+  EXPECT_NE(json.find("\"valid\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"completed\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"outcome\":\"completed\""), std::string::npos);
+  EXPECT_NE(json.find("\"samples\":["), std::string::npos);
+  // Balanced braces/brackets (cheap structural check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+
+  const std::string no_extras = to_json(result, false, false);
+  EXPECT_EQ(no_extras.find("\"jobs\":["), std::string::npos);
+  EXPECT_EQ(no_extras.find("\"samples\":["), std::string::npos);
+  EXPECT_LT(no_extras.size(), json.size());
+}
+
+}  // namespace
+}  // namespace dmsim::metrics

@@ -1,0 +1,114 @@
+#include "metrics/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dmsim::metrics {
+namespace {
+
+sched::JobRecord completed(std::uint32_t id, Seconds submit, Seconds start,
+                           Seconds end) {
+  sched::JobRecord r;
+  r.id = JobId{id};
+  r.submit_time = submit;
+  r.first_start = start;
+  r.last_start = start;
+  r.end_time = end;
+  r.outcome = sched::JobOutcome::Completed;
+  return r;
+}
+
+TEST(Summarize, EmptyRecords) {
+  const WorkloadSummary s = summarize({}, {});
+  EXPECT_EQ(s.total_jobs, 0u);
+  EXPECT_EQ(s.completed, 0u);
+  EXPECT_EQ(s.throughput, 0.0);
+}
+
+TEST(Summarize, ThroughputOverMakespan) {
+  std::vector<sched::JobRecord> records = {
+      completed(1, 0.0, 0.0, 100.0),
+      completed(2, 10.0, 100.0, 200.0),
+  };
+  const WorkloadSummary s = summarize(records, {});
+  EXPECT_EQ(s.completed, 2u);
+  EXPECT_DOUBLE_EQ(s.first_submit, 0.0);
+  EXPECT_DOUBLE_EQ(s.last_end, 200.0);
+  EXPECT_DOUBLE_EQ(s.makespan(), 200.0);
+  EXPECT_DOUBLE_EQ(s.throughput, 2.0 / 200.0);
+}
+
+TEST(Summarize, ResponseAndWaitTimes) {
+  std::vector<sched::JobRecord> records = {completed(1, 10.0, 40.0, 100.0)};
+  const WorkloadSummary s = summarize(records, {});
+  EXPECT_DOUBLE_EQ(s.response_time.mean(), 90.0);
+  EXPECT_DOUBLE_EQ(s.wait_time.mean(), 30.0);
+  ASSERT_EQ(s.response_times.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.response_times[0], 90.0);
+}
+
+TEST(Summarize, InfeasibleJobsExcluded) {
+  sched::JobRecord bad;
+  bad.id = JobId{9};
+  bad.infeasible = true;
+  std::vector<sched::JobRecord> records = {completed(1, 0.0, 0.0, 50.0), bad};
+  const WorkloadSummary s = summarize(records, {});
+  EXPECT_EQ(s.total_jobs, 2u);
+  EXPECT_EQ(s.infeasible, 1u);
+  EXPECT_EQ(s.completed, 1u);
+}
+
+TEST(Summarize, OomCounting) {
+  sched::JobRecord r = completed(1, 0.0, 0.0, 50.0);
+  r.oom_failures = 2;
+  sched::JobRecord clean = completed(2, 0.0, 0.0, 60.0);
+  sched::SchedulerTotals totals;
+  totals.oom_events = 2;
+  const WorkloadSummary s = summarize(std::vector{r, clean}, totals);
+  EXPECT_EQ(s.jobs_with_oom, 1u);
+  EXPECT_EQ(s.oom_events, 2u);
+  EXPECT_DOUBLE_EQ(s.oom_job_fraction(), 0.5);
+}
+
+TEST(Summarize, AbandonedCounted) {
+  sched::JobRecord r;
+  r.id = JobId{1};
+  r.submit_time = 0.0;
+  r.end_time = 100.0;
+  r.outcome = sched::JobOutcome::AbandonedOom;
+  const WorkloadSummary s = summarize(std::vector{r}, {});
+  EXPECT_EQ(s.abandoned, 1u);
+  EXPECT_EQ(s.completed, 0u);
+}
+
+TEST(CostModel, Table4Figures) {
+  const CostModel cost;
+  // A single node with 128 GB: $10,154 + $1,280.
+  EXPECT_NEAR(cost.system_cost(1, gib(128)), 11434.0, 1e-6);
+  // 1024-node 100%-large system: 1024 * (10154 + 1280).
+  EXPECT_NEAR(cost.system_cost(1024, static_cast<MiB>(1024) * gib(128)),
+              1024.0 * 11434.0, 1e-3);
+}
+
+TEST(CostModel, MemoryScalesLinearly) {
+  const CostModel cost;
+  const double base = cost.system_cost(10, gib(128));
+  const double doubled = cost.system_cost(10, gib(256));
+  EXPECT_NEAR(doubled - base, 1280.0, 1e-9);
+}
+
+TEST(CostModel, ThroughputPerDollar) {
+  const CostModel cost;
+  EXPECT_DOUBLE_EQ(cost.throughput_per_dollar(2.0, 1000.0), 0.002);
+  EXPECT_DOUBLE_EQ(cost.throughput_per_dollar(2.0, 0.0), 0.0);
+}
+
+TEST(CostModel, LessMemoryCheaperSystem) {
+  const CostModel cost;
+  // The operator's Fig. 7 trade-off: a 50%-memory system costs less.
+  const MiB full = static_cast<MiB>(1024) * gib(128);
+  const MiB half = full / 2;
+  EXPECT_LT(cost.system_cost(1024, half), cost.system_cost(1024, full));
+}
+
+}  // namespace
+}  // namespace dmsim::metrics

@@ -1,0 +1,102 @@
+#include "metrics/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dmsim::metrics {
+namespace {
+
+sched::SystemSample sample(Seconds t, MiB alloc, MiB used, int busy,
+                           std::size_t pending) {
+  return sched::SystemSample{t, alloc, used, busy, pending};
+}
+
+TEST(UtilizationReport, EmptySamples) {
+  const UtilizationReport r = utilization_report({}, 1000, 10);
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.avg_allocated_fraction, 0.0);
+}
+
+TEST(UtilizationReport, AveragesAndPeak) {
+  std::vector<sched::SystemSample> s = {
+      sample(0, 500, 250, 5, 2),
+      sample(100, 1000, 500, 10, 0),
+  };
+  const UtilizationReport r = utilization_report(s, 1000, 10);
+  EXPECT_EQ(r.samples, 2u);
+  EXPECT_DOUBLE_EQ(r.avg_allocated_fraction, 0.75);
+  EXPECT_DOUBLE_EQ(r.avg_used_fraction, 0.375);
+  EXPECT_DOUBLE_EQ(r.avg_waste_fraction, 0.5);  // both samples waste half
+  EXPECT_DOUBLE_EQ(r.peak_allocated_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(r.avg_busy_node_fraction, 0.75);
+  EXPECT_DOUBLE_EQ(r.avg_pending_jobs, 1.0);
+}
+
+TEST(UtilizationReport, ZeroAllocationSamplesSkippedInWaste) {
+  std::vector<sched::SystemSample> s = {
+      sample(0, 0, 0, 0, 0),
+      sample(10, 100, 100, 1, 0),
+  };
+  const UtilizationReport r = utilization_report(s, 1000, 10);
+  EXPECT_DOUBLE_EQ(r.avg_waste_fraction, 0.0);  // only the nonzero sample counts
+}
+
+sched::JobRecord completed_record(Seconds submit, Seconds start, Seconds end) {
+  sched::JobRecord r;
+  r.id = JobId{1};
+  r.submit_time = submit;
+  r.first_start = start;
+  r.last_start = start;
+  r.end_time = end;
+  r.outcome = sched::JobOutcome::Completed;
+  return r;
+}
+
+TEST(BoundedSlowdown, NoWaitIsUnity) {
+  const auto r = completed_record(0, 0, 100);
+  EXPECT_DOUBLE_EQ(bounded_slowdown(r), 1.0);
+}
+
+TEST(BoundedSlowdown, WaitDoublesSlowdown) {
+  const auto r = completed_record(0, 100, 200);  // wait 100, run 100
+  EXPECT_DOUBLE_EQ(bounded_slowdown(r), 2.0);
+}
+
+TEST(BoundedSlowdown, TauFloorsShortJobs) {
+  // 1-second job waiting 99 seconds: raw slowdown 100, bounded (tau=10) 10.
+  const auto r = completed_record(0, 99, 100);
+  EXPECT_DOUBLE_EQ(bounded_slowdown(r, 10.0), 10.0);
+}
+
+TEST(BoundedSlowdown, IncompleteJobContributesZero) {
+  sched::JobRecord r;
+  r.outcome = sched::JobOutcome::AbandonedOom;
+  EXPECT_DOUBLE_EQ(bounded_slowdown(r), 0.0);
+}
+
+TEST(SlowdownReport, AggregatesCompletedOnly) {
+  std::vector<sched::JobRecord> records = {
+      completed_record(0, 0, 100),    // bounded 1
+      completed_record(0, 100, 200),  // bounded 2
+  };
+  sched::JobRecord bad;
+  bad.outcome = sched::JobOutcome::NeverStarted;
+  records.push_back(bad);
+  const SlowdownReport r = slowdown_report(records);
+  EXPECT_EQ(r.jobs, 2u);
+  EXPECT_DOUBLE_EQ(r.bounded.mean(), 1.5);
+  EXPECT_DOUBLE_EQ(r.median_bounded, 1.5);
+}
+
+TEST(WasteSeries, AllocatedMinusUsed) {
+  std::vector<sched::SystemSample> s = {
+      sample(0, 500, 300, 1, 0),
+      sample(60, 800, 800, 2, 0),
+  };
+  const auto series = waste_series(s);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0], (std::pair<Seconds, MiB>{0.0, 200}));
+  EXPECT_EQ(series[1], (std::pair<Seconds, MiB>{60.0, 0}));
+}
+
+}  // namespace
+}  // namespace dmsim::metrics

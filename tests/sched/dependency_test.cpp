@@ -1,0 +1,160 @@
+// SWF job dependencies: preceding_job + think_time hold a job back until
+// its predecessor reaches a terminal state.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "policy/policy.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/engine.hpp"
+#include "trace/swf.hpp"
+
+namespace dmsim::sched {
+namespace {
+
+constexpr MiB kGiB = 1024;
+
+trace::JobSpec job(std::uint32_t id, Seconds submit, Seconds duration,
+                   std::uint32_t pred = JobId::kInvalid,
+                   Seconds think = 0.0) {
+  trace::JobSpec j;
+  j.id = JobId{id};
+  j.submit_time = submit;
+  j.num_nodes = 1;
+  j.requested_mem = 8 * kGiB;
+  j.duration = duration;
+  j.walltime = duration * 1.5;
+  j.usage = trace::UsageTrace::constant(8 * kGiB);
+  if (pred != JobId::kInvalid) {
+    j.preceding_job = JobId{pred};
+    j.think_time = think;
+  }
+  return j;
+}
+
+struct Rig {
+  explicit Rig(SchedulerConfig cfg = {})
+      : cluster(cluster::make_cluster_config(4, 64 * kGiB, 0, 0)),
+        policy(policy::make_policy(policy::PolicyKind::Static)),
+        scheduler(engine, cluster, *policy, nullptr, cfg) {}
+
+  const JobRecord& record(std::uint32_t id) const {
+    for (const auto& r : scheduler.records()) {
+      if (r.id == JobId{id}) return r;
+    }
+    throw std::runtime_error("no record");
+  }
+
+  sim::Engine engine;
+  cluster::Cluster cluster;
+  std::unique_ptr<policy::AllocationPolicy> policy;
+  Scheduler scheduler;
+};
+
+TEST(Dependency, DependentWaitsForPredecessor) {
+  Rig rig;
+  // Plenty of free nodes, but job 2 depends on job 1 (duration 500).
+  rig.scheduler.submit_workload({
+      job(1, 0.0, 500.0),
+      job(2, 0.0, 100.0, /*pred=*/1),
+  });
+  rig.scheduler.run();
+  EXPECT_DOUBLE_EQ(rig.record(1).end_time, 500.0);
+  EXPECT_GE(rig.record(2).first_start, 500.0);
+  EXPECT_EQ(rig.record(2).outcome, JobOutcome::Completed);
+}
+
+TEST(Dependency, ThinkTimeDelaysRelease) {
+  Rig rig;
+  rig.scheduler.submit_workload({
+      job(1, 0.0, 500.0),
+      job(2, 0.0, 100.0, /*pred=*/1, /*think=*/200.0),
+  });
+  rig.scheduler.run();
+  EXPECT_GE(rig.record(2).first_start, 700.0);
+}
+
+TEST(Dependency, ChainExecutesInOrder) {
+  Rig rig;
+  rig.scheduler.submit_workload({
+      job(1, 0.0, 100.0),
+      job(2, 0.0, 100.0, 1),
+      job(3, 0.0, 100.0, 2),
+      job(4, 0.0, 100.0, 3),
+  });
+  rig.scheduler.run();
+  for (std::uint32_t id = 2; id <= 4; ++id) {
+    EXPECT_GE(rig.record(id).first_start, rig.record(id - 1).end_time);
+    EXPECT_EQ(rig.record(id).outcome, JobOutcome::Completed);
+  }
+}
+
+TEST(Dependency, UnknownPredecessorIgnored) {
+  Rig rig;
+  rig.scheduler.submit_workload({job(2, 0.0, 100.0, /*pred=*/999)});
+  rig.scheduler.run();
+  EXPECT_DOUBLE_EQ(rig.record(2).first_start, 0.0);
+}
+
+TEST(Dependency, BackwardReferenceIgnored) {
+  // pred id > own id violates the SWF convention and is ignored (this also
+  // rules out cycles).
+  Rig rig;
+  rig.scheduler.submit_workload({
+      job(1, 0.0, 100.0, /*pred=*/2),
+      job(2, 0.0, 100.0, /*pred=*/1),
+  });
+  rig.scheduler.run();
+  EXPECT_DOUBLE_EQ(rig.record(1).first_start, 0.0);
+  EXPECT_GE(rig.record(2).first_start, 100.0);
+}
+
+TEST(Dependency, InfeasiblePredecessorReleasesDependent) {
+  Rig rig;
+  trace::JobSpec bad = job(1, 0.0, 100.0);
+  bad.requested_mem = 4096 * kGiB;  // cannot ever run
+  rig.scheduler.submit_workload({bad, job(2, 10.0, 100.0, 1)});
+  rig.scheduler.run();
+  EXPECT_TRUE(rig.record(1).infeasible);
+  EXPECT_EQ(rig.record(2).outcome, JobOutcome::Completed);
+  EXPECT_GE(rig.record(2).first_start, 10.0);
+}
+
+TEST(Dependency, DependentSubmitTimeStillRespected) {
+  Rig rig;
+  // Predecessor finishes at 100, but the dependent is only submitted at 5000.
+  rig.scheduler.submit_workload({
+      job(1, 0.0, 100.0),
+      job(2, 5000.0, 100.0, 1),
+  });
+  rig.scheduler.run();
+  EXPECT_GE(rig.record(2).first_start, 5000.0);
+}
+
+TEST(Dependency, ResponseTimeIncludesDependencyWait) {
+  Rig rig;
+  rig.scheduler.submit_workload({
+      job(1, 0.0, 500.0),
+      job(2, 0.0, 100.0, 1),
+  });
+  rig.scheduler.run();
+  EXPECT_GE(rig.record(2).response_time(), 600.0 - 1e-9);
+}
+
+TEST(Dependency, SurvivesSwfRoundTrip) {
+  trace::Workload jobs = {job(1, 0.0, 300.0),
+                          job(2, 0.0, 100.0, 1, 50.0)};
+  const trace::Workload back = trace::from_swf(trace::to_swf(jobs, 32), 32);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[1].preceding_job, JobId{1});
+  EXPECT_DOUBLE_EQ(back[1].think_time, 50.0);
+  EXPECT_FALSE(back[0].preceding_job.valid());
+
+  Rig rig;
+  rig.scheduler.submit_workload(back);
+  rig.scheduler.run();
+  EXPECT_GE(rig.record(2).first_start, 350.0);
+}
+
+}  // namespace
+}  // namespace dmsim::sched

@@ -1,0 +1,194 @@
+// Scheduler edge cases and an analytic FCFS oracle.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "policy/policy.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/engine.hpp"
+
+namespace dmsim::sched {
+namespace {
+
+constexpr MiB kGiB = 1024;
+
+trace::JobSpec job(std::uint32_t id, Seconds submit, int nodes, MiB mem,
+                   Seconds duration) {
+  trace::JobSpec j;
+  j.id = JobId{id};
+  j.submit_time = submit;
+  j.num_nodes = nodes;
+  j.requested_mem = mem;
+  j.duration = duration;
+  j.walltime = duration;
+  j.usage = trace::UsageTrace::constant(mem);
+  return j;
+}
+
+struct Rig {
+  Rig(int nodes, policy::PolicyKind kind, SchedulerConfig cfg = {})
+      : cluster(cluster::make_cluster_config(nodes, 64 * kGiB, 0, 0)),
+        policy(policy::make_policy(kind)),
+        scheduler(engine, cluster, *policy, nullptr, cfg) {}
+
+  const JobRecord& record(std::uint32_t id) const {
+    for (const auto& r : scheduler.records()) {
+      if (r.id == JobId{id}) return r;
+    }
+    throw std::runtime_error("no record");
+  }
+
+  sim::Engine engine;
+  cluster::Cluster cluster;
+  std::unique_ptr<policy::AllocationPolicy> policy;
+  Scheduler scheduler;
+};
+
+// Oracle: N equal jobs, all submitted at t=0 on a single node, no backfill
+// relevance. FCFS completion time of job k is exactly k * duration, modulo
+// the 30 s scheduling-pass cadence between starts.
+TEST(SchedulerOracle, SerialFcfsMatchesAnalyticSchedule) {
+  Rig rig(1, policy::PolicyKind::Static);
+  trace::Workload jobs;
+  const Seconds duration = 500.0;
+  for (std::uint32_t i = 1; i <= 6; ++i) {
+    jobs.push_back(job(i, 0.0, 1, 8 * kGiB, duration));
+  }
+  rig.scheduler.submit_workload(std::move(jobs));
+  rig.scheduler.run();
+  Seconds expected_start = 0.0;
+  for (std::uint32_t i = 1; i <= 6; ++i) {
+    const JobRecord& r = rig.record(i);
+    // Each successor starts at its predecessor's end, within one 30 s pass.
+    EXPECT_GE(r.first_start, expected_start - 1e-9);
+    EXPECT_LE(r.first_start, expected_start + 30.0 + 1e-9);
+    EXPECT_DOUBLE_EQ(r.end_time - r.first_start, duration);
+    expected_start = r.end_time;
+  }
+}
+
+// Oracle: M nodes, M identical jobs at t=0 -> all run concurrently.
+TEST(SchedulerOracle, ParallelFcfsStartsEverythingAtOnce) {
+  Rig rig(4, policy::PolicyKind::Static);
+  trace::Workload jobs;
+  for (std::uint32_t i = 1; i <= 4; ++i) {
+    jobs.push_back(job(i, 0.0, 1, 8 * kGiB, 300.0));
+  }
+  rig.scheduler.submit_workload(std::move(jobs));
+  rig.scheduler.run();
+  for (std::uint32_t i = 1; i <= 4; ++i) {
+    EXPECT_DOUBLE_EQ(rig.record(i).first_start, 0.0);
+    EXPECT_DOUBLE_EQ(rig.record(i).end_time, 300.0);
+  }
+}
+
+TEST(SchedulerEdge, QueueDepthOneStillDrainsEventually) {
+  SchedulerConfig cfg;
+  cfg.queue_depth = 1;
+  Rig rig(4, policy::PolicyKind::Static, cfg);
+  trace::Workload jobs;
+  for (std::uint32_t i = 1; i <= 8; ++i) {
+    jobs.push_back(job(i, 0.0, 1, 8 * kGiB, 100.0));
+  }
+  rig.scheduler.submit_workload(std::move(jobs));
+  rig.scheduler.run();
+  EXPECT_EQ(rig.scheduler.totals().completed, 8u);
+}
+
+TEST(SchedulerEdge, SimultaneousSubmitsKeepIdOrder) {
+  Rig rig(1, policy::PolicyKind::Static);
+  trace::Workload jobs;
+  for (std::uint32_t i = 1; i <= 5; ++i) {
+    jobs.push_back(job(i, 42.0, 1, 8 * kGiB, 50.0));
+  }
+  rig.scheduler.submit_workload(std::move(jobs));
+  rig.scheduler.run();
+  // Submit events share a timestamp; FIFO tie-breaking preserves workload
+  // order, so starts are monotone in id.
+  for (std::uint32_t i = 2; i <= 5; ++i) {
+    EXPECT_GT(rig.record(i).first_start, rig.record(i - 1).first_start);
+  }
+}
+
+TEST(SchedulerEdge, MultiNodeJobOomReleasesEveryHost) {
+  SchedulerConfig cfg;
+  cfg.guaranteed_after_failures = 1;
+  Rig rig(3, policy::PolicyKind::Dynamic, cfg);
+  trace::JobSpec grower = job(1, 0.0, 2, 10 * kGiB, 1000.0);
+  grower.usage =
+      trace::UsageTrace({{0.0, 10 * kGiB}, {0.5, 100 * kGiB}});  // 2x100 > 192
+  rig.scheduler.submit_workload({grower});
+  rig.scheduler.run();
+  const JobRecord& r = rig.record(1);
+  EXPECT_GE(r.oom_failures, 1);
+  EXPECT_EQ(r.outcome, JobOutcome::Completed);  // guaranteed fallback
+  EXPECT_TRUE(r.ran_guaranteed);
+  EXPECT_EQ(rig.cluster.total_allocated(), 0);
+  rig.cluster.check_invariants();
+}
+
+TEST(SchedulerEdge, WalltimeKillDuringDynamicUpdates) {
+  SchedulerConfig cfg;
+  cfg.enforce_walltime = true;
+  Rig rig(2, policy::PolicyKind::Dynamic, cfg);
+  trace::JobSpec j = job(1, 0.0, 1, 32 * kGiB, 2000.0);
+  j.walltime = 700.0;  // several update events happen first
+  rig.scheduler.submit_workload({j});
+  rig.scheduler.run();
+  EXPECT_EQ(rig.record(1).outcome, JobOutcome::KilledWalltime);
+  EXPECT_EQ(rig.record(1).end_time, 700.0);
+  EXPECT_GT(rig.scheduler.totals().update_events, 0u);
+  EXPECT_EQ(rig.cluster.total_allocated(), 0);
+}
+
+TEST(SchedulerEdge, LateSubmissionAfterIdlePeriod) {
+  Rig rig(2, policy::PolicyKind::Static);
+  rig.scheduler.submit_workload({
+      job(1, 0.0, 1, 8 * kGiB, 100.0),
+      job(2, 50000.0, 1, 8 * kGiB, 100.0),  // long idle gap
+  });
+  rig.scheduler.run();
+  EXPECT_DOUBLE_EQ(rig.record(2).first_start, 50000.0);
+  EXPECT_DOUBLE_EQ(rig.record(2).wait_time(), 0.0);
+}
+
+TEST(SchedulerEdge, AvgAllocatedDropsUnderDynamicShrink) {
+  const auto avg_alloc = [](policy::PolicyKind kind) {
+    Rig rig(2, kind);
+    trace::JobSpec j = job(1, 0.0, 1, 60 * kGiB, 4000.0);
+    j.usage = trace::UsageTrace({{0.0, 60 * kGiB}, {0.1, 4 * kGiB}});
+    rig.scheduler.submit_workload({j});
+    rig.scheduler.run();
+    return rig.scheduler.avg_allocated_mib();
+  };
+  // Dynamic reclaims ~56 GiB for 90% of the run; static holds the request.
+  EXPECT_LT(avg_alloc(policy::PolicyKind::Dynamic),
+            0.4 * avg_alloc(policy::PolicyKind::Static));
+}
+
+TEST(SchedulerEdge, ManyJobsOneNodeNoEventLeaks) {
+  Rig rig(1, policy::PolicyKind::Dynamic);
+  trace::Workload jobs;
+  for (std::uint32_t i = 1; i <= 50; ++i) {
+    jobs.push_back(job(i, static_cast<double>(i), 1, 8 * kGiB, 40.0));
+  }
+  rig.scheduler.submit_workload(std::move(jobs));
+  rig.scheduler.run();
+  EXPECT_EQ(rig.scheduler.totals().completed, 50u);
+  EXPECT_TRUE(rig.engine.empty());
+  EXPECT_EQ(rig.engine.pending_events(), 0u);
+}
+
+TEST(SchedulerEdge, RequestSmallerThanUsageGrowsUnderDynamic) {
+  // Underestimating users: dynamic grows the allocation instead of killing.
+  Rig rig(2, policy::PolicyKind::Dynamic);
+  trace::JobSpec j = job(1, 0.0, 1, 4 * kGiB, 3000.0);
+  j.usage = trace::UsageTrace({{0.0, 4 * kGiB}, {0.4, 48 * kGiB}});
+  rig.scheduler.submit_workload({j});
+  rig.scheduler.run();
+  EXPECT_EQ(rig.record(1).outcome, JobOutcome::Completed);
+  EXPECT_EQ(rig.record(1).oom_failures, 0);
+}
+
+}  // namespace
+}  // namespace dmsim::sched

@@ -1,0 +1,133 @@
+// Randomized scheduler property tests: arbitrary small workloads under all
+// policies and update modes must terminate with a consistent ledger and
+// consistent per-job records.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "policy/policy.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+#include "workload/google_usage.hpp"
+
+namespace dmsim::sched {
+namespace {
+
+constexpr MiB kGiB = 1024;
+
+struct FuzzParams {
+  std::uint64_t seed;
+  policy::PolicyKind policy;
+  UpdateMode mode;
+  OomHandling oom;
+};
+
+class SchedulerFuzzTest : public ::testing::TestWithParam<FuzzParams> {};
+
+trace::Workload random_workload(util::Rng& rng, std::size_t count,
+                                const workload::GoogleUsageLibrary& shapes) {
+  trace::Workload jobs;
+  jobs.reserve(count);
+  for (std::uint32_t i = 1; i <= count; ++i) {
+    trace::JobSpec j;
+    j.id = JobId{i};
+    j.submit_time = rng.uniform(0.0, 20000.0);
+    j.num_nodes = static_cast<int>(rng.uniform_int(1, 4));
+    j.duration = rng.uniform(60.0, 14400.0);
+    j.walltime = j.duration * rng.uniform(1.0, 2.0);
+    const MiB peak = rng.uniform_int(1 * kGiB, 100 * kGiB);
+    const std::size_t shape = rng.uniform_int(
+        0, static_cast<std::int64_t>(shapes.size()) - 1);
+    j.usage = shapes.instantiate(static_cast<std::size_t>(shape), peak);
+    // Requests range from underestimates (0.5x: forces dynamic growth and
+    // occasional OOM) to heavy overestimates (2x).
+    j.requested_mem = static_cast<MiB>(
+        static_cast<double>(peak) * rng.uniform(0.5, 2.0));
+    j.requested_mem = std::max<MiB>(1, j.requested_mem);
+    jobs.push_back(std::move(j));
+  }
+  return jobs;
+}
+
+TEST_P(SchedulerFuzzTest, TerminatesConsistently) {
+  const FuzzParams params = GetParam();
+  util::Rng rng(params.seed);
+  const auto shapes = workload::GoogleUsageLibrary::synthetic(
+      rng.child("shapes"), 16);
+  util::Rng wl_rng = rng.child("workload");
+  trace::Workload jobs = random_workload(wl_rng, 40, shapes);
+
+  cluster::Cluster cluster(
+      cluster::make_cluster_config(6, 64 * kGiB, 2, 128 * kGiB));
+  const auto policy = policy::make_policy(params.policy);
+  SchedulerConfig cfg;
+  cfg.update_mode = params.mode;
+  cfg.oom_handling = params.oom;
+  cfg.max_restarts = 10;
+  sim::Engine engine;
+  Scheduler scheduler(engine, cluster, *policy, nullptr, cfg);
+  scheduler.submit_workload(jobs);
+  scheduler.run();
+
+  // Property 1: ledger fully drained and consistent.
+  cluster.check_invariants();
+  EXPECT_EQ(cluster.total_allocated(), 0);
+  EXPECT_EQ(scheduler.running_count(), 0u);
+  EXPECT_EQ(scheduler.pending_count(), 0u);
+
+  // Property 2: every feasible job reached a terminal state; infeasible
+  // ones were never started.
+  std::size_t terminal = 0;
+  for (const auto& rec : scheduler.records()) {
+    if (rec.infeasible) {
+      EXPECT_EQ(rec.outcome, JobOutcome::NeverStarted);
+      EXPECT_EQ(rec.first_start, kNoTime);
+      continue;
+    }
+    EXPECT_NE(rec.outcome, JobOutcome::NeverStarted) << rec.id.get();
+    ++terminal;
+    // Property 3: per-record time sanity.
+    if (rec.first_start != kNoTime) {
+      EXPECT_GE(rec.first_start, rec.submit_time);
+      EXPECT_GE(rec.last_start, rec.first_start);
+    }
+    if (rec.outcome == JobOutcome::Completed) {
+      EXPECT_GE(rec.end_time, rec.last_start);
+      EXPECT_GE(rec.response_time(), 0.0);
+    }
+  }
+  EXPECT_EQ(terminal + scheduler.infeasible_count(),
+            scheduler.records().size());
+
+  // Property 4: totals line up with records.
+  const auto& totals = scheduler.totals();
+  EXPECT_EQ(totals.completed + totals.abandoned + totals.walltime_kills,
+            terminal);
+  EXPECT_GE(totals.requeues, 0u);
+  EXPECT_GE(totals.oom_events, totals.abandoned);
+}
+
+std::vector<FuzzParams> fuzz_matrix() {
+  std::vector<FuzzParams> out;
+  std::uint64_t seed = 100;
+  for (const auto policy :
+       {policy::PolicyKind::Baseline, policy::PolicyKind::Static,
+        policy::PolicyKind::Dynamic}) {
+    for (const auto mode :
+         {UpdateMode::PerJobStaggered, UpdateMode::GlobalBatch}) {
+      for (const auto oom :
+           {OomHandling::FailRestart, OomHandling::CheckpointRestart}) {
+        out.push_back(FuzzParams{seed++, policy, mode, oom});
+        out.push_back(FuzzParams{seed++, policy, mode, oom});
+      }
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, SchedulerFuzzTest,
+                         ::testing::ValuesIn(fuzz_matrix()));
+
+}  // namespace
+}  // namespace dmsim::sched

@@ -1,0 +1,381 @@
+#include "sched/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "policy/policy.hpp"
+#include "sim/engine.hpp"
+
+namespace dmsim::sched {
+namespace {
+
+constexpr MiB kGiB = 1024;
+
+trace::JobSpec make_job(std::uint32_t id, Seconds submit, int nodes,
+                        MiB request, Seconds duration,
+                        Seconds walltime = 0.0) {
+  trace::JobSpec j;
+  j.id = JobId{id};
+  j.submit_time = submit;
+  j.num_nodes = nodes;
+  j.requested_mem = request;
+  j.duration = duration;
+  j.walltime = walltime > 0.0 ? walltime : duration * 1.5;
+  j.usage = trace::UsageTrace::constant(request);
+  return j;
+}
+
+struct Harness {
+  explicit Harness(cluster::ClusterConfig cluster_cfg,
+                   policy::PolicyKind kind = policy::PolicyKind::Static,
+                   SchedulerConfig sched_cfg = {})
+      : cluster(std::move(cluster_cfg)),
+        policy(policy::make_policy(kind)),
+        scheduler(engine, cluster, *policy, nullptr, sched_cfg) {}
+
+  const JobRecord& record(std::uint32_t id) const {
+    for (const auto& r : scheduler.records()) {
+      if (r.id == JobId{id}) return r;
+    }
+    throw std::runtime_error("no record");
+  }
+
+  sim::Engine engine;
+  cluster::Cluster cluster;
+  std::unique_ptr<policy::AllocationPolicy> policy;
+  Scheduler scheduler;
+};
+
+cluster::ClusterConfig two_nodes() {
+  return cluster::make_cluster_config(2, 64 * kGiB, 0, 0);
+}
+
+TEST(Scheduler, SingleJobLifecycle) {
+  Harness h(two_nodes());
+  h.scheduler.submit_workload({make_job(1, 0.0, 1, 8 * kGiB, 100.0)});
+  h.scheduler.run();
+  const JobRecord& r = h.record(1);
+  EXPECT_EQ(r.outcome, JobOutcome::Completed);
+  EXPECT_EQ(r.first_start, 0.0);
+  EXPECT_EQ(r.end_time, 100.0);
+  EXPECT_DOUBLE_EQ(r.response_time(), 100.0);
+  EXPECT_DOUBLE_EQ(r.wait_time(), 0.0);
+  EXPECT_EQ(h.scheduler.totals().completed, 1u);
+  EXPECT_EQ(h.cluster.total_allocated(), 0);
+}
+
+TEST(Scheduler, FcfsOrderOnContendedNode) {
+  Harness h(cluster::make_cluster_config(1, 64 * kGiB, 0, 0));
+  h.scheduler.submit_workload({
+      make_job(1, 0.0, 1, 8 * kGiB, 100.0),
+      make_job(2, 1.0, 1, 8 * kGiB, 10.0),
+  });
+  h.scheduler.run();
+  EXPECT_EQ(h.record(1).first_start, 0.0);
+  EXPECT_GE(h.record(2).first_start, 100.0);
+  EXPECT_EQ(h.record(2).outcome, JobOutcome::Completed);
+}
+
+TEST(Scheduler, BackfillShortJobJumpsAhead) {
+  Harness h(two_nodes());
+  h.scheduler.submit_workload({
+      make_job(1, 0.0, 1, 8 * kGiB, 100.0, 100.0),   // runs on one node
+      make_job(2, 1.0, 2, 8 * kGiB, 50.0, 50.0),     // head: needs both nodes
+      make_job(3, 2.0, 1, 8 * kGiB, 20.0, 20.0),     // short: fits the hole
+  });
+  h.scheduler.run();
+  EXPECT_LT(h.record(3).first_start, h.record(2).first_start);
+  EXPECT_GE(h.scheduler.totals().backfill_starts, 1u);
+  for (std::uint32_t id = 1; id <= 3; ++id) {
+    EXPECT_EQ(h.record(id).outcome, JobOutcome::Completed);
+  }
+}
+
+TEST(Scheduler, BackfillRespectsHeadReservation) {
+  Harness h(two_nodes());
+  h.scheduler.submit_workload({
+      make_job(1, 0.0, 1, 8 * kGiB, 100.0, 100.0),
+      make_job(2, 1.0, 2, 8 * kGiB, 50.0, 50.0),    // head reservation at ~100
+      make_job(3, 2.0, 1, 8 * kGiB, 200.0, 200.0),  // too long to backfill
+  });
+  h.scheduler.run();
+  // Job 3 would delay the head's reservation; it must start after job 2.
+  EXPECT_GT(h.record(3).first_start, h.record(2).first_start);
+  EXPECT_EQ(h.record(2).first_start, 100.0);
+}
+
+TEST(Scheduler, BackfillDisabledKeepsStrictFifo) {
+  SchedulerConfig cfg;
+  cfg.enable_backfill = false;
+  Harness h(two_nodes(), policy::PolicyKind::Static, cfg);
+  h.scheduler.submit_workload({
+      make_job(1, 0.0, 1, 8 * kGiB, 100.0, 100.0),
+      make_job(2, 1.0, 2, 8 * kGiB, 50.0, 50.0),
+      make_job(3, 2.0, 1, 8 * kGiB, 20.0, 20.0),
+  });
+  h.scheduler.run();
+  EXPECT_GT(h.record(3).first_start, h.record(2).first_start);
+  EXPECT_EQ(h.scheduler.totals().backfill_starts, 0u);
+}
+
+TEST(Scheduler, SchedulingPassRateLimited) {
+  SchedulerConfig cfg;
+  cfg.sched_interval = 30.0;
+  Harness h(cluster::make_cluster_config(1, 64 * kGiB, 0, 0),
+            policy::PolicyKind::Static, cfg);
+  // Second job arrives at t=1; the next pass may run no earlier than t=30.
+  h.scheduler.submit_workload({
+      make_job(1, 0.0, 1, 8 * kGiB, 5.0),
+      make_job(2, 1.0, 1, 8 * kGiB, 5.0),
+  });
+  h.scheduler.run();
+  EXPECT_EQ(h.record(1).first_start, 0.0);
+  EXPECT_GE(h.record(2).first_start, 30.0);
+}
+
+TEST(Scheduler, InfeasibleJobIsRecordedNotQueued) {
+  Harness h(two_nodes());
+  h.scheduler.submit_workload({
+      make_job(1, 0.0, 1, 500 * kGiB, 100.0),  // can never fit
+      make_job(2, 0.0, 1, 8 * kGiB, 50.0),
+  });
+  EXPECT_EQ(h.scheduler.infeasible_count(), 1u);
+  h.scheduler.run();
+  EXPECT_TRUE(h.record(1).infeasible);
+  EXPECT_EQ(h.record(1).outcome, JobOutcome::NeverStarted);
+  EXPECT_EQ(h.record(2).outcome, JobOutcome::Completed);
+}
+
+TEST(Scheduler, WalltimeKillWhenEnforced) {
+  SchedulerConfig cfg;
+  cfg.enforce_walltime = true;
+  Harness h(two_nodes(), policy::PolicyKind::Static, cfg);
+  h.scheduler.submit_workload({make_job(1, 0.0, 1, 8 * kGiB, 100.0, 50.0)});
+  h.scheduler.run();
+  const JobRecord& r = h.record(1);
+  EXPECT_EQ(r.outcome, JobOutcome::KilledWalltime);
+  EXPECT_EQ(r.end_time, 50.0);
+  EXPECT_EQ(h.scheduler.totals().walltime_kills, 1u);
+  EXPECT_EQ(h.cluster.total_allocated(), 0);
+}
+
+TEST(Scheduler, WalltimeNotEnforcedByDefault) {
+  Harness h(two_nodes());
+  h.scheduler.submit_workload({make_job(1, 0.0, 1, 8 * kGiB, 100.0, 50.0)});
+  h.scheduler.run();
+  EXPECT_EQ(h.record(1).outcome, JobOutcome::Completed);
+  EXPECT_EQ(h.record(1).end_time, 100.0);
+}
+
+TEST(Scheduler, DynamicUpdatesCountedAndHarmless) {
+  Harness h(two_nodes(), policy::PolicyKind::Dynamic);
+  h.scheduler.submit_workload({make_job(1, 0.0, 1, 8 * kGiB, 2000.0)});
+  h.scheduler.run();
+  EXPECT_EQ(h.record(1).outcome, JobOutcome::Completed);
+  EXPECT_GT(h.scheduler.totals().update_events, 0u);
+  EXPECT_EQ(h.scheduler.totals().oom_events, 0u);
+  EXPECT_EQ(h.record(1).end_time, 2000.0);  // constant usage: no slowdown
+}
+
+// A job whose trace starts at its peak then drops: the dynamic policy must
+// reclaim the difference, letting a blocked job start earlier than under
+// the static policy.
+trace::Workload shrink_scenario() {
+  trace::JobSpec a = make_job(1, 0.0, 1, 120 * kGiB, 3600.0);
+  a.usage = trace::UsageTrace({{0.0, 120 * kGiB}, {0.2, 16 * kGiB}});
+  trace::JobSpec b = make_job(2, 10.0, 1, 120 * kGiB, 600.0);
+  b.usage = trace::UsageTrace::constant(16 * kGiB);
+  return {a, b};
+}
+
+cluster::ClusterConfig three_nodes() {
+  return cluster::make_cluster_config(3, 64 * kGiB, 0, 0);
+}
+
+TEST(Scheduler, DynamicReclaimStartsBlockedJobEarlier) {
+  Seconds static_start = 0.0;
+  Seconds dynamic_start = 0.0;
+  {
+    Harness h(three_nodes(), policy::PolicyKind::Static);
+    h.scheduler.submit_workload(shrink_scenario());
+    h.scheduler.run();
+    static_start = h.record(2).first_start;
+  }
+  {
+    Harness h(three_nodes(), policy::PolicyKind::Dynamic);
+    h.scheduler.submit_workload(shrink_scenario());
+    h.scheduler.run();
+    dynamic_start = h.record(2).first_start;
+  }
+  // Static: job 2 waits for job 1 to finish (t=3600). Dynamic: job 1's
+  // allocation shrinks once its trace drops at 20% progress (~t=720).
+  EXPECT_GE(static_start, 3600.0);
+  EXPECT_LT(dynamic_start, 2000.0);
+}
+
+// Out-of-memory handling: job 1 grows mid-run beyond what the system has
+// while job 2 holds a static reservation.
+trace::Workload oom_scenario() {
+  trace::JobSpec a = make_job(1, 0.0, 1, 10 * kGiB, 3600.0);
+  a.usage = trace::UsageTrace({{0.0, 10 * kGiB}, {0.5, 120 * kGiB}});
+  trace::JobSpec b = make_job(2, 0.0, 1, 100 * kGiB, 3600.0);
+  b.usage = trace::UsageTrace::constant(100 * kGiB);
+  return {a, b};
+}
+
+TEST(Scheduler, OomFailRestartRequeuesAndCompletes) {
+  SchedulerConfig cfg;
+  cfg.oom_handling = OomHandling::FailRestart;
+  cfg.guaranteed_after_failures = 0;
+  Harness h(two_nodes(), policy::PolicyKind::Dynamic, cfg);
+  h.scheduler.submit_workload(oom_scenario());
+  h.scheduler.run();
+  const JobRecord& a = h.record(1);
+  EXPECT_EQ(a.outcome, JobOutcome::Completed);
+  EXPECT_GE(a.oom_failures, 1);
+  EXPECT_GE(h.scheduler.totals().oom_events, 1u);
+  EXPECT_GE(h.scheduler.totals().requeues, 1u);
+  // The restart threw away progress; the job finishes after job 2.
+  EXPECT_GT(a.end_time, h.record(2).end_time);
+  EXPECT_EQ(h.cluster.total_allocated(), 0);
+}
+
+TEST(Scheduler, CheckpointRestartFinishesNoLaterThanFailRestart) {
+  Seconds fr_end = 0.0;
+  Seconds cr_end = 0.0;
+  {
+    SchedulerConfig cfg;
+    cfg.oom_handling = OomHandling::FailRestart;
+    cfg.guaranteed_after_failures = 0;
+    Harness h(two_nodes(), policy::PolicyKind::Dynamic, cfg);
+    h.scheduler.submit_workload(oom_scenario());
+    h.scheduler.run();
+    fr_end = h.record(1).end_time;
+  }
+  {
+    SchedulerConfig cfg;
+    cfg.oom_handling = OomHandling::CheckpointRestart;
+    cfg.guaranteed_after_failures = 0;
+    Harness h(two_nodes(), policy::PolicyKind::Dynamic, cfg);
+    h.scheduler.submit_workload(oom_scenario());
+    h.scheduler.run();
+    cr_end = h.record(1).end_time;
+    EXPECT_EQ(h.record(1).outcome, JobOutcome::Completed);
+  }
+  EXPECT_LE(cr_end, fr_end);
+}
+
+TEST(Scheduler, GuaranteedFallbackAfterRepeatedFailures) {
+  // Single 64 GiB node; the job's true peak (120 GiB) can never be satisfied,
+  // so without mitigation it would fail forever.
+  SchedulerConfig cfg;
+  cfg.guaranteed_after_failures = 1;
+  Harness h(cluster::make_cluster_config(1, 64 * kGiB, 0, 0),
+            policy::PolicyKind::Dynamic, cfg);
+  trace::JobSpec a = make_job(1, 0.0, 1, 10 * kGiB, 1000.0);
+  a.usage = trace::UsageTrace({{0.0, 10 * kGiB}, {0.5, 120 * kGiB}});
+  h.scheduler.submit_workload({a});
+  h.scheduler.run();
+  const JobRecord& r = h.record(1);
+  EXPECT_EQ(r.outcome, JobOutcome::Completed);
+  EXPECT_TRUE(r.ran_guaranteed);
+  EXPECT_EQ(r.oom_failures, 1);
+  EXPECT_GE(h.scheduler.totals().guaranteed_starts, 1u);
+}
+
+TEST(Scheduler, AbandonsAfterMaxRestartsWithoutMitigation) {
+  SchedulerConfig cfg;
+  cfg.guaranteed_after_failures = 0;  // mitigation off
+  cfg.max_restarts = 3;
+  Harness h(cluster::make_cluster_config(1, 64 * kGiB, 0, 0),
+            policy::PolicyKind::Dynamic, cfg);
+  trace::JobSpec a = make_job(1, 0.0, 1, 10 * kGiB, 1000.0);
+  a.usage = trace::UsageTrace({{0.0, 10 * kGiB}, {0.5, 120 * kGiB}});
+  h.scheduler.submit_workload({a});
+  h.scheduler.run();
+  const JobRecord& r = h.record(1);
+  EXPECT_EQ(r.outcome, JobOutcome::AbandonedOom);
+  EXPECT_EQ(r.oom_failures, 4);  // initial run + 3 restarts
+  EXPECT_EQ(h.scheduler.totals().abandoned, 1u);
+  EXPECT_EQ(h.cluster.total_allocated(), 0);
+}
+
+TEST(Scheduler, DeterministicAcrossRuns) {
+  const auto run_once = [] {
+    Harness h(three_nodes(), policy::PolicyKind::Dynamic);
+    trace::Workload jobs;
+    for (std::uint32_t i = 1; i <= 10; ++i) {
+      jobs.push_back(make_job(i, i * 7.0, 1 + static_cast<int>(i % 3),
+                              (8 + 11 * i) * kGiB, 200.0 + 37.0 * i));
+    }
+    h.scheduler.submit_workload(std::move(jobs));
+    h.scheduler.run();
+    std::vector<std::pair<Seconds, Seconds>> out;
+    for (const auto& r : h.scheduler.records()) {
+      out.emplace_back(r.first_start, r.end_time);
+    }
+    return out;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Scheduler, UtilizationAccountingSaneBounds) {
+  Harness h(two_nodes());
+  h.scheduler.submit_workload({
+      make_job(1, 0.0, 2, 32 * kGiB, 100.0),
+      make_job(2, 0.0, 1, 8 * kGiB, 50.0),
+  });
+  h.scheduler.run();
+  EXPECT_GT(h.scheduler.avg_busy_nodes(), 0.0);
+  EXPECT_LE(h.scheduler.avg_busy_nodes(), 2.0);
+  EXPECT_GT(h.scheduler.avg_allocated_mib(), 0.0);
+  EXPECT_LE(h.scheduler.avg_allocated_mib(),
+            static_cast<double>(h.cluster.total_capacity()));
+}
+
+TEST(Scheduler, SystemSamplesWhenEnabled) {
+  SchedulerConfig cfg;
+  cfg.sample_interval = 50.0;
+  Harness h(two_nodes(), policy::PolicyKind::Static, cfg);
+  h.scheduler.submit_workload({make_job(1, 0.0, 1, 8 * kGiB, 200.0)});
+  h.scheduler.run();
+  const auto& samples = h.scheduler.samples();
+  ASSERT_GE(samples.size(), 4u);
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GT(samples[i].time, samples[i - 1].time);
+  }
+  // While the job runs, one node is busy and 8 GiB is allocated.
+  EXPECT_EQ(samples[1].busy_nodes, 1);
+  EXPECT_EQ(samples[1].allocated, 8 * kGiB);
+  EXPECT_EQ(samples[1].used, 8 * kGiB);
+}
+
+TEST(Scheduler, MultiNodeJobOccupiesAllHosts) {
+  Harness h(three_nodes());
+  h.scheduler.submit_workload({make_job(1, 0.0, 3, 8 * kGiB, 100.0)});
+  h.scheduler.run();
+  EXPECT_EQ(h.record(1).outcome, JobOutcome::Completed);
+  EXPECT_NEAR(h.scheduler.avg_busy_nodes(), 3.0, 0.1);
+}
+
+TEST(Scheduler, ZeroDurationJobCompletesImmediately) {
+  Harness h(two_nodes());
+  h.scheduler.submit_workload({make_job(1, 5.0, 1, 8 * kGiB, 0.0, 60.0)});
+  h.scheduler.run();
+  const JobRecord& r = h.record(1);
+  EXPECT_EQ(r.outcome, JobOutcome::Completed);
+  EXPECT_EQ(r.end_time, 5.0);
+}
+
+TEST(Scheduler, EmptyWorkloadRunsCleanly) {
+  Harness h(two_nodes());
+  h.scheduler.submit_workload({});
+  h.scheduler.run();
+  EXPECT_EQ(h.scheduler.totals().completed, 0u);
+  EXPECT_TRUE(h.scheduler.records().empty());
+}
+
+}  // namespace
+}  // namespace dmsim::sched

@@ -1,0 +1,100 @@
+// Randomized engine properties: under arbitrary schedule/cancel interleaving
+// events fire exactly once, in nondecreasing time order, FIFO within a
+// timestamp, and cancelled events never fire.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace dmsim::sim {
+namespace {
+
+class EngineRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineRandomTest, OrderingAndExactlyOnceUnderChurn) {
+  util::Rng rng(GetParam());
+  Engine engine;
+
+  struct Slot {
+    EventId id{};
+    bool cancelled = false;
+    int fired = 0;
+    Seconds time = 0.0;
+    std::uint64_t seq = 0;
+  };
+  std::vector<Slot> slots(400);
+  std::vector<std::pair<Seconds, std::uint64_t>> fire_log;
+
+  std::uint64_t seq = 0;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    Slot& slot = slots[i];
+    slot.time = rng.uniform(0.0, 100.0);
+    // Quantize some times to force ties.
+    if (rng.bernoulli(0.5)) slot.time = std::floor(slot.time);
+    slot.seq = seq++;
+    slot.id = engine.schedule(slot.time, [&slot, &fire_log] {
+      ++slot.fired;
+      fire_log.emplace_back(slot.time, slot.seq);
+    });
+  }
+  // Cancel a random third.
+  for (auto& slot : slots) {
+    if (rng.bernoulli(0.33)) {
+      engine.cancel(slot.id);
+      slot.cancelled = true;
+    }
+  }
+  engine.run();
+
+  std::size_t expected_fires = 0;
+  for (const auto& slot : slots) {
+    if (slot.cancelled) {
+      EXPECT_EQ(slot.fired, 0);
+    } else {
+      EXPECT_EQ(slot.fired, 1);
+      ++expected_fires;
+    }
+  }
+  EXPECT_EQ(fire_log.size(), expected_fires);
+  for (std::size_t i = 1; i < fire_log.size(); ++i) {
+    EXPECT_LE(fire_log[i - 1].first, fire_log[i].first);
+    if (fire_log[i - 1].first == fire_log[i].first) {
+      // FIFO within the same timestamp.
+      EXPECT_LT(fire_log[i - 1].second, fire_log[i].second);
+    }
+  }
+  EXPECT_TRUE(engine.empty());
+}
+
+TEST_P(EngineRandomTest, ReschedulingChainsStayConsistent) {
+  util::Rng rng(GetParam() + 1000);
+  Engine engine;
+  int fired = 0;
+  // Events that reschedule themselves a random number of times.
+  std::function<void(int)> hop = [&](int remaining) {
+    ++fired;
+    if (remaining > 0) {
+      engine.schedule_after(rng.uniform(0.1, 5.0),
+                            [&hop, remaining] { hop(remaining - 1); });
+    }
+  };
+  int expected = 0;
+  for (int chain = 0; chain < 20; ++chain) {
+    const int hops = static_cast<int>(rng.uniform_int(0, 10));
+    expected += hops + 1;
+    engine.schedule(rng.uniform(0.0, 10.0), [&hop, hops] { hop(hops); });
+  }
+  engine.run();
+  EXPECT_EQ(fired, expected);
+  EXPECT_TRUE(engine.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineRandomTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+}  // namespace
+}  // namespace dmsim::sim

@@ -1,0 +1,191 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dmsim::sim {
+namespace {
+
+TEST(Engine, StartsAtTimeZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0.0);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(Engine, ExecutesInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(3.0, [&] { order.push_back(3); });
+  e.schedule(1.0, [&] { order.push_back(1); });
+  e.schedule(2.0, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 3.0);
+}
+
+TEST(Engine, TiesBreakFifo) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, ClockAdvancesToEventTime) {
+  Engine e;
+  double seen = -1.0;
+  e.schedule(7.5, [&] { seen = e.now(); });
+  e.run();
+  EXPECT_EQ(seen, 7.5);
+}
+
+TEST(Engine, ScheduleAfterUsesRelativeDelay) {
+  Engine e;
+  double seen = -1.0;
+  e.schedule(10.0, [&] {
+    e.schedule_after(5.0, [&] { seen = e.now(); });
+  });
+  e.run();
+  EXPECT_EQ(seen, 15.0);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine e;
+  bool fired = false;
+  const EventId id = e.schedule(1.0, [&] { fired = true; });
+  e.cancel(id);
+  e.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(e.pending_events(), 0u);
+}
+
+TEST(Engine, CancelInvalidHandleIsNoop) {
+  Engine e;
+  e.cancel(EventId{});
+  e.cancel(EventId{999});
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(Engine, CancelAfterFireIsNoop) {
+  Engine e;
+  const EventId id = e.schedule(1.0, [] {});
+  e.run();
+  e.cancel(id);  // must not crash or corrupt
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(Engine, DoubleCancelIsNoop) {
+  Engine e;
+  const EventId id = e.schedule(1.0, [] {});
+  e.cancel(id);
+  e.cancel(id);
+  e.run();
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(Engine, RescheduleViaCancelAndSchedule) {
+  Engine e;
+  std::vector<double> fired;
+  EventId id = e.schedule(10.0, [&] { fired.push_back(e.now()); });
+  e.schedule(2.0, [&] {
+    e.cancel(id);
+    id = e.schedule(20.0, [&] { fired.push_back(e.now()); });
+  });
+  e.run();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 20.0);
+}
+
+TEST(Engine, EventsCanScheduleMoreEvents) {
+  Engine e;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 5) e.schedule_after(1.0, chain);
+  };
+  e.schedule(0.0, chain);
+  e.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(e.now(), 4.0);
+}
+
+TEST(Engine, RunMaxEventsStopsEarly) {
+  Engine e;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule(static_cast<Seconds>(i), [&] { ++count; });
+  }
+  EXPECT_EQ(e.run(3), 3u);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(e.pending_events(), 7u);
+}
+
+TEST(Engine, RunUntilExecutesInclusiveBoundary) {
+  Engine e;
+  std::vector<double> fired;
+  e.schedule(1.0, [&] { fired.push_back(1.0); });
+  e.schedule(2.0, [&] { fired.push_back(2.0); });
+  e.schedule(3.0, [&] { fired.push_back(3.0); });
+  e.run_until(2.0);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(e.now(), 2.0);
+  e.run();
+  EXPECT_EQ(fired.size(), 3u);
+}
+
+TEST(Engine, RunUntilAdvancesClockWhenIdle) {
+  Engine e;
+  e.run_until(100.0);
+  EXPECT_EQ(e.now(), 100.0);
+}
+
+TEST(Engine, RunUntilSkipsCancelledHead) {
+  Engine e;
+  bool fired = false;
+  const EventId id = e.schedule(1.0, [&] { fired = true; });
+  e.schedule(5.0, [] {});
+  e.cancel(id);
+  e.run_until(2.0);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(e.pending_events(), 1u);
+}
+
+TEST(Engine, ExecutedEventsCounter) {
+  Engine e;
+  for (int i = 0; i < 4; ++i) e.schedule(1.0, [] {});
+  e.run();
+  EXPECT_EQ(e.executed_events(), 4u);
+}
+
+TEST(Engine, PendingEventsExcludesCancelled) {
+  Engine e;
+  const EventId a = e.schedule(1.0, [] {});
+  e.schedule(2.0, [] {});
+  EXPECT_EQ(e.pending_events(), 2u);
+  e.cancel(a);
+  EXPECT_EQ(e.pending_events(), 1u);
+  EXPECT_FALSE(e.empty());
+}
+
+TEST(Engine, CancellingOwnFutureEventFromCallback) {
+  Engine e;
+  bool late_fired = false;
+  const EventId late = e.schedule(10.0, [&] { late_fired = true; });
+  e.schedule(1.0, [&] { e.cancel(late); });
+  e.run();
+  EXPECT_FALSE(late_fired);
+}
+
+TEST(Engine, StepReturnsFalseWhenEmpty) {
+  Engine e;
+  EXPECT_FALSE(e.step());
+  e.schedule(1.0, [] {});
+  EXPECT_TRUE(e.step());
+  EXPECT_FALSE(e.step());
+}
+
+}  // namespace
+}  // namespace dmsim::sim

@@ -1,0 +1,215 @@
+#include "slowdown/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "util/rng.hpp"
+
+namespace dmsim::slowdown {
+namespace {
+
+constexpr MiB kGiB = 1024;
+
+TEST(SensitivityCurve, FlatIsAlwaysOne) {
+  const auto c = SensitivityCurve::flat();
+  EXPECT_DOUBLE_EQ(c.at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(c.at(1000.0), 1.0);
+}
+
+TEST(SensitivityCurve, InterpolatesLinearly) {
+  const SensitivityCurve c({{0.0, 1.0}, {10.0, 2.0}});
+  EXPECT_DOUBLE_EQ(c.at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(c.at(5.0), 1.5);
+  EXPECT_DOUBLE_EQ(c.at(10.0), 2.0);
+}
+
+TEST(SensitivityCurve, ClampsAboveLastKnot) {
+  const SensitivityCurve c({{0.0, 1.0}, {10.0, 2.0}});
+  EXPECT_DOUBLE_EQ(c.at(100.0), 2.0);
+}
+
+TEST(SensitivityCurve, MultiSegment) {
+  const SensitivityCurve c({{0.0, 1.0}, {10.0, 1.2}, {30.0, 2.0}});
+  EXPECT_DOUBLE_EQ(c.at(20.0), 1.6);
+}
+
+TEST(SensitivityCurve, MonotoneNonDecreasingProperty) {
+  util::Rng rng(3);
+  const AppPool pool = AppPool::synthetic(rng, 32);
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    const auto& curve = pool.app(static_cast<int>(i)).sensitivity;
+    double prev = 0.0;
+    for (double p = 0.0; p <= 80.0; p += 0.5) {
+      const double s = curve.at(p);
+      EXPECT_GE(s, 1.0);
+      EXPECT_GE(s, prev);
+      prev = s;
+    }
+  }
+}
+
+TEST(AppPool, SyntheticIsDeterministic) {
+  util::Rng rng(7);
+  const AppPool a = AppPool::synthetic(rng, 16);
+  const AppPool b = AppPool::synthetic(rng, 16);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.app(static_cast<int>(i)).bw_demand_gbs,
+              b.app(static_cast<int>(i)).bw_demand_gbs);
+    EXPECT_EQ(a.app(static_cast<int>(i)).typical_mem,
+              b.app(static_cast<int>(i)).typical_mem);
+  }
+}
+
+TEST(AppPool, SyntheticRangesArePlausible) {
+  util::Rng rng(11);
+  const AppPool pool = AppPool::synthetic(rng, 64);
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    const AppProfile& app = pool.app(static_cast<int>(i));
+    EXPECT_GE(app.bw_demand_gbs, 0.5);
+    EXPECT_LE(app.bw_demand_gbs, 20.0);
+    EXPECT_GE(app.remote_penalty, 0.05);
+    EXPECT_LE(app.remote_penalty, 0.6);
+    const double ceiling = app.sensitivity.at(1e9);
+    EXPECT_GE(ceiling, 1.1);
+    EXPECT_LE(ceiling, 2.5);
+  }
+}
+
+TEST(AppPool, MatchFindsExactFeatureMatch) {
+  std::vector<AppProfile> apps(3);
+  apps[0].typical_nodes = 1;
+  apps[0].typical_runtime_s = 100;
+  apps[1].typical_nodes = 64;
+  apps[1].typical_runtime_s = 100000;
+  apps[2].typical_nodes = 8;
+  apps[2].typical_runtime_s = 3600;
+  const AppPool pool(std::move(apps));
+  EXPECT_EQ(pool.match(8, 3600), 2);
+  EXPECT_EQ(pool.match(1, 90), 0);
+  EXPECT_EQ(pool.match(70, 90000), 1);
+}
+
+TEST(AppPool, MatchWithMemoryBreaksTies) {
+  std::vector<AppProfile> apps(2);
+  apps[0].typical_nodes = 4;
+  apps[0].typical_runtime_s = 1000;
+  apps[0].typical_mem = 1024;
+  apps[1].typical_nodes = 4;
+  apps[1].typical_runtime_s = 1000;
+  apps[1].typical_mem = 64 * kGiB;
+  const AppPool pool(std::move(apps));
+  EXPECT_EQ(pool.match(4, 1000, 2048), 0);
+  EXPECT_EQ(pool.match(4, 1000, 50 * kGiB), 1);
+}
+
+TEST(AppPool, MatchOnEmptyPoolReturnsMinusOne) {
+  const AppPool pool;
+  EXPECT_EQ(pool.match(4, 100), -1);
+}
+
+class ContentionFixture : public ::testing::Test {
+ protected:
+  ContentionFixture()
+      : cluster_(cluster::make_cluster_config(4, 64 * kGiB, 0, 128 * kGiB)) {
+    std::vector<AppProfile> apps(1);
+    apps[0].name = "hungry";
+    apps[0].bw_demand_gbs = 10.0;
+    apps[0].remote_penalty = 0.5;
+    apps[0].sensitivity = SensitivityCurve({{0.0, 1.0}, {20.0, 2.0}});
+    pool_ = AppPool(std::move(apps));
+  }
+
+  cluster::Cluster cluster_;
+  AppPool pool_;
+};
+
+TEST_F(ContentionFixture, AllLocalJobHasNoSlowdown) {
+  const JobId job{1};
+  cluster_.assign_job(job, std::vector<NodeId>{NodeId{0}});
+  (void)cluster_.grow_local(job, NodeId{0}, 10 * kGiB);
+  const ContentionModel model(&pool_);
+  EXPECT_DOUBLE_EQ(model.evaluate_one(cluster_, job, 0), 1.0);
+}
+
+TEST_F(ContentionFixture, RemoteMemoryCausesSlowdown) {
+  const JobId job{1};
+  cluster_.assign_job(job, std::vector<NodeId>{NodeId{0}});
+  (void)cluster_.grow_local(job, NodeId{0}, 10 * kGiB);
+  (void)cluster_.grow_remote(job, NodeId{0}, 10 * kGiB);
+  const ContentionModel model(&pool_);
+  const double s = model.evaluate_one(cluster_, job, 0);
+  EXPECT_GT(s, 1.0);
+  // remote fraction 0.5, own pressure 10*0.5=5 GB/s -> sens 1.25;
+  // latency term 1 + 0.5*0.5 = 1.25 -> 1.5625.
+  EXPECT_NEAR(s, 1.25 * 1.25, 1e-9);
+}
+
+TEST_F(ContentionFixture, SharedLenderRaisesBothSlowdowns) {
+  // Three nodes: jobs on 0 and 1, so node 2 is the only possible lender.
+  cluster::Cluster c(cluster::make_cluster_config(3, 64 * kGiB, 0, 128 * kGiB));
+  const JobId a{1};
+  const JobId b{2};
+  c.assign_job(a, std::vector<NodeId>{NodeId{0}});
+  c.assign_job(b, std::vector<NodeId>{NodeId{1}});
+  // Fill both hosts completely so neither can lend to the other.
+  (void)c.grow_local(a, NodeId{0}, 64 * kGiB);
+  (void)c.grow_local(b, NodeId{1}, 64 * kGiB);
+  (void)c.grow_remote(a, NodeId{0}, 10 * kGiB);
+  (void)c.grow_remote(b, NodeId{1}, 10 * kGiB);
+  ASSERT_EQ(c.node(NodeId{2}).lent, 20 * kGiB);
+
+  const ContentionModel model(&pool_);
+  const std::vector<ContentionModel::JobInput> solo = {{a, 0}};
+  const std::vector<ContentionModel::JobInput> both = {{a, 0}, {b, 0}};
+  const double s_solo = model.evaluate(c, solo)[0];
+  const double s_both = model.evaluate(c, both)[0];
+  EXPECT_GT(s_both, s_solo);  // contention from b's traffic
+}
+
+TEST_F(ContentionFixture, NullPoolMeansInsensitive) {
+  const JobId job{1};
+  cluster_.assign_job(job, std::vector<NodeId>{NodeId{0}});
+  (void)cluster_.grow_remote(job, NodeId{0}, 10 * kGiB);
+  const ContentionModel model(nullptr);
+  EXPECT_DOUBLE_EQ(model.evaluate_one(cluster_, job, 0), 1.0);
+}
+
+TEST_F(ContentionFixture, UnknownProfileIndexMeansInsensitive) {
+  const JobId job{1};
+  cluster_.assign_job(job, std::vector<NodeId>{NodeId{0}});
+  (void)cluster_.grow_remote(job, NodeId{0}, 10 * kGiB);
+  const ContentionModel model(&pool_);
+  EXPECT_DOUBLE_EQ(model.evaluate_one(cluster_, job, -1), 1.0);
+}
+
+TEST_F(ContentionFixture, MultiNodeJobTakesWorstSlot) {
+  const JobId job{1};
+  cluster_.assign_job(job, std::vector<NodeId>{NodeId{0}, NodeId{1}});
+  (void)cluster_.grow_local(job, NodeId{0}, 10 * kGiB);   // all local slot
+  (void)cluster_.grow_local(job, NodeId{1}, 5 * kGiB);
+  (void)cluster_.grow_remote(job, NodeId{1}, 5 * kGiB);   // remote slot
+  const ContentionModel model(&pool_);
+  const double s = model.evaluate_one(cluster_, job, 0);
+  EXPECT_GT(s, 1.0);  // the remote slot dominates
+}
+
+TEST_F(ContentionFixture, MoreRemoteFractionMoreSlowdown) {
+  const ContentionModel model(&pool_);
+  double prev = 0.0;
+  for (const MiB remote : {0, 4, 8, 16}) {
+    cluster::Cluster c(cluster::make_cluster_config(4, 64 * kGiB, 0, 0));
+    const JobId job{1};
+    c.assign_job(job, std::vector<NodeId>{NodeId{0}});
+    (void)c.grow_local(job, NodeId{0}, 16 * kGiB);
+    if (remote > 0) (void)c.grow_remote(job, NodeId{0}, remote * kGiB);
+    const double s = model.evaluate_one(c, job, 0);
+    EXPECT_GE(s, prev);
+    prev = s;
+  }
+}
+
+}  // namespace
+}  // namespace dmsim::slowdown

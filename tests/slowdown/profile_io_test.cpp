@@ -1,0 +1,85 @@
+#include "slowdown/profile_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dmsim::slowdown {
+namespace {
+
+TEST(ProfileIo, RoundTripsSyntheticPool) {
+  const AppPool original = AppPool::synthetic(util::Rng(13), 24);
+  std::stringstream ss;
+  write_app_pool(ss, original);
+  const AppPool back = read_app_pool(ss);
+  ASSERT_EQ(back.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const AppProfile& a = original.app(static_cast<int>(i));
+    const AppProfile& b = back.app(static_cast<int>(i));
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_DOUBLE_EQ(a.bw_demand_gbs, b.bw_demand_gbs);
+    EXPECT_DOUBLE_EQ(a.remote_penalty, b.remote_penalty);
+    EXPECT_DOUBLE_EQ(a.typical_nodes, b.typical_nodes);
+    EXPECT_DOUBLE_EQ(a.typical_runtime_s, b.typical_runtime_s);
+    EXPECT_EQ(a.typical_mem, b.typical_mem);
+    ASSERT_EQ(a.sensitivity.knots().size(), b.sensitivity.knots().size());
+    for (double p = 0.0; p <= 100.0; p += 7.0) {
+      EXPECT_DOUBLE_EQ(a.sensitivity.at(p), b.sensitivity.at(p));
+    }
+  }
+}
+
+TEST(ProfileIo, CommentsAndBlanksIgnored) {
+  std::istringstream in(
+      "# pool\n"
+      "\n"
+      "app demo\n"
+      "# interleaved\n"
+      "bw_demand 5.5\n"
+      "remote_penalty 0.2\n"
+      "features 8 3600 4096\n"
+      "curve 2 0 1 20 1.8\n");
+  const AppPool pool = read_app_pool(in);
+  ASSERT_EQ(pool.size(), 1u);
+  const AppProfile& app = pool.app(0);
+  EXPECT_EQ(app.name, "demo");
+  EXPECT_DOUBLE_EQ(app.bw_demand_gbs, 5.5);
+  EXPECT_DOUBLE_EQ(app.sensitivity.at(10.0), 1.4);
+}
+
+TEST(ProfileIo, DefaultsWhenFieldsOmitted) {
+  std::istringstream in("app bare\n");
+  const AppPool pool = read_app_pool(in);
+  ASSERT_EQ(pool.size(), 1u);
+  EXPECT_DOUBLE_EQ(pool.app(0).sensitivity.at(100.0), 1.0);  // flat default
+}
+
+TEST(ProfileIo, RejectsFieldOutsideApp) {
+  std::istringstream in("bw_demand 3\n");
+  EXPECT_THROW(read_app_pool(in), TraceError);
+}
+
+TEST(ProfileIo, RejectsUnknownField) {
+  std::istringstream in("app x\nmystery 1\n");
+  EXPECT_THROW(read_app_pool(in), TraceError);
+}
+
+TEST(ProfileIo, RejectsShortCurve) {
+  std::istringstream in("app x\ncurve 3 0 1 5 1.5\n");
+  EXPECT_THROW(read_app_pool(in), TraceError);
+}
+
+TEST(ProfileIo, RejectsMissingFile) {
+  EXPECT_THROW(read_app_pool_file("/nonexistent/apps.profile"), TraceError);
+}
+
+TEST(ProfileIo, EmptyStreamGivesEmptyPool) {
+  std::istringstream in("# nothing here\n");
+  EXPECT_TRUE(read_app_pool(in).empty());
+}
+
+}  // namespace
+}  // namespace dmsim::slowdown

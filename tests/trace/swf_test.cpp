@@ -1,0 +1,152 @@
+#include "trace/swf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace dmsim::trace {
+namespace {
+
+SwfRecord sample_record() {
+  SwfRecord r;
+  r.job_number = 17;
+  r.submit_time = 120.5;
+  r.wait_time = 30;
+  r.run_time = 3600;
+  r.allocated_procs = 64;
+  r.used_memory_kb = 2048;
+  r.requested_procs = 64;
+  r.requested_time = 7200;
+  r.requested_memory_kb = 4096;
+  r.status = 1;
+  r.user_id = 3;
+  return r;
+}
+
+TEST(Swf, WriteReadRoundTrip) {
+  SwfTrace trace;
+  trace.header_comments = {"Computer: dmsim test", "MaxJobs: 2"};
+  trace.records.push_back(sample_record());
+  SwfRecord r2 = sample_record();
+  r2.job_number = 18;
+  trace.records.push_back(r2);
+
+  std::stringstream ss;
+  write_swf(ss, trace);
+  const SwfTrace back = read_swf(ss);
+  ASSERT_EQ(back.records.size(), 2u);
+  EXPECT_EQ(back.records[0], trace.records[0]);
+  EXPECT_EQ(back.records[1], trace.records[1]);
+  ASSERT_EQ(back.header_comments.size(), 2u);
+  EXPECT_EQ(back.header_comments[0], "Computer: dmsim test");
+}
+
+TEST(Swf, ParsesCommentsAndBlankLines) {
+  std::istringstream in(
+      "; UnixStartTime: 0\n"
+      "\n"
+      "  ; indented comment\n"
+      "1 0 0 100 4 -1 -1 4 200 -1 1 -1 -1 -1 -1 -1 -1 -1\n");
+  const SwfTrace t = read_swf(in);
+  EXPECT_EQ(t.header_comments.size(), 2u);
+  ASSERT_EQ(t.records.size(), 1u);
+  EXPECT_EQ(t.records[0].job_number, 1);
+  EXPECT_EQ(t.records[0].run_time, 100);
+  EXPECT_EQ(t.records[0].requested_time, 200);
+}
+
+TEST(Swf, UnknownFieldsAreMinusOne) {
+  std::istringstream in(
+      "5 10 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1\n");
+  const SwfTrace t = read_swf(in);
+  ASSERT_EQ(t.records.size(), 1u);
+  EXPECT_EQ(t.records[0].run_time, -1);
+  EXPECT_EQ(t.records[0].requested_memory_kb, -1);
+}
+
+TEST(Swf, ThrowsOnShortLine) {
+  std::istringstream in("1 2 3\n");
+  EXPECT_THROW(read_swf(in), TraceError);
+}
+
+TEST(Swf, ThrowsOnMissingFile) {
+  EXPECT_THROW(read_swf_file("/nonexistent/path.swf"), TraceError);
+}
+
+TEST(Swf, ToSwfConvertsNodesToProcs) {
+  Workload jobs;
+  JobSpec j;
+  j.id = JobId{42};
+  j.submit_time = 100.0;
+  j.num_nodes = 4;
+  j.requested_mem = 2048;  // MiB per node
+  j.duration = 500.0;
+  j.walltime = 600.0;
+  j.usage = UsageTrace::constant(1024);
+  jobs.push_back(j);
+
+  const SwfTrace t = to_swf(jobs, 32);
+  ASSERT_EQ(t.records.size(), 1u);
+  const SwfRecord& r = t.records[0];
+  EXPECT_EQ(r.job_number, 42);
+  EXPECT_EQ(r.allocated_procs, 4 * 32);
+  EXPECT_EQ(r.requested_time, 600.0);
+  // 2048 MiB -> KB per processor: 2048*1024/32.
+  EXPECT_EQ(r.requested_memory_kb, 2048 * 1024 / 32);
+  EXPECT_EQ(r.used_memory_kb, 1024 * 1024 / 32);
+}
+
+TEST(Swf, FromSwfReconstructsJob) {
+  SwfTrace t;
+  SwfRecord r = sample_record();
+  r.requested_procs = 96;  // 3 nodes at 32 cores
+  r.requested_memory_kb = 1024;
+  t.records.push_back(r);
+  const Workload jobs = from_swf(t, 32);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].id.get(), 17u);
+  EXPECT_EQ(jobs[0].num_nodes, 3);
+  EXPECT_EQ(jobs[0].duration, 3600.0);
+  // 1024 KB/proc * 32 procs/node / 1024 = 32 MiB per node.
+  EXPECT_EQ(jobs[0].requested_mem, 32);
+  EXPECT_EQ(jobs[0].usage.peak(), 32);
+}
+
+TEST(Swf, FromSwfRoundsNodesUp) {
+  SwfTrace t;
+  SwfRecord r = sample_record();
+  r.requested_procs = 33;  // 33 procs at 32 cores -> 2 nodes
+  t.records.push_back(r);
+  const Workload jobs = from_swf(t, 32);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].num_nodes, 2);
+}
+
+TEST(Swf, RoundTripThroughJobSpecs) {
+  Workload jobs;
+  for (std::uint32_t i = 1; i <= 5; ++i) {
+    JobSpec j;
+    j.id = JobId{i};
+    j.submit_time = i * 10.0;
+    j.num_nodes = static_cast<int>(i);
+    j.requested_mem = static_cast<MiB>(i) * 1024;
+    j.duration = i * 100.0;
+    j.walltime = i * 150.0;
+    j.usage = UsageTrace::constant(j.requested_mem);
+    jobs.push_back(j);
+  }
+  const Workload back = from_swf(to_swf(jobs, 32), 32);
+  ASSERT_EQ(back.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(back[i].id, jobs[i].id);
+    EXPECT_EQ(back[i].num_nodes, jobs[i].num_nodes);
+    EXPECT_DOUBLE_EQ(back[i].submit_time, jobs[i].submit_time);
+    EXPECT_DOUBLE_EQ(back[i].duration, jobs[i].duration);
+    EXPECT_EQ(back[i].requested_mem, jobs[i].requested_mem);
+  }
+}
+
+}  // namespace
+}  // namespace dmsim::trace

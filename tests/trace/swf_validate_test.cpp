@@ -1,0 +1,128 @@
+#include "trace/swf_validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
+
+namespace dmsim::trace {
+namespace {
+
+SwfRecord good(std::int64_t job, double submit) {
+  SwfRecord r;
+  r.job_number = job;
+  r.submit_time = submit;
+  r.run_time = 100;
+  r.requested_time = 150;
+  r.allocated_procs = 32;
+  r.requested_procs = 32;
+  r.status = 1;
+  return r;
+}
+
+TEST(SwfValidate, CleanTraceHasNoIssues) {
+  SwfTrace t;
+  t.records = {good(1, 0), good(2, 10), good(3, 20)};
+  const auto issues = validate_swf(t);
+  EXPECT_TRUE(issues.empty());
+  EXPECT_TRUE(swf_simulatable(issues));
+}
+
+TEST(SwfValidate, DuplicateJobNumbersFlagged) {
+  SwfTrace t;
+  t.records = {good(1, 0), good(1, 10)};
+  const auto issues = validate_swf(t);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].kind, SwfIssueKind::DuplicateJobNumber);
+  EXPECT_EQ(issues[0].record_index, 1u);
+  EXPECT_FALSE(swf_simulatable(issues));
+}
+
+TEST(SwfValidate, NonMonotonicSubmitIsWarningOnly) {
+  SwfTrace t;
+  t.records = {good(1, 100), good(2, 50)};
+  const auto issues = validate_swf(t);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].kind, SwfIssueKind::NonMonotonicSubmit);
+  EXPECT_TRUE(swf_simulatable(issues));  // sortable, still usable
+}
+
+TEST(SwfValidate, MissingRuntimeBlocksSimulation) {
+  SwfRecord r = good(1, 0);
+  r.run_time = -1;
+  r.requested_time = -1;
+  SwfTrace t;
+  t.records = {r};
+  const auto issues = validate_swf(t);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].kind, SwfIssueKind::MissingRuntime);
+  EXPECT_FALSE(swf_simulatable(issues));
+}
+
+TEST(SwfValidate, MissingProcsBlocksSimulation) {
+  SwfRecord r = good(1, 0);
+  r.allocated_procs = -1;
+  r.requested_procs = -1;
+  SwfTrace t;
+  t.records = {r};
+  const auto issues = validate_swf(t);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].kind, SwfIssueKind::MissingProcs);
+  EXPECT_FALSE(swf_simulatable(issues));
+}
+
+TEST(SwfValidate, NegativeFieldFlagged) {
+  SwfRecord r = good(1, 0);
+  r.used_memory_kb = -42;  // not the -1 sentinel
+  SwfTrace t;
+  t.records = {r};
+  const auto issues = validate_swf(t);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].kind, SwfIssueKind::NegativeField);
+  EXPECT_TRUE(swf_simulatable(issues));
+}
+
+TEST(SwfValidate, WalltimeBelowRuntimeFlagged) {
+  SwfRecord r = good(1, 0);
+  r.requested_time = 50;  // < run_time 100
+  SwfTrace t;
+  t.records = {r};
+  const auto issues = validate_swf(t);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].kind, SwfIssueKind::WalltimeBelowRuntime);
+}
+
+TEST(SwfValidate, IssueKindsHaveNames) {
+  for (const auto kind :
+       {SwfIssueKind::DuplicateJobNumber, SwfIssueKind::NonMonotonicSubmit,
+        SwfIssueKind::MissingRuntime, SwfIssueKind::MissingProcs,
+        SwfIssueKind::NegativeField, SwfIssueKind::WalltimeBelowRuntime}) {
+    EXPECT_FALSE(to_string(kind).empty());
+    EXPECT_NE(to_string(kind), "unknown");
+  }
+}
+
+// Property: every generated synthetic workload exports to a clean SWF.
+class SwfExportValidationTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SwfExportValidationTest, GeneratedWorkloadsExportClean) {
+  workload::SyntheticWorkloadConfig cfg;
+  cfg.cirne.num_jobs = 150;
+  cfg.cirne.system_nodes = 64;
+  cfg.cirne.max_job_nodes = 16;
+  cfg.pct_large_jobs = 0.5;
+  cfg.overestimation = 0.6;
+  cfg.seed = GetParam();
+  const auto w = workload::generate_synthetic(cfg);
+  const SwfTrace t = to_swf(w.jobs, 32);
+  const auto issues = validate_swf(t);
+  EXPECT_TRUE(issues.empty()) << issues.size() << " issues, first: "
+                              << (issues.empty() ? "" : issues[0].message);
+  EXPECT_TRUE(swf_simulatable(issues));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SwfExportValidationTest,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace dmsim::trace

@@ -1,0 +1,188 @@
+#include "trace/usage_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dmsim::trace {
+namespace {
+
+UsageTrace steps() {
+  return UsageTrace({{0.0, 100}, {0.25, 300}, {0.5, 50}, {0.75, 200}});
+}
+
+TEST(UsageTrace, ConstantEverywhere) {
+  const auto t = UsageTrace::constant(512);
+  EXPECT_EQ(t.at(0.0), 512);
+  EXPECT_EQ(t.at(0.5), 512);
+  EXPECT_EQ(t.at(1.0), 512);
+  EXPECT_EQ(t.peak(), 512);
+  EXPECT_DOUBLE_EQ(t.average(), 512.0);
+}
+
+TEST(UsageTrace, EmptyTraceIsZero) {
+  const UsageTrace t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.at(0.5), 0);
+  EXPECT_EQ(t.peak(), 0);
+  EXPECT_EQ(t.max_in(0.0, 1.0), 0);
+}
+
+TEST(UsageTrace, PiecewiseConstantLookup) {
+  const auto t = steps();
+  EXPECT_EQ(t.at(0.0), 100);
+  EXPECT_EQ(t.at(0.1), 100);
+  EXPECT_EQ(t.at(0.25), 300);
+  EXPECT_EQ(t.at(0.49), 300);
+  EXPECT_EQ(t.at(0.5), 50);
+  EXPECT_EQ(t.at(0.9), 200);
+  EXPECT_EQ(t.at(1.0), 200);
+}
+
+TEST(UsageTrace, LookupClampsOutOfRange) {
+  const auto t = steps();
+  EXPECT_EQ(t.at(-0.5), 100);
+  EXPECT_EQ(t.at(1.5), 200);
+}
+
+TEST(UsageTrace, MaxInWindow) {
+  const auto t = steps();
+  EXPECT_EQ(t.max_in(0.0, 0.2), 100);
+  EXPECT_EQ(t.max_in(0.0, 0.3), 300);
+  EXPECT_EQ(t.max_in(0.3, 0.6), 300);  // value at 0.3 is 300
+  EXPECT_EQ(t.max_in(0.5, 0.6), 50);
+  EXPECT_EQ(t.max_in(0.5, 1.0), 200);
+  EXPECT_EQ(t.max_in(0.0, 1.0), 300);
+}
+
+TEST(UsageTrace, MaxInSwapsReversedBounds) {
+  const auto t = steps();
+  EXPECT_EQ(t.max_in(0.6, 0.3), t.max_in(0.3, 0.6));
+}
+
+TEST(UsageTrace, MaxInPointWindow) {
+  const auto t = steps();
+  EXPECT_EQ(t.max_in(0.1, 0.1), 100);
+  EXPECT_EQ(t.max_in(0.25, 0.25), 300);
+}
+
+TEST(UsageTrace, PeakAndAverage) {
+  const auto t = steps();
+  EXPECT_EQ(t.peak(), 300);
+  // 100*0.25 + 300*0.25 + 50*0.25 + 200*0.25 = 162.5
+  EXPECT_DOUBLE_EQ(t.average(), 162.5);
+}
+
+TEST(UsageTrace, AverageBelowPeakForMultiPhase) {
+  const auto t = steps();
+  EXPECT_LT(t.average(), static_cast<double>(t.peak()));
+}
+
+TEST(UsageTrace, ScaledMultipliesMemory) {
+  const auto t = steps().scaled(2.0);
+  EXPECT_EQ(t.at(0.0), 200);
+  EXPECT_EQ(t.peak(), 600);
+}
+
+TEST(UsageTrace, ScaledZeroGivesZero) {
+  const auto t = steps().scaled(0.0);
+  EXPECT_EQ(t.peak(), 0);
+}
+
+TEST(UsageTrace, CompressedKeepsEndpointsAndPeakWithinEpsilon) {
+  std::vector<UsagePoint> pts;
+  for (int i = 0; i < 100; ++i) {
+    pts.push_back({i / 100.0, 1000 + (i % 3)});  // tiny wobble
+  }
+  pts[50].mem = 5000;  // one spike
+  const UsageTrace t(std::move(pts));
+  const UsageTrace c = t.compressed(10.0);
+  EXPECT_LT(c.size(), t.size());
+  EXPECT_EQ(c.points().front().progress, 0.0);
+  EXPECT_EQ(c.peak(), 5000);  // the spike survives compression
+}
+
+TEST(UsageTrace, CompressedTwoPointsUnchanged) {
+  const UsageTrace t({{0.0, 10}, {1.0, 20}});
+  const UsageTrace c = t.compressed(100.0);
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(Rdp, KeepsFirstAndLast) {
+  const std::vector<double> xs = {0, 1, 2, 3, 4};
+  const std::vector<double> ys = {0, 0, 0, 0, 0};
+  const auto keep = rdp_keep_indices(xs, ys, 0.1);
+  EXPECT_EQ(keep, (std::vector<std::size_t>{0, 4}));
+}
+
+TEST(Rdp, KeepsSharpCorner) {
+  const std::vector<double> xs = {0, 1, 2, 3, 4};
+  const std::vector<double> ys = {0, 0, 10, 0, 0};
+  const auto keep = rdp_keep_indices(xs, ys, 1.0);
+  EXPECT_NE(std::find(keep.begin(), keep.end(), 2u), keep.end());
+}
+
+TEST(Rdp, ZeroEpsilonKeepsAllNonCollinear) {
+  const std::vector<double> xs = {0, 1, 2, 3};
+  const std::vector<double> ys = {0, 5, -3, 2};
+  const auto keep = rdp_keep_indices(xs, ys, 0.0);
+  EXPECT_EQ(keep.size(), 4u);
+}
+
+TEST(Rdp, EmptyAndTinyInputs) {
+  EXPECT_TRUE(rdp_keep_indices({}, {}, 1.0).empty());
+  const std::vector<double> one = {0.0};
+  EXPECT_EQ(rdp_keep_indices(one, one, 1.0).size(), 1u);
+}
+
+// Property: for random traces, the compressed polyline's pointwise error
+// never exceeds epsilon (the RDP guarantee for vertical deviation).
+class RdpPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RdpPropertyTest, CompressionErrorBounded) {
+  util::Rng rng(GetParam());
+  std::vector<UsagePoint> pts;
+  const int n = 200;
+  MiB level = 1000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.1)) {
+      level = static_cast<MiB>(rng.uniform_int(100, 10000));
+    }
+    pts.push_back({static_cast<double>(i) / n,
+                   level + rng.uniform_int(-20, 20)});
+  }
+  const UsageTrace t(std::move(pts));
+  const double epsilon = 100.0;
+  const UsageTrace c = t.compressed(epsilon);
+  ASSERT_LE(c.size(), t.size());
+  // Compare the compressed *polyline interpolation* against every original
+  // sample (this is the quantity RDP bounds).
+  const auto& cp = c.points();
+  for (const auto& p : t.points()) {
+    // Find the bracketing compressed points.
+    std::size_t hi = 0;
+    while (hi < cp.size() && cp[hi].progress < p.progress) ++hi;
+    double interp;
+    if (hi == 0) {
+      interp = static_cast<double>(cp.front().mem);
+    } else if (hi == cp.size()) {
+      interp = static_cast<double>(cp.back().mem);
+    } else {
+      const auto& a = cp[hi - 1];
+      const auto& b = cp[hi];
+      const double tt = (p.progress - a.progress) / (b.progress - a.progress);
+      interp = static_cast<double>(a.mem) +
+               tt * static_cast<double>(b.mem - a.mem);
+    }
+    EXPECT_LE(std::abs(interp - static_cast<double>(p.mem)), epsilon + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RdpPropertyTest,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+
+}  // namespace
+}  // namespace dmsim::trace

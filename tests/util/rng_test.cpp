@@ -1,0 +1,243 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace dmsim::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ChildIsIndependentOfParentDraws) {
+  Rng a(42);
+  Rng b(42);
+  // Drawing from the parent must not perturb child streams.
+  for (int i = 0; i < 17; ++i) (void)b();
+  Rng ca = a.child("stream");
+  Rng cb = b.child("stream");
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(ca(), cb());
+}
+
+TEST(Rng, ChildrenWithDifferentNamesDiffer) {
+  Rng parent(7);
+  Rng a = parent.child("alpha");
+  Rng b = parent.child("beta");
+  EXPECT_NE(a(), b());
+}
+
+TEST(Rng, ChildrenWithDifferentIndicesDiffer) {
+  Rng parent(7);
+  Rng a = parent.child("x", 0);
+  Rng b = parent.child("x", 1);
+  EXPECT_NE(a(), b());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(10);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(12);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformIntNegativeRange) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-10, -5);
+    EXPECT_GE(v, -10);
+    EXPECT_LE(v, -5);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(14);
+  double sum = 0.0, sum2 = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sum2 / kN - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(15);
+  std::vector<double> xs(50001);
+  for (auto& x : xs) x = rng.lognormal(2.0, 0.8);
+  std::nth_element(xs.begin(), xs.begin() + 25000, xs.end());
+  EXPECT_NEAR(xs[25000], std::exp(2.0), std::exp(2.0) * 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(16);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(0.25);
+  EXPECT_NEAR(sum / kN, 4.0, 0.1);
+}
+
+TEST(Rng, WeibullShapeOneIsExponential) {
+  Rng rng(17);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.weibull(1.0, 2.0);
+  EXPECT_NEAR(sum / kN, 2.0, 0.05);
+}
+
+TEST(Rng, GammaMean) {
+  Rng rng(18);
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += rng.gamma(3.0, 2.0);
+  EXPECT_NEAR(sum / kN, 6.0, 0.15);
+}
+
+TEST(Rng, GammaSmallShape) {
+  Rng rng(19);
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.gamma(0.5, 1.0);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.05);
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng rng(20);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(21);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, DiscreteFollowsWeights) {
+  Rng rng(22);
+  const std::array<double, 3> weights = {1.0, 2.0, 7.0};
+  std::array<int, 3> counts = {0, 0, 0};
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    counts[rng.discrete(weights)]++;
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(kN), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kN), 0.2, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kN), 0.7, 0.01);
+}
+
+TEST(Rng, DiscreteZeroWeightNeverPicked) {
+  Rng rng(23);
+  const std::array<double, 3> weights = {1.0, 0.0, 1.0};
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_NE(rng.discrete(weights), 1u);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(24);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, Splitmix64KnownStability) {
+  // Lock the seeding path: changing it would silently change every trace.
+  std::uint64_t s = 0;
+  const std::uint64_t first = splitmix64(s);
+  EXPECT_EQ(first, 0xE220A8397B1DCDAFULL);
+}
+
+TEST(Rng, Fnv1aKnownValue) {
+  EXPECT_EQ(fnv1a(""), 0xCBF29CE484222325ULL);
+  EXPECT_NE(fnv1a("a"), fnv1a("b"));
+}
+
+// Distribution positivity sweep across many (shape, scale) pairs.
+class GammaParamTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(GammaParamTest, AlwaysPositiveAndMeanMatches) {
+  const auto [shape, scale] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(shape * 1000 + scale));
+  double sum = 0.0;
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.gamma(shape, scale);
+    ASSERT_GT(x, 0.0);
+    sum += x;
+  }
+  const double expected = shape * scale;
+  EXPECT_NEAR(sum / kN, expected, expected * 0.08);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GammaParamTest,
+                         ::testing::Values(std::pair{0.3, 1.0},
+                                           std::pair{0.9, 2.0},
+                                           std::pair{1.0, 0.5},
+                                           std::pair{2.5, 3.0},
+                                           std::pair{10.0, 0.1}));
+
+}  // namespace
+}  // namespace dmsim::util

@@ -1,0 +1,187 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dmsim::util {
+namespace {
+
+TEST(OnlineStats, EmptyState) {
+  OnlineStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, MatchesDirectComputation) {
+  Rng rng(1);
+  std::vector<double> xs(5000);
+  for (auto& x : xs) x = rng.normal(10.0, 3.0);
+  OnlineStats s;
+  double sum = 0.0;
+  for (double x : xs) {
+    s.add(x);
+    sum += x;
+  }
+  const double mean = sum / xs.size();
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= xs.size();
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-6);
+  EXPECT_NEAR(s.sum(), sum, 1e-6);
+}
+
+TEST(OnlineStats, MergeEqualsCombined) {
+  Rng rng(2);
+  OnlineStats a, b, combined;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(0, 100);
+    (i % 3 == 0 ? a : b).add(x);
+    combined.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-6);
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a;
+  a.add(1.0);
+  a.add(2.0);
+  OnlineStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  OnlineStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_NEAR(b.mean(), 1.5, 1e-12);
+}
+
+TEST(Quantile, MedianOfOddSample) {
+  const std::vector<double> v = {3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.0);
+}
+
+TEST(Quantile, InterpolatesBetweenPoints) {
+  const std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 10.0);
+}
+
+TEST(Quartiles, FiveNumberSummary) {
+  std::vector<double> v;
+  for (int i = 1; i <= 101; ++i) v.push_back(static_cast<double>(i));
+  const Quartiles q = quartiles(v);
+  EXPECT_DOUBLE_EQ(q.min, 1.0);
+  EXPECT_DOUBLE_EQ(q.q1, 26.0);
+  EXPECT_DOUBLE_EQ(q.median, 51.0);
+  EXPECT_DOUBLE_EQ(q.q3, 76.0);
+  EXPECT_DOUBLE_EQ(q.max, 101.0);
+}
+
+TEST(EcdfTest, StepsThroughSample) {
+  Ecdf e({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(e.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(e.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(e.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(e.at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(e.at(100.0), 1.0);
+}
+
+TEST(EcdfTest, QuantileInverse) {
+  Ecdf e({10.0, 20.0, 30.0, 40.0});
+  EXPECT_DOUBLE_EQ(e.quantile(0.25), 10.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(e.quantile(1.0), 40.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.51), 30.0);
+}
+
+TEST(EcdfTest, KsDistanceIdenticalIsZero) {
+  Ecdf a({1.0, 2.0, 3.0});
+  Ecdf b({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(Ecdf::ks_distance(a, b), 0.0);
+}
+
+TEST(EcdfTest, KsDistanceDisjointIsOne) {
+  Ecdf a({1.0, 2.0});
+  Ecdf b({10.0, 20.0});
+  EXPECT_DOUBLE_EQ(Ecdf::ks_distance(a, b), 1.0);
+}
+
+TEST(EcdfTest, KsDistanceSymmetric) {
+  Ecdf a({1.0, 5.0, 9.0});
+  Ecdf b({2.0, 5.0, 7.0, 11.0});
+  EXPECT_DOUBLE_EQ(Ecdf::ks_distance(a, b), Ecdf::ks_distance(b, a));
+}
+
+TEST(HistogramTest, BucketsAndFlows) {
+  Histogram h({0.0, 10.0, 20.0, 30.0});
+  h.add(-1.0);         // underflow
+  h.add(0.0);          // bucket 0 (right-open)
+  h.add(9.999);        // bucket 0
+  h.add(10.0);         // bucket 1
+  h.add(25.0);         // bucket 2
+  h.add(30.0);         // overflow (at the last edge)
+  h.add(100.0);        // overflow
+  EXPECT_DOUBLE_EQ(h.count(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(2), 1.0);
+  EXPECT_DOUBLE_EQ(h.underflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.overflow(), 2.0);
+  EXPECT_DOUBLE_EQ(h.total(), 7.0);
+  EXPECT_NEAR(h.fraction(0), 2.0 / 7.0, 1e-12);
+}
+
+TEST(HistogramTest, WeightedAdds) {
+  Histogram h({0.0, 1.0, 2.0});
+  h.add(0.5, 3.5);
+  h.add(1.5, 0.5);
+  EXPECT_DOUBLE_EQ(h.count(0), 3.5);
+  EXPECT_DOUBLE_EQ(h.count(1), 0.5);
+  EXPECT_DOUBLE_EQ(h.total(), 4.0);
+}
+
+TEST(HistogramTest, EmptyFractionIsZero) {
+  Histogram h({0.0, 1.0});
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+}
+
+// Property: ECDF quantile and at() are (weak) inverses on random samples.
+class EcdfPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EcdfPropertyTest, QuantileAtRoundTrip) {
+  Rng rng(GetParam());
+  std::vector<double> xs(200);
+  for (auto& x : xs) x = rng.uniform(0, 1000);
+  const Ecdf e(xs);
+  for (double p : {0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    const double v = e.quantile(p);
+    EXPECT_GE(e.at(v), p - 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EcdfPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace dmsim::util

@@ -1,0 +1,72 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dmsim::util {
+namespace {
+
+TEST(TextTable, PrintsHeaderRuleAndRows) {
+  TextTable t("demo");
+  t.set_header({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("333"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(TextTable, CsvHasCommasNoPadding) {
+  TextTable t;
+  t.set_header({"x", "y"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(TextTable, RowCount) {
+  TextTable t;
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"only"});
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(TextTable, ColumnsAlignAcrossRows) {
+  TextTable t;
+  t.set_header({"col", "v"});
+  t.add_row({"short", "1"});
+  t.add_row({"much-longer-cell", "2"});
+  std::ostringstream os;
+  t.print(os);
+  std::istringstream is(os.str());
+  std::string header_line, rule, row1, row2;
+  std::getline(is, header_line);
+  std::getline(is, rule);
+  std::getline(is, row1);
+  std::getline(is, row2);
+  // The second column starts at the same offset in both rows.
+  EXPECT_EQ(row1.find('1'), row2.find('2'));
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+TEST(Fmt, Percent) {
+  EXPECT_EQ(fmt_pct(0.125, 1), "12.5%");
+  EXPECT_EQ(fmt_pct(1.0, 0), "100%");
+}
+
+TEST(Fmt, Scientific) {
+  EXPECT_EQ(fmt_sci(0.000123, 2), "1.23e-04");
+}
+
+}  // namespace
+}  // namespace dmsim::util

@@ -1,0 +1,87 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace dmsim::util {
+namespace {
+
+TEST(ThreadPool, DefaultHasAtLeastOneWorker) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, SubmitReturnsResult) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesException) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForTouchesEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIterations) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i == 37) throw std::logic_error("x");
+                                 }),
+               std::logic_error);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool(8);
+  std::atomic<long> total{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 1; i <= 500; ++i) {
+    futures.push_back(pool.submit([&total, i] { total += i; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(total.load(), 500L * 501 / 2);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      (void)pool.submit([&done] { done++; });
+    }
+  }  // destructor joins
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPool, SingleWorkerIsSequentiallyConsistent) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.submit([&order, i] { order.push_back(i); }));
+  }
+  for (auto& f : futures) f.get();
+  std::vector<int> expected(50);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+}  // namespace
+}  // namespace dmsim::util

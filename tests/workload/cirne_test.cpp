@@ -1,0 +1,142 @@
+#include "workload/cirne.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace dmsim::workload {
+namespace {
+
+CirneConfig base_config() {
+  CirneConfig cfg;
+  cfg.num_jobs = 2000;
+  cfg.system_nodes = 256;
+  cfg.max_job_nodes = 128;
+  cfg.target_load = 0.8;
+  cfg.seed = 21;
+  return cfg;
+}
+
+TEST(Cirne, GeneratesRequestedJobCount) {
+  const CirneTrace t = generate_cirne(base_config());
+  EXPECT_EQ(t.jobs.size(), 2000u);
+}
+
+TEST(Cirne, ArrivalsSortedWithinHorizon) {
+  const CirneTrace t = generate_cirne(base_config());
+  EXPECT_TRUE(std::is_sorted(t.jobs.begin(), t.jobs.end(),
+                             [](const CirneJob& a, const CirneJob& b) {
+                               return a.arrival < b.arrival;
+                             }));
+  for (const auto& j : t.jobs) {
+    EXPECT_GE(j.arrival, 0.0);
+    EXPECT_LT(j.arrival, t.horizon);
+  }
+}
+
+TEST(Cirne, RealizedLoadMatchesTarget) {
+  const CirneTrace t = generate_cirne(base_config());
+  EXPECT_NEAR(t.offered_load, 0.8, 1e-9);
+  double node_seconds = 0.0;
+  for (const auto& j : t.jobs) {
+    node_seconds += static_cast<double>(j.nodes) * j.runtime;
+  }
+  EXPECT_NEAR(node_seconds / (256.0 * t.horizon), 0.8, 1e-9);
+}
+
+TEST(Cirne, SizesWithinBounds) {
+  const CirneTrace t = generate_cirne(base_config());
+  int serial = 0;
+  for (const auto& j : t.jobs) {
+    EXPECT_GE(j.nodes, 1);
+    EXPECT_LE(j.nodes, 128);
+    if (j.nodes == 1) ++serial;
+  }
+  // Serial fraction ~ configured 24% plus 1-node draws from other paths.
+  EXPECT_GT(serial, 300);
+  EXPECT_LT(serial, 1100);
+}
+
+TEST(Cirne, PowerOfTwoBias) {
+  const CirneTrace t = generate_cirne(base_config());
+  int pow2 = 0;
+  int parallel = 0;
+  for (const auto& j : t.jobs) {
+    if (j.nodes == 1) continue;
+    ++parallel;
+    if ((j.nodes & (j.nodes - 1)) == 0) ++pow2;
+  }
+  EXPECT_GT(static_cast<double>(pow2) / parallel, 0.6);
+}
+
+TEST(Cirne, RuntimesClippedToValidRange) {
+  const CirneTrace t = generate_cirne(base_config());
+  for (const auto& j : t.jobs) {
+    EXPECT_GE(j.runtime, 60.0);
+    EXPECT_LE(j.runtime, 7.0 * 86400.0);
+  }
+}
+
+TEST(Cirne, WalltimePadsRuntime) {
+  const CirneTrace t = generate_cirne(base_config());
+  for (const auto& j : t.jobs) {
+    EXPECT_GE(j.walltime, j.runtime * 1.1 - 1e-6);
+    EXPECT_LE(j.walltime, j.runtime * 2.5 + 1e-6);
+  }
+}
+
+TEST(Cirne, DeterministicForSameSeed) {
+  const CirneTrace a = generate_cirne(base_config());
+  const CirneTrace b = generate_cirne(base_config());
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].arrival, b.jobs[i].arrival);
+    EXPECT_EQ(a.jobs[i].nodes, b.jobs[i].nodes);
+    EXPECT_EQ(a.jobs[i].runtime, b.jobs[i].runtime);
+  }
+}
+
+TEST(Cirne, DifferentSeedsDiffer) {
+  CirneConfig cfg = base_config();
+  const CirneTrace a = generate_cirne(cfg);
+  cfg.seed = 22;
+  const CirneTrace b = generate_cirne(cfg);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    if (a.jobs[i].runtime != b.jobs[i].runtime) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Cirne, HigherLoadShrinksHorizon) {
+  CirneConfig cfg = base_config();
+  cfg.target_load = 0.4;
+  const Seconds horizon_low = generate_cirne(cfg).horizon;
+  cfg.target_load = 0.8;
+  const Seconds horizon_high = generate_cirne(cfg).horizon;
+  EXPECT_NEAR(horizon_low / horizon_high, 2.0, 1e-9);
+}
+
+TEST(Cirne, DailyCycleConcentratesDaytimeArrivals) {
+  CirneConfig cfg = base_config();
+  cfg.num_jobs = 20000;
+  const CirneTrace t = generate_cirne(cfg);
+  int day = 0;
+  int night = 0;
+  for (const auto& j : t.jobs) {
+    const double hour = std::fmod(j.arrival, 86400.0) / 3600.0;
+    if (hour >= 8.0 && hour < 20.0) {
+      ++day;
+    } else {
+      ++night;
+    }
+  }
+  EXPECT_GT(day, night);
+}
+
+}  // namespace
+}  // namespace dmsim::workload

@@ -1,0 +1,125 @@
+#include "workload/filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "workload/generator.hpp"
+
+namespace dmsim::workload {
+namespace {
+
+constexpr MiB kGiB = 1024;
+
+trace::Workload mixed_workload(std::size_t normal_count,
+                               std::size_t large_count) {
+  trace::Workload jobs;
+  std::uint32_t id = 1;
+  for (std::size_t i = 0; i < normal_count + large_count; ++i) {
+    trace::JobSpec j;
+    j.id = JobId{id++};
+    j.submit_time = static_cast<double>(i) * 10.0;
+    j.num_nodes = 1;
+    j.duration = 100.0;
+    j.walltime = 100.0;
+    const MiB peak = (i < normal_count) ? 8 * kGiB : 100 * kGiB;
+    j.usage = trace::UsageTrace::constant(peak);
+    j.requested_mem = peak;
+    jobs.push_back(std::move(j));
+  }
+  return jobs;
+}
+
+TEST(FilterJobs, PredicateSelectsSubset) {
+  const auto jobs = mixed_workload(6, 4);
+  const auto large = filter_jobs(jobs, [](const trace::JobSpec& j) {
+    return is_large_memory_job(j, 64 * kGiB);
+  });
+  EXPECT_EQ(large.size(), 4u);
+  for (const auto& j : large) EXPECT_GT(j.peak_usage(), 64 * kGiB);
+}
+
+TEST(ResampleMix, HitsTargetFractionExactly) {
+  const auto jobs = mixed_workload(60, 40);
+  util::Rng rng(4);
+  const auto half = resample_mix(jobs, 0.5, 64 * kGiB, rng);
+  std::size_t large = 0;
+  for (const auto& j : half) {
+    if (is_large_memory_job(j, 64 * kGiB)) ++large;
+  }
+  // Budget: min(40/0.5, 60/0.5) = 80 jobs -> 40 large + 40 normal.
+  EXPECT_EQ(half.size(), 80u);
+  EXPECT_EQ(large, 40u);
+}
+
+TEST(ResampleMix, ZeroAndOneSelectSingleClass) {
+  const auto jobs = mixed_workload(6, 4);
+  util::Rng rng(5);
+  const auto none = resample_mix(jobs, 0.0, 64 * kGiB, rng);
+  EXPECT_EQ(none.size(), 6u);
+  for (const auto& j : none) EXPECT_FALSE(is_large_memory_job(j, 64 * kGiB));
+  const auto all = resample_mix(jobs, 1.0, 64 * kGiB, rng);
+  EXPECT_EQ(all.size(), 4u);
+  for (const auto& j : all) EXPECT_TRUE(is_large_memory_job(j, 64 * kGiB));
+}
+
+TEST(ResampleMix, PreservesArrivalOrder) {
+  const auto jobs = mixed_workload(20, 20);
+  util::Rng rng(6);
+  const auto out = resample_mix(jobs, 0.4, 64 * kGiB, rng);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end(),
+                             [](const auto& a, const auto& b) {
+                               return a.submit_time < b.submit_time;
+                             }));
+}
+
+TEST(ResampleMix, DeterministicInRng) {
+  const auto jobs = mixed_workload(30, 30);
+  util::Rng a(7);
+  util::Rng b(7);
+  const auto ra = resample_mix(jobs, 0.3, 64 * kGiB, a);
+  const auto rb = resample_mix(jobs, 0.3, 64 * kGiB, b);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].id, rb[i].id);
+  }
+}
+
+TEST(RescaleArrivals, ShiftsToZeroAndStretches) {
+  auto jobs = mixed_workload(3, 0);
+  jobs[0].submit_time = 100.0;
+  jobs[1].submit_time = 150.0;
+  jobs[2].submit_time = 300.0;
+  const auto out = rescale_arrivals(jobs, 2.0);
+  EXPECT_DOUBLE_EQ(out[0].submit_time, 0.0);
+  EXPECT_DOUBLE_EQ(out[1].submit_time, 100.0);
+  EXPECT_DOUBLE_EQ(out[2].submit_time, 400.0);
+  // Durations untouched.
+  EXPECT_DOUBLE_EQ(out[0].duration, 100.0);
+}
+
+TEST(RescaleArrivals, EmptyWorkloadOk) {
+  EXPECT_TRUE(rescale_arrivals({}, 2.0).empty());
+}
+
+TEST(WithOverestimation, RewritesRequestsOnly) {
+  const auto jobs = mixed_workload(2, 2);
+  const auto out = with_overestimation(jobs, 0.6);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(out[i].peak_usage(), jobs[i].peak_usage());
+    EXPECT_EQ(out[i].requested_mem,
+              static_cast<MiB>(std::llround(
+                  static_cast<double>(jobs[i].peak_usage()) * 1.6)));
+  }
+}
+
+TEST(WithOverestimation, ZeroResetsToPeak) {
+  auto jobs = mixed_workload(1, 0);
+  jobs[0].requested_mem = 999999;
+  const auto out = with_overestimation(jobs, 0.0);
+  EXPECT_EQ(out[0].requested_mem, out[0].peak_usage());
+}
+
+}  // namespace
+}  // namespace dmsim::workload

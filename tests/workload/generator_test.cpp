@@ -1,0 +1,145 @@
+#include "workload/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace dmsim::workload {
+namespace {
+
+SyntheticWorkloadConfig base_config() {
+  SyntheticWorkloadConfig cfg;
+  cfg.cirne.num_jobs = 600;
+  cfg.cirne.system_nodes = 128;
+  cfg.cirne.max_job_nodes = 64;
+  cfg.pct_large_jobs = 0.5;
+  cfg.seed = 17;
+  return cfg;
+}
+
+TEST(Generator, ProducesAllJobsWithUniqueIds) {
+  const SyntheticWorkload w = generate_synthetic(base_config());
+  EXPECT_EQ(w.jobs.size(), 600u);
+  std::set<std::uint32_t> ids;
+  for (const auto& j : w.jobs) {
+    EXPECT_TRUE(j.id.valid());
+    ids.insert(j.id.get());
+  }
+  EXPECT_EQ(ids.size(), w.jobs.size());
+}
+
+TEST(Generator, JobsSortedBySubmitTime) {
+  const SyntheticWorkload w = generate_synthetic(base_config());
+  EXPECT_TRUE(std::is_sorted(w.jobs.begin(), w.jobs.end(),
+                             [](const auto& a, const auto& b) {
+                               return a.submit_time < b.submit_time;
+                             }));
+}
+
+TEST(Generator, LargeJobFractionNearTarget) {
+  for (const double target : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    SyntheticWorkloadConfig cfg = base_config();
+    cfg.pct_large_jobs = target;
+    const SyntheticWorkload w = generate_synthetic(cfg);
+    std::size_t large = 0;
+    for (const auto& j : w.jobs) {
+      if (is_large_memory_job(j, cfg.normal_capacity)) ++large;
+    }
+    const double frac = static_cast<double>(large) / w.jobs.size();
+    EXPECT_NEAR(frac, target, 0.06) << "target " << target;
+  }
+}
+
+TEST(Generator, LargeJobsNeedLargeNodes) {
+  const SyntheticWorkloadConfig cfg = base_config();
+  const SyntheticWorkload w = generate_synthetic(cfg);
+  for (const auto& j : w.jobs) {
+    if (is_large_memory_job(j, cfg.normal_capacity)) {
+      EXPECT_GT(j.peak_usage(), cfg.normal_capacity);
+      EXPECT_LE(j.peak_usage(), cfg.large_capacity);
+    } else {
+      EXPECT_LE(j.peak_usage(), cfg.normal_capacity);
+    }
+  }
+}
+
+TEST(Generator, ZeroOverestimationMeansRequestEqualsPeak) {
+  const SyntheticWorkload w = generate_synthetic(base_config());
+  for (const auto& j : w.jobs) {
+    EXPECT_EQ(j.requested_mem, j.peak_usage());
+  }
+}
+
+TEST(Generator, OverestimationInflatesRequestOnly) {
+  SyntheticWorkloadConfig cfg = base_config();
+  const SyntheticWorkload exact = generate_synthetic(cfg);
+  cfg.overestimation = 0.6;
+  const SyntheticWorkload inflated = generate_synthetic(cfg);
+  ASSERT_EQ(exact.jobs.size(), inflated.jobs.size());
+  for (std::size_t i = 0; i < exact.jobs.size(); ++i) {
+    EXPECT_EQ(exact.jobs[i].peak_usage(), inflated.jobs[i].peak_usage());
+    EXPECT_EQ(inflated.jobs[i].requested_mem,
+              static_cast<MiB>(std::llround(
+                  static_cast<double>(exact.jobs[i].peak_usage()) * 1.6)));
+  }
+}
+
+TEST(Generator, AppProfilesResolveIntoPool) {
+  const SyntheticWorkload w = generate_synthetic(base_config());
+  for (const auto& j : w.jobs) {
+    ASSERT_GE(j.app_profile, 0);
+    ASSERT_LT(static_cast<std::size_t>(j.app_profile), w.apps.size());
+  }
+}
+
+TEST(Generator, UsageTracesAreMultiPhase) {
+  const SyntheticWorkload w = generate_synthetic(base_config());
+  std::size_t multi = 0;
+  for (const auto& j : w.jobs) {
+    ASSERT_FALSE(j.usage.empty());
+    if (j.usage.size() > 2) ++multi;
+    EXPECT_LE(j.usage.average(), static_cast<double>(j.peak_usage()));
+  }
+  EXPECT_GT(multi, w.jobs.size() / 2);
+}
+
+TEST(Generator, Deterministic) {
+  const SyntheticWorkload a = generate_synthetic(base_config());
+  const SyntheticWorkload b = generate_synthetic(base_config());
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].submit_time, b.jobs[i].submit_time);
+    EXPECT_EQ(a.jobs[i].requested_mem, b.jobs[i].requested_mem);
+    EXPECT_EQ(a.jobs[i].usage.size(), b.jobs[i].usage.size());
+  }
+}
+
+TEST(Generator, SeedChangesWorkload) {
+  SyntheticWorkloadConfig cfg = base_config();
+  const SyntheticWorkload a = generate_synthetic(cfg);
+  cfg.seed = 18;
+  const SyntheticWorkload b = generate_synthetic(cfg);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.jobs.size() && !differs; ++i) {
+    differs = a.jobs[i].requested_mem != b.jobs[i].requested_mem;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Generator, AverageUsageLeavesReclaimableGap) {
+  // The paper's premise: average usage is much lower than the maximum,
+  // which is what dynamic provisioning reclaims.
+  const SyntheticWorkload w = generate_synthetic(base_config());
+  double avg_sum = 0.0;
+  double peak_sum = 0.0;
+  for (const auto& j : w.jobs) {
+    avg_sum += j.usage.average();
+    peak_sum += static_cast<double>(j.peak_usage());
+  }
+  EXPECT_LT(avg_sum / peak_sum, 0.75);
+}
+
+}  // namespace
+}  // namespace dmsim::workload

@@ -1,0 +1,132 @@
+#include "workload/grizzly.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workload/generator.hpp"
+
+namespace dmsim::workload {
+namespace {
+
+GrizzlyConfig small_config() {
+  GrizzlyConfig cfg;
+  cfg.weeks = 12;
+  cfg.system_nodes = 64;  // scaled down for test speed
+  cfg.sample_weeks = 3;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(Grizzly, GeneratesRequestedWeeks) {
+  const GrizzlyTrace t = generate_grizzly(small_config());
+  EXPECT_EQ(t.weeks.size(), 12u);
+  for (const auto& w : t.weeks) {
+    EXPECT_GT(w.job_count, 0u);
+    EXPECT_GT(w.cpu_utilization, 0.0);
+    EXPECT_GT(w.max_job_node_hours, 0.0);
+    EXPECT_GT(w.max_job_memory, 0);
+  }
+}
+
+TEST(Grizzly, SelectedWeeksMeetUtilizationFloor) {
+  const GrizzlyConfig cfg = small_config();
+  const GrizzlyTrace t = generate_grizzly(cfg);
+  int selected = 0;
+  for (const auto& w : t.weeks) {
+    if (w.selected) {
+      ++selected;
+      EXPECT_GE(w.cpu_utilization, cfg.utilization_floor);
+    }
+  }
+  EXPECT_GT(selected, 0);
+  EXPECT_LE(selected, cfg.sample_weeks);
+}
+
+TEST(Grizzly, RealizedUtilizationNearTarget) {
+  const GrizzlyTrace t = generate_grizzly(small_config());
+  for (const auto& w : t.weeks) {
+    // Generation overshoots the target by at most one job's node-seconds.
+    EXPECT_GE(w.cpu_utilization, w.target_utilization);
+    EXPECT_LT(w.cpu_utilization, w.target_utilization + 0.4);
+  }
+}
+
+TEST(Grizzly, MaterializeIsDeterministic) {
+  const GrizzlyConfig cfg = small_config();
+  const GrizzlyTrace t = generate_grizzly(cfg);
+  const trace::Workload a = materialize_grizzly_week(cfg, t, 2);
+  const trace::Workload b = materialize_grizzly_week(cfg, t, 2);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.size(), t.weeks[2].job_count);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].submit_time, b[i].submit_time);
+    EXPECT_EQ(a[i].requested_mem, b[i].requested_mem);
+    EXPECT_EQ(a[i].duration, b[i].duration);
+  }
+}
+
+TEST(Grizzly, MaterializedJobsRespectNodeCapacity) {
+  const GrizzlyConfig cfg = small_config();
+  const GrizzlyTrace t = generate_grizzly(cfg);
+  const trace::Workload jobs = materialize_grizzly_week(cfg, t, 0);
+  for (const auto& j : jobs) {
+    EXPECT_GT(j.num_nodes, 0);
+    EXPECT_LE(j.num_nodes, cfg.system_nodes);
+    EXPECT_GT(j.peak_usage(), 0);
+    EXPECT_LE(j.peak_usage(), cfg.node_capacity);
+    EXPECT_GE(j.requested_mem, j.peak_usage());
+    EXPECT_GT(j.duration, 0.0);
+    EXPECT_GE(j.walltime, j.duration);
+    EXPECT_TRUE(j.id.valid());
+    EXPECT_GE(j.app_profile, 0);
+  }
+}
+
+TEST(Grizzly, OverestimationInflatesRequests) {
+  GrizzlyConfig cfg = small_config();
+  const GrizzlyTrace t = generate_grizzly(cfg);
+  cfg.overestimation = 0.6;
+  const trace::Workload inflated = materialize_grizzly_week(cfg, t, 0);
+  cfg.overestimation = 0.0;
+  const trace::Workload exact = materialize_grizzly_week(cfg, t, 0);
+  ASSERT_EQ(inflated.size(), exact.size());
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_EQ(inflated[i].requested_mem,
+              static_cast<MiB>(std::llround(
+                  static_cast<double>(exact[i].peak_usage()) * 1.6)));
+  }
+}
+
+TEST(Grizzly, MostJobsAreSmallMemory) {
+  // Table 2 Grizzly column: ~73% of jobs below 12 GB/node; the system is
+  // heavily memory-underutilized.
+  const GrizzlyConfig cfg = small_config();
+  const GrizzlyTrace t = generate_grizzly(cfg);
+  std::size_t below_12gb = 0;
+  std::size_t total = 0;
+  for (int w = 0; w < cfg.weeks; ++w) {
+    const trace::Workload jobs = materialize_grizzly_week(cfg, t, w);
+    for (const auto& j : jobs) {
+      ++total;
+      if (j.peak_usage() < 12 * 1024) ++below_12gb;
+    }
+  }
+  const double frac = static_cast<double>(below_12gb) / total;
+  EXPECT_GT(frac, 0.6);
+  EXPECT_LT(frac, 0.85);
+}
+
+TEST(Grizzly, WeeksVaryInUtilization) {
+  const GrizzlyTrace t = generate_grizzly(small_config());
+  double lo = 1.0;
+  double hi = 0.0;
+  for (const auto& w : t.weeks) {
+    lo = std::min(lo, w.cpu_utilization);
+    hi = std::max(hi, w.cpu_utilization);
+  }
+  EXPECT_GT(hi - lo, 0.1);  // the Fig. 2 scatter has spread
+}
+
+}  // namespace
+}  // namespace dmsim::workload

@@ -1,0 +1,111 @@
+#include "workload/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.hpp"
+
+namespace dmsim::workload {
+namespace {
+
+constexpr MiB kGiB = 1024;
+
+trace::JobSpec job(std::uint32_t id, Seconds submit, int nodes, MiB peak,
+                   Seconds duration, double overest = 0.0) {
+  trace::JobSpec j;
+  j.id = JobId{id};
+  j.submit_time = submit;
+  j.num_nodes = nodes;
+  j.duration = duration;
+  j.walltime = duration;
+  j.usage = trace::UsageTrace::constant(peak);
+  j.requested_mem = static_cast<MiB>(
+      static_cast<double>(peak) * (1.0 + overest));
+  return j;
+}
+
+TEST(WorkloadStats, EmptyWorkload) {
+  const WorkloadStats s = characterize({}, 64 * kGiB);
+  EXPECT_EQ(s.total_jobs, 0u);
+  EXPECT_EQ(s.offered_load(100), 0.0);
+  EXPECT_EQ(s.large_fraction(), 0.0);
+}
+
+TEST(WorkloadStats, BasicAggregates) {
+  const trace::Workload jobs = {
+      job(1, 0.0, 2, 10 * kGiB, 100.0),
+      job(2, 50.0, 4, 80 * kGiB, 200.0),
+      job(3, 150.0, 1, 20 * kGiB, 400.0),
+  };
+  const WorkloadStats s = characterize(jobs, 64 * kGiB);
+  EXPECT_EQ(s.total_jobs, 3u);
+  EXPECT_DOUBLE_EQ(s.first_submit, 0.0);
+  EXPECT_DOUBLE_EQ(s.last_submit, 150.0);
+  EXPECT_DOUBLE_EQ(s.total_node_seconds, 2 * 100.0 + 4 * 200.0 + 400.0);
+  EXPECT_DOUBLE_EQ(s.nodes.mean(), (2 + 4 + 1) / 3.0);
+  EXPECT_EQ(s.large_memory_jobs, 1u);
+  EXPECT_NEAR(s.large_fraction(), 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(s.normal.jobs, 2u);
+  EXPECT_EQ(s.large.jobs, 1u);
+  // Interarrivals: 50, 100.
+  EXPECT_DOUBLE_EQ(s.interarrival.mean(), 75.0);
+}
+
+TEST(WorkloadStats, OfferedLoadAgainstSystem) {
+  const trace::Workload jobs = {
+      job(1, 0.0, 10, 1 * kGiB, 100.0),
+      job(2, 100.0, 10, 1 * kGiB, 100.0),
+  };
+  const WorkloadStats s = characterize(jobs, 64 * kGiB);
+  // 2000 node-seconds over a 100 s window on 20 nodes => load 1.0.
+  EXPECT_DOUBLE_EQ(s.offered_load(20), 1.0);
+  EXPECT_DOUBLE_EQ(s.offered_load(40), 0.5);
+}
+
+TEST(WorkloadStats, RequestRatioReflectsOverestimation) {
+  const trace::Workload jobs = {
+      job(1, 0.0, 1, 10 * kGiB, 100.0, 0.6),
+      job(2, 1.0, 1, 20 * kGiB, 100.0, 0.6),
+  };
+  const WorkloadStats s = characterize(jobs, 64 * kGiB);
+  EXPECT_NEAR(s.request_ratio.mean(), 1.6, 1e-9);
+}
+
+TEST(WorkloadStats, QuartilesPerClass) {
+  trace::Workload jobs;
+  for (std::uint32_t i = 1; i <= 9; ++i) {
+    jobs.push_back(job(i, i, 1, static_cast<MiB>(i) * kGiB, 100.0));
+  }
+  const WorkloadStats s = characterize(jobs, 5 * kGiB);
+  EXPECT_EQ(s.normal.jobs, 5u);  // 1..5 GiB
+  EXPECT_EQ(s.large.jobs, 4u);   // 6..9 GiB
+  EXPECT_DOUBLE_EQ(s.normal.peak_memory_mib.median, 3.0 * kGiB);
+  EXPECT_DOUBLE_EQ(s.large.peak_memory_mib.min, 6.0 * kGiB);
+  EXPECT_DOUBLE_EQ(s.large.peak_memory_mib.max, 9.0 * kGiB);
+}
+
+TEST(WorkloadStats, MatchesGeneratorTargets) {
+  SyntheticWorkloadConfig cfg;
+  cfg.cirne.num_jobs = 800;
+  cfg.cirne.system_nodes = 128;
+  cfg.cirne.max_job_nodes = 32;
+  cfg.cirne.target_load = 0.8;
+  cfg.pct_large_jobs = 0.4;
+  cfg.overestimation = 0.5;
+  cfg.seed = 8;
+  const SyntheticWorkload w = generate_synthetic(cfg);
+  const WorkloadStats s = characterize(w.jobs, cfg.normal_capacity);
+  EXPECT_NEAR(s.large_fraction(), 0.4, 0.05);
+  EXPECT_NEAR(s.request_ratio.mean(), 1.5, 0.01);
+  // Submission window approximates the CIRNE horizon, so the offered load
+  // lands near the target.
+  EXPECT_NEAR(s.offered_load(cfg.cirne.system_nodes), 0.8, 0.15);
+  // Class medians hit the Table 3 calibration.
+  EXPECT_NEAR(s.normal.peak_memory_mib.median, 8089.0, 2000.0);
+  EXPECT_NEAR(s.large.peak_memory_mib.median, 86961.0, 8000.0);
+  // The reclaimable gap holds within both classes.
+  EXPECT_LT(s.normal.avg_peak_ratio.mean(), 0.7);
+  EXPECT_LT(s.large.avg_peak_ratio.mean(), 0.7);
+}
+
+}  // namespace
+}  // namespace dmsim::workload

@@ -1,0 +1,272 @@
+// dmsim_run — command-line simulation driver (the Fig. 1b "sim_mgr" role).
+//
+// Runs one simulation from a slurm.conf-style configuration plus either a
+// synthetic workload (workload keys in the config) or an SWF job trace with
+// optional per-job usage traces. Prints a summary and can export per-job
+// records, system samples, and generated traces.
+//
+//   dmsim_run --config cluster.conf
+//   dmsim_run --config cluster.conf --swf jobs.swf --usage jobs.usage
+//   dmsim_run --config cluster.conf --export-swf out.swf --export-usage out.usage
+//   dmsim_run --config cluster.conf --jobs-csv records.csv --samples-csv util.csv
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "core/dmsim.hpp"
+#include "harness/config_file.hpp"
+#include "metrics/json_export.hpp"
+#include "slowdown/profile_io.hpp"
+#include "trace/swf_validate.hpp"
+#include "trace/usage_io.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace dmsim;
+
+struct Options {
+  std::string config_path;
+  std::optional<std::string> swf_path;
+  std::optional<std::string> usage_path;
+  std::optional<std::string> export_swf;
+  std::optional<std::string> export_usage;
+  std::optional<std::string> jobs_csv;
+  std::optional<std::string> samples_csv;
+  std::optional<std::string> json_out;
+  std::optional<std::string> profiles_path;
+  std::optional<std::string> export_profiles;
+  bool help = false;
+};
+
+void print_usage(std::ostream& os) {
+  os << "usage: dmsim_run --config FILE [options]\n"
+        "  --config FILE        slurm.conf-style configuration (required)\n"
+        "  --swf FILE           load jobs from an SWF trace instead of the\n"
+        "                       config's synthetic workload keys\n"
+        "  --usage FILE         per-job usage traces to attach to SWF jobs\n"
+        "  --export-swf FILE    write the simulated workload as SWF\n"
+        "  --export-usage FILE  write the per-job usage traces\n"
+        "  --jobs-csv FILE      write per-job records (CSV)\n"
+        "  --samples-csv FILE   write system utilization samples (CSV)\n"
+        "  --json FILE          write the full result document (JSON)\n"
+        "  --profiles FILE      application profiles for the slowdown model\n"
+        "  --export-profiles F  write the app pool used by this run\n"
+        "  --help               this text\n";
+}
+
+[[nodiscard]] Options parse_args(int argc, char** argv) {
+  Options opt;
+  const auto need_value = [&](int& i, const char* flag) -> std::string {
+    if (i + 1 >= argc) throw ConfigError(std::string(flag) + " needs a value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--config") {
+      opt.config_path = need_value(i, "--config");
+    } else if (arg == "--swf") {
+      opt.swf_path = need_value(i, "--swf");
+    } else if (arg == "--usage") {
+      opt.usage_path = need_value(i, "--usage");
+    } else if (arg == "--export-swf") {
+      opt.export_swf = need_value(i, "--export-swf");
+    } else if (arg == "--export-usage") {
+      opt.export_usage = need_value(i, "--export-usage");
+    } else if (arg == "--jobs-csv") {
+      opt.jobs_csv = need_value(i, "--jobs-csv");
+    } else if (arg == "--samples-csv") {
+      opt.samples_csv = need_value(i, "--samples-csv");
+    } else if (arg == "--json") {
+      opt.json_out = need_value(i, "--json");
+    } else if (arg == "--profiles") {
+      opt.profiles_path = need_value(i, "--profiles");
+    } else if (arg == "--export-profiles") {
+      opt.export_profiles = need_value(i, "--export-profiles");
+    } else if (arg == "--help" || arg == "-h") {
+      opt.help = true;
+    } else {
+      throw ConfigError("unknown argument: " + arg);
+    }
+  }
+  if (!opt.help && opt.config_path.empty()) {
+    throw ConfigError("--config is required");
+  }
+  return opt;
+}
+
+[[nodiscard]] const char* outcome_name(sched::JobOutcome outcome) {
+  switch (outcome) {
+    case sched::JobOutcome::Completed:
+      return "completed";
+    case sched::JobOutcome::AbandonedOom:
+      return "abandoned_oom";
+    case sched::JobOutcome::KilledWalltime:
+      return "killed_walltime";
+    case sched::JobOutcome::NeverStarted:
+      return "never_started";
+  }
+  return "unknown";
+}
+
+void write_jobs_csv(const std::string& path,
+                    const std::vector<sched::JobRecord>& records) {
+  std::ofstream out(path);
+  if (!out) throw ConfigError("cannot open " + path);
+  out << "job,submit,first_start,end,nodes,requested_mib,peak_mib,"
+         "oom_failures,guaranteed,infeasible,outcome,response,wait\n";
+  for (const auto& r : records) {
+    out << r.id.get() << ',' << r.submit_time << ',' << r.first_start << ','
+        << r.end_time << ',' << r.num_nodes << ',' << r.requested_mem << ','
+        << r.peak_usage << ',' << r.oom_failures << ',' << r.ran_guaranteed
+        << ',' << r.infeasible << ',' << outcome_name(r.outcome) << ','
+        << (r.outcome == sched::JobOutcome::Completed ? r.response_time() : -1.0)
+        << ','
+        << (r.first_start != kNoTime ? r.wait_time() : -1.0) << '\n';
+  }
+}
+
+void write_samples_csv(const std::string& path,
+                       const std::vector<sched::SystemSample>& samples) {
+  std::ofstream out(path);
+  if (!out) throw ConfigError("cannot open " + path);
+  out << "time,allocated_mib,used_mib,busy_nodes,pending_jobs\n";
+  for (const auto& s : samples) {
+    out << s.time << ',' << s.allocated << ',' << s.used << ',' << s.busy_nodes
+        << ',' << s.pending_jobs << '\n';
+  }
+}
+
+int run(const Options& opt) {
+  harness::FileConfig cfg = harness::parse_config_file(opt.config_path);
+
+  trace::Workload jobs;
+  slowdown::AppPool apps;
+  if (opt.swf_path) {
+    const trace::SwfTrace swf = trace::read_swf_file(*opt.swf_path);
+    const auto issues = trace::validate_swf(swf);
+    for (const auto& issue : issues) {
+      std::cerr << "swf warning (record " << issue.record_index
+                << "): " << trace::to_string(issue.kind) << " — "
+                << issue.message << '\n';
+    }
+    if (!trace::swf_simulatable(issues)) {
+      throw ConfigError("SWF trace has blocking issues; fix them first");
+    }
+    jobs = trace::from_swf(swf, cfg.simulation.system.cores_per_node);
+    if (opt.usage_path) {
+      const auto traces = trace::read_usage_traces_file(*opt.usage_path);
+      const std::size_t attached = trace::attach_usage_traces(jobs, traces);
+      std::cout << "attached usage traces to " << attached << "/" << jobs.size()
+                << " jobs\n";
+    }
+    // SWF carries no app profiles; match jobs against the supplied pool, or
+    // a synthetic one for a contention-realistic default.
+    apps = opt.profiles_path
+               ? slowdown::read_app_pool_file(*opt.profiles_path)
+               : slowdown::AppPool::synthetic(util::Rng(cfg.workload.seed), 64);
+    for (auto& j : jobs) {
+      j.app_profile = apps.match(j.num_nodes, j.duration);
+    }
+  } else if (cfg.has_workload) {
+    auto generated = workload::generate_synthetic(cfg.workload);
+    jobs = std::move(generated.jobs);
+    apps = opt.profiles_path
+               ? slowdown::read_app_pool_file(*opt.profiles_path)
+               : std::move(generated.apps);
+  } else {
+    throw ConfigError(
+        "no workload: pass --swf or add workload keys (Jobs=...) to the config");
+  }
+
+  if (opt.export_swf) {
+    trace::write_swf_file(*opt.export_swf,
+                          trace::to_swf(jobs, cfg.simulation.system.cores_per_node));
+    std::cout << "wrote " << jobs.size() << " jobs to " << *opt.export_swf << '\n';
+  }
+  if (opt.export_usage) {
+    trace::write_usage_traces_file(*opt.export_usage,
+                                   trace::collect_usage_traces(jobs));
+    std::cout << "wrote usage traces to " << *opt.export_usage << '\n';
+  }
+  if (opt.export_profiles) {
+    slowdown::write_app_pool_file(*opt.export_profiles, apps);
+    std::cout << "wrote " << apps.size() << " app profiles to "
+              << *opt.export_profiles << '\n';
+  }
+
+  if (cfg.simulation.sched.sample_interval <= 0.0 && opt.samples_csv) {
+    cfg.simulation.sched.sample_interval = 300.0;  // sensible default
+  }
+
+  Simulator sim(cfg.simulation, jobs, &apps);
+  const SimulationResult result = sim.run();
+
+  util::TextTable table("dmsim_run summary");
+  table.set_header({"metric", "value"});
+  table.add_row({"policy", std::string(policy::to_string(cfg.simulation.policy))});
+  table.add_row({"nodes", std::to_string(cfg.simulation.system.total_nodes)});
+  table.add_row({"provisioned memory (GiB)",
+                 util::fmt(to_gib(result.provisioned_memory), 0)});
+  table.add_row({"system cost ($)", util::fmt(result.system_cost_usd, 0)});
+  table.add_row({"jobs", std::to_string(jobs.size())});
+  table.add_row({"valid", result.valid ? "yes" : "no (infeasible jobs)"});
+  if (result.valid) {
+    table.add_row({"completed", std::to_string(result.summary.completed)});
+    table.add_row({"throughput (jobs/s)",
+                   util::fmt_sci(result.summary.throughput, 4)});
+    table.add_row({"throughput per dollar",
+                   util::fmt_sci(result.summary.throughput /
+                                     std::max(result.system_cost_usd, 1.0),
+                                 4)});
+    if (!result.summary.response_times.empty()) {
+      const util::Ecdf ecdf(result.summary.response_times);
+      table.add_row({"median response (s)", util::fmt(ecdf.quantile(0.5), 0)});
+      table.add_row({"p90 response (s)", util::fmt(ecdf.quantile(0.9), 0)});
+    }
+    table.add_row({"mean wait (s)",
+                   util::fmt(result.summary.wait_time.mean(), 0)});
+    table.add_row({"oom events", std::to_string(result.totals.oom_events)});
+    table.add_row({"oom job fraction",
+                   util::fmt_pct(result.summary.oom_job_fraction(), 2)});
+    table.add_row({"avg busy nodes", util::fmt(result.avg_busy_nodes, 1)});
+    table.add_row(
+        {"avg allocated (GiB)",
+         util::fmt(to_gib(static_cast<MiB>(result.avg_allocated_mib)), 0)});
+  }
+  table.print(std::cout);
+
+  if (opt.jobs_csv) {
+    write_jobs_csv(*opt.jobs_csv, result.records);
+    std::cout << "wrote per-job records to " << *opt.jobs_csv << '\n';
+  }
+  if (opt.samples_csv) {
+    write_samples_csv(*opt.samples_csv, result.samples);
+    std::cout << "wrote system samples to " << *opt.samples_csv << '\n';
+  }
+  if (opt.json_out) {
+    std::ofstream out(*opt.json_out);
+    if (!out) throw ConfigError("cannot open " + *opt.json_out);
+    out << metrics::to_json(result) << '\n';
+    std::cout << "wrote JSON result to " << *opt.json_out << '\n';
+  }
+  return result.valid ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options opt = parse_args(argc, argv);
+    if (opt.help) {
+      print_usage(std::cout);
+      return 0;
+    }
+    return run(opt);
+  } catch (const std::exception& e) {
+    std::cerr << "dmsim_run: " << e.what() << '\n';
+    print_usage(std::cerr);
+    return 1;
+  }
+}
