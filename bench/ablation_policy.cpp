@@ -172,5 +172,6 @@ int main(int argc, char** argv) {
     }
     print_rows("Ablation 7 | backfill flavour", rows);
   }
+  dmsim::bench::print_throughput_tally();
   return 0;
 }

@@ -7,6 +7,7 @@
 // reproduction target (see EXPERIMENTS.md).
 #pragma once
 
+#include <chrono>
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -16,6 +17,22 @@
 #include "util/table.hpp"
 
 namespace dmsim::bench {
+
+/// Process-wide simulator-throughput tally across every cell a bench runs.
+/// run_policy() feeds it; print_throughput_tally() renders it at the end of
+/// a bench so every figure reproduction also reports events/sec and
+/// sim-time speedup for free.
+inline obs::ThroughputReport& throughput_tally() {
+  static obs::ThroughputReport tally;
+  return tally;
+}
+
+inline void print_throughput_tally(std::ostream& os = std::cout) {
+  const auto& tally = throughput_tally();
+  if (tally.engine_events == 0) return;
+  os << "\n# simulator throughput: ";
+  obs::print_throughput(os, tally);
+}
 
 struct Scale {
   bool full = false;
@@ -79,7 +96,15 @@ class WorkloadCache {
   harness::CellConfig cell;
   cell.system = system;
   cell.policy = kind;
-  return harness::run_cell(cell, jobs, apps);
+  const auto wall_start = std::chrono::steady_clock::now();
+  harness::CellResult result = harness::run_cell(cell, jobs, apps);
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall_start;
+  auto& tally = throughput_tally();
+  tally.engine_events += result.engine_events;
+  if (result.valid) tally.sim_seconds += result.summary.makespan();
+  tally.wall_seconds += wall.count();
+  return result;
 }
 
 /// The reference for normalized-throughput plots: Baseline on the fully

@@ -85,5 +85,6 @@ int main(int argc, char** argv) {
   }
   std::cout << "aggregate avg/max usage ratio: " << util::fmt(avg_sum / peak_sum, 3)
             << " (avg is much lower than max => reclaimable gap)\n";
+  dmsim::bench::print_throughput_tally();
   return 0;
 }

@@ -107,5 +107,6 @@ int main(int argc, char** argv) {
     synthetic_panel(cache, scale, overestimation);
     grizzly_panel(scale, overestimation);
   }
+  dmsim::bench::print_throughput_tally();
   return 0;
 }

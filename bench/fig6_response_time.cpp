@@ -63,5 +63,6 @@ int main(int argc, char** argv) {
     panel(cache, scale, "underprovisioned (25% large nodes)", 0.25,
           overestimation);
   }
+  dmsim::bench::print_throughput_tally();
   return 0;
 }

@@ -74,5 +74,6 @@ int main(int argc, char** argv) {
                "up to 38% at +60% overestimation,\nwith the static policy "
                "falling off steeply on lean systems as the large-job share "
                "grows.\n";
+  dmsim::bench::print_throughput_tally();
   return 0;
 }

@@ -94,5 +94,6 @@ int main(int argc, char** argv) {
   std::cout << "paper: the dynamic approach is barely affected by "
                "overestimation; at +100% the static-dynamic gap exceeds 38% "
                "on a 37%-memory system while dynamic stays above ~80%.\n";
+  dmsim::bench::print_throughput_tally();
   return 0;
 }

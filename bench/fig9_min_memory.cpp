@@ -40,5 +40,6 @@ int main(int argc, char** argv) {
                "overestimation grows; the dynamic policy holds the 95% "
                "threshold on underprovisioned systems, saving up to ~40% "
                "memory.\n";
+  dmsim::bench::print_throughput_tally();
   return 0;
 }

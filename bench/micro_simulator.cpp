@@ -4,6 +4,8 @@
 // reproductions lean on.
 #include <benchmark/benchmark.h>
 
+#include <sstream>
+
 #include "core/dmsim.hpp"
 
 namespace {
@@ -132,6 +134,43 @@ void BM_EndToEndSmallSimulation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EndToEndSmallSimulation)->Unit(benchmark::kMillisecond);
+
+// Tracing overhead on the same end-to-end simulation, across the three
+// instrumentation states: 0 = disabled (null TraceSink*, one branch per
+// site — must stay within noise of the uninstrumented simulator),
+// 1 = NullSink (adds event construction + virtual dispatch),
+// 2 = NdjsonSink to an in-memory stream (adds serialization).
+void BM_TracingOverhead(benchmark::State& state) {
+  workload::SyntheticWorkloadConfig cfg;
+  cfg.cirne.num_jobs = 128;
+  cfg.cirne.system_nodes = 64;
+  cfg.cirne.max_job_nodes = 16;
+  cfg.pct_large_jobs = 0.5;
+  cfg.overestimation = 0.6;
+  cfg.seed = 4;
+  const auto w = workload::generate_synthetic(cfg);
+  harness::CellConfig cell;
+  cell.system.total_nodes = 64;
+  cell.system.pct_large_nodes = 0.25;
+  cell.policy = policy::PolicyKind::Dynamic;
+
+  const int mode = static_cast<int>(state.range(0));
+  obs::NullSink null_sink;
+  std::ostringstream buf;
+  obs::NdjsonSink ndjson_sink(buf);
+  for (auto _ : state) {
+    obs::TraceSink* sink = nullptr;
+    if (mode == 1) sink = &null_sink;
+    if (mode == 2) {
+      buf.str({});
+      sink = &ndjson_sink;
+    }
+    benchmark::DoNotOptimize(harness::run_cell(cell, w.jobs, w.apps, sink));
+  }
+  state.SetLabel(mode == 0 ? "disabled" : mode == 1 ? "null-sink" : "ndjson");
+}
+BENCHMARK(BM_TracingOverhead)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_WorkloadGeneration(benchmark::State& state) {
   for (auto _ : state) {

@@ -40,6 +40,19 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
   }
 }
 
+void Cluster::set_observer(const obs::Observer* observer) {
+  obs_ = observer;
+  c_lend_ops_ = obs::counter_handle(observer, "ledger.lend_ops");
+  c_lent_mib_ = obs::counter_handle(observer, "ledger.lent_mib_total");
+  c_reclaim_ops_ = obs::counter_handle(observer, "ledger.reclaim_ops");
+  c_reclaimed_mib_ = obs::counter_handle(observer, "ledger.reclaimed_mib_total");
+  c_local_grow_mib_ = obs::counter_handle(observer, "ledger.local_grow_mib_total");
+  c_local_shrink_mib_ =
+      obs::counter_handle(observer, "ledger.local_shrink_mib_total");
+  g_lent_ = obs::gauge_handle(observer, "ledger.lent_mib");
+  g_allocated_ = obs::gauge_handle(observer, "ledger.allocated_mib");
+}
+
 const Node& Cluster::node(NodeId id) const {
   DMSIM_ASSERT(id.valid() && id.get() < nodes_.size(), "node id out of range");
   return nodes_[id.get()];
@@ -108,6 +121,10 @@ void Cluster::finish_job(JobId job) {
     slots_.erase(sit);
   }
   job_hosts_.erase(hit);
+  // The scheduler emits the job's terminal event; here only the aggregate
+  // gauges move (all of the job's local + borrowed memory was returned).
+  if (g_lent_) g_lent_->set(total_lent_);
+  if (g_allocated_) g_allocated_->set(total_allocated_);
 }
 
 MiB Cluster::grow_local(JobId job, NodeId host, MiB amount) {
@@ -118,6 +135,15 @@ MiB Cluster::grow_local(JobId job, NodeId host, MiB amount) {
   slot.local += granted;
   n.local_used += granted;
   total_allocated_ += granted;
+  if (granted > 0) {
+    obs::bump(c_local_grow_mib_, static_cast<std::uint64_t>(granted));
+    if (g_allocated_) g_allocated_->set(total_allocated_);
+    if (obs::tracing(obs_)) {
+      obs_->sink->emit(obs::Event{obs::EventKind::SlotGrow, obs_->now(),
+                                  job.get(), host.get()}
+                           .with("mib", granted));
+    }
+  }
   return granted;
 }
 
@@ -129,6 +155,15 @@ MiB Cluster::shrink_local(JobId job, NodeId host, MiB amount) {
   slot.local -= released;
   n.local_used -= released;
   total_allocated_ -= released;
+  if (released > 0) {
+    obs::bump(c_local_shrink_mib_, static_cast<std::uint64_t>(released));
+    if (g_allocated_) g_allocated_->set(total_allocated_);
+    if (obs::tracing(obs_)) {
+      obs_->sink->emit(obs::Event{obs::EventKind::SlotShrink, obs_->now(),
+                                  job.get(), host.get()}
+                           .with("mib", released));
+    }
+  }
   return released;
 }
 
@@ -192,7 +227,20 @@ MiB Cluster::grow_remote(JobId job, NodeId host, MiB amount) {
       slot.remote.emplace_back(lender, take);
     }
   }
-  return amount - remaining;
+  const MiB granted = amount - remaining;
+  if (granted > 0) {
+    obs::bump(c_lend_ops_);
+    obs::bump(c_lent_mib_, static_cast<std::uint64_t>(granted));
+    if (g_lent_) g_lent_->set(total_lent_);
+    if (g_allocated_) g_allocated_->set(total_allocated_);
+    if (obs::tracing(obs_)) {
+      obs_->sink->emit(obs::Event{obs::EventKind::MemLend, obs_->now(),
+                                  job.get(), host.get()}
+                           .with("mib", granted)
+                           .with("lent_total", total_lent_));
+    }
+  }
+  return granted;
 }
 
 MiB Cluster::shrink_remote(JobId job, NodeId host, MiB amount) {
@@ -218,6 +266,18 @@ MiB Cluster::shrink_remote(JobId job, NodeId host, MiB amount) {
     remaining -= give;
   }
   std::erase_if(slot.remote, [](const auto& e) { return e.second == 0; });
+  if (released > 0) {
+    obs::bump(c_reclaim_ops_);
+    obs::bump(c_reclaimed_mib_, static_cast<std::uint64_t>(released));
+    if (g_lent_) g_lent_->set(total_lent_);
+    if (g_allocated_) g_allocated_->set(total_allocated_);
+    if (obs::tracing(obs_)) {
+      obs_->sink->emit(obs::Event{obs::EventKind::MemReclaim, obs_->now(),
+                                  job.get(), host.get()}
+                           .with("mib", released)
+                           .with("lent_total", total_lent_));
+    }
+  }
   return released;
 }
 

@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/observer.hpp"
 #include "util/units.hpp"
 
 namespace dmsim::cluster {
@@ -94,6 +95,10 @@ struct AllocationSlot {
 class Cluster {
  public:
   explicit Cluster(ClusterConfig config);
+
+  /// Wire observability: trace ledger churn (lend/reclaim, slot grow/shrink)
+  /// and register the ledger.* counters. nullptr (default) disables.
+  void set_observer(const obs::Observer* observer);
 
   // --- topology / aggregate queries -------------------------------------
   [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
@@ -184,6 +189,17 @@ class Cluster {
   MiB total_capacity_ = 0;
   MiB total_allocated_ = 0;
   MiB total_lent_ = 0;
+
+  // Observability (all nullptr when disabled).
+  const obs::Observer* obs_ = nullptr;
+  std::uint64_t* c_lend_ops_ = nullptr;
+  std::uint64_t* c_lent_mib_ = nullptr;
+  std::uint64_t* c_reclaim_ops_ = nullptr;
+  std::uint64_t* c_reclaimed_mib_ = nullptr;
+  std::uint64_t* c_local_grow_mib_ = nullptr;
+  std::uint64_t* c_local_shrink_mib_ = nullptr;
+  obs::Gauge* g_lent_ = nullptr;
+  obs::Gauge* g_allocated_ = nullptr;
 };
 
 }  // namespace dmsim::cluster

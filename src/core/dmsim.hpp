@@ -12,6 +12,10 @@
 #include "harness/scenario.hpp"       // sweeps: systems x policies x workloads
 #include "metrics/metrics.hpp"        // throughput, response time, cost model
 #include "metrics/timeline.hpp"       // utilization/waste/bounded-slowdown
+#include "obs/counters.hpp"           // central counters registry
+#include "obs/observer.hpp"           // observability bundle (sink+counters+clock)
+#include "obs/profiler.hpp"           // wall-clock phase timers, throughput
+#include "obs/trace_sink.hpp"         // NDJSON / Chrome trace-event sinks
 #include "policy/policy.hpp"          // Baseline / Static / Dynamic policies
 #include "sched/scheduler.hpp"        // FCFS + backfill, dynamic updates
 #include "sim/engine.hpp"             // discrete-event core

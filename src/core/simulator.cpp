@@ -7,14 +7,23 @@
 namespace dmsim {
 
 Simulator::Simulator(const SimulationConfig& config, trace::Workload workload,
-                     const slowdown::AppPool* apps)
+                     const slowdown::AppPool* apps, obs::TraceSink* sink,
+                     obs::Counters* counters)
     : config_(config),
       engine_(std::make_unique<sim::Engine>()),
       cluster_(std::make_unique<cluster::Cluster>(
           config.system.to_cluster_config())),
-      policy_(policy::make_policy(config.policy)) {
+      policy_(policy::make_policy(config.policy)),
+      observer_{sink, counters, engine_.get()} {
+  if (sink != nullptr || counters != nullptr) {
+    engine_->set_observer(&observer_);
+    cluster_->set_observer(&observer_);
+    policy_->set_observer(&observer_);
+  }
+  const obs::Observer* obs_ptr =
+      (sink != nullptr || counters != nullptr) ? &observer_ : nullptr;
   scheduler_ = std::make_unique<sched::Scheduler>(*engine_, *cluster_, *policy_,
-                                                  apps, config.sched);
+                                                  apps, config.sched, obs_ptr);
   scheduler_->submit_workload(std::move(workload));
   infeasible_ = scheduler_->infeasible_count();
 }
@@ -38,6 +47,10 @@ SimulationResult Simulator::run() {
   result.samples = scheduler_->samples();
   result.avg_allocated_mib = scheduler_->avg_allocated_mib();
   result.avg_busy_nodes = scheduler_->avg_busy_nodes();
+  result.engine_events = engine_->executed_events();
+  if (observer_.counters != nullptr) {
+    result.counters = observer_.counters->snapshot();
+  }
   return result;
 }
 

@@ -16,6 +16,7 @@
 #include "cluster/cluster.hpp"
 #include "harness/scenario.hpp"
 #include "metrics/metrics.hpp"
+#include "obs/observer.hpp"
 #include "policy/policy.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/engine.hpp"
@@ -40,14 +41,21 @@ struct SimulationResult {
   double avg_busy_nodes = 0.0;
   MiB provisioned_memory = 0;
   double system_cost_usd = 0.0;
+  std::uint64_t engine_events = 0;  ///< discrete events executed by the run
+  /// Name-sorted dump of the counters registry (empty when none was wired).
+  obs::CountersSnapshot counters;
 };
 
 class Simulator {
  public:
   /// `apps` may be nullptr (contention-insensitive jobs); when non-null it
-  /// must outlive the Simulator.
+  /// must outlive the Simulator. `sink` / `counters` (both optional,
+  /// caller-owned, must outlive the Simulator) wire structured event
+  /// tracing and the central counters registry through every layer; run()
+  /// copies the registry snapshot into the result.
   Simulator(const SimulationConfig& config, trace::Workload workload,
-            const slowdown::AppPool* apps);
+            const slowdown::AppPool* apps, obs::TraceSink* sink = nullptr,
+            obs::Counters* counters = nullptr);
 
   /// Run to completion. May only be called once.
   [[nodiscard]] SimulationResult run();
@@ -64,6 +72,7 @@ class Simulator {
   std::unique_ptr<sim::Engine> engine_;
   std::unique_ptr<cluster::Cluster> cluster_;
   std::unique_ptr<policy::AllocationPolicy> policy_;
+  obs::Observer observer_;  ///< stable address; components keep a pointer
   std::unique_ptr<sched::Scheduler> scheduler_;
   std::size_t infeasible_ = 0;
   bool ran_ = false;

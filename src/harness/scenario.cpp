@@ -49,11 +49,21 @@ std::vector<SystemConfig> memory_ladder(int total_nodes) {
 }
 
 CellResult run_cell(const CellConfig& cell, const trace::Workload& jobs,
-                    const slowdown::AppPool& apps) {
+                    const slowdown::AppPool& apps, obs::TraceSink* sink,
+                    obs::Counters* counters) {
   cluster::Cluster cluster(cell.system.to_cluster_config());
   const auto policy = policy::make_policy(cell.policy);
   sim::Engine engine;
-  sched::Scheduler scheduler(engine, cluster, *policy, &apps, cell.sched);
+  const obs::Observer observer{sink, counters, &engine};
+  const obs::Observer* obs_ptr =
+      (sink != nullptr || counters != nullptr) ? &observer : nullptr;
+  if (obs_ptr != nullptr) {
+    engine.set_observer(obs_ptr);
+    cluster.set_observer(obs_ptr);
+    policy->set_observer(obs_ptr);
+  }
+  sched::Scheduler scheduler(engine, cluster, *policy, &apps, cell.sched,
+                             obs_ptr);
   scheduler.submit_workload(jobs);
 
   CellResult result;
@@ -70,6 +80,7 @@ CellResult run_cell(const CellConfig& cell, const trace::Workload& jobs,
   result.totals = scheduler.totals();
   result.avg_allocated_mib = scheduler.avg_allocated_mib();
   result.avg_busy_nodes = scheduler.avg_busy_nodes();
+  result.engine_events = engine.executed_events();
   return result;
 }
 

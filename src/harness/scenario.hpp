@@ -9,6 +9,7 @@
 
 #include "cluster/cluster.hpp"
 #include "metrics/metrics.hpp"
+#include "obs/observer.hpp"
 #include "policy/policy.hpp"
 #include "sched/scheduler.hpp"
 #include "workload/generator.hpp"
@@ -67,6 +68,7 @@ struct CellResult {
   double avg_busy_nodes = 0.0;
   MiB provisioned_memory = 0;
   double system_cost_usd = 0.0;
+  std::uint64_t engine_events = 0;  ///< discrete events executed by the run
 
   [[nodiscard]] double throughput() const noexcept { return summary.throughput; }
   [[nodiscard]] double throughput_per_dollar() const noexcept {
@@ -75,9 +77,14 @@ struct CellResult {
 };
 
 /// Run one cell. The workload (and its app pool) are shared, read-only.
+/// `sink` / `counters` (optional, caller-owned) wire observability through
+/// the cell's engine, cluster, policy and scheduler — not thread-safe, so
+/// only for single-cell runs, never run_cells sweeps.
 [[nodiscard]] CellResult run_cell(const CellConfig& cell,
                                   const trace::Workload& jobs,
-                                  const slowdown::AppPool& apps);
+                                  const slowdown::AppPool& apps,
+                                  obs::TraceSink* sink = nullptr,
+                                  obs::Counters* counters = nullptr);
 
 /// Run many cells against the same workload on a thread pool.
 [[nodiscard]] std::vector<CellResult> run_cells(

@@ -205,6 +205,24 @@ std::string to_json(const SimulationResult& result, bool include_records,
   w.key("walltime_kills").value(t.walltime_kills);
   w.end_object();
 
+  w.key("engine_events").value(result.engine_events);
+
+  if (!result.counters.empty()) {
+    w.key("counters").begin_object();
+    for (const auto& c : result.counters.counters) {
+      w.key(c.name).value(c.value);
+    }
+    w.end_object();
+    w.key("gauges").begin_object();
+    for (const auto& g : result.counters.gauges) {
+      w.key(g.name).begin_object();
+      w.key("value").value(g.value);
+      w.key("high_water").value(g.high_water);
+      w.end_object();
+    }
+    w.end_object();
+  }
+
   if (include_records) {
     w.key("jobs").begin_array();
     for (const auto& r : result.records) {

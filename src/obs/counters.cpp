@@ -1,0 +1,43 @@
+#include "obs/counters.hpp"
+
+#include <algorithm>
+
+namespace dmsim::obs {
+
+std::uint64_t& Counters::counter(std::string_view name) {
+  const auto it = counter_index_.find(name);
+  if (it != counter_index_.end()) return counters_[it->second].second;
+  counters_.emplace_back(std::string(name), 0);
+  // Key the index by the stored string (stable in a deque), not the caller's
+  // view, which may dangle.
+  counter_index_.emplace(counters_.back().first, counters_.size() - 1);
+  return counters_.back().second;
+}
+
+Gauge& Counters::gauge(std::string_view name) {
+  const auto it = gauge_index_.find(name);
+  if (it != gauge_index_.end()) return gauges_[it->second].second;
+  gauges_.emplace_back(std::string(name), Gauge{});
+  gauge_index_.emplace(gauges_.back().first, gauges_.size() - 1);
+  return gauges_.back().second;
+}
+
+CountersSnapshot Counters::snapshot() const {
+  CountersSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, value] : counters_) {
+    snap.counters.push_back({name, value});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back({name, g.value, g.high_water});
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.name < b.name;
+  };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  return snap;
+}
+
+}  // namespace dmsim::obs

@@ -1,0 +1,86 @@
+// Central counters registry: named monotonic counters and gauges that every
+// subsystem registers into (engine events fired, ledger borrows, backfill
+// attempts, queue-depth high-water, ...). The registry is the single export
+// surface: dmsim_run prints it as a table and embeds it in the JSON result
+// document.
+//
+// Hot-path discipline: components resolve handles (stable pointers into the
+// registry) once at wiring time and bump them through a null check, so a run
+// without a registry costs one predictable branch per site.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace dmsim::obs {
+
+/// A gauge tracks a current value plus its high-water mark.
+struct Gauge {
+  std::int64_t value = 0;
+  std::int64_t high_water = 0;
+
+  void set(std::int64_t v) noexcept {
+    value = v;
+    if (v > high_water) high_water = v;
+  }
+};
+
+struct CountersSnapshot {
+  struct Counter {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeEntry {
+    std::string name;
+    std::int64_t value = 0;
+    std::int64_t high_water = 0;
+  };
+  std::vector<Counter> counters;  ///< sorted by name
+  std::vector<GaugeEntry> gauges; ///< sorted by name
+
+  [[nodiscard]] bool empty() const noexcept {
+    return counters.empty() && gauges.empty();
+  }
+};
+
+class Counters {
+ public:
+  Counters() = default;
+  Counters(const Counters&) = delete;
+  Counters& operator=(const Counters&) = delete;
+
+  /// Find-or-create a monotonic counter. The returned reference is stable
+  /// for the registry's lifetime (deque-backed), so it may be cached as a
+  /// hot-path handle.
+  [[nodiscard]] std::uint64_t& counter(std::string_view name);
+
+  /// Find-or-create a gauge; reference stability as counter().
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+
+  /// Convenience mutators for cold paths.
+  void add(std::string_view name, std::uint64_t delta = 1) {
+    counter(name) += delta;
+  }
+  void set(std::string_view name, std::int64_t value) {
+    gauge(name).set(value);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return counters_.size() + gauges_.size();
+  }
+
+  /// Name-sorted copy of every counter and gauge (deterministic export).
+  [[nodiscard]] CountersSnapshot snapshot() const;
+
+ private:
+  std::deque<std::pair<std::string, std::uint64_t>> counters_;
+  std::deque<std::pair<std::string, Gauge>> gauges_;
+  std::unordered_map<std::string_view, std::size_t> counter_index_;
+  std::unordered_map<std::string_view, std::size_t> gauge_index_;
+};
+
+}  // namespace dmsim::obs

@@ -1,0 +1,75 @@
+// Typed trace events for the observability layer (obs/).
+//
+// Every subsystem emits the same small POD: a kind, the simulated time, the
+// job/node it concerns (when applicable) and up to a handful of named int64
+// payload fields. Keys and detail strings are static string literals so an
+// Event is trivially copyable and emission never allocates; sinks serialize
+// it (NDJSON, Chrome trace-event) without a schema of their own.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "util/units.hpp"
+
+namespace dmsim::obs {
+
+enum class EventKind : std::uint8_t {
+  // sim::Engine
+  EngineSchedule,   ///< event queued; `when` carries the target time
+  EngineFire,       ///< event popped and executed
+  EngineCancel,     ///< pending event invalidated
+  // sched::Scheduler
+  JobSubmit,        ///< job entered the pending queue for the first time
+  JobStart,         ///< FCFS start
+  BackfillStart,    ///< started by the backfill pass
+  JobRequeue,       ///< killed (OOM) and re-queued
+  JobOomKill,       ///< allocation could not grow to demand
+  JobWalltimeKill,  ///< exceeded its requested walltime
+  JobComplete,
+  JobAbandon,       ///< exceeded max_restarts after repeated OOM
+  MonitorUpdate,    ///< Monitor/Decider/Actuator pass over one running job
+  SchedPass,        ///< one scheduling pass (FCFS + backfill)
+  // cluster::Cluster ledger
+  MemLend,          ///< remote memory granted to a (job, host) slot
+  MemReclaim,       ///< remote memory returned to its lenders
+  SlotGrow,         ///< local share grew
+  SlotShrink,       ///< local share shrank
+  // policy decisions
+  PolicyGrant,      ///< try_start placed the job
+  PolicyDeny,       ///< try_start refused; `detail` names the reason
+};
+
+/// Stable wire name ("job_start", "mem_lend", ...) used by every sink.
+[[nodiscard]] std::string_view to_string(EventKind kind) noexcept;
+
+struct Event {
+  /// Sentinel for "field absent" in `job` / `node`.
+  static constexpr std::int64_t kNone = -1;
+
+  EventKind kind{};
+  Seconds time = 0.0;
+  std::int64_t job = kNone;
+  std::int64_t node = kNone;
+  Seconds when = kNoTime;          ///< secondary time (EngineSchedule target)
+  const char* detail = nullptr;    ///< short static token (deny reason, ...)
+
+  struct Field {
+    const char* key = nullptr;     ///< static string literal
+    std::int64_t value = 0;
+  };
+  std::array<Field, 4> fields{};
+  std::size_t num_fields = 0;
+
+  /// Attach a named payload field; chains on a temporary:
+  ///   Event{EventKind::MemLend, now, job, host}.with("mib", granted)
+  Event& with(const char* key, std::int64_t value) noexcept {
+    if (num_fields < fields.size()) {
+      fields[num_fields++] = Field{key, value};
+    }
+    return *this;
+  }
+};
+
+}  // namespace dmsim::obs

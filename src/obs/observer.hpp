@@ -1,0 +1,63 @@
+// Observer: the bundle of observability hooks threaded through every layer
+// of the simulator (engine, scheduler, cluster ledger, policies).
+//
+// An Observer is plain pointers — a trace sink, a counters registry and a
+// simulated-time clock — all optional. Components accept a
+// `const Observer*` (nullptr = fully disabled) and guard each instrumented
+// site on it, so a run without observability pays a single predictable
+// branch per site and constructs no Event objects.
+#pragma once
+
+#include "obs/counters.hpp"
+#include "obs/event.hpp"
+#include "obs/trace_sink.hpp"
+
+namespace dmsim::obs {
+
+/// Simulated-time source. sim::Engine implements this; obs stays below sim
+/// in the layering (it depends only on util).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual Seconds sim_now() const noexcept = 0;
+};
+
+struct Observer {
+  TraceSink* sink = nullptr;
+  Counters* counters = nullptr;
+  const Clock* clock = nullptr;
+
+  [[nodiscard]] Seconds now() const noexcept {
+    return clock != nullptr ? clock->sim_now() : 0.0;
+  }
+};
+
+/// True when the site should construct and emit an Event. Guard BEFORE
+/// building the Event so the disabled path does no work:
+///   if (obs::tracing(obs_)) obs_->sink->emit(Event{...}.with(...));
+[[nodiscard]] inline bool tracing(const Observer* obs) noexcept {
+  return obs != nullptr && obs->sink != nullptr;
+}
+
+/// Resolve a counter handle, or nullptr when no registry is wired.
+[[nodiscard]] inline std::uint64_t* counter_handle(const Observer* obs,
+                                                   std::string_view name) {
+  return (obs != nullptr && obs->counters != nullptr)
+             ? &obs->counters->counter(name)
+             : nullptr;
+}
+
+/// Resolve a gauge handle, or nullptr when no registry is wired.
+[[nodiscard]] inline Gauge* gauge_handle(const Observer* obs,
+                                         std::string_view name) {
+  return (obs != nullptr && obs->counters != nullptr)
+             ? &obs->counters->gauge(name)
+             : nullptr;
+}
+
+/// Null-guarded counter bump for pre-resolved handles.
+inline void bump(std::uint64_t* handle, std::uint64_t delta = 1) noexcept {
+  if (handle != nullptr) *handle += delta;
+}
+
+}  // namespace dmsim::obs

@@ -1,0 +1,45 @@
+#include "obs/profiler.hpp"
+
+#include <ostream>
+#include <utility>
+
+#include "util/table.hpp"
+
+namespace dmsim::obs {
+
+void Profiler::begin_phase(std::string name) {
+  end_phase();
+  phases_.push_back(Phase{std::move(name), 0.0});
+  phase_start_ = ClockT::now();
+  open_ = true;
+}
+
+void Profiler::end_phase() {
+  if (!open_) return;
+  const std::chrono::duration<double> dt = ClockT::now() - phase_start_;
+  phases_.back().wall_seconds = dt.count();
+  open_ = false;
+}
+
+double Profiler::total_seconds() const noexcept {
+  double total = 0.0;
+  for (const auto& p : phases_) total += p.wall_seconds;
+  return total;
+}
+
+double Profiler::phase_seconds(std::string_view name) const noexcept {
+  double total = 0.0;
+  for (const auto& p : phases_) {
+    if (p.name == name) total += p.wall_seconds;
+  }
+  return total;
+}
+
+void print_throughput(std::ostream& os, const ThroughputReport& report) {
+  os << util::fmt_sci(report.events_per_second(), 3) << " events/s, "
+     << util::fmt_sci(report.sim_seconds_per_wall_second(), 3)
+     << " sim-s/wall-s (" << report.engine_events << " events, "
+     << util::fmt(report.wall_seconds, 3) << " wall-s)\n";
+}
+
+}  // namespace dmsim::obs

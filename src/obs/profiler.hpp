@@ -1,0 +1,85 @@
+// Self-profiler: wall-clock phase timers and simulator-throughput reporting.
+//
+// The driver brackets its phases (trace load, generation, sim loop, export)
+// and the profiler reports per-phase wall time plus the two numbers any
+// simulator perf claim needs: engine events per wall second and simulated
+// seconds per wall second.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace dmsim::obs {
+
+class Profiler {
+ public:
+  struct Phase {
+    std::string name;
+    double wall_seconds = 0.0;
+  };
+
+  /// Start a named phase, ending the current one (phases never nest; the
+  /// driver's pipeline is sequential).
+  void begin_phase(std::string name);
+
+  /// End the current phase (no-op when none is open).
+  void end_phase();
+
+  /// Accumulated phases, in execution order. Re-entering a name appends a
+  /// new entry; callers wanting aggregation can sum by name.
+  [[nodiscard]] const std::vector<Phase>& phases() const noexcept {
+    return phases_;
+  }
+
+  [[nodiscard]] double total_seconds() const noexcept;
+
+  /// Wall time of the named phase (summed over re-entries), 0 if absent.
+  [[nodiscard]] double phase_seconds(std::string_view name) const noexcept;
+
+ private:
+  using ClockT = std::chrono::steady_clock;
+  std::vector<Phase> phases_;
+  ClockT::time_point phase_start_{};
+  bool open_ = false;
+};
+
+/// RAII phase bracket: `obs::PhaseScope s(profiler, "sim loop");`
+class PhaseScope {
+ public:
+  PhaseScope(Profiler& profiler, std::string name) : profiler_(profiler) {
+    profiler_.begin_phase(std::move(name));
+  }
+  ~PhaseScope() { profiler_.end_phase(); }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  Profiler& profiler_;
+};
+
+/// Simulator throughput over one or more runs.
+struct ThroughputReport {
+  std::uint64_t engine_events = 0;
+  Seconds sim_seconds = 0.0;    ///< simulated time covered (sum of makespans)
+  double wall_seconds = 0.0;    ///< wall time spent inside the sim loop
+
+  [[nodiscard]] double events_per_second() const noexcept {
+    return wall_seconds > 0.0
+               ? static_cast<double>(engine_events) / wall_seconds
+               : 0.0;
+  }
+  [[nodiscard]] double sim_seconds_per_wall_second() const noexcept {
+    return wall_seconds > 0.0 ? sim_seconds / wall_seconds : 0.0;
+  }
+};
+
+/// One-line human-readable rendering:
+///   "1.23M events/s, 4.5e+03 sim-s/wall-s (87654 events, 0.07 wall-s)"
+void print_throughput(std::ostream& os, const ThroughputReport& report);
+
+}  // namespace dmsim::obs

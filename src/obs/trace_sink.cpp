@@ -1,0 +1,315 @@
+#include "obs/trace_sink.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace dmsim::obs {
+
+std::string_view to_string(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::EngineSchedule:
+      return "engine_schedule";
+    case EventKind::EngineFire:
+      return "engine_fire";
+    case EventKind::EngineCancel:
+      return "engine_cancel";
+    case EventKind::JobSubmit:
+      return "job_submit";
+    case EventKind::JobStart:
+      return "job_start";
+    case EventKind::BackfillStart:
+      return "backfill_start";
+    case EventKind::JobRequeue:
+      return "job_requeue";
+    case EventKind::JobOomKill:
+      return "job_oom_kill";
+    case EventKind::JobWalltimeKill:
+      return "job_walltime_kill";
+    case EventKind::JobComplete:
+      return "job_complete";
+    case EventKind::JobAbandon:
+      return "job_abandon";
+    case EventKind::MonitorUpdate:
+      return "monitor_update";
+    case EventKind::SchedPass:
+      return "sched_pass";
+    case EventKind::MemLend:
+      return "mem_lend";
+    case EventKind::MemReclaim:
+      return "mem_reclaim";
+    case EventKind::SlotGrow:
+      return "slot_grow";
+    case EventKind::SlotShrink:
+      return "slot_shrink";
+    case EventKind::PolicyGrant:
+      return "policy_grant";
+    case EventKind::PolicyDeny:
+      return "policy_deny";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Deterministic double formatting shared by both sinks: shortest round-trip
+/// representation via %.17g is locale-independent for the values we emit.
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void append_int(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// NdjsonSink
+// ---------------------------------------------------------------------------
+
+void NdjsonSink::emit(const Event& e) {
+  std::string line;
+  line.reserve(96);
+  line += "{\"t\":";
+  append_double(line, e.time);
+  line += ",\"ev\":\"";
+  line += to_string(e.kind);
+  line += '"';
+  if (e.job != Event::kNone) {
+    line += ",\"job\":";
+    append_int(line, e.job);
+  }
+  if (e.node != Event::kNone) {
+    line += ",\"node\":";
+    append_int(line, e.node);
+  }
+  if (e.when != kNoTime) {
+    line += ",\"when\":";
+    append_double(line, e.when);
+  }
+  if (e.detail != nullptr) {
+    line += ",\"detail\":\"";
+    line += e.detail;  // static identifier tokens; no escaping needed
+    line += '"';
+  }
+  for (std::size_t i = 0; i < e.num_fields; ++i) {
+    line += ",\"";
+    line += e.fields[i].key;
+    line += "\":";
+    append_int(line, e.fields[i].value);
+  }
+  line += "}\n";
+  *out_ << line;
+}
+
+void NdjsonSink::close() {
+  if (closed_) return;
+  closed_ = true;
+  out_->flush();
+  if (!out_->good()) throw Error("NDJSON trace sink: stream write failed");
+}
+
+// ---------------------------------------------------------------------------
+// ChromeTraceSink
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Process-id lanes grouping events by subsystem in the trace viewer.
+constexpr int kTidEngine = 1;
+constexpr int kTidSched = 2;
+constexpr int kTidCluster = 3;
+constexpr int kTidPolicy = 4;
+
+int tid_of(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::EngineSchedule:
+    case EventKind::EngineFire:
+    case EventKind::EngineCancel:
+      return kTidEngine;
+    case EventKind::MemLend:
+    case EventKind::MemReclaim:
+    case EventKind::SlotGrow:
+    case EventKind::SlotShrink:
+      return kTidCluster;
+    case EventKind::PolicyGrant:
+    case EventKind::PolicyDeny:
+      return kTidPolicy;
+    default:
+      return kTidSched;
+  }
+}
+
+}  // namespace
+
+ChromeTraceSink::ChromeTraceSink(std::ostream& out) : out_(&out) {
+  *out_ << "{\"traceEvents\":[\n";
+}
+
+ChromeTraceSink::~ChromeTraceSink() {
+  try {
+    close();
+  } catch (...) {
+    // Destructors must not throw; dmsim_run calls close() explicitly to
+    // surface write failures.
+  }
+}
+
+void ChromeTraceSink::raw_event(const Event& e, const char* phase,
+                                const char* name, bool async, bool counter) {
+  std::string line;
+  line.reserve(160);
+  line += first_ ? "" : ",\n";
+  first_ = false;
+  line += "{\"name\":\"";
+  line += name;
+  line += "\",\"ph\":\"";
+  line += phase;
+  line += "\",\"ts\":";
+  append_double(line, e.time * 1e6);  // trace ts unit is microseconds
+  line += ",\"pid\":1,\"tid\":";
+  append_int(line, tid_of(e.kind));
+  if (async) {
+    line += ",\"cat\":\"job\",\"id\":";
+    append_int(line, e.job);
+  }
+  if (phase[0] == 'i') line += ",\"s\":\"t\"";
+  line += ",\"args\":{";
+  bool first_arg = true;
+  const auto arg = [&](const char* key, std::int64_t v) {
+    if (!first_arg) line += ',';
+    first_arg = false;
+    line += '"';
+    line += key;
+    line += "\":";
+    append_int(line, v);
+  };
+  if (counter) {
+    // Counter tracks plot their args as series; emit only the series value.
+    arg("value", e.num_fields > 0 ? e.fields[0].value : 0);
+  } else {
+    if (e.job != Event::kNone) arg("job", e.job);
+    if (e.node != Event::kNone) arg("node", e.node);
+    for (std::size_t i = 0; i < e.num_fields; ++i) {
+      arg(e.fields[i].key, e.fields[i].value);
+    }
+    if (e.detail != nullptr) {
+      if (!first_arg) line += ',';
+      first_arg = false;
+      line += "\"detail\":\"";
+      line += e.detail;
+      line += '"';
+    }
+    if (e.when != kNoTime) {
+      if (!first_arg) line += ',';
+      first_arg = false;
+      line += "\"when\":";
+      append_double(line, e.when);
+    }
+  }
+  line += "}}";
+  *out_ << line;
+}
+
+void ChromeTraceSink::emit(const Event& e) {
+  char name[48];
+  switch (e.kind) {
+    // A job's residency on the machine renders as an async span per job id;
+    // begin on (back)fill start, end on any terminal/kill event.
+    case EventKind::JobStart:
+    case EventKind::BackfillStart:
+      std::snprintf(name, sizeof name, "job %lld", static_cast<long long>(e.job));
+      raw_event(e, "b", name, /*async=*/true, /*counter=*/false);
+      return;
+    case EventKind::JobComplete:
+    case EventKind::JobOomKill:
+    case EventKind::JobWalltimeKill:
+      std::snprintf(name, sizeof name, "job %lld", static_cast<long long>(e.job));
+      raw_event(e, "e", name, /*async=*/true, /*counter=*/false);
+      // Also keep the instant marker so kill reasons stay visible.
+      raw_event(e, "i", to_string(e.kind).data(), false, false);
+      return;
+    case EventKind::SchedPass:
+      // The pending-queue depth becomes a counter track.
+      raw_event(e, "C", "pending_jobs", /*async=*/false, /*counter=*/true);
+      raw_event(e, "i", to_string(e.kind).data(), false, false);
+      return;
+    default:
+      raw_event(e, "i", to_string(e.kind).data(), false, false);
+      return;
+  }
+}
+
+void ChromeTraceSink::close() {
+  if (closed_) return;
+  closed_ = true;
+  *out_ << "\n]}\n";
+  out_->flush();
+  if (!out_->good()) throw Error("Chrome trace sink: stream write failed");
+}
+
+// ---------------------------------------------------------------------------
+// Factories
+// ---------------------------------------------------------------------------
+
+TraceFormat parse_trace_format(const std::string& value) {
+  if (value == "ndjson") return TraceFormat::Ndjson;
+  if (value == "chrome") return TraceFormat::Chrome;
+  throw ConfigError("unknown trace format '" + value +
+                    "' (expected ndjson or chrome)");
+}
+
+std::unique_ptr<TraceSink> make_sink(TraceFormat format, std::ostream& out) {
+  switch (format) {
+    case TraceFormat::Ndjson:
+      return std::make_unique<NdjsonSink>(out);
+    case TraceFormat::Chrome:
+      return std::make_unique<ChromeTraceSink>(out);
+  }
+  DMSIM_ASSERT(false, "unknown trace format");
+  return nullptr;
+}
+
+namespace {
+
+/// Owns the file stream its inner sink writes to.
+class FileSink final : public TraceSink {
+ public:
+  FileSink(TraceFormat format, const std::string& path) : path_(path) {
+    out_.open(path, std::ios::out | std::ios::trunc);
+    if (!out_) throw ConfigError("cannot open trace file " + path);
+    inner_ = make_sink(format, out_);
+  }
+
+  void emit(const Event& event) override { inner_->emit(event); }
+
+  void close() override {
+    if (closed_) return;
+    closed_ = true;
+    inner_->close();
+    out_.close();
+    if (out_.fail()) throw Error("trace file write failed: " + path_);
+  }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::unique_ptr<TraceSink> inner_;
+  bool closed_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<TraceSink> make_file_sink(TraceFormat format,
+                                          const std::string& path) {
+  return std::make_unique<FileSink>(format, path);
+}
+
+}  // namespace dmsim::obs

@@ -1,0 +1,95 @@
+// Trace sinks: serialize the structured event stream (obs/event.hpp).
+//
+// Two real backends plus a null sink:
+//   * NdjsonSink — one JSON object per line, deterministic formatting: the
+//     same config + seed yields a byte-identical stream (golden-file tests
+//     and diffable policy-divergence debugging rely on this),
+//   * ChromeTraceSink — the Chrome trace-event JSON format, loadable in
+//     chrome://tracing and Perfetto. Job lifetimes become async begin/end
+//     pairs (one track per job id), everything else instant events grouped
+//     by subsystem, and queue depth a counter track,
+//   * NullSink — swallows events; for measuring pure instrumentation cost
+//     against tracing disabled (a null TraceSink* and one branch).
+//
+// Instrumented components hold a `TraceSink*` that is nullptr when tracing
+// is off, so the disabled hot path is a single predictable branch.
+#pragma once
+
+#include <fstream>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "obs/event.hpp"
+
+namespace dmsim::obs {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void emit(const Event& event) = 0;
+  /// Finalize and flush; throws dmsim::Error if the underlying stream went
+  /// bad (full disk must not silently truncate a trace). Idempotent; also
+  /// invoked (without throwing) by destructors.
+  virtual void close() = 0;
+};
+
+/// Swallows every event. Exists so benchmarks can separate the cost of
+/// event construction + virtual dispatch from serialization.
+class NullSink final : public TraceSink {
+ public:
+  void emit(const Event&) override {}
+  void close() override {}
+};
+
+/// Newline-delimited JSON, one event per line:
+///   {"t":120,"ev":"job_start","job":7,"node":3,"nodes":2,"mib":4096}
+class NdjsonSink final : public TraceSink {
+ public:
+  /// Non-owning; `out` must outlive the sink.
+  explicit NdjsonSink(std::ostream& out) : out_(&out) {}
+
+  void emit(const Event& event) override;
+  void close() override;
+
+ private:
+  std::ostream* out_;
+  bool closed_ = false;
+};
+
+/// Chrome trace-event JSON ({"traceEvents":[...]}). Times are simulated
+/// seconds mapped to trace microseconds.
+class ChromeTraceSink final : public TraceSink {
+ public:
+  /// Non-owning; `out` must outlive the sink. Writes the document preamble
+  /// immediately and the closing bracket on close()/destruction.
+  explicit ChromeTraceSink(std::ostream& out);
+  ~ChromeTraceSink() override;
+
+  void emit(const Event& event) override;
+  void close() override;
+
+ private:
+  void raw_event(const Event& event, const char* phase, const char* name,
+                 bool async, bool counter);
+
+  std::ostream* out_;
+  bool first_ = true;
+  bool closed_ = false;
+};
+
+enum class TraceFormat { Ndjson, Chrome };
+
+/// Parse "ndjson" / "chrome"; throws ConfigError on anything else.
+[[nodiscard]] TraceFormat parse_trace_format(const std::string& value);
+
+/// Sink writing to a caller-owned stream.
+[[nodiscard]] std::unique_ptr<TraceSink> make_sink(TraceFormat format,
+                                                   std::ostream& out);
+
+/// Sink owning a file stream; throws ConfigError if the file cannot be
+/// opened. close() reports write failures (full disk) as errors.
+[[nodiscard]] std::unique_ptr<TraceSink> make_file_sink(
+    TraceFormat format, const std::string& path);
+
+}  // namespace dmsim::obs

@@ -21,6 +21,38 @@ std::string_view to_string(PolicyKind kind) noexcept {
 }
 
 // ---------------------------------------------------------------------------
+// Decision reporting
+// ---------------------------------------------------------------------------
+
+void AllocationPolicy::set_observer(const obs::Observer* observer) {
+  obs_ = observer;
+  c_grants_ = obs::counter_handle(observer, "policy.grants");
+  c_denies_ = obs::counter_handle(observer, "policy.denies");
+}
+
+bool AllocationPolicy::granted(const trace::JobSpec& spec) {
+  obs::bump(c_grants_);
+  if (obs::tracing(obs_)) {
+    obs_->sink->emit(
+        obs::Event{obs::EventKind::PolicyGrant, obs_->now(), spec.id.get()}
+            .with("nodes", spec.num_nodes)
+            .with("mib", spec.requested_mem));
+  }
+  return true;
+}
+
+bool AllocationPolicy::denied(const trace::JobSpec& spec, const char* reason) {
+  obs::bump(c_denies_);
+  if (obs::tracing(obs_)) {
+    obs::Event e{obs::EventKind::PolicyDeny, obs_->now(), spec.id.get()};
+    e.detail = reason;
+    obs_->sink->emit(e.with("nodes", spec.num_nodes)
+                         .with("mib", spec.requested_mem));
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
 // Baseline
 // ---------------------------------------------------------------------------
 
@@ -34,7 +66,9 @@ bool BaselinePolicy::try_start(const trace::JobSpec& spec,
       candidates.push_back(n.id);
     }
   }
-  if (std::cmp_less(candidates.size(), spec.num_nodes)) return false;
+  if (std::cmp_less(candidates.size(), spec.num_nodes)) {
+    return denied(spec, "not_enough_fitting_idle_nodes");
+  }
   // Best fit: smallest sufficient node first, saving large nodes for large
   // jobs (deterministic id tie-break).
   std::sort(candidates.begin(), candidates.end(), [&](NodeId a, NodeId b) {
@@ -46,11 +80,11 @@ bool BaselinePolicy::try_start(const trace::JobSpec& spec,
   candidates.resize(static_cast<std::size_t>(spec.num_nodes));
   cluster.assign_job(spec.id, candidates);
   for (NodeId h : candidates) {
-    const MiB granted = cluster.grow_local(spec.id, h, spec.requested_mem);
-    DMSIM_ASSERT(granted == spec.requested_mem,
+    const MiB local = cluster.grow_local(spec.id, h, spec.requested_mem);
+    DMSIM_ASSERT(local == spec.requested_mem,
                  "baseline host unexpectedly short of memory");
   }
-  return true;
+  return granted(spec);
 }
 
 bool BaselinePolicy::feasible(const trace::JobSpec& spec,
@@ -74,7 +108,9 @@ bool StaticPolicy::try_start(const trace::JobSpec& spec,
   for (const auto& n : cluster.nodes()) {
     if (n.idle() && !n.memory_node()) hostable.push_back(n.id);
   }
-  if (std::cmp_less(hostable.size(), spec.num_nodes)) return false;
+  if (std::cmp_less(hostable.size(), spec.num_nodes)) {
+    return denied(spec, "not_enough_hostable_nodes");
+  }
 
   // The policy "tries to run the job on nodes with enough free memory. If
   // this is not possible, then it will choose nodes with the most free
@@ -116,7 +152,9 @@ bool StaticPolicy::try_start(const trace::JobSpec& spec,
   // Fast reject: the whole allocation can never exceed system free memory.
   const MiB total_need =
       static_cast<MiB>(spec.num_nodes) * spec.requested_mem;
-  if (total_need > cluster.total_free()) return false;
+  if (total_need > cluster.total_free()) {
+    return denied(spec, "exceeds_total_free");
+  }
 
   cluster.assign_job(spec.id, hosts);
   for (NodeId h : hosts) {
@@ -127,10 +165,10 @@ bool StaticPolicy::try_start(const trace::JobSpec& spec,
       // Lenders ran dry (free memory was fragmented into host-local shares
       // we already consumed). Roll the whole job back.
       cluster.finish_job(spec.id);
-      return false;
+      return denied(spec, "lenders_dry");
     }
   }
-  return true;
+  return granted(spec);
 }
 
 bool StaticPolicy::feasible(const trace::JobSpec& spec,

@@ -19,6 +19,7 @@
 #include <string_view>
 
 #include "cluster/cluster.hpp"
+#include "obs/observer.hpp"
 #include "trace/job_spec.hpp"
 #include "util/units.hpp"
 
@@ -49,6 +50,21 @@ class AllocationPolicy {
   /// harness uses this to mark a whole scenario as "missing bar" (Fig. 5).
   [[nodiscard]] virtual bool feasible(const trace::JobSpec& spec,
                                       const cluster::Cluster& cluster) const = 0;
+
+  /// Wire observability: grant/deny decision events (with a reason token)
+  /// and the policy.grants / policy.denies counters. nullptr disables.
+  void set_observer(const obs::Observer* observer);
+
+ protected:
+  /// try_start implementations report every decision through these so the
+  /// trace explains *why* a job did not start (the §4 analyses hinge on it).
+  bool granted(const trace::JobSpec& spec);
+  bool denied(const trace::JobSpec& spec, const char* reason);
+
+ private:
+  const obs::Observer* obs_ = nullptr;
+  std::uint64_t* c_grants_ = nullptr;
+  std::uint64_t* c_denies_ = nullptr;
 };
 
 /// Baseline: exclusive node memory, no lending.

@@ -24,17 +24,46 @@ constexpr double kSlowdownEps = 1e-9;
 
 Scheduler::Scheduler(sim::Engine& engine, cluster::Cluster& cluster,
                      policy::AllocationPolicy& policy,
-                     const slowdown::AppPool* pool, SchedulerConfig config)
+                     const slowdown::AppPool* pool, SchedulerConfig config,
+                     const obs::Observer* observer)
     : engine_(engine),
       cluster_(cluster),
       policy_(policy),
       model_(pool),
-      config_(std::move(config)) {
+      config_(std::move(config)),
+      obs_(observer) {
   DMSIM_ASSERT(config_.sched_interval >= 0.0, "negative scheduling interval");
   DMSIM_ASSERT(config_.queue_depth > 0, "queue depth must be positive");
   DMSIM_ASSERT(config_.backfill_depth >= 0, "negative backfill depth");
   DMSIM_ASSERT(config_.update_interval > 0.0, "update interval must be positive");
   DMSIM_ASSERT(config_.max_restarts > 0, "max_restarts must be positive");
+  c_submits_ = obs::counter_handle(observer, "sched.submits");
+  c_backfill_attempts_ = obs::counter_handle(observer, "sched.backfill_attempts");
+  g_queue_depth_ = obs::gauge_handle(observer, "sched.queue_depth");
+  g_running_ = obs::gauge_handle(observer, "sched.running_jobs");
+}
+
+void Scheduler::trace_job(obs::EventKind kind, JobId id, const char* detail) {
+  if (!obs::tracing(obs_)) return;
+  obs::Event e{kind, engine_.now(), id.get()};
+  e.detail = detail;
+  obs_->sink->emit(e);
+}
+
+void Scheduler::publish_totals() {
+  if (obs_ == nullptr || obs_->counters == nullptr) return;
+  obs::Counters& c = *obs_->counters;
+  c.counter("sched.completed") = totals_.completed;
+  c.counter("sched.oom_events") = totals_.oom_events;
+  c.counter("sched.requeues") = totals_.requeues;
+  c.counter("sched.fcfs_starts") = totals_.fcfs_starts;
+  c.counter("sched.backfill_starts") = totals_.backfill_starts;
+  c.counter("sched.guaranteed_starts") = totals_.guaranteed_starts;
+  c.counter("sched.update_events") = totals_.update_events;
+  c.counter("sched.scheduling_passes") = totals_.scheduling_passes;
+  c.counter("sched.abandoned") = totals_.abandoned;
+  c.counter("sched.walltime_kills") = totals_.walltime_kills;
+  c.counter("sched.infeasible") = infeasible_count_;
 }
 
 JobRecord& Scheduler::record_of(JobId id) {
@@ -117,6 +146,7 @@ void Scheduler::run() {
   DMSIM_ASSERT(running_.empty(), "engine drained with jobs still running");
   DMSIM_ASSERT(pending_.empty(), "engine drained with jobs still pending");
   DMSIM_ASSERT(dependents_.empty(), "engine drained with unresolved dependencies");
+  publish_totals();
 }
 
 // ---------------------------------------------------------------------------
@@ -124,6 +154,16 @@ void Scheduler::run() {
 // ---------------------------------------------------------------------------
 
 void Scheduler::enqueue_pending(PendingEntry entry) {
+  if (entry.restarts == 0) {
+    obs::bump(c_submits_);
+    if (obs::tracing(obs_)) {
+      const trace::JobSpec& spec = spec_of(entry.spec_index);
+      obs_->sink->emit(
+          obs::Event{obs::EventKind::JobSubmit, engine_.now(), spec.id.get()}
+              .with("nodes", spec.num_nodes)
+              .with("mib", spec.requested_mem));
+    }
+  }
   // Queue is kept sorted by priority (descending); insertion after the last
   // entry with priority >= the new one preserves FIFO within a level.
   auto it = pending_.end();
@@ -131,6 +171,9 @@ void Scheduler::enqueue_pending(PendingEntry entry) {
     --it;
   }
   pending_.insert(it, entry);
+  if (g_queue_depth_) {
+    g_queue_depth_->set(static_cast<std::int64_t>(pending_.size()));
+  }
 }
 
 void Scheduler::request_scheduling_pass() {
@@ -145,16 +188,22 @@ void Scheduler::scheduling_pass() {
   pass_scheduled_ = false;
   last_pass_time_ = engine_.now();
   ++totals_.scheduling_passes;
+  if (obs::tracing(obs_)) {
+    obs_->sink->emit(obs::Event{obs::EventKind::SchedPass, engine_.now()}.with(
+        "pending", static_cast<std::int64_t>(pending_.size())));
+  }
   if (pending_.empty()) return;
   touch_utilization();
 
   // FCFS: start jobs strictly in queue order until the head blocks.
   int started = 0;
   while (!pending_.empty() && started < config_.queue_depth) {
+    const JobId started_id = spec_of(pending_.front().spec_index).id;
     if (!try_start_entry(pending_.front())) break;
     pending_.pop_front();
     ++started;
     ++totals_.fcfs_starts;
+    trace_job(obs::EventKind::JobStart, started_id);
   }
 
   // Backfill: jobs behind the blocked head may start now if their requested
@@ -172,11 +221,13 @@ void Scheduler::scheduling_pass() {
          idx < pending_.size() &&
          examined < static_cast<std::size_t>(config_.backfill_depth);) {
       ++examined;
+      obs::bump(c_backfill_attempts_);
       const PendingEntry entry = pending_[idx];
       const trace::JobSpec& spec = spec_of(entry.spec_index);
       if (engine_.now() + spec.walltime <= shadow && try_start_entry(entry)) {
         pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(idx));
         ++totals_.backfill_starts;
+        trace_job(obs::EventKind::BackfillStart, spec.id);
       } else {
         if (mode == BackfillMode::Conservative) {
           // This job stays queued: later candidates must not delay it either.
@@ -223,6 +274,7 @@ void Scheduler::start_running(const PendingEntry& entry) {
 
   auto [it, inserted] = running_.emplace(spec.id.get(), std::move(rj));
   DMSIM_ASSERT(inserted, "job already running");
+  if (g_running_) g_running_->set(static_cast<std::int64_t>(running_.size()));
   RunningJob& job = it->second;
   project_end(spec.id, job);
 
@@ -391,8 +443,10 @@ void Scheduler::on_job_end(JobId id) {
   rec.end_time = engine_.now();
   rec.outcome = JobOutcome::Completed;
   ++totals_.completed;
+  trace_job(obs::EventKind::JobComplete, id);
 
   running_.erase(it);
+  if (g_running_) g_running_->set(static_cast<std::int64_t>(running_.size()));
   release_dependents(id);
   refresh_slowdowns();
   if (!pending_.empty()) request_scheduling_pass();
@@ -429,6 +483,13 @@ Scheduler::UpdateResult Scheduler::apply_update(RunningJob& rj, JobId id) {
       result.oom = true;
       break;
     }
+  }
+  if (obs::tracing(obs_)) {
+    obs_->sink->emit(
+        obs::Event{obs::EventKind::MonitorUpdate, engine_.now(), id.get()}
+            .with("demand_mib", base_demand)
+            .with("released_mib", result.released)
+            .with("oom", result.oom ? 1 : 0));
   }
   return result;
 }
@@ -497,6 +558,8 @@ void Scheduler::kill_and_requeue(JobId id, bool checkpoint_restart) {
   ++totals_.oom_events;
   JobRecord& rec = record_of(id);
   ++rec.oom_failures;
+  trace_job(obs::EventKind::JobOomKill, id,
+            checkpoint_restart ? "checkpoint_restart" : "fail_restart");
 
   cancel_job_events(rj);
   cluster_.finish_job(id);
@@ -506,16 +569,24 @@ void Scheduler::kill_and_requeue(JobId id, bool checkpoint_restart) {
   const double checkpoint = checkpoint_restart ? rj.checkpoint : 0.0;
   const std::size_t spec_index = rj.spec_index;
   running_.erase(it);
+  if (g_running_) g_running_->set(static_cast<std::int64_t>(running_.size()));
 
   if (restarts > config_.max_restarts) {
     rec.end_time = engine_.now();
     rec.outcome = JobOutcome::AbandonedOom;
     ++totals_.abandoned;
+    trace_job(obs::EventKind::JobAbandon, id);
     release_dependents(id);
   } else {
     const bool guaranteed = config_.guaranteed_after_failures > 0 &&
                             restarts >= config_.guaranteed_after_failures;
     const int priority = restarts * config_.priority_boost_per_failure;
+    if (obs::tracing(obs_)) {
+      obs_->sink->emit(
+          obs::Event{obs::EventKind::JobRequeue, engine_.now(), id.get()}
+              .with("restarts", restarts)
+              .with("guaranteed", guaranteed ? 1 : 0));
+    }
     enqueue_pending(
         PendingEntry{spec_index, restarts, checkpoint, guaranteed, priority});
     ++totals_.requeues;
@@ -539,8 +610,10 @@ void Scheduler::on_walltime(JobId id) {
   rec.end_time = engine_.now();
   rec.outcome = JobOutcome::KilledWalltime;
   ++totals_.walltime_kills;
+  trace_job(obs::EventKind::JobWalltimeKill, id);
 
   running_.erase(it);
+  if (g_running_) g_running_->set(static_cast<std::int64_t>(running_.size()));
   release_dependents(id);
   refresh_slowdowns();
   if (!pending_.empty()) request_scheduling_pass();

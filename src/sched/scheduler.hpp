@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "obs/observer.hpp"
 #include "policy/policy.hpp"
 #include "sim/engine.hpp"
 #include "slowdown/model.hpp"
@@ -135,9 +136,12 @@ struct SchedulerTotals {
 class Scheduler {
  public:
   /// `pool` may be nullptr: all jobs are then contention-insensitive.
+  /// `observer` (optional, must outlive the scheduler) wires structured
+  /// event tracing and the sched.* counters; run() publishes the final
+  /// SchedulerTotals into the registry.
   Scheduler(sim::Engine& engine, cluster::Cluster& cluster,
             policy::AllocationPolicy& policy, const slowdown::AppPool* pool,
-            SchedulerConfig config);
+            SchedulerConfig config, const obs::Observer* observer = nullptr);
 
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
@@ -238,6 +242,11 @@ class Scheduler {
   void take_sample();
   [[nodiscard]] MiB current_used_memory() const;
 
+  /// Emit a job lifecycle event (guarded; no-op when tracing is off).
+  void trace_job(obs::EventKind kind, JobId id, const char* detail = nullptr);
+  /// Copy the final SchedulerTotals into the counters registry.
+  void publish_totals();
+
   sim::Engine& engine_;
   cluster::Cluster& cluster_;
   policy::AllocationPolicy& policy_;
@@ -265,6 +274,13 @@ class Scheduler {
   double busy_integral_ = 0.0;       // nodes * seconds
   int busy_nodes_ = 0;
   Seconds horizon_ = 0.0;  // latest event time observed
+
+  // Observability (all nullptr when disabled).
+  const obs::Observer* obs_ = nullptr;
+  std::uint64_t* c_submits_ = nullptr;
+  std::uint64_t* c_backfill_attempts_ = nullptr;
+  obs::Gauge* g_queue_depth_ = nullptr;
+  obs::Gauge* g_running_ = nullptr;
 };
 
 }  // namespace dmsim::sched

@@ -5,12 +5,25 @@
 
 namespace dmsim::sim {
 
+void Engine::set_observer(const obs::Observer* observer) {
+  trace_ = observer != nullptr ? observer->sink : nullptr;
+  c_scheduled_ = obs::counter_handle(observer, "engine.scheduled");
+  c_fired_ = obs::counter_handle(observer, "engine.fired");
+  c_cancelled_ = obs::counter_handle(observer, "engine.cancelled");
+}
+
 EventId Engine::schedule(Seconds when, Callback fn) {
   DMSIM_ASSERT(when >= now_, "cannot schedule an event in the past");
   DMSIM_ASSERT(fn != nullptr, "event callback must be callable");
   const std::uint64_t id = next_id_++;
   queue_.push(Entry{when, next_seq_++, id});
   callbacks_.emplace(id, std::move(fn));
+  obs::bump(c_scheduled_);
+  if (trace_) {
+    obs::Event e{obs::EventKind::EngineSchedule, now_};
+    e.when = when;
+    trace_->emit(e.with("id", static_cast<std::int64_t>(id)));
+  }
   return EventId{id};
 }
 
@@ -20,6 +33,11 @@ void Engine::cancel(EventId id) {
   if (it == callbacks_.end()) return;  // already fired or cancelled+drained
   callbacks_.erase(it);
   cancelled_.insert(id.value);
+  obs::bump(c_cancelled_);
+  if (trace_) {
+    trace_->emit(obs::Event{obs::EventKind::EngineCancel, now_}.with(
+        "id", static_cast<std::int64_t>(id.value)));
+  }
 }
 
 bool Engine::step() {
@@ -37,6 +55,11 @@ bool Engine::step() {
     DMSIM_ASSERT(top.time >= now_, "event queue went backwards in time");
     now_ = top.time;
     ++executed_;
+    obs::bump(c_fired_);
+    if (trace_) {
+      trace_->emit(obs::Event{obs::EventKind::EngineFire, now_}.with(
+          "id", static_cast<std::int64_t>(top.id)));
+    }
     fn();
     return true;
   }

@@ -14,6 +14,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/observer.hpp"
 #include "util/error.hpp"
 #include "util/units.hpp"
 
@@ -26,7 +27,7 @@ struct EventId {
   friend constexpr bool operator==(EventId, EventId) noexcept = default;
 };
 
-class Engine {
+class Engine : public obs::Clock {
  public:
   using Callback = std::function<void()>;
 
@@ -35,6 +36,12 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
 
   [[nodiscard]] Seconds now() const noexcept { return now_; }
+  [[nodiscard]] Seconds sim_now() const noexcept override { return now_; }
+
+  /// Wire observability: trace schedule/fire/cancel and register the
+  /// engine.* counters. Pass nullptr to disable (the default); disabled
+  /// instrumentation is one branch on a null pointer per site.
+  void set_observer(const obs::Observer* observer);
 
   /// Schedule `fn` at absolute time `when` (must be >= now()).
   EventId schedule(Seconds when, Callback fn);
@@ -90,6 +97,12 @@ class Engine {
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
+
+  // Observability (all nullptr when disabled).
+  obs::TraceSink* trace_ = nullptr;
+  std::uint64_t* c_scheduled_ = nullptr;
+  std::uint64_t* c_fired_ = nullptr;
+  std::uint64_t* c_cancelled_ = nullptr;
 };
 
 }  // namespace dmsim::sim

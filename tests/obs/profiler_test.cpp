@@ -1,0 +1,67 @@
+#include "obs/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dmsim {
+namespace {
+
+TEST(Profiler, PhasesAccumulateInOrder) {
+  obs::Profiler prof;
+  prof.begin_phase("load");
+  prof.begin_phase("simulate");  // implicitly ends "load"
+  prof.end_phase();
+  prof.end_phase();  // no-op: nothing open
+
+  ASSERT_EQ(prof.phases().size(), 2u);
+  EXPECT_EQ(prof.phases()[0].name, "load");
+  EXPECT_EQ(prof.phases()[1].name, "simulate");
+  EXPECT_GE(prof.phases()[0].wall_seconds, 0.0);
+  EXPECT_GE(prof.total_seconds(), prof.phases()[0].wall_seconds);
+}
+
+TEST(Profiler, ReenteredPhaseSumsInPhaseSeconds) {
+  obs::Profiler prof;
+  prof.begin_phase("sim");
+  prof.end_phase();
+  prof.begin_phase("sim");
+  prof.end_phase();
+  EXPECT_EQ(prof.phases().size(), 2u);  // entries stay separate...
+  EXPECT_GE(prof.phase_seconds("sim"),   // ...but the lookup aggregates
+            prof.phases()[0].wall_seconds);
+  EXPECT_EQ(prof.phase_seconds("missing"), 0.0);
+}
+
+TEST(Profiler, PhaseScopeBrackets) {
+  obs::Profiler prof;
+  {
+    obs::PhaseScope scope(prof, "scoped");
+  }
+  ASSERT_EQ(prof.phases().size(), 1u);
+  EXPECT_EQ(prof.phases()[0].name, "scoped");
+}
+
+TEST(ThroughputReport, Ratios) {
+  obs::ThroughputReport r{10000, 5000.0, 2.0};
+  EXPECT_DOUBLE_EQ(r.events_per_second(), 5000.0);
+  EXPECT_DOUBLE_EQ(r.sim_seconds_per_wall_second(), 2500.0);
+
+  const obs::ThroughputReport zero{};  // no wall time: no division by zero
+  EXPECT_DOUBLE_EQ(zero.events_per_second(), 0.0);
+  EXPECT_DOUBLE_EQ(zero.sim_seconds_per_wall_second(), 0.0);
+}
+
+TEST(ThroughputReport, PrintedFormIsOneLine) {
+  std::ostringstream out;
+  obs::print_throughput(out, obs::ThroughputReport{87654, 350000.0, 0.07});
+  const std::string s = out.str();
+  EXPECT_NE(s.find("events/s"), std::string::npos);
+  EXPECT_NE(s.find("sim-s/wall-s"), std::string::npos);
+  EXPECT_NE(s.find("87654 events"), std::string::npos);
+  EXPECT_EQ(s.back(), '\n');
+  EXPECT_EQ(s.find('\n'), s.size() - 1);
+}
+
+}  // namespace
+}  // namespace dmsim

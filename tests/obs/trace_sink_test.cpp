@@ -1,0 +1,215 @@
+#include "obs/trace_sink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/simulator.hpp"
+#include "util/error.hpp"
+#include "workload/generator.hpp"
+
+namespace dmsim {
+namespace {
+
+constexpr MiB kGiB = 1024;
+
+// ---------------------------------------------------------------------------
+// Single-event serialization (golden strings)
+
+TEST(NdjsonSink, GoldenEventLines) {
+  std::ostringstream out;
+  obs::NdjsonSink sink(out);
+
+  obs::Event start{obs::EventKind::JobStart, 120.0};
+  start.job = 7;
+  start.node = 3;
+  sink.emit(start.with("nodes", 2).with("mib", 4096));
+
+  obs::Event deny{obs::EventKind::PolicyDeny, 120.5};
+  deny.job = 8;
+  deny.detail = "lenders_dry";
+  sink.emit(deny);
+
+  obs::Event sched{obs::EventKind::EngineSchedule, 0.0};
+  sched.when = 11253.691490279203;
+  sink.emit(sched.with("id", 1));
+
+  sink.close();
+  EXPECT_EQ(out.str(),
+            "{\"t\":120,\"ev\":\"job_start\",\"job\":7,\"node\":3,"
+            "\"nodes\":2,\"mib\":4096}\n"
+            "{\"t\":120.5,\"ev\":\"policy_deny\",\"job\":8,"
+            "\"detail\":\"lenders_dry\"}\n"
+            "{\"t\":0,\"ev\":\"engine_schedule\","
+            "\"when\":11253.691490279203,\"id\":1}\n");
+}
+
+TEST(Event, FieldCapacityIsBounded) {
+  obs::Event e{obs::EventKind::JobStart, 1.0};
+  e.with("a", 1).with("b", 2).with("c", 3).with("d", 4).with("e", 5);
+  EXPECT_EQ(e.num_fields, 4u);  // fifth field dropped, no overflow
+  EXPECT_STREQ(e.fields[3].key, "d");
+}
+
+TEST(TraceFormat, ParseAndReject) {
+  EXPECT_EQ(obs::parse_trace_format("ndjson"), obs::TraceFormat::Ndjson);
+  EXPECT_EQ(obs::parse_trace_format("chrome"), obs::TraceFormat::Chrome);
+  EXPECT_THROW((void)obs::parse_trace_format("xml"), ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-simulation traces
+
+SimulationConfig small_config() {
+  SimulationConfig cfg;
+  cfg.system.total_nodes = 16;
+  cfg.system.pct_large_nodes = 0.25;
+  cfg.policy = policy::PolicyKind::Dynamic;
+  return cfg;
+}
+
+trace::Workload small_workload() {
+  workload::SyntheticWorkloadConfig cfg;
+  cfg.cirne.num_jobs = 48;
+  cfg.cirne.system_nodes = 16;
+  cfg.cirne.max_job_nodes = 4;
+  cfg.pct_large_jobs = 0.4;
+  cfg.overestimation = 0.5;
+  cfg.seed = 11;
+  return workload::generate_synthetic(cfg).jobs;
+}
+
+std::string run_traced(obs::TraceFormat format) {
+  std::ostringstream out;
+  const auto sink = obs::make_sink(format, out);
+  Simulator sim(small_config(), small_workload(), nullptr, sink.get());
+  const SimulationResult r = sim.run();
+  EXPECT_TRUE(r.valid);
+  sink->close();
+  return out.str();
+}
+
+// Same config + seed must produce a byte-identical stream; diffable traces
+// are the whole point (golden files, policy-divergence debugging).
+TEST(NdjsonSink, DeterministicAcrossRuns) {
+  const std::string a = run_traced(obs::TraceFormat::Ndjson);
+  const std::string b = run_traced(obs::TraceFormat::Ndjson);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST(NdjsonSink, EveryLineIsAnObjectWithTimeAndKind) {
+  std::istringstream lines(run_traced(obs::TraceFormat::Ndjson));
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.substr(0, 5), "{\"t\":") << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    EXPECT_NE(line.find("\"ev\":\""), std::string::npos) << line;
+    ++count;
+  }
+  EXPECT_GT(count, 100u);  // 48 jobs produce far more than this
+}
+
+// Minimal structural JSON validation: brace/bracket balance outside of
+// strings, plus the trace-event envelope and paired async begin/end spans.
+void check_balanced_json(const std::string& doc) {
+  int depth_obj = 0;
+  int depth_arr = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : doc) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': ++depth_obj; break;
+      case '}': --depth_obj; break;
+      case '[': ++depth_arr; break;
+      case ']': --depth_arr; break;
+      default: break;
+    }
+    ASSERT_GE(depth_obj, 0);
+    ASSERT_GE(depth_arr, 0);
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(depth_obj, 0);
+  EXPECT_EQ(depth_arr, 0);
+}
+
+std::size_t count_occurrences(const std::string& hay, const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(ChromeTraceSink, WellFormedDocument) {
+  const std::string doc = run_traced(obs::TraceFormat::Chrome);
+  ASSERT_EQ(doc.substr(0, 16), "{\"traceEvents\":[");
+  check_balanced_json(doc);
+  // Every job that starts ends exactly once: async begin/end pairs line up.
+  const std::size_t begins = count_occurrences(doc, "\"ph\":\"b\"");
+  const std::size_t ends = count_occurrences(doc, "\"ph\":\"e\"");
+  EXPECT_GT(begins, 0u);
+  EXPECT_EQ(begins, ends);
+  EXPECT_GT(count_occurrences(doc, "\"ph\":\"i\""), 0u);
+  EXPECT_GT(count_occurrences(doc, "\"ph\":\"C\""), 0u);
+}
+
+TEST(ChromeTraceSink, DeterministicAcrossRuns) {
+  EXPECT_EQ(run_traced(obs::TraceFormat::Chrome),
+            run_traced(obs::TraceFormat::Chrome));
+}
+
+// ---------------------------------------------------------------------------
+// File sinks and edge cases
+
+TEST(FileSink, WritesAndCloses) {
+  const std::string path = "trace_sink_test_out.ndjson";
+  {
+    const auto sink = obs::make_file_sink(obs::TraceFormat::Ndjson, path);
+    obs::Event e{obs::EventKind::JobComplete, 9.0};
+    e.job = 1;
+    sink->emit(e);
+    sink->close();
+    sink->close();  // idempotent
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "{\"t\":9,\"ev\":\"job_complete\",\"job\":1}");
+  in.close();
+  std::remove(path.c_str());
+}
+
+TEST(FileSink, ThrowsWhenUnopenable) {
+  EXPECT_THROW(
+      (void)obs::make_file_sink(obs::TraceFormat::Ndjson,
+                                "no/such/dir/trace.ndjson"),
+      ConfigError);
+}
+
+TEST(NullSink, SwallowsEverything) {
+  obs::NullSink sink;
+  obs::Event e{obs::EventKind::MemLend, 1.0};
+  sink.emit(e.with("mib", 4 * kGiB));
+  sink.close();  // nothing to verify beyond "does not crash"
+}
+
+}  // namespace
+}  // namespace dmsim

@@ -9,8 +9,12 @@
 //   dmsim_run --config cluster.conf --swf jobs.swf --usage jobs.usage
 //   dmsim_run --config cluster.conf --export-swf out.swf --export-usage out.usage
 //   dmsim_run --config cluster.conf --jobs-csv records.csv --samples-csv util.csv
+//   dmsim_run --config cluster.conf --trace run.ndjson --counters
+//   dmsim_run --config cluster.conf --trace run.json --trace-format chrome
+#include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -37,6 +41,9 @@ struct Options {
   std::optional<std::string> json_out;
   std::optional<std::string> profiles_path;
   std::optional<std::string> export_profiles;
+  std::optional<std::string> trace_path;
+  obs::TraceFormat trace_format = obs::TraceFormat::Ndjson;
+  bool counters = false;
   bool help = false;
 };
 
@@ -53,6 +60,11 @@ void print_usage(std::ostream& os) {
         "  --json FILE          write the full result document (JSON)\n"
         "  --profiles FILE      application profiles for the slowdown model\n"
         "  --export-profiles F  write the app pool used by this run\n"
+        "  --trace FILE         write a structured event trace of the run\n"
+        "  --trace-format FMT   trace format: ndjson (default) or chrome\n"
+        "                       (chrome loads into Perfetto / chrome://tracing)\n"
+        "  --counters           print the counters registry and a self-profile\n"
+        "                       (phase timers, events/sec) after the summary\n"
         "  --help               this text\n";
 }
 
@@ -84,6 +96,12 @@ void print_usage(std::ostream& os) {
       opt.profiles_path = need_value(i, "--profiles");
     } else if (arg == "--export-profiles") {
       opt.export_profiles = need_value(i, "--export-profiles");
+    } else if (arg == "--trace") {
+      opt.trace_path = need_value(i, "--trace");
+    } else if (arg == "--trace-format") {
+      opt.trace_format = obs::parse_trace_format(need_value(i, "--trace-format"));
+    } else if (arg == "--counters") {
+      opt.counters = true;
     } else if (arg == "--help" || arg == "-h") {
       opt.help = true;
     } else {
@@ -125,6 +143,8 @@ void write_jobs_csv(const std::string& path,
         << ','
         << (r.first_start != kNoTime ? r.wait_time() : -1.0) << '\n';
   }
+  out.flush();
+  if (!out.good()) throw ConfigError("failed writing " + path);
 }
 
 void write_samples_csv(const std::string& path,
@@ -136,20 +156,31 @@ void write_samples_csv(const std::string& path,
     out << s.time << ',' << s.allocated << ',' << s.used << ',' << s.busy_nodes
         << ',' << s.pending_jobs << '\n';
   }
+  out.flush();
+  if (!out.good()) throw ConfigError("failed writing " + path);
 }
 
 int run(const Options& opt) {
+  obs::Profiler prof;
+  prof.begin_phase("config");
   harness::FileConfig cfg = harness::parse_config_file(opt.config_path);
 
+  prof.begin_phase("workload");
   trace::Workload jobs;
   slowdown::AppPool apps;
   if (opt.swf_path) {
     const trace::SwfTrace swf = trace::read_swf_file(*opt.swf_path);
     const auto issues = trace::validate_swf(swf);
-    for (const auto& issue : issues) {
+    constexpr std::size_t kMaxPrintedIssues = 20;
+    const std::size_t printed = std::min(issues.size(), kMaxPrintedIssues);
+    for (std::size_t i = 0; i < printed; ++i) {
+      const auto& issue = issues[i];
       std::cerr << "swf warning (record " << issue.record_index
                 << "): " << trace::to_string(issue.kind) << " — "
                 << issue.message << '\n';
+    }
+    if (issues.size() > printed) {
+      std::cerr << "… and " << issues.size() - printed << " more issues\n";
     }
     if (!trace::swf_simulatable(issues)) {
       throw ConfigError("SWF trace has blocking issues; fix them first");
@@ -180,6 +211,7 @@ int run(const Options& opt) {
         "no workload: pass --swf or add workload keys (Jobs=...) to the config");
   }
 
+  prof.begin_phase("exports");
   if (opt.export_swf) {
     trace::write_swf_file(*opt.export_swf,
                           trace::to_swf(jobs, cfg.simulation.system.cores_per_node));
@@ -200,8 +232,22 @@ int run(const Options& opt) {
     cfg.simulation.sched.sample_interval = 300.0;  // sensible default
   }
 
-  Simulator sim(cfg.simulation, jobs, &apps);
+  std::unique_ptr<obs::TraceSink> sink;
+  if (opt.trace_path) {
+    sink = obs::make_file_sink(opt.trace_format, *opt.trace_path);
+  }
+  obs::Counters counters;
+
+  prof.begin_phase("simulate");
+  Simulator sim(cfg.simulation, jobs, &apps, sink.get(),
+                opt.counters ? &counters : nullptr);
   const SimulationResult result = sim.run();
+  prof.begin_phase("write-results");
+
+  if (sink) {
+    sink->close();
+    std::cout << "wrote event trace to " << *opt.trace_path << '\n';
+  }
 
   util::TextTable table("dmsim_run summary");
   table.set_header({"metric", "value"});
@@ -249,7 +295,36 @@ int run(const Options& opt) {
     std::ofstream out(*opt.json_out);
     if (!out) throw ConfigError("cannot open " + *opt.json_out);
     out << metrics::to_json(result) << '\n';
+    out.flush();
+    if (!out.good()) throw ConfigError("failed writing " + *opt.json_out);
     std::cout << "wrote JSON result to " << *opt.json_out << '\n';
+  }
+  prof.end_phase();
+
+  if (opt.counters) {
+    const obs::CountersSnapshot snap = counters.snapshot();
+    util::TextTable ctable("counters");
+    ctable.set_header({"counter", "value"});
+    for (const auto& c : snap.counters) {
+      ctable.add_row({c.name, std::to_string(c.value)});
+    }
+    for (const auto& g : snap.gauges) {
+      ctable.add_row({g.name + " (high water)", std::to_string(g.high_water)});
+    }
+    ctable.print(std::cout);
+
+    util::TextTable ptable("self-profile");
+    ptable.set_header({"phase", "wall (s)"});
+    for (const auto& phase : prof.phases()) {
+      ptable.add_row({phase.name, util::fmt(phase.wall_seconds, 3)});
+    }
+    ptable.add_row({"total", util::fmt(prof.total_seconds(), 3)});
+    ptable.print(std::cout);
+
+    const obs::ThroughputReport throughput{
+        result.engine_events, result.summary.makespan(),
+        prof.phase_seconds("simulate")};
+    obs::print_throughput(std::cout, throughput);
   }
   return result.valid ? 0 : 2;
 }
