@@ -16,26 +16,32 @@ using namespace dmsim;
 
 struct Row {
   std::string name;
-  harness::CellResult result;
+  bench::Runner::Handle handle;
 };
 
-void print_rows(const std::string& title, const std::vector<Row>& rows) {
-  util::TextTable table(title);
+struct Block {
+  std::string title;
+  std::vector<Row> rows;
+};
+
+void print_block(const bench::Runner& runner, const Block& block) {
+  util::TextTable table(block.title);
   table.set_header({"variant", "throughput(jobs/s)", "median resp(s)",
                     "oom events", "requeues", "updates"});
-  for (const auto& r : rows) {
-    if (!r.result.valid) {
+  for (const auto& r : block.rows) {
+    const harness::CellResult& result = runner.get(r.handle);
+    if (!result.valid) {
       table.add_row({r.name, "-", "-", "-", "-", "-"});
       continue;
     }
-    const util::Ecdf ecdf(r.result.summary.response_times);
+    const util::Ecdf ecdf(result.summary.response_times);
     table.add_row({
         r.name,
-        util::fmt_sci(r.result.throughput(), 3),
+        util::fmt_sci(result.throughput(), 3),
         util::fmt(ecdf.empty() ? 0.0 : ecdf.quantile(0.5), 0),
-        std::to_string(r.result.totals.oom_events),
-        std::to_string(r.result.totals.requeues),
-        std::to_string(r.result.totals.update_events),
+        std::to_string(result.totals.oom_events),
+        std::to_string(result.totals.requeues),
+        std::to_string(result.totals.update_events),
     });
   }
   table.print(std::cout);
@@ -45,133 +51,140 @@ void print_rows(const std::string& title, const std::vector<Row>& rows) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto scale = bench::parse_scale(argc, argv);
-  bench::print_scale_banner(scale, "Ablations — policy design choices");
-  bench::WorkloadCache cache(scale);
+  const auto opts = bench::parse_options(argc, argv);
+  bench::print_scale_banner(opts, "Ablations — policy design choices");
+  bench::WorkloadCache cache(opts.scale);
+  bench::Runner runner("ablation_policy", opts);
   const auto& w = cache.get(0.5, 0.6);
+  const auto& hot = cache.get(1.0, 1.0);
 
   harness::SystemConfig sys;
-  sys.total_nodes = scale.synth_nodes;
+  sys.total_nodes = opts.scale.synth_nodes;
   sys.pct_large_nodes = 0.25;
+
+  std::vector<Block> blocks;
+  const auto add = [&](Block& block, std::string name,
+                       const harness::SystemConfig& system,
+                       const sched::SchedulerConfig& sched,
+                       const trace::Workload& jobs,
+                       const slowdown::AppPool& apps) {
+    block.rows.push_back({name, runner.add(system, policy::PolicyKind::Dynamic,
+                                           jobs, apps, name, sched)});
+  };
 
   // (1) Update interval sweep.
   {
-    std::vector<Row> rows;
+    Block block{"Ablation 1 | Monitor update interval (paper: 5 min)", {}};
     for (const double interval : {60.0, 300.0, 900.0, 1800.0, 3600.0}) {
-      harness::CellConfig cell;
-      cell.system = sys;
-      cell.policy = policy::PolicyKind::Dynamic;
-      cell.sched.update_interval = interval;
-      rows.push_back({util::fmt(interval / 60.0, 0) + " min",
-                      harness::run_cell(cell, w.jobs, w.apps)});
+      sched::SchedulerConfig sched;
+      sched.update_interval = interval;
+      add(block, util::fmt(interval / 60.0, 0) + " min", sys, sched, w.jobs,
+          w.apps);
     }
-    print_rows("Ablation 1 | Monitor update interval (paper: 5 min)", rows);
+    blocks.push_back(std::move(block));
   }
 
   // (2) F/R vs C/R on a hot cell (100% large, +100% overestimation, 50%
   // memory — the paper's worst-case scenario for OOM frequency).
   {
-    const auto& hot = cache.get(1.0, 1.0);
     harness::SystemConfig hot_sys;
-    hot_sys.total_nodes = scale.synth_nodes;
+    hot_sys.total_nodes = opts.scale.synth_nodes;
     hot_sys.pct_large_nodes = 0.5;
-    std::vector<Row> rows;
+    Block block{
+        "Ablation 2 | OOM handling on the worst case (100% large, +100%, 50% sys)",
+        {}};
     for (const auto handling :
          {sched::OomHandling::FailRestart, sched::OomHandling::CheckpointRestart}) {
-      harness::CellConfig cell;
-      cell.system = hot_sys;
-      cell.policy = policy::PolicyKind::Dynamic;
-      cell.sched.oom_handling = handling;
-      const char* name =
-          handling == sched::OomHandling::FailRestart ? "Fail/Restart" : "Checkpoint/Restart";
-      rows.push_back({name, harness::run_cell(cell, hot.jobs, hot.apps)});
+      sched::SchedulerConfig sched;
+      sched.oom_handling = handling;
+      const char* name = handling == sched::OomHandling::FailRestart
+                             ? "Fail/Restart"
+                             : "Checkpoint/Restart";
+      add(block, name, hot_sys, sched, hot.jobs, hot.apps);
     }
-    print_rows(
-        "Ablation 2 | OOM handling on the worst case (100% large, +100%, 50% sys)",
-        rows);
-    if (rows[0].result.valid) {
-      std::cout << "OOM job fraction under F/R: "
-                << util::fmt_pct(rows[0].result.summary.oom_job_fraction(), 2)
-                << " (paper SS2.2: < 1% of jobs)\n\n";
-    }
+    blocks.push_back(std::move(block));
   }
 
   // (3) Lender selection policy.
   {
-    std::vector<Row> rows;
+    Block block{"Ablation 3 | lender selection for remote borrowing", {}};
     for (const auto& [name, lp] :
          {std::pair{"memory-nodes-first", cluster::LenderPolicy::MemoryNodesFirst},
           {"most-free", cluster::LenderPolicy::MostFree},
           {"least-free", cluster::LenderPolicy::LeastFree}}) {
-      harness::CellConfig cell;
-      cell.system = sys;
-      cell.system.lender_policy = lp;
-      cell.policy = policy::PolicyKind::Dynamic;
-      rows.push_back({name, harness::run_cell(cell, w.jobs, w.apps)});
+      harness::SystemConfig lender_sys = sys;
+      lender_sys.lender_policy = lp;
+      add(block, name, lender_sys, {}, w.jobs, w.apps);
     }
-    print_rows("Ablation 3 | lender selection for remote borrowing", rows);
+    blocks.push_back(std::move(block));
   }
 
   // (4) Fairness mitigation.
   {
-    std::vector<Row> rows;
+    Block block{"Ablation 4 | guaranteed allocation after N OOM failures", {}};
     for (const int after : {0, 1, 3, 10}) {
-      harness::CellConfig cell;
-      cell.system = sys;
-      cell.policy = policy::PolicyKind::Dynamic;
-      cell.sched.guaranteed_after_failures = after;
-      rows.push_back({after == 0 ? "off" : ("after " + std::to_string(after)),
-                      harness::run_cell(cell, w.jobs, w.apps)});
+      sched::SchedulerConfig sched;
+      sched.guaranteed_after_failures = after;
+      add(block, after == 0 ? "off" : ("after " + std::to_string(after)), sys,
+          sched, w.jobs, w.apps);
     }
-    print_rows("Ablation 4 | guaranteed allocation after N OOM failures", rows);
+    blocks.push_back(std::move(block));
   }
 
   // (5) Update delivery: per-job staggered monitors vs the simulator's
   // global batch timer (§2.3).
   {
-    std::vector<Row> rows;
+    Block block{"Ablation 5 | Monitor update delivery mode", {}};
     for (const auto& [name, mode] :
          {std::pair{"per-job staggered", sched::UpdateMode::PerJobStaggered},
           {"global batch", sched::UpdateMode::GlobalBatch}}) {
-      harness::CellConfig cell;
-      cell.system = sys;
-      cell.policy = policy::PolicyKind::Dynamic;
-      cell.sched.update_mode = mode;
-      rows.push_back({name, harness::run_cell(cell, w.jobs, w.apps)});
+      sched::SchedulerConfig sched;
+      sched.update_mode = mode;
+      add(block, name, sys, sched, w.jobs, w.apps);
     }
-    print_rows("Ablation 5 | Monitor update delivery mode", rows);
+    blocks.push_back(std::move(block));
   }
 
   // (6) Priority boost per failure (§2.2 alternative mitigation).
   {
-    std::vector<Row> rows;
+    Block block{"Ablation 6 | priority boost per OOM failure", {}};
     for (const int boost : {0, 1, 5}) {
-      harness::CellConfig cell;
-      cell.system = sys;
-      cell.policy = policy::PolicyKind::Dynamic;
-      cell.sched.priority_boost_per_failure = boost;
-      cell.sched.guaranteed_after_failures = 0;
-      rows.push_back({boost == 0 ? "off" : ("+" + std::to_string(boost) + "/fail"),
-                      harness::run_cell(cell, w.jobs, w.apps)});
+      sched::SchedulerConfig sched;
+      sched.priority_boost_per_failure = boost;
+      sched.guaranteed_after_failures = 0;
+      add(block, boost == 0 ? "off" : ("+" + std::to_string(boost) + "/fail"),
+          sys, sched, w.jobs, w.apps);
     }
-    print_rows("Ablation 6 | priority boost per OOM failure", rows);
+    blocks.push_back(std::move(block));
   }
 
   // (7) Backfill flavour (paper uses Slurm's EASY-style backfill).
   {
-    std::vector<Row> rows;
+    Block block{"Ablation 7 | backfill flavour", {}};
     for (const auto& [name, mode] :
          {std::pair{"off", sched::BackfillMode::Off},
           {"easy (paper)", sched::BackfillMode::Easy},
           {"conservative", sched::BackfillMode::Conservative}}) {
-      harness::CellConfig cell;
-      cell.system = sys;
-      cell.policy = policy::PolicyKind::Dynamic;
-      cell.sched.backfill_mode = mode;
-      rows.push_back({name, harness::run_cell(cell, w.jobs, w.apps)});
+      sched::SchedulerConfig sched;
+      sched.backfill_mode = mode;
+      add(block, name, sys, sched, w.jobs, w.apps);
     }
-    print_rows("Ablation 7 | backfill flavour", rows);
+    blocks.push_back(std::move(block));
   }
-  dmsim::bench::print_throughput_tally();
+
+  runner.run();
+
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    print_block(runner, blocks[b]);
+    if (b == 1) {  // ablation 2 footnote: OOM frequency under F/R
+      const harness::CellResult& fr = runner.get(blocks[b].rows[0].handle);
+      if (fr.valid) {
+        std::cout << "OOM job fraction under F/R: "
+                  << util::fmt_pct(fr.summary.oom_job_fraction(), 2)
+                  << " (paper SS2.2: < 1% of jobs)\n\n";
+      }
+    }
+  }
+  runner.finish();
   return 0;
 }

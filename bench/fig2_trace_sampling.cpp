@@ -8,8 +8,9 @@
 
 int main(int argc, char** argv) {
   using namespace dmsim;
-  const auto scale = bench::parse_scale(argc, argv);
-  bench::print_scale_banner(scale, "Figure 2 — Grizzly week sampling");
+  const auto opts = bench::parse_options(argc, argv);
+  const auto& scale = opts.scale;
+  bench::print_scale_banner(opts, "Figure 2 — Grizzly week sampling");
 
   workload::GrizzlyConfig cfg;
   cfg.weeks = scale.grizzly_weeks;
@@ -50,5 +51,6 @@ int main(int argc, char** argv) {
             << " utilization: " << eligible << "; randomly selected for "
             << "simulation: " << selected
             << " (paper: 7 representative high-utilization weeks)\n";
+  bench::finish_bench("fig2_trace_sampling", opts);
   return 0;
 }

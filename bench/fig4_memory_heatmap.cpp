@@ -55,8 +55,9 @@ void print_heatmap(const char* title, const double (&cells)[5][8],
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto scale = bench::parse_scale(argc, argv);
-  bench::print_scale_banner(scale, "Figure 4 — memory heatmaps vs job size");
+  const auto opts = bench::parse_options(argc, argv);
+  const auto& scale = opts.scale;
+  bench::print_scale_banner(opts, "Figure 4 — memory heatmaps vs job size");
 
   bench::WorkloadCache cache(scale);
   const auto& w = cache.get(0.5, 0.0);
@@ -85,6 +86,6 @@ int main(int argc, char** argv) {
   }
   std::cout << "aggregate avg/max usage ratio: " << util::fmt(avg_sum / peak_sum, 3)
             << " (avg is much lower than max => reclaimable gap)\n";
-  dmsim::bench::print_throughput_tally();
+  dmsim::bench::finish_bench("fig4_memory_heatmap", opts);
   return 0;
 }

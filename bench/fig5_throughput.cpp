@@ -5,49 +5,112 @@
 // Throughput is normalized by the Baseline policy on the 100%-memory system
 // (per job mix, +0% overestimation). "-" marks a missing bar: the system
 // cannot run the mix at all under that policy.
+//
+// Two-phase structure: the whole figure grid — every (mix, overestimation,
+// system, policy) cell plus the per-mix normalization references — is
+// enqueued first, executed in one parallel fan-out, then formatted. The
+// printed tables are byte-identical at any --threads setting.
+#include <array>
+#include <map>
+
 #include "bench_common.hpp"
 
 namespace {
 
 using namespace dmsim;
 
-void synthetic_panel(bench::WorkloadCache& cache, const bench::Scale& scale,
-                     double overestimation) {
-  const double mixes[] = {0.0, 0.15, 0.25, 0.50, 0.75, 1.00};
-  const auto ladder = bench::figure_ladder(scale.synth_nodes);
+constexpr std::array kPolicies = {policy::PolicyKind::Baseline,
+                                  policy::PolicyKind::Static,
+                                  policy::PolicyKind::Dynamic};
+constexpr double kMixes[] = {0.0, 0.15, 0.25, 0.50, 0.75, 1.00};
 
-  for (const double mix : mixes) {
-    const auto& w = cache.get(mix, overestimation);
-    const double ref = bench::baseline_reference(cache, mix, scale.synth_nodes);
-    util::TextTable table("Fig 5 | jobs large " + util::fmt_pct(mix, 0) +
-                          " | overestimation +" +
-                          util::fmt(overestimation * 100, 0) + "%");
-    table.set_header({"mem%", "baseline", "static", "dynamic", "oom_jobs%"});
-    for (const auto& sys : ladder) {
-      std::vector<std::string> row = {bench::mem_label(sys)};
-      double oom_fraction = 0.0;
-      for (const auto kind : {policy::PolicyKind::Baseline,
-                              policy::PolicyKind::Static,
-                              policy::PolicyKind::Dynamic}) {
-        const auto r = bench::run_policy(sys, kind, w.jobs, w.apps);
-        if (!r.valid) {
-          row.push_back("-");
-        } else {
-          row.push_back(util::fmt(ref > 0 ? r.throughput() / ref : 0.0, 3));
-          if (kind == policy::PolicyKind::Dynamic) {
-            oom_fraction = r.summary.oom_job_fraction();
-          }
-        }
-      }
-      row.push_back(util::fmt_pct(oom_fraction, 2));
-      table.add_row(std::move(row));
-    }
-    table.print(std::cout);
-    std::cout << '\n';
+struct SynthPanel {
+  double overestimation = 0.0;
+  double mix = 0.0;
+  bench::Runner::Handle reference;
+  std::vector<std::array<bench::Runner::Handle, 3>> rows;  // per ladder step
+};
+
+struct GrizzlyPanel {
+  double overestimation = 0.0;
+  int week = 0;
+  workload::GrizzlyTrace trace;
+  trace::Workload jobs;
+  trace::Workload exact_jobs;  // +0% requests, for the reference cell
+  bench::Runner::Handle reference;
+  std::vector<std::array<bench::Runner::Handle, 3>> rows;
+};
+
+SynthPanel enqueue_synthetic(bench::Runner& runner, bench::WorkloadCache& cache,
+                             const bench::Scale& scale, double mix,
+                             double overestimation,
+                             std::map<double, bench::Runner::Handle>& refs) {
+  SynthPanel panel;
+  panel.overestimation = overestimation;
+  panel.mix = mix;
+  // Reference: Baseline, 100% large nodes, +0% requests — shared by the
+  // +0% and +60% panels of the same mix.
+  if (const auto it = refs.find(mix); it != refs.end()) {
+    panel.reference = it->second;
+  } else {
+    const auto& exact = cache.get(mix, 0.0);
+    harness::SystemConfig full;
+    full.total_nodes = scale.synth_nodes;
+    full.pct_large_nodes = 1.0;
+    panel.reference =
+        runner.add(full, policy::PolicyKind::Baseline, exact.jobs, exact.apps,
+                   "ref mix=" + util::fmt_pct(mix, 0));
+    refs.emplace(mix, panel.reference);
   }
+  const auto& w = cache.get(mix, overestimation);
+  for (const auto& sys : bench::figure_ladder(scale.synth_nodes)) {
+    std::array<bench::Runner::Handle, 3> row;
+    for (std::size_t k = 0; k < kPolicies.size(); ++k) {
+      row[k] = runner.add(sys, kPolicies[k], w.jobs, w.apps,
+                          "synth mix=" + util::fmt_pct(mix, 0) + " over=" +
+                              util::fmt_pct(overestimation, 0) + " mem=" +
+                              bench::mem_label(sys) + " p=" +
+                              std::to_string(k));
+    }
+    panel.rows.push_back(row);
+  }
+  return panel;
 }
 
-void grizzly_panel(const bench::Scale& scale, double overestimation) {
+void print_synthetic(const bench::Runner& runner, const bench::Scale& scale,
+                     const SynthPanel& panel) {
+  const auto& ref_cell = runner.get(panel.reference);
+  const double ref = ref_cell.valid ? ref_cell.throughput() : 0.0;
+  util::TextTable table("Fig 5 | jobs large " + util::fmt_pct(panel.mix, 0) +
+                        " | overestimation +" +
+                        util::fmt(panel.overestimation * 100, 0) + "%");
+  table.set_header({"mem%", "baseline", "static", "dynamic", "oom_jobs%"});
+  const auto ladder = bench::figure_ladder(scale.synth_nodes);
+  for (std::size_t s = 0; s < ladder.size(); ++s) {
+    std::vector<std::string> row = {bench::mem_label(ladder[s])};
+    double oom_fraction = 0.0;
+    for (std::size_t k = 0; k < kPolicies.size(); ++k) {
+      const auto& r = runner.get(panel.rows[s][k]);
+      if (!r.valid) {
+        row.push_back("-");
+      } else {
+        row.push_back(util::fmt(ref > 0 ? r.throughput() / ref : 0.0, 3));
+        if (kPolicies[k] == policy::PolicyKind::Dynamic) {
+          oom_fraction = r.summary.oom_job_fraction();
+        }
+      }
+    }
+    row.push_back(util::fmt_pct(oom_fraction, 2));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+GrizzlyPanel enqueue_grizzly(bench::Runner& runner, const bench::Scale& scale,
+                             double overestimation) {
+  GrizzlyPanel panel;
+  panel.overestimation = overestimation;
   workload::GrizzlyConfig gcfg;
   gcfg.weeks = scale.grizzly_weeks;
   gcfg.system_nodes = scale.grizzly_nodes;
@@ -55,38 +118,54 @@ void grizzly_panel(const bench::Scale& scale, double overestimation) {
   gcfg.sample_weeks = 1;
   gcfg.overestimation = overestimation;
   gcfg.seed = scale.seed;
-  const workload::GrizzlyTrace trace = workload::generate_grizzly(gcfg);
-  int week = 0;
-  for (const auto& wk : trace.weeks) {
+  panel.trace = workload::generate_grizzly(gcfg);
+  for (const auto& wk : panel.trace.weeks) {
     if (wk.selected) {
-      week = wk.index;
+      panel.week = wk.index;
       break;
     }
   }
-  const trace::Workload jobs = materialize_grizzly_week(gcfg, trace, week);
+  panel.jobs = materialize_grizzly_week(gcfg, panel.trace, panel.week);
 
   // Reference: baseline on 100% large nodes with exact (+0%) requests.
   workload::GrizzlyConfig exact = gcfg;
   exact.overestimation = 0.0;
-  const trace::Workload exact_jobs = materialize_grizzly_week(exact, trace, week);
+  panel.exact_jobs = materialize_grizzly_week(exact, panel.trace, panel.week);
   harness::SystemConfig full;
   full.total_nodes = scale.grizzly_nodes;
   full.pct_large_nodes = 1.0;
-  const auto ref_run =
-      bench::run_policy(full, policy::PolicyKind::Baseline, exact_jobs, trace.apps);
-  const double ref = ref_run.valid ? ref_run.throughput() : 0.0;
-
-  util::TextTable table("Fig 5 | Grizzly trace (week " + std::to_string(week) +
-                        ", " + std::to_string(jobs.size()) +
-                        " jobs) | overestimation +" +
-                        util::fmt(overestimation * 100, 0) + "%");
-  table.set_header({"mem%", "baseline", "static", "dynamic"});
+  panel.reference = runner.add(full, policy::PolicyKind::Baseline,
+                               panel.exact_jobs, panel.trace.apps,
+                               "grizzly ref over=" +
+                                   util::fmt_pct(overestimation, 0));
   for (const auto& sys : bench::figure_ladder(scale.grizzly_nodes)) {
-    std::vector<std::string> row = {bench::mem_label(sys)};
-    for (const auto kind : {policy::PolicyKind::Baseline,
-                            policy::PolicyKind::Static,
-                            policy::PolicyKind::Dynamic}) {
-      const auto r = bench::run_policy(sys, kind, jobs, trace.apps);
+    std::array<bench::Runner::Handle, 3> row;
+    for (std::size_t k = 0; k < kPolicies.size(); ++k) {
+      row[k] = runner.add(sys, kPolicies[k], panel.jobs, panel.trace.apps,
+                          "grizzly over=" + util::fmt_pct(overestimation, 0) +
+                              " mem=" + bench::mem_label(sys) + " p=" +
+                              std::to_string(k));
+    }
+    panel.rows.push_back(row);
+  }
+  return panel;
+}
+
+void print_grizzly(const bench::Runner& runner, const bench::Scale& scale,
+                   const GrizzlyPanel& panel) {
+  const auto& ref_cell = runner.get(panel.reference);
+  const double ref = ref_cell.valid ? ref_cell.throughput() : 0.0;
+  util::TextTable table("Fig 5 | Grizzly trace (week " +
+                        std::to_string(panel.week) + ", " +
+                        std::to_string(panel.jobs.size()) +
+                        " jobs) | overestimation +" +
+                        util::fmt(panel.overestimation * 100, 0) + "%");
+  table.set_header({"mem%", "baseline", "static", "dynamic"});
+  const auto ladder = bench::figure_ladder(scale.grizzly_nodes);
+  for (std::size_t s = 0; s < ladder.size(); ++s) {
+    std::vector<std::string> row = {bench::mem_label(ladder[s])};
+    for (std::size_t k = 0; k < kPolicies.size(); ++k) {
+      const auto& r = runner.get(panel.rows[s][k]);
       row.push_back(r.valid
                         ? util::fmt(ref > 0 ? r.throughput() / ref : 0.0, 3)
                         : "-");
@@ -100,13 +179,35 @@ void grizzly_panel(const bench::Scale& scale, double overestimation) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto scale = dmsim::bench::parse_scale(argc, argv);
-  dmsim::bench::print_scale_banner(scale, "Figure 5 — throughput vs provisioned memory");
-  dmsim::bench::WorkloadCache cache(scale);
+  const auto opts = dmsim::bench::parse_options(argc, argv);
+  dmsim::bench::print_scale_banner(
+      opts, "Figure 5 — throughput vs provisioned memory");
+  dmsim::bench::WorkloadCache cache(opts.scale);
+  dmsim::bench::Runner runner("fig5_throughput", opts);
+
+  // Phase 1: enqueue the whole grid.
+  std::map<double, dmsim::bench::Runner::Handle> refs;
+  std::vector<SynthPanel> synth_panels;
+  std::vector<GrizzlyPanel> grizzly_panels;
   for (const double overestimation : {0.0, 0.6}) {
-    synthetic_panel(cache, scale, overestimation);
-    grizzly_panel(scale, overestimation);
+    for (const double mix : kMixes) {
+      synth_panels.push_back(enqueue_synthetic(runner, cache, opts.scale, mix,
+                                               overestimation, refs));
+    }
+    grizzly_panels.push_back(enqueue_grizzly(runner, opts.scale, overestimation));
   }
-  dmsim::bench::print_throughput_tally();
+
+  // Phase 2: one parallel fan-out over every cell.
+  runner.run();
+
+  // Phase 3: format, in the figure's panel order.
+  for (std::size_t block = 0; block < grizzly_panels.size(); ++block) {
+    for (std::size_t m = 0; m < std::size(kMixes); ++m) {
+      print_synthetic(runner, opts.scale,
+                      synth_panels[block * std::size(kMixes) + m]);
+    }
+    print_grizzly(runner, opts.scale, grizzly_panels[block]);
+  }
+  runner.finish();
   return 0;
 }

@@ -12,28 +12,45 @@ namespace {
 
 using namespace dmsim;
 
-void panel(bench::WorkloadCache& cache, const bench::Scale& scale,
-           const char* name, double pct_large_nodes, double overestimation) {
+struct Panel {
+  const char* name;
+  double overestimation;
+  bench::Runner::Handle stat;
+  bench::Runner::Handle dyn;
+};
+
+Panel enqueue_panel(bench::Runner& runner, bench::WorkloadCache& cache,
+                    const bench::Scale& scale, const char* name,
+                    double pct_large_nodes, double overestimation) {
   const auto& w = cache.get(0.5, overestimation);
   harness::SystemConfig sys;
   sys.total_nodes = scale.synth_nodes;
   sys.pct_large_nodes = pct_large_nodes;
+  const std::string suffix = std::string(name) + " over=" +
+                             util::fmt_pct(overestimation, 0);
+  Panel panel{name, overestimation, {}, {}};
+  panel.stat = runner.add(sys, policy::PolicyKind::Static, w.jobs, w.apps,
+                          "static " + suffix);
+  panel.dyn = runner.add(sys, policy::PolicyKind::Dynamic, w.jobs, w.apps,
+                         "dynamic " + suffix);
+  return panel;
+}
 
-  const auto stat =
-      bench::run_policy(sys, policy::PolicyKind::Static, w.jobs, w.apps);
-  const auto dyn =
-      bench::run_policy(sys, policy::PolicyKind::Dynamic, w.jobs, w.apps);
+void print_panel(const bench::Runner& runner, const Panel& panel) {
+  const auto& stat = runner.get(panel.stat);
+  const auto& dyn = runner.get(panel.dyn);
   if (!stat.valid || !dyn.valid) {
-    std::cout << "== Fig 6 | " << name << " | +"
-              << util::fmt(overestimation * 100, 0)
+    std::cout << "== Fig 6 | " << panel.name << " | +"
+              << util::fmt(panel.overestimation * 100, 0)
               << "% == : configuration cannot run the mix\n\n";
     return;
   }
   const util::Ecdf es(stat.summary.response_times);
   const util::Ecdf ed(dyn.summary.response_times);
 
-  util::TextTable table(std::string("Fig 6 | ") + name + " | overestimation +" +
-                        util::fmt(overestimation * 100, 0) + "%");
+  util::TextTable table(std::string("Fig 6 | ") + panel.name +
+                        " | overestimation +" +
+                        util::fmt(panel.overestimation * 100, 0) + "%");
   table.set_header({"ECDF quantile", "static resp(s)", "dynamic resp(s)",
                     "dynamic/static"});
   for (const double q : {0.10, 0.25, 0.50, 0.75, 0.90, 0.99}) {
@@ -53,16 +70,25 @@ void panel(bench::WorkloadCache& cache, const bench::Scale& scale,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto scale = dmsim::bench::parse_scale(argc, argv);
-  dmsim::bench::print_scale_banner(scale, "Figure 6 — response time ECDF");
-  dmsim::bench::WorkloadCache cache(scale);
+  const auto opts = dmsim::bench::parse_options(argc, argv);
+  dmsim::bench::print_scale_banner(opts, "Figure 6 — response time ECDF");
+  dmsim::bench::WorkloadCache cache(opts.scale);
+  dmsim::bench::Runner runner("fig6_response_time", opts);
+
+  std::vector<Panel> panels;
   for (const double overestimation : {0.0, 0.6}) {
-    panel(cache, scale, "overprovisioned (75% large nodes)", 0.75,
-          overestimation);
-    panel(cache, scale, "matching (50% large nodes)", 0.50, overestimation);
-    panel(cache, scale, "underprovisioned (25% large nodes)", 0.25,
-          overestimation);
+    panels.push_back(enqueue_panel(runner, cache, opts.scale,
+                                   "overprovisioned (75% large nodes)", 0.75,
+                                   overestimation));
+    panels.push_back(enqueue_panel(runner, cache, opts.scale,
+                                   "matching (50% large nodes)", 0.50,
+                                   overestimation));
+    panels.push_back(enqueue_panel(runner, cache, opts.scale,
+                                   "underprovisioned (25% large nodes)", 0.25,
+                                   overestimation));
   }
-  dmsim::bench::print_throughput_tally();
+  runner.run();
+  for (const Panel& panel : panels) print_panel(runner, panel);
+  runner.finish();
   return 0;
 }

@@ -24,17 +24,50 @@ constexpr Provisioning kSystems[] = {
     {"Sys 25%", gib(32), gib(64), 0.0},
 };
 
+constexpr double kMixes[] = {0.0, 0.25, 0.5, 0.75, 1.0};
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto scale = bench::parse_scale(argc, argv);
-  bench::print_scale_banner(scale, "Figure 7 — throughput per dollar");
-  bench::WorkloadCache cache(scale);
+  const auto opts = bench::parse_options(argc, argv);
+  bench::print_scale_banner(opts, "Figure 7 — throughput per dollar");
+  bench::WorkloadCache cache(opts.scale);
+  bench::Runner runner("fig7_cost_benefit", opts);
 
+  // Enqueue the full (overestimation, system, mix) grid, Static + Dynamic.
+  struct Cell {
+    bench::Runner::Handle stat;
+    bench::Runner::Handle dyn;
+  };
+  std::vector<Cell> cells;
   for (const double overestimation : {0.0, 0.6}) {
     for (const auto& prov : kSystems) {
       harness::SystemConfig sys;
-      sys.total_nodes = scale.synth_nodes;
+      sys.total_nodes = opts.scale.synth_nodes;
+      sys.normal_capacity = prov.normal;
+      sys.large_capacity = prov.large;
+      sys.pct_large_nodes = prov.pct_large;
+      for (const double mix : kMixes) {
+        const auto& w = cache.get(mix, overestimation);
+        const std::string suffix = std::string(prov.name) + " mix=" +
+                                   util::fmt_pct(mix, 0) + " over=" +
+                                   util::fmt_pct(overestimation, 0);
+        Cell cell;
+        cell.stat = runner.add(sys, policy::PolicyKind::Static, w.jobs, w.apps,
+                               "static " + suffix);
+        cell.dyn = runner.add(sys, policy::PolicyKind::Dynamic, w.jobs, w.apps,
+                              "dynamic " + suffix);
+        cells.push_back(cell);
+      }
+    }
+  }
+  runner.run();
+
+  std::size_t next = 0;
+  for (const double overestimation : {0.0, 0.6}) {
+    for (const auto& prov : kSystems) {
+      harness::SystemConfig sys;
+      sys.total_nodes = opts.scale.synth_nodes;
       sys.normal_capacity = prov.normal;
       sys.large_capacity = prov.large;
       sys.pct_large_nodes = prov.pct_large;
@@ -45,12 +78,10 @@ int main(int argc, char** argv) {
           util::fmt(overestimation * 100, 0) + "%");
       table.set_header({"jobs large%", "static thr/$", "dynamic thr/$",
                         "dynamic gain"});
-      for (const double mix : {0.0, 0.25, 0.5, 0.75, 1.0}) {
-        const auto& w = cache.get(mix, overestimation);
-        const auto stat =
-            bench::run_policy(sys, policy::PolicyKind::Static, w.jobs, w.apps);
-        const auto dyn =
-            bench::run_policy(sys, policy::PolicyKind::Dynamic, w.jobs, w.apps);
+      for (const double mix : kMixes) {
+        const Cell& cell = cells[next++];
+        const auto& stat = runner.get(cell.stat);
+        const auto& dyn = runner.get(cell.dyn);
         std::vector<std::string> row = {util::fmt(mix * 100, 0)};
         if (!stat.valid || !dyn.valid) {
           row.insert(row.end(), {"-", "-", "-"});
@@ -74,6 +105,6 @@ int main(int argc, char** argv) {
                "up to 38% at +60% overestimation,\nwith the static policy "
                "falling off steeply on lean systems as the large-job share "
                "grows.\n";
-  dmsim::bench::print_throughput_tally();
+  runner.finish();
   return 0;
 }

@@ -2,6 +2,8 @@
 // overestimation factor {0,25,50,60,75,100}% for the synthetic trace at 50%
 // large jobs (top row) and the Grizzly-style trace (bottom row), across the
 // memory-provisioning ladder, for all three policies.
+#include <array>
+
 #include "bench_common.hpp"
 
 namespace {
@@ -9,32 +11,75 @@ namespace {
 using namespace dmsim;
 
 constexpr double kOverestimations[] = {0.0, 0.25, 0.50, 0.60, 0.75, 1.00};
+constexpr std::array kPolicies = {policy::PolicyKind::Baseline,
+                                  policy::PolicyKind::Static,
+                                  policy::PolicyKind::Dynamic};
 
-void synthetic_row(bench::WorkloadCache& cache, const bench::Scale& scale) {
-  const double ref = bench::baseline_reference(cache, 0.5, scale.synth_nodes);
-  const auto ladder = bench::figure_ladder(scale.synth_nodes);
-  for (const double over : kOverestimations) {
-    const auto& w = cache.get(0.5, over);
-    util::TextTable table("Fig 8 | synthetic, 50% large jobs | +" +
-                          util::fmt(over * 100, 0) + "% overestimation");
-    table.set_header({"mem%", "baseline", "static", "dynamic"});
-    for (const auto& sys : ladder) {
-      std::vector<std::string> row = {bench::mem_label(sys)};
-      for (const auto kind : {policy::PolicyKind::Baseline,
-                              policy::PolicyKind::Static,
-                              policy::PolicyKind::Dynamic}) {
-        const auto r = bench::run_policy(sys, kind, w.jobs, w.apps);
-        row.push_back(
-            r.valid ? util::fmt(ref > 0 ? r.throughput() / ref : 0.0, 3) : "-");
-      }
-      table.add_row(std::move(row));
+using LadderRows = std::vector<std::array<bench::Runner::Handle, 3>>;
+
+LadderRows enqueue_ladder(bench::Runner& runner,
+                          const std::vector<harness::SystemConfig>& ladder,
+                          const trace::Workload& jobs,
+                          const slowdown::AppPool& apps,
+                          const std::string& tag) {
+  LadderRows rows;
+  for (const auto& sys : ladder) {
+    std::array<bench::Runner::Handle, 3> row;
+    for (std::size_t k = 0; k < kPolicies.size(); ++k) {
+      row[k] = runner.add(sys, kPolicies[k], jobs, apps,
+                          tag + " mem=" + bench::mem_label(sys) + " p=" +
+                              std::to_string(k));
     }
-    table.print(std::cout);
-    std::cout << '\n';
+    rows.push_back(row);
   }
+  return rows;
 }
 
-void grizzly_row(const bench::Scale& scale) {
+void print_ladder(const bench::Runner& runner,
+                  const std::vector<harness::SystemConfig>& ladder,
+                  const LadderRows& rows, const std::string& title,
+                  double ref) {
+  util::TextTable table(title);
+  table.set_header({"mem%", "baseline", "static", "dynamic"});
+  for (std::size_t s = 0; s < ladder.size(); ++s) {
+    std::vector<std::string> row = {bench::mem_label(ladder[s])};
+    for (std::size_t k = 0; k < kPolicies.size(); ++k) {
+      const auto& r = runner.get(rows[s][k]);
+      row.push_back(
+          r.valid ? util::fmt(ref > 0 ? r.throughput() / ref : 0.0, 3) : "-");
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_options(argc, argv);
+  bench::print_scale_banner(opts, "Figure 8 — throughput vs overestimation");
+  bench::WorkloadCache cache(opts.scale);
+  bench::Runner runner("fig8_overestimation", opts);
+  const auto& scale = opts.scale;
+
+  // --- Enqueue: synthetic row (50% large jobs). -------------------------
+  // Reference: baseline, full provisioning, exact requests.
+  harness::SystemConfig synth_full;
+  synth_full.total_nodes = scale.synth_nodes;
+  synth_full.pct_large_nodes = 1.0;
+  const auto& exact = cache.get(0.5, 0.0);
+  const auto synth_ref = runner.add(synth_full, policy::PolicyKind::Baseline,
+                                    exact.jobs, exact.apps, "synth ref");
+  const auto synth_ladder = bench::figure_ladder(scale.synth_nodes);
+  std::vector<LadderRows> synth_rows;
+  for (const double over : kOverestimations) {
+    const auto& w = cache.get(0.5, over);
+    synth_rows.push_back(enqueue_ladder(runner, synth_ladder, w.jobs, w.apps,
+                                        "synth over=" + util::fmt_pct(over, 0)));
+  }
+
+  // --- Enqueue: Grizzly row. --------------------------------------------
   workload::GrizzlyConfig gcfg;
   gcfg.weeks = scale.grizzly_weeks;
   gcfg.system_nodes = scale.grizzly_nodes;
@@ -50,50 +95,61 @@ void grizzly_row(const bench::Scale& scale) {
     }
   }
 
-  // Reference throughput: baseline, full provisioning, exact requests.
-  const trace::Workload exact_jobs = materialize_grizzly_week(gcfg, trace, week);
-  harness::SystemConfig full;
-  full.total_nodes = scale.grizzly_nodes;
-  full.pct_large_nodes = 1.0;
-  const auto ref_run = bench::run_policy(full, policy::PolicyKind::Baseline,
-                                         exact_jobs, trace.apps);
-  const double ref = ref_run.valid ? ref_run.throughput() : 0.0;
-
-  const auto ladder = bench::figure_ladder(scale.grizzly_nodes);
+  // Materialized workloads must outlive runner.run(): keep every
+  // per-overestimation job list alive in this vector.
+  const trace::Workload grizzly_exact =
+      materialize_grizzly_week(gcfg, trace, week);
+  std::vector<trace::Workload> grizzly_jobs;
+  grizzly_jobs.reserve(std::size(kOverestimations));
   for (const double over : kOverestimations) {
     workload::GrizzlyConfig cfg = gcfg;
     cfg.overestimation = over;
-    const trace::Workload jobs = materialize_grizzly_week(cfg, trace, week);
-    util::TextTable table("Fig 8 | Grizzly-style trace | +" +
-                          util::fmt(over * 100, 0) + "% overestimation");
-    table.set_header({"mem%", "baseline", "static", "dynamic"});
-    for (const auto& sys : ladder) {
-      std::vector<std::string> row = {bench::mem_label(sys)};
-      for (const auto kind : {policy::PolicyKind::Baseline,
-                              policy::PolicyKind::Static,
-                              policy::PolicyKind::Dynamic}) {
-        const auto r = bench::run_policy(sys, kind, jobs, trace.apps);
-        row.push_back(
-            r.valid ? util::fmt(ref > 0 ? r.throughput() / ref : 0.0, 3) : "-");
-      }
-      table.add_row(std::move(row));
-    }
-    table.print(std::cout);
-    std::cout << '\n';
+    grizzly_jobs.push_back(materialize_grizzly_week(cfg, trace, week));
   }
-}
 
-}  // namespace
+  harness::SystemConfig grizzly_full;
+  grizzly_full.total_nodes = scale.grizzly_nodes;
+  grizzly_full.pct_large_nodes = 1.0;
+  const auto grizzly_ref =
+      runner.add(grizzly_full, policy::PolicyKind::Baseline, grizzly_exact,
+                 trace.apps, "grizzly ref");
+  const auto grizzly_ladder = bench::figure_ladder(scale.grizzly_nodes);
+  std::vector<LadderRows> grizzly_rows;
+  for (std::size_t i = 0; i < std::size(kOverestimations); ++i) {
+    grizzly_rows.push_back(
+        enqueue_ladder(runner, grizzly_ladder, grizzly_jobs[i], trace.apps,
+                       "grizzly over=" +
+                           util::fmt_pct(kOverestimations[i], 0)));
+  }
 
-int main(int argc, char** argv) {
-  const auto scale = bench::parse_scale(argc, argv);
-  bench::print_scale_banner(scale, "Figure 8 — throughput vs overestimation");
-  bench::WorkloadCache cache(scale);
-  synthetic_row(cache, scale);
-  grizzly_row(scale);
+  // --- Run everything in one fan-out, then format. ----------------------
+  runner.run();
+
+  {
+    const auto& r = runner.get(synth_ref);
+    const double ref = r.valid ? r.throughput() : 0.0;
+    for (std::size_t i = 0; i < std::size(kOverestimations); ++i) {
+      print_ladder(runner, synth_ladder, synth_rows[i],
+                   "Fig 8 | synthetic, 50% large jobs | +" +
+                       util::fmt(kOverestimations[i] * 100, 0) +
+                       "% overestimation",
+                   ref);
+    }
+  }
+  {
+    const auto& r = runner.get(grizzly_ref);
+    const double ref = r.valid ? r.throughput() : 0.0;
+    for (std::size_t i = 0; i < std::size(kOverestimations); ++i) {
+      print_ladder(runner, grizzly_ladder, grizzly_rows[i],
+                   "Fig 8 | Grizzly-style trace | +" +
+                       util::fmt(kOverestimations[i] * 100, 0) +
+                       "% overestimation",
+                   ref);
+    }
+  }
   std::cout << "paper: the dynamic approach is barely affected by "
                "overestimation; at +100% the static-dynamic gap exceeds 38% "
                "on a 37%-memory system while dynamic stays above ~80%.\n";
-  dmsim::bench::print_throughput_tally();
+  runner.finish();
   return 0;
 }

@@ -1,21 +1,23 @@
 // Figure 9: the smallest memory provisioning that sustains >= 95% of the
 // fully-provisioned baseline throughput, as a function of the
 // overestimation factor, for Static vs Dynamic (synthetic trace, 50% large
-// jobs). Built on the harness::min_memory_for_threshold library driver.
+// jobs). Built on the harness::min_memory_for_threshold library driver,
+// which fans each threshold search out over --threads workers.
 #include "bench_common.hpp"
 #include "harness/experiments.hpp"
 
 int main(int argc, char** argv) {
   using namespace dmsim;
-  const auto scale = bench::parse_scale(argc, argv);
-  bench::print_scale_banner(scale,
+  const auto opts = bench::parse_options(argc, argv);
+  bench::print_scale_banner(opts,
                             "Figure 9 — min memory for 95% of throughput");
-  bench::WorkloadCache cache(scale);
+  bench::WorkloadCache cache(opts.scale);
+  obs::ThroughputReport tally;
 
   const auto& exact = cache.get(0.5, 0.0);
-  const double reference =
-      harness::reference_throughput(exact.jobs, exact.apps, scale.synth_nodes);
-  const auto ladder = bench::figure_ladder(scale.synth_nodes);
+  const double reference = harness::reference_throughput(
+      exact.jobs, exact.apps, opts.scale.synth_nodes, &tally);
+  const auto ladder = bench::figure_ladder(opts.scale.synth_nodes);
 
   util::TextTable table("Fig 9 | min total system memory reaching 95% throughput");
   table.set_header({"overestimation", "static mem%", "dynamic mem%",
@@ -23,9 +25,11 @@ int main(int argc, char** argv) {
   for (const double over : {0.0, 0.25, 0.50, 0.60, 0.75, 1.00}) {
     const auto& w = cache.get(0.5, over);
     const auto static_mem = harness::min_memory_for_threshold(
-        w.jobs, w.apps, ladder, policy::PolicyKind::Static, reference);
+        w.jobs, w.apps, ladder, policy::PolicyKind::Static, reference, {},
+        0.95, opts.threads, &tally);
     const auto dynamic_mem = harness::min_memory_for_threshold(
-        w.jobs, w.apps, ladder, policy::PolicyKind::Dynamic, reference);
+        w.jobs, w.apps, ladder, policy::PolicyKind::Dynamic, reference, {},
+        0.95, opts.threads, &tally);
     table.add_row({
         "+" + util::fmt(over * 100, 0) + "%",
         static_mem ? util::fmt(*static_mem * 100, 0) : "none",
@@ -40,6 +44,7 @@ int main(int argc, char** argv) {
                "overestimation grows; the dynamic policy holds the 95% "
                "threshold on underprovisioned systems, saving up to ~40% "
                "memory.\n";
-  dmsim::bench::print_throughput_tally();
+  bench::throughput_tally().merge(tally);
+  bench::finish_bench("fig9_min_memory", opts);
   return 0;
 }

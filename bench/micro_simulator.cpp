@@ -4,6 +4,7 @@
 // reproductions lean on.
 #include <benchmark/benchmark.h>
 
+#include <functional>
 #include <sstream>
 
 #include "core/dmsim.hpp"
@@ -46,6 +47,63 @@ void BM_EngineCancelHeavy(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_EngineCancelHeavy)->Arg(10000);
+
+// The cancel/reschedule pattern that dominates the scheduler's hot path:
+// every fired event cancels a previously-armed timer and re-arms a new one
+// (walltime kills, monitor updates, backfill reservations all do this).
+// The slot-slab engine resolves each cancel with two array indexations and
+// no hashing, and recycles slots through the free list, so the working set
+// stays at `window` slots no matter how many events churn through.
+void BM_EngineCancelReschedule(benchmark::State& state) {
+  const auto window = static_cast<std::uint64_t>(state.range(0));
+  constexpr std::uint64_t kChurn = 64 * 1024;
+  for (auto _ : state) {
+    sim::Engine engine;
+    std::vector<sim::EventId> armed(window);
+    for (std::uint64_t i = 0; i < window; ++i) {
+      armed[i] = engine.schedule(static_cast<Seconds>(i % 97) + 1.0, [] {});
+    }
+    std::uint64_t fired = 0;
+    for (std::uint64_t i = 0; i < kChurn; ++i) {
+      engine.schedule(static_cast<Seconds>(i % 89) * 1e-3,
+                      [&fired] { ++fired; });
+      const std::uint64_t victim = i % window;
+      engine.cancel(armed[victim]);
+      armed[victim] =
+          engine.schedule(static_cast<Seconds>(i % 97) + 2.0, [] {});
+    }
+    engine.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kChurn));
+}
+BENCHMARK(BM_EngineCancelReschedule)->Arg(1024)->Arg(8192);
+
+// Steady-state churn: a bounded pending set where each fired event schedules
+// its successor — the engine equivalent of a running simulation that neither
+// grows nor drains its queue. Exercises slot reuse + heap push/pop per event.
+void BM_EngineSteadyChurn(benchmark::State& state) {
+  const auto pending = static_cast<std::uint64_t>(state.range(0));
+  constexpr std::uint64_t kTotal = 256 * 1024;
+  for (auto _ : state) {
+    sim::Engine engine;
+    std::uint64_t fired = 0;
+    std::function<void()> chain = [&] {
+      if (++fired + pending <= kTotal) {
+        engine.schedule(engine.now() + 1.0 + (fired % 13), chain);
+      }
+    };
+    for (std::uint64_t i = 0; i < pending; ++i) {
+      engine.schedule(static_cast<Seconds>(i % 13), chain);
+    }
+    engine.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kTotal));
+}
+BENCHMARK(BM_EngineSteadyChurn)->Arg(256)->Arg(4096);
 
 void BM_LedgerGrowShrinkRemote(benchmark::State& state) {
   cluster::Cluster c(

@@ -58,8 +58,9 @@ void print_split(const std::string& title, const Split& split,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto scale = bench::parse_scale(argc, argv);
-  bench::print_scale_banner(scale,
+  const auto opts = bench::parse_options(argc, argv);
+  const auto& scale = opts.scale;
+  bench::print_scale_banner(opts,
                             "Table 2 — max memory usage per node distribution");
 
   // Synthetic trace at the paper's base mix. The published synthetic column
@@ -92,5 +93,6 @@ int main(int argc, char** argv) {
                "trace samples them directly, so measured == paper up to\n"
                "sampling noise. The synthetic columns emerge from the\n"
                "Table 3 class-conditional peak distributions.\n";
+  bench::finish_bench("table2_memory_distribution", opts);
   return 0;
 }

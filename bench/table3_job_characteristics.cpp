@@ -8,8 +8,9 @@
 
 int main(int argc, char** argv) {
   using namespace dmsim;
-  const auto scale = bench::parse_scale(argc, argv);
-  bench::print_scale_banner(scale, "Table 3 — job class characteristics");
+  const auto opts = bench::parse_options(argc, argv);
+  const auto& scale = opts.scale;
+  bench::print_scale_banner(opts, "Table 3 — job class characteristics");
 
   bench::WorkloadCache cache(scale);
   const auto& w = cache.get(0.5, 0.0);
@@ -47,5 +48,6 @@ int main(int argc, char** argv) {
   std::cout << "\nMemory quartiles are calibration targets (log-normal fits of"
                "\nthe paper's Table 3); node-hours come from the CIRNE model"
                "\nand are expected to match in order of magnitude only.\n";
+  bench::finish_bench("table3_job_characteristics", opts);
   return 0;
 }

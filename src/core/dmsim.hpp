@@ -10,6 +10,7 @@
 #include "cluster/cluster.hpp"        // nodes, disaggregated memory ledger
 #include "core/simulator.hpp"         // Simulator facade
 #include "harness/scenario.hpp"       // sweeps: systems x policies x workloads
+#include "harness/sweep.hpp"          // parallel sweep runner (heterogeneous cells)
 #include "metrics/metrics.hpp"        // throughput, response time, cost model
 #include "metrics/timeline.hpp"       // utilization/waste/bounded-slowdown
 #include "obs/counters.hpp"           // central counters registry

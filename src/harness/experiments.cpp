@@ -1,27 +1,35 @@
 #include "harness/experiments.hpp"
 
+#include "harness/sweep.hpp"
 #include "util/error.hpp"
 
 namespace dmsim::harness {
 
 namespace {
 
-[[nodiscard]] std::optional<double> run_policy_normalized(
-    const SystemConfig& system, policy::PolicyKind kind,
-    const trace::Workload& jobs, const slowdown::AppPool& apps,
-    const sched::SchedulerConfig& sched_config, double reference,
-    double* oom_fraction = nullptr) {
+[[nodiscard]] CellConfig make_cell(const SystemConfig& system,
+                                   policy::PolicyKind kind,
+                                   const sched::SchedulerConfig& sched_config) {
   CellConfig cell;
   cell.system = system;
   cell.policy = kind;
   cell.sched = sched_config;
-  const CellResult result = run_cell(cell, jobs, apps);
+  return cell;
+}
+
+[[nodiscard]] std::optional<double> normalized(const CellResult& result,
+                                               double reference) {
   if (!result.valid) return std::nullopt;
-  if (oom_fraction != nullptr) {
-    *oom_fraction = result.summary.oom_job_fraction();
-  }
   if (reference > 0.0) return result.throughput() / reference;
   return result.throughput();
+}
+
+void merge_tally(obs::ThroughputReport* tally, const SweepRunner& runner) {
+  if (tally == nullptr) return;
+  const obs::ThroughputReport report = runner.report();
+  tally->engine_events += report.engine_events;
+  tally->sim_seconds += report.sim_seconds;
+  tally->wall_seconds += report.wall_seconds;
 }
 
 }  // namespace
@@ -29,49 +37,70 @@ namespace {
 std::vector<ThroughputPoint> throughput_vs_memory(
     const trace::Workload& jobs, const slowdown::AppPool& apps,
     const std::vector<SystemConfig>& systems, double reference,
-    const sched::SchedulerConfig& sched_config) {
+    const sched::SchedulerConfig& sched_config, std::size_t threads,
+    obs::ThroughputReport* tally) {
+  SweepRunner runner(threads);
+  constexpr policy::PolicyKind kKinds[] = {policy::PolicyKind::Baseline,
+                                           policy::PolicyKind::Static,
+                                           policy::PolicyKind::Dynamic};
+  for (const SystemConfig& system : systems) {
+    for (const policy::PolicyKind kind : kKinds) {
+      (void)runner.add(make_cell(system, kind, sched_config), jobs, apps);
+    }
+  }
+  runner.run_all();
+
   std::vector<ThroughputPoint> out;
   out.reserve(systems.size());
+  std::size_t handle = 0;
   for (const SystemConfig& system : systems) {
     ThroughputPoint point;
     point.system = system;
     point.memory_fraction = system.memory_fraction();
-    point.baseline = run_policy_normalized(
-        system, policy::PolicyKind::Baseline, jobs, apps, sched_config,
-        reference);
-    point.static_policy = run_policy_normalized(
-        system, policy::PolicyKind::Static, jobs, apps, sched_config,
-        reference);
-    point.dynamic_policy = run_policy_normalized(
-        system, policy::PolicyKind::Dynamic, jobs, apps, sched_config,
-        reference, &point.dynamic_oom_job_fraction);
+    point.baseline = normalized(runner.result(handle++).cell, reference);
+    point.static_policy = normalized(runner.result(handle++).cell, reference);
+    const CellResult& dynamic_cell = runner.result(handle++).cell;
+    point.dynamic_policy = normalized(dynamic_cell, reference);
+    if (dynamic_cell.valid) {
+      point.dynamic_oom_job_fraction = dynamic_cell.summary.oom_job_fraction();
+    }
     out.push_back(point);
   }
+  merge_tally(tally, runner);
   return out;
 }
 
 double reference_throughput(const trace::Workload& jobs,
-                            const slowdown::AppPool& apps, int total_nodes) {
+                            const slowdown::AppPool& apps, int total_nodes,
+                            obs::ThroughputReport* tally) {
   SystemConfig full;
   full.total_nodes = total_nodes;
   full.pct_large_nodes = 1.0;
-  CellConfig cell;
-  cell.system = full;
-  cell.policy = policy::PolicyKind::Baseline;
-  const CellResult result = run_cell(cell, jobs, apps);
+  SweepRunner runner(1);
+  const std::size_t handle =
+      runner.add(make_cell(full, policy::PolicyKind::Baseline, {}), jobs, apps);
+  runner.run_all();
+  merge_tally(tally, runner);
+  const CellResult& result = runner.result(handle).cell;
   return result.valid ? result.throughput() : 0.0;
 }
 
 std::optional<double> min_memory_for_threshold(
     const trace::Workload& jobs, const slowdown::AppPool& apps,
     const std::vector<SystemConfig>& systems, policy::PolicyKind policy,
-    double reference, double threshold) {
+    double reference, const sched::SchedulerConfig& sched_config,
+    double threshold, std::size_t threads, obs::ThroughputReport* tally) {
   DMSIM_ASSERT(reference > 0.0, "need a positive reference throughput");
+  SweepRunner runner(threads);
   for (const SystemConfig& system : systems) {
-    const auto normalized = run_policy_normalized(system, policy, jobs, apps,
-                                                  {}, reference);
-    if (normalized.has_value() && *normalized >= threshold) {
-      return system.memory_fraction();
+    (void)runner.add(make_cell(system, policy, sched_config), jobs, apps);
+  }
+  runner.run_all();
+  merge_tally(tally, runner);
+  for (std::size_t i = 0; i < systems.size(); ++i) {
+    const auto value = normalized(runner.result(i).cell, reference);
+    if (value.has_value() && *value >= threshold) {
+      return systems[i].memory_fraction();
     }
   }
   return std::nullopt;

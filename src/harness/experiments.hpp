@@ -2,12 +2,20 @@
 // functions returning structured data. The bench binaries print the same
 // quantities; these entry points let library users (and the test suite) run
 // the sweeps programmatically.
+//
+// Every driver fans its cells out over a SweepRunner: `threads` selects the
+// worker count (1 = serial, 0 = hardware concurrency) and the results are
+// identical at any setting — cells are independent and collected in
+// submission order. Pass `tally` to accumulate the sweep's engine
+// throughput (events, simulated seconds, wall seconds) into a caller-owned
+// report; the merge happens on the calling thread after the sweep.
 #pragma once
 
 #include <optional>
 #include <vector>
 
 #include "harness/scenario.hpp"
+#include "obs/profiler.hpp"
 
 namespace dmsim::harness {
 
@@ -29,20 +37,26 @@ struct ThroughputPoint {
 [[nodiscard]] std::vector<ThroughputPoint> throughput_vs_memory(
     const trace::Workload& jobs, const slowdown::AppPool& apps,
     const std::vector<SystemConfig>& systems, double reference_throughput,
-    const sched::SchedulerConfig& sched_config = {});
+    const sched::SchedulerConfig& sched_config = {}, std::size_t threads = 1,
+    obs::ThroughputReport* tally = nullptr);
 
 /// Baseline throughput on the fully provisioned (100% large) system — the
 /// normalization reference of Figs. 5 and 8.
-[[nodiscard]] double reference_throughput(const trace::Workload& jobs,
-                                          const slowdown::AppPool& apps,
-                                          int total_nodes);
+[[nodiscard]] double reference_throughput(
+    const trace::Workload& jobs, const slowdown::AppPool& apps,
+    int total_nodes, obs::ThroughputReport* tally = nullptr);
 
 /// Fig. 9 search: the smallest memory fraction in `systems` (assumed sorted
 /// ascending) whose normalized throughput reaches `threshold` under
-/// `policy`. std::nullopt if no point qualifies.
+/// `policy`, honoring the caller's scheduler configuration. std::nullopt if
+/// no point qualifies. The whole ladder is evaluated (in parallel when
+/// `threads` > 1), so the answer — and any accumulated tally — is the same
+/// at every thread count.
 [[nodiscard]] std::optional<double> min_memory_for_threshold(
     const trace::Workload& jobs, const slowdown::AppPool& apps,
     const std::vector<SystemConfig>& systems, policy::PolicyKind policy,
-    double reference, double threshold = 0.95);
+    double reference, const sched::SchedulerConfig& sched_config = {},
+    double threshold = 0.95, std::size_t threads = 1,
+    obs::ThroughputReport* tally = nullptr);
 
 }  // namespace dmsim::harness

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <memory>
 
+#include "harness/sweep.hpp"
 #include "sim/engine.hpp"
 #include "util/error.hpp"
-#include "util/thread_pool.hpp"
 
 namespace dmsim::harness {
 
@@ -88,11 +88,12 @@ std::vector<CellResult> run_cells(const std::vector<CellConfig>& cells,
                                   const trace::Workload& jobs,
                                   const slowdown::AppPool& apps,
                                   std::size_t threads) {
-  std::vector<CellResult> results(cells.size());
-  util::ThreadPool pool(threads);
-  pool.parallel_for(cells.size(), [&](std::size_t i) {
-    results[i] = run_cell(cells[i], jobs, apps);
-  });
+  SweepRunner runner(threads);
+  for (const CellConfig& cell : cells) runner.add(cell, jobs, apps);
+  runner.run_all();
+  std::vector<CellResult> results;
+  results.reserve(cells.size());
+  for (const SweepCellResult& r : runner.results()) results.push_back(r.cell);
   return results;
 }
 

@@ -1,0 +1,94 @@
+#include "harness/sweep.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "metrics/json_export.hpp"
+#include "util/error.hpp"
+
+namespace dmsim::harness {
+
+std::size_t SweepRunner::add(CellConfig config, const trace::Workload& jobs,
+                             const slowdown::AppPool& apps) {
+  cells_.push_back(PendingCell{std::move(config), &jobs, &apps});
+  return cells_.size() - 1;
+}
+
+void SweepRunner::run_all() {
+  const std::size_t first = executed_;
+  const std::size_t count = cells_.size() - first;
+  if (count == 0) return;
+  results_.resize(cells_.size());
+  const auto batch_start = std::chrono::steady_clock::now();
+  // Each iteration writes only its own slot, so no synchronization is
+  // needed beyond the pool's completion barrier.
+  pool_.parallel_for(count, [this, first](std::size_t i) {
+    const PendingCell& cell = cells_[first + i];
+    const auto start = std::chrono::steady_clock::now();
+    SweepCellResult& out = results_[first + i];
+    out.cell = run_cell(cell.config, *cell.jobs, *cell.apps);
+    out.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+  });
+  executed_ = cells_.size();
+  report_.wall_seconds += std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - batch_start)
+                              .count();
+  for (std::size_t i = first; i < executed_; ++i) {
+    const CellResult& cell = results_[i].cell;
+    report_.engine_events += cell.engine_events;
+    if (cell.valid) report_.sim_seconds += cell.summary.makespan();
+  }
+}
+
+const SweepCellResult& SweepRunner::result(std::size_t handle) const {
+  DMSIM_ASSERT(handle < executed_, "cell has not been run yet");
+  return results_[handle];
+}
+
+std::string cell_result_to_json(const CellResult& result) {
+  metrics::JsonWriter w;
+  w.begin_object();
+  w.key("valid").value(result.valid);
+  w.key("infeasible_jobs").value(static_cast<std::uint64_t>(result.infeasible_jobs));
+  w.key("summary").begin_object();
+  {
+    const auto& s = result.summary;
+    w.key("total_jobs").value(static_cast<std::uint64_t>(s.total_jobs));
+    w.key("completed").value(static_cast<std::uint64_t>(s.completed));
+    w.key("abandoned").value(static_cast<std::uint64_t>(s.abandoned));
+    w.key("jobs_with_oom").value(static_cast<std::uint64_t>(s.jobs_with_oom));
+    w.key("oom_events").value(s.oom_events);
+    w.key("first_submit").value(s.first_submit);
+    w.key("last_end").value(s.last_end);
+    w.key("throughput").value(s.throughput);
+    w.key("mean_response_time").value(s.response_time.mean());
+    w.key("mean_wait_time").value(s.wait_time.mean());
+  }
+  w.end_object();
+  w.key("totals").begin_object();
+  {
+    const auto& t = result.totals;
+    w.key("completed").value(t.completed);
+    w.key("oom_events").value(t.oom_events);
+    w.key("requeues").value(t.requeues);
+    w.key("fcfs_starts").value(t.fcfs_starts);
+    w.key("backfill_starts").value(t.backfill_starts);
+    w.key("guaranteed_starts").value(t.guaranteed_starts);
+    w.key("update_events").value(t.update_events);
+    w.key("scheduling_passes").value(t.scheduling_passes);
+    w.key("abandoned").value(t.abandoned);
+    w.key("walltime_kills").value(t.walltime_kills);
+  }
+  w.end_object();
+  w.key("avg_allocated_mib").value(result.avg_allocated_mib);
+  w.key("avg_busy_nodes").value(result.avg_busy_nodes);
+  w.key("provisioned_memory_mib").value(static_cast<std::uint64_t>(result.provisioned_memory));
+  w.key("system_cost_usd").value(result.system_cost_usd);
+  w.key("engine_events").value(result.engine_events);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace dmsim::harness

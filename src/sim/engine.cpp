@@ -12,31 +12,58 @@ void Engine::set_observer(const obs::Observer* observer) {
   c_cancelled_ = obs::counter_handle(observer, "engine.cancelled");
 }
 
+void Engine::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn.reset();
+  s.occupied = false;
+  // Generation 0 is reserved so a default EventId never matches; skip it on
+  // the (theoretical) 2^32 wrap-around of a single slot.
+  if (++s.generation == 0) ++s.generation;
+  free_slots_.push_back(slot);
+}
+
 EventId Engine::schedule(Seconds when, Callback fn) {
   DMSIM_ASSERT(when >= now_, "cannot schedule an event in the past");
   DMSIM_ASSERT(fn != nullptr, "event callback must be callable");
-  const std::uint64_t id = next_id_++;
-  queue_.push(Entry{when, next_seq_++, id});
-  callbacks_.emplace(id, std::move(fn));
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.occupied = true;
+  const std::uint64_t seq = next_seq_++;
+  s.trace_id = seq + 1;  // matches the pre-slab engine's monotonic event ids
+  queue_.push(Entry{when, seq, slot, s.generation});
+  ++live_;
   obs::bump(c_scheduled_);
   if (trace_) {
     obs::Event e{obs::EventKind::EngineSchedule, now_};
     e.when = when;
-    trace_->emit(e.with("id", static_cast<std::int64_t>(id)));
+    trace_->emit(e.with("id", static_cast<std::int64_t>(s.trace_id)));
   }
-  return EventId{id};
+  return EventId{pack(slot, s.generation)};
 }
 
 void Engine::cancel(EventId id) {
   if (!id.valid()) return;
-  const auto it = callbacks_.find(id.value);
-  if (it == callbacks_.end()) return;  // already fired or cancelled+drained
-  callbacks_.erase(it);
-  cancelled_.insert(id.value);
+  const std::uint64_t slot_plus_one = id.value & 0xffffffffULL;
+  if (slot_plus_one == 0 || slot_plus_one > slots_.size()) return;
+  const auto slot = static_cast<std::uint32_t>(slot_plus_one - 1);
+  const auto generation = static_cast<std::uint32_t>(id.value >> 32);
+  Slot& s = slots_[slot];
+  if (!s.occupied || s.generation != generation) return;  // fired or stale
+  const std::uint64_t trace_id = s.trace_id;
+  release_slot(slot);
+  --live_;
   obs::bump(c_cancelled_);
   if (trace_) {
     trace_->emit(obs::Event{obs::EventKind::EngineCancel, now_}.with(
-        "id", static_cast<std::int64_t>(id.value)));
+        "id", static_cast<std::int64_t>(trace_id)));
   }
 }
 
@@ -44,21 +71,19 @@ bool Engine::step() {
   while (!queue_.empty()) {
     const Entry top = queue_.top();
     queue_.pop();
-    if (const auto cit = cancelled_.find(top.id); cit != cancelled_.end()) {
-      cancelled_.erase(cit);
-      continue;  // lazily drop a cancelled entry
-    }
-    const auto it = callbacks_.find(top.id);
-    DMSIM_ASSERT(it != callbacks_.end(), "live event lost its callback");
-    Callback fn = std::move(it->second);
-    callbacks_.erase(it);
+    if (!entry_live(top)) continue;  // lazily drop a cancelled entry
+    Slot& s = slots_[top.slot];
+    Callback fn = std::move(s.fn);
+    const std::uint64_t trace_id = s.trace_id;
+    release_slot(top.slot);
+    --live_;
     DMSIM_ASSERT(top.time >= now_, "event queue went backwards in time");
     now_ = top.time;
     ++executed_;
     obs::bump(c_fired_);
     if (trace_) {
       trace_->emit(obs::Event{obs::EventKind::EngineFire, now_}.with(
-          "id", static_cast<std::int64_t>(top.id)));
+          "id", static_cast<std::int64_t>(trace_id)));
     }
     fn();
     return true;
@@ -74,12 +99,9 @@ std::uint64_t Engine::run(std::uint64_t max_events) {
 
 std::uint64_t Engine::run_until(Seconds until) {
   std::uint64_t n = 0;
-  while (!queue_.empty()) {
+  for (;;) {
     // Peek past cancelled entries without firing anything late.
-    while (!queue_.empty() && cancelled_.contains(queue_.top().id)) {
-      cancelled_.erase(queue_.top().id);
-      queue_.pop();
-    }
+    while (!queue_.empty() && !entry_live(queue_.top())) queue_.pop();
     if (queue_.empty() || queue_.top().time > until) break;
     if (step()) ++n;
   }

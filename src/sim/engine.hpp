@@ -2,25 +2,35 @@
 //
 // A single time-ordered event queue drives the whole simulator. Events are
 // closures scheduled at an absolute simulated time; ties are broken by
-// schedule order, which makes runs fully deterministic. Cancellation is by
-// handle: a rescheduled job-end invalidates its stale event in O(1) and the
-// queue drops cancelled entries lazily when they surface.
+// schedule order, which makes runs fully deterministic.
+//
+// Hot-path layout: callbacks live in a generation-tagged slot slab instead
+// of hash containers. Scheduling pops a free slot (or grows the slab —
+// amortized, no per-event allocation once warm), firing and cancelling are
+// O(1) array accesses with no hashing, and small callbacks (captures up to
+// 48 bytes, i.e. every scheduler closure) are stored inline with no heap
+// traffic at all. An EventId packs {slot index, slot generation}; a stale
+// handle — the slot was fired or cancelled and possibly reused — simply
+// fails the generation check, so cancel-after-fire stays a safe no-op.
+// The heap holds plain {time, seq, slot, generation} records; entries whose
+// generation no longer matches the slab are dropped lazily when they
+// surface, exactly like the old cancelled-set design but without the set.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "obs/observer.hpp"
 #include "util/error.hpp"
+#include "util/small_function.hpp"
 #include "util/units.hpp"
 
 namespace dmsim::sim {
 
 /// Opaque handle for a scheduled event; used only for cancellation.
+/// Packs {generation, slot + 1}: value 0 (default) is never a live event.
 struct EventId {
   std::uint64_t value = 0;
   [[nodiscard]] constexpr bool valid() const noexcept { return value != 0; }
@@ -29,7 +39,9 @@ struct EventId {
 
 class Engine : public obs::Clock {
  public:
-  using Callback = std::function<void()>;
+  /// Capacity covers every closure the scheduler creates; larger captures
+  /// fall back to one boxed allocation, never a failure.
+  using Callback = util::SmallFunction<void(), 48>;
 
   Engine() = default;
   Engine(const Engine&) = delete;
@@ -51,18 +63,15 @@ class Engine : public obs::Clock {
     return schedule(now_ + delay, std::move(fn));
   }
 
-  /// Cancel a pending event. Cancelling an already-fired or invalid handle
-  /// is a no-op, so callers need not track firing themselves.
+  /// Cancel a pending event. Cancelling an already-fired, stale (slot since
+  /// reused) or invalid handle is a no-op, so callers need not track firing
+  /// themselves.
   void cancel(EventId id);
 
   /// True if no runnable (non-cancelled) events remain.
-  [[nodiscard]] bool empty() const noexcept {
-    return queue_.size() == cancelled_.size();
-  }
+  [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
 
-  [[nodiscard]] std::size_t pending_events() const noexcept {
-    return queue_.size() - cancelled_.size();
-  }
+  [[nodiscard]] std::size_t pending_events() const noexcept { return live_; }
 
   /// Run a single event. Returns false if the queue is empty.
   bool step();
@@ -81,21 +90,89 @@ class Engine : public obs::Clock {
   struct Entry {
     Seconds time;
     std::uint64_t seq;  // tie-break: FIFO among equal times
-    std::uint64_t id;
-    // Ordering for a min-heap via std::priority_queue (which is a max-heap).
-    [[nodiscard]] bool operator<(const Entry& other) const noexcept {
-      if (time != other.time) return time > other.time;
-      return seq > other.seq;
+    std::uint32_t slot;
+    std::uint32_t generation;
+    /// Strict ordering: earlier time first, then schedule order. The key is
+    /// unique (seq is monotonic), so the pop sequence is a total order and
+    /// independent of the heap's internal layout.
+    [[nodiscard]] bool before(const Entry& other) const noexcept {
+      if (time != other.time) return time < other.time;
+      return seq < other.seq;
     }
   };
 
-  // Callbacks live beside the heap so Entry stays trivially movable.
-  std::priority_queue<Entry> queue_;
-  std::unordered_map<std::uint64_t, Callback> callbacks_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  /// 4-ary min-heap over Entry. Shallower than a binary heap and the four
+  /// children of a node share a cache line pair, which measurably cuts the
+  /// per-event sift cost in the engine's steady-state churn.
+  class EventHeap {
+   public:
+    [[nodiscard]] bool empty() const noexcept { return v_.empty(); }
+    [[nodiscard]] const Entry& top() const noexcept { return v_.front(); }
+
+    void push(const Entry& e) {
+      std::size_t i = v_.size();
+      v_.push_back(e);
+      while (i > 0) {
+        const std::size_t parent = (i - 1) / kArity;
+        if (!v_[i].before(v_[parent])) break;
+        std::swap(v_[i], v_[parent]);
+        i = parent;
+      }
+    }
+
+    void pop() {
+      v_.front() = v_.back();
+      v_.pop_back();
+      const std::size_t n = v_.size();
+      std::size_t i = 0;
+      for (;;) {
+        const std::size_t first = i * kArity + 1;
+        if (first >= n) break;
+        std::size_t best = first;
+        const std::size_t last = std::min(first + kArity, n);
+        for (std::size_t c = first + 1; c < last; ++c) {
+          if (v_[c].before(v_[best])) best = c;
+        }
+        if (!v_[best].before(v_[i])) break;
+        std::swap(v_[i], v_[best]);
+        i = best;
+      }
+    }
+
+   private:
+    static constexpr std::size_t kArity = 4;
+    std::vector<Entry> v_;
+  };
+
+  struct Slot {
+    Callback fn;
+    std::uint64_t trace_id = 0;  // stable 1-based schedule number, for traces
+    std::uint32_t generation = 1;
+    bool occupied = false;
+  };
+
+  [[nodiscard]] static constexpr std::uint64_t pack(
+      std::uint32_t slot, std::uint32_t generation) noexcept {
+    return (static_cast<std::uint64_t>(generation) << 32) |
+           (static_cast<std::uint64_t>(slot) + 1);
+  }
+
+  /// True when a heap entry still refers to the live occupant of its slot.
+  [[nodiscard]] bool entry_live(const Entry& e) const noexcept {
+    const Slot& s = slots_[e.slot];
+    return s.occupied && s.generation == e.generation;
+  }
+
+  /// Free a slot: drop the callback, advance the generation (stale handles
+  /// and heap entries die here) and recycle the index.
+  void release_slot(std::uint32_t slot);
+
+  EventHeap queue_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_ = 0;  // scheduled, not yet fired or cancelled
   Seconds now_ = 0.0;
   std::uint64_t next_seq_ = 0;
-  std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
 
   // Observability (all nullptr when disabled).

@@ -1,0 +1,135 @@
+// Move-only callable wrapper with small-buffer inline storage.
+//
+// The simulation engine schedules millions of short-lived closures; storing
+// them as std::function costs a heap allocation whenever the capture spills
+// the implementation's tiny inline buffer (16 bytes on libstdc++). A
+// SmallFunction<void(), 48> keeps captures up to 48 bytes inline — every
+// scheduler callback in this codebase fits — and only boxes larger ones.
+// Move-only by design: event callbacks are consumed exactly once, and
+// dropping copyability admits move-only captures (unique_ptr and friends).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <type_traits>
+#include <utility>
+
+namespace dmsim::util {
+
+template <typename Signature, std::size_t Capacity = 48>
+class SmallFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class SmallFunction<R(Args...), Capacity> {
+  static_assert(Capacity >= sizeof(void*), "capacity must hold a pointer");
+
+ public:
+  /// True when a callable of type D lives in the inline buffer (no heap).
+  template <typename D>
+  static constexpr bool stores_inline =
+      sizeof(D) <= Capacity && alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  SmallFunction() noexcept = default;
+  SmallFunction(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, SmallFunction> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  SmallFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (stores_inline<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &InlineOps<D>::ops;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      ops_ = &BoxedOps<D>::ops;
+    }
+  }
+
+  SmallFunction(SmallFunction&& other) noexcept { move_from(other); }
+
+  SmallFunction& operator=(SmallFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  SmallFunction& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  SmallFunction(const SmallFunction&) = delete;
+  SmallFunction& operator=(const SmallFunction&) = delete;
+
+  ~SmallFunction() { reset(); }
+
+  /// Destroy the held callable (if any); *this becomes empty.
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+  friend bool operator==(const SmallFunction& f, std::nullptr_t) noexcept {
+    return f.ops_ == nullptr;
+  }
+
+  /// Invoke the held callable. Precondition: non-empty.
+  R operator()(Args... args) {
+    return ops_->invoke(buf_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    void (*relocate)(void* src, void* dst) noexcept;  // move into dst, destroy src
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename D>
+  struct InlineOps {
+    static R invoke(void* s, Args&&... args) {
+      return std::invoke(*static_cast<D*>(s), std::forward<Args>(args)...);
+    }
+    static void relocate(void* src, void* dst) noexcept {
+      D* p = static_cast<D*>(src);
+      ::new (dst) D(std::move(*p));
+      p->~D();
+    }
+    static void destroy(void* s) noexcept { static_cast<D*>(s)->~D(); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy};
+  };
+
+  template <typename D>
+  struct BoxedOps {
+    static D* ptr(void* s) noexcept { return *static_cast<D**>(s); }
+    static R invoke(void* s, Args&&... args) {
+      return std::invoke(*ptr(s), std::forward<Args>(args)...);
+    }
+    static void relocate(void* src, void* dst) noexcept {
+      ::new (dst) D*(ptr(src));  // steal the box: a pointer copy
+    }
+    static void destroy(void* s) noexcept { delete ptr(s); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy};
+  };
+
+  void move_from(SmallFunction& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(other.buf_, buf_);
+      ops_ = std::exchange(other.ops_, nullptr);
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace dmsim::util

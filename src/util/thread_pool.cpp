@@ -45,15 +45,18 @@ void ThreadPool::parallel_for(std::size_t n,
   for (std::size_t i = 0; i < n; ++i) {
     futures.push_back(submit([&fn, i] { fn(i); }));
   }
-  std::exception_ptr first_error;
+  // Drain futures in index order and keep the first failure seen: that is
+  // by construction the lowest failing index, independent of which worker
+  // ran it when (the documented deterministic-rethrow guarantee).
+  std::exception_ptr lowest_index_error;
   for (auto& f : futures) {
     try {
       f.get();
     } catch (...) {
-      if (!first_error) first_error = std::current_exception();
+      if (!lowest_index_error) lowest_index_error = std::current_exception();
     }
   }
-  if (first_error) std::rethrow_exception(first_error);
+  if (lowest_index_error) std::rethrow_exception(lowest_index_error);
 }
 
 }  // namespace dmsim::util

@@ -41,7 +41,12 @@ class ThreadPool {
   }
 
   /// Run fn(i) for i in [0, n) across the pool and wait for completion.
-  /// Exceptions from any iteration are rethrown (first one wins).
+  ///
+  /// Exception guarantee: every iteration runs to completion regardless of
+  /// failures elsewhere, and if one or more iterations throw, the exception
+  /// of the LOWEST-index failing iteration is rethrown. The choice is
+  /// deterministic — it never depends on thread interleaving — so a failing
+  /// sweep reports the same error on every run.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:

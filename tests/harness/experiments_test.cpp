@@ -81,12 +81,12 @@ TEST_F(ExperimentsTest, MinMemorySearchFindsSmallestQualifying) {
   const auto dyn = min_memory_for_threshold(generated.jobs, generated.apps,
                                             systems,
                                             policy::PolicyKind::Dynamic,
-                                            reference, 0.95);
+                                            reference, {}, 0.95);
   ASSERT_TRUE(dyn.has_value());
   const auto stat = min_memory_for_threshold(generated.jobs, generated.apps,
                                              systems,
                                              policy::PolicyKind::Static,
-                                             reference, 0.95);
+                                             reference, {}, 0.95);
   if (stat.has_value()) {
     EXPECT_LE(*dyn, *stat);  // dynamic never needs more memory than static
   }
@@ -95,8 +95,56 @@ TEST_F(ExperimentsTest, MinMemorySearchFindsSmallestQualifying) {
 TEST_F(ExperimentsTest, ImpossibleThresholdReturnsNothing) {
   const auto result = min_memory_for_threshold(
       generated.jobs, generated.apps, systems, policy::PolicyKind::Static,
-      /*reference=*/1.0, /*threshold=*/0.95);  // absurd reference
+      /*reference=*/1.0, {}, /*threshold=*/0.95);  // absurd reference
   EXPECT_FALSE(result.has_value());
+}
+
+TEST_F(ExperimentsTest, MinMemoryHonorsSchedulerConfig) {
+  // The caller's scheduler configuration must reach every cell of the
+  // search: the answer under config X has to match a hand-rolled search
+  // running each ladder point with the same X.
+  sched::SchedulerConfig config;
+  config.update_interval = 3600.0;  // starve the dynamic policy of updates
+  const double reference = 1e-6;    // low bar: every valid cell qualifies
+  const auto got = min_memory_for_threshold(
+      generated.jobs, generated.apps, systems, policy::PolicyKind::Dynamic,
+      reference, config, 0.95);
+  std::optional<double> expected;
+  for (const SystemConfig& system : systems) {
+    CellConfig cell;
+    cell.system = system;
+    cell.policy = policy::PolicyKind::Dynamic;
+    cell.sched = config;
+    const CellResult result = run_cell(cell, generated.jobs, generated.apps);
+    if (result.valid && result.throughput() / reference >= 0.95) {
+      expected = system.memory_fraction();
+      break;
+    }
+  }
+  ASSERT_EQ(got.has_value(), expected.has_value());
+  if (got.has_value()) EXPECT_DOUBLE_EQ(*got, *expected);
+}
+
+TEST_F(ExperimentsTest, ThreadCountDoesNotChangeResults) {
+  obs::ThroughputReport serial_tally;
+  obs::ThroughputReport parallel_tally;
+  const auto serial =
+      throughput_vs_memory(generated.jobs, generated.apps, systems, 0.0, {},
+                           /*threads=*/1, &serial_tally);
+  const auto parallel =
+      throughput_vs_memory(generated.jobs, generated.apps, systems, 0.0, {},
+                           /*threads=*/4, &parallel_tally);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].static_policy, parallel[i].static_policy);
+    EXPECT_EQ(serial[i].dynamic_policy, parallel[i].dynamic_policy);
+    EXPECT_EQ(serial[i].baseline, parallel[i].baseline);
+    EXPECT_DOUBLE_EQ(serial[i].dynamic_oom_job_fraction,
+                     parallel[i].dynamic_oom_job_fraction);
+  }
+  // The deterministic tally fields must agree too (wall time may not).
+  EXPECT_EQ(serial_tally.engine_events, parallel_tally.engine_events);
+  EXPECT_DOUBLE_EQ(serial_tally.sim_seconds, parallel_tally.sim_seconds);
 }
 
 }  // namespace

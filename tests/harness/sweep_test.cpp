@@ -1,0 +1,147 @@
+#include "harness/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "workload/generator.hpp"
+
+namespace dmsim::harness {
+namespace {
+
+struct SweepFixture : ::testing::Test {
+  SweepFixture() {
+    workload::SyntheticWorkloadConfig small;
+    small.cirne.num_jobs = 120;
+    small.cirne.system_nodes = 48;
+    small.cirne.max_job_nodes = 8;
+    small.pct_large_jobs = 0.5;
+    small.overestimation = 0.6;
+    small.seed = 7;
+    workload_a = workload::generate_synthetic(small);
+
+    workload::SyntheticWorkloadConfig other = small;
+    other.pct_large_jobs = 0.25;
+    other.seed = 11;
+    workload_b = workload::generate_synthetic(other);
+  }
+
+  // A fig5-style grid: memory ladder x policy, spanning BOTH workloads —
+  // the heterogeneous case run_cells() cannot express.
+  static void enqueue_grid(SweepRunner& runner,
+                           const workload::SyntheticWorkload& wa,
+                           const workload::SyntheticWorkload& wb) {
+    for (const double pct_large : {0.25, 0.5, 1.0}) {
+      for (const auto kind :
+           {policy::PolicyKind::Baseline, policy::PolicyKind::Static,
+            policy::PolicyKind::Dynamic}) {
+        CellConfig cell;
+        cell.system.total_nodes = 48;
+        cell.system.pct_large_nodes = pct_large;
+        cell.policy = kind;
+        (void)runner.add(cell, wa.jobs, wa.apps);
+        (void)runner.add(cell, wb.jobs, wb.apps);
+      }
+    }
+  }
+
+  workload::SyntheticWorkload workload_a;
+  workload::SyntheticWorkload workload_b;
+};
+
+TEST_F(SweepFixture, ResultsLandInSubmissionOrder) {
+  SweepRunner runner(4);
+  std::vector<std::size_t> handles;
+  for (const double pct_large : {0.25, 0.5, 1.0}) {
+    CellConfig cell;
+    cell.system.total_nodes = 48;
+    cell.system.pct_large_nodes = pct_large;
+    cell.policy = policy::PolicyKind::Dynamic;
+    handles.push_back(runner.add(cell, workload_a.jobs, workload_a.apps));
+  }
+  runner.run_all();
+  ASSERT_EQ(runner.results().size(), 3u);
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    EXPECT_EQ(handles[i], i);
+    // Each handle's result must be the cell submitted under it: check a
+    // config-determined field (memory fraction rises along the ladder).
+    EXPECT_TRUE(runner.result(handles[i]).cell.valid);
+  }
+  EXPECT_LT(runner.result(0).cell.provisioned_memory,
+            runner.result(2).cell.provisioned_memory);
+}
+
+TEST_F(SweepFixture, SerialAndParallelJsonAreByteIdentical) {
+  SweepRunner serial(1);
+  SweepRunner parallel(8);
+  enqueue_grid(serial, workload_a, workload_b);
+  enqueue_grid(parallel, workload_a, workload_b);
+  ASSERT_EQ(serial.size(), parallel.size());
+  serial.run_all();
+  parallel.run_all();
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(cell_result_to_json(serial.result(i).cell),
+              cell_result_to_json(parallel.result(i).cell))
+        << "cell " << i;
+  }
+  // The deterministic halves of the throughput tally must agree too.
+  EXPECT_EQ(serial.report().engine_events, parallel.report().engine_events);
+  EXPECT_DOUBLE_EQ(serial.report().sim_seconds, parallel.report().sim_seconds);
+}
+
+TEST_F(SweepFixture, IncrementalRoundsKeepEarlierResults) {
+  SweepRunner runner(2);
+  CellConfig cell;
+  cell.system.total_nodes = 48;
+  cell.system.pct_large_nodes = 1.0;
+  cell.policy = policy::PolicyKind::Dynamic;
+  const std::size_t first = runner.add(cell, workload_a.jobs, workload_a.apps);
+  runner.run_all();
+  const std::string round1 = cell_result_to_json(runner.result(first).cell);
+
+  cell.policy = policy::PolicyKind::Static;
+  const std::size_t second = runner.add(cell, workload_b.jobs, workload_b.apps);
+  runner.run_all();
+  EXPECT_EQ(cell_result_to_json(runner.result(first).cell), round1);
+  EXPECT_TRUE(runner.result(second).cell.valid);
+  EXPECT_EQ(runner.results().size(), 2u);
+}
+
+TEST_F(SweepFixture, ReportAccumulatesEventsAndWallTime) {
+  SweepRunner runner(2);
+  CellConfig cell;
+  cell.system.total_nodes = 48;
+  cell.system.pct_large_nodes = 1.0;
+  cell.policy = policy::PolicyKind::Dynamic;
+  (void)runner.add(cell, workload_a.jobs, workload_a.apps);
+  runner.run_all();
+  const obs::ThroughputReport report = runner.report();
+  EXPECT_GT(report.engine_events, 0u);
+  EXPECT_GT(report.sim_seconds, 0.0);
+  EXPECT_GT(report.wall_seconds, 0.0);
+  EXPECT_EQ(report.engine_events, runner.result(0).cell.engine_events);
+}
+
+TEST_F(SweepFixture, ThreadsZeroMeansHardwareConcurrency) {
+  SweepRunner runner(0);
+  EXPECT_GE(runner.threads(), 1u);
+}
+
+TEST_F(SweepFixture, JsonContainsDeterministicFieldsOnly) {
+  SweepRunner runner(1);
+  CellConfig cell;
+  cell.system.total_nodes = 48;
+  cell.system.pct_large_nodes = 1.0;
+  cell.policy = policy::PolicyKind::Dynamic;
+  (void)runner.add(cell, workload_a.jobs, workload_a.apps);
+  runner.run_all();
+  const std::string json = cell_result_to_json(runner.result(0).cell);
+  EXPECT_NE(json.find("\"valid\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"throughput\""), std::string::npos);
+  EXPECT_NE(json.find("\"engine_events\""), std::string::npos);
+  EXPECT_EQ(json.find("wall_seconds"), std::string::npos);  // no wall clock
+}
+
+}  // namespace
+}  // namespace dmsim::harness

@@ -1,0 +1,108 @@
+#include "util/small_function.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace dmsim::util {
+namespace {
+
+TEST(SmallFunction, DefaultConstructedIsEmpty) {
+  SmallFunction<void()> f;
+  EXPECT_FALSE(static_cast<bool>(f));
+  EXPECT_TRUE(f == nullptr);
+}
+
+TEST(SmallFunction, InvokesLambdaWithCapture) {
+  int hits = 0;
+  SmallFunction<void()> f = [&hits] { ++hits; };
+  ASSERT_TRUE(static_cast<bool>(f));
+  f();
+  f();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(SmallFunction, ReturnsValueAndForwardsArguments) {
+  SmallFunction<int(int, int)> add = [](int a, int b) { return a + b; };
+  EXPECT_EQ(add(2, 3), 5);
+}
+
+TEST(SmallFunction, SmallCaptureStaysInline) {
+  struct Small {
+    std::array<char, 32> payload;
+    void operator()() const {}
+  };
+  EXPECT_TRUE((SmallFunction<void()>::stores_inline<Small>));
+}
+
+TEST(SmallFunction, OversizedCaptureIsBoxedAndStillWorks) {
+  struct Big {
+    std::array<char, 128> payload{};
+    int operator()() const { return payload[0] + 7; }
+  };
+  EXPECT_FALSE((SmallFunction<int()>::stores_inline<Big>));
+  SmallFunction<int()> f = Big{};
+  EXPECT_EQ(f(), 7);
+}
+
+TEST(SmallFunction, MoveTransfersOwnership) {
+  int hits = 0;
+  SmallFunction<void()> a = [&hits] { ++hits; };
+  SmallFunction<void()> b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(SmallFunction, MoveAssignDestroysPreviousTarget) {
+  auto counter = std::make_shared<int>(0);
+  SmallFunction<void()> a = [counter] { ++*counter; };
+  EXPECT_EQ(counter.use_count(), 2);
+  a = SmallFunction<void()>([] {});
+  EXPECT_EQ(counter.use_count(), 1);  // old capture destroyed
+}
+
+TEST(SmallFunction, HoldsMoveOnlyCapture) {
+  auto owned = std::make_unique<int>(41);
+  SmallFunction<int()> f = [p = std::move(owned)] { return *p + 1; };
+  EXPECT_EQ(f(), 42);
+  SmallFunction<int()> g = std::move(f);
+  EXPECT_EQ(g(), 42);
+}
+
+TEST(SmallFunction, ResetReleasesCapture) {
+  auto counter = std::make_shared<int>(0);
+  SmallFunction<void()> f = [counter] { ++*counter; };
+  EXPECT_EQ(counter.use_count(), 2);
+  f.reset();
+  EXPECT_EQ(counter.use_count(), 1);
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(SmallFunction, NullptrAssignmentClears) {
+  SmallFunction<void()> f = [] {};
+  f = nullptr;
+  EXPECT_TRUE(f == nullptr);
+}
+
+TEST(SmallFunction, BoxedMoveIsPointerSteal) {
+  // The boxed path relocates by stealing the heap box; the capture itself
+  // must not be moved or copied when the wrapper moves.
+  struct Payload {
+    std::array<char, 128> big{};
+    std::string tag = "alive";
+    std::string operator()() const { return tag; }
+  };
+  SmallFunction<std::string()> a = Payload{};
+  SmallFunction<std::string()> b = std::move(a);
+  SmallFunction<std::string()> c;
+  c = std::move(b);
+  EXPECT_EQ(c(), "alive");
+}
+
+}  // namespace
+}  // namespace dmsim::util

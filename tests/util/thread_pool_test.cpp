@@ -5,6 +5,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace dmsim::util {
@@ -46,6 +47,41 @@ TEST(ThreadPool, ParallelForRethrowsFirstException) {
                                    if (i == 37) throw std::logic_error("x");
                                  }),
                std::logic_error);
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestFailingIndex) {
+  // Several iterations throw concurrently; the guarantee is deterministic:
+  // the exception from the LOWEST failing index wins, regardless of which
+  // worker finished first. Run many rounds to give racy implementations a
+  // chance to fail.
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::string caught;
+    try {
+      pool.parallel_for(64, [](std::size_t i) {
+        if (i == 11 || i == 12 || i == 60) {
+          throw std::runtime_error("idx-" + std::to_string(i));
+        }
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      caught = e.what();
+    }
+    EXPECT_EQ(caught, "idx-11") << "round " << round;
+  }
+}
+
+TEST(ThreadPool, ParallelForRunsEveryIterationDespiteThrow) {
+  // A throwing iteration must not short-circuit the rest of the range.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(256);
+  EXPECT_THROW(pool.parallel_for(hits.size(),
+                                 [&](std::size_t i) {
+                                   hits[i]++;
+                                   if (i == 0) throw std::logic_error("x");
+                                 }),
+               std::logic_error);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
 TEST(ThreadPool, ManyTasksAllComplete) {
