@@ -1,6 +1,8 @@
 #include "cluster/cluster.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 #include "util/error.hpp"
@@ -38,6 +40,23 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
     total_capacity_ += nc.capacity;
     nodes_.push_back(n);
   }
+  index_state_.resize(nodes_.size());
+  borrower_index_.resize(nodes_.size());
+  lender_dirty_flag_.assign(nodes_.size(), 0);
+  for (const auto& n : nodes_) reindex_node(n);
+  nodes_by_capacity_.reserve(nodes_.size());
+  for (const auto& n : nodes_) nodes_by_capacity_.push_back(n.id);
+  std::sort(nodes_by_capacity_.begin(), nodes_by_capacity_.end(),
+            [this](NodeId a, NodeId b) {
+              const MiB ca = nodes_[a.get()].capacity;
+              const MiB cb = nodes_[b.get()].capacity;
+              if (ca != cb) return ca < cb;
+              return a < b;
+            });
+  capacities_sorted_.reserve(nodes_.size());
+  for (NodeId id : nodes_by_capacity_) {
+    capacities_sorted_.push_back(nodes_[id.get()].capacity);
+  }
 }
 
 void Cluster::set_observer(const obs::Observer* observer) {
@@ -63,18 +82,67 @@ Node& Cluster::node_mut(NodeId id) {
   return nodes_[id.get()];
 }
 
-int Cluster::idle_hostable_nodes() const noexcept {
-  int n = 0;
-  for (const auto& node : nodes_) {
-    if (node.idle() && !node.memory_node()) ++n;
-  }
-  return n;
-}
-
 bool Cluster::can_host(NodeId id) const {
   const Node& n = node(id);
   return n.idle() && !n.memory_node();
 }
+
+std::span<const NodeId> Cluster::nodes_by_capacity_at_least(
+    MiB capacity) const noexcept {
+  const auto it = std::lower_bound(capacities_sorted_.begin(),
+                                   capacities_sorted_.end(), capacity);
+  const auto offset =
+      static_cast<std::size_t>(it - capacities_sorted_.begin());
+  return std::span<const NodeId>(nodes_by_capacity_).subspan(offset);
+}
+
+// ---------------------------------------------------------------------------
+// Index maintenance
+// ---------------------------------------------------------------------------
+
+void Cluster::reindex_node(const Node& n) {
+  NodeIndexState& st = index_state_[n.id.get()];
+  const MiB free = n.free();
+  const bool host = n.idle() && !n.memory_node();
+  const bool lendable = free > 0;
+  const bool mem_free = n.memory_node() && free > 0;
+  const FreeKey old_key{st.free, n.id.get()};
+  const FreeKey new_key{free, n.id.get()};
+  const bool moved = st.free != free;
+  if (st.in_host && (!host || moved)) host_index_.erase(old_key);
+  if (host && (!st.in_host || moved)) host_index_.insert(new_key);
+  if (st.in_free && (!lendable || moved)) free_index_.erase(old_key);
+  if (lendable && (!st.in_free || moved)) free_index_.insert(new_key);
+  if (st.in_mem_free && (!mem_free || moved)) mem_free_index_.erase(old_key);
+  if (mem_free && (!st.in_mem_free || moved)) mem_free_index_.insert(new_key);
+  st = NodeIndexState{free, host, lendable, mem_free};
+}
+
+void Cluster::mark_lender_dirty(NodeId id) {
+  std::uint8_t& flag = lender_dirty_flag_[id.get()];
+  if (flag == 0) {
+    flag = 1;
+    dirty_lenders_.push_back(id);
+  }
+}
+
+void Cluster::mark_slot_dirty(const AllocationSlot& slot) {
+  mark_job_dirty(slot.job);
+  for (const auto& [lender, amount] : slot.remote) {
+    (void)amount;
+    mark_lender_dirty(lender);
+  }
+}
+
+void Cluster::clear_contention_dirty() {
+  for (const NodeId id : dirty_lenders_) lender_dirty_flag_[id.get()] = 0;
+  dirty_lenders_.clear();
+  dirty_jobs_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Job placement
+// ---------------------------------------------------------------------------
 
 void Cluster::assign_job(JobId job, std::span<const NodeId> hosts) {
   DMSIM_ASSERT(job.valid(), "cannot assign an invalid job");
@@ -85,7 +153,9 @@ void Cluster::assign_job(JobId job, std::span<const NodeId> hosts) {
   }
   std::vector<NodeId> host_list(hosts.begin(), hosts.end());
   for (NodeId h : host_list) {
-    node_mut(h).running_job = job;
+    Node& n = node_mut(h);
+    n.running_job = job;
+    reindex_node(n);
     AllocationSlot slot;
     slot.job = job;
     slot.host = h;
@@ -94,6 +164,7 @@ void Cluster::assign_job(JobId job, std::span<const NodeId> hosts) {
     (void)it;
   }
   job_hosts_.emplace(job.get(), std::move(host_list));
+  ++change_epoch_;
 }
 
 void Cluster::finish_job(JobId job) {
@@ -110,6 +181,9 @@ void Cluster::finish_job(JobId job) {
       ln.lent -= amount;
       total_allocated_ -= amount;
       total_lent_ -= amount;
+      reindex_node(ln);
+      mark_lender_dirty(lender);
+      std::erase(borrower_index_[lender.get()], sit->first);
     }
     // Release local share and the host itself.
     Node& hn = node_mut(h);
@@ -118,14 +192,20 @@ void Cluster::finish_job(JobId job) {
     total_allocated_ -= slot.local;
     DMSIM_ASSERT(hn.running_job == job, "host running a different job");
     hn.running_job = JobId{};
+    reindex_node(hn);
     slots_.erase(sit);
   }
   job_hosts_.erase(hit);
+  ++change_epoch_;
   // The scheduler emits the job's terminal event; here only the aggregate
   // gauges move (all of the job's local + borrowed memory was returned).
   if (g_lent_) g_lent_->set(total_lent_);
   if (g_allocated_) g_allocated_->set(total_allocated_);
 }
+
+// ---------------------------------------------------------------------------
+// Memory operations
+// ---------------------------------------------------------------------------
 
 MiB Cluster::grow_local(JobId job, NodeId host, MiB amount) {
   DMSIM_ASSERT(amount >= 0, "grow_local amount must be non-negative");
@@ -136,6 +216,10 @@ MiB Cluster::grow_local(JobId job, NodeId host, MiB amount) {
   n.local_used += granted;
   total_allocated_ += granted;
   if (granted > 0) {
+    reindex_node(n);
+    ++change_epoch_;
+    // Remote-borrowing slots see their amount/total pressure ratios shift.
+    if (!slot.remote.empty()) mark_slot_dirty(slot);
     obs::bump(c_local_grow_mib_, static_cast<std::uint64_t>(granted));
     if (g_allocated_) g_allocated_->set(total_allocated_);
     if (obs::tracing(obs_)) {
@@ -156,6 +240,9 @@ MiB Cluster::shrink_local(JobId job, NodeId host, MiB amount) {
   n.local_used -= released;
   total_allocated_ -= released;
   if (released > 0) {
+    reindex_node(n);
+    ++change_epoch_;
+    if (!slot.remote.empty()) mark_slot_dirty(slot);
     obs::bump(c_local_shrink_mib_, static_cast<std::uint64_t>(released));
     if (g_allocated_) g_allocated_->set(total_allocated_);
     if (obs::tracing(obs_)) {
@@ -167,41 +254,33 @@ MiB Cluster::shrink_local(JobId job, NodeId host, MiB amount) {
   return released;
 }
 
-std::vector<NodeId> Cluster::ordered_lenders(NodeId exclude) const {
-  std::vector<NodeId> out;
-  out.reserve(nodes_.size());
-  for (const auto& n : nodes_) {
-    if (n.id != exclude && n.free() > 0) out.push_back(n.id);
-  }
-  const auto by_free_desc = [this](NodeId a, NodeId b) {
-    const MiB fa = node(a).free();
-    const MiB fb = node(b).free();
-    if (fa != fb) return fa > fb;
-    return a < b;  // deterministic tie-break
-  };
-  const auto by_free_asc = [this](NodeId a, NodeId b) {
-    const MiB fa = node(a).free();
-    const MiB fb = node(b).free();
-    if (fa != fb) return fa < fb;
-    return a < b;
+void Cluster::ordered_lenders_into(NodeId exclude,
+                                   std::vector<NodeId>& out) const {
+  out.clear();
+  const auto take = [&out, exclude](const FreeKey& k) {
+    if (k.second != exclude.get()) out.push_back(NodeId{k.second});
+    return true;
   };
   switch (config_.lender_policy) {
     case LenderPolicy::MostFree:
-      std::sort(out.begin(), out.end(), by_free_desc);
+      visit_desc(free_index_, free_index_.end(), take);
       break;
     case LenderPolicy::LeastFree:
-      std::sort(out.begin(), out.end(), by_free_asc);
+      for (const FreeKey& k : free_index_) take(k);
       break;
     case LenderPolicy::MemoryNodesFirst:
-      std::sort(out.begin(), out.end(), [this, &by_free_desc](NodeId a, NodeId b) {
-        const bool ma = node(a).memory_node();
-        const bool mb = node(b).memory_node();
-        if (ma != mb) return ma;  // memory nodes first
-        return by_free_desc(a, b);
+      // Memory nodes (free desc, id asc), then the rest in the same order —
+      // exactly the old sort's partition under its memory-nodes-first
+      // comparator.
+      visit_desc(mem_free_index_, mem_free_index_.end(), take);
+      visit_desc(free_index_, free_index_.end(), [&](const FreeKey& k) {
+        if (k.second != exclude.get() && !nodes_[k.second].memory_node()) {
+          out.push_back(NodeId{k.second});
+        }
+        return true;
       });
       break;
   }
-  return out;
 }
 
 MiB Cluster::grow_remote(JobId job, NodeId host, MiB amount) {
@@ -209,7 +288,11 @@ MiB Cluster::grow_remote(JobId job, NodeId host, MiB amount) {
   if (amount == 0) return 0;
   AllocationSlot& slot = slot_mut(job, host);
   MiB remaining = amount;
-  for (NodeId lender : ordered_lenders(host)) {
+  // Snapshot the lender order before mutating: taking memory can flip a
+  // lender's memory-node status, and the historical behaviour is to rank
+  // lenders by their state at the start of the grow.
+  ordered_lenders_into(host, lender_scratch_);
+  for (NodeId lender : lender_scratch_) {
     if (remaining == 0) break;
     Node& ln = node_mut(lender);
     const MiB take = std::min(remaining, ln.free());
@@ -218,6 +301,7 @@ MiB Cluster::grow_remote(JobId job, NodeId host, MiB amount) {
     total_allocated_ += take;
     total_lent_ += take;
     remaining -= take;
+    reindex_node(ln);
     // Merge into an existing edge if present.
     auto edge = std::find_if(slot.remote.begin(), slot.remote.end(),
                              [lender](const auto& e) { return e.first == lender; });
@@ -225,10 +309,14 @@ MiB Cluster::grow_remote(JobId job, NodeId host, MiB amount) {
       edge->second += take;
     } else {
       slot.remote.emplace_back(lender, take);
+      borrower_index_[lender.get()].push_back(key(job, host));
     }
   }
   const MiB granted = amount - remaining;
   if (granted > 0) {
+    ++change_epoch_;
+    // The slot's total moved too, so every edge's pressure ratio changed.
+    mark_slot_dirty(slot);
     obs::bump(c_lend_ops_);
     obs::bump(c_lent_mib_, static_cast<std::uint64_t>(granted));
     if (g_lent_) g_lent_->set(total_lent_);
@@ -264,9 +352,17 @@ MiB Cluster::shrink_remote(JobId job, NodeId host, MiB amount) {
     total_lent_ -= give;
     borrowed -= give;
     remaining -= give;
+    reindex_node(ln);
+    // Mark here, not via mark_slot_dirty below: a fully-returned edge is
+    // erased from the slot before that call, yet its lender's pressure
+    // still changed.
+    mark_lender_dirty(lender);
+    if (borrowed == 0) std::erase(borrower_index_[lender.get()], key(job, host));
   }
   std::erase_if(slot.remote, [](const auto& e) { return e.second == 0; });
   if (released > 0) {
+    ++change_epoch_;
+    mark_slot_dirty(slot);
     obs::bump(c_reclaim_ops_);
     obs::bump(c_reclaimed_mib_, static_cast<std::uint64_t>(released));
     if (g_lent_) g_lent_->set(total_lent_);
@@ -280,6 +376,10 @@ MiB Cluster::shrink_remote(JobId job, NodeId host, MiB amount) {
   }
   return released;
 }
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
 
 const AllocationSlot& Cluster::slot(JobId job, NodeId host) const {
   const auto it = slots_.find(key(job, host));
@@ -297,6 +397,12 @@ AllocationSlot& Cluster::slot_mut(JobId job, NodeId host) {
   return it->second;
 }
 
+std::span<const NodeId> Cluster::hosts_of(JobId job) const {
+  const auto hit = job_hosts_.find(job.get());
+  if (hit == job_hosts_.end()) return {};
+  return hit->second;
+}
+
 std::vector<const AllocationSlot*> Cluster::job_slots(JobId job) const {
   std::vector<const AllocationSlot*> out;
   const auto hit = job_hosts_.find(job.get());
@@ -306,22 +412,50 @@ std::vector<const AllocationSlot*> Cluster::job_slots(JobId job) const {
   return out;
 }
 
-std::vector<Cluster::BorrowEdge> Cluster::borrowers_of(NodeId lender) const {
-  std::vector<BorrowEdge> out;
-  for (const auto& [k, slot] : slots_) {
-    (void)k;
+void Cluster::borrowers_of(NodeId lender,
+                           std::vector<BorrowEdge>& out) const {
+  const std::size_t first = out.size();
+  for (const SlotKey k : borrower_index_[lender.get()]) {
+    const auto it = slots_.find(k);
+    DMSIM_ASSERT(it != slots_.end(), "reverse index points at a dead slot");
+    const AllocationSlot& slot = it->second;
     for (const auto& [from, amount] : slot.remote) {
-      if (from == lender && amount > 0) {
+      if (from == lender) {
+        DMSIM_ASSERT(amount > 0, "reverse index holds a zero edge");
         out.push_back(BorrowEdge{slot.job, slot.host, amount});
+        break;  // edges are merged: at most one per lender
       }
     }
   }
+  // Canonical order: borrower job id ascending, then the host's position in
+  // the job's assignment. This matches a job-id-ordered walk of each job's
+  // slots, which the incremental contention refresh relies on for
+  // reproducible pressure summation.
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(first), out.end(),
+            [this](const BorrowEdge& a, const BorrowEdge& b) {
+              if (a.job != b.job) return a.job < b.job;
+              const std::span<const NodeId> hosts = hosts_of(a.job);
+              const auto pos = [&hosts](NodeId h) {
+                return std::find(hosts.begin(), hosts.end(), h) - hosts.begin();
+              };
+              return pos(a.host) < pos(b.host);
+            });
+}
+
+std::vector<Cluster::BorrowEdge> Cluster::borrowers_of(NodeId lender) const {
+  std::vector<BorrowEdge> out;
+  borrowers_of(lender, out);
   return out;
 }
+
+// ---------------------------------------------------------------------------
+// Invariants
+// ---------------------------------------------------------------------------
 
 void Cluster::check_invariants() const {
   std::vector<MiB> local(nodes_.size(), 0);
   std::vector<MiB> lent(nodes_.size(), 0);
+  std::vector<std::size_t> borrow_edges(nodes_.size(), 0);
   MiB allocated = 0;
   for (const auto& [k, slot] : slots_) {
     (void)k;
@@ -333,17 +467,51 @@ void Cluster::check_invariants() const {
       DMSIM_ASSERT(lender != slot.host, "self-borrow edge");
       lent[lender.get()] += amount;
       allocated += amount;
+      ++borrow_edges[lender.get()];
+      // The reverse index must hold exactly this slot under the lender.
+      const auto& rev = borrower_index_[lender.get()];
+      DMSIM_ASSERT(std::count(rev.begin(), rev.end(), key(slot.job, slot.host)) == 1,
+                   "borrow edge missing from (or duplicated in) reverse index");
     }
     DMSIM_ASSERT(node(slot.host).running_job == slot.job,
                  "slot host not running the slot's job");
   }
+  std::size_t host_entries = 0;
+  std::size_t free_entries = 0;
+  std::size_t mem_free_entries = 0;
   for (const auto& n : nodes_) {
     DMSIM_ASSERT(n.local_used == local[n.id.get()],
                  "node local_used disagrees with slots");
     DMSIM_ASSERT(n.lent == lent[n.id.get()], "node lent disagrees with edges");
     DMSIM_ASSERT(n.local_used + n.lent <= n.capacity, "node over-committed");
     DMSIM_ASSERT(n.local_used >= 0 && n.lent >= 0, "negative ledger entry");
+    DMSIM_ASSERT(borrower_index_[n.id.get()].size() == borrow_edges[n.id.get()],
+                 "reverse index size disagrees with live edges");
+    // Each free-memory index must hold the node iff its predicate holds,
+    // keyed by the node's current free value.
+    const NodeIndexState& st = index_state_[n.id.get()];
+    DMSIM_ASSERT(st.free == n.free(), "cached index key out of date");
+    const FreeKey k{n.free(), n.id.get()};
+    const bool host = n.idle() && !n.memory_node();
+    const bool lendable = n.free() > 0;
+    const bool mem_free = n.memory_node() && n.free() > 0;
+    DMSIM_ASSERT(st.in_host == host && host_index_.contains(k) == host,
+                 "host index disagrees with node state");
+    DMSIM_ASSERT(st.in_free == lendable && free_index_.contains(k) == lendable,
+                 "free index disagrees with node state");
+    DMSIM_ASSERT(
+        st.in_mem_free == mem_free && mem_free_index_.contains(k) == mem_free,
+        "memory-node free index disagrees with node state");
+    host_entries += host ? 1 : 0;
+    free_entries += lendable ? 1 : 0;
+    mem_free_entries += mem_free ? 1 : 0;
   }
+  DMSIM_ASSERT(host_index_.size() == host_entries,
+               "host index holds stale entries");
+  DMSIM_ASSERT(free_index_.size() == free_entries,
+               "free index holds stale entries");
+  DMSIM_ASSERT(mem_free_index_.size() == mem_free_entries,
+               "memory-node free index holds stale entries");
   DMSIM_ASSERT(allocated == total_allocated_,
                "aggregate allocation counter out of sync");
   MiB lent_total = 0;

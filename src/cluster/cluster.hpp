@@ -15,10 +15,19 @@
 // All mutation goes through grow/shrink operations that keep aggregate
 // counters consistent; `check_invariants()` revalidates the full ledger and
 // is exercised heavily by the test suite.
+//
+// Scalability: every mutation maintains three ordered free-memory indexes
+// (hostable nodes, lendable nodes, lendable memory nodes) plus a reverse
+// lender -> borrow-edge index, so host selection, lender ordering,
+// `idle_hostable_nodes()` and `borrowers_of()` never rescan all nodes or all
+// slots. The indexes are keyed (free asc, id asc); descending-free orders
+// are produced by walking equal-free buckets back to front, which reproduces
+// the exact (free desc, id asc) order of the former sort-based comparators.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <set>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -112,13 +121,50 @@ class Cluster {
   /// Aggregate memory currently lent across all nodes. Zero means no job
   /// has any remote memory (the contention model is trivially idle).
   [[nodiscard]] MiB total_lent() const noexcept { return total_lent_; }
-  [[nodiscard]] int idle_hostable_nodes() const noexcept;
+  [[nodiscard]] int idle_hostable_nodes() const noexcept {
+    return static_cast<int>(host_index_.size());
+  }
   [[nodiscard]] LenderPolicy lender_policy() const noexcept {
     return config_.lender_policy;
   }
 
+  /// Monotonic counter bumped by every mutation that changes ledger state
+  /// (assignment, completion, any grow/shrink that moved memory). A policy
+  /// decision is a pure function of ledger state, so an unchanged epoch
+  /// means an unchanged decision — the scheduler uses this to replay cached
+  /// denials instead of re-running host selection.
+  [[nodiscard]] std::uint64_t change_epoch() const noexcept {
+    return change_epoch_;
+  }
+
   /// True if the node is idle and not a memory node (may accept a job).
   [[nodiscard]] bool can_host(NodeId id) const;
+
+  // --- ordered-index queries (policy/scheduler hot paths) -----------------
+  /// Nodes with capacity >= `capacity`, ordered (capacity asc, id asc).
+  /// Capacities are immutable, so the span is a suffix of a static order.
+  [[nodiscard]] std::span<const NodeId> nodes_by_capacity_at_least(
+      MiB capacity) const noexcept;
+
+  /// Visit idle, non-memory nodes with free() >= `min_free` in ascending
+  /// (free, id) order — the Static policy's "tightest sufficient fit"
+  /// order. `fn(NodeId)` returns false to stop early.
+  template <typename Fn>
+  void visit_hostable_at_least(MiB min_free, Fn&& fn) const {
+    const auto begin = host_index_.lower_bound(FreeKey{min_free, 0});
+    for (auto it = begin; it != host_index_.end(); ++it) {
+      if (!fn(NodeId{it->second})) return;
+    }
+  }
+
+  /// Visit idle, non-memory nodes with free() < `max_free` in descending
+  /// free order (ties by ascending id) — the Static policy's "most free
+  /// insufficient" order. `fn(NodeId)` returns false to stop early.
+  template <typename Fn>
+  void visit_hostable_below_desc(MiB max_free, Fn&& fn) const {
+    visit_desc(host_index_, host_index_.lower_bound(FreeKey{max_free, 0}),
+               [&](const FreeKey& k) { return fn(NodeId{k.second}); });
+  }
 
   // --- job placement -----------------------------------------------------
   /// Mark `hosts` as running `job` and create empty allocation slots.
@@ -148,6 +194,9 @@ class Cluster {
   [[nodiscard]] const AllocationSlot& slot(JobId job, NodeId host) const;
   [[nodiscard]] bool has_slot(JobId job, NodeId host) const;
 
+  /// Hosts of a job in assignment order (empty span if not assigned).
+  [[nodiscard]] std::span<const NodeId> hosts_of(JobId job) const;
+
   /// All slots of a job (one per host), in host order.
   [[nodiscard]] std::vector<const AllocationSlot*> job_slots(JobId job) const;
 
@@ -157,9 +206,28 @@ class Cluster {
     NodeId host{};
     MiB amount = 0;
   };
+  /// Append `lender`'s borrow edges to `out` in canonical order: ascending
+  /// borrower job id, then the host's position in the job's assignment.
+  /// O(edges of this lender) via the reverse index.
+  void borrowers_of(NodeId lender, std::vector<BorrowEdge>& out) const;
   [[nodiscard]] std::vector<BorrowEdge> borrowers_of(NodeId lender) const;
 
-  /// Full-ledger consistency check; aborts (DMSIM_ASSERT) on violation.
+  // --- contention dirty tracking ------------------------------------------
+  /// Lenders whose bandwidth pressure may have changed since the last
+  /// clear_contention_dirty(): an edge was added/removed/resized, or a
+  /// borrowing slot's total allocation moved. Deduplicated.
+  [[nodiscard]] std::span<const NodeId> dirty_lenders() const noexcept {
+    return dirty_lenders_;
+  }
+  /// Jobs whose slowdown inputs changed (slot totals or borrow edges). May
+  /// contain duplicates and ids of jobs that have since finished.
+  [[nodiscard]] std::span<const JobId> dirty_jobs() const noexcept {
+    return dirty_jobs_;
+  }
+  void clear_contention_dirty();
+
+  /// Full-ledger consistency check (including every incremental index);
+  /// aborts (DMSIM_ASSERT) on violation.
   void check_invariants() const;
 
  private:
@@ -175,12 +243,58 @@ class Cluster {
   [[nodiscard]] static SlotKey key(JobId job, NodeId host) noexcept {
     return SlotKey{(static_cast<std::uint64_t>(job.get()) << 32) | host.get()};
   }
+  [[nodiscard]] static JobId key_job(SlotKey k) noexcept {
+    return JobId{static_cast<std::uint32_t>(k.packed >> 32)};
+  }
+  [[nodiscard]] static NodeId key_host(SlotKey k) noexcept {
+    return NodeId{static_cast<std::uint32_t>(k.packed & 0xffffffffu)};
+  }
+
+  /// (free MiB, node id): the ordered-set key of every free-memory index.
+  using FreeKey = std::pair<MiB, std::uint32_t>;
+  using FreeIndex = std::set<FreeKey>;
+
+  /// The index memberships a node held when last reindexed; reindex_node()
+  /// diffs against it so each mutation erases/inserts only what moved.
+  struct NodeIndexState {
+    MiB free = 0;
+    bool in_host = false;      ///< host_index_: idle and not a memory node
+    bool in_free = false;      ///< free_index_: free() > 0 (lending candidate)
+    bool in_mem_free = false;  ///< mem_free_index_: memory node with free() > 0
+  };
+
+  /// Walk `[index.begin(), end)` in descending-free order, visiting equal-
+  /// free buckets back to front and each bucket in ascending id order. This
+  /// is exactly the (free desc, id asc) order of the former sort-based
+  /// lender/host comparators. `fn` returns false to stop.
+  template <typename Fn>
+  static void visit_desc(const FreeIndex& index, FreeIndex::const_iterator end,
+                         Fn&& fn) {
+    auto it = end;
+    while (it != index.begin()) {
+      const auto highest = std::prev(it);
+      const auto bucket = index.lower_bound(FreeKey{highest->first, 0});
+      for (auto b = bucket; b != it; ++b) {
+        if (!fn(*b)) return;
+      }
+      it = bucket;
+    }
+  }
 
   [[nodiscard]] Node& node_mut(NodeId id);
   [[nodiscard]] AllocationSlot& slot_mut(JobId job, NodeId host);
 
-  /// Candidate lenders with free memory, ordered by the lender policy.
-  [[nodiscard]] std::vector<NodeId> ordered_lenders(NodeId exclude) const;
+  /// Re-derive `n`'s index memberships after a mutation.
+  void reindex_node(const Node& n);
+  void mark_lender_dirty(NodeId id);
+  void mark_job_dirty(JobId job) { dirty_jobs_.push_back(job); }
+  /// Mark the job and every lender of `slot` dirty: the slot's total moved,
+  /// so the amount/total pressure ratio of all its edges changed.
+  void mark_slot_dirty(const AllocationSlot& slot);
+
+  /// Materialize candidate lenders (free memory, excluding `exclude`) into
+  /// `out` in the configured LenderPolicy order, straight from the indexes.
+  void ordered_lenders_into(NodeId exclude, std::vector<NodeId>& out) const;
 
   ClusterConfig config_;
   std::vector<Node> nodes_;
@@ -189,6 +303,24 @@ class Cluster {
   MiB total_capacity_ = 0;
   MiB total_allocated_ = 0;
   MiB total_lent_ = 0;
+
+  // Incremental indexes (see file comment).
+  FreeIndex host_index_;
+  FreeIndex free_index_;
+  FreeIndex mem_free_index_;
+  std::vector<NodeIndexState> index_state_;
+  std::vector<NodeId> nodes_by_capacity_;  ///< static (capacity asc, id asc)
+  std::vector<MiB> capacities_sorted_;     ///< capacities in the same order
+  /// Reverse borrow index: lender -> slot keys holding a live edge to it.
+  std::vector<std::vector<SlotKey>> borrower_index_;
+  std::uint64_t change_epoch_ = 0;
+
+  // Contention dirty sets (consumed via clear_contention_dirty()).
+  std::vector<NodeId> dirty_lenders_;
+  std::vector<JobId> dirty_jobs_;
+  std::vector<std::uint8_t> lender_dirty_flag_;
+
+  std::vector<NodeId> lender_scratch_;  ///< reused by grow_remote
 
   // Observability (all nullptr when disabled).
   const obs::Observer* obs_ = nullptr;

@@ -1,6 +1,8 @@
 #include "policy/policy.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 #include <vector>
 
@@ -31,6 +33,7 @@ void AllocationPolicy::set_observer(const obs::Observer* observer) {
 }
 
 bool AllocationPolicy::granted(const trace::JobSpec& spec) {
+  last_deny_reason_ = nullptr;
   obs::bump(c_grants_);
   if (obs::tracing(obs_)) {
     obs_->sink->emit(
@@ -42,6 +45,7 @@ bool AllocationPolicy::granted(const trace::JobSpec& spec) {
 }
 
 bool AllocationPolicy::denied(const trace::JobSpec& spec, const char* reason) {
+  last_deny_reason_ = reason;
   obs::bump(c_denies_);
   if (obs::tracing(obs_)) {
     obs::Event e{obs::EventKind::PolicyDeny, obs_->now(), spec.id.get()};
@@ -60,26 +64,20 @@ bool BaselinePolicy::try_start(const trace::JobSpec& spec,
                                cluster::Cluster& cluster) {
   DMSIM_ASSERT(spec.num_nodes > 0, "job must request at least one node");
   // Baseline nodes never lend, so an idle node has its whole capacity free.
-  std::vector<NodeId> candidates;
-  for (const auto& n : cluster.nodes()) {
-    if (n.idle() && n.capacity >= spec.requested_mem) {
-      candidates.push_back(n.id);
-    }
+  // Best fit: smallest sufficient node first, saving large nodes for large
+  // jobs (deterministic id tie-break) — the capacity index is already in
+  // that order, so take the first num_nodes idle entries.
+  hosts_.clear();
+  for (NodeId id : cluster.nodes_by_capacity_at_least(spec.requested_mem)) {
+    if (!cluster.node(id).idle()) continue;
+    hosts_.push_back(id);
+    if (std::cmp_equal(hosts_.size(), spec.num_nodes)) break;
   }
-  if (std::cmp_less(candidates.size(), spec.num_nodes)) {
+  if (std::cmp_less(hosts_.size(), spec.num_nodes)) {
     return denied(spec, "not_enough_fitting_idle_nodes");
   }
-  // Best fit: smallest sufficient node first, saving large nodes for large
-  // jobs (deterministic id tie-break).
-  std::sort(candidates.begin(), candidates.end(), [&](NodeId a, NodeId b) {
-    const MiB ca = cluster.node(a).capacity;
-    const MiB cb = cluster.node(b).capacity;
-    if (ca != cb) return ca < cb;
-    return a < b;
-  });
-  candidates.resize(static_cast<std::size_t>(spec.num_nodes));
-  cluster.assign_job(spec.id, candidates);
-  for (NodeId h : candidates) {
+  cluster.assign_job(spec.id, hosts_);
+  for (NodeId h : hosts_) {
     const MiB local = cluster.grow_local(spec.id, h, spec.requested_mem);
     DMSIM_ASSERT(local == spec.requested_mem,
                  "baseline host unexpectedly short of memory");
@@ -89,11 +87,9 @@ bool BaselinePolicy::try_start(const trace::JobSpec& spec,
 
 bool BaselinePolicy::feasible(const trace::JobSpec& spec,
                               const cluster::Cluster& cluster) const {
-  int fitting = 0;
-  for (const auto& n : cluster.nodes()) {
-    if (n.capacity >= spec.requested_mem) ++fitting;
-  }
-  return fitting >= spec.num_nodes;
+  return std::cmp_greater_equal(
+      cluster.nodes_by_capacity_at_least(spec.requested_mem).size(),
+      spec.num_nodes);
 }
 
 // ---------------------------------------------------------------------------
@@ -104,60 +100,40 @@ bool StaticPolicy::try_start(const trace::JobSpec& spec,
                              cluster::Cluster& cluster) {
   DMSIM_ASSERT(spec.num_nodes > 0, "job must request at least one node");
   // Hosts must be idle and not memory nodes (§2.1 half-capacity rule).
-  std::vector<NodeId> hostable;
-  for (const auto& n : cluster.nodes()) {
-    if (n.idle() && !n.memory_node()) hostable.push_back(n.id);
-  }
-  if (std::cmp_less(hostable.size(), spec.num_nodes)) {
+  // The hostable count is an O(1) index size now.
+  if (cluster.idle_hostable_nodes() < spec.num_nodes) {
     return denied(spec, "not_enough_hostable_nodes");
   }
 
-  // The policy "tries to run the job on nodes with enough free memory. If
-  // this is not possible, then it will choose nodes with the most free
-  // memory and borrow the remaining memory from other nodes" (§2.1).
-  // Among sufficient nodes we take the tightest fit so large-memory nodes
-  // stay available for large jobs.
-  std::vector<NodeId> sufficient;
-  std::vector<NodeId> insufficient;
-  for (NodeId id : hostable) {
-    (cluster.node(id).free() >= spec.requested_mem ? sufficient : insufficient)
-        .push_back(id);
-  }
-  std::sort(sufficient.begin(), sufficient.end(), [&](NodeId a, NodeId b) {
-    const MiB fa = cluster.node(a).free();
-    const MiB fb = cluster.node(b).free();
-    if (fa != fb) return fa < fb;  // tightest fit first
-    return a < b;
-  });
-  std::sort(insufficient.begin(), insufficient.end(), [&](NodeId a, NodeId b) {
-    const MiB fa = cluster.node(a).free();
-    const MiB fb = cluster.node(b).free();
-    if (fa != fb) return fa > fb;  // most free first
-    return a < b;
-  });
-
-  std::vector<NodeId> hosts;
-  hosts.reserve(static_cast<std::size_t>(spec.num_nodes));
-  for (NodeId id : sufficient) {
-    if (std::cmp_equal(hosts.size(), spec.num_nodes)) break;
-    hosts.push_back(id);
-  }
-  for (NodeId id : insufficient) {
-    if (std::cmp_equal(hosts.size(), spec.num_nodes)) break;
-    hosts.push_back(id);
-  }
-  DMSIM_ASSERT(std::cmp_equal(hosts.size(), spec.num_nodes),
-               "hostable count checked above");
-
-  // Fast reject: the whole allocation can never exceed system free memory.
+  // Fast reject before any host selection: the whole allocation can never
+  // exceed system free memory, so a hopeless job is denied in O(1).
   const MiB total_need =
       static_cast<MiB>(spec.num_nodes) * spec.requested_mem;
   if (total_need > cluster.total_free()) {
     return denied(spec, "exceeds_total_free");
   }
 
-  cluster.assign_job(spec.id, hosts);
-  for (NodeId h : hosts) {
+  // The policy "tries to run the job on nodes with enough free memory. If
+  // this is not possible, then it will choose nodes with the most free
+  // memory and borrow the remaining memory from other nodes" (§2.1).
+  // Among sufficient nodes we take the tightest fit so large-memory nodes
+  // stay available for large jobs. The cluster's hostable index serves both
+  // orders directly — (free asc, id asc) at or above the request, then
+  // (free desc, id asc) below it — replacing the former scan + two sorts.
+  hosts_.clear();
+  const auto want_more = [this, &spec](NodeId id) {
+    hosts_.push_back(id);
+    return std::cmp_less(hosts_.size(), spec.num_nodes);
+  };
+  cluster.visit_hostable_at_least(spec.requested_mem, want_more);
+  if (std::cmp_less(hosts_.size(), spec.num_nodes)) {
+    cluster.visit_hostable_below_desc(spec.requested_mem, want_more);
+  }
+  DMSIM_ASSERT(std::cmp_equal(hosts_.size(), spec.num_nodes),
+               "hostable count checked above");
+
+  cluster.assign_job(spec.id, hosts_);
+  for (NodeId h : hosts_) {
     MiB need = spec.requested_mem;
     need -= cluster.grow_local(spec.id, h, need);
     if (need > 0) need -= cluster.grow_remote(spec.id, h, need);

@@ -17,6 +17,7 @@
 
 #include <memory>
 #include <string_view>
+#include <vector>
 
 #include "cluster/cluster.hpp"
 #include "obs/observer.hpp"
@@ -55,6 +56,21 @@ class AllocationPolicy {
   /// and the policy.grants / policy.denies counters. nullptr disables.
   void set_observer(const obs::Observer* observer);
 
+  /// Reason token of the most recent denial (a static string), or nullptr
+  /// if the last decision was a grant. The scheduler caches it alongside the
+  /// cluster's change epoch to replay a denial without re-running selection.
+  [[nodiscard]] const char* last_deny_reason() const noexcept {
+    return last_deny_reason_;
+  }
+
+  /// Re-report a previously returned denial verbatim (same counters, same
+  /// trace event). Only valid with a reason token this policy produced; used
+  /// by the scheduler when the cluster is unchanged since the original
+  /// decision, which makes re-running try_start provably redundant.
+  void report_denied(const trace::JobSpec& spec, const char* reason) {
+    (void)denied(spec, reason);
+  }
+
  protected:
   /// try_start implementations report every decision through these so the
   /// trace explains *why* a job did not start (the §4 analyses hinge on it).
@@ -65,6 +81,7 @@ class AllocationPolicy {
   const obs::Observer* obs_ = nullptr;
   std::uint64_t* c_grants_ = nullptr;
   std::uint64_t* c_denies_ = nullptr;
+  const char* last_deny_reason_ = nullptr;
 };
 
 /// Baseline: exclusive node memory, no lending.
@@ -80,6 +97,9 @@ class BaselinePolicy final : public AllocationPolicy {
                                cluster::Cluster& cluster) override;
   [[nodiscard]] bool feasible(const trace::JobSpec& spec,
                               const cluster::Cluster& cluster) const override;
+
+ private:
+  std::vector<NodeId> hosts_;  ///< selection scratch, reused across calls
 };
 
 /// Static disaggregated: fixed request-sized allocation with borrowing.
@@ -95,6 +115,9 @@ class StaticPolicy : public AllocationPolicy {
                                cluster::Cluster& cluster) override;
   [[nodiscard]] bool feasible(const trace::JobSpec& spec,
                               const cluster::Cluster& cluster) const override;
+
+ private:
+  std::vector<NodeId> hosts_;  ///< selection scratch, reused across calls
 };
 
 /// Dynamic disaggregated: Static initial allocation + usage-driven resizing.

@@ -222,7 +222,7 @@ void Scheduler::scheduling_pass() {
          examined < static_cast<std::size_t>(config_.backfill_depth);) {
       ++examined;
       obs::bump(c_backfill_attempts_);
-      const PendingEntry entry = pending_[idx];
+      PendingEntry& entry = pending_[idx];
       const trace::JobSpec& spec = spec_of(entry.spec_index);
       if (engine_.now() + spec.walltime <= shadow && try_start_entry(entry)) {
         pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(idx));
@@ -241,9 +241,23 @@ void Scheduler::scheduling_pass() {
   if (started > 0) refresh_slowdowns();
 }
 
-bool Scheduler::try_start_entry(const PendingEntry& entry) {
+bool Scheduler::try_start_entry(PendingEntry& entry) {
   const trace::JobSpec& spec = spec_of(entry.spec_index);
-  if (!policy_.try_start(spec, cluster_)) return false;
+  // A policy decision is a pure function of the cluster ledger; if nothing
+  // changed since this entry's last denial, replay it (same counter bump,
+  // same trace event) instead of re-running host selection.
+  if (entry.last_deny_reason != nullptr &&
+      entry.last_deny_epoch == cluster_.change_epoch()) {
+    policy_.report_denied(spec, entry.last_deny_reason);
+    return false;
+  }
+  if (!policy_.try_start(spec, cluster_)) {
+    // Cache against the post-decision epoch: a failed attempt that rolled
+    // back (lenders_dry) advanced the epoch but left the state unchanged.
+    entry.last_deny_reason = policy_.last_deny_reason();
+    entry.last_deny_epoch = cluster_.change_epoch();
+    return false;
+  }
   start_running(entry);
   return true;
 }
@@ -321,7 +335,9 @@ Seconds Scheduler::reservation_shadow_time(const trace::JobSpec& head) const {
     const Seconds by_progress =
         now + std::max(0.0, 1.0 - progress) * spec.duration * rj.slowdown;
     MiB mem = 0;
-    for (const auto* slot : cluster_.job_slots(spec.id)) mem += slot->total();
+    for (const NodeId h : cluster_.hosts_of(spec.id)) {
+      mem += cluster_.slot(spec.id, h).total();
+    }
     releases.push_back(
         Release{std::max({now, by_walltime, by_progress}), spec.num_nodes, mem});
   }
@@ -372,10 +388,16 @@ void Scheduler::project_end(JobId id, RunningJob& rj) {
 }
 
 void Scheduler::refresh_slowdowns() {
-  if (running_.empty()) return;
+  if (running_.empty()) {
+    inc_slowdowns_.reset();
+    cluster_.clear_contention_dirty();
+    return;
+  }
   // Fast path: with no remote memory anywhere there is no contention and no
   // latency exposure — every job runs at full speed.
   if (cluster_.total_lent() == 0) {
+    inc_slowdowns_.reset();
+    cluster_.clear_contention_dirty();
     for (auto& [id_value, rj] : running_) {
       if (rj.slowdown != 1.0) {
         fold_progress(rj);
@@ -385,21 +407,30 @@ void Scheduler::refresh_slowdowns() {
     }
     return;
   }
-  std::vector<slowdown::ContentionModel::JobInput> inputs;
-  std::vector<std::uint32_t> ids;
-  inputs.reserve(running_.size());
-  ids.reserve(running_.size());
+  // Incremental: only jobs whose lender pressure or slot totals moved since
+  // the last refresh are re-evaluated, against a persistent pressure buffer.
+  running_ids_scratch_.clear();
   for (const auto& [id_value, rj] : running_) {
-    inputs.push_back({JobId{id_value}, spec_of(rj.spec_index).app_profile});
-    ids.push_back(id_value);
+    (void)rj;
+    running_ids_scratch_.push_back(id_value);
   }
-  const std::vector<double> slowdowns = model_.evaluate(cluster_, inputs);
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    RunningJob& rj = running_.at(ids[i]);
-    if (std::abs(slowdowns[i] - rj.slowdown) <= kSlowdownEps) continue;
+  slowdown_updates_.clear();
+  inc_slowdowns_.refresh(
+      cluster_, running_ids_scratch_,
+      [this](JobId id) {
+        const auto it = running_.find(id.get());
+        return it == running_.end()
+                   ? slowdown::IncrementalSlowdowns::kNotRunning
+                   : spec_of(it->second.spec_index).app_profile;
+      },
+      slowdown_updates_);
+  cluster_.clear_contention_dirty();
+  for (const auto& update : slowdown_updates_) {
+    RunningJob& rj = running_.at(update.job.get());
+    if (std::abs(update.slowdown - rj.slowdown) <= kSlowdownEps) continue;
     fold_progress(rj);
-    rj.slowdown = slowdowns[i];
-    project_end(JobId{ids[i]}, rj);
+    rj.slowdown = update.slowdown;
+    project_end(update.job, rj);
   }
 }
 
@@ -470,13 +501,13 @@ Scheduler::UpdateResult Scheduler::apply_update(RunningJob& rj, JobId id) {
   }
   const MiB base_demand = spec.usage.max_in(rj.progress, window_end);
 
-  const auto slots = cluster_.job_slots(id);
-  for (std::size_t i = 0; i < slots.size(); ++i) {
+  const std::span<const NodeId> hosts = cluster_.hosts_of(id);
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
     // Per-node heterogeneity: lighter nodes demand a scaled-down footprint.
     const MiB demand = static_cast<MiB>(std::llround(
         static_cast<double>(base_demand) * spec.usage_scale(i)));
     const policy::ResizeOutcome out =
-        policy::resize_to_demand(cluster_, id, slots[i]->host, demand);
+        policy::resize_to_demand(cluster_, id, hosts[i], demand);
     result.released += out.released;
     result.remote_changed |= out.remote_changed;
     if (!out.satisfied) {

@@ -182,6 +182,10 @@ class Scheduler {
     double checkpoint = 0.0;  ///< starting progress (C/R), 0 for F/R
     bool guaranteed = false;  ///< start with a static, update-exempt allocation
     int priority = 0;         ///< higher runs first; FIFO within a level
+    /// Cached denial: if the cluster's change epoch still matches, the
+    /// policy would deterministically deny again — replay without selection.
+    std::uint64_t last_deny_epoch = 0;
+    const char* last_deny_reason = nullptr;  ///< nullptr = no cached denial
   };
 
   /// Insert an entry keeping the queue sorted by (priority desc, FIFO).
@@ -208,7 +212,10 @@ class Scheduler {
 
   void request_scheduling_pass();
   void scheduling_pass();
-  [[nodiscard]] bool try_start_entry(const PendingEntry& entry);
+  /// Attempt to start `entry` via the policy. On denial the reason and the
+  /// cluster epoch are cached in the entry so an unchanged cluster replays
+  /// the denial (identical counters and trace) without re-selecting hosts.
+  [[nodiscard]] bool try_start_entry(PendingEntry& entry);
   void start_running(const PendingEntry& entry);
 
   /// Earliest projected time the blocked head job could start, simulating
@@ -251,7 +258,12 @@ class Scheduler {
   cluster::Cluster& cluster_;
   policy::AllocationPolicy& policy_;
   slowdown::ContentionModel model_;
+  slowdown::IncrementalSlowdowns inc_slowdowns_{&model_};
   SchedulerConfig config_;
+
+  // refresh_slowdowns() scratch, reused across calls.
+  std::vector<std::uint32_t> running_ids_scratch_;
+  std::vector<slowdown::IncrementalSlowdowns::Update> slowdown_updates_;
 
   trace::Workload workload_;
   std::deque<PendingEntry> pending_;

@@ -133,49 +133,72 @@ const AppProfile* ContentionModel::profile(int index) const noexcept {
   return &pool_->app(index);
 }
 
+void ContentionModel::add_pressure(const cluster::Cluster& cluster, JobId job,
+                                   int app_profile,
+                                   std::span<double> pressure) const {
+  const AppProfile* app = profile(app_profile);
+  const double bw = app != nullptr ? app->bw_demand_gbs : 0.0;
+  if (bw <= 0.0) return;
+  for (const NodeId h : cluster.hosts_of(job)) {
+    const cluster::AllocationSlot& slot = cluster.slot(job, h);
+    const MiB total = slot.total();
+    if (total <= 0) continue;
+    for (const auto& [lender, amount] : slot.remote) {
+      pressure[lender.get()] +=
+          bw * static_cast<double>(amount) / static_cast<double>(total);
+    }
+  }
+}
+
+double ContentionModel::lender_pressure(
+    const cluster::Cluster& cluster,
+    std::span<const cluster::Cluster::BorrowEdge> borrowers,
+    const std::function<int(JobId)>& app_of) const {
+  double p = 0.0;
+  for (const auto& e : borrowers) {
+    const AppProfile* app = profile(app_of(e.job));
+    const double bw = app != nullptr ? app->bw_demand_gbs : 0.0;
+    if (bw <= 0.0) continue;
+    const MiB total = cluster.slot(e.job, e.host).total();
+    if (total <= 0) continue;
+    p += bw * static_cast<double>(e.amount) / static_cast<double>(total);
+  }
+  return p;
+}
+
+double ContentionModel::job_slowdown(const cluster::Cluster& cluster, JobId job,
+                                     int app_profile,
+                                     std::span<const double> pressure) const {
+  const AppProfile* app = profile(app_profile);
+  double out = 1.0;
+  for (const NodeId h : cluster.hosts_of(job)) {
+    const cluster::AllocationSlot& slot = cluster.slot(job, h);
+    double worst_pressure = 0.0;
+    for (const auto& [lender, amount] : slot.remote) {
+      (void)amount;
+      worst_pressure = std::max(worst_pressure, pressure[lender.get()]);
+    }
+    const double sens =
+        app != nullptr ? app->sensitivity.at(worst_pressure) : 1.0;
+    const double penalty = app != nullptr ? app->remote_penalty : 0.0;
+    const double slot_slowdown = sens * (1.0 + penalty * slot.remote_fraction());
+    out = std::max(out, slot_slowdown);
+  }
+  return out;
+}
+
 std::vector<double> ContentionModel::evaluate(
     const cluster::Cluster& cluster, std::span<const JobInput> jobs) const {
   // Pass 1: bandwidth pressure each lender node receives.
   std::vector<double> pressure(cluster.node_count(), 0.0);
-  std::unordered_map<std::uint32_t, const AppProfile*> job_profile;
-  job_profile.reserve(jobs.size());
-  for (const auto& j : jobs) job_profile.emplace(j.job.get(), profile(j.app_profile));
-
   for (const auto& j : jobs) {
-    const AppProfile* app = job_profile[j.job.get()];
-    const double bw = app != nullptr ? app->bw_demand_gbs : 0.0;
-    if (bw <= 0.0) continue;
-    for (const auto* slot : cluster.job_slots(j.job)) {
-      const MiB total = slot->total();
-      if (total <= 0) continue;
-      for (const auto& [lender, amount] : slot->remote) {
-        pressure[lender.get()] +=
-            bw * static_cast<double>(amount) / static_cast<double>(total);
-      }
-    }
+    add_pressure(cluster, j.job, j.app_profile, pressure);
   }
-
   // Pass 2: slowdown per job = max over its slots.
   std::vector<double> out;
   out.reserve(jobs.size());
   for (const auto& j : jobs) {
-    const AppProfile* app = job_profile[j.job.get()];
-    double job_slowdown = 1.0;
-    for (const auto* slot : cluster.job_slots(j.job)) {
-      double worst_pressure = 0.0;
-      for (const auto& [lender, amount] : slot->remote) {
-        (void)amount;
-        worst_pressure = std::max(worst_pressure, pressure[lender.get()]);
-      }
-      const double sens =
-          app != nullptr ? app->sensitivity.at(worst_pressure) : 1.0;
-      const double penalty =
-          app != nullptr ? app->remote_penalty : 0.0;
-      const double slot_slowdown =
-          sens * (1.0 + penalty * slot->remote_fraction());
-      job_slowdown = std::max(job_slowdown, slot_slowdown);
-    }
-    out.push_back(job_slowdown);
+    out.push_back(job_slowdown(cluster, j.job, j.app_profile, pressure));
   }
   return out;
 }
@@ -184,6 +207,59 @@ double ContentionModel::evaluate_one(const cluster::Cluster& cluster, JobId job,
                                      int app_profile) const {
   const JobInput in{job, app_profile};
   return evaluate(cluster, std::span<const JobInput>(&in, 1)).front();
+}
+
+// ---------------------------------------------------------------------------
+// IncrementalSlowdowns
+// ---------------------------------------------------------------------------
+
+void IncrementalSlowdowns::refresh(const cluster::Cluster& cluster,
+                                   std::span<const std::uint32_t> running_ids,
+                                   const std::function<int(JobId)>& app_of,
+                                   std::vector<Update>& out) {
+  pressure_.resize(cluster.node_count(), 0.0);
+  if (!primed_) {
+    // Full rebuild in canonical (job id asc) order; every job gets an
+    // Update so the caller starts from a consistent slate.
+    std::fill(pressure_.begin(), pressure_.end(), 0.0);
+    eval_ids_.assign(running_ids.begin(), running_ids.end());
+    std::sort(eval_ids_.begin(), eval_ids_.end());
+    for (const std::uint32_t id : eval_ids_) {
+      model_->add_pressure(cluster, JobId{id}, app_of(JobId{id}), pressure_);
+    }
+    for (const std::uint32_t id : eval_ids_) {
+      out.push_back(Update{
+          JobId{id},
+          model_->job_slowdown(cluster, JobId{id}, app_of(JobId{id}), pressure_)});
+    }
+    primed_ = true;
+    return;
+  }
+
+  const std::span<const NodeId> dirty_lenders = cluster.dirty_lenders();
+  const std::span<const JobId> dirty_jobs = cluster.dirty_jobs();
+  if (dirty_lenders.empty() && dirty_jobs.empty()) return;
+
+  // Recompute the pressure at every dirty lender from its (few) current
+  // borrowers; those borrowers see a changed pressure, so they join the
+  // re-evaluation set alongside the explicitly dirty jobs.
+  eval_ids_.clear();
+  for (const NodeId lender : dirty_lenders) {
+    edges_.clear();
+    cluster.borrowers_of(lender, edges_);
+    pressure_[lender.get()] = model_->lender_pressure(cluster, edges_, app_of);
+    for (const auto& e : edges_) eval_ids_.push_back(e.job.get());
+  }
+  for (const JobId j : dirty_jobs) eval_ids_.push_back(j.get());
+  std::sort(eval_ids_.begin(), eval_ids_.end());
+  eval_ids_.erase(std::unique(eval_ids_.begin(), eval_ids_.end()),
+                  eval_ids_.end());
+  for (const std::uint32_t id : eval_ids_) {
+    const int app = app_of(JobId{id});
+    if (app == kNotRunning) continue;  // finished since it was marked dirty
+    out.push_back(
+        Update{JobId{id}, model_->job_slowdown(cluster, JobId{id}, app, pressure_)});
+  }
 }
 
 }  // namespace dmsim::slowdown

@@ -22,6 +22,8 @@
 // 1-20 GB/s/node).
 #pragma once
 
+#include <functional>
+#include <limits>
 #include <span>
 #include <string>
 #include <vector>
@@ -127,10 +129,77 @@ class ContentionModel {
   [[nodiscard]] double evaluate_one(const cluster::Cluster& cluster, JobId job,
                                     int app_profile) const;
 
+  // --- incremental building blocks ---------------------------------------
+  // evaluate() is composed of exactly these two passes; exposing them lets
+  // the scheduler keep a persistent pressure buffer and re-run only the
+  // parts the ledger actually changed.
+
+  /// Pass-1 contribution of one job: add bw * amount / total for each of its
+  /// borrow edges into `pressure` (indexed by lender node id).
+  void add_pressure(const cluster::Cluster& cluster, JobId job,
+                    int app_profile, std::span<double> pressure) const;
+
+  /// Pass-1 pressure at a single lender, summing `borrowers`' contributions
+  /// in the given order. `app_of(job)` resolves a borrower's profile index.
+  [[nodiscard]] double lender_pressure(
+      const cluster::Cluster& cluster,
+      std::span<const cluster::Cluster::BorrowEdge> borrowers,
+      const std::function<int(JobId)>& app_of) const;
+
+  /// Pass-2 slowdown of one job given a pressure buffer (>= 1).
+  [[nodiscard]] double job_slowdown(const cluster::Cluster& cluster, JobId job,
+                                    int app_profile,
+                                    std::span<const double> pressure) const;
+
  private:
   [[nodiscard]] const AppProfile* profile(int index) const noexcept;
 
   const AppPool* pool_;  // non-owning; may be nullptr (all jobs insensitive)
+};
+
+/// Incremental slowdown refresher: owns the persistent per-lender pressure
+/// buffer and consumes the cluster's contention dirty sets, so bringing
+/// slowdowns current after ledger churn costs O(edges touched + affected
+/// jobs) instead of a full two-pass model evaluation — with no per-call
+/// allocation after warm-up.
+///
+/// Summation order is canonical (ascending borrower job id, then slot
+/// assignment order) in both the full rebuild and the per-lender recompute,
+/// so a lender's pressure is bit-reproducible regardless of which path
+/// produced it.
+class IncrementalSlowdowns {
+ public:
+  struct Update {
+    JobId job{};
+    double slowdown = 1.0;
+  };
+
+  /// app_of() return value marking a job that is no longer running (its
+  /// pending update is dropped). Distinct from -1 (= insensitive app).
+  static constexpr int kNotRunning = std::numeric_limits<int>::min();
+
+  explicit IncrementalSlowdowns(const ContentionModel* model) : model_(model) {}
+
+  /// Drop all cached pressure state; the next refresh() rebuilds in full.
+  /// Call when the ledger goes quiet (nothing lent) or nothing is running.
+  void reset() noexcept { primed_ = false; }
+
+  /// Bring slowdowns current. `running_ids` is the full running set (any
+  /// order; only consulted on a full rebuild); `app_of` maps a job id to its
+  /// app-profile index, or kNotRunning. Appends an Update for every job
+  /// whose slowdown was recomputed, in ascending job-id order. The caller
+  /// must clear the cluster's dirty sets afterwards.
+  void refresh(const cluster::Cluster& cluster,
+               std::span<const std::uint32_t> running_ids,
+               const std::function<int(JobId)>& app_of,
+               std::vector<Update>& out);
+
+ private:
+  const ContentionModel* model_;
+  bool primed_ = false;
+  std::vector<double> pressure_;                       // per-node, persistent
+  std::vector<std::uint32_t> eval_ids_;                // scratch
+  std::vector<cluster::Cluster::BorrowEdge> edges_;    // scratch
 };
 
 }  // namespace dmsim::slowdown
