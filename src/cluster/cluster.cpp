@@ -1,8 +1,6 @@
 #include "cluster/cluster.hpp"
 
 #include <algorithm>
-#include <cstdio>
-#include <cstdlib>
 #include <utility>
 
 #include "util/error.hpp"
@@ -254,33 +252,39 @@ MiB Cluster::shrink_local(JobId job, NodeId host, MiB amount) {
   return released;
 }
 
-void Cluster::ordered_lenders_into(NodeId exclude,
-                                   std::vector<NodeId>& out) const {
-  out.clear();
-  const auto take = [&out, exclude](const FreeKey& k) {
-    if (k.second != exclude.get()) out.push_back(NodeId{k.second});
-    return true;
+NodeId Cluster::next_lender(NodeId exclude) const {
+  // First admissible key in visit_desc order — the same (free desc, id asc)
+  // walk the materialized ordering used, stopped at the first hit.
+  const auto first_desc = [exclude](const FreeIndex& index,
+                                    auto&& admit) -> NodeId {
+    NodeId found{};
+    visit_desc(index, index.end(), [&](const FreeKey& k) {
+      if (k.second == exclude.get() || !admit(k)) return true;
+      found = NodeId{k.second};
+      return false;
+    });
+    return found;
   };
+  const auto any = [](const FreeKey&) { return true; };
   switch (config_.lender_policy) {
     case LenderPolicy::MostFree:
-      visit_desc(free_index_, free_index_.end(), take);
-      break;
+      return first_desc(free_index_, any);
     case LenderPolicy::LeastFree:
-      for (const FreeKey& k : free_index_) take(k);
-      break;
-    case LenderPolicy::MemoryNodesFirst:
-      // Memory nodes (free desc, id asc), then the rest in the same order —
-      // exactly the old sort's partition under its memory-nodes-first
-      // comparator.
-      visit_desc(mem_free_index_, mem_free_index_.end(), take);
-      visit_desc(free_index_, free_index_.end(), [&](const FreeKey& k) {
-        if (k.second != exclude.get() && !nodes_[k.second].memory_node()) {
-          out.push_back(NodeId{k.second});
-        }
-        return true;
+      for (const FreeKey& k : free_index_) {
+        if (k.second != exclude.get()) return NodeId{k.second};
+      }
+      return NodeId{};
+    case LenderPolicy::MemoryNodesFirst: {
+      // Memory nodes (free desc, id asc) before the rest in the same order —
+      // the old sort's partition under its memory-nodes-first comparator.
+      const NodeId mem = first_desc(mem_free_index_, any);
+      if (mem.valid()) return mem;
+      return first_desc(free_index_, [this](const FreeKey& k) {
+        return !nodes_[k.second].memory_node();
       });
-      break;
+    }
   }
+  return NodeId{};
 }
 
 MiB Cluster::grow_remote(JobId job, NodeId host, MiB amount) {
@@ -288,15 +292,18 @@ MiB Cluster::grow_remote(JobId job, NodeId host, MiB amount) {
   if (amount == 0) return 0;
   AllocationSlot& slot = slot_mut(job, host);
   MiB remaining = amount;
-  // Snapshot the lender order before mutating: taking memory can flip a
-  // lender's memory-node status, and the historical behaviour is to rank
-  // lenders by their state at the start of the grow.
-  ordered_lenders_into(host, lender_scratch_);
-  for (NodeId lender : lender_scratch_) {
-    if (remaining == 0) break;
+  // Lenders are picked one at a time straight from the indexes. Each pick is
+  // either drained to free() == 0 — leaving every index before the next
+  // lookup — or the grow is satisfied and the loop ends, so the sequence of
+  // picks is identical to ranking all lenders by their state at the start of
+  // the grow (the historical snapshot semantics), including memory-node
+  // status flips: a flipped node has free() == 0 and is out of both indexes.
+  while (remaining > 0) {
+    const NodeId lender = next_lender(host);
+    if (!lender.valid()) break;
     Node& ln = node_mut(lender);
     const MiB take = std::min(remaining, ln.free());
-    if (take <= 0) continue;
+    DMSIM_ASSERT(take > 0, "free-index lender must have free memory");
     ln.lent += take;
     total_allocated_ += take;
     total_lent_ += take;

@@ -292,9 +292,12 @@ class Cluster {
   /// so the amount/total pressure ratio of all its edges changed.
   void mark_slot_dirty(const AllocationSlot& slot);
 
-  /// Materialize candidate lenders (free memory, excluding `exclude`) into
-  /// `out` in the configured LenderPolicy order, straight from the indexes.
-  void ordered_lenders_into(NodeId exclude, std::vector<NodeId>& out) const;
+  /// Best current lender (free memory, excluding `exclude`) under the
+  /// configured LenderPolicy, straight from the indexes; invalid id when no
+  /// lender remains. grow_remote drains each pick completely before asking
+  /// again, so repeated calls walk the same sequence a full materialized
+  /// ordering would — in O(log nodes) per pick instead of O(nodes) total.
+  [[nodiscard]] NodeId next_lender(NodeId exclude) const;
 
   ClusterConfig config_;
   std::vector<Node> nodes_;
@@ -319,8 +322,6 @@ class Cluster {
   std::vector<NodeId> dirty_lenders_;
   std::vector<JobId> dirty_jobs_;
   std::vector<std::uint8_t> lender_dirty_flag_;
-
-  std::vector<NodeId> lender_scratch_;  ///< reused by grow_remote
 
   // Observability (all nullptr when disabled).
   const obs::Observer* obs_ = nullptr;

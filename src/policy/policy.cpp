@@ -1,8 +1,6 @@
 #include "policy/policy.hpp"
 
 #include <algorithm>
-#include <cstdio>
-#include <cstdlib>
 #include <utility>
 #include <vector>
 

@@ -39,6 +39,7 @@ Scheduler::Scheduler(sim::Engine& engine, cluster::Cluster& cluster,
   DMSIM_ASSERT(config_.max_restarts > 0, "max_restarts must be positive");
   c_submits_ = obs::counter_handle(observer, "sched.submits");
   c_backfill_attempts_ = obs::counter_handle(observer, "sched.backfill_attempts");
+  c_update_batches_ = obs::counter_handle(observer, "sched.update_batches");
   g_queue_depth_ = obs::gauge_handle(observer, "sched.queue_depth");
   g_running_ = obs::gauge_handle(observer, "sched.running_jobs");
 }
@@ -171,6 +172,10 @@ void Scheduler::enqueue_pending(PendingEntry entry) {
     --it;
   }
   pending_.insert(it, entry);
+  set_queue_gauge();
+}
+
+void Scheduler::set_queue_gauge() {
   if (g_queue_depth_) {
     g_queue_depth_->set(static_cast<std::int64_t>(pending_.size()));
   }
@@ -201,6 +206,7 @@ void Scheduler::scheduling_pass() {
     const JobId started_id = spec_of(pending_.front().spec_index).id;
     if (!try_start_entry(pending_.front())) break;
     pending_.pop_front();
+    set_queue_gauge();
     ++started;
     ++totals_.fcfs_starts;
     trace_job(obs::EventKind::JobStart, started_id);
@@ -214,8 +220,17 @@ void Scheduler::scheduling_pass() {
       config_.enable_backfill ? config_.backfill_mode : BackfillMode::Off;
   if (!pending_.empty() && mode != BackfillMode::Off &&
       config_.backfill_depth > 0) {
+    const Seconds now = engine_.now();
     const trace::JobSpec& head = spec_of(pending_.front().spec_index);
-    Seconds shadow = reservation_shadow_time(head);
+    // The head's projected start. Every successful backfill start changes
+    // the cluster — and, through borrowing, running jobs' slowdown-based
+    // completion projections — so it is recomputed after each start rather
+    // than held for the whole pass (a stale shadow admitted candidates
+    // against a reservation that had already moved).
+    Seconds head_shadow = reservation_shadow_time(head);
+    // Conservative additionally caps candidates at the earliest projected
+    // start of every blocked job examined so far; +inf under EASY.
+    Seconds blocked_bound = std::numeric_limits<Seconds>::infinity();
     std::size_t examined = 0;
     for (std::size_t idx = 1;
          idx < pending_.size() &&
@@ -224,14 +239,25 @@ void Scheduler::scheduling_pass() {
       obs::bump(c_backfill_attempts_);
       PendingEntry& entry = pending_[idx];
       const trace::JobSpec& spec = spec_of(entry.spec_index);
-      if (engine_.now() + spec.walltime <= shadow && try_start_entry(entry)) {
+      // shadow == now means the head is blocked by fragmentation only: the
+      // system has the nodes and the memory, the policy just cannot carve
+      // them up. No finite walltime satisfies `now + wt <= now`, which used
+      // to shut backfill off entirely in exactly the state where candidates
+      // cannot delay the head's (unknowable) start. Guard such passes with
+      // the blocked-job bound alone.
+      const bool frag_blocked = head_shadow <= now;
+      const Seconds bound =
+          frag_blocked ? blocked_bound : std::min(head_shadow, blocked_bound);
+      if (now + spec.walltime <= bound && try_start_entry(entry)) {
         pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(idx));
+        set_queue_gauge();
         ++totals_.backfill_starts;
         trace_job(obs::EventKind::BackfillStart, spec.id);
+        head_shadow = reservation_shadow_time(head);
       } else {
         if (mode == BackfillMode::Conservative) {
           // This job stays queued: later candidates must not delay it either.
-          shadow = std::min(shadow, reservation_shadow_time(spec));
+          blocked_bound = std::min(blocked_bound, reservation_shadow_time(spec));
         }
         ++idx;
       }
@@ -293,6 +319,7 @@ void Scheduler::start_running(const PendingEntry& entry) {
   project_end(spec.id, job);
 
   if (policy_.dynamic_updates() && !job.guaranteed) {
+    ++global_updatable_;
     if (config_.update_mode == UpdateMode::PerJobStaggered) {
       const Seconds first =
           config_.update_interval * (0.5 + update_phase(spec.id));
@@ -476,6 +503,7 @@ void Scheduler::on_job_end(JobId id) {
   ++totals_.completed;
   trace_job(obs::EventKind::JobComplete, id);
 
+  if (policy_.dynamic_updates() && !rj.guaranteed) --global_updatable_;
   running_.erase(it);
   if (g_running_) g_running_->set(static_cast<std::int64_t>(running_.size()));
   release_dependents(id);
@@ -549,6 +577,7 @@ void Scheduler::on_update(JobId id) {
 void Scheduler::on_global_update() {
   // §2.3 sim_mgr mode: a single timer updates every running dynamic job.
   touch_utilization();
+  obs::bump(c_update_batches_);
   std::vector<std::uint32_t> ids;
   ids.reserve(running_.size());
   for (const auto& [id_value, rj] : running_) {
@@ -572,7 +601,12 @@ void Scheduler::on_global_update() {
   if (any_remote_changed && victims.empty()) refresh_slowdowns();
   if (released > 0 && !pending_.empty()) request_scheduling_pass();
 
-  if (!running_.empty()) {
+  // Re-arm only while an update-participating job is running. Guaranteed
+  // jobs are exempt from Monitor updates, so once they are all that remains
+  // the chain used to tick as a pure no-op until the last of them finished
+  // — dragging the engine horizon along with it. start_running() restarts
+  // the chain when the next updatable job begins.
+  if (global_updatable_ > 0) {
     engine_.schedule_after(config_.update_interval,
                            [this] { on_global_update(); });
   } else {
@@ -599,6 +633,7 @@ void Scheduler::kill_and_requeue(JobId id, bool checkpoint_restart) {
   const int restarts = rj.restarts + 1;
   const double checkpoint = checkpoint_restart ? rj.checkpoint : 0.0;
   const std::size_t spec_index = rj.spec_index;
+  if (policy_.dynamic_updates() && !rj.guaranteed) --global_updatable_;
   running_.erase(it);
   if (g_running_) g_running_->set(static_cast<std::int64_t>(running_.size()));
 
@@ -643,6 +678,7 @@ void Scheduler::on_walltime(JobId id) {
   ++totals_.walltime_kills;
   trace_job(obs::EventKind::JobWalltimeKill, id);
 
+  if (policy_.dynamic_updates() && !rj.guaranteed) --global_updatable_;
   running_.erase(it);
   if (g_running_) g_running_->set(static_cast<std::int64_t>(running_.size()));
   release_dependents(id);

@@ -191,6 +191,11 @@ class Scheduler {
   /// Insert an entry keeping the queue sorted by (priority desc, FIFO).
   void enqueue_pending(PendingEntry entry);
 
+  /// Publish pending_.size() to the sched.queue_depth gauge. Must run on
+  /// every enqueue AND dequeue — FCFS pops and backfill erases included —
+  /// or the gauge reads stale between scheduling passes.
+  void set_queue_gauge();
+
   struct RunningJob {
     std::size_t spec_index = 0;
     Seconds start_time = 0.0;
@@ -278,6 +283,11 @@ class Scheduler {
 
   bool pass_scheduled_ = false;
   bool global_update_scheduled_ = false;
+  /// Running jobs that participate in Monitor updates (dynamic policy, not
+  /// guaranteed). The GlobalBatch timer chain stops when this hits zero —
+  /// guaranteed jobs are update-exempt, so ticking for them is pure waste —
+  /// and restarts when the next updatable job starts.
+  int global_updatable_ = 0;
   Seconds last_pass_time_ = -1e18;
 
   // Time-weighted utilization integrals.
@@ -291,6 +301,7 @@ class Scheduler {
   const obs::Observer* obs_ = nullptr;
   std::uint64_t* c_submits_ = nullptr;
   std::uint64_t* c_backfill_attempts_ = nullptr;
+  std::uint64_t* c_update_batches_ = nullptr;
   obs::Gauge* g_queue_depth_ = nullptr;
   obs::Gauge* g_running_ = nullptr;
 };

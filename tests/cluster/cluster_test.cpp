@@ -254,6 +254,103 @@ TEST(ClusterTest, MultiNodeJobSlotsIndependent) {
   EXPECT_EQ(c.total_allocated(), 12 * kGiB);
 }
 
+TEST(ClusterTest, ChangeEpochAdvancesOnlyOnMutation) {
+  Cluster c = small_cluster();
+  const std::uint64_t e0 = c.change_epoch();
+  // Queries leave the epoch untouched (deny-replay caching depends on it).
+  (void)c.idle_hostable_nodes();
+  (void)c.nodes_by_capacity_at_least(1);
+  (void)c.borrowers_of(NodeId{3});
+  EXPECT_EQ(c.change_epoch(), e0);
+
+  const JobId job{1};
+  c.assign_job(job, std::vector<NodeId>{NodeId{0}});
+  const std::uint64_t e1 = c.change_epoch();
+  EXPECT_GT(e1, e0);
+  (void)c.grow_local(job, NodeId{0}, 4 * kGiB);
+  EXPECT_GT(c.change_epoch(), e1);
+  const std::uint64_t e2 = c.change_epoch();
+  c.finish_job(job);
+  EXPECT_GT(c.change_epoch(), e2);
+}
+
+TEST(ClusterTest, CapacityIndexIsSortedAndFiltered) {
+  const Cluster c = small_cluster();  // 3x64 GiB (ids 0-2) + 1x128 GiB (id 3)
+  const auto all = c.nodes_by_capacity_at_least(1);
+  ASSERT_EQ(all.size(), 4u);
+  // Capacity ascending, id ascending within a capacity class.
+  EXPECT_EQ(all[0], NodeId{0});
+  EXPECT_EQ(all[1], NodeId{1});
+  EXPECT_EQ(all[2], NodeId{2});
+  EXPECT_EQ(all[3], NodeId{3});
+  const auto large = c.nodes_by_capacity_at_least(64 * kGiB + 1);
+  ASSERT_EQ(large.size(), 1u);
+  EXPECT_EQ(large[0], NodeId{3});
+  EXPECT_TRUE(c.nodes_by_capacity_at_least(129 * kGiB).empty());
+}
+
+TEST(ClusterTest, HostableVisitorsMatchPolicyOrdering) {
+  Cluster c = small_cluster();
+  const JobId job{1};
+  c.assign_job(job, std::vector<NodeId>{NodeId{0}});  // node 0 not idle
+
+  // At-least: free ascending, id ascending — Static's tightest-fit order.
+  std::vector<NodeId> asc;
+  c.visit_hostable_at_least(1, [&](NodeId id) {
+    asc.push_back(id);
+    return true;
+  });
+  ASSERT_EQ(asc.size(), 3u);
+  EXPECT_EQ(asc[0], NodeId{1});
+  EXPECT_EQ(asc[1], NodeId{2});
+  EXPECT_EQ(asc[2], NodeId{3});
+
+  // Below (exclusive): free descending, id ascending within equal free —
+  // Static's most-free fallback order.
+  std::vector<NodeId> desc;
+  c.visit_hostable_below_desc(128 * kGiB, [&](NodeId id) {
+    desc.push_back(id);
+    return true;
+  });
+  ASSERT_EQ(desc.size(), 2u);
+  EXPECT_EQ(desc[0], NodeId{1});
+  EXPECT_EQ(desc[1], NodeId{2});
+
+  // Early-exit contract: returning false stops the walk.
+  int visited = 0;
+  c.visit_hostable_at_least(1, [&](NodeId) { return ++visited < 2; });
+  EXPECT_EQ(visited, 2);
+}
+
+// Regression: a shrink that returns a borrow edge in full erases the edge
+// from the slot before the generic slot-dirty walk runs, so the lender's
+// pressure change was never flagged and its borrowers kept a stale slowdown
+// until some unrelated edge touched the same lender.
+TEST(ClusterTest, ShrinkRemoteFullReturnMarksLenderDirty) {
+  Cluster c = small_cluster(LenderPolicy::MostFree);
+  const JobId job{1};
+  c.assign_job(job, std::vector<NodeId>{NodeId{0}});
+  (void)c.grow_local(job, NodeId{0}, 64 * kGiB);
+  ASSERT_EQ(c.grow_remote(job, NodeId{0}, 10 * kGiB), 10 * kGiB);
+  ASSERT_EQ(c.node(NodeId{3}).lent, 10 * kGiB);  // MostFree -> large node
+  c.clear_contention_dirty();
+  ASSERT_TRUE(c.dirty_lenders().empty());
+
+  // Full return: the edge disappears entirely.
+  EXPECT_EQ(c.shrink_remote(job, NodeId{0}, 10 * kGiB), 10 * kGiB);
+  EXPECT_TRUE(c.borrowers_of(NodeId{3}).empty());
+  bool lender_dirty = false;
+  for (const NodeId n : c.dirty_lenders()) {
+    if (n == NodeId{3}) lender_dirty = true;
+  }
+  EXPECT_TRUE(lender_dirty);
+  c.check_invariants();
+
+  c.clear_contention_dirty();
+  EXPECT_TRUE(c.dirty_lenders().empty());
+  EXPECT_TRUE(c.dirty_jobs().empty());
+}
+
 // Property test: a random sequence of assign/grow/shrink/finish operations
 // never breaks the ledger invariants.
 class ClusterFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};

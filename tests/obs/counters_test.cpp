@@ -124,6 +124,38 @@ TEST(Counters, MatchSchedulerTotalsAfterSimulation) {
   EXPECT_TRUE(found);
 }
 
+// The queue-depth gauge must be republished on every dequeue — FCFS pops
+// and backfill erases — not just on enqueue. The old enqueue-only update
+// left the gauge frozen at the last submission's queue length forever.
+TEST(Counters, QueueDepthGaugeDrainsOnDequeue) {
+  SimulationConfig cfg;
+  cfg.system.total_nodes = 2;
+  cfg.policy = policy::PolicyKind::Static;
+
+  // Six whole-cluster jobs submitted back-to-back: the queue ramps to five
+  // entries, then drains one job at a time as each predecessor completes.
+  trace::Workload jobs;
+  for (std::uint32_t i = 1; i <= 6; ++i) {
+    trace::JobSpec j;
+    j.id = JobId{i};
+    j.submit_time = static_cast<Seconds>(i);
+    j.num_nodes = 2;
+    j.requested_mem = 8 * kGiB;
+    j.duration = 100.0;
+    j.walltime = 200.0;
+    j.usage = trace::UsageTrace::constant(8 * kGiB);
+    jobs.push_back(j);
+  }
+
+  obs::Counters counters;
+  Simulator sim(cfg, jobs, nullptr, nullptr, &counters);
+  const SimulationResult r = sim.run();
+  ASSERT_TRUE(r.valid);
+  const obs::Gauge& g = counters.gauge("sched.queue_depth");
+  EXPECT_GE(g.high_water, 4);
+  EXPECT_EQ(g.value, 0);  // drained queue must read empty, not the last peak
+}
+
 // Without a registry or sink the result document carries no counters.
 TEST(Counters, AbsentWhenNotWired) {
   SimulationConfig cfg;

@@ -13,15 +13,15 @@ namespace {
 constexpr MiB kGiB = 1024;
 
 trace::JobSpec job(std::uint32_t id, Seconds submit, int nodes,
-                   Seconds duration, Seconds walltime) {
+                   Seconds duration, Seconds walltime, MiB mem = 8 * kGiB) {
   trace::JobSpec j;
   j.id = JobId{id};
   j.submit_time = submit;
   j.num_nodes = nodes;
-  j.requested_mem = 8 * kGiB;
+  j.requested_mem = mem;
   j.duration = duration;
   j.walltime = walltime;
-  j.usage = trace::UsageTrace::constant(8 * kGiB);
+  j.usage = trace::UsageTrace::constant(mem);
   return j;
 }
 
@@ -148,6 +148,90 @@ TEST(BackfillMode, AllModesCompleteTheWorkload) {
     for (std::uint32_t id = 1; id <= 5; ++id) {
       EXPECT_EQ(rig.record(id).outcome, JobOutcome::Completed)
           << "mode " << static_cast<int>(mode) << " job " << id;
+    }
+    EXPECT_EQ(rig.cluster.total_allocated(), 0);
+  }
+}
+
+// Walltimes are user estimates and enforce_walltime defaults off, so a
+// backfilled job may hold its nodes long past the shadow that admitted it.
+// The head's reservation must be recomputed after every backfill start;
+// holding the pass-entry value rejects candidates against a shadow that has
+// already moved.
+TEST(BackfillMode, ShadowRecomputedAfterEachBackfillStart) {
+  SchedulerConfig cfg;
+  cfg.backfill_mode = BackfillMode::Easy;
+  Rig rig(cfg, 3);
+  const MiB full = 64 * kGiB;  // every job pins a whole node
+  // Submits are staggered so the min-spacing rule batches jobs 2..4 into one
+  // scheduling pass at t=30 — the stale shadow only bites when a later
+  // candidate is examined in the same pass as an earlier backfill start.
+  rig.scheduler.submit_workload({
+      job(1, 0.0, 1, 150.0, 150.0, full),  // node A until 150 -> shadow 150
+      job(2, 1.0, 3, 50.0, 50.0, full),    // head: needs all three nodes
+      job(3, 2.0, 1, 200.0, 80.0, full),   // lied: walltime 80, runs to 230
+      job(4, 3.0, 1, 10.0, 150.0, full),   // admissible only vs fresh shadow
+  });
+  rig.scheduler.run();
+  // Job 3 backfills under the head's original shadow (30+80 <= 150) but its
+  // projected end is 230, so the head cannot start before 230. Job 4
+  // (walltime 150, 30+150 <= 230) fits under the fresh shadow and must start
+  // immediately; the stale shadow rejected it until the head itself had run.
+  EXPECT_LT(rig.record(3).first_start, 50.0);
+  EXPECT_LT(rig.record(4).first_start, 50.0);
+  EXPECT_LT(rig.record(4).first_start, rig.record(2).first_start);
+  EXPECT_GE(rig.scheduler.totals().backfill_starts, 2u);
+  for (std::uint32_t id = 1; id <= 4; ++id) {
+    EXPECT_EQ(rig.record(id).outcome, JobOutcome::Completed) << id;
+  }
+}
+
+// A rig with capacity-heterogeneous nodes and the Baseline policy, which can
+// deny a job the aggregate free-memory check says is satisfiable — the
+// fragmentation-blocked head state (reservation shadow == now).
+struct HeteroRig {
+  explicit HeteroRig(SchedulerConfig cfg)
+      : cluster(cluster::make_cluster_config(2, 16 * kGiB, 1, 64 * kGiB)),
+        policy(policy::make_policy(policy::PolicyKind::Baseline)),
+        scheduler(engine, cluster, *policy, nullptr, cfg) {}
+
+  const JobRecord& record(std::uint32_t id) const {
+    for (const auto& r : scheduler.records()) {
+      if (r.id == JobId{id}) return r;
+    }
+    throw std::runtime_error("no record");
+  }
+
+  sim::Engine engine;
+  cluster::Cluster cluster;
+  std::unique_ptr<policy::AllocationPolicy> policy;
+  Scheduler scheduler;
+};
+
+// Head blocked purely by fragmentation: the cluster has enough idle nodes
+// and enough total free memory, but no single idle node fits the request.
+// The shadow degenerates to `now`, and `now + walltime <= now` holds for no
+// candidate — which used to disable backfill exactly when no candidate could
+// possibly delay the head. Candidates must still start.
+TEST(BackfillMode, FragmentationBlockedHeadStillBackfills) {
+  for (const auto mode : {BackfillMode::Easy, BackfillMode::Conservative}) {
+    SchedulerConfig cfg;
+    cfg.backfill_mode = mode;
+    HeteroRig rig(cfg);
+    rig.scheduler.submit_workload({
+        job(1, 0.0, 1, 100.0, 100.0, 32 * kGiB),  // only fits the large node
+        job(2, 0.0, 1, 50.0, 50.0, 64 * kGiB),    // head: needs the large node
+        job(3, 0.0, 1, 40.0, 500.0, 8 * kGiB),    // fits an idle small node
+    });
+    rig.scheduler.run();
+    // Job 3's walltime (500) dwarfs the head's wait (~100); it is admissible
+    // only because the head is fragmentation-blocked, not time-blocked.
+    EXPECT_LT(rig.record(3).first_start, 50.0)
+        << "mode " << static_cast<int>(mode);
+    EXPECT_LT(rig.record(3).first_start, rig.record(2).first_start);
+    EXPECT_GE(rig.scheduler.totals().backfill_starts, 1u);
+    for (std::uint32_t id = 1; id <= 3; ++id) {
+      EXPECT_EQ(rig.record(id).outcome, JobOutcome::Completed) << id;
     }
     EXPECT_EQ(rig.cluster.total_allocated(), 0);
   }

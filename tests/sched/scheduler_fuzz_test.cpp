@@ -1,13 +1,18 @@
 // Randomized scheduler property tests: arbitrary small workloads under all
 // policies and update modes must terminate with a consistent ledger and
-// consistent per-job records.
+// consistent per-job records. The cluster ledger is additionally audited
+// mid-run — every 500 sim-seconds — so an invariant broken transiently by an
+// OOM requeue or walltime kill is caught at the event that broke it, not
+// masked by the final drain.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <memory>
 
 #include "policy/policy.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/engine.hpp"
+#include "slowdown/model.hpp"
 #include "util/rng.hpp"
 #include "workload/google_usage.hpp"
 
@@ -21,12 +26,20 @@ struct FuzzParams {
   policy::PolicyKind policy;
   UpdateMode mode;
   OomHandling oom;
+  /// Kill jobs at their walltime. Paired with tighter walltime estimates in
+  /// the generated workload so kills actually fire mid-run.
+  bool enforce_walltime;
+  /// Attach an AppPool so contention produces real slowdowns (and therefore
+  /// walltime overruns and shifted OOM timing).
+  bool with_apps;
 };
 
 class SchedulerFuzzTest : public ::testing::TestWithParam<FuzzParams> {};
 
 trace::Workload random_workload(util::Rng& rng, std::size_t count,
-                                const workload::GoogleUsageLibrary& shapes) {
+                                const workload::GoogleUsageLibrary& shapes,
+                                const slowdown::AppPool* apps,
+                                bool tight_walltimes) {
   trace::Workload jobs;
   jobs.reserve(count);
   for (std::uint32_t i = 1; i <= count; ++i) {
@@ -35,7 +48,10 @@ trace::Workload random_workload(util::Rng& rng, std::size_t count,
     j.submit_time = rng.uniform(0.0, 20000.0);
     j.num_nodes = static_cast<int>(rng.uniform_int(1, 4));
     j.duration = rng.uniform(60.0, 14400.0);
-    j.walltime = j.duration * rng.uniform(1.0, 2.0);
+    // Tight walltimes underestimate by up to 20% so enforcement kills some
+    // jobs outright; the loose range only overruns via contention slowdown.
+    j.walltime = j.duration * (tight_walltimes ? rng.uniform(0.8, 1.5)
+                                               : rng.uniform(1.0, 2.0));
     const MiB peak = rng.uniform_int(1 * kGiB, 100 * kGiB);
     const std::size_t shape = rng.uniform_int(
         0, static_cast<std::int64_t>(shapes.size()) - 1);
@@ -45,6 +61,9 @@ trace::Workload random_workload(util::Rng& rng, std::size_t count,
     j.requested_mem = static_cast<MiB>(
         static_cast<double>(peak) * rng.uniform(0.5, 2.0));
     j.requested_mem = std::max<MiB>(1, j.requested_mem);
+    if (apps != nullptr && !apps->empty()) {
+      j.app_profile = apps->match(j.num_nodes, j.duration, peak);
+    }
     jobs.push_back(std::move(j));
   }
   return jobs;
@@ -55,8 +74,13 @@ TEST_P(SchedulerFuzzTest, TerminatesConsistently) {
   util::Rng rng(params.seed);
   const auto shapes = workload::GoogleUsageLibrary::synthetic(
       rng.child("shapes"), 16);
+  const slowdown::AppPool apps =
+      params.with_apps ? slowdown::AppPool::synthetic(rng.child("apps"), 8)
+                       : slowdown::AppPool{};
+  const slowdown::AppPool* pool = params.with_apps ? &apps : nullptr;
   util::Rng wl_rng = rng.child("workload");
-  trace::Workload jobs = random_workload(wl_rng, 40, shapes);
+  trace::Workload jobs =
+      random_workload(wl_rng, 40, shapes, pool, params.enforce_walltime);
 
   cluster::Cluster cluster(
       cluster::make_cluster_config(6, 64 * kGiB, 2, 128 * kGiB));
@@ -65,10 +89,31 @@ TEST_P(SchedulerFuzzTest, TerminatesConsistently) {
   cfg.update_mode = params.mode;
   cfg.oom_handling = params.oom;
   cfg.max_restarts = 10;
+  cfg.enforce_walltime = params.enforce_walltime;
   sim::Engine engine;
-  Scheduler scheduler(engine, cluster, *policy, nullptr, cfg);
+  Scheduler scheduler(engine, cluster, *policy, pool, cfg);
   scheduler.submit_workload(jobs);
+
+  // Property 0: the ledger is consistent at every point of the run, not just
+  // after the drain. A self-rescheduling audit event walks the full
+  // invariant suite (per-node accounting, borrow-edge reverse index, free
+  // indexes) between scheduler events; the chain stops once every feasible
+  // job is terminal so the engine can drain.
+  std::uint64_t audits = 0;
+  std::function<void()> audit = [&] {
+    cluster.check_invariants();
+    ++audits;
+    const auto& t = scheduler.totals();
+    const std::uint64_t terminal =
+        t.completed + t.abandoned + t.walltime_kills;
+    const std::uint64_t feasible =
+        scheduler.records().size() - scheduler.infeasible_count();
+    if (terminal < feasible) engine.schedule_after(500.0, audit);
+  };
+  engine.schedule(0.0, audit);
+
   scheduler.run();
+  EXPECT_GT(audits, 0u);
 
   // Property 1: ledger fully drained and consistent.
   cluster.check_invariants();
@@ -106,6 +151,7 @@ TEST_P(SchedulerFuzzTest, TerminatesConsistently) {
             terminal);
   EXPECT_GE(totals.requeues, 0u);
   EXPECT_GE(totals.oom_events, totals.abandoned);
+  if (!params.enforce_walltime) EXPECT_EQ(totals.walltime_kills, 0u);
 }
 
 std::vector<FuzzParams> fuzz_matrix() {
@@ -118,8 +164,10 @@ std::vector<FuzzParams> fuzz_matrix() {
          {UpdateMode::PerJobStaggered, UpdateMode::GlobalBatch}) {
       for (const auto oom :
            {OomHandling::FailRestart, OomHandling::CheckpointRestart}) {
-        out.push_back(FuzzParams{seed++, policy, mode, oom});
-        out.push_back(FuzzParams{seed++, policy, mode, oom});
+        // Two seeds per combo: one plain, one with walltime enforcement and
+        // an app pool so kills and contention-shifted OOMs hit the audits.
+        out.push_back(FuzzParams{seed++, policy, mode, oom, false, false});
+        out.push_back(FuzzParams{seed++, policy, mode, oom, true, true});
       }
     }
   }

@@ -4,6 +4,8 @@
 
 #include <memory>
 
+#include "obs/counters.hpp"
+#include "obs/observer.hpp"
 #include "policy/policy.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/engine.hpp"
@@ -103,6 +105,60 @@ TEST(UpdateMode, GlobalBatchHandlesOomVictims) {
     EXPECT_EQ(r.outcome, JobOutcome::Completed) << r.id.get();
   }
   EXPECT_EQ(rig.cluster.total_allocated(), 0);
+}
+
+// Guaranteed allocations are update-exempt, so once they are all that is
+// running the global timer has no work. It must stop ticking (and re-arm on
+// the next updatable start) instead of firing no-op batches until the last
+// guaranteed job drains — observable as a bounded sched.update_batches count.
+TEST(UpdateMode, GlobalTimerStopsWhenOnlyGuaranteedJobsRemain) {
+  SchedulerConfig cfg;
+  cfg.update_mode = UpdateMode::GlobalBatch;
+  cfg.update_interval = 50.0;
+  cfg.guaranteed_after_failures = 1;
+
+  obs::Counters counters;
+  obs::Observer obs;
+  obs.counters = &counters;
+
+  sim::Engine engine;
+  cluster::Cluster cluster(cluster::make_cluster_config(3, 64 * kGiB, 0, 0));
+  auto policy = policy::make_policy(policy::PolicyKind::Dynamic);
+  Scheduler scheduler(engine, cluster, *policy, nullptr, cfg, &obs);
+
+  // Job 1 grows to 150 GiB at 10% progress while job 2 pins 120 GiB of the
+  // 192 GiB pool: job 1 OOMs once (~t=800), restarts guaranteed, then runs
+  // its full 8000 s alone after job 2 ends (~t=1000 plus slowdown).
+  trace::JobSpec grower;
+  grower.id = JobId{1};
+  grower.submit_time = 0.0;
+  grower.num_nodes = 1;
+  grower.requested_mem = 10 * kGiB;
+  grower.duration = 8000.0;
+  grower.walltime = 12000.0;
+  grower.usage = trace::UsageTrace({{0.0, 10 * kGiB}, {0.1, 150 * kGiB}});
+  trace::JobSpec pinner;
+  pinner.id = JobId{2};
+  pinner.submit_time = 0.0;
+  pinner.num_nodes = 1;
+  pinner.requested_mem = 120 * kGiB;
+  pinner.duration = 1000.0;
+  pinner.walltime = 2000.0;
+  pinner.usage = trace::UsageTrace::constant(120 * kGiB);
+  scheduler.submit_workload({grower, pinner});
+  scheduler.run();
+
+  EXPECT_GE(scheduler.totals().oom_events, 1u);
+  for (const auto& r : scheduler.records()) {
+    EXPECT_EQ(r.outcome, JobOutcome::Completed) << r.id.get();
+    if (r.id == JobId{1}) EXPECT_TRUE(r.ran_guaranteed);
+  }
+  // Batches tick only while an updatable job runs (t <~ 2000, interval 50).
+  // Before the fix the chain ticked across the guaranteed job's whole 8000 s
+  // tail as well, pushing the count past 160.
+  EXPECT_GE(counters.counter("sched.update_batches"), 5u);
+  EXPECT_LE(counters.counter("sched.update_batches"), 100u);
+  EXPECT_EQ(cluster.total_allocated(), 0);
 }
 
 TEST(UpdateMode, GlobalTimerStopsWhenIdle) {

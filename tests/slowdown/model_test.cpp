@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <vector>
 
 #include "cluster/cluster.hpp"
@@ -208,6 +209,98 @@ TEST_F(ContentionFixture, MoreRemoteFractionMoreSlowdown) {
     const double s = model.evaluate_one(c, job, 0);
     EXPECT_GE(s, prev);
     prev = s;
+  }
+}
+
+// The incremental refresher must be bit-identical to a full evaluate() after
+// every ledger mutation — not merely close: the scheduler's grant/deny
+// decisions downstream of projected end times are FP-sensitive, and the
+// whole point of the canonical summation order is reproducibility across
+// the full-rebuild and per-lender recompute paths.
+TEST_F(ContentionFixture, IncrementalRefreshMatchesFullEvaluateBitwise) {
+  cluster::Cluster c(cluster::make_cluster_config(5, 64 * kGiB, 1, 128 * kGiB));
+  const ContentionModel model(&pool_);
+  IncrementalSlowdowns inc(&model);
+  util::Rng rng(2026);
+
+  std::map<std::uint32_t, double> current;  // job -> last applied slowdown
+  std::uint32_t next_id = 1;
+  std::vector<std::uint32_t> ids;
+  std::vector<IncrementalSlowdowns::Update> updates;
+  const auto app_of = [&](JobId id) {
+    return current.contains(id.get()) ? 0
+                                      : IncrementalSlowdowns::kNotRunning;
+  };
+
+  for (int step = 0; step < 300; ++step) {
+    // Random mutation: start (host on a random idle node), resize a random
+    // job's slot in either direction, or finish a random job.
+    const int op = static_cast<int>(rng.uniform_int(0, 4));
+    if (op == 0 || current.empty()) {
+      std::vector<NodeId> idle;
+      for (const auto& n : c.nodes()) {
+        if (n.idle() && !n.memory_node() && n.free() > 0) idle.push_back(n.id);
+      }
+      if (!idle.empty()) {
+        const JobId job{next_id++};
+        const NodeId host =
+            idle[static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<std::int64_t>(idle.size()) - 1))];
+        c.assign_job(job, std::vector<NodeId>{host});
+        (void)c.grow_local(job, host,
+                           rng.uniform_int(1, 48) * kGiB);
+        if (rng.uniform(0.0, 1.0) < 0.7) {
+          (void)c.grow_remote(job, host, rng.uniform_int(1, 32) * kGiB);
+        }
+        current.emplace(job.get(), 1.0);
+      }
+    } else {
+      auto it = current.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(rng.uniform_int(
+                       0, static_cast<std::int64_t>(current.size()) - 1)));
+      const JobId job{it->first};
+      const NodeId host = c.hosts_of(job)[0];
+      switch (op) {
+        case 1:
+          (void)c.grow_remote(job, host, rng.uniform_int(1, 16) * kGiB);
+          break;
+        case 2:
+          (void)c.shrink_remote(job, host, rng.uniform_int(1, 24) * kGiB);
+          break;
+        case 3:
+          (void)c.grow_local(job, host, rng.uniform_int(1, 8) * kGiB);
+          break;
+        default:
+          c.finish_job(job);
+          current.erase(it);
+          break;
+      }
+    }
+
+    // Mirror the scheduler's refresh protocol.
+    if (current.empty() || c.total_lent() == 0) {
+      inc.reset();
+      c.clear_contention_dirty();
+      for (auto& [id, s] : current) s = 1.0;
+    } else {
+      ids.clear();
+      for (const auto& [id, s] : current) ids.push_back(id);
+      updates.clear();
+      inc.refresh(c, ids, app_of, updates);
+      c.clear_contention_dirty();
+      for (const auto& u : updates) current.at(u.job.get()) = u.slowdown;
+    }
+
+    // Full evaluation in the same canonical (ascending id) order.
+    std::vector<ContentionModel::JobInput> inputs;
+    for (const auto& [id, s] : current) {
+      inputs.push_back(ContentionModel::JobInput{JobId{id}, 0});
+    }
+    const std::vector<double> full = model.evaluate(c, inputs);
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      ASSERT_EQ(current.at(inputs[i].job.get()), full[i])
+          << "step " << step << " job " << inputs[i].job.get();
+    }
   }
 }
 
