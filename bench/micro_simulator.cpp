@@ -247,6 +247,61 @@ void BM_WorkloadGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_WorkloadGeneration)->Arg(512)->Unit(benchmark::kMillisecond);
 
+// Checkpoint cost: serialize a mid-run simulation (engine + cluster +
+// scheduler) to snapshot bytes and restore those bytes into a second,
+// freshly-constructed simulation. Bounds the per-save overhead a
+// --checkpoint-every run pays and the one-time cost of a resume.
+void BM_CheckpointSaveRestore(benchmark::State& state) {
+  workload::SyntheticWorkloadConfig cfg;
+  cfg.cirne.num_jobs = 128;
+  cfg.cirne.system_nodes = 64;
+  cfg.cirne.max_job_nodes = 16;
+  cfg.pct_large_jobs = 0.5;
+  cfg.overestimation = 0.6;
+  cfg.seed = 4;
+  const auto w = workload::generate_synthetic(cfg);
+
+  struct BenchSim {
+    explicit BenchSim(const workload::SyntheticWorkload& w) {
+      harness::SystemConfig sys;
+      sys.total_nodes = 64;
+      sys.pct_large_nodes = 0.25;
+      cluster_ = std::make_unique<cluster::Cluster>(sys.to_cluster_config());
+      policy_ = policy::make_policy(policy::PolicyKind::Dynamic);
+      sched::SchedulerConfig cfg;
+      cfg.sample_interval = 300.0;
+      scheduler_ = std::make_unique<sched::Scheduler>(
+          engine_, *cluster_, *policy_, &w.apps, cfg, nullptr);
+      scheduler_->submit_workload(w.jobs);
+    }
+    [[nodiscard]] snapshot::Components components() noexcept {
+      return {&engine_, cluster_.get(), scheduler_.get(), nullptr};
+    }
+    sim::Engine engine_;
+    std::unique_ptr<cluster::Cluster> cluster_;
+    std::unique_ptr<policy::AllocationPolicy> policy_;
+    std::unique_ptr<sched::Scheduler> scheduler_;
+  };
+
+  // Advance the source simulation to a busy mid-point, and keep a fresh
+  // restore target (components constructed, workload submitted, not run).
+  BenchSim source(w);
+  BenchSim target(w);
+  (void)source.scheduler_->run_ready(20000.0);
+  const snapshot::Components src = source.components();
+  const snapshot::Components dst = target.components();
+
+  std::uint64_t bytes_total = 0;
+  for (auto _ : state) {
+    const std::string bytes = snapshot::save_bytes(src);
+    snapshot::restore_bytes(bytes, dst);
+    bytes_total += bytes.size();
+    benchmark::DoNotOptimize(bytes.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes_total));
+}
+BENCHMARK(BM_CheckpointSaveRestore)->Unit(benchmark::kMicrosecond);
+
 // --- Scheduler hot-path benches at paper scale (1490 nodes) ----------------
 //
 // The paper's sc cluster is 1490 nodes (1024 normal + 466 large). These pin

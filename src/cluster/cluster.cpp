@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "snapshot/snapshot.hpp"
 #include "util/error.hpp"
 
 namespace dmsim::cluster {
@@ -524,6 +525,144 @@ void Cluster::check_invariants() const {
   MiB lent_total = 0;
   for (const auto& n : nodes_) lent_total += n.lent;
   DMSIM_ASSERT(lent_total == total_lent_, "aggregate lent counter out of sync");
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot (checkpoint/restore)
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr std::uint32_t kClusterSection =
+    snapshot::section_tag('C', 'L', 'U', 'S');
+}  // namespace
+
+void Cluster::save_state(snapshot::Writer& writer) const {
+  writer.section(kClusterSection);
+  writer.u32(static_cast<std::uint32_t>(nodes_.size()));
+  for (const Node& n : nodes_) {
+    writer.u32(n.running_job.get());
+    writer.i64(n.local_used);
+    writer.i64(n.lent);
+  }
+
+  // Jobs in id order (unordered_map iteration order is not reproducible);
+  // each job's hosts in assignment order, each slot's borrow edges in their
+  // live merged order.
+  std::vector<std::uint32_t> jobs;
+  jobs.reserve(job_hosts_.size());
+  for (const auto& [job, hosts] : job_hosts_) {
+    (void)hosts;
+    jobs.push_back(job);
+  }
+  std::sort(jobs.begin(), jobs.end());
+  writer.u32(static_cast<std::uint32_t>(jobs.size()));
+  for (const std::uint32_t job : jobs) {
+    const std::vector<NodeId>& hosts = job_hosts_.at(job);
+    writer.u32(job);
+    writer.u32(static_cast<std::uint32_t>(hosts.size()));
+    for (const NodeId h : hosts) {
+      const auto it = slots_.find(key(JobId{job}, h));
+      DMSIM_ASSERT(it != slots_.end(), "missing slot for assigned host");
+      const AllocationSlot& slot = it->second;
+      writer.u32(h.get());
+      writer.i64(slot.local);
+      writer.u32(static_cast<std::uint32_t>(slot.remote.size()));
+      for (const auto& [lender, amount] : slot.remote) {
+        writer.u32(lender.get());
+        writer.i64(amount);
+      }
+    }
+  }
+
+  writer.i64(total_allocated_);
+  writer.i64(total_lent_);
+  writer.u64(change_epoch_);
+}
+
+void Cluster::restore_state(snapshot::Reader& reader) {
+  reader.expect_section(kClusterSection, "cluster");
+  if (reader.u32() != nodes_.size()) {
+    throw snapshot::SnapshotError(
+        "snapshot: node count mismatch — different cluster configuration");
+  }
+
+  // Wipe all mutable state back to the empty ledger.
+  slots_.clear();
+  job_hosts_.clear();
+  for (auto& edges : borrower_index_) edges.clear();
+  host_index_.clear();
+  free_index_.clear();
+  mem_free_index_.clear();
+  index_state_.assign(nodes_.size(), NodeIndexState{});
+  dirty_lenders_.clear();
+  dirty_jobs_.clear();
+  lender_dirty_flag_.assign(nodes_.size(), 0);
+
+  for (Node& n : nodes_) {
+    n.running_job = JobId{reader.u32()};
+    n.local_used = reader.i64();
+    n.lent = reader.i64();
+    if (n.local_used < 0 || n.lent < 0 ||
+        n.local_used + n.lent > n.capacity) {
+      throw snapshot::SnapshotError("snapshot: node ledger out of range");
+    }
+  }
+  // index_state_ is zeroed and the indexes are empty, so reindexing from
+  // scratch inserts exactly the memberships the restored state implies.
+  for (const Node& n : nodes_) reindex_node(n);
+
+  const std::uint32_t n_jobs = reader.u32();
+  for (std::uint32_t j = 0; j < n_jobs; ++j) {
+    const std::uint32_t job = reader.u32();
+    const std::uint32_t n_hosts = reader.u32();
+    if (n_hosts == 0) {
+      throw snapshot::SnapshotError("snapshot: assigned job with no hosts");
+    }
+    std::vector<NodeId> hosts;
+    hosts.reserve(n_hosts);
+    for (std::uint32_t k_ = 0; k_ < n_hosts; ++k_) {
+      const std::uint32_t host = reader.u32();
+      if (host >= nodes_.size() || nodes_[host].running_job.get() != job) {
+        throw snapshot::SnapshotError(
+            "snapshot: slot host is not running the slot's job");
+      }
+      hosts.emplace_back(NodeId{host});
+      AllocationSlot slot;
+      slot.job = JobId{job};
+      slot.host = NodeId{host};
+      slot.local = reader.i64();
+      if (slot.local < 0) {
+        throw snapshot::SnapshotError("snapshot: negative local share");
+      }
+      const std::uint32_t n_edges = reader.u32();
+      slot.remote.reserve(n_edges);
+      for (std::uint32_t e = 0; e < n_edges; ++e) {
+        const std::uint32_t lender = reader.u32();
+        const MiB amount = reader.i64();
+        if (lender >= nodes_.size() || lender == host || amount <= 0) {
+          throw snapshot::SnapshotError("snapshot: invalid borrow edge");
+        }
+        slot.remote.emplace_back(NodeId{lender}, amount);
+        borrower_index_[lender].push_back(key(JobId{job}, NodeId{host}));
+      }
+      if (!slots_.emplace(key(JobId{job}, NodeId{host}), std::move(slot))
+               .second) {
+        throw snapshot::SnapshotError("snapshot: duplicate allocation slot");
+      }
+    }
+    if (!job_hosts_.emplace(job, std::move(hosts)).second) {
+      throw snapshot::SnapshotError("snapshot: duplicate job assignment");
+    }
+  }
+
+  total_allocated_ = reader.i64();
+  total_lent_ = reader.i64();
+  change_epoch_ = reader.u64();
+
+  // Full validation: per-node sums vs slots, index memberships, reverse
+  // index, aggregate counters. A snapshot that passes this is exactly a
+  // state the mutation API could have produced.
+  check_invariants();
 }
 
 }  // namespace dmsim::cluster

@@ -35,6 +35,11 @@
 #include "obs/observer.hpp"
 #include "util/units.hpp"
 
+namespace dmsim::snapshot {
+class Writer;
+class Reader;
+}  // namespace dmsim::snapshot
+
 namespace dmsim::cluster {
 
 /// How the ledger picks lender nodes when a job needs remote memory.
@@ -229,6 +234,20 @@ class Cluster {
   /// Full-ledger consistency check (including every incremental index);
   /// aborts (DMSIM_ASSERT) on violation.
   void check_invariants() const;
+
+  /// Serialize mutable ledger state: per-node occupancy, every job's hosts
+  /// and slots (borrow edges in their exact merged order — grow_remote
+  /// merges into existing edges positionally, so order is state), aggregate
+  /// totals and the change epoch. Topology (capacities, lender policy) is
+  /// NOT serialized; the checkpoint layer fingerprints it instead.
+  void save_state(snapshot::Writer& writer) const;
+
+  /// Rebuild ledger state from save_state bytes onto this (identically
+  /// configured) cluster. The incremental free-memory indexes and the
+  /// reverse borrow index are rebuilt from the restored state, contention
+  /// dirty sets are cleared (the scheduler resets its slowdown cache to a
+  /// full rebuild), and check_invariants() validates the result.
+  void restore_state(snapshot::Reader& reader);
 
  private:
   struct SlotKey {

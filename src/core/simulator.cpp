@@ -9,26 +9,65 @@ namespace dmsim {
 Simulator::Simulator(const SimulationConfig& config, trace::Workload workload,
                      const slowdown::AppPool* apps, obs::TraceSink* sink,
                      obs::Counters* counters)
+    : Simulator(config, std::move(workload), apps, sink, counters,
+                /*defer_sink=*/false) {}
+
+Simulator::Simulator(const SimulationConfig& config, trace::Workload workload,
+                     const slowdown::AppPool* apps, obs::TraceSink* sink,
+                     obs::Counters* counters, bool defer_sink)
     : config_(config),
       engine_(std::make_unique<sim::Engine>()),
       cluster_(std::make_unique<cluster::Cluster>(
           config.system.to_cluster_config())),
       policy_(policy::make_policy(config.policy)),
-      observer_{sink, counters, engine_.get()} {
-  if (sink != nullptr || counters != nullptr) {
+      observer_{defer_sink ? nullptr : sink, counters, engine_.get()} {
+  // With a deferred sink the observer is still wired through every layer
+  // (components hold its address), but traces nothing until restore_from
+  // attaches the sink post-restore.
+  const bool wired = sink != nullptr || counters != nullptr;
+  if (wired) {
     engine_->set_observer(&observer_);
     cluster_->set_observer(&observer_);
     policy_->set_observer(&observer_);
   }
-  const obs::Observer* obs_ptr =
-      (sink != nullptr || counters != nullptr) ? &observer_ : nullptr;
+  const obs::Observer* obs_ptr = wired ? &observer_ : nullptr;
   scheduler_ = std::make_unique<sched::Scheduler>(*engine_, *cluster_, *policy_,
                                                   apps, config.sched, obs_ptr);
   scheduler_->submit_workload(std::move(workload));
   infeasible_ = scheduler_->infeasible_count();
 }
 
-SimulationResult Simulator::run() {
+std::unique_ptr<Simulator> Simulator::restore_from(
+    const std::string& snapshot_path, const SimulationConfig& config,
+    trace::Workload workload, const slowdown::AppPool* apps,
+    obs::TraceSink* sink, obs::Counters* counters) {
+  // Construct with the sink deferred: workload submission replays engine
+  // schedule events whose trace records the saving run already emitted, and
+  // the resumed trace must be exactly the uninterrupted run's suffix.
+  auto sim = std::unique_ptr<Simulator>(new Simulator(
+      config, std::move(workload), apps, sink, counters, /*defer_sink=*/true));
+  snapshot::restore_file(snapshot_path, sim->components(), &sim->ck_stats_);
+  if (sink != nullptr) {
+    sim->observer_.sink = sink;
+    // The engine caches the sink pointer at set_observer time; re-wire now
+    // that the sink is live. Cluster/policy/scheduler read it dynamically.
+    sim->engine_->set_observer(&sim->observer_);
+  }
+  return sim;
+}
+
+snapshot::Components Simulator::components() noexcept {
+  return snapshot::Components{engine_.get(), cluster_.get(), scheduler_.get(),
+                              observer_.counters};
+}
+
+SimulationResult Simulator::run() { return run_impl(nullptr); }
+
+SimulationResult Simulator::run(const snapshot::Plan& plan) {
+  return run_impl(&plan);
+}
+
+SimulationResult Simulator::run_impl(const snapshot::Plan* plan) {
   DMSIM_ASSERT(!ran_, "Simulator::run may only be called once");
   ran_ = true;
 
@@ -40,7 +79,12 @@ SimulationResult Simulator::run() {
     result.records = scheduler_->records();
     return result;
   }
-  scheduler_->run();
+  if (plan != nullptr && plan->active()) {
+    snapshot::run_with_checkpoints(components(), *plan, &ck_stats_);
+    scheduler_->finalize();
+  } else {
+    scheduler_->run();
+  }
   result.summary = metrics::summarize(scheduler_->records(), scheduler_->totals());
   result.totals = scheduler_->totals();
   result.records = scheduler_->records();

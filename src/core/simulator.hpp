@@ -12,6 +12,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "cluster/cluster.hpp"
 #include "harness/scenario.hpp"
@@ -21,6 +22,7 @@
 #include "sched/scheduler.hpp"
 #include "sim/engine.hpp"
 #include "slowdown/model.hpp"
+#include "snapshot/checkpoint.hpp"
 #include "trace/job_spec.hpp"
 
 namespace dmsim {
@@ -60,6 +62,28 @@ class Simulator {
   /// Run to completion. May only be called once.
   [[nodiscard]] SimulationResult run();
 
+  /// Run to completion, saving checkpoints per `plan` (explicit cut times
+  /// and/or a periodic interval). Results are byte-identical to a plain
+  /// run(): checkpoint saves are side-effect-free observations.
+  [[nodiscard]] SimulationResult run(const snapshot::Plan& plan);
+
+  /// Resume a simulation from a snapshot file. `config`/`workload` must be
+  /// identical to the run that saved the snapshot (enforced via the
+  /// snapshot's configuration fingerprint). The trace sink is attached only
+  /// after state is restored, so the NDJSON trace of the resumed run is
+  /// exactly the uninterrupted run's suffix from the cut point onward.
+  [[nodiscard]] static std::unique_ptr<Simulator> restore_from(
+      const std::string& snapshot_path, const SimulationConfig& config,
+      trace::Workload workload, const slowdown::AppPool* apps,
+      obs::TraceSink* sink = nullptr, obs::Counters* counters = nullptr);
+
+  /// Checkpoint activity of run(plan)/restore_from. Deliberately not part
+  /// of SimulationResult: restored runs checkpoint differently than the
+  /// uninterrupted runs they must match byte for byte.
+  [[nodiscard]] const snapshot::Stats& checkpoint_stats() const noexcept {
+    return ck_stats_;
+  }
+
   [[nodiscard]] const cluster::Cluster& cluster() const noexcept {
     return *cluster_;
   }
@@ -68,12 +92,20 @@ class Simulator {
   }
 
  private:
+  Simulator(const SimulationConfig& config, trace::Workload workload,
+            const slowdown::AppPool* apps, obs::TraceSink* sink,
+            obs::Counters* counters, bool defer_sink);
+
+  [[nodiscard]] SimulationResult run_impl(const snapshot::Plan* plan);
+  [[nodiscard]] snapshot::Components components() noexcept;
+
   SimulationConfig config_;
   std::unique_ptr<sim::Engine> engine_;
   std::unique_ptr<cluster::Cluster> cluster_;
   std::unique_ptr<policy::AllocationPolicy> policy_;
   obs::Observer observer_;  ///< stable address; components keep a pointer
   std::unique_ptr<sched::Scheduler> scheduler_;
+  snapshot::Stats ck_stats_;
   std::size_t infeasible_ = 0;
   bool ran_ = false;
 };

@@ -1,6 +1,7 @@
 #include "harness/scenario.hpp"
 
 #include <algorithm>
+#include <filesystem>
 #include <memory>
 
 #include "harness/sweep.hpp"
@@ -51,10 +52,17 @@ std::vector<SystemConfig> memory_ladder(int total_nodes) {
 CellResult run_cell(const CellConfig& cell, const trace::Workload& jobs,
                     const slowdown::AppPool& apps, obs::TraceSink* sink,
                     obs::Counters* counters) {
+  const CheckpointSpec* ck =
+      cell.checkpoint.has_value() ? &*cell.checkpoint : nullptr;
+  const bool resuming = ck != nullptr && ck->resume &&
+                        std::filesystem::exists(ck->path);
+
   cluster::Cluster cluster(cell.system.to_cluster_config());
   const auto policy = policy::make_policy(cell.policy);
   sim::Engine engine;
-  const obs::Observer observer{sink, counters, &engine};
+  // When resuming, defer the sink: workload submission replays schedule
+  // events whose trace records the original run already emitted.
+  obs::Observer observer{resuming ? nullptr : sink, counters, &engine};
   const obs::Observer* obs_ptr =
       (sink != nullptr || counters != nullptr) ? &observer : nullptr;
   if (obs_ptr != nullptr) {
@@ -75,7 +83,22 @@ CellResult run_cell(const CellConfig& cell, const trace::Workload& jobs,
     // The paper leaves the bar out entirely: the system cannot run the mix.
     return result;
   }
-  scheduler.run();
+  const snapshot::Components components{&engine, &cluster, &scheduler,
+                                        counters};
+  if (resuming) {
+    snapshot::restore_file(ck->path, components, &result.checkpoint);
+    if (sink != nullptr) {
+      observer.sink = sink;
+      engine.set_observer(&observer);  // the engine caches the sink pointer
+    }
+  }
+  if (ck != nullptr && (ck->every > 0.0 || !ck->cuts.empty())) {
+    snapshot::Plan plan{ck->path, ck->every, ck->cuts};
+    snapshot::run_with_checkpoints(components, plan, &result.checkpoint);
+    scheduler.finalize();
+  } else {
+    scheduler.run();
+  }
   result.summary = metrics::summarize(scheduler.records(), scheduler.totals());
   result.totals = scheduler.totals();
   result.avg_allocated_mib = scheduler.avg_allocated_mib();

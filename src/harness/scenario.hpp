@@ -12,6 +12,7 @@
 #include "obs/observer.hpp"
 #include "policy/policy.hpp"
 #include "sched/scheduler.hpp"
+#include "snapshot/checkpoint.hpp"
 #include "workload/generator.hpp"
 
 namespace dmsim::harness {
@@ -51,12 +52,24 @@ struct SystemConfig {
 /// Yields x-axis points {25,29,31,37,43,50,57,62,75,87,100}%.
 [[nodiscard]] std::vector<SystemConfig> memory_ladder(int total_nodes);
 
+/// Per-cell checkpointing: save snapshots to `path` while the cell runs
+/// and, when `resume` is set and `path` already exists, restore from it
+/// first instead of starting over. Each cell needs its own path — sweeps
+/// run cells concurrently and the file is overwritten on every save.
+struct CheckpointSpec {
+  std::string path;
+  Seconds every = 0.0;         ///< periodic save interval; 0 disables
+  std::vector<Seconds> cuts;   ///< additional explicit cut times
+  bool resume = false;         ///< restore from `path` if present
+};
+
 /// One simulation cell: run `workload` on `system` under `policy`.
 struct CellConfig {
   SystemConfig system;
   policy::PolicyKind policy = policy::PolicyKind::Dynamic;
   sched::SchedulerConfig sched;
   std::string label;
+  std::optional<CheckpointSpec> checkpoint;
 };
 
 struct CellResult {
@@ -69,6 +82,10 @@ struct CellResult {
   MiB provisioned_memory = 0;
   double system_cost_usd = 0.0;
   std::uint64_t engine_events = 0;  ///< discrete events executed by the run
+  /// Checkpoint activity (zero unless the cell carried a CheckpointSpec).
+  /// Not part of the deterministic JSON serialization: a resumed cell saves
+  /// and restores differently than the uninterrupted run it reproduces.
+  snapshot::Stats checkpoint;
 
   [[nodiscard]] double throughput() const noexcept { return summary.throughput; }
   [[nodiscard]] double throughput_per_dollar() const noexcept {

@@ -40,4 +40,15 @@ CountersSnapshot Counters::snapshot() const {
   return snap;
 }
 
+void Counters::restore(const CountersSnapshot& snap) {
+  for (auto& entry : counters_) entry.second = 0;
+  for (auto& entry : gauges_) entry.second = Gauge{};
+  for (const auto& c : snap.counters) counter(c.name) = c.value;
+  for (const auto& g : snap.gauges) {
+    Gauge& target = gauge(g.name);
+    target.value = g.value;
+    target.high_water = g.high_water;
+  }
+}
+
 }  // namespace dmsim::obs

@@ -76,6 +76,13 @@ class Counters {
   /// Name-sorted copy of every counter and gauge (deterministic export).
   [[nodiscard]] CountersSnapshot snapshot() const;
 
+  /// Overwrite the registry with a snapshot: every existing entry is zeroed,
+  /// then the snapshot's values are applied (creating entries as needed).
+  /// Zero-first matters for checkpoint restore — replaying workload
+  /// submission before the restore bumps counters that the snapshot's saving
+  /// run had already counted, and those must not double.
+  void restore(const CountersSnapshot& snap);
+
  private:
   std::deque<std::pair<std::string, std::uint64_t>> counters_;
   std::deque<std::pair<std::string, Gauge>> gauges_;

@@ -20,6 +20,23 @@ std::string_view to_string(PolicyKind kind) noexcept {
   return "unknown";
 }
 
+const char* intern_deny_reason(std::string_view reason) {
+  // The full deny-reason vocabulary. Keep in sync with the literals passed
+  // to denied() below — the scheduler serializes cached denials by content
+  // and re-interns them here on snapshot restore.
+  static constexpr const char* kReasons[] = {
+      "not_enough_fitting_idle_nodes",
+      "not_enough_hostable_nodes",
+      "exceeds_total_free",
+      "lenders_dry",
+  };
+  if (reason.empty()) return nullptr;
+  for (const char* r : kReasons) {
+    if (reason == r) return r;
+  }
+  throw Error("unknown deny reason: '" + std::string(reason) + "'");
+}
+
 // ---------------------------------------------------------------------------
 // Decision reporting
 // ---------------------------------------------------------------------------

@@ -30,6 +30,13 @@ enum class PolicyKind { Baseline, Static, Dynamic };
 
 [[nodiscard]] std::string_view to_string(PolicyKind kind) noexcept;
 
+/// Map a denial-reason's *content* back onto the static literal the policies
+/// use, or nullptr for an empty view. Deny reasons are compared and cached
+/// by pointer identity in the scheduler's deny-replay cache; a snapshot can
+/// only carry the content, so restore re-interns it here. Throws
+/// util::Error for a reason no policy produces.
+[[nodiscard]] const char* intern_deny_reason(std::string_view reason);
+
 class AllocationPolicy {
  public:
   virtual ~AllocationPolicy() = default;

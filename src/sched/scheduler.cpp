@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "snapshot/snapshot.hpp"
 #include "util/error.hpp"
 
 namespace dmsim::sched {
@@ -42,6 +43,38 @@ Scheduler::Scheduler(sim::Engine& engine, cluster::Cluster& cluster,
   c_update_batches_ = obs::counter_handle(observer, "sched.update_batches");
   g_queue_depth_ = obs::gauge_handle(observer, "sched.queue_depth");
   g_running_ = obs::gauge_handle(observer, "sched.running_jobs");
+  engine_.set_handler(this);
+}
+
+void Scheduler::on_event(const sim::EventPayload& event) {
+  switch (event.type) {
+    case sim::EventType::JobSubmit:
+      enqueue_pending(
+          PendingEntry{static_cast<std::size_t>(event.index), 0, 0.0, false, 0});
+      request_scheduling_pass();
+      return;
+    case sim::EventType::SchedPass:
+      scheduling_pass();
+      return;
+    case sim::EventType::JobEnd:
+      on_job_end(JobId{event.job});
+      return;
+    case sim::EventType::MonitorUpdate:
+      on_update(JobId{event.job});
+      return;
+    case sim::EventType::GlobalBatchTick:
+      on_global_update();
+      return;
+    case sim::EventType::WalltimeKill:
+      on_walltime(JobId{event.job});
+      return;
+    case sim::EventType::TraceSample:
+      take_sample();
+      return;
+    case sim::EventType::None:
+      break;
+  }
+  DMSIM_ASSERT(false, "unhandled event payload type");
 }
 
 void Scheduler::trace_job(obs::EventKind kind, JobId id, const char* detail) {
@@ -113,10 +146,7 @@ void Scheduler::submit_workload(trace::Workload workload) {
       dependents_[spec.preceding_job.get()].push_back(i);
       continue;  // submit event fires when the predecessor terminates
     }
-    engine_.schedule(spec.submit_time, [this, i] {
-      enqueue_pending(PendingEntry{i, 0, 0.0, false, 0});
-      request_scheduling_pass();
-    });
+    engine_.schedule_typed(spec.submit_time, sim::EventPayload::job_submit(i));
   }
 
   // Dependencies on infeasible predecessors can never be satisfied; release
@@ -125,10 +155,8 @@ void Scheduler::submit_workload(trace::Workload workload) {
     const JobRecord& pred_rec = record_of(JobId{it->first});
     if (pred_rec.infeasible) {
       for (const std::size_t i : it->second) {
-        engine_.schedule(workload_[i].submit_time, [this, i] {
-          enqueue_pending(PendingEntry{i, 0, 0.0, false, 0});
-          request_scheduling_pass();
-        });
+        engine_.schedule_typed(workload_[i].submit_time,
+                               sim::EventPayload::job_submit(i));
       }
       it = dependents_.erase(it);
     } else {
@@ -136,12 +164,20 @@ void Scheduler::submit_workload(trace::Workload workload) {
     }
   }
   if (config_.sample_interval > 0.0) {
-    engine_.schedule(0.0, [this] { take_sample(); });
+    engine_.schedule_typed(0.0, sim::EventPayload::trace_sample());
   }
 }
 
 void Scheduler::run() {
   engine_.run();
+  finalize();
+}
+
+std::uint64_t Scheduler::run_ready(Seconds until) {
+  return engine_.run_ready(until);
+}
+
+void Scheduler::finalize() {
   touch_utilization();
   horizon_ = engine_.now();
   DMSIM_ASSERT(running_.empty(), "engine drained with jobs still running");
@@ -186,7 +222,7 @@ void Scheduler::request_scheduling_pass() {
   const Seconds when =
       std::max(engine_.now(), last_pass_time_ + config_.sched_interval);
   pass_scheduled_ = true;
-  engine_.schedule(when, [this] { scheduling_pass(); });
+  engine_.schedule_typed(when, sim::EventPayload::sched_pass());
 }
 
 void Scheduler::scheduling_pass() {
@@ -323,17 +359,17 @@ void Scheduler::start_running(const PendingEntry& entry) {
     if (config_.update_mode == UpdateMode::PerJobStaggered) {
       const Seconds first =
           config_.update_interval * (0.5 + update_phase(spec.id));
-      job.update_event = engine_.schedule_after(
-          first, [this, id = spec.id] { on_update(id); });
+      job.update_event = engine_.schedule_typed_after(
+          first, sim::EventPayload::monitor_update(spec.id.get()));
     } else if (!global_update_scheduled_) {
       global_update_scheduled_ = true;
-      engine_.schedule_after(config_.update_interval,
-                             [this] { on_global_update(); });
+      engine_.schedule_typed_after(config_.update_interval,
+                                   sim::EventPayload::global_batch_tick());
     }
   }
   if (config_.enforce_walltime && spec.walltime > 0.0) {
-    job.walltime_event = engine_.schedule_after(
-        spec.walltime, [this, id = spec.id] { on_walltime(id); });
+    job.walltime_event = engine_.schedule_typed_after(
+        spec.walltime, sim::EventPayload::walltime_kill(spec.id.get()));
   }
 }
 
@@ -410,8 +446,8 @@ void Scheduler::project_end(JobId id, RunningJob& rj) {
   engine_.cancel(rj.end_event);
   const Seconds remaining =
       std::max(0.0, 1.0 - rj.progress) * spec.duration * rj.slowdown;
-  rj.end_event =
-      engine_.schedule_after(remaining, [this, id] { on_job_end(id); });
+  rj.end_event = engine_.schedule_typed_after(
+      remaining, sim::EventPayload::job_end(id.get()));
 }
 
 void Scheduler::refresh_slowdowns() {
@@ -476,10 +512,7 @@ void Scheduler::release_dependents(JobId pred) {
     const trace::JobSpec& spec = workload_[i];
     const Seconds when =
         std::max(spec.submit_time, now + std::max(spec.think_time, 0.0));
-    engine_.schedule(when, [this, i] {
-      enqueue_pending(PendingEntry{i, 0, 0.0, false, 0});
-      request_scheduling_pass();
-    });
+    engine_.schedule_typed(when, sim::EventPayload::job_submit(i));
   }
   dependents_.erase(it);
 }
@@ -566,8 +599,8 @@ void Scheduler::on_update(JobId id) {
     return;
   }
 
-  rj.update_event = engine_.schedule_after(config_.update_interval,
-                                           [this, id] { on_update(id); });
+  rj.update_event = engine_.schedule_typed_after(
+      config_.update_interval, sim::EventPayload::monitor_update(id.get()));
   // Contention only shifts when borrow edges changed; purely local resizes
   // leave every job's slowdown untouched.
   if (result.remote_changed) refresh_slowdowns();
@@ -583,6 +616,10 @@ void Scheduler::on_global_update() {
   for (const auto& [id_value, rj] : running_) {
     if (!rj.guaranteed) ids.push_back(id_value);
   }
+  // running_ is an unordered_map: its iteration order depends on insertion
+  // and rehash history, which a snapshot restore does not reproduce. The
+  // batch must touch jobs in a canonical order or replay diverges.
+  std::sort(ids.begin(), ids.end());
   bool any_remote_changed = false;
   MiB released = 0;
   std::vector<JobId> victims;
@@ -607,8 +644,8 @@ void Scheduler::on_global_update() {
   // — dragging the engine horizon along with it. start_running() restarts
   // the chain when the next updatable job begins.
   if (global_updatable_ > 0) {
-    engine_.schedule_after(config_.update_interval,
-                           [this] { on_global_update(); });
+    engine_.schedule_typed_after(config_.update_interval,
+                                 sim::EventPayload::global_batch_tick());
   } else {
     global_update_scheduled_ = false;
   }
@@ -741,8 +778,266 @@ void Scheduler::take_sample() {
   const std::uint64_t feasible =
       static_cast<std::uint64_t>(records_.size()) - infeasible_count_;
   if (terminal < feasible) {
-    engine_.schedule_after(config_.sample_interval, [this] { take_sample(); });
+    engine_.schedule_typed_after(config_.sample_interval,
+                                 sim::EventPayload::trace_sample());
   }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot (checkpoint/restore)
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr std::uint32_t kSchedSection =
+    snapshot::section_tag('S', 'C', 'H', 'D');
+}  // namespace
+
+void Scheduler::save_state(snapshot::Writer& writer) const {
+  writer.section(kSchedSection);
+  writer.u64(workload_.size());
+
+  writer.u32(static_cast<std::uint32_t>(pending_.size()));
+  for (const PendingEntry& e : pending_) {
+    writer.u64(e.spec_index);
+    writer.i64(e.restarts);
+    writer.f64(e.checkpoint);
+    writer.boolean(e.guaranteed);
+    writer.i64(e.priority);
+    writer.u64(e.last_deny_epoch);
+    // Serialized by content; restore re-interns the static literal. The
+    // cache must survive the snapshot: replaying a cached denial has
+    // observable effects (counter bump, trace event) that re-running host
+    // selection would not reproduce identically on the lenders_dry path.
+    writer.str(e.last_deny_reason != nullptr
+                   ? std::string_view(e.last_deny_reason)
+                   : std::string_view{});
+  }
+
+  // Running jobs in id order: unordered_map iteration order is a function
+  // of insertion/rehash history, which restore does not reproduce.
+  std::vector<std::uint32_t> ids;
+  ids.reserve(running_.size());
+  for (const auto& [id_value, rj] : running_) {
+    (void)rj;
+    ids.push_back(id_value);
+  }
+  std::sort(ids.begin(), ids.end());
+  writer.u32(static_cast<std::uint32_t>(ids.size()));
+  for (const std::uint32_t id_value : ids) {
+    const RunningJob& rj = running_.at(id_value);
+    writer.u32(id_value);
+    writer.u64(rj.spec_index);
+    writer.f64(rj.start_time);
+    writer.f64(rj.progress);
+    writer.f64(rj.last_fold);
+    writer.f64(rj.slowdown);
+    writer.u64(rj.end_event.value);
+    writer.u64(rj.update_event.value);
+    writer.u64(rj.walltime_event.value);
+    writer.f64(rj.checkpoint);
+    writer.i64(rj.restarts);
+    writer.boolean(rj.guaranteed);
+  }
+
+  std::vector<std::uint32_t> preds;
+  preds.reserve(dependents_.size());
+  for (const auto& [pred, specs] : dependents_) {
+    (void)specs;
+    preds.push_back(pred);
+  }
+  std::sort(preds.begin(), preds.end());
+  writer.u32(static_cast<std::uint32_t>(preds.size()));
+  for (const std::uint32_t pred : preds) {
+    const std::vector<std::size_t>& specs = dependents_.at(pred);
+    writer.u32(pred);
+    writer.u32(static_cast<std::uint32_t>(specs.size()));
+    for (const std::size_t i : specs) writer.u64(i);
+  }
+
+  writer.u32(static_cast<std::uint32_t>(records_.size()));
+  for (const JobRecord& r : records_) {
+    writer.u32(r.id.get());
+    writer.f64(r.submit_time);
+    writer.f64(r.first_start);
+    writer.f64(r.last_start);
+    writer.f64(r.end_time);
+    writer.i64(r.num_nodes);
+    writer.i64(r.requested_mem);
+    writer.i64(r.peak_usage);
+    writer.i64(r.oom_failures);
+    writer.boolean(r.ran_guaranteed);
+    writer.boolean(r.infeasible);
+    writer.u8(static_cast<std::uint8_t>(r.outcome));
+  }
+
+  writer.u32(static_cast<std::uint32_t>(samples_.size()));
+  for (const SystemSample& s : samples_) {
+    writer.f64(s.time);
+    writer.i64(s.allocated);
+    writer.i64(s.used);
+    writer.i64(s.busy_nodes);
+    writer.u64(s.pending_jobs);
+  }
+
+  writer.u64(totals_.completed);
+  writer.u64(totals_.oom_events);
+  writer.u64(totals_.requeues);
+  writer.u64(totals_.fcfs_starts);
+  writer.u64(totals_.backfill_starts);
+  writer.u64(totals_.guaranteed_starts);
+  writer.u64(totals_.update_events);
+  writer.u64(totals_.scheduling_passes);
+  writer.u64(totals_.abandoned);
+  writer.u64(totals_.walltime_kills);
+  writer.u64(infeasible_count_);
+
+  writer.boolean(pass_scheduled_);
+  writer.boolean(global_update_scheduled_);
+  writer.i64(global_updatable_);
+  writer.f64(last_pass_time_);
+  writer.f64(util_last_touch_);
+  writer.f64(allocated_integral_);
+  writer.f64(busy_integral_);
+  writer.i64(busy_nodes_);
+  writer.f64(horizon_);
+}
+
+void Scheduler::restore_state(snapshot::Reader& reader) {
+  reader.expect_section(kSchedSection, "scheduler");
+  if (reader.u64() != workload_.size()) {
+    throw snapshot::SnapshotError(
+        "snapshot: workload size mismatch — restore requires the identical "
+        "workload to be submitted first");
+  }
+  const auto spec_index_checked = [this](std::uint64_t index) {
+    if (index >= workload_.size()) {
+      throw snapshot::SnapshotError("snapshot: spec index out of range");
+    }
+    return static_cast<std::size_t>(index);
+  };
+
+  pending_.clear();
+  const std::uint32_t n_pending = reader.u32();
+  for (std::uint32_t i = 0; i < n_pending; ++i) {
+    PendingEntry e;
+    e.spec_index = spec_index_checked(reader.u64());
+    e.restarts = static_cast<int>(reader.i64());
+    e.checkpoint = reader.f64();
+    e.guaranteed = reader.boolean();
+    e.priority = static_cast<int>(reader.i64());
+    e.last_deny_epoch = reader.u64();
+    e.last_deny_reason = policy::intern_deny_reason(reader.str());
+    pending_.push_back(e);
+  }
+
+  running_.clear();
+  const std::uint32_t n_running = reader.u32();
+  running_.reserve(n_running);
+  for (std::uint32_t i = 0; i < n_running; ++i) {
+    const std::uint32_t id_value = reader.u32();
+    RunningJob rj;
+    rj.spec_index = spec_index_checked(reader.u64());
+    rj.start_time = reader.f64();
+    rj.progress = reader.f64();
+    rj.last_fold = reader.f64();
+    rj.slowdown = reader.f64();
+    rj.end_event = sim::EventId{reader.u64()};
+    rj.update_event = sim::EventId{reader.u64()};
+    rj.walltime_event = sim::EventId{reader.u64()};
+    rj.checkpoint = reader.f64();
+    rj.restarts = static_cast<int>(reader.i64());
+    rj.guaranteed = reader.boolean();
+    if (!running_.emplace(id_value, rj).second) {
+      throw snapshot::SnapshotError("snapshot: duplicate running job");
+    }
+  }
+
+  dependents_.clear();
+  const std::uint32_t n_deps = reader.u32();
+  for (std::uint32_t i = 0; i < n_deps; ++i) {
+    const std::uint32_t pred = reader.u32();
+    const std::uint32_t n_specs = reader.u32();
+    std::vector<std::size_t>& specs = dependents_[pred];
+    specs.reserve(n_specs);
+    for (std::uint32_t k = 0; k < n_specs; ++k) {
+      specs.push_back(spec_index_checked(reader.u64()));
+    }
+  }
+
+  // records_ / record_index_ were rebuilt deterministically by
+  // submit_workload (same workload, same order); overwrite the mutable
+  // fields in place, verifying the identity columns line up.
+  const std::uint32_t n_records = reader.u32();
+  if (n_records != records_.size()) {
+    throw snapshot::SnapshotError("snapshot: job record count mismatch");
+  }
+  for (JobRecord& r : records_) {
+    if (reader.u32() != r.id.get()) {
+      throw snapshot::SnapshotError("snapshot: job record id mismatch");
+    }
+    r.submit_time = reader.f64();
+    r.first_start = reader.f64();
+    r.last_start = reader.f64();
+    r.end_time = reader.f64();
+    r.num_nodes = static_cast<int>(reader.i64());
+    r.requested_mem = reader.i64();
+    r.peak_usage = reader.i64();
+    r.oom_failures = static_cast<int>(reader.i64());
+    r.ran_guaranteed = reader.boolean();
+    r.infeasible = reader.boolean();
+    const std::uint8_t outcome = reader.u8();
+    if (outcome > static_cast<std::uint8_t>(JobOutcome::KilledWalltime)) {
+      throw snapshot::SnapshotError("snapshot: unknown job outcome");
+    }
+    r.outcome = static_cast<JobOutcome>(outcome);
+  }
+
+  samples_.clear();
+  const std::uint32_t n_samples = reader.u32();
+  samples_.reserve(n_samples);
+  for (std::uint32_t i = 0; i < n_samples; ++i) {
+    SystemSample s;
+    s.time = reader.f64();
+    s.allocated = reader.i64();
+    s.used = reader.i64();
+    s.busy_nodes = static_cast<int>(reader.i64());
+    s.pending_jobs = static_cast<std::size_t>(reader.u64());
+    samples_.push_back(s);
+  }
+
+  totals_.completed = reader.u64();
+  totals_.oom_events = reader.u64();
+  totals_.requeues = reader.u64();
+  totals_.fcfs_starts = reader.u64();
+  totals_.backfill_starts = reader.u64();
+  totals_.guaranteed_starts = reader.u64();
+  totals_.update_events = reader.u64();
+  totals_.scheduling_passes = reader.u64();
+  totals_.abandoned = reader.u64();
+  totals_.walltime_kills = reader.u64();
+  if (reader.u64() != infeasible_count_) {
+    throw snapshot::SnapshotError(
+        "snapshot: infeasible job count mismatch — different workload or "
+        "cluster configuration");
+  }
+
+  pass_scheduled_ = reader.boolean();
+  global_update_scheduled_ = reader.boolean();
+  global_updatable_ = static_cast<int>(reader.i64());
+  last_pass_time_ = reader.f64();
+  util_last_touch_ = reader.f64();
+  allocated_integral_ = reader.f64();
+  busy_integral_ = reader.f64();
+  busy_nodes_ = static_cast<int>(reader.i64());
+  horizon_ = reader.f64();
+
+  // The incremental slowdown cache is intentionally NOT serialized: reset()
+  // forces a full rebuild on the next refresh, which recomputes bitwise-
+  // equal slowdowns for every clean job (|delta| <= kSlowdownEps skips the
+  // re-projection), so replay is unaffected.
+  inc_slowdowns_.reset();
+  running_ids_scratch_.clear();
+  slowdown_updates_.clear();
 }
 
 }  // namespace dmsim::sched

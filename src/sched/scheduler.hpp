@@ -30,9 +30,15 @@
 #include "obs/observer.hpp"
 #include "policy/policy.hpp"
 #include "sim/engine.hpp"
+#include "sim/event_payload.hpp"
 #include "slowdown/model.hpp"
 #include "trace/job_spec.hpp"
 #include "util/units.hpp"
+
+namespace dmsim::snapshot {
+class Writer;
+class Reader;
+}  // namespace dmsim::snapshot
 
 namespace dmsim::sched {
 
@@ -133,7 +139,7 @@ struct SchedulerTotals {
   std::uint64_t walltime_kills = 0;
 };
 
-class Scheduler {
+class Scheduler : public sim::EventHandler {
  public:
   /// `pool` may be nullptr: all jobs are then contention-insensitive.
   /// `observer` (optional, must outlive the scheduler) wires structured
@@ -151,8 +157,41 @@ class Scheduler {
   void submit_workload(trace::Workload workload);
 
   /// Drive the engine to completion. Afterwards every feasible job has a
-  /// terminal outcome.
+  /// terminal outcome. Equivalent to run_ready(+inf) + finalize().
   void run();
+
+  /// Fire every event with time <= until without advancing the clock past
+  /// the last fired event — the checkpoint cut primitive. The simulation
+  /// state afterwards is exactly the mid-run state of an uninterrupted run,
+  /// so it may be snapshotted or resumed with further run_ready() calls.
+  /// Returns the number of events fired.
+  std::uint64_t run_ready(Seconds until);
+
+  /// Close out a drained run: settle utilization integrals, fix the
+  /// horizon, verify every feasible job reached a terminal outcome and
+  /// publish the sched.* totals. Call exactly once, after the engine
+  /// drains.
+  void finalize();
+
+  [[nodiscard]] const SchedulerConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const trace::Workload& workload() const noexcept {
+    return workload_;
+  }
+
+  /// Serialize queues, running-job lifecycle, records, samples, totals and
+  /// utilization integrals. The workload itself is NOT serialized — restore
+  /// requires submit_workload() to have been called with the identical
+  /// workload (enforced by the checkpoint layer's config fingerprint).
+  void save_state(snapshot::Writer& writer) const;
+
+  /// Rebuild scheduler state from save_state bytes. Must be called after
+  /// submit_workload() with the same workload; the slowdown cache is reset
+  /// and rebuilt incrementally (bitwise-equal recompute, so replay is
+  /// unaffected). Restore the engine first: pending-event handles in the
+  /// snapshot must match the restored slab.
+  void restore_state(snapshot::Reader& reader);
 
   [[nodiscard]] const std::vector<JobRecord>& records() const noexcept {
     return records_;
@@ -176,6 +215,11 @@ class Scheduler {
   [[nodiscard]] double avg_busy_nodes() const noexcept;
 
  private:
+  /// Typed-event dispatch: every production event the engine fires lands
+  /// here. The payload<->member-function mapping is the whole reason the
+  /// queue is serializable, so keep it exhaustive — no default case.
+  void on_event(const sim::EventPayload& event) override;
+
   struct PendingEntry {
     std::size_t spec_index = 0;
     int restarts = 0;

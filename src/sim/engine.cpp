@@ -3,7 +3,15 @@
 #include <algorithm>
 #include <utility>
 
+#include "snapshot/snapshot.hpp"
+
 namespace dmsim::sim {
+
+namespace {
+constexpr std::uint32_t kEngineSection =
+    snapshot::section_tag('E', 'N', 'G', 'I');
+constexpr auto kMaxEventType = static_cast<std::uint8_t>(EventType::TraceSample);
+}  // namespace
 
 void Engine::set_observer(const obs::Observer* observer) {
   trace_ = observer != nullptr ? observer->sink : nullptr;
@@ -15,11 +23,28 @@ void Engine::set_observer(const obs::Observer* observer) {
 void Engine::release_slot(std::uint32_t slot) {
   Slot& s = slots_[slot];
   s.fn.reset();
+  s.payload = EventPayload{};  // a reused slot must not inherit a stale type
   s.occupied = false;
   // Generation 0 is reserved so a default EventId never matches; skip it on
   // the (theoretical) 2^32 wrap-around of a single slot.
   if (++s.generation == 0) ++s.generation;
   free_slots_.push_back(slot);
+}
+
+EventId Engine::enqueue_slot(Seconds when, std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.occupied = true;
+  const std::uint64_t seq = next_seq_++;
+  s.trace_id = seq + 1;  // matches the pre-slab engine's monotonic event ids
+  queue_.push(Entry{when, seq, slot, s.generation});
+  ++live_;
+  obs::bump(c_scheduled_);
+  if (trace_) {
+    obs::Event e{obs::EventKind::EngineSchedule, now_};
+    e.when = when;
+    trace_->emit(e.with("id", static_cast<std::int64_t>(s.trace_id)));
+  }
+  return EventId{pack(slot, s.generation)};
 }
 
 EventId Engine::schedule(Seconds when, Callback fn) {
@@ -33,20 +58,24 @@ EventId Engine::schedule(Seconds when, Callback fn) {
     slot = static_cast<std::uint32_t>(slots_.size());
     slots_.emplace_back();
   }
-  Slot& s = slots_[slot];
-  s.fn = std::move(fn);
-  s.occupied = true;
-  const std::uint64_t seq = next_seq_++;
-  s.trace_id = seq + 1;  // matches the pre-slab engine's monotonic event ids
-  queue_.push(Entry{when, seq, slot, s.generation});
-  ++live_;
-  obs::bump(c_scheduled_);
-  if (trace_) {
-    obs::Event e{obs::EventKind::EngineSchedule, now_};
-    e.when = when;
-    trace_->emit(e.with("id", static_cast<std::int64_t>(s.trace_id)));
+  slots_[slot].fn = std::move(fn);
+  return enqueue_slot(when, slot);
+}
+
+EventId Engine::schedule_typed(Seconds when, const EventPayload& payload) {
+  DMSIM_ASSERT(when >= now_, "cannot schedule an event in the past");
+  DMSIM_ASSERT(payload.type != EventType::None,
+               "typed events must carry a concrete EventType");
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
   }
-  return EventId{pack(slot, s.generation)};
+  slots_[slot].payload = payload;
+  return enqueue_slot(when, slot);
 }
 
 void Engine::cancel(EventId id) {
@@ -74,6 +103,8 @@ bool Engine::step() {
     if (!entry_live(top)) continue;  // lazily drop a cancelled entry
     Slot& s = slots_[top.slot];
     Callback fn = std::move(s.fn);
+    // Copy out before releasing: the handler may schedule into this slot.
+    const EventPayload payload = s.payload;
     const std::uint64_t trace_id = s.trace_id;
     release_slot(top.slot);
     --live_;
@@ -85,7 +116,13 @@ bool Engine::step() {
       trace_->emit(obs::Event{obs::EventKind::EngineFire, now_}.with(
           "id", static_cast<std::int64_t>(trace_id)));
     }
-    fn();
+    if (payload.type != EventType::None) {
+      DMSIM_ASSERT(handler_ != nullptr,
+                   "typed event fired with no handler installed");
+      handler_->on_event(payload);
+    } else {
+      fn();
+    }
     return true;
   }
   return false;
@@ -97,7 +134,7 @@ std::uint64_t Engine::run(std::uint64_t max_events) {
   return n;
 }
 
-std::uint64_t Engine::run_until(Seconds until) {
+std::uint64_t Engine::run_ready(Seconds until) {
   std::uint64_t n = 0;
   for (;;) {
     // Peek past cancelled entries without firing anything late.
@@ -105,8 +142,124 @@ std::uint64_t Engine::run_until(Seconds until) {
     if (queue_.empty() || queue_.top().time > until) break;
     if (step()) ++n;
   }
+  return n;
+}
+
+std::uint64_t Engine::run_until(Seconds until) {
+  const std::uint64_t n = run_ready(until);
   now_ = std::max(now_, until);
   return n;
+}
+
+void Engine::save_state(snapshot::Writer& writer) const {
+  writer.section(kEngineSection);
+  writer.f64(now_);
+  writer.u64(next_seq_);
+  writer.u64(executed_);
+  writer.u64(static_cast<std::uint64_t>(live_));
+  writer.u32(static_cast<std::uint32_t>(slots_.size()));
+  for (const Slot& s : slots_) {
+    writer.boolean(s.occupied);
+    writer.u32(s.generation);
+    if (!s.occupied) continue;
+    if (s.payload.type == EventType::None) {
+      throw snapshot::SnapshotError(
+          "snapshot: pending closure event (trace id " +
+          std::to_string(s.trace_id) +
+          ") is not serializable — production code must use "
+          "schedule_typed()");
+    }
+    writer.u64(s.trace_id);
+    writer.u8(static_cast<std::uint8_t>(s.payload.type));
+    writer.u32(s.payload.job);
+    writer.u64(s.payload.index);
+  }
+  writer.u32(static_cast<std::uint32_t>(free_slots_.size()));
+  for (std::uint32_t f : free_slots_) writer.u32(f);
+  // Live heap entries in internal heap order. Stale entries (cancelled, not
+  // yet lazily popped) are skipped: dropping them now is exactly what the
+  // running engine would eventually do, and fire order is unaffected
+  // because pop order is a total order on the unique (time, seq) key.
+  std::uint32_t n_live = 0;
+  for (const Entry& e : queue_.entries()) {
+    if (entry_live(e)) ++n_live;
+  }
+  DMSIM_ASSERT(n_live == live_, "heap live entries out of sync with slab");
+  writer.u32(n_live);
+  for (const Entry& e : queue_.entries()) {
+    if (!entry_live(e)) continue;
+    writer.f64(e.time);
+    writer.u64(e.seq);
+    writer.u32(e.slot);
+    writer.u32(e.generation);
+  }
+}
+
+void Engine::restore_state(snapshot::Reader& reader) {
+  reader.expect_section(kEngineSection, "engine");
+  now_ = reader.f64();
+  next_seq_ = reader.u64();
+  executed_ = reader.u64();
+  const std::uint64_t live = reader.u64();
+  const std::uint32_t n_slots = reader.u32();
+  slots_.clear();
+  slots_.resize(n_slots);
+  std::uint64_t occupied = 0;
+  for (Slot& s : slots_) {
+    s.occupied = reader.boolean();
+    s.generation = reader.u32();
+    if (s.generation == 0) {
+      throw snapshot::SnapshotError("snapshot: slot generation 0 is reserved");
+    }
+    if (!s.occupied) continue;
+    ++occupied;
+    s.trace_id = reader.u64();
+    const std::uint8_t type = reader.u8();
+    if (type == 0 || type > kMaxEventType) {
+      throw snapshot::SnapshotError("snapshot: unknown event type " +
+                                    std::to_string(int{type}));
+    }
+    s.payload.type = static_cast<EventType>(type);
+    s.payload.job = reader.u32();
+    s.payload.index = reader.u64();
+  }
+  if (occupied != live) {
+    throw snapshot::SnapshotError(
+        "snapshot: occupied slot count does not match live event count");
+  }
+  free_slots_.clear();
+  const std::uint32_t n_free = reader.u32();
+  free_slots_.reserve(n_free);
+  for (std::uint32_t i = 0; i < n_free; ++i) {
+    const std::uint32_t f = reader.u32();
+    if (f >= n_slots || slots_[f].occupied) {
+      throw snapshot::SnapshotError("snapshot: free list names a live slot");
+    }
+    free_slots_.push_back(f);
+  }
+  queue_.clear();
+  live_ = 0;
+  const std::uint32_t n_entries = reader.u32();
+  for (std::uint32_t i = 0; i < n_entries; ++i) {
+    Entry e{};
+    e.time = reader.f64();
+    e.seq = reader.u64();
+    e.slot = reader.u32();
+    e.generation = reader.u32();
+    if (e.slot >= n_slots || !entry_live(e)) {
+      throw snapshot::SnapshotError(
+          "snapshot: heap entry refers to a dead slot");
+    }
+    if (e.time < now_) {
+      throw snapshot::SnapshotError("snapshot: pending event in the past");
+    }
+    queue_.push(e);
+    ++live_;
+  }
+  if (live_ != live) {
+    throw snapshot::SnapshotError(
+        "snapshot: heap entry count does not match live event count");
+  }
 }
 
 }  // namespace dmsim::sim

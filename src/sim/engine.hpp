@@ -23,9 +23,15 @@
 #include <vector>
 
 #include "obs/observer.hpp"
+#include "sim/event_payload.hpp"
 #include "util/error.hpp"
 #include "util/small_function.hpp"
 #include "util/units.hpp"
+
+namespace dmsim::snapshot {
+class Writer;
+class Reader;
+}  // namespace dmsim::snapshot
 
 namespace dmsim::sim {
 
@@ -55,12 +61,27 @@ class Engine : public obs::Clock {
   /// instrumentation is one branch on a null pointer per site.
   void set_observer(const obs::Observer* observer);
 
+  /// Install the receiver for typed events. Must outlive the engine (or be
+  /// reset). Required before any schedule_typed() event fires.
+  void set_handler(EventHandler* handler) noexcept { handler_ = handler; }
+
   /// Schedule `fn` at absolute time `when` (must be >= now()).
   EventId schedule(Seconds when, Callback fn);
 
   /// Schedule `fn` after a relative delay (must be >= 0).
   EventId schedule_after(Seconds delay, Callback fn) {
     return schedule(now_ + delay, std::move(fn));
+  }
+
+  /// Schedule a typed payload at absolute time `when` (must be >= now()).
+  /// Typed events are serializable (see save_state) and dispatch through
+  /// the installed EventHandler; otherwise they behave exactly like
+  /// closure events — same ids, same trace records, same tie-breaking.
+  EventId schedule_typed(Seconds when, const EventPayload& payload);
+
+  /// Schedule a typed payload after a relative delay (must be >= 0).
+  EventId schedule_typed_after(Seconds delay, const EventPayload& payload) {
+    return schedule_typed(now_ + delay, payload);
   }
 
   /// Cancel a pending event. Cancelling an already-fired, stale (slot since
@@ -84,7 +105,27 @@ class Engine : public obs::Clock {
   /// Afterwards now() == max(now, until).
   std::uint64_t run_until(Seconds until);
 
+  /// Run all events with time <= until WITHOUT advancing the clock past the
+  /// last fired event. This is the checkpoint cut primitive: unlike
+  /// run_until, it leaves now() exactly where an uninterrupted run would
+  /// have it mid-stream, so the saved state is indistinguishable from a run
+  /// that was never paused.
+  std::uint64_t run_ready(Seconds until);
+
   [[nodiscard]] std::uint64_t executed_events() const noexcept { return executed_; }
+
+  /// Serialize clock, counters, the slot slab (occupancy, generations, free
+  /// list — exact order, so slot reuse and tie-breaking replay identically)
+  /// and every live heap entry. Throws snapshot::SnapshotError if any
+  /// pending event is closure-backed: closures are not serializable, and
+  /// production code must schedule typed payloads only.
+  void save_state(snapshot::Writer& writer) const;
+
+  /// Rebuild engine state from save_state bytes. Existing state is
+  /// discarded; the observer wiring and handler are kept. Heap entries are
+  /// re-pushed in saved order — pop order is a total order on unique
+  /// (time, seq) keys, so the replayed fire sequence is identical.
+  void restore_state(snapshot::Reader& reader);
 
  private:
   struct Entry {
@@ -139,6 +180,15 @@ class Engine : public obs::Clock {
       }
     }
 
+    /// Raw entries in heap-internal order, for slab-order-preserving
+    /// serialization. Re-pushing them in this order is not required for
+    /// correctness (pop order is a total order) but keeps snapshots stable.
+    [[nodiscard]] const std::vector<Entry>& entries() const noexcept {
+      return v_;
+    }
+
+    void clear() noexcept { v_.clear(); }
+
    private:
     static constexpr std::size_t kArity = 4;
     std::vector<Entry> v_;
@@ -146,6 +196,7 @@ class Engine : public obs::Clock {
 
   struct Slot {
     Callback fn;
+    EventPayload payload;        // type == None for closure-backed slots
     std::uint64_t trace_id = 0;  // stable 1-based schedule number, for traces
     std::uint32_t generation = 1;
     bool occupied = false;
@@ -167,6 +218,11 @@ class Engine : public obs::Clock {
   /// and heap entries die here) and recycle the index.
   void release_slot(std::uint32_t slot);
 
+  /// Claim a free (or freshly grown) slot and fill the common bookkeeping;
+  /// shared tail of schedule() and schedule_typed().
+  EventId enqueue_slot(Seconds when, std::uint32_t slot);
+
+  EventHandler* handler_ = nullptr;
   EventHeap queue_;
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;

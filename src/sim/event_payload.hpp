@@ -1,0 +1,79 @@
+// Typed, serializable event descriptors.
+//
+// The engine historically stored every pending event as an opaque closure,
+// which made simulation state impossible to externalize: a closure cannot
+// be saved to disk or inspected. Production code (the scheduler) now
+// schedules *typed payloads* — a small POD naming the action and its
+// operands — dispatched through a single EventHandler. Closures remain
+// supported for tests and benchmarks, but a snapshot refuses to serialize
+// them, so the production path staying payload-only is machine-checked by
+// the checkpoint tests.
+#pragma once
+
+#include <cstdint>
+
+namespace dmsim::sim {
+
+/// What a pending event does when it fires. Values are part of the snapshot
+/// format: append new types at the end, never renumber.
+enum class EventType : std::uint8_t {
+  None = 0,         ///< closure-backed slot (tests/benches only; not serializable)
+  JobSubmit,        ///< workload spec (by index) enters the pending queue
+  SchedPass,        ///< scheduling / backfill pass
+  JobEnd,           ///< projected completion of a running job
+  MonitorUpdate,    ///< per-job staggered Monitor tick (§2.2)
+  GlobalBatchTick,  ///< global batched Monitor timer
+  WalltimeKill,     ///< walltime-limit enforcement for a running job
+  TraceSample,      ///< periodic system-state sample
+};
+
+/// A pending event: the action plus its operands. `job` carries a raw JobId
+/// for per-job events; `index` carries a workload spec index for submits.
+/// Unused operands stay zero so payload equality is well-defined.
+struct EventPayload {
+  EventType type = EventType::None;
+  std::uint32_t job = 0;
+  std::uint64_t index = 0;
+
+  [[nodiscard]] static constexpr EventPayload job_submit(
+      std::uint64_t spec_index) noexcept {
+    return EventPayload{EventType::JobSubmit, 0, spec_index};
+  }
+  [[nodiscard]] static constexpr EventPayload sched_pass() noexcept {
+    return EventPayload{EventType::SchedPass, 0, 0};
+  }
+  [[nodiscard]] static constexpr EventPayload job_end(
+      std::uint32_t job_id) noexcept {
+    return EventPayload{EventType::JobEnd, job_id, 0};
+  }
+  [[nodiscard]] static constexpr EventPayload monitor_update(
+      std::uint32_t job_id) noexcept {
+    return EventPayload{EventType::MonitorUpdate, job_id, 0};
+  }
+  [[nodiscard]] static constexpr EventPayload global_batch_tick() noexcept {
+    return EventPayload{EventType::GlobalBatchTick, 0, 0};
+  }
+  [[nodiscard]] static constexpr EventPayload walltime_kill(
+      std::uint32_t job_id) noexcept {
+    return EventPayload{EventType::WalltimeKill, job_id, 0};
+  }
+  [[nodiscard]] static constexpr EventPayload trace_sample() noexcept {
+    return EventPayload{EventType::TraceSample, 0, 0};
+  }
+
+  friend constexpr bool operator==(const EventPayload&,
+                                   const EventPayload&) noexcept = default;
+};
+
+/// Receiver for typed events. One handler serves the whole engine — the
+/// scheduler owns every production event type, so a dispatch table heavier
+/// than a switch in its on_event would buy nothing.
+class EventHandler {
+ public:
+  virtual void on_event(const EventPayload& event) = 0;
+
+ protected:
+  ~EventHandler() = default;
+};
+
+}  // namespace dmsim::sim

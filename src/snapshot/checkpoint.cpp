@@ -1,0 +1,310 @@
+#include "snapshot/checkpoint.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+
+#include "cluster/cluster.hpp"
+#include "obs/counters.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/engine.hpp"
+#include "snapshot/snapshot.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dmsim::snapshot {
+
+namespace {
+
+constexpr std::string_view kMagic = "DMSIMSNP";
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kCountersSection = section_tag('C', 'N', 'T', 'R');
+constexpr std::uint32_t kEndSection = section_tag('E', 'N', 'D', '.');
+
+[[nodiscard]] double elapsed_since(
+    std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void check_components(const Components& c) {
+  DMSIM_ASSERT(c.engine != nullptr && c.cluster != nullptr &&
+                   c.scheduler != nullptr,
+               "checkpoint components must name engine, cluster and scheduler");
+}
+
+void save_counters_section(Writer& w, const obs::Counters* counters) {
+  w.section(kCountersSection);
+  w.boolean(counters != nullptr);
+  if (counters == nullptr) return;
+  const obs::CountersSnapshot snap = counters->snapshot();
+  w.u32(static_cast<std::uint32_t>(snap.counters.size()));
+  for (const auto& c : snap.counters) {
+    w.str(c.name);
+    w.u64(c.value);
+  }
+  w.u32(static_cast<std::uint32_t>(snap.gauges.size()));
+  for (const auto& g : snap.gauges) {
+    w.str(g.name);
+    w.i64(g.value);
+    w.i64(g.high_water);
+  }
+}
+
+void restore_counters_section(Reader& r, obs::Counters* counters) {
+  r.expect_section(kCountersSection, "counters");
+  const bool present = r.boolean();
+  if (!present) {
+    // The saving run carried no registry. Zero ours so replay-time bumps
+    // (workload submission) do not linger as phantom counts.
+    if (counters != nullptr) counters->restore(obs::CountersSnapshot{});
+    return;
+  }
+  obs::CountersSnapshot snap;
+  const std::uint32_t n_counters = r.u32();
+  snap.counters.reserve(n_counters);
+  for (std::uint32_t i = 0; i < n_counters; ++i) {
+    obs::CountersSnapshot::Counter c;
+    c.name = std::string(r.str());
+    c.value = r.u64();
+    snap.counters.push_back(std::move(c));
+  }
+  const std::uint32_t n_gauges = r.u32();
+  snap.gauges.reserve(n_gauges);
+  for (std::uint32_t i = 0; i < n_gauges; ++i) {
+    obs::CountersSnapshot::GaugeEntry g;
+    g.name = std::string(r.str());
+    g.value = r.i64();
+    g.high_water = r.i64();
+    snap.gauges.push_back(std::move(g));
+  }
+  // A restore target without a registry simply drops the section.
+  if (counters != nullptr) counters->restore(snap);
+}
+
+}  // namespace
+
+void Stats::publish(obs::Counters& registry) const {
+  registry.counter("sim.checkpoint.saves") = saves;
+  registry.counter("sim.checkpoint.restores") = restores;
+  registry.counter("sim.checkpoint.bytes_written") = bytes_written;
+  registry.counter("sim.checkpoint.bytes_read") = bytes_read;
+  // Phase timers, exported at microsecond resolution like the profiler.
+  registry.counter("sim.checkpoint.save_micros") =
+      static_cast<std::uint64_t>(save_seconds * 1e6);
+  registry.counter("sim.checkpoint.restore_micros") =
+      static_cast<std::uint64_t>(restore_seconds * 1e6);
+}
+
+std::uint64_t config_fingerprint(const Components& components) {
+  check_components(components);
+  Writer w;
+  // Cluster topology + lender policy.
+  const std::span<const cluster::Node> nodes = components.cluster->nodes();
+  w.u32(static_cast<std::uint32_t>(nodes.size()));
+  for (const cluster::Node& n : nodes) {
+    w.i64(n.capacity);
+    w.i64(n.cores);
+    w.boolean(n.large);
+  }
+  w.u8(static_cast<std::uint8_t>(components.cluster->lender_policy()));
+  // Scheduler configuration.
+  const sched::SchedulerConfig& sc = components.scheduler->config();
+  w.f64(sc.sched_interval);
+  w.i64(sc.queue_depth);
+  w.i64(sc.backfill_depth);
+  w.boolean(sc.enable_backfill);
+  w.u8(static_cast<std::uint8_t>(sc.backfill_mode));
+  w.f64(sc.update_interval);
+  w.u8(static_cast<std::uint8_t>(sc.update_mode));
+  w.u8(static_cast<std::uint8_t>(sc.oom_handling));
+  w.i64(sc.guaranteed_after_failures);
+  w.i64(sc.priority_boost_per_failure);
+  w.i64(sc.max_restarts);
+  w.boolean(sc.enforce_walltime);
+  w.f64(sc.sample_interval);
+  // The full workload: any perturbation (different seed, different trace)
+  // changes every downstream decision, so it all goes into the hash.
+  const trace::Workload& jobs = components.scheduler->workload();
+  w.u64(jobs.size());
+  for (const trace::JobSpec& spec : jobs) {
+    w.u32(spec.id.get());
+    w.f64(spec.submit_time);
+    w.i64(spec.num_nodes);
+    w.i64(spec.requested_mem);
+    w.f64(spec.duration);
+    w.f64(spec.walltime);
+    w.u32(static_cast<std::uint32_t>(spec.usage.size()));
+    for (const trace::UsagePoint& p : spec.usage.points()) {
+      w.f64(p.progress);
+      w.i64(p.mem);
+    }
+    w.u32(static_cast<std::uint32_t>(spec.node_usage_scale.size()));
+    for (const double s : spec.node_usage_scale) w.f64(s);
+    w.i64(spec.app_profile);
+    w.u32(spec.preceding_job.get());
+    w.f64(spec.think_time);
+  }
+  return util::fnv1a(w.buffer());
+}
+
+std::string save_bytes(const Components& components) {
+  check_components(components);
+  Writer payload;
+  components.engine->save_state(payload);
+  components.cluster->save_state(payload);
+  components.scheduler->save_state(payload);
+  save_counters_section(payload, components.counters);
+  payload.section(kEndSection);
+
+  Writer out;
+  for (const char c : kMagic) out.u8(static_cast<std::uint8_t>(c));
+  out.u32(kVersion);
+  out.u64(config_fingerprint(components));
+  out.u64(payload.buffer().size());
+  const std::uint64_t checksum = util::fnv1a(payload.buffer());
+  std::string bytes = out.take();
+  bytes += payload.buffer();
+  Writer tail;
+  tail.u64(checksum);
+  bytes += tail.buffer();
+  return bytes;
+}
+
+void restore_bytes(std::string_view bytes, const Components& components) {
+  check_components(components);
+  Reader header(bytes);
+  for (const char c : kMagic) {
+    if (header.remaining() == 0 || header.u8() != static_cast<std::uint8_t>(c)) {
+      throw SnapshotError("snapshot: bad magic — not a dmsim snapshot");
+    }
+  }
+  const std::uint32_t version = header.u32();
+  if (version != kVersion) {
+    throw SnapshotError("snapshot: unsupported version " +
+                        std::to_string(version) + " (expected " +
+                        std::to_string(kVersion) + ")");
+  }
+  const std::uint64_t fingerprint = header.u64();
+  const std::uint64_t expected = config_fingerprint(components);
+  if (fingerprint != expected) {
+    throw SnapshotError(
+        "snapshot: configuration fingerprint mismatch — the snapshot was "
+        "taken under a different cluster/scheduler/workload configuration");
+  }
+  const std::uint64_t payload_size = header.u64();
+  if (header.remaining() < payload_size + 8) {
+    throw SnapshotError("snapshot: truncated payload");
+  }
+  const std::string_view payload =
+      bytes.substr(header.position(), payload_size);
+  Reader tail(bytes.substr(header.position() + payload_size));
+  const std::uint64_t checksum = tail.u64();
+  if (!tail.at_end()) {
+    throw SnapshotError("snapshot: trailing bytes after checksum");
+  }
+  if (checksum != util::fnv1a(payload)) {
+    throw SnapshotError("snapshot: payload checksum mismatch — corrupt file");
+  }
+
+  Reader r(payload);
+  components.engine->restore_state(r);
+  components.cluster->restore_state(r);
+  components.scheduler->restore_state(r);
+  restore_counters_section(r, components.counters);
+  r.expect_section(kEndSection, "end");
+  if (!r.at_end()) {
+    throw SnapshotError("snapshot: unconsumed payload bytes");
+  }
+}
+
+void save_file(const std::string& path, const Components& components,
+               Stats* stats) {
+  const auto start = std::chrono::steady_clock::now();
+  const std::string bytes = save_bytes(components);
+  // Write-then-rename so an interrupted save never clobbers the previous
+  // (complete) snapshot with a truncated one.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw SnapshotError("snapshot: cannot open '" + tmp + "' for writing");
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      throw SnapshotError("snapshot: short write to '" + tmp + "'");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw SnapshotError("snapshot: cannot rename '" + tmp + "' to '" + path +
+                        "'");
+  }
+  if (stats != nullptr) {
+    ++stats->saves;
+    stats->bytes_written += bytes.size();
+    stats->save_seconds += elapsed_since(start);
+  }
+}
+
+void restore_file(const std::string& path, const Components& components,
+                  Stats* stats) {
+  const auto start = std::chrono::steady_clock::now();
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw SnapshotError("snapshot: cannot open '" + path + "' for reading");
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    throw SnapshotError("snapshot: read error on '" + path + "'");
+  }
+  restore_bytes(bytes, components);
+  if (stats != nullptr) {
+    ++stats->restores;
+    stats->bytes_read += bytes.size();
+    stats->restore_seconds += elapsed_since(start);
+  }
+}
+
+void run_with_checkpoints(const Components& components, const Plan& plan,
+                          Stats* stats) {
+  check_components(components);
+  DMSIM_ASSERT(!plan.path.empty() || !plan.active(),
+               "checkpoint plan with cuts needs a path");
+  constexpr Seconds kInf = std::numeric_limits<Seconds>::infinity();
+  std::vector<Seconds> cuts = plan.cuts;
+  std::sort(cuts.begin(), cuts.end());
+  std::size_t ci = 0;
+  // Cuts at or before the clock were already taken by the run this one
+  // resumed from; re-saving would capture the post-restore state and, worse,
+  // loop forever on a cut that no event ever advances past.
+  while (ci < cuts.size() && cuts[ci] <= components.engine->now()) ++ci;
+  Seconds periodic = kInf;
+  if (plan.every > 0.0) {
+    periodic =
+        (std::floor(components.engine->now() / plan.every) + 1.0) * plan.every;
+  }
+  for (;;) {
+    const Seconds next_cut = ci < cuts.size() ? cuts[ci] : kInf;
+    const Seconds target = std::min(next_cut, periodic);
+    if (!std::isfinite(target)) {
+      components.scheduler->run_ready(kInf);
+      return;
+    }
+    // run_ready leaves the clock at the last fired event (<= target), which
+    // is exactly the mid-run state of an uninterrupted run — the snapshot
+    // below is indistinguishable from one cut by luck at this moment.
+    components.scheduler->run_ready(target);
+    if (next_cut <= target) ++ci;
+    while (periodic <= target) periodic += plan.every;
+    if (components.engine->empty()) return;  // drained: nothing to resume
+    save_file(plan.path, components, stats);
+  }
+}
+
+}  // namespace dmsim::snapshot

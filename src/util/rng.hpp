@@ -93,6 +93,24 @@ class Rng {
 
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
 
+  /// Full serializable generator state: the original seed (child derivation
+  /// depends on it) plus the four xoshiro256** words (the stream position).
+  /// restore_state(state()) round-trips exactly, so a snapshotted stream
+  /// resumes bit-for-bit where it left off.
+  struct State {
+    std::uint64_t seed = 0;
+    std::array<std::uint64_t, 4> words{};
+    friend constexpr bool operator==(const State&, const State&) noexcept =
+        default;
+  };
+
+  [[nodiscard]] State state() const noexcept { return State{seed_, s_}; }
+
+  void restore_state(const State& state) noexcept {
+    seed_ = state.seed;
+    s_ = state.words;
+  }
+
  private:
   std::uint64_t seed_;
   std::array<std::uint64_t, 4> s_;

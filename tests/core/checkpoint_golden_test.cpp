@@ -1,0 +1,130 @@
+// Golden restore-equivalence on a Fig. 5-style scenario: a 64-node system
+// under the Dynamic policy with sampling, tracing and counters all wired.
+// Pins the full determinism contract at three fixed cut fractions:
+//   * the final JSON document is byte-identical to the uninterrupted run,
+//   * the counters registry lands on identical values,
+//   * the resumed NDJSON trace is exactly the uninterrupted trace's suffix.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <string>
+
+#include "core/simulator.hpp"
+#include "metrics/json_export.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace_sink.hpp"
+#include "snapshot/checkpoint.hpp"
+#include "util/rng.hpp"
+
+namespace dmsim {
+namespace {
+
+trace::Workload golden_workload(const slowdown::AppPool& apps) {
+  util::Rng rng(20260806);
+  trace::Workload jobs;
+  Seconds submit = 0.0;
+  for (std::uint32_t i = 1; i <= 80; ++i) {
+    trace::JobSpec j;
+    j.id = JobId{i};
+    submit += rng.uniform() * 45.0;
+    j.submit_time = submit;
+    j.num_nodes = 1 + static_cast<int>(rng() % 8);
+    j.duration = 120.0 + rng.uniform() * 900.0;
+    j.walltime = j.duration * 2.5;
+    const MiB peak = gib(6) + static_cast<MiB>(rng() % gib(110));
+    j.usage = trace::UsageTrace(std::vector<trace::UsagePoint>{
+        {0.0, peak / 3}, {0.25, (peak * 2) / 3}, {0.6, peak}});
+    j.requested_mem = rng.uniform() < 0.25 ? (peak * 9) / 10 : peak;
+    j.app_profile = apps.match(j.num_nodes, j.duration);
+    jobs.push_back(std::move(j));
+  }
+  return jobs;
+}
+
+SimulationConfig golden_config() {
+  SimulationConfig cfg;
+  cfg.system.total_nodes = 64;
+  cfg.system.pct_large_nodes = 0.25;
+  cfg.policy = policy::PolicyKind::Dynamic;
+  cfg.sched.backfill_mode = sched::BackfillMode::Easy;
+  cfg.sched.sample_interval = 200.0;
+  cfg.sched.update_interval = 150.0;
+  cfg.sched.enforce_walltime = true;
+  return cfg;
+}
+
+TEST(CheckpointGolden, ThreeCutPointsReproduceJsonTraceAndCounters) {
+  const slowdown::AppPool apps =
+      slowdown::AppPool::synthetic(util::Rng(11), 24);
+  const trace::Workload jobs = golden_workload(apps);
+  const SimulationConfig cfg = golden_config();
+
+  // Uninterrupted reference with full observability.
+  std::ostringstream ref_trace;
+  obs::NdjsonSink ref_sink(ref_trace);
+  obs::Counters ref_counters;
+  Simulator ref(cfg, jobs, &apps, &ref_sink, &ref_counters);
+  const SimulationResult ref_result = ref.run();
+  ASSERT_TRUE(ref_result.valid);
+  const std::string ref_json = metrics::to_json(ref_result);
+  const std::string ref_ndjson = ref_trace.str();
+  const Seconds makespan = ref_result.summary.last_end;
+  ASSERT_GT(makespan, 0.0);
+  ASSERT_FALSE(ref_ndjson.empty());
+
+  for (const double fraction : {0.25, 0.5, 0.8}) {
+    const Seconds cut = fraction * makespan;
+    const std::string path =
+        (std::filesystem::path(::testing::TempDir()) /
+         ("dmsim_golden_" + std::to_string(fraction) + ".snap"))
+            .string();
+
+    // Save leg: run with one cut; tracing/counters stay undisturbed.
+    {
+      std::ostringstream trace_out;
+      obs::NdjsonSink sink(trace_out);
+      obs::Counters counters;
+      snapshot::Plan plan;
+      plan.path = path;
+      plan.cuts = {cut};
+      Simulator saver(cfg, jobs, &apps, &sink, &counters);
+      const SimulationResult saved = saver.run(plan);
+      ASSERT_EQ(saver.checkpoint_stats().saves, 1U) << "cut=" << cut;
+      EXPECT_EQ(metrics::to_json(saved), ref_json)
+          << "cut=" << cut << ": saving perturbed the run";
+      EXPECT_EQ(trace_out.str(), ref_ndjson)
+          << "cut=" << cut << ": saving perturbed the trace";
+    }
+
+    // Restore leg: finish from the snapshot.
+    {
+      std::ostringstream trace_out;
+      obs::NdjsonSink sink(trace_out);
+      obs::Counters counters;
+      auto resumed =
+          Simulator::restore_from(path, cfg, jobs, &apps, &sink, &counters);
+      EXPECT_EQ(resumed->checkpoint_stats().restores, 1U);
+      const SimulationResult result = resumed->run();
+
+      EXPECT_EQ(metrics::to_json(result), ref_json)
+          << "cut=" << cut << ": restored run diverged";
+
+      // The resumed trace must be the uninterrupted trace's exact suffix
+      // from the cut point onward.
+      const std::string tail = trace_out.str();
+      ASSERT_FALSE(tail.empty()) << "cut=" << cut;
+      ASSERT_LE(tail.size(), ref_ndjson.size()) << "cut=" << cut;
+      EXPECT_EQ(ref_ndjson.compare(ref_ndjson.size() - tail.size(),
+                                   tail.size(), tail),
+                0)
+          << "cut=" << cut << ": trace is not a suffix of the reference";
+    }
+
+    std::remove(path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace dmsim

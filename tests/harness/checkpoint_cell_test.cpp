@@ -1,0 +1,75 @@
+// Per-cell checkpointing through the sweep harness: a cell that carries a
+// CheckpointSpec writes snapshots while it runs, and a re-run with
+// resume=true restores from the file and still lands on the identical
+// deterministic result.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "harness/scenario.hpp"
+#include "harness/sweep.hpp"
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
+
+namespace dmsim::harness {
+namespace {
+
+TEST(CheckpointCell, ResumedCellMatchesUninterruptedCell) {
+  workload::SyntheticWorkloadConfig wcfg;
+  wcfg.cirne.num_jobs = 60;
+  wcfg.cirne.system_nodes = 32;
+  wcfg.cirne.max_job_nodes = 8;
+  wcfg.seed = 5150;
+  const workload::SyntheticWorkload generated =
+      workload::generate_synthetic(wcfg);
+
+  CellConfig cell;
+  cell.system.total_nodes = 32;
+  cell.system.pct_large_nodes = 0.5;
+  cell.policy = policy::PolicyKind::Dynamic;
+  cell.sched.sample_interval = 500.0;
+  cell.label = "checkpointed";
+
+  const CellResult reference =
+      run_cell(cell, generated.jobs, generated.apps);
+  ASSERT_TRUE(reference.valid);
+  EXPECT_EQ(reference.checkpoint.saves, 0U);
+  const std::string ref_json = cell_result_to_json(reference);
+
+  const std::string path = (std::filesystem::path(::testing::TempDir()) /
+                            "dmsim_cell_checkpoint.snap")
+                               .string();
+  std::remove(path.c_str());
+
+  // First leg: checkpoint periodically; the result must be unperturbed and
+  // the snapshot file must exist afterwards.
+  CheckpointSpec spec;
+  spec.path = path;
+  spec.every = reference.summary.last_end / 7.0;
+  cell.checkpoint = spec;
+  const CellResult saved = run_cell(cell, generated.jobs, generated.apps);
+  EXPECT_EQ(cell_result_to_json(saved), ref_json);
+  EXPECT_GT(saved.checkpoint.saves, 0U);
+  ASSERT_TRUE(std::filesystem::exists(path));
+
+  // Second leg: resume from the file (as after an interrupted sweep); the
+  // restored run must reproduce the same result.
+  cell.checkpoint->resume = true;
+  const CellResult resumed = run_cell(cell, generated.jobs, generated.apps);
+  EXPECT_EQ(resumed.checkpoint.restores, 1U);
+  EXPECT_EQ(cell_result_to_json(resumed), ref_json);
+
+  // The sweep runner threads cells with specs through unchanged.
+  cell.checkpoint->resume = true;
+  SweepRunner runner(2);
+  const std::size_t handle = runner.add(cell, generated.jobs, generated.apps);
+  runner.run_all();
+  EXPECT_EQ(cell_result_to_json(runner.result(handle).cell), ref_json);
+
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dmsim::harness

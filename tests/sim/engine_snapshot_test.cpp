@@ -1,0 +1,175 @@
+// Typed-event dispatch and engine save/restore.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace dmsim::sim {
+namespace {
+
+struct Fired {
+  Seconds time;
+  EventPayload payload;
+};
+
+/// Records every dispatched payload; optionally re-arms a periodic tick to
+/// exercise slot reuse across a snapshot cut.
+class RecordingHandler : public EventHandler {
+ public:
+  explicit RecordingHandler(Engine& engine) : engine_(engine) {}
+
+  void on_event(const EventPayload& event) override {
+    fired.push_back({engine_.now(), event});
+    if (rearm_until > 0.0 && event.type == EventType::TraceSample &&
+        engine_.now() + rearm_period <= rearm_until) {
+      engine_.schedule_typed_after(rearm_period, EventPayload::trace_sample());
+    }
+  }
+
+  std::vector<Fired> fired;
+  Seconds rearm_period = 0.0;
+  Seconds rearm_until = 0.0;
+
+ private:
+  Engine& engine_;
+};
+
+TEST(EngineTyped, DispatchesThroughHandlerInOrder) {
+  Engine engine;
+  RecordingHandler handler(engine);
+  engine.set_handler(&handler);
+
+  engine.schedule_typed(2.0, EventPayload::job_end(7));
+  engine.schedule_typed(1.0, EventPayload::sched_pass());
+  engine.schedule_typed(2.0, EventPayload::monitor_update(9));  // tie: FIFO
+  EXPECT_EQ(engine.run(), 3U);
+
+  ASSERT_EQ(handler.fired.size(), 3U);
+  EXPECT_EQ(handler.fired[0].payload, EventPayload::sched_pass());
+  EXPECT_EQ(handler.fired[1].payload, EventPayload::job_end(7));
+  EXPECT_EQ(handler.fired[2].payload, EventPayload::monitor_update(9));
+  EXPECT_EQ(handler.fired[2].time, 2.0);
+}
+
+TEST(EngineTyped, ClosuresAndTypedEventsInterleave) {
+  Engine engine;
+  RecordingHandler handler(engine);
+  engine.set_handler(&handler);
+  std::vector<std::string> order;
+  engine.schedule(1.0, [&] { order.push_back("closure"); });
+  engine.schedule_typed(1.0, EventPayload::sched_pass());
+  engine.schedule(0.5, [&] { order.push_back("early"); });
+  EXPECT_EQ(engine.run(), 3U);
+  ASSERT_EQ(order.size(), 2U);
+  EXPECT_EQ(order[0], "early");
+  EXPECT_EQ(order[1], "closure");
+  ASSERT_EQ(handler.fired.size(), 1U);
+}
+
+TEST(EngineTyped, RunReadyDoesNotOvershootClock) {
+  Engine engine;
+  RecordingHandler handler(engine);
+  engine.set_handler(&handler);
+  engine.schedule_typed(5.0, EventPayload::sched_pass());
+  engine.schedule_typed(10.0, EventPayload::sched_pass());
+
+  EXPECT_EQ(engine.run_ready(7.0), 1U);
+  EXPECT_EQ(engine.now(), 5.0);  // run_until(7.0) would report 7.0
+
+  EXPECT_EQ(engine.run_until(8.0), 0U);
+  EXPECT_EQ(engine.now(), 8.0);
+}
+
+TEST(EngineSnapshot, PendingClosureRefusesToSerialize) {
+  Engine engine;
+  engine.schedule(1.0, [] {});
+  snapshot::Writer w;
+  EXPECT_THROW(engine.save_state(w), snapshot::SnapshotError);
+}
+
+TEST(EngineSnapshot, MidStreamRestoreReplaysIdenticalSequence) {
+  // Reference run: periodic self-re-arming tick plus one-shot events with
+  // ties, cancelled events, and slot reuse.
+  const auto seed = [](Engine& engine) {
+    engine.schedule_typed(1.0, EventPayload::trace_sample());
+    engine.schedule_typed(4.0, EventPayload::job_end(1));
+    engine.schedule_typed(4.0, EventPayload::job_end(2));  // tie with previous
+    const EventId doomed =
+        engine.schedule_typed(6.0, EventPayload::walltime_kill(3));
+    engine.schedule_typed(9.0, EventPayload::job_submit(42));
+    engine.cancel(doomed);  // leaves a stale heap entry behind
+  };
+
+  Engine full;
+  RecordingHandler full_handler(full);
+  full_handler.rearm_period = 1.0;
+  full_handler.rearm_until = 8.0;
+  full.set_handler(&full_handler);
+  seed(full);
+
+  // Cut mid-stream (between events, clock NOT advanced to the cut time).
+  (void)full.run_ready(4.5);
+  snapshot::Writer w;
+  full.save_state(w);
+  const std::string bytes = w.take();
+
+  // Restore into a polluted engine: pre-existing junk must be wiped.
+  Engine resumed;
+  RecordingHandler resumed_handler(resumed);
+  resumed_handler.rearm_period = 1.0;
+  resumed_handler.rearm_until = 8.0;
+  resumed.set_handler(&resumed_handler);
+  resumed.schedule_typed(0.25, EventPayload::sched_pass());
+  snapshot::Reader r(bytes);
+  resumed.restore_state(r);
+  EXPECT_TRUE(r.at_end());
+
+  EXPECT_EQ(resumed.now(), full.now());
+  EXPECT_EQ(resumed.pending_events(), full.pending_events());
+  EXPECT_EQ(resumed.executed_events(), full.executed_events());
+
+  // Both finish; resumed saw only the post-cut events, which must match
+  // full's tail event for event.
+  const std::size_t cut_count = full_handler.fired.size();
+  (void)full.run();
+  (void)resumed.run();
+  ASSERT_EQ(resumed_handler.fired.size(), full_handler.fired.size() - cut_count);
+  const std::size_t skip = cut_count;
+  for (std::size_t i = 0; i < resumed_handler.fired.size(); ++i) {
+    EXPECT_EQ(resumed_handler.fired[i].time, full_handler.fired[skip + i].time);
+    EXPECT_EQ(resumed_handler.fired[i].payload,
+              full_handler.fired[skip + i].payload);
+  }
+  EXPECT_EQ(resumed.now(), full.now());
+  EXPECT_EQ(resumed.executed_events(), full.executed_events());
+
+  // Determinism of the format itself: re-saving the restored engine at the
+  // same point must reproduce the snapshot byte for byte.
+  Engine again;
+  RecordingHandler again_handler(again);
+  again.set_handler(&again_handler);
+  snapshot::Reader r2(bytes);
+  again.restore_state(r2);
+  snapshot::Writer w2;
+  again.save_state(w2);
+  EXPECT_EQ(w2.buffer(), bytes);
+}
+
+TEST(EngineSnapshot, TruncatedBytesThrow) {
+  Engine engine;
+  engine.schedule_typed(1.0, EventPayload::sched_pass());
+  snapshot::Writer w;
+  engine.save_state(w);
+  const std::string bytes = w.take();
+  for (const std::size_t cut : {std::size_t{0}, bytes.size() / 2, bytes.size() - 1}) {
+    Engine target;
+    snapshot::Reader r(std::string_view(bytes).substr(0, cut));
+    EXPECT_THROW(target.restore_state(r), snapshot::SnapshotError);
+  }
+}
+
+}  // namespace
+}  // namespace dmsim::sim

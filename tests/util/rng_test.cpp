@@ -214,6 +214,27 @@ TEST(Rng, Fnv1aKnownValue) {
   EXPECT_NE(fnv1a("a"), fnv1a("b"));
 }
 
+TEST(Rng, StateRoundTripResumesStream) {
+  Rng rng(987654321);
+  for (int i = 0; i < 37; ++i) (void)rng();  // advance mid-stream
+
+  const Rng::State saved = rng.state();
+  std::vector<std::uint64_t> expected;
+  for (int i = 0; i < 100; ++i) expected.push_back(rng());
+
+  Rng resumed(1);  // different seed/state, fully overwritten by restore
+  resumed.restore_state(saved);
+  EXPECT_EQ(resumed.state(), saved);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(resumed(), expected[static_cast<std::size_t>(i)]);
+
+  // Derived draws (not just raw words) continue identically too.
+  Rng a(55), b(55);
+  for (int i = 0; i < 11; ++i) (void)a.uniform();
+  for (int i = 0; i < 11; ++i) (void)b.uniform();
+  b.restore_state(a.state());
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a.gamma(2.0, 1.5), b.gamma(2.0, 1.5));
+}
+
 // Distribution positivity sweep across many (shape, scale) pairs.
 class GammaParamTest
     : public ::testing::TestWithParam<std::pair<double, double>> {};

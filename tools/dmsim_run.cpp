@@ -11,20 +11,36 @@
 //   dmsim_run --config cluster.conf --jobs-csv records.csv --samples-csv util.csv
 //   dmsim_run --config cluster.conf --trace run.ndjson --counters
 //   dmsim_run --config cluster.conf --trace run.json --trace-format chrome
+//   dmsim_run --config cluster.conf --checkpoint run.snap --checkpoint-every 3600
+//   dmsim_run --config cluster.conf --restore run.snap --json resumed.json
 #include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/dmsim.hpp"
 #include "harness/config_file.hpp"
 #include "metrics/json_export.hpp"
 #include "slowdown/profile_io.hpp"
+#include "snapshot/checkpoint.hpp"
 #include "trace/swf_validate.hpp"
 #include "trace/usage_io.hpp"
 #include "util/table.hpp"
+
+// Build metadata injected by tools/CMakeLists.txt; the fallbacks keep the
+// file compilable standalone.
+#ifndef DMSIM_VERSION_STRING
+#define DMSIM_VERSION_STRING "unknown"
+#endif
+#ifndef DMSIM_GIT_DESCRIBE
+#define DMSIM_GIT_DESCRIBE "unknown"
+#endif
+#ifndef DMSIM_BUILD_TYPE
+#define DMSIM_BUILD_TYPE "unknown"
+#endif
 
 namespace {
 
@@ -43,9 +59,21 @@ struct Options {
   std::optional<std::string> export_profiles;
   std::optional<std::string> trace_path;
   obs::TraceFormat trace_format = obs::TraceFormat::Ndjson;
+  std::optional<std::string> checkpoint_path;
+  Seconds checkpoint_every = 0.0;
+  std::vector<Seconds> checkpoint_at;
+  std::optional<std::string> restore_path;
   bool counters = false;
   bool help = false;
+  bool version = false;
 };
+
+void print_version(std::ostream& os) {
+  os << "dmsim_run " << DMSIM_VERSION_STRING << " (" << DMSIM_GIT_DESCRIBE
+     << ", " << DMSIM_BUILD_TYPE << ")\n"
+     << "compiler: " << __VERSION__ << '\n'
+     << "snapshot format: v1\n";
+}
 
 void print_usage(std::ostream& os) {
   os << "usage: dmsim_run --config FILE [options]\n"
@@ -65,6 +93,12 @@ void print_usage(std::ostream& os) {
         "                       (chrome loads into Perfetto / chrome://tracing)\n"
         "  --counters           print the counters registry and a self-profile\n"
         "                       (phase timers, events/sec) after the summary\n"
+        "  --checkpoint FILE    save simulation snapshots to FILE while running\n"
+        "  --checkpoint-every N save a snapshot every N simulated seconds\n"
+        "  --checkpoint-at T    save a snapshot at simulated time T (repeatable)\n"
+        "  --restore FILE       resume from a snapshot saved by --checkpoint;\n"
+        "                       config and workload must match the saving run\n"
+        "  --version            print build/version information\n"
         "  --help               this text\n";
 }
 
@@ -73,6 +107,20 @@ void print_usage(std::ostream& os) {
   const auto need_value = [&](int& i, const char* flag) -> std::string {
     if (i + 1 >= argc) throw ConfigError(std::string(flag) + " needs a value");
     return argv[++i];
+  };
+  const auto need_number = [&](int& i, const char* flag) -> double {
+    const std::string value = need_value(i, flag);
+    std::size_t used = 0;
+    double parsed = 0.0;
+    try {
+      parsed = std::stod(value, &used);
+    } catch (const std::exception&) {
+      throw ConfigError(std::string(flag) + ": not a number: '" + value + "'");
+    }
+    if (used != value.size()) {
+      throw ConfigError(std::string(flag) + ": not a number: '" + value + "'");
+    }
+    return parsed;
   };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -100,15 +148,39 @@ void print_usage(std::ostream& os) {
       opt.trace_path = need_value(i, "--trace");
     } else if (arg == "--trace-format") {
       opt.trace_format = obs::parse_trace_format(need_value(i, "--trace-format"));
+    } else if (arg == "--checkpoint") {
+      opt.checkpoint_path = need_value(i, "--checkpoint");
+    } else if (arg == "--checkpoint-every") {
+      opt.checkpoint_every = need_number(i, "--checkpoint-every");
+      if (opt.checkpoint_every <= 0.0) {
+        throw ConfigError("--checkpoint-every must be positive");
+      }
+    } else if (arg == "--checkpoint-at") {
+      const double at = need_number(i, "--checkpoint-at");
+      if (at <= 0.0) throw ConfigError("--checkpoint-at must be positive");
+      opt.checkpoint_at.push_back(at);
+    } else if (arg == "--restore") {
+      opt.restore_path = need_value(i, "--restore");
     } else if (arg == "--counters") {
       opt.counters = true;
+    } else if (arg == "--version") {
+      opt.version = true;
     } else if (arg == "--help" || arg == "-h") {
       opt.help = true;
     } else {
       throw ConfigError("unknown argument: " + arg);
     }
   }
-  if (!opt.help && opt.config_path.empty()) {
+  if ((opt.checkpoint_every > 0.0 || !opt.checkpoint_at.empty()) &&
+      !opt.checkpoint_path) {
+    throw ConfigError("--checkpoint-every/--checkpoint-at need --checkpoint");
+  }
+  if (opt.checkpoint_path && opt.checkpoint_every <= 0.0 &&
+      opt.checkpoint_at.empty()) {
+    throw ConfigError(
+        "--checkpoint needs --checkpoint-every and/or --checkpoint-at");
+  }
+  if (!opt.help && !opt.version && opt.config_path.empty()) {
     throw ConfigError("--config is required");
   }
   return opt;
@@ -239,9 +311,27 @@ int run(const Options& opt) {
   obs::Counters counters;
 
   prof.begin_phase("simulate");
-  Simulator sim(cfg.simulation, jobs, &apps, sink.get(),
-                opt.counters ? &counters : nullptr);
-  const SimulationResult result = sim.run();
+  snapshot::Plan plan;
+  if (opt.checkpoint_path) {
+    plan.path = *opt.checkpoint_path;
+    plan.every = opt.checkpoint_every;
+    plan.cuts = opt.checkpoint_at;
+  }
+  std::unique_ptr<Simulator> sim;
+  if (opt.restore_path) {
+    sim = Simulator::restore_from(*opt.restore_path, cfg.simulation, jobs,
+                                  &apps, sink.get(),
+                                  opt.counters ? &counters : nullptr);
+    std::cout << "restored snapshot " << *opt.restore_path << '\n';
+  } else {
+    sim = std::make_unique<Simulator>(cfg.simulation, jobs, &apps, sink.get(),
+                                      opt.counters ? &counters : nullptr);
+  }
+  const SimulationResult result = plan.active() ? sim->run(plan) : sim->run();
+  if (opt.checkpoint_path && sim->checkpoint_stats().saves > 0) {
+    std::cout << "wrote " << sim->checkpoint_stats().saves
+              << " snapshot(s) to " << *opt.checkpoint_path << '\n';
+  }
   prof.begin_phase("write-results");
 
   if (sink) {
@@ -311,6 +401,17 @@ int run(const Options& opt) {
     for (const auto& g : snap.gauges) {
       ctable.add_row({g.name + " (high water)", std::to_string(g.high_water)});
     }
+    // Checkpoint activity lives in its own registry: the sim registry is
+    // embedded in the JSON document and must stay byte-identical between an
+    // uninterrupted run and a restored one.
+    const snapshot::Stats& ck = sim->checkpoint_stats();
+    if (ck.saves > 0 || ck.restores > 0) {
+      obs::Counters ck_registry;
+      ck.publish(ck_registry);
+      for (const auto& c : ck_registry.snapshot().counters) {
+        ctable.add_row({c.name, std::to_string(c.value)});
+      }
+    }
     ctable.print(std::cout);
 
     util::TextTable ptable("self-profile");
@@ -336,6 +437,10 @@ int main(int argc, char** argv) {
     const Options opt = parse_args(argc, argv);
     if (opt.help) {
       print_usage(std::cout);
+      return 0;
+    }
+    if (opt.version) {
+      print_version(std::cout);
       return 0;
     }
     return run(opt);
