@@ -81,6 +81,7 @@ struct Options {
   Scale scale;
   std::size_t threads = 0;  ///< sweep workers; 0 = hardware concurrency
   std::string json_path;    ///< --json FILE perf report (empty = none)
+  bool progress = false;    ///< --progress: live per-cell lines on stderr
 };
 
 [[nodiscard]] inline Options parse_options(int argc, char** argv) {
@@ -98,6 +99,8 @@ struct Options {
       opts.threads = static_cast<std::size_t>(std::stoul(argv[++i]));
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       opts.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--progress") == 0) {
+      opts.progress = true;
     }
   }
   return opts;
@@ -220,7 +223,11 @@ class Runner {
   };
 
   Runner(std::string bench_name, const Options& opts)
-      : name_(std::move(bench_name)), opts_(opts), sweep_(opts.threads) {}
+      : name_(std::move(bench_name)), opts_(opts), sweep_(opts.threads) {
+    // Progress is stderr-only wall-clock telemetry; stdout (tables, JSON
+    // reports) stays byte-deterministic.
+    if (opts.progress) sweep_.set_progress(&std::cerr);
+  }
 
   [[nodiscard]] Handle add(const harness::SystemConfig& system,
                            policy::PolicyKind kind,

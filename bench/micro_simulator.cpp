@@ -232,6 +232,37 @@ void BM_TracingOverhead(benchmark::State& state) {
 BENCHMARK(BM_TracingOverhead)->Arg(0)->Arg(1)->Arg(2)
     ->Unit(benchmark::kMillisecond);
 
+// Raw cost of one Histogram::record — the per-site price of distribution
+// telemetry on hot paths (a countl_zero, four compares, two adds).
+void BM_HistogramRecord(benchmark::State& state) {
+  obs::Histogram h;
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+  for (auto _ : state) {
+    // xorshift keeps values unpredictable so the bucket branch can't train.
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    h.record(static_cast<std::int64_t>(x >> 32));
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+// TimeSeries::record with monotone time: almost always folds into the
+// current window (one compare), occasionally appends.
+void BM_TimeSeriesRecord(benchmark::State& state) {
+  obs::TimeSeries s(10.0);
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 0.01;
+    s.record(t, 1);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TimeSeriesRecord);
+
 void BM_WorkloadGeneration(benchmark::State& state) {
   for (auto _ : state) {
     workload::SyntheticWorkloadConfig cfg;

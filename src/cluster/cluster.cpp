@@ -69,6 +69,10 @@ void Cluster::set_observer(const obs::Observer* observer) {
       obs::counter_handle(observer, "ledger.local_shrink_mib_total");
   g_lent_ = obs::gauge_handle(observer, "ledger.lent_mib");
   g_allocated_ = obs::gauge_handle(observer, "ledger.allocated_mib");
+  s_lend_mib_ = obs::series_handle(observer, "ledger.lend_mib");
+  s_reclaim_mib_ = obs::series_handle(observer, "ledger.reclaim_mib");
+  s_edge_churn_ = obs::series_handle(observer, "ledger.edge_churn");
+  h_lenders_per_grow_ = obs::histogram_handle(observer, "ledger.lenders_per_grow");
 }
 
 const Node& Cluster::node(NodeId id) const {
@@ -293,6 +297,8 @@ MiB Cluster::grow_remote(JobId job, NodeId host, MiB amount) {
   if (amount == 0) return 0;
   AllocationSlot& slot = slot_mut(job, host);
   MiB remaining = amount;
+  int lenders_touched = 0;
+  std::int64_t edges_added = 0;
   // Lenders are picked one at a time straight from the indexes. Each pick is
   // either drained to free() == 0 — leaving every index before the next
   // lookup — or the grow is satisfied and the loop ends, so the sequence of
@@ -309,6 +315,7 @@ MiB Cluster::grow_remote(JobId job, NodeId host, MiB amount) {
     total_allocated_ += take;
     total_lent_ += take;
     remaining -= take;
+    ++lenders_touched;
     reindex_node(ln);
     // Merge into an existing edge if present.
     auto edge = std::find_if(slot.remote.begin(), slot.remote.end(),
@@ -318,6 +325,7 @@ MiB Cluster::grow_remote(JobId job, NodeId host, MiB amount) {
     } else {
       slot.remote.emplace_back(lender, take);
       borrower_index_[lender.get()].push_back(key(job, host));
+      ++edges_added;
     }
   }
   const MiB granted = amount - remaining;
@@ -327,6 +335,12 @@ MiB Cluster::grow_remote(JobId job, NodeId host, MiB amount) {
     mark_slot_dirty(slot);
     obs::bump(c_lend_ops_);
     obs::bump(c_lent_mib_, static_cast<std::uint64_t>(granted));
+    obs::record(h_lenders_per_grow_, lenders_touched);
+    if (obs_ != nullptr) {
+      const Seconds now = obs_->now();
+      obs::record(s_lend_mib_, now, granted);
+      if (edges_added > 0) obs::record(s_edge_churn_, now, edges_added);
+    }
     if (g_lent_) g_lent_->set(total_lent_);
     if (g_allocated_) g_allocated_->set(total_allocated_);
     if (obs::tracing(obs_)) {
@@ -344,6 +358,7 @@ MiB Cluster::shrink_remote(JobId job, NodeId host, MiB amount) {
   AllocationSlot& slot = slot_mut(job, host);
   MiB remaining = std::min(amount, slot.remote_total());
   const MiB released = remaining;
+  std::int64_t edges_removed = 0;
   // Return the largest borrows first: frees memory-node status soonest.
   std::sort(slot.remote.begin(), slot.remote.end(),
             [](const auto& a, const auto& b) {
@@ -365,7 +380,10 @@ MiB Cluster::shrink_remote(JobId job, NodeId host, MiB amount) {
     // erased from the slot before that call, yet its lender's pressure
     // still changed.
     mark_lender_dirty(lender);
-    if (borrowed == 0) std::erase(borrower_index_[lender.get()], key(job, host));
+    if (borrowed == 0) {
+      std::erase(borrower_index_[lender.get()], key(job, host));
+      ++edges_removed;
+    }
   }
   std::erase_if(slot.remote, [](const auto& e) { return e.second == 0; });
   if (released > 0) {
@@ -373,6 +391,11 @@ MiB Cluster::shrink_remote(JobId job, NodeId host, MiB amount) {
     mark_slot_dirty(slot);
     obs::bump(c_reclaim_ops_);
     obs::bump(c_reclaimed_mib_, static_cast<std::uint64_t>(released));
+    if (obs_ != nullptr) {
+      const Seconds now = obs_->now();
+      obs::record(s_reclaim_mib_, now, released);
+      if (edges_removed > 0) obs::record(s_edge_churn_, now, edges_removed);
+    }
     if (g_lent_) g_lent_->set(total_lent_);
     if (g_allocated_) g_allocated_->set(total_allocated_);
     if (obs::tracing(obs_)) {

@@ -352,6 +352,16 @@ class Cluster {
   std::uint64_t* c_local_shrink_mib_ = nullptr;
   obs::Gauge* g_lent_ = nullptr;
   obs::Gauge* g_allocated_ = nullptr;
+  /// Windowed ledger activity (simulated time on the x axis): MiB moved by
+  /// lend/reclaim operations, and borrow-edge churn (edges created or fully
+  /// returned per operation). Contention shows up as hot lend windows paired
+  /// with high churn.
+  obs::TimeSeries* s_lend_mib_ = nullptr;
+  obs::TimeSeries* s_reclaim_mib_ = nullptr;
+  obs::TimeSeries* s_edge_churn_ = nullptr;
+  /// Lenders drained per satisfied grow — the fragmentation signal: a grow
+  /// spread across many lenders creates many edges to reclaim later.
+  obs::Histogram* h_lenders_per_grow_ = nullptr;
 };
 
 }  // namespace dmsim::cluster

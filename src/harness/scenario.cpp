@@ -60,6 +60,12 @@ CellResult run_cell(const CellConfig& cell, const trace::Workload& jobs,
   cluster::Cluster cluster(cell.system.to_cluster_config());
   const auto policy = policy::make_policy(cell.policy);
   sim::Engine engine;
+  // A cell-private registry when telemetry was requested without one: each
+  // sweep cell then aggregates independently, so sweeps stay thread-safe.
+  obs::Counters local_counters;
+  if (cell.collect_telemetry && counters == nullptr) {
+    counters = &local_counters;
+  }
   // When resuming, defer the sink: workload submission replays schedule
   // events whose trace records the original run already emitted.
   obs::Observer observer{resuming ? nullptr : sink, counters, &engine};
@@ -81,6 +87,9 @@ CellResult run_cell(const CellConfig& cell, const trace::Workload& jobs,
   result.system_cost_usd = metrics::CostModel{}.system_cost(cluster);
   if (!result.valid) {
     // The paper leaves the bar out entirely: the system cannot run the mix.
+    if (cell.collect_telemetry && counters != nullptr) {
+      result.telemetry = counters->snapshot();
+    }
     return result;
   }
   const snapshot::Components components{&engine, &cluster, &scheduler,
@@ -104,6 +113,9 @@ CellResult run_cell(const CellConfig& cell, const trace::Workload& jobs,
   result.avg_allocated_mib = scheduler.avg_allocated_mib();
   result.avg_busy_nodes = scheduler.avg_busy_nodes();
   result.engine_events = engine.executed_events();
+  if (cell.collect_telemetry && counters != nullptr) {
+    result.telemetry = counters->snapshot();
+  }
   return result;
 }
 

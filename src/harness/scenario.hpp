@@ -70,6 +70,11 @@ struct CellConfig {
   sched::SchedulerConfig sched;
   std::string label;
   std::optional<CheckpointSpec> checkpoint;
+  /// Wire a private counters registry through the cell and snapshot it into
+  /// CellResult::telemetry. Safe under sweeps (each cell gets its own
+  /// registry), and deterministic: the snapshot only aggregates
+  /// simulated-time quantities, so it is identical at any thread count.
+  bool collect_telemetry = false;
 };
 
 struct CellResult {
@@ -86,6 +91,11 @@ struct CellResult {
   /// Not part of the deterministic JSON serialization: a resumed cell saves
   /// and restores differently than the uninterrupted run it reproduces.
   snapshot::Stats checkpoint;
+  /// Counters/gauges/histograms/series snapshot, populated when the cell
+  /// asked for collect_telemetry (or the caller supplied a registry). Kept
+  /// out of cell_result_to_json so existing byte-identity goldens hold;
+  /// export it with metrics::telemetry_to_json when needed.
+  obs::CountersSnapshot telemetry;
 
   [[nodiscard]] double throughput() const noexcept { return summary.throughput; }
   [[nodiscard]] double throughput_per_dollar() const noexcept {

@@ -1,12 +1,38 @@
 #include "harness/sweep.hpp"
 
 #include <chrono>
+#include <cstdio>
+#include <ostream>
 #include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "metrics/json_export.hpp"
 #include "util/error.hpp"
 
 namespace dmsim::harness {
+
+namespace {
+
+/// Process peak RSS in MiB (0 where getrusage is unavailable). ru_maxrss is
+/// KiB on Linux, bytes on macOS.
+long peak_rss_mib() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return usage.ru_maxrss / (1024 * 1024);
+#else
+  return usage.ru_maxrss / 1024;
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace
 
 std::size_t SweepRunner::add(CellConfig config, const trace::Workload& jobs,
                              const slowdown::AppPool& apps) {
@@ -19,10 +45,12 @@ void SweepRunner::run_all() {
   const std::size_t count = cells_.size() - first;
   if (count == 0) return;
   results_.resize(cells_.size());
+  progress_done_ = 0;
   const auto batch_start = std::chrono::steady_clock::now();
   // Each iteration writes only its own slot, so no synchronization is
-  // needed beyond the pool's completion barrier.
-  pool_.parallel_for(count, [this, first](std::size_t i) {
+  // needed beyond the pool's completion barrier (progress reporting has its
+  // own mutex).
+  pool_.parallel_for(count, [this, first, count, batch_start](std::size_t i) {
     const PendingCell& cell = cells_[first + i];
     const auto start = std::chrono::steady_clock::now();
     SweepCellResult& out = results_[first + i];
@@ -30,6 +58,12 @@ void SweepRunner::run_all() {
     out.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
+    if (progress_ != nullptr) {
+      const double elapsed = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - batch_start)
+                                 .count();
+      note_progress(cell, out, count, elapsed);
+    }
   });
   executed_ = cells_.size();
   report_.wall_seconds += std::chrono::duration<double>(
@@ -40,6 +74,33 @@ void SweepRunner::run_all() {
     report_.engine_events += cell.engine_events;
     if (cell.valid) report_.sim_seconds += cell.summary.makespan();
   }
+}
+
+void SweepRunner::note_progress(const PendingCell& cell,
+                                const SweepCellResult& result,
+                                std::size_t batch_size,
+                                double batch_elapsed_seconds) {
+  const std::lock_guard<std::mutex> lock(progress_mutex_);
+  ++progress_done_;
+  // ETA assumes the remaining cells cost what the finished ones averaged —
+  // crude, but it converges as the batch drains.
+  const double eta =
+      batch_elapsed_seconds / static_cast<double>(progress_done_) *
+      static_cast<double>(batch_size - progress_done_);
+  const double events_per_sec =
+      result.wall_seconds > 0.0
+          ? static_cast<double>(result.cell.engine_events) / result.wall_seconds
+          : 0.0;
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "[sweep %zu/%zu] %s: %.2fs, %.3g events/s, elapsed %.1fs, "
+                "eta %.1fs, peak rss %ld MiB\n",
+                progress_done_, batch_size,
+                cell.config.label.empty() ? "cell" : cell.config.label.c_str(),
+                result.wall_seconds, events_per_sec, batch_elapsed_seconds,
+                eta, peak_rss_mib());
+  *progress_ << line;
+  progress_->flush();
 }
 
 const SweepCellResult& SweepRunner::result(std::size_t handle) const {

@@ -12,6 +12,8 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -65,6 +67,13 @@ class SweepRunner {
     return report_;
   }
 
+  /// Live progress: one line per completed cell (done/total, elapsed, ETA,
+  /// the cell's events/s, process peak RSS) written to `out` as cells
+  /// finish. Wall-clock telemetry only — it never touches the results, so
+  /// deterministic outputs are unaffected. The tools point it at stderr;
+  /// nullptr (the default) disables. The stream must outlive run_all().
+  void set_progress(std::ostream* out) noexcept { progress_ = out; }
+
  private:
   struct PendingCell {
     CellConfig config;
@@ -72,11 +81,17 @@ class SweepRunner {
     const slowdown::AppPool* apps;
   };
 
+  void note_progress(const PendingCell& cell, const SweepCellResult& result,
+                     std::size_t batch_size, double batch_elapsed_seconds);
+
   util::ThreadPool pool_;
   std::vector<PendingCell> cells_;
   std::vector<SweepCellResult> results_;
   std::size_t executed_ = 0;  // cells_[0, executed_) have results
   obs::ThroughputReport report_;
+  std::ostream* progress_ = nullptr;
+  std::mutex progress_mutex_;
+  std::size_t progress_done_ = 0;  // cells finished in the current batch
 };
 
 /// Serialize the deterministic fields of a CellResult (summary, totals,

@@ -1,5 +1,6 @@
 #include "metrics/json_export.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -168,7 +169,94 @@ const char* outcome_string(sched::JobOutcome outcome) {
   return "unknown";
 }
 
+/// Nearest-rank quantile over a snapshot histogram entry: walk the occupied
+/// buckets to the rank'd one and clamp its lower bound into [min, max] —
+/// the same rule Histogram::quantile applies to its live bucket array.
+std::int64_t entry_quantile(const obs::CountersSnapshot::HistogramEntry& h,
+                            double q) {
+  if (h.count == 0) return 0;
+  const auto rank = std::max<std::uint64_t>(
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(h.count))),
+      1);
+  std::uint64_t seen = 0;
+  for (const auto& [bucket, count] : h.buckets) {
+    seen += count;
+    if (seen >= rank) {
+      const std::int64_t lower = obs::Histogram::bucket_lower_bound(bucket);
+      return std::clamp(lower, h.min, h.max);
+    }
+  }
+  return h.max;
+}
+
 }  // namespace
+
+void write_telemetry(JsonWriter& w, const obs::CountersSnapshot& snap) {
+  w.key("counters").begin_object();
+  for (const auto& c : snap.counters) {
+    w.key(c.name).value(c.value);
+  }
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& g : snap.gauges) {
+    w.key(g.name).begin_object();
+    w.key("value").value(g.value);
+    w.key("high_water").value(g.high_water);
+    w.end_object();
+  }
+  w.end_object();
+  if (!snap.histograms.empty()) {
+    w.key("histograms").begin_object();
+    for (const auto& h : snap.histograms) {
+      w.key(h.name).begin_object();
+      w.key("count").value(h.count);
+      w.key("sum").value(h.sum);
+      w.key("min").value(h.min);
+      w.key("max").value(h.max);
+      w.key("p50").value(entry_quantile(h, 0.50));
+      w.key("p95").value(entry_quantile(h, 0.95));
+      w.key("p99").value(entry_quantile(h, 0.99));
+      w.key("buckets").begin_array();
+      for (const auto& [bucket, count] : h.buckets) {
+        w.begin_array();
+        w.value(static_cast<std::uint64_t>(bucket));
+        w.value(count);
+        w.end_array();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_object();
+  }
+  if (!snap.series.empty()) {
+    w.key("series").begin_object();
+    for (const auto& s : snap.series) {
+      w.key(s.name).begin_object();
+      w.key("window_width").value(s.window_width);
+      w.key("points").begin_array();
+      for (const auto& p : s.points) {
+        w.begin_object();
+        w.key("window").value(p.window);
+        w.key("count").value(p.count);
+        w.key("sum").value(p.sum);
+        w.key("min").value(p.min);
+        w.key("max").value(p.max);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_object();
+  }
+}
+
+std::string telemetry_to_json(const obs::CountersSnapshot& snap) {
+  JsonWriter w;
+  w.begin_object();
+  write_telemetry(w, snap);
+  w.end_object();
+  return w.str();
+}
 
 std::string to_json(const SimulationResult& result, bool include_records,
                     bool include_samples) {
@@ -208,19 +296,7 @@ std::string to_json(const SimulationResult& result, bool include_records,
   w.key("engine_events").value(result.engine_events);
 
   if (!result.counters.empty()) {
-    w.key("counters").begin_object();
-    for (const auto& c : result.counters.counters) {
-      w.key(c.name).value(c.value);
-    }
-    w.end_object();
-    w.key("gauges").begin_object();
-    for (const auto& g : result.counters.gauges) {
-      w.key(g.name).begin_object();
-      w.key("value").value(g.value);
-      w.key("high_water").value(g.high_water);
-      w.end_object();
-    }
-    w.end_object();
+    write_telemetry(w, result.counters);
   }
 
   if (include_records) {

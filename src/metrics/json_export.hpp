@@ -59,4 +59,13 @@ class JsonWriter {
                                   bool include_records = true,
                                   bool include_samples = true);
 
+/// Write the registry telemetry (counters, gauges, histograms with derived
+/// p50/p95/p99, time series) into `w` as four key'd objects. Shared by
+/// to_json and standalone telemetry dumps; entries come out name-sorted, so
+/// the text is deterministic for a given snapshot.
+void write_telemetry(JsonWriter& w, const obs::CountersSnapshot& snap);
+
+/// write_telemetry wrapped in its own object — `{"counters":...,...}`.
+[[nodiscard]] std::string telemetry_to_json(const obs::CountersSnapshot& snap);
+
 }  // namespace dmsim::metrics

@@ -1,8 +1,63 @@
 #include "obs/counters.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cmath>
 
 namespace dmsim::obs {
+
+std::uint32_t Histogram::bucket_index(std::int64_t v) noexcept {
+  if (v < static_cast<std::int64_t>(kUnitBuckets)) {
+    return v > 0 ? static_cast<std::uint32_t>(v) : 0;
+  }
+  const auto u = static_cast<std::uint64_t>(v);
+  const int msb = 63 - std::countl_zero(u);  // >= 4 here
+  // Keep the top 4 bits (leading 1 + 3 sub-bucket bits): top is in [8, 16).
+  const auto top = static_cast<std::uint32_t>(u >> (msb - 3));
+  return kUnitBuckets + static_cast<std::uint32_t>(msb - 4) * kSubBuckets +
+         (top - kSubBuckets);
+}
+
+std::int64_t Histogram::bucket_lower_bound(std::uint32_t bucket) noexcept {
+  if (bucket < kUnitBuckets) return static_cast<std::int64_t>(bucket);
+  const std::uint32_t tier = (bucket - kUnitBuckets) / kSubBuckets;
+  const std::uint32_t sub = (bucket - kUnitBuckets) % kSubBuckets;
+  return static_cast<std::int64_t>(
+      static_cast<std::uint64_t>(kSubBuckets + sub) << (tier + 1));
+}
+
+std::int64_t Histogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0;
+  const double clamped = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(clamped * static_cast<double>(count_)));
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::uint32_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen >= rank) {
+      const std::int64_t lb = bucket_lower_bound(b);
+      return lb < min_ ? min_ : (lb > max_ ? max_ : lb);
+    }
+  }
+  return max_;
+}
+
+void TimeSeries::record(Seconds t, std::int64_t v) noexcept {
+  const auto window =
+      static_cast<std::int64_t>(std::floor(t / window_width_));
+  if (points_.empty() || window > points_.back().window) {
+    points_.push_back(Point{window, 1, v, v, v});
+    return;
+  }
+  // Discrete-event time is monotonic; anything not newer folds into the
+  // current window so out-of-order records cannot corrupt the series.
+  Point& p = points_.back();
+  ++p.count;
+  p.sum += v;
+  if (v < p.min) p.min = v;
+  if (v > p.max) p.max = v;
+}
 
 std::uint64_t& Counters::counter(std::string_view name) {
   const auto it = counter_index_.find(name);
@@ -22,6 +77,22 @@ Gauge& Counters::gauge(std::string_view name) {
   return gauges_.back().second;
 }
 
+Histogram& Counters::histogram(std::string_view name) {
+  const auto it = histogram_index_.find(name);
+  if (it != histogram_index_.end()) return histograms_[it->second].second;
+  histograms_.emplace_back(std::string(name), Histogram{});
+  histogram_index_.emplace(histograms_.back().first, histograms_.size() - 1);
+  return histograms_.back().second;
+}
+
+TimeSeries& Counters::series(std::string_view name, Seconds window_width) {
+  const auto it = series_index_.find(name);
+  if (it != series_index_.end()) return series_[it->second].second;
+  series_.emplace_back(std::string(name), TimeSeries{window_width});
+  series_index_.emplace(series_.back().first, series_.size() - 1);
+  return series_.back().second;
+}
+
 CountersSnapshot Counters::snapshot() const {
   CountersSnapshot snap;
   snap.counters.reserve(counters_.size());
@@ -32,22 +103,57 @@ CountersSnapshot Counters::snapshot() const {
   for (const auto& [name, g] : gauges_) {
     snap.gauges.push_back({name, g.value, g.high_water});
   }
+  snap.histograms.reserve(histograms_.size());
+  // Never-recorded histograms and empty series are skipped: a handle
+  // resolved but never hit carries no information, and leaving it out keeps
+  // exports equal across restore (a restored registry re-creates exactly
+  // the names the snapshot carried, not every handle the run resolved).
+  for (const auto& [name, h] : histograms_) {
+    if (h.count() == 0) continue;
+    CountersSnapshot::HistogramEntry entry;
+    entry.name = name;
+    entry.count = h.count();
+    entry.sum = h.sum();
+    entry.min = h.min();
+    entry.max = h.max();
+    for (std::uint32_t b = 0; b < Histogram::kBuckets; ++b) {
+      if (const std::uint64_t n = h.bucket_count(b); n != 0) {
+        entry.buckets.emplace_back(b, n);
+      }
+    }
+    snap.histograms.push_back(std::move(entry));
+  }
+  snap.series.reserve(series_.size());
+  for (const auto& [name, s] : series_) {
+    if (s.points().empty()) continue;
+    snap.series.push_back({name, s.window_width(), s.points()});
+  }
   const auto by_name = [](const auto& a, const auto& b) {
     return a.name < b.name;
   };
   std::sort(snap.counters.begin(), snap.counters.end(), by_name);
   std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  std::sort(snap.series.begin(), snap.series.end(), by_name);
   return snap;
 }
 
 void Counters::restore(const CountersSnapshot& snap) {
   for (auto& entry : counters_) entry.second = 0;
   for (auto& entry : gauges_) entry.second = Gauge{};
+  for (auto& entry : histograms_) entry.second.reset();
+  for (auto& entry : series_) entry.second.reset();
   for (const auto& c : snap.counters) counter(c.name) = c.value;
   for (const auto& g : snap.gauges) {
     Gauge& target = gauge(g.name);
     target.value = g.value;
     target.high_water = g.high_water;
+  }
+  for (const auto& h : snap.histograms) {
+    histogram(h.name).restore_state(h.count, h.sum, h.min, h.max, h.buckets);
+  }
+  for (const auto& s : snap.series) {
+    series(s.name, s.window_width).assign(s.window_width, s.points);
   }
 }
 

@@ -1,20 +1,24 @@
-// Central counters registry: named monotonic counters and gauges that every
-// subsystem registers into (engine events fired, ledger borrows, backfill
-// attempts, queue-depth high-water, ...). The registry is the single export
-// surface: dmsim_run prints it as a table and embeds it in the JSON result
-// document.
+// Central counters registry: named monotonic counters, gauges, log-bucketed
+// histograms and windowed time series that every subsystem registers into
+// (engine events fired, ledger borrows, backfill attempts, queue-depth
+// high-water, wait-time distributions, ...). The registry is the single
+// export surface: dmsim_run prints it as a table and embeds it in the JSON
+// result document.
 //
 // Hot-path discipline: components resolve handles (stable pointers into the
 // registry) once at wiring time and bump them through a null check, so a run
 // without a registry costs one predictable branch per site.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "util/units.hpp"
 
 namespace dmsim::obs {
 
@@ -29,6 +33,115 @@ struct Gauge {
   }
 };
 
+/// HDR-style log-bucketed histogram of non-negative integer values
+/// (latencies in microseconds, sizes in MiB, ...). Values 0..15 land in
+/// exact unit buckets; every power-of-two tier above that is split into 8
+/// sub-buckets, bounding the relative bucket-width error at 12.5% while
+/// covering the full int64 range in kBuckets buckets. All state is integer,
+/// so records, snapshots and quantile reads are bit-deterministic.
+class Histogram {
+ public:
+  static constexpr std::uint32_t kUnitBuckets = 16;
+  static constexpr std::uint32_t kSubBuckets = 8;   ///< per power-of-two tier
+  /// 59 tiers cover msb 4..62 — every positive int64 — and the top tier's
+  /// lower bound (15 << 59) still fits in int64 without overflow.
+  static constexpr std::uint32_t kBuckets = kUnitBuckets + 59 * kSubBuckets;
+
+  /// Bucket index for a value; negative values clamp into bucket 0.
+  [[nodiscard]] static std::uint32_t bucket_index(std::int64_t v) noexcept;
+  /// Smallest value mapping into `bucket` (the exported bucket label).
+  [[nodiscard]] static std::int64_t bucket_lower_bound(
+      std::uint32_t bucket) noexcept;
+
+  void record(std::int64_t v) noexcept {
+    ++count_;
+    sum_ += v;
+    if (count_ == 1 || v < min_) min_ = v;
+    if (count_ == 1 || v > max_) max_ = v;
+    ++buckets_[bucket_index(v)];
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::int64_t sum() const noexcept { return sum_; }
+  [[nodiscard]] std::int64_t min() const noexcept { return min_; }
+  [[nodiscard]] std::int64_t max() const noexcept { return max_; }
+  [[nodiscard]] std::uint64_t bucket_count(std::uint32_t bucket) const noexcept {
+    return buckets_[bucket];
+  }
+
+  /// Approximate quantile (q in [0,1]): the lower bound of the bucket
+  /// holding the rank-ceil(q*count) value, clamped to [min, max]. Exact for
+  /// values below kUnitBuckets; within one sub-bucket (12.5%) above. Pure
+  /// integer walk — deterministic across platforms.
+  [[nodiscard]] std::int64_t quantile(double q) const noexcept;
+
+  void reset() noexcept {
+    count_ = 0;
+    sum_ = 0;
+    min_ = 0;
+    max_ = 0;
+    buckets_.fill(0);
+  }
+
+  /// Replace all state from snapshot fields (out-of-range buckets dropped).
+  void restore_state(
+      std::uint64_t count, std::int64_t sum, std::int64_t min,
+      std::int64_t max,
+      const std::vector<std::pair<std::uint32_t, std::uint64_t>>& buckets) noexcept {
+    reset();
+    count_ = count;
+    sum_ = sum;
+    min_ = min;
+    max_ = max;
+    for (const auto& [bucket, n] : buckets) {
+      if (bucket < kBuckets) buckets_[bucket] = n;
+    }
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  std::int64_t sum_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+  std::array<std::uint64_t, kBuckets> buckets_{};
+};
+
+/// Windowed time series: records aggregate into fixed-width windows of
+/// simulated time (count/sum/min/max per window). Discrete-event time is
+/// monotonic, so windows append in order; restores replace the whole point
+/// vector. Gives "events per N seconds of sim time" style series without
+/// any wall-clock nondeterminism.
+class TimeSeries {
+ public:
+  struct Point {
+    std::int64_t window = 0;  ///< floor(t / window_width)
+    std::uint64_t count = 0;
+    std::int64_t sum = 0;
+    std::int64_t min = 0;
+    std::int64_t max = 0;
+  };
+
+  explicit TimeSeries(Seconds window_width = 1.0) noexcept
+      : window_width_(window_width > 0.0 ? window_width : 1.0) {}
+
+  void record(Seconds t, std::int64_t v) noexcept;
+
+  [[nodiscard]] Seconds window_width() const noexcept { return window_width_; }
+  [[nodiscard]] const std::vector<Point>& points() const noexcept {
+    return points_;
+  }
+
+  void reset() noexcept { points_.clear(); }
+  void assign(Seconds window_width, std::vector<Point> points) {
+    window_width_ = window_width > 0.0 ? window_width : 1.0;
+    points_ = std::move(points);
+  }
+
+ private:
+  Seconds window_width_;
+  std::vector<Point> points_;
+};
+
 struct CountersSnapshot {
   struct Counter {
     std::string name;
@@ -39,11 +152,28 @@ struct CountersSnapshot {
     std::int64_t value = 0;
     std::int64_t high_water = 0;
   };
-  std::vector<Counter> counters;  ///< sorted by name
-  std::vector<GaugeEntry> gauges; ///< sorted by name
+  struct HistogramEntry {
+    std::string name;
+    std::uint64_t count = 0;
+    std::int64_t sum = 0;
+    std::int64_t min = 0;
+    std::int64_t max = 0;
+    /// Occupied buckets only, ascending (bucket index, count).
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> buckets;
+  };
+  struct SeriesEntry {
+    std::string name;
+    Seconds window_width = 1.0;
+    std::vector<TimeSeries::Point> points;
+  };
+  std::vector<Counter> counters;          ///< sorted by name
+  std::vector<GaugeEntry> gauges;         ///< sorted by name
+  std::vector<HistogramEntry> histograms; ///< sorted by name
+  std::vector<SeriesEntry> series;        ///< sorted by name
 
   [[nodiscard]] bool empty() const noexcept {
-    return counters.empty() && gauges.empty();
+    return counters.empty() && gauges.empty() && histograms.empty() &&
+           series.empty();
   }
 };
 
@@ -61,6 +191,14 @@ class Counters {
   /// Find-or-create a gauge; reference stability as counter().
   [[nodiscard]] Gauge& gauge(std::string_view name);
 
+  /// Find-or-create a histogram; reference stability as counter().
+  [[nodiscard]] Histogram& histogram(std::string_view name);
+
+  /// Find-or-create a time series. `window_width` applies only on creation;
+  /// later lookups keep the original window.
+  [[nodiscard]] TimeSeries& series(std::string_view name,
+                                   Seconds window_width = 1.0);
+
   /// Convenience mutators for cold paths.
   void add(std::string_view name, std::uint64_t delta = 1) {
     counter(name) += delta;
@@ -70,7 +208,8 @@ class Counters {
   }
 
   [[nodiscard]] std::size_t size() const noexcept {
-    return counters_.size() + gauges_.size();
+    return counters_.size() + gauges_.size() + histograms_.size() +
+           series_.size();
   }
 
   /// Name-sorted copy of every counter and gauge (deterministic export).
@@ -86,8 +225,12 @@ class Counters {
  private:
   std::deque<std::pair<std::string, std::uint64_t>> counters_;
   std::deque<std::pair<std::string, Gauge>> gauges_;
+  std::deque<std::pair<std::string, Histogram>> histograms_;
+  std::deque<std::pair<std::string, TimeSeries>> series_;
   std::unordered_map<std::string_view, std::size_t> counter_index_;
   std::unordered_map<std::string_view, std::size_t> gauge_index_;
+  std::unordered_map<std::string_view, std::size_t> histogram_index_;
+  std::unordered_map<std::string_view, std::size_t> series_index_;
 };
 
 }  // namespace dmsim::obs

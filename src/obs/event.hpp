@@ -44,14 +44,29 @@ enum class EventKind : std::uint8_t {
 /// Stable wire name ("job_start", "mem_lend", ...) used by every sink.
 [[nodiscard]] std::string_view to_string(EventKind kind) noexcept;
 
+/// Deterministic span identifiers for causal job tracks. A job's lifetime
+/// decomposes into one queued span and one running span per incarnation
+/// (restart); packing (job, incarnation, phase) into one int64 keeps ids
+/// stable across runs, thread counts and checkpoint restores without any
+/// shared counter.
+enum class SpanPhase : std::int64_t { Queued = 0, Running = 1 };
+
+[[nodiscard]] constexpr std::int64_t span_id(std::int64_t job,
+                                             std::int64_t incarnation,
+                                             SpanPhase phase) noexcept {
+  return job * 4096 + incarnation * 2 + static_cast<std::int64_t>(phase);
+}
+
 struct Event {
-  /// Sentinel for "field absent" in `job` / `node`.
+  /// Sentinel for "field absent" in `job` / `node` / `span` / `parent`.
   static constexpr std::int64_t kNone = -1;
 
   EventKind kind{};
   Seconds time = 0.0;
   std::int64_t job = kNone;
   std::int64_t node = kNone;
+  std::int64_t span = kNone;       ///< causal span this event belongs to
+  std::int64_t parent = kNone;     ///< span that caused it (cause link)
   Seconds when = kNoTime;          ///< secondary time (EngineSchedule target)
   const char* detail = nullptr;    ///< short static token (deny reason, ...)
 
@@ -68,6 +83,14 @@ struct Event {
     if (num_fields < fields.size()) {
       fields[num_fields++] = Field{key, value};
     }
+    return *this;
+  }
+
+  /// Attach causal span ids; chains like with():
+  ///   Event{EventKind::JobStart, now}.in_span(run_span, queued_span)
+  Event& in_span(std::int64_t s, std::int64_t p = kNone) noexcept {
+    span = s;
+    parent = p;
     return *this;
   }
 };

@@ -55,9 +55,43 @@ struct Observer {
              : nullptr;
 }
 
+/// Resolve a histogram handle, or nullptr when no registry is wired.
+[[nodiscard]] inline Histogram* histogram_handle(const Observer* obs,
+                                                 std::string_view name) {
+  return (obs != nullptr && obs->counters != nullptr)
+             ? &obs->counters->histogram(name)
+             : nullptr;
+}
+
+/// Resolve a time-series handle, or nullptr when no registry is wired.
+/// `window_width` (seconds of simulated time) applies only on creation.
+[[nodiscard]] inline TimeSeries* series_handle(const Observer* obs,
+                                               std::string_view name,
+                                               Seconds window_width = 1.0) {
+  return (obs != nullptr && obs->counters != nullptr)
+             ? &obs->counters->series(name, window_width)
+             : nullptr;
+}
+
 /// Null-guarded counter bump for pre-resolved handles.
 inline void bump(std::uint64_t* handle, std::uint64_t delta = 1) noexcept {
   if (handle != nullptr) *handle += delta;
+}
+
+/// Null-guarded histogram record for pre-resolved handles.
+inline void record(Histogram* handle, std::int64_t value) noexcept {
+  if (handle != nullptr) handle->record(value);
+}
+
+/// Null-guarded time-series record for pre-resolved handles.
+inline void record(TimeSeries* handle, Seconds t, std::int64_t value) noexcept {
+  if (handle != nullptr) handle->record(t, value);
+}
+
+/// Simulated seconds to integer microseconds, the registry's canonical
+/// latency unit (matches the profiler's export resolution).
+[[nodiscard]] inline std::int64_t to_micros(Seconds s) noexcept {
+  return static_cast<std::int64_t>(s * 1e6);
 }
 
 }  // namespace dmsim::obs

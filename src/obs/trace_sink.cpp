@@ -90,6 +90,14 @@ void NdjsonSink::emit(const Event& e) {
     line += ",\"node\":";
     append_int(line, e.node);
   }
+  if (e.span != Event::kNone) {
+    line += ",\"span\":";
+    append_int(line, e.span);
+  }
+  if (e.parent != Event::kNone) {
+    line += ",\"parent\":";
+    append_int(line, e.parent);
+  }
   if (e.when != kNoTime) {
     line += ",\"when\":";
     append_double(line, e.when);
@@ -107,6 +115,10 @@ void NdjsonSink::emit(const Event& e) {
   }
   line += "}\n";
   *out_ << line;
+  if (flush_every_ != 0 && ++since_flush_ >= flush_every_) {
+    out_->flush();
+    since_flush_ = 0;
+  }
 }
 
 void NdjsonSink::close() {
@@ -163,7 +175,9 @@ ChromeTraceSink::~ChromeTraceSink() {
 }
 
 void ChromeTraceSink::raw_event(const Event& e, const char* phase,
-                                const char* name, bool async, bool counter) {
+                                const char* name, std::int64_t async_id,
+                                const char* category, bool counter) {
+  const bool async = async_id != Event::kNone;
   std::string line;
   line.reserve(160);
   line += first_ ? "" : ",\n";
@@ -177,8 +191,10 @@ void ChromeTraceSink::raw_event(const Event& e, const char* phase,
   line += ",\"pid\":1,\"tid\":";
   append_int(line, tid_of(e.kind));
   if (async) {
-    line += ",\"cat\":\"job\",\"id\":";
-    append_int(line, e.job);
+    line += ",\"cat\":\"";
+    line += category;
+    line += "\",\"id\":";
+    append_int(line, async_id);
   }
   if (phase[0] == 'i') line += ",\"s\":\"t\"";
   line += ",\"args\":{";
@@ -197,6 +213,8 @@ void ChromeTraceSink::raw_event(const Event& e, const char* phase,
   } else {
     if (e.job != Event::kNone) arg("job", e.job);
     if (e.node != Event::kNone) arg("node", e.node);
+    if (e.span != Event::kNone) arg("span", e.span);
+    if (e.parent != Event::kNone) arg("parent", e.parent);
     for (std::size_t i = 0; i < e.num_fields; ++i) {
       arg(e.fields[i].key, e.fields[i].value);
     }
@@ -221,28 +239,52 @@ void ChromeTraceSink::raw_event(const Event& e, const char* phase,
 void ChromeTraceSink::emit(const Event& e) {
   char name[48];
   switch (e.kind) {
-    // A job's residency on the machine renders as an async span per job id;
-    // begin on (back)fill start, end on any terminal/kill event.
+    // Causal queue spans: a job's wait renders as an async "queue" span per
+    // (job, incarnation), begun at (re)submission and ended when the start
+    // event names it as its parent. Events without span ids (older
+    // emitters) keep the plain instant rendering.
+    case EventKind::JobSubmit:
+    case EventKind::JobRequeue:
+      if (e.span != Event::kNone) {
+        std::snprintf(name, sizeof name, "queue job %lld",
+                      static_cast<long long>(e.job));
+        raw_event(e, "b", name, e.span, "queue", /*counter=*/false);
+        return;
+      }
+      raw_event(e, "i", to_string(e.kind).data(), Event::kNone, "", false);
+      return;
+    // A job's residency on the machine renders as an async span per
+    // incarnation (span id when present, job id otherwise); begin on
+    // (back)fill start, end on any terminal/kill event. A span-carrying
+    // start also closes the queued span that caused it.
     case EventKind::JobStart:
     case EventKind::BackfillStart:
       std::snprintf(name, sizeof name, "job %lld", static_cast<long long>(e.job));
-      raw_event(e, "b", name, /*async=*/true, /*counter=*/false);
+      if (e.parent != Event::kNone) {
+        char qname[48];
+        std::snprintf(qname, sizeof qname, "queue job %lld",
+                      static_cast<long long>(e.job));
+        raw_event(e, "e", qname, e.parent, "queue", /*counter=*/false);
+      }
+      raw_event(e, "b", name, e.span != Event::kNone ? e.span : e.job, "job",
+                /*counter=*/false);
       return;
     case EventKind::JobComplete:
     case EventKind::JobOomKill:
     case EventKind::JobWalltimeKill:
       std::snprintf(name, sizeof name, "job %lld", static_cast<long long>(e.job));
-      raw_event(e, "e", name, /*async=*/true, /*counter=*/false);
+      raw_event(e, "e", name, e.span != Event::kNone ? e.span : e.job, "job",
+                /*counter=*/false);
       // Also keep the instant marker so kill reasons stay visible.
-      raw_event(e, "i", to_string(e.kind).data(), false, false);
+      raw_event(e, "i", to_string(e.kind).data(), Event::kNone, "", false);
       return;
     case EventKind::SchedPass:
       // The pending-queue depth becomes a counter track.
-      raw_event(e, "C", "pending_jobs", /*async=*/false, /*counter=*/true);
-      raw_event(e, "i", to_string(e.kind).data(), false, false);
+      raw_event(e, "C", "pending_jobs", Event::kNone, "", /*counter=*/true);
+      raw_event(e, "i", to_string(e.kind).data(), Event::kNone, "", false);
       return;
     default:
-      raw_event(e, "i", to_string(e.kind).data(), false, false);
+      raw_event(e, "i", to_string(e.kind).data(), Event::kNone, "", false);
       return;
   }
 }
@@ -266,10 +308,11 @@ TraceFormat parse_trace_format(const std::string& value) {
                     "' (expected ndjson or chrome)");
 }
 
-std::unique_ptr<TraceSink> make_sink(TraceFormat format, std::ostream& out) {
+std::unique_ptr<TraceSink> make_sink(TraceFormat format, std::ostream& out,
+                                     std::size_t flush_every) {
   switch (format) {
     case TraceFormat::Ndjson:
-      return std::make_unique<NdjsonSink>(out);
+      return std::make_unique<NdjsonSink>(out, flush_every);
     case TraceFormat::Chrome:
       return std::make_unique<ChromeTraceSink>(out);
   }
@@ -282,10 +325,12 @@ namespace {
 /// Owns the file stream its inner sink writes to.
 class FileSink final : public TraceSink {
  public:
-  FileSink(TraceFormat format, const std::string& path) : path_(path) {
+  FileSink(TraceFormat format, const std::string& path,
+           std::size_t flush_every)
+      : path_(path) {
     out_.open(path, std::ios::out | std::ios::trunc);
     if (!out_) throw ConfigError("cannot open trace file " + path);
-    inner_ = make_sink(format, out_);
+    inner_ = make_sink(format, out_, flush_every);
   }
 
   void emit(const Event& event) override { inner_->emit(event); }
@@ -308,8 +353,9 @@ class FileSink final : public TraceSink {
 }  // namespace
 
 std::unique_ptr<TraceSink> make_file_sink(TraceFormat format,
-                                          const std::string& path) {
-  return std::make_unique<FileSink>(format, path);
+                                          const std::string& path,
+                                          std::size_t flush_every) {
+  return std::make_unique<FileSink>(format, path, flush_every);
 }
 
 }  // namespace dmsim::obs

@@ -46,14 +46,20 @@ class NullSink final : public TraceSink {
 ///   {"t":120,"ev":"job_start","job":7,"node":3,"nodes":2,"mib":4096}
 class NdjsonSink final : public TraceSink {
  public:
-  /// Non-owning; `out` must outlive the sink.
-  explicit NdjsonSink(std::ostream& out) : out_(&out) {}
+  /// Non-owning; `out` must outlive the sink. `flush_every` > 0 flushes the
+  /// stream every N emitted events, so a crashed multi-hour run keeps its
+  /// trace tail instead of losing buffered lines; 0 flushes only on close.
+  /// Flushing never changes the byte stream, only its durability.
+  explicit NdjsonSink(std::ostream& out, std::size_t flush_every = 0)
+      : out_(&out), flush_every_(flush_every) {}
 
   void emit(const Event& event) override;
   void close() override;
 
  private:
   std::ostream* out_;
+  std::size_t flush_every_;
+  std::size_t since_flush_ = 0;
   bool closed_ = false;
 };
 
@@ -70,8 +76,10 @@ class ChromeTraceSink final : public TraceSink {
   void close() override;
 
  private:
+  /// `async_id` != Event::kNone renders an async span event with that id;
+  /// `category` labels the async track ("job" run spans, "queue" waits).
   void raw_event(const Event& event, const char* phase, const char* name,
-                 bool async, bool counter);
+                 std::int64_t async_id, const char* category, bool counter);
 
   std::ostream* out_;
   bool first_ = true;
@@ -83,13 +91,15 @@ enum class TraceFormat { Ndjson, Chrome };
 /// Parse "ndjson" / "chrome"; throws ConfigError on anything else.
 [[nodiscard]] TraceFormat parse_trace_format(const std::string& value);
 
-/// Sink writing to a caller-owned stream.
+/// Sink writing to a caller-owned stream. `flush_every` applies to the
+/// NDJSON backend (see NdjsonSink); the Chrome backend ignores it.
 [[nodiscard]] std::unique_ptr<TraceSink> make_sink(TraceFormat format,
-                                                   std::ostream& out);
+                                                   std::ostream& out,
+                                                   std::size_t flush_every = 0);
 
 /// Sink owning a file stream; throws ConfigError if the file cannot be
 /// opened. close() reports write failures (full disk) as errors.
 [[nodiscard]] std::unique_ptr<TraceSink> make_file_sink(
-    TraceFormat format, const std::string& path);
+    TraceFormat format, const std::string& path, std::size_t flush_every = 0);
 
 }  // namespace dmsim::obs

@@ -45,11 +45,15 @@ void AllocationPolicy::set_observer(const obs::Observer* observer) {
   obs_ = observer;
   c_grants_ = obs::counter_handle(observer, "policy.grants");
   c_denies_ = obs::counter_handle(observer, "policy.denies");
+  h_grant_nodes_ = obs::histogram_handle(observer, "policy.grant_nodes");
+  h_grant_mib_ = obs::histogram_handle(observer, "policy.grant_mib");
 }
 
 bool AllocationPolicy::granted(const trace::JobSpec& spec) {
   last_deny_reason_ = nullptr;
   obs::bump(c_grants_);
+  obs::record(h_grant_nodes_, spec.num_nodes);
+  obs::record(h_grant_mib_, static_cast<std::int64_t>(spec.requested_mem));
   if (obs::tracing(obs_)) {
     obs_->sink->emit(
         obs::Event{obs::EventKind::PolicyGrant, obs_->now(), spec.id.get()}

@@ -88,6 +88,11 @@ class AllocationPolicy {
   const obs::Observer* obs_ = nullptr;
   std::uint64_t* c_grants_ = nullptr;
   std::uint64_t* c_denies_ = nullptr;
+  /// Shape of granted placements: node counts and requested MiB. Simulated
+  /// magnitudes only, so the distributions are deterministic by
+  /// construction.
+  obs::Histogram* h_grant_nodes_ = nullptr;
+  obs::Histogram* h_grant_mib_ = nullptr;
   const char* last_deny_reason_ = nullptr;
 };
 

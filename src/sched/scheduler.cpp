@@ -43,6 +43,10 @@ Scheduler::Scheduler(sim::Engine& engine, cluster::Cluster& cluster,
   c_update_batches_ = obs::counter_handle(observer, "sched.update_batches");
   g_queue_depth_ = obs::gauge_handle(observer, "sched.queue_depth");
   g_running_ = obs::gauge_handle(observer, "sched.running_jobs");
+  h_wait_ = obs::histogram_handle(observer, "sched.wait_us");
+  h_backfill_wait_ = obs::histogram_handle(observer, "sched.backfill_wait_us");
+  h_grow_mib_ = obs::histogram_handle(observer, "policy.grow_mib");
+  h_shrink_mib_ = obs::histogram_handle(observer, "policy.shrink_mib");
   engine_.set_handler(this);
 }
 
@@ -77,10 +81,13 @@ void Scheduler::on_event(const sim::EventPayload& event) {
   DMSIM_ASSERT(false, "unhandled event payload type");
 }
 
-void Scheduler::trace_job(obs::EventKind kind, JobId id, const char* detail) {
+void Scheduler::trace_job(obs::EventKind kind, JobId id, int incarnation,
+                          const char* detail) {
   if (!obs::tracing(obs_)) return;
   obs::Event e{kind, engine_.now(), id.get()};
   e.detail = detail;
+  e.in_span(obs::span_id(id.get(), incarnation, obs::SpanPhase::Running),
+            obs::span_id(id.get(), incarnation, obs::SpanPhase::Queued));
   obs_->sink->emit(e);
 }
 
@@ -191,12 +198,14 @@ void Scheduler::finalize() {
 // ---------------------------------------------------------------------------
 
 void Scheduler::enqueue_pending(PendingEntry entry) {
+  entry.enqueue_time = engine_.now();
   if (entry.restarts == 0) {
     obs::bump(c_submits_);
     if (obs::tracing(obs_)) {
       const trace::JobSpec& spec = spec_of(entry.spec_index);
       obs_->sink->emit(
           obs::Event{obs::EventKind::JobSubmit, engine_.now(), spec.id.get()}
+              .in_span(obs::span_id(spec.id.get(), 0, obs::SpanPhase::Queued))
               .with("nodes", spec.num_nodes)
               .with("mib", spec.requested_mem));
     }
@@ -240,12 +249,17 @@ void Scheduler::scheduling_pass() {
   int started = 0;
   while (!pending_.empty() && started < config_.queue_depth) {
     const JobId started_id = spec_of(pending_.front().spec_index).id;
+    const int incarnation = pending_.front().restarts;
+    const Seconds enqueued = pending_.front().enqueue_time;
     if (!try_start_entry(pending_.front())) break;
     pending_.pop_front();
     set_queue_gauge();
     ++started;
     ++totals_.fcfs_starts;
-    trace_job(obs::EventKind::JobStart, started_id);
+    if (h_wait_ != nullptr) {
+      h_wait_->record(obs::to_micros(engine_.now() - enqueued));
+    }
+    trace_job(obs::EventKind::JobStart, started_id, incarnation);
   }
 
   // Backfill: jobs behind the blocked head may start now if their requested
@@ -284,11 +298,18 @@ void Scheduler::scheduling_pass() {
       const bool frag_blocked = head_shadow <= now;
       const Seconds bound =
           frag_blocked ? blocked_bound : std::min(head_shadow, blocked_bound);
+      const int incarnation = entry.restarts;
+      const Seconds enqueued = entry.enqueue_time;
       if (now + spec.walltime <= bound && try_start_entry(entry)) {
         pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(idx));
         set_queue_gauge();
         ++totals_.backfill_starts;
-        trace_job(obs::EventKind::BackfillStart, spec.id);
+        if (h_wait_ != nullptr) {
+          const std::int64_t waited = obs::to_micros(engine_.now() - enqueued);
+          h_wait_->record(waited);
+          if (h_backfill_wait_ != nullptr) h_backfill_wait_->record(waited);
+        }
+        trace_job(obs::EventKind::BackfillStart, spec.id, incarnation);
         head_shadow = reservation_shadow_time(head);
       } else {
         if (mode == BackfillMode::Conservative) {
@@ -534,7 +555,7 @@ void Scheduler::on_job_end(JobId id) {
   rec.end_time = engine_.now();
   rec.outcome = JobOutcome::Completed;
   ++totals_.completed;
-  trace_job(obs::EventKind::JobComplete, id);
+  trace_job(obs::EventKind::JobComplete, id, rj.restarts);
 
   if (policy_.dynamic_updates() && !rj.guaranteed) --global_updatable_;
   running_.erase(it);
@@ -563,6 +584,7 @@ Scheduler::UpdateResult Scheduler::apply_update(RunningJob& rj, JobId id) {
   const MiB base_demand = spec.usage.max_in(rj.progress, window_end);
 
   const std::span<const NodeId> hosts = cluster_.hosts_of(id);
+  MiB acquired = 0;
   for (std::size_t i = 0; i < hosts.size(); ++i) {
     // Per-node heterogeneity: lighter nodes demand a scaled-down footprint.
     const MiB demand = static_cast<MiB>(std::llround(
@@ -570,15 +592,25 @@ Scheduler::UpdateResult Scheduler::apply_update(RunningJob& rj, JobId id) {
     const policy::ResizeOutcome out =
         policy::resize_to_demand(cluster_, id, hosts[i], demand);
     result.released += out.released;
+    acquired += out.acquired;
     result.remote_changed |= out.remote_changed;
     if (!out.satisfied) {
       result.oom = true;
       break;
     }
   }
+  // Actuator magnitude distributions (simulated MiB, so exports stay
+  // deterministic — wall-clock resize latency would not).
+  if (h_grow_mib_ != nullptr && acquired > 0) h_grow_mib_->record(acquired);
+  if (h_shrink_mib_ != nullptr && result.released > 0) {
+    h_shrink_mib_->record(result.released);
+  }
   if (obs::tracing(obs_)) {
     obs_->sink->emit(
         obs::Event{obs::EventKind::MonitorUpdate, engine_.now(), id.get()}
+            .in_span(obs::Event::kNone,
+                     obs::span_id(id.get(), rj.restarts,
+                                  obs::SpanPhase::Running))
             .with("demand_mib", base_demand)
             .with("released_mib", result.released)
             .with("oom", result.oom ? 1 : 0));
@@ -660,7 +692,7 @@ void Scheduler::kill_and_requeue(JobId id, bool checkpoint_restart) {
   ++totals_.oom_events;
   JobRecord& rec = record_of(id);
   ++rec.oom_failures;
-  trace_job(obs::EventKind::JobOomKill, id,
+  trace_job(obs::EventKind::JobOomKill, id, rj.restarts,
             checkpoint_restart ? "checkpoint_restart" : "fail_restart");
 
   cancel_job_events(rj);
@@ -678,15 +710,27 @@ void Scheduler::kill_and_requeue(JobId id, bool checkpoint_restart) {
     rec.end_time = engine_.now();
     rec.outcome = JobOutcome::AbandonedOom;
     ++totals_.abandoned;
-    trace_job(obs::EventKind::JobAbandon, id);
+    // Abandon opens no new span; its cause is the killed incarnation's run.
+    if (obs::tracing(obs_)) {
+      obs_->sink->emit(
+          obs::Event{obs::EventKind::JobAbandon, engine_.now(), id.get()}
+              .in_span(obs::Event::kNone,
+                       obs::span_id(id.get(), restarts - 1,
+                                    obs::SpanPhase::Running)));
+    }
     release_dependents(id);
   } else {
     const bool guaranteed = config_.guaranteed_after_failures > 0 &&
                             restarts >= config_.guaranteed_after_failures;
     const int priority = restarts * config_.priority_boost_per_failure;
     if (obs::tracing(obs_)) {
+      // The requeue opens the next incarnation's queued span, caused by the
+      // run the OOM kill just ended.
       obs_->sink->emit(
           obs::Event{obs::EventKind::JobRequeue, engine_.now(), id.get()}
+              .in_span(obs::span_id(id.get(), restarts, obs::SpanPhase::Queued),
+                       obs::span_id(id.get(), restarts - 1,
+                                    obs::SpanPhase::Running))
               .with("restarts", restarts)
               .with("guaranteed", guaranteed ? 1 : 0));
     }
@@ -713,7 +757,7 @@ void Scheduler::on_walltime(JobId id) {
   rec.end_time = engine_.now();
   rec.outcome = JobOutcome::KilledWalltime;
   ++totals_.walltime_kills;
-  trace_job(obs::EventKind::JobWalltimeKill, id);
+  trace_job(obs::EventKind::JobWalltimeKill, id, rj.restarts);
 
   if (policy_.dynamic_updates() && !rj.guaranteed) --global_updatable_;
   running_.erase(it);
@@ -803,6 +847,7 @@ void Scheduler::save_state(snapshot::Writer& writer) const {
     writer.f64(e.checkpoint);
     writer.boolean(e.guaranteed);
     writer.i64(e.priority);
+    writer.f64(e.enqueue_time);
     writer.u64(e.last_deny_epoch);
     // Serialized by content; restore re-interns the static literal. The
     // cache must survive the snapshot: replaying a cached denial has
@@ -925,6 +970,7 @@ void Scheduler::restore_state(snapshot::Reader& reader) {
     e.checkpoint = reader.f64();
     e.guaranteed = reader.boolean();
     e.priority = static_cast<int>(reader.i64());
+    e.enqueue_time = reader.f64();
     e.last_deny_epoch = reader.u64();
     e.last_deny_reason = policy::intern_deny_reason(reader.str());
     pending_.push_back(e);

@@ -226,6 +226,9 @@ class Scheduler : public sim::EventHandler {
     double checkpoint = 0.0;  ///< starting progress (C/R), 0 for F/R
     bool guaranteed = false;  ///< start with a static, update-exempt allocation
     int priority = 0;         ///< higher runs first; FIFO within a level
+    /// When this entry (re)entered the queue — the wait-latency histogram
+    /// measures start_time - enqueue_time per incarnation, not per job.
+    Seconds enqueue_time = 0.0;
     /// Cached denial: if the cluster's change epoch still matches, the
     /// policy would deterministically deny again — replay without selection.
     std::uint64_t last_deny_epoch = 0;
@@ -298,8 +301,11 @@ class Scheduler : public sim::EventHandler {
   void take_sample();
   [[nodiscard]] MiB current_used_memory() const;
 
-  /// Emit a job lifecycle event (guarded; no-op when tracing is off).
-  void trace_job(obs::EventKind kind, JobId id, const char* detail = nullptr);
+  /// Emit a job lifecycle event (guarded; no-op when tracing is off). The
+  /// event joins the causal span of the job's `incarnation`-th run, with the
+  /// matching queued span as parent.
+  void trace_job(obs::EventKind kind, JobId id, int incarnation,
+                 const char* detail = nullptr);
   /// Copy the final SchedulerTotals into the counters registry.
   void publish_totals();
 
@@ -348,6 +354,14 @@ class Scheduler : public sim::EventHandler {
   std::uint64_t* c_update_batches_ = nullptr;
   obs::Gauge* g_queue_depth_ = nullptr;
   obs::Gauge* g_running_ = nullptr;
+  /// Wait latency (enqueue -> start) per start, simulated microseconds; the
+  /// backfill variant covers backfill starts only.
+  obs::Histogram* h_wait_ = nullptr;
+  obs::Histogram* h_backfill_wait_ = nullptr;
+  /// Actuator resize magnitudes per Monitor update (MiB grown/shrunk).
+  /// Simulated quantities, not wall clock — exports must stay deterministic.
+  obs::Histogram* h_grow_mib_ = nullptr;
+  obs::Histogram* h_shrink_mib_ = nullptr;
 };
 
 }  // namespace dmsim::sched

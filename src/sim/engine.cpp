@@ -18,6 +18,9 @@ void Engine::set_observer(const obs::Observer* observer) {
   c_scheduled_ = obs::counter_handle(observer, "engine.scheduled");
   c_fired_ = obs::counter_handle(observer, "engine.fired");
   c_cancelled_ = obs::counter_handle(observer, "engine.cancelled");
+  s_events_ = obs::series_handle(observer, "engine.events_per_window");
+  g_slab_live_ = obs::gauge_handle(observer, "engine.slab_live");
+  g_slab_slots_ = obs::gauge_handle(observer, "engine.slab_slots");
 }
 
 void Engine::release_slot(std::uint32_t slot) {
@@ -39,6 +42,10 @@ EventId Engine::enqueue_slot(Seconds when, std::uint32_t slot) {
   queue_.push(Entry{when, seq, slot, s.generation});
   ++live_;
   obs::bump(c_scheduled_);
+  if (g_slab_live_ != nullptr) {
+    g_slab_live_->set(static_cast<std::int64_t>(live_));
+    g_slab_slots_->set(static_cast<std::int64_t>(slots_.size()));
+  }
   if (trace_) {
     obs::Event e{obs::EventKind::EngineSchedule, now_};
     e.when = when;
@@ -112,6 +119,7 @@ bool Engine::step() {
     now_ = top.time;
     ++executed_;
     obs::bump(c_fired_);
+    obs::record(s_events_, now_, 1);
     if (trace_) {
       trace_->emit(obs::Event{obs::EventKind::EngineFire, now_}.with(
           "id", static_cast<std::int64_t>(trace_id)));

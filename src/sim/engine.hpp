@@ -236,6 +236,12 @@ class Engine : public obs::Clock {
   std::uint64_t* c_scheduled_ = nullptr;
   std::uint64_t* c_fired_ = nullptr;
   std::uint64_t* c_cancelled_ = nullptr;
+  /// Fired events per simulated-time window — the event-rate profile of the
+  /// run. Sim-time only, so the series is identical across hosts/threads.
+  obs::TimeSeries* s_events_ = nullptr;
+  /// Slab occupancy high-water marks: live events and total slots grown.
+  obs::Gauge* g_slab_live_ = nullptr;
+  obs::Gauge* g_slab_slots_ = nullptr;
 };
 
 }  // namespace dmsim::sim

@@ -20,7 +20,8 @@ namespace dmsim::snapshot {
 namespace {
 
 constexpr std::string_view kMagic = "DMSIMSNP";
-constexpr std::uint32_t kVersion = 1;
+// v2: the counters section gained histogram and time-series state.
+constexpr std::uint32_t kVersion = 2;
 constexpr std::uint32_t kCountersSection = section_tag('C', 'N', 'T', 'R');
 constexpr std::uint32_t kEndSection = section_tag('E', 'N', 'D', '.');
 
@@ -53,6 +54,32 @@ void save_counters_section(Writer& w, const obs::Counters* counters) {
     w.i64(g.value);
     w.i64(g.high_water);
   }
+  w.u32(static_cast<std::uint32_t>(snap.histograms.size()));
+  for (const auto& h : snap.histograms) {
+    w.str(h.name);
+    w.u64(h.count);
+    w.i64(h.sum);
+    w.i64(h.min);
+    w.i64(h.max);
+    w.u32(static_cast<std::uint32_t>(h.buckets.size()));
+    for (const auto& [bucket, n] : h.buckets) {
+      w.u32(bucket);
+      w.u64(n);
+    }
+  }
+  w.u32(static_cast<std::uint32_t>(snap.series.size()));
+  for (const auto& s : snap.series) {
+    w.str(s.name);
+    w.f64(s.window_width);
+    w.u32(static_cast<std::uint32_t>(s.points.size()));
+    for (const auto& p : s.points) {
+      w.i64(p.window);
+      w.u64(p.count);
+      w.i64(p.sum);
+      w.i64(p.min);
+      w.i64(p.max);
+    }
+  }
 }
 
 void restore_counters_section(Reader& r, obs::Counters* counters) {
@@ -82,6 +109,43 @@ void restore_counters_section(Reader& r, obs::Counters* counters) {
     g.high_water = r.i64();
     snap.gauges.push_back(std::move(g));
   }
+  const std::uint32_t n_histograms = r.u32();
+  snap.histograms.reserve(n_histograms);
+  for (std::uint32_t i = 0; i < n_histograms; ++i) {
+    obs::CountersSnapshot::HistogramEntry h;
+    h.name = std::string(r.str());
+    h.count = r.u64();
+    h.sum = r.i64();
+    h.min = r.i64();
+    h.max = r.i64();
+    const std::uint32_t n_buckets = r.u32();
+    h.buckets.reserve(n_buckets);
+    for (std::uint32_t b = 0; b < n_buckets; ++b) {
+      const std::uint32_t bucket = r.u32();
+      const std::uint64_t count = r.u64();
+      h.buckets.emplace_back(bucket, count);
+    }
+    snap.histograms.push_back(std::move(h));
+  }
+  const std::uint32_t n_series = r.u32();
+  snap.series.reserve(n_series);
+  for (std::uint32_t i = 0; i < n_series; ++i) {
+    obs::CountersSnapshot::SeriesEntry s;
+    s.name = std::string(r.str());
+    s.window_width = r.f64();
+    const std::uint32_t n_points = r.u32();
+    s.points.reserve(n_points);
+    for (std::uint32_t p = 0; p < n_points; ++p) {
+      obs::TimeSeries::Point point;
+      point.window = r.i64();
+      point.count = r.u64();
+      point.sum = r.i64();
+      point.min = r.i64();
+      point.max = r.i64();
+      s.points.push_back(point);
+    }
+    snap.series.push_back(std::move(s));
+  }
   // A restore target without a registry simply drops the section.
   if (counters != nullptr) counters->restore(snap);
 }
@@ -98,6 +162,12 @@ void Stats::publish(obs::Counters& registry) const {
       static_cast<std::uint64_t>(save_seconds * 1e6);
   registry.counter("sim.checkpoint.restore_micros") =
       static_cast<std::uint64_t>(restore_seconds * 1e6);
+  // Per-save high-water marks as gauges: the largest snapshot written and
+  // the slowest single save, invisible in the accumulated totals above.
+  registry.gauge("sim.checkpoint.bytes")
+      .set(static_cast<std::int64_t>(max_save_bytes));
+  registry.gauge("sim.checkpoint.save_us")
+      .set(static_cast<std::int64_t>(max_save_seconds * 1e6));
 }
 
 std::uint64_t config_fingerprint(const Components& components) {
@@ -247,7 +317,12 @@ void save_file(const std::string& path, const Components& components,
   if (stats != nullptr) {
     ++stats->saves;
     stats->bytes_written += bytes.size();
-    stats->save_seconds += elapsed_since(start);
+    const double elapsed = elapsed_since(start);
+    stats->save_seconds += elapsed;
+    if (bytes.size() > stats->max_save_bytes) {
+      stats->max_save_bytes = bytes.size();
+    }
+    if (elapsed > stats->max_save_seconds) stats->max_save_seconds = elapsed;
   }
 }
 

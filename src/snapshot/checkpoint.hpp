@@ -64,8 +64,14 @@ struct Stats {
   std::uint64_t bytes_read = 0;
   double save_seconds = 0.0;
   double restore_seconds = 0.0;
+  /// Largest single snapshot and slowest single save seen so far; exported
+  /// as gauge high-water marks (per-save visibility the totals can't give).
+  std::uint64_t max_save_bytes = 0;
+  double max_save_seconds = 0.0;
 
-  /// Export as sim.checkpoint.* into a (separate) counters registry.
+  /// Export as sim.checkpoint.* into a (separate) counters registry:
+  /// totals as counters plus `sim.checkpoint.bytes` / `sim.checkpoint.save_us`
+  /// gauges carrying the per-save high-water marks.
   void publish(obs::Counters& registry) const;
 };
 

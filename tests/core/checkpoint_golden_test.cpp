@@ -70,6 +70,13 @@ TEST(CheckpointGolden, ThreeCutPointsReproduceJsonTraceAndCounters) {
   ASSERT_TRUE(ref_result.valid);
   const std::string ref_json = metrics::to_json(ref_result);
   const std::string ref_ndjson = ref_trace.str();
+  // The registry must have picked up the distribution telemetry: the wait
+  // and grant histograms and the ledger/engine series all record on this
+  // scenario, and their exports ride inside ref_json via write_telemetry.
+  const obs::CountersSnapshot ref_snap = ref_counters.snapshot();
+  ASSERT_FALSE(ref_snap.histograms.empty());
+  ASSERT_FALSE(ref_snap.series.empty());
+  const std::string ref_telemetry = metrics::telemetry_to_json(ref_snap);
   const Seconds makespan = ref_result.summary.last_end;
   ASSERT_GT(makespan, 0.0);
   ASSERT_FALSE(ref_ndjson.empty());
@@ -110,6 +117,11 @@ TEST(CheckpointGolden, ThreeCutPointsReproduceJsonTraceAndCounters) {
 
       EXPECT_EQ(metrics::to_json(result), ref_json)
           << "cut=" << cut << ": restored run diverged";
+
+      // Histograms and series restored mid-flight must finish byte-equal to
+      // the uninterrupted registry's export.
+      EXPECT_EQ(metrics::telemetry_to_json(counters.snapshot()), ref_telemetry)
+          << "cut=" << cut << ": telemetry diverged after restore";
 
       // The resumed trace must be the uninterrupted trace's exact suffix
       // from the cut point onward.

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "harness/scenario.hpp"
+#include "harness/sweep.hpp"
+#include "metrics/json_export.hpp"
+#include "obs/counters.hpp"
+#include "workload/generator.hpp"
+
+namespace dmsim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Bucket math
+
+TEST(Histogram, UnitBucketsAreExact) {
+  for (std::int64_t v = 0; v < 16; ++v) {
+    EXPECT_EQ(obs::Histogram::bucket_index(v), static_cast<std::uint32_t>(v));
+    EXPECT_EQ(obs::Histogram::bucket_lower_bound(static_cast<std::uint32_t>(v)),
+              v);
+  }
+  EXPECT_EQ(obs::Histogram::bucket_index(-5), 0u);  // negatives clamp to 0
+}
+
+TEST(Histogram, LowerBoundsAreMonotoneAndConsistent) {
+  std::int64_t prev = -1;
+  for (std::uint32_t b = 0; b < obs::Histogram::kBuckets; ++b) {
+    const std::int64_t lower = obs::Histogram::bucket_lower_bound(b);
+    EXPECT_GT(lower, prev) << "bucket " << b;
+    // The lower bound itself maps back into its own bucket.
+    EXPECT_EQ(obs::Histogram::bucket_index(lower), b);
+    prev = lower;
+  }
+}
+
+TEST(Histogram, RelativeBucketErrorIsBounded) {
+  // Above the unit range, consecutive lower bounds differ by at most 12.5%.
+  for (const std::int64_t v : std::vector<std::int64_t>{
+           100, 1000, 123456, 99999999, 1'000'000'000'000}) {
+    const std::uint32_t b = obs::Histogram::bucket_index(v);
+    const std::int64_t lower = obs::Histogram::bucket_lower_bound(b);
+    EXPECT_LE(lower, v);
+    EXPECT_GE(lower, v - v / 8) << v;
+  }
+  // int64 max still lands inside the table.
+  EXPECT_LT(obs::Histogram::bucket_index(std::numeric_limits<std::int64_t>::max()),
+            obs::Histogram::kBuckets);
+}
+
+TEST(Histogram, QuantilesAreExactForSmallValuesAndClamped) {
+  obs::Histogram h;
+  for (std::int64_t v = 1; v <= 10; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_EQ(h.sum(), 55);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 10);
+  EXPECT_EQ(h.quantile(0.0), 1);
+  EXPECT_EQ(h.quantile(0.5), 5);
+  EXPECT_EQ(h.quantile(1.0), 10);
+  // A single large sample: every quantile clamps into [min, max].
+  obs::Histogram one;
+  one.record(1'000'000);
+  EXPECT_EQ(one.quantile(0.5), 1'000'000);
+  EXPECT_EQ(one.quantile(0.99), 1'000'000);
+}
+
+// ---------------------------------------------------------------------------
+// Time series
+
+TEST(TimeSeries, FoldsRecordsIntoWindows) {
+  obs::TimeSeries s(10.0);
+  s.record(0.0, 5);
+  s.record(3.0, 7);
+  s.record(12.0, 1);
+  s.record(19.9, 3);
+  s.record(40.0, 2);
+  const auto& points = s.points();
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].window, 0);
+  EXPECT_EQ(points[0].count, 2u);
+  EXPECT_EQ(points[0].sum, 12);
+  EXPECT_EQ(points[0].min, 5);
+  EXPECT_EQ(points[0].max, 7);
+  EXPECT_EQ(points[1].window, 1);
+  EXPECT_EQ(points[1].count, 2u);
+  EXPECT_EQ(points[2].window, 4);
+  EXPECT_EQ(points[2].sum, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Registry round-trips
+
+TEST(Counters, HistogramAndSeriesSurviveSnapshotRestore) {
+  obs::Counters a;
+  obs::Histogram& h = a.histogram("lat.us");
+  for (std::int64_t v : {3, 17, 17, 250, 9001}) h.record(v);
+  obs::TimeSeries& s = a.series("rate", 5.0);
+  s.record(1.0, 2);
+  s.record(9.0, 4);
+  a.counter("ops") = 7;
+  a.gauge("depth").set(3);
+
+  const obs::CountersSnapshot snap = a.snapshot();
+  obs::Counters b;
+  // Pre-pollute the target: restore must replace, not merge.
+  b.histogram("lat.us").record(1);
+  b.histogram("stale").record(99);
+  b.series("rate").record(100.0, 1);
+  b.restore(snap);
+
+  EXPECT_EQ(metrics::telemetry_to_json(b.snapshot()),
+            metrics::telemetry_to_json(snap));
+  EXPECT_EQ(b.histogram("lat.us").count(), 5u);
+  EXPECT_EQ(b.histogram("stale").count(), 0u);  // zeroed by restore
+  EXPECT_EQ(b.series("rate").points().size(), 2u);
+}
+
+TEST(Counters, SnapshotSortsAllFamiliesByName) {
+  obs::Counters c;
+  c.histogram("zeta").record(1);
+  c.histogram("alpha").record(1);
+  c.series("mid").record(0.0, 1);
+  c.series("aaa").record(0.0, 1);
+  const obs::CountersSnapshot snap = c.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 2u);
+  EXPECT_EQ(snap.histograms[0].name, "alpha");
+  EXPECT_EQ(snap.histograms[1].name, "zeta");
+  ASSERT_EQ(snap.series.size(), 2u);
+  EXPECT_EQ(snap.series[0].name, "aaa");
+  EXPECT_EQ(snap.series[1].name, "mid");
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end determinism: telemetry is a pure function of the cell config,
+// independent of sweep thread count.
+
+TEST(Telemetry, ByteIdenticalAcrossSweepThreadCounts) {
+  workload::SyntheticWorkloadConfig wcfg;
+  wcfg.cirne.num_jobs = 64;
+  wcfg.cirne.system_nodes = 16;
+  wcfg.cirne.max_job_nodes = 4;
+  wcfg.pct_large_jobs = 0.4;
+  wcfg.overestimation = 0.5;
+  wcfg.seed = 23;
+  const auto generated = workload::generate_synthetic(wcfg);
+
+  // Baseline is left out: without memory borrowing this mix is infeasible,
+  // and an infeasible cell legitimately exports no histograms.
+  std::vector<harness::CellConfig> cells;
+  for (const policy::PolicyKind kind :
+       {policy::PolicyKind::Static, policy::PolicyKind::Dynamic}) {
+    for (const std::size_t nodes : {16u, 32u}) {
+      harness::CellConfig cell;
+      cell.system.total_nodes = nodes;
+      cell.system.pct_large_nodes = 0.25;
+      cell.policy = kind;
+      cell.collect_telemetry = true;
+      cells.push_back(cell);
+    }
+  }
+
+  const auto serial = harness::run_cells(cells, generated.jobs, generated.apps, 1);
+  const auto parallel =
+      harness::run_cells(cells, generated.jobs, generated.apps, 8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_TRUE(serial[i].valid) << i;
+    EXPECT_FALSE(serial[i].telemetry.empty());
+    EXPECT_FALSE(serial[i].telemetry.histograms.empty());
+    EXPECT_EQ(metrics::telemetry_to_json(serial[i].telemetry),
+              metrics::telemetry_to_json(parallel[i].telemetry))
+        << cells[i].label;
+  }
+}
+
+}  // namespace
+}  // namespace dmsim

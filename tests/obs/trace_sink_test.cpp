@@ -46,6 +46,38 @@ TEST(NdjsonSink, GoldenEventLines) {
             "\"when\":11253.691490279203,\"id\":1}\n");
 }
 
+TEST(NdjsonSink, SpanAndParentSerializeBetweenNodeAndWhen) {
+  std::ostringstream out;
+  obs::NdjsonSink sink(out);
+
+  obs::Event submit{obs::EventKind::JobSubmit, 1.0};
+  submit.job = 3;
+  submit.span = obs::span_id(3, 0, obs::SpanPhase::Queued);
+  sink.emit(submit);
+
+  obs::Event start{obs::EventKind::JobStart, 2.5};
+  start.job = 3;
+  start.node = 1;
+  sink.emit(start.in_span(obs::span_id(3, 0, obs::SpanPhase::Running),
+                          obs::span_id(3, 0, obs::SpanPhase::Queued)));
+
+  sink.close();
+  EXPECT_EQ(out.str(),
+            "{\"t\":1,\"ev\":\"job_submit\",\"job\":3,\"span\":12288}\n"
+            "{\"t\":2.5,\"ev\":\"job_start\",\"job\":3,\"node\":1,"
+            "\"span\":12289,\"parent\":12288}\n");
+}
+
+TEST(SpanId, DistinctAcrossJobsIncarnationsAndPhases) {
+  using obs::SpanPhase;
+  using obs::span_id;
+  EXPECT_NE(span_id(1, 0, SpanPhase::Queued), span_id(1, 0, SpanPhase::Running));
+  EXPECT_NE(span_id(1, 0, SpanPhase::Queued), span_id(1, 1, SpanPhase::Queued));
+  EXPECT_NE(span_id(1, 0, SpanPhase::Queued), span_id(2, 0, SpanPhase::Queued));
+  // Deterministic arithmetic, not a counter: reconstructible offline.
+  EXPECT_EQ(span_id(7, 2, SpanPhase::Running), 7 * 4096 + 2 * 2 + 1);
+}
+
 TEST(Event, FieldCapacityIsBounded) {
   obs::Event e{obs::EventKind::JobStart, 1.0};
   e.with("a", 1).with("b", 2).with("c", 3).with("d", 4).with("e", 5);
@@ -81,9 +113,18 @@ trace::Workload small_workload() {
   return workload::generate_synthetic(cfg).jobs;
 }
 
-std::string run_traced(obs::TraceFormat format) {
+std::size_t count_occurrences(const std::string& hay, const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+std::string run_traced(obs::TraceFormat format, std::size_t flush_every = 0) {
   std::ostringstream out;
-  const auto sink = obs::make_sink(format, out);
+  const auto sink = obs::make_sink(format, out, flush_every);
   Simulator sim(small_config(), small_workload(), nullptr, sink.get());
   const SimulationResult r = sim.run();
   EXPECT_TRUE(r.valid);
@@ -98,6 +139,38 @@ TEST(NdjsonSink, DeterministicAcrossRuns) {
   const std::string b = run_traced(obs::TraceFormat::Ndjson);
   EXPECT_FALSE(a.empty());
   EXPECT_EQ(a, b);
+}
+
+// Periodic flushing changes syscall timing, never bytes: the golden-trace
+// contract holds with flushing on.
+TEST(NdjsonSink, FlushEveryNEventsKeepsBytesIdentical) {
+  const std::string buffered = run_traced(obs::TraceFormat::Ndjson, 0);
+  const std::string eager = run_traced(obs::TraceFormat::Ndjson, 1);
+  const std::string chunked = run_traced(obs::TraceFormat::Ndjson, 64);
+  EXPECT_EQ(buffered, eager);
+  EXPECT_EQ(buffered, chunked);
+}
+
+// Causal spans: every queue span begun at submit/requeue is closed by a
+// start naming it as parent, and every start's run span meets a terminal.
+TEST(NdjsonSink, QueueSpansPairWithStarts) {
+  const std::string trace = run_traced(obs::TraceFormat::Ndjson);
+  const std::size_t submits = count_occurrences(trace, "\"ev\":\"job_submit\"");
+  const std::size_t requeues = count_occurrences(trace, "\"ev\":\"job_requeue\"");
+  const std::size_t starts = count_occurrences(trace, "\"ev\":\"job_start\"") +
+                             count_occurrences(trace, "\"ev\":\"backfill_start\"");
+  const std::size_t terminals =
+      count_occurrences(trace, "\"ev\":\"job_complete\"") +
+      count_occurrences(trace, "\"ev\":\"job_oom_kill\"") +
+      count_occurrences(trace, "\"ev\":\"job_walltime_kill\"");
+  EXPECT_GT(submits, 0u);
+  // Every (re)queued incarnation starts, and every start terminates.
+  EXPECT_EQ(submits + requeues, starts);
+  EXPECT_EQ(starts, terminals);
+  // Span ids ride on the events (submit carries the queued span, starts and
+  // terminals the running span with its queued parent).
+  EXPECT_GE(count_occurrences(trace, "\"span\":"), submits + starts);
+  EXPECT_GE(count_occurrences(trace, "\"parent\":"), starts);
 }
 
 TEST(NdjsonSink, EveryLineIsAnObjectWithTimeAndKind) {
@@ -148,15 +221,6 @@ void check_balanced_json(const std::string& doc) {
   EXPECT_EQ(depth_arr, 0);
 }
 
-std::size_t count_occurrences(const std::string& hay, const std::string& needle) {
-  std::size_t count = 0;
-  for (std::size_t pos = hay.find(needle); pos != std::string::npos;
-       pos = hay.find(needle, pos + needle.size())) {
-    ++count;
-  }
-  return count;
-}
-
 TEST(ChromeTraceSink, WellFormedDocument) {
   const std::string doc = run_traced(obs::TraceFormat::Chrome);
   ASSERT_EQ(doc.substr(0, 16), "{\"traceEvents\":[");
@@ -195,6 +259,30 @@ TEST(FileSink, WritesAndCloses) {
   EXPECT_EQ(line, "{\"t\":9,\"ev\":\"job_complete\",\"job\":1}");
   in.close();
   std::remove(path.c_str());
+}
+
+// A sink whose stream has failed must surface the error exactly once:
+// close() throws, and a second close() (or the destructor) stays silent.
+TEST(ChromeTraceSink, CloseThrowsOnceAfterWriteFailure) {
+  std::ostringstream out;
+  obs::ChromeTraceSink sink(out);
+  obs::Event e{obs::EventKind::JobStart, 1.0};
+  e.job = 1;
+  sink.emit(e);
+  out.setstate(std::ios::badbit);  // simulate a full/failed device
+  EXPECT_THROW(sink.close(), Error);
+  EXPECT_NO_THROW(sink.close());  // idempotent even after failure
+}
+
+TEST(NdjsonSink, CloseThrowsOnceAfterWriteFailure) {
+  std::ostringstream out;
+  obs::NdjsonSink sink(out);
+  obs::Event e{obs::EventKind::JobComplete, 2.0};
+  e.job = 4;
+  sink.emit(e);
+  out.setstate(std::ios::badbit);
+  EXPECT_THROW(sink.close(), Error);
+  EXPECT_NO_THROW(sink.close());
 }
 
 TEST(FileSink, ThrowsWhenUnopenable) {

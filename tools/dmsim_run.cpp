@@ -14,6 +14,7 @@
 //   dmsim_run --config cluster.conf --checkpoint run.snap --checkpoint-every 3600
 //   dmsim_run --config cluster.conf --restore run.snap --json resumed.json
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -59,6 +60,7 @@ struct Options {
   std::optional<std::string> export_profiles;
   std::optional<std::string> trace_path;
   obs::TraceFormat trace_format = obs::TraceFormat::Ndjson;
+  std::size_t trace_flush_every = 0;
   std::optional<std::string> checkpoint_path;
   Seconds checkpoint_every = 0.0;
   std::vector<Seconds> checkpoint_at;
@@ -72,7 +74,7 @@ void print_version(std::ostream& os) {
   os << "dmsim_run " << DMSIM_VERSION_STRING << " (" << DMSIM_GIT_DESCRIBE
      << ", " << DMSIM_BUILD_TYPE << ")\n"
      << "compiler: " << __VERSION__ << '\n'
-     << "snapshot format: v1\n";
+     << "snapshot format: v2\n";
 }
 
 void print_usage(std::ostream& os) {
@@ -91,6 +93,8 @@ void print_usage(std::ostream& os) {
         "  --trace FILE         write a structured event trace of the run\n"
         "  --trace-format FMT   trace format: ndjson (default) or chrome\n"
         "                       (chrome loads into Perfetto / chrome://tracing)\n"
+        "  --trace-flush-every N flush the NDJSON trace stream every N events\n"
+        "                       (0, the default, flushes only on close)\n"
         "  --counters           print the counters registry and a self-profile\n"
         "                       (phase timers, events/sec) after the summary\n"
         "  --checkpoint FILE    save simulation snapshots to FILE while running\n"
@@ -148,6 +152,12 @@ void print_usage(std::ostream& os) {
       opt.trace_path = need_value(i, "--trace");
     } else if (arg == "--trace-format") {
       opt.trace_format = obs::parse_trace_format(need_value(i, "--trace-format"));
+    } else if (arg == "--trace-flush-every") {
+      const double n = need_number(i, "--trace-flush-every");
+      if (n < 0.0 || n != std::floor(n)) {
+        throw ConfigError("--trace-flush-every must be a non-negative integer");
+      }
+      opt.trace_flush_every = static_cast<std::size_t>(n);
     } else if (arg == "--checkpoint") {
       opt.checkpoint_path = need_value(i, "--checkpoint");
     } else if (arg == "--checkpoint-every") {
@@ -306,7 +316,8 @@ int run(const Options& opt) {
 
   std::unique_ptr<obs::TraceSink> sink;
   if (opt.trace_path) {
-    sink = obs::make_file_sink(opt.trace_format, *opt.trace_path);
+    sink = obs::make_file_sink(opt.trace_format, *opt.trace_path,
+                               opt.trace_flush_every);
   }
   obs::Counters counters;
 

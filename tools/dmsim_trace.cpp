@@ -1,0 +1,476 @@
+// dmsim_trace — offline analyzer for NDJSON event traces.
+//
+// Reads a trace produced by `dmsim_run --trace run.ndjson` and prints a
+// deterministic report: event counts, wait/run latency percentiles built
+// from the causal queue/run spans, queue-depth percentiles from sched_pass
+// samples, and a per-job critical-path attribution (where did each job's
+// response time go — queued, running, or lost to OOM restarts).
+//
+//   dmsim_trace run.ndjson
+//   dmsim_trace run.ndjson --json          # machine-readable report
+//   dmsim_trace run.ndjson --top 5        # longest-response jobs listed
+//
+// The report is byte-deterministic for a given trace: inputs are sorted,
+// percentiles are exact (nearest-rank on the sorted sample vector), and all
+// numbers are printed through fixed explicit formats.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Flat NDJSON line parsing
+// ---------------------------------------------------------------------------
+
+/// One parsed trace event. Field names mirror the NdjsonSink schema; any
+/// extra integer fields land in `fields` (insertion order preserved).
+struct TraceEvent {
+  double t = 0.0;
+  std::string ev;
+  std::int64_t job = -1;
+  std::int64_t node = -1;
+  std::int64_t span = -1;
+  std::int64_t parent = -1;
+  std::string detail;
+  std::vector<std::pair<std::string, std::int64_t>> fields;
+
+  [[nodiscard]] std::optional<std::int64_t> field(std::string_view key) const {
+    for (const auto& [k, v] : fields) {
+      if (k == key) return v;
+    }
+    return std::nullopt;
+  }
+};
+
+struct ParseError {
+  std::size_t line_number;
+  std::string message;
+};
+
+/// Parse one `{"key":value,...}` line of the flat NDJSON schema the sinks
+/// emit: string values have no escapes, everything else is a number. Returns
+/// false (with `err` filled) on malformed input.
+bool parse_line(std::string_view line, std::size_t line_number, TraceEvent& out,
+                ParseError& err) {
+  const auto fail = [&](std::string message) {
+    err = ParseError{line_number, std::move(message)};
+    return false;
+  };
+  std::size_t pos = 0;
+  const auto skip = [&](char c) {
+    if (pos >= line.size() || line[pos] != c) return false;
+    ++pos;
+    return true;
+  };
+  if (!skip('{')) return fail("expected '{'");
+  bool first = true;
+  while (pos < line.size() && line[pos] != '}') {
+    if (!first && !skip(',')) return fail("expected ','");
+    first = false;
+    if (!skip('"')) return fail("expected key quote");
+    const std::size_t key_end = line.find('"', pos);
+    if (key_end == std::string_view::npos) return fail("unterminated key");
+    const std::string key(line.substr(pos, key_end - pos));
+    pos = key_end + 1;
+    if (!skip(':')) return fail("expected ':'");
+    if (pos >= line.size()) return fail("missing value");
+    if (line[pos] == '"') {
+      ++pos;
+      const std::size_t val_end = line.find('"', pos);
+      if (val_end == std::string_view::npos) return fail("unterminated string");
+      const std::string value(line.substr(pos, val_end - pos));
+      pos = val_end + 1;
+      if (key == "ev") {
+        out.ev = value;
+      } else if (key == "detail") {
+        out.detail = value;
+      }
+      // Unknown string keys are ignored: the analyzer must keep working
+      // when newer sinks add fields.
+    } else {
+      char* end = nullptr;
+      const std::string buf(line.substr(pos));
+      const double value = std::strtod(buf.c_str(), &end);
+      if (end == buf.c_str()) return fail("bad number for key '" + key + "'");
+      pos += static_cast<std::size_t>(end - buf.c_str());
+      if (key == "t") {
+        out.t = value;
+      } else if (key == "job") {
+        out.job = static_cast<std::int64_t>(value);
+      } else if (key == "node") {
+        out.node = static_cast<std::int64_t>(value);
+      } else if (key == "span") {
+        out.span = static_cast<std::int64_t>(value);
+      } else if (key == "parent") {
+        out.parent = static_cast<std::int64_t>(value);
+      } else if (key != "when") {
+        out.fields.emplace_back(key, static_cast<std::int64_t>(value));
+      }
+    }
+  }
+  if (!skip('}')) return fail("expected '}'");
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+/// Exact nearest-rank percentile over a sorted sample vector.
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = std::ceil(q * static_cast<double>(sorted.size()));
+  const auto idx = static_cast<std::size_t>(std::max(rank, 1.0)) - 1;
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+struct LatencyStats {
+  std::vector<double> samples;
+
+  void add(double v) { samples.push_back(v); }
+  void seal() { std::sort(samples.begin(), samples.end()); }
+  [[nodiscard]] std::size_t count() const { return samples.size(); }
+  [[nodiscard]] double sum() const {
+    double s = 0.0;
+    for (double v : samples) s += v;
+    return s;
+  }
+  [[nodiscard]] double mean() const {
+    return samples.empty() ? 0.0 : sum() / static_cast<double>(samples.size());
+  }
+  [[nodiscard]] double p(double q) const { return percentile(samples, q); }
+  [[nodiscard]] double max() const {
+    return samples.empty() ? 0.0 : samples.back();
+  }
+};
+
+/// Per-job attribution accumulated from the causal spans.
+struct JobStats {
+  double submit_time = -1.0;   ///< first job_submit
+  double end_time = -1.0;      ///< last terminal event
+  double queued_seconds = 0.0; ///< sum over all queue spans
+  double run_seconds = 0.0;    ///< sum over all run spans
+  double wasted_seconds = 0.0; ///< run time of incarnations that were killed
+  std::int64_t requeues = 0;
+  std::string outcome = "never_started";
+
+  [[nodiscard]] double response() const {
+    return (submit_time >= 0.0 && end_time >= 0.0) ? end_time - submit_time
+                                                   : 0.0;
+  }
+  /// Span-covered share of the response time; <1.0 means the trace was cut
+  /// (restore) or the job never finished.
+  [[nodiscard]] double coverage() const {
+    const double r = response();
+    return r > 0.0 ? (queued_seconds + run_seconds) / r : 1.0;
+  }
+};
+
+struct Report {
+  std::map<std::string, std::uint64_t> event_counts;
+  LatencyStats wait;           ///< queue-span durations (all incarnations)
+  LatencyStats run;            ///< run-span durations (all incarnations)
+  LatencyStats queue_depth;    ///< sched_pass pending samples
+  std::map<std::int64_t, JobStats> jobs;
+  std::uint64_t lines = 0;
+  std::uint64_t skipped = 0;   ///< malformed lines (reported, not fatal)
+  double t_min = 0.0;
+  double t_max = 0.0;
+};
+
+bool is_terminal(std::string_view ev) {
+  return ev == "job_complete" || ev == "job_oom_kill" ||
+         ev == "job_walltime_kill";
+}
+
+void analyze_event(const TraceEvent& e, Report& r,
+                   std::map<std::int64_t, double>& open_queue,
+                   std::map<std::int64_t, double>& open_run) {
+  ++r.event_counts[e.ev];
+  if (r.lines == 1) {
+    r.t_min = e.t;
+    r.t_max = e.t;
+  } else {
+    r.t_min = std::min(r.t_min, e.t);
+    r.t_max = std::max(r.t_max, e.t);
+  }
+  if (e.ev == "job_submit" || e.ev == "job_requeue") {
+    if (e.span >= 0) open_queue[e.span] = e.t;
+    if (e.job >= 0) {
+      JobStats& j = r.jobs[e.job];
+      if (e.ev == "job_submit") {
+        j.submit_time = j.submit_time < 0.0 ? e.t : std::min(j.submit_time, e.t);
+      } else {
+        ++j.requeues;
+      }
+    }
+  } else if (e.ev == "job_start" || e.ev == "backfill_start") {
+    if (e.parent >= 0) {
+      const auto it = open_queue.find(e.parent);
+      if (it != open_queue.end()) {
+        const double waited = e.t - it->second;
+        r.wait.add(waited);
+        if (e.job >= 0) r.jobs[e.job].queued_seconds += waited;
+        open_queue.erase(it);
+      }
+    }
+    const std::int64_t key = e.span >= 0 ? e.span : e.job;
+    if (key >= 0) open_run[key] = e.t;
+  } else if (is_terminal(e.ev)) {
+    const std::int64_t key = e.span >= 0 ? e.span : e.job;
+    const auto it = open_run.find(key);
+    if (it != open_run.end()) {
+      const double ran = e.t - it->second;
+      r.run.add(ran);
+      if (e.job >= 0) {
+        JobStats& j = r.jobs[e.job];
+        j.run_seconds += ran;
+        if (e.ev != "job_complete") j.wasted_seconds += ran;
+      }
+      open_run.erase(it);
+    }
+    if (e.job >= 0) {
+      JobStats& j = r.jobs[e.job];
+      j.end_time = std::max(j.end_time, e.t);
+      if (e.ev == "job_complete") {
+        j.outcome = "completed";
+      } else if (e.ev == "job_walltime_kill") {
+        j.outcome = "killed_walltime";
+      } else if (j.outcome != "completed") {
+        j.outcome = "oom_killed";
+      }
+    }
+  } else if (e.ev == "job_abandon") {
+    if (e.job >= 0) {
+      JobStats& j = r.jobs[e.job];
+      j.outcome = "abandoned_oom";
+      j.end_time = std::max(j.end_time, e.t);
+    }
+  } else if (e.ev == "sched_pass") {
+    if (const auto pending = e.field("pending")) {
+      r.queue_depth.add(static_cast<double>(*pending));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+std::string fmt(double v, int precision = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+void print_latency_row(std::ostream& os, const char* label,
+                       const LatencyStats& s) {
+  os << "  " << label << ": n=" << s.count();
+  if (s.count() > 0) {
+    os << " mean=" << fmt(s.mean()) << " p50=" << fmt(s.p(0.50))
+       << " p95=" << fmt(s.p(0.95)) << " p99=" << fmt(s.p(0.99))
+       << " max=" << fmt(s.max());
+  }
+  os << '\n';
+}
+
+void print_text(std::ostream& os, const Report& r, std::size_t top) {
+  os << "dmsim_trace report\n";
+  os << "events: " << r.lines << " (skipped " << r.skipped << " malformed)\n";
+  os << "sim time: [" << fmt(r.t_min) << ", " << fmt(r.t_max) << "]\n";
+  os << "\nevent counts:\n";
+  for (const auto& [name, count] : r.event_counts) {
+    os << "  " << name << ": " << count << '\n';
+  }
+  os << "\nlatency (seconds):\n";
+  print_latency_row(os, "wait", r.wait);
+  print_latency_row(os, "run", r.run);
+  os << "\nqueue depth (jobs):\n";
+  print_latency_row(os, "pending", r.queue_depth);
+
+  // Critical-path attribution: overall, then the slowest responders.
+  double queued = 0.0;
+  double running = 0.0;
+  double wasted = 0.0;
+  std::uint64_t requeues = 0;
+  for (const auto& [id, j] : r.jobs) {
+    queued += j.queued_seconds;
+    running += j.run_seconds;
+    wasted += j.wasted_seconds;
+    requeues += static_cast<std::uint64_t>(j.requeues);
+  }
+  os << "\ncritical path (all jobs):\n";
+  os << "  jobs: " << r.jobs.size() << "  requeues: " << requeues << '\n';
+  os << "  queued: " << fmt(queued) << "s  running: " << fmt(running)
+     << "s  wasted-by-kills: " << fmt(wasted) << "s\n";
+  const double denom = queued + running;
+  if (denom > 0.0) {
+    os << "  wait share of response: " << fmt(100.0 * queued / denom, 1)
+       << "%\n";
+  }
+
+  if (top > 0 && !r.jobs.empty()) {
+    std::vector<std::pair<std::int64_t, const JobStats*>> order;
+    order.reserve(r.jobs.size());
+    for (const auto& [id, j] : r.jobs) order.emplace_back(id, &j);
+    std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+      if (a.second->response() != b.second->response()) {
+        return a.second->response() > b.second->response();
+      }
+      return a.first < b.first;  // deterministic tie-break
+    });
+    os << "\nslowest jobs (top " << std::min(top, order.size()) << "):\n";
+    os << "  job  response  queued  running  requeues  outcome\n";
+    for (std::size_t i = 0; i < order.size() && i < top; ++i) {
+      const auto& [id, j] = order[i];
+      os << "  " << id << "  " << fmt(j->response()) << "  "
+         << fmt(j->queued_seconds) << "  " << fmt(j->run_seconds) << "  "
+         << j->requeues << "  " << j->outcome << '\n';
+    }
+  }
+}
+
+void json_latency(std::ostream& os, const char* key, const LatencyStats& s) {
+  os << '"' << key << "\":{\"count\":" << s.count();
+  if (s.count() > 0) {
+    os << ",\"mean\":" << fmt(s.mean(), 6) << ",\"p50\":" << fmt(s.p(0.50), 6)
+       << ",\"p95\":" << fmt(s.p(0.95), 6) << ",\"p99\":" << fmt(s.p(0.99), 6)
+       << ",\"max\":" << fmt(s.max(), 6);
+  }
+  os << '}';
+}
+
+void print_json(std::ostream& os, const Report& r, std::size_t top) {
+  os << "{\"events\":" << r.lines << ",\"skipped\":" << r.skipped
+     << ",\"t_min\":" << fmt(r.t_min, 6) << ",\"t_max\":" << fmt(r.t_max, 6);
+  os << ",\"event_counts\":{";
+  bool first = true;
+  for (const auto& [name, count] : r.event_counts) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << name << "\":" << count;
+  }
+  os << "},";
+  json_latency(os, "wait_seconds", r.wait);
+  os << ',';
+  json_latency(os, "run_seconds", r.run);
+  os << ',';
+  json_latency(os, "queue_depth", r.queue_depth);
+  os << ",\"jobs\":" << r.jobs.size();
+  if (top > 0 && !r.jobs.empty()) {
+    std::vector<std::pair<std::int64_t, const JobStats*>> order;
+    for (const auto& [id, j] : r.jobs) order.emplace_back(id, &j);
+    std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+      if (a.second->response() != b.second->response()) {
+        return a.second->response() > b.second->response();
+      }
+      return a.first < b.first;
+    });
+    os << ",\"slowest\":[";
+    for (std::size_t i = 0; i < order.size() && i < top; ++i) {
+      const auto& [id, j] = order[i];
+      if (i > 0) os << ',';
+      os << "{\"job\":" << id << ",\"response\":" << fmt(j->response(), 6)
+         << ",\"queued\":" << fmt(j->queued_seconds, 6)
+         << ",\"running\":" << fmt(j->run_seconds, 6)
+         << ",\"requeues\":" << j->requeues << ",\"outcome\":\"" << j->outcome
+         << "\"}";
+    }
+    os << ']';
+  }
+  os << "}\n";
+}
+
+void print_usage(std::ostream& os) {
+  os << "usage: dmsim_trace TRACE.ndjson [options]\n"
+        "  --json     emit the report as a single JSON object\n"
+        "  --top N    list the N slowest-responding jobs (default 10)\n"
+        "  --help     this text\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  bool as_json = false;
+  std::size_t top = 10;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      as_json = true;
+    } else if (arg == "--top") {
+      if (i + 1 >= argc) {
+        std::cerr << "dmsim_trace: --top needs a value\n";
+        return 1;
+      }
+      top = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "dmsim_trace: unknown argument: " << arg << '\n';
+      print_usage(std::cerr);
+      return 1;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::cerr << "dmsim_trace: more than one trace file given\n";
+      return 1;
+    }
+  }
+  if (path.empty()) {
+    std::cerr << "dmsim_trace: a trace file is required\n";
+    print_usage(std::cerr);
+    return 1;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "dmsim_trace: cannot open " << path << '\n';
+    return 1;
+  }
+
+  Report report;
+  std::map<std::int64_t, double> open_queue;
+  std::map<std::int64_t, double> open_run;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    TraceEvent event;
+    ParseError err{0, ""};
+    if (!parse_line(line, line_number, event, err)) {
+      ++report.skipped;
+      if (report.skipped <= 5) {
+        std::cerr << "dmsim_trace: line " << err.line_number << ": "
+                  << err.message << '\n';
+      }
+      continue;
+    }
+    ++report.lines;
+    analyze_event(event, report, open_queue, open_run);
+  }
+  report.wait.seal();
+  report.run.seal();
+  report.queue_depth.seal();
+  if (report.lines == 0) {
+    std::cerr << "dmsim_trace: no events in " << path << '\n';
+    return 2;
+  }
+  if (as_json) {
+    print_json(std::cout, report, top);
+  } else {
+    print_text(std::cout, report, top);
+  }
+  return 0;
+}

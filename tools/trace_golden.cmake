@@ -1,0 +1,33 @@
+# Golden-summary check for dmsim_trace: run the analyzer over the fixture
+# trace in both output modes and compare byte-for-byte against the checked-in
+# expected reports. Invoked by the cli.trace_golden_summary CTest.
+#
+# Inputs: TRACE_TOOL, FIXTURE, EXPECTED_TEXT, EXPECTED_JSON, WORK_DIR.
+
+function(run_and_compare mode out_name expected)
+  set(args "${FIXTURE}" --top 3)
+  if(mode STREQUAL "json")
+    list(APPEND args --json)
+  endif()
+  execute_process(
+    COMMAND ${TRACE_TOOL} ${args}
+    OUTPUT_VARIABLE actual
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "dmsim_trace (${mode}) exited with ${rc}")
+  endif()
+  set(actual_file "${WORK_DIR}/${out_name}")
+  file(WRITE "${actual_file}" "${actual}")
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files "${actual_file}" "${expected}"
+    RESULT_VARIABLE diff)
+  if(NOT diff EQUAL 0)
+    file(READ "${expected}" want)
+    message(FATAL_ERROR
+      "dmsim_trace ${mode} report drifted from ${expected}\n"
+      "--- actual ---\n${actual}\n--- expected ---\n${want}")
+  endif()
+endfunction()
+
+run_and_compare(text trace_golden_actual.txt "${EXPECTED_TEXT}")
+run_and_compare(json trace_golden_actual.json "${EXPECTED_JSON}")
