@@ -484,6 +484,59 @@ void BM_RefreshSlowdownsLegacy(benchmark::State& state) {
 }
 BENCHMARK(BM_RefreshSlowdownsLegacy);
 
+// Whole-ledger hostability scan on the busy 1490-node cluster — the
+// structure-of-arrays form: three column reads per node, no Node
+// materialization, branch-free accumulate.
+void BM_LedgerScanSoA(benchmark::State& state) {
+  cluster::Cluster c = busy_sc_cluster(nullptr);
+  const MiB need = 40 * kGiB;
+  for (auto _ : state) {
+    const auto free = c.free_column();
+    const auto mem = c.memory_node_column();
+    const auto running = c.running_job_column();
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < free.size(); ++i) {
+      hits += static_cast<std::size_t>(running[i] == NodeId::kInvalid &&
+                                       mem[i] == 0 && free[i] >= need);
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(c.node_count()));
+}
+BENCHMARK(BM_LedgerScanSoA);
+
+// The same scan through the per-node view — the pre-refactor caller
+// pattern (materialize a Node per iteration), retained verbatim so
+// BM_LedgerScanLegacy / BM_LedgerScanSoA is the columnar-ledger speedup.
+void BM_LedgerScanLegacy(benchmark::State& state) {
+  cluster::Cluster c = busy_sc_cluster(nullptr);
+  const MiB need = 40 * kGiB;
+  for (auto _ : state) {
+    std::size_t hits = 0;
+    for (const auto& n : c.nodes()) {
+      if (n.idle() && !n.memory_node() && n.free() >= need) ++hits;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(c.node_count()));
+}
+BENCHMARK(BM_LedgerScanLegacy);
+
+// Full invariant audit of the busy cluster: with the columnar ledger this is
+// a handful of linear passes plus per-index walks (plus, in debug builds,
+// the node-view parity sweep — benches build Release, so that's off).
+void BM_CheckInvariants(benchmark::State& state) {
+  cluster::Cluster c = busy_sc_cluster(nullptr);
+  for (auto _ : state) {
+    c.check_invariants();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(c.node_count()));
+}
+BENCHMARK(BM_CheckInvariants);
+
 // Remote growth on the busy 1490-node cluster: every grow walks the ordered
 // lender view (an index traversal now, a full scan + sort before).
 void BM_GrowRemote(benchmark::State& state) {

@@ -8,6 +8,11 @@
 
 namespace dmsim::cluster {
 
+namespace {
+/// Raw column value of an idle node's running_job_ entry.
+constexpr std::uint32_t kIdle = NodeId::kInvalid;
+}  // namespace
+
 ClusterConfig make_cluster_config(int normal_count, MiB normal_mib,
                                   int large_count, MiB large_mib, int cores) {
   DMSIM_ASSERT(normal_count >= 0 && large_count >= 0,
@@ -26,35 +31,41 @@ ClusterConfig make_cluster_config(int normal_count, MiB normal_mib,
 
 Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
   DMSIM_ASSERT(!config_.nodes.empty(), "cluster must have at least one node");
-  nodes_.reserve(config_.nodes.size());
-  std::uint32_t next = 0;
+  const std::size_t n = config_.nodes.size();
+  // Every column and index container is sized up front: the node count is
+  // immutable, so nothing on the ledger's hot paths ever reallocates.
+  capacity_.reserve(n);
+  cores_.reserve(n);
+  large_.reserve(n);
   for (const auto& nc : config_.nodes) {
     DMSIM_ASSERT(nc.capacity > 0, "node capacity must be positive");
     DMSIM_ASSERT(nc.cores > 0, "node cores must be positive");
-    Node n;
-    n.id = NodeId{next++};
-    n.cores = nc.cores;
-    n.capacity = nc.capacity;
-    n.large = nc.large;
+    capacity_.push_back(nc.capacity);
+    cores_.push_back(nc.cores);
+    large_.push_back(nc.large ? 1 : 0);
     total_capacity_ += nc.capacity;
-    nodes_.push_back(n);
   }
-  index_state_.resize(nodes_.size());
-  borrower_index_.resize(nodes_.size());
-  lender_dirty_flag_.assign(nodes_.size(), 0);
-  for (const auto& n : nodes_) reindex_node(n);
-  nodes_by_capacity_.reserve(nodes_.size());
-  for (const auto& n : nodes_) nodes_by_capacity_.push_back(n.id);
+  running_job_.assign(n, kIdle);
+  local_used_.assign(n, 0);
+  lent_.assign(n, 0);
+  lender_dirty_flag_.assign(n, 0);
+  borrow_slab_.init(n);
+  // Exclusive node allocation bounds live slots by the node count.
+  slots_.reserve(n);
+  job_hosts_.reserve(n);
+  rebuild_indexes_bulk();
+  nodes_by_capacity_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) nodes_by_capacity_.push_back(NodeId{i});
   std::sort(nodes_by_capacity_.begin(), nodes_by_capacity_.end(),
             [this](NodeId a, NodeId b) {
-              const MiB ca = nodes_[a.get()].capacity;
-              const MiB cb = nodes_[b.get()].capacity;
+              const MiB ca = capacity_[a.get()];
+              const MiB cb = capacity_[b.get()];
               if (ca != cb) return ca < cb;
               return a < b;
             });
-  capacities_sorted_.reserve(nodes_.size());
+  capacities_sorted_.reserve(n);
   for (NodeId id : nodes_by_capacity_) {
-    capacities_sorted_.push_back(nodes_[id.get()].capacity);
+    capacities_sorted_.push_back(capacity_[id.get()]);
   }
 }
 
@@ -75,19 +86,32 @@ void Cluster::set_observer(const obs::Observer* observer) {
   h_lenders_per_grow_ = obs::histogram_handle(observer, "ledger.lenders_per_grow");
 }
 
-const Node& Cluster::node(NodeId id) const {
-  DMSIM_ASSERT(id.valid() && id.get() < nodes_.size(), "node id out of range");
-  return nodes_[id.get()];
+std::uint32_t Cluster::checked(NodeId id) const {
+  DMSIM_ASSERT(id.valid() && id.get() < capacity_.size(),
+               "node id out of range");
+  return id.get();
 }
 
-Node& Cluster::node_mut(NodeId id) {
-  DMSIM_ASSERT(id.valid() && id.get() < nodes_.size(), "node id out of range");
-  return nodes_[id.get()];
+Node Cluster::node(NodeId id) const {
+  const std::uint32_t i = checked(id);
+  Node n;
+  n.id = id;
+  n.cores = cores_[i];
+  n.capacity = capacity_[i];
+  n.large = large_[i] != 0;
+  n.running_job = JobId{running_job_[i]};
+  n.local_used = local_used_[i];
+  n.lent = lent_[i];
+  return n;
 }
 
-bool Cluster::can_host(NodeId id) const {
-  const Node& n = node(id);
-  return n.idle() && !n.memory_node();
+std::vector<Node> Cluster::materialize_nodes() const {
+  std::vector<Node> out;
+  out.reserve(node_count());
+  for (std::uint32_t i = 0; i < node_count(); ++i) {
+    out.push_back(node(NodeId{i}));
+  }
+  return out;
 }
 
 std::span<const NodeId> Cluster::nodes_by_capacity_at_least(
@@ -103,22 +127,71 @@ std::span<const NodeId> Cluster::nodes_by_capacity_at_least(
 // Index maintenance
 // ---------------------------------------------------------------------------
 
-void Cluster::reindex_node(const Node& n) {
-  NodeIndexState& st = index_state_[n.id.get()];
-  const MiB free = n.free();
-  const bool host = n.idle() && !n.memory_node();
+void Cluster::reindex_node(std::uint32_t i) {
+  // The old index key is the free_ column entry (what the node was last
+  // indexed under); the new one is re-derived from the occupancy columns.
+  const MiB old_free = free_[i];
+  const std::uint8_t old_bits = index_bits_[i];
+  const MiB free = capacity_[i] - local_used_[i] - lent_[i];
+  const bool mem = lent_[i] * 2 > capacity_[i];
+  const bool host = running_job_[i] == kIdle && !mem;
   const bool lendable = free > 0;
-  const bool mem_free = n.memory_node() && free > 0;
-  const FreeKey old_key{st.free, n.id.get()};
-  const FreeKey new_key{free, n.id.get()};
-  const bool moved = st.free != free;
-  if (st.in_host && (!host || moved)) host_index_.erase(old_key);
-  if (host && (!st.in_host || moved)) host_index_.insert(new_key);
-  if (st.in_free && (!lendable || moved)) free_index_.erase(old_key);
-  if (lendable && (!st.in_free || moved)) free_index_.insert(new_key);
-  if (st.in_mem_free && (!mem_free || moved)) mem_free_index_.erase(old_key);
-  if (mem_free && (!st.in_mem_free || moved)) mem_free_index_.insert(new_key);
-  st = NodeIndexState{free, host, lendable, mem_free};
+  const bool mem_free = mem && lendable;
+  const FreeKey old_key{old_free, i};
+  const FreeKey new_key{free, i};
+  const bool moved = old_free != free;
+  if ((old_bits & kInHost) && (!host || moved)) host_index_.erase(old_key);
+  if (host && (!(old_bits & kInHost) || moved)) host_index_.insert(new_key);
+  if ((old_bits & kInFree) && (!lendable || moved)) free_index_.erase(old_key);
+  if (lendable && (!(old_bits & kInFree) || moved)) free_index_.insert(new_key);
+  if ((old_bits & kInMemFree) && (!mem_free || moved)) {
+    mem_free_index_.erase(old_key);
+  }
+  if (mem_free && (!(old_bits & kInMemFree) || moved)) {
+    mem_free_index_.insert(new_key);
+  }
+  free_[i] = free;
+  mem_node_[i] = mem ? 1 : 0;
+  index_bits_[i] = static_cast<std::uint8_t>((host ? kInHost : 0) |
+                                             (lendable ? kInFree : 0) |
+                                             (mem_free ? kInMemFree : 0));
+}
+
+void Cluster::rebuild_indexes_bulk() {
+  const std::size_t n = capacity_.size();
+  free_.resize(n);
+  mem_node_.resize(n);
+  index_bits_.resize(n);
+  // One linear pass derives every column and gathers each index's keys into
+  // a flat vector; sorting those and range-constructing the sets builds each
+  // tree with O(size) comparisons (sorted-range guarantee) instead of n
+  // individual O(log n) inserts.
+  std::vector<FreeKey> host_keys;
+  std::vector<FreeKey> free_keys;
+  std::vector<FreeKey> mem_keys;
+  host_keys.reserve(n);
+  free_keys.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const MiB free = capacity_[i] - local_used_[i] - lent_[i];
+    const bool mem = lent_[i] * 2 > capacity_[i];
+    const bool host = running_job_[i] == kIdle && !mem;
+    const bool lendable = free > 0;
+    const bool mem_free = mem && lendable;
+    free_[i] = free;
+    mem_node_[i] = mem ? 1 : 0;
+    index_bits_[i] = static_cast<std::uint8_t>((host ? kInHost : 0) |
+                                               (lendable ? kInFree : 0) |
+                                               (mem_free ? kInMemFree : 0));
+    if (host) host_keys.emplace_back(free, i);
+    if (lendable) free_keys.emplace_back(free, i);
+    if (mem_free) mem_keys.emplace_back(free, i);
+  }
+  std::sort(host_keys.begin(), host_keys.end());
+  std::sort(free_keys.begin(), free_keys.end());
+  std::sort(mem_keys.begin(), mem_keys.end());
+  host_index_ = FreeIndex(host_keys.begin(), host_keys.end());
+  free_index_ = FreeIndex(free_keys.begin(), free_keys.end());
+  mem_free_index_ = FreeIndex(mem_keys.begin(), mem_keys.end());
 }
 
 void Cluster::mark_lender_dirty(NodeId id) {
@@ -156,9 +229,8 @@ void Cluster::assign_job(JobId job, std::span<const NodeId> hosts) {
   }
   std::vector<NodeId> host_list(hosts.begin(), hosts.end());
   for (NodeId h : host_list) {
-    Node& n = node_mut(h);
-    n.running_job = job;
-    reindex_node(n);
+    running_job_[h.get()] = job.get();
+    reindex_node(h.get());
     AllocationSlot slot;
     slot.job = job;
     slot.host = h;
@@ -179,23 +251,24 @@ void Cluster::finish_job(JobId job) {
     AllocationSlot& slot = sit->second;
     // Return all borrows.
     for (const auto& [lender, amount] : slot.remote) {
-      Node& ln = node_mut(lender);
-      DMSIM_ASSERT(ln.lent >= amount, "lender under-ledgered");
-      ln.lent -= amount;
+      const std::uint32_t l = lender.get();
+      DMSIM_ASSERT(lent_[l] >= amount, "lender under-ledgered");
+      lent_[l] -= amount;
       total_allocated_ -= amount;
       total_lent_ -= amount;
-      reindex_node(ln);
+      reindex_node(l);
       mark_lender_dirty(lender);
-      std::erase(borrower_index_[lender.get()], sit->first);
+      const bool removed = borrow_slab_.remove(l, sit->first.packed);
+      DMSIM_ASSERT(removed, "borrow edge missing from reverse slab");
     }
     // Release local share and the host itself.
-    Node& hn = node_mut(h);
-    DMSIM_ASSERT(hn.local_used >= slot.local, "host under-ledgered");
-    hn.local_used -= slot.local;
+    const std::uint32_t hi = h.get();
+    DMSIM_ASSERT(local_used_[hi] >= slot.local, "host under-ledgered");
+    local_used_[hi] -= slot.local;
     total_allocated_ -= slot.local;
-    DMSIM_ASSERT(hn.running_job == job, "host running a different job");
-    hn.running_job = JobId{};
-    reindex_node(hn);
+    DMSIM_ASSERT(running_job_[hi] == job.get(), "host running a different job");
+    running_job_[hi] = kIdle;
+    reindex_node(hi);
     slots_.erase(sit);
   }
   job_hosts_.erase(hit);
@@ -213,13 +286,13 @@ void Cluster::finish_job(JobId job) {
 MiB Cluster::grow_local(JobId job, NodeId host, MiB amount) {
   DMSIM_ASSERT(amount >= 0, "grow_local amount must be non-negative");
   AllocationSlot& slot = slot_mut(job, host);
-  Node& n = node_mut(host);
-  const MiB granted = std::min(amount, n.free());
+  const std::uint32_t h = host.get();
+  const MiB granted = std::min(amount, free_[h]);
   slot.local += granted;
-  n.local_used += granted;
+  local_used_[h] += granted;
   total_allocated_ += granted;
   if (granted > 0) {
-    reindex_node(n);
+    reindex_node(h);
     ++change_epoch_;
     // Remote-borrowing slots see their amount/total pressure ratios shift.
     if (!slot.remote.empty()) mark_slot_dirty(slot);
@@ -237,13 +310,13 @@ MiB Cluster::grow_local(JobId job, NodeId host, MiB amount) {
 MiB Cluster::shrink_local(JobId job, NodeId host, MiB amount) {
   DMSIM_ASSERT(amount >= 0, "shrink_local amount must be non-negative");
   AllocationSlot& slot = slot_mut(job, host);
-  Node& n = node_mut(host);
+  const std::uint32_t h = host.get();
   const MiB released = std::min(amount, slot.local);
   slot.local -= released;
-  n.local_used -= released;
+  local_used_[h] -= released;
   total_allocated_ -= released;
   if (released > 0) {
-    reindex_node(n);
+    reindex_node(h);
     ++change_epoch_;
     if (!slot.remote.empty()) mark_slot_dirty(slot);
     obs::bump(c_local_shrink_mib_, static_cast<std::uint64_t>(released));
@@ -285,7 +358,7 @@ NodeId Cluster::next_lender(NodeId exclude) const {
       const NodeId mem = first_desc(mem_free_index_, any);
       if (mem.valid()) return mem;
       return first_desc(free_index_, [this](const FreeKey& k) {
-        return !nodes_[k.second].memory_node();
+        return mem_node_[k.second] == 0;
       });
     }
   }
@@ -308,15 +381,15 @@ MiB Cluster::grow_remote(JobId job, NodeId host, MiB amount) {
   while (remaining > 0) {
     const NodeId lender = next_lender(host);
     if (!lender.valid()) break;
-    Node& ln = node_mut(lender);
-    const MiB take = std::min(remaining, ln.free());
+    const std::uint32_t l = lender.get();
+    const MiB take = std::min(remaining, free_[l]);
     DMSIM_ASSERT(take > 0, "free-index lender must have free memory");
-    ln.lent += take;
+    lent_[l] += take;
     total_allocated_ += take;
     total_lent_ += take;
     remaining -= take;
     ++lenders_touched;
-    reindex_node(ln);
+    reindex_node(l);
     // Merge into an existing edge if present.
     auto edge = std::find_if(slot.remote.begin(), slot.remote.end(),
                              [lender](const auto& e) { return e.first == lender; });
@@ -324,7 +397,7 @@ MiB Cluster::grow_remote(JobId job, NodeId host, MiB amount) {
       edge->second += take;
     } else {
       slot.remote.emplace_back(lender, take);
-      borrower_index_[lender.get()].push_back(key(job, host));
+      borrow_slab_.add(l, key(job, host).packed);
       ++edges_added;
     }
   }
@@ -368,20 +441,21 @@ MiB Cluster::shrink_remote(JobId job, NodeId host, MiB amount) {
   for (auto& [lender, borrowed] : slot.remote) {
     if (remaining == 0) break;
     const MiB give = std::min(remaining, borrowed);
-    Node& ln = node_mut(lender);
-    DMSIM_ASSERT(ln.lent >= give, "lender under-ledgered on shrink");
-    ln.lent -= give;
+    const std::uint32_t l = lender.get();
+    DMSIM_ASSERT(lent_[l] >= give, "lender under-ledgered on shrink");
+    lent_[l] -= give;
     total_allocated_ -= give;
     total_lent_ -= give;
     borrowed -= give;
     remaining -= give;
-    reindex_node(ln);
+    reindex_node(l);
     // Mark here, not via mark_slot_dirty below: a fully-returned edge is
     // erased from the slot before that call, yet its lender's pressure
     // still changed.
     mark_lender_dirty(lender);
     if (borrowed == 0) {
-      std::erase(borrower_index_[lender.get()], key(job, host));
+      const bool removed = borrow_slab_.remove(l, key(job, host).packed);
+      DMSIM_ASSERT(removed, "borrow edge missing from reverse slab");
       ++edges_removed;
     }
   }
@@ -446,8 +520,8 @@ std::vector<const AllocationSlot*> Cluster::job_slots(JobId job) const {
 void Cluster::borrowers_of(NodeId lender,
                            std::vector<BorrowEdge>& out) const {
   const std::size_t first = out.size();
-  for (const SlotKey k : borrower_index_[lender.get()]) {
-    const auto it = slots_.find(k);
+  borrow_slab_.for_each(checked(lender), [&](std::uint64_t packed) {
+    const auto it = slots_.find(SlotKey{packed});
     DMSIM_ASSERT(it != slots_.end(), "reverse index points at a dead slot");
     const AllocationSlot& slot = it->second;
     for (const auto& [from, amount] : slot.remote) {
@@ -457,7 +531,7 @@ void Cluster::borrowers_of(NodeId lender,
         break;  // edges are merged: at most one per lender
       }
     }
-  }
+  });
   // Canonical order: borrower job id ascending, then the host's position in
   // the job's assignment. This matches a job-id-ordered walk of each job's
   // slots, which the incremental contention refresh relies on for
@@ -484,9 +558,13 @@ std::vector<Cluster::BorrowEdge> Cluster::borrowers_of(NodeId lender) const {
 // ---------------------------------------------------------------------------
 
 void Cluster::check_invariants() const {
-  std::vector<MiB> local(nodes_.size(), 0);
-  std::vector<MiB> lent(nodes_.size(), 0);
-  std::vector<std::size_t> borrow_edges(nodes_.size(), 0);
+  const std::size_t n = node_count();
+  std::vector<MiB> local(n, 0);
+  std::vector<MiB> lent(n, 0);
+  // Every (lender, slot-key) borrow pair implied by the slots, to compare
+  // against the reverse slab wholesale (sort + one linear scan) instead of
+  // probing the slab once per edge.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> expected_edges;
   MiB allocated = 0;
   for (const auto& [k, slot] : slots_) {
     (void)k;
@@ -498,56 +576,110 @@ void Cluster::check_invariants() const {
       DMSIM_ASSERT(lender != slot.host, "self-borrow edge");
       lent[lender.get()] += amount;
       allocated += amount;
-      ++borrow_edges[lender.get()];
-      // The reverse index must hold exactly this slot under the lender.
-      const auto& rev = borrower_index_[lender.get()];
-      DMSIM_ASSERT(std::count(rev.begin(), rev.end(), key(slot.job, slot.host)) == 1,
-                   "borrow edge missing from (or duplicated in) reverse index");
+      expected_edges.emplace_back(lender.get(),
+                                  key(slot.job, slot.host).packed);
     }
-    DMSIM_ASSERT(node(slot.host).running_job == slot.job,
+    DMSIM_ASSERT(running_job_[slot.host.get()] == slot.job.get(),
                  "slot host not running the slot's job");
   }
+  // Reverse slab must hold exactly the implied edge set (each edge once).
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> actual_edges;
+  actual_edges.reserve(expected_edges.size());
+  for (std::uint32_t l = 0; l < n; ++l) {
+    std::size_t row = 0;
+    borrow_slab_.for_each(l, [&](std::uint64_t packed) {
+      actual_edges.emplace_back(l, packed);
+      ++row;
+    });
+    DMSIM_ASSERT(row == borrow_slab_.degree[l],
+                 "reverse slab degree disagrees with its row");
+  }
+  std::sort(expected_edges.begin(), expected_edges.end());
+  std::sort(actual_edges.begin(), actual_edges.end());
+  DMSIM_ASSERT(expected_edges == actual_edges,
+               "reverse slab disagrees with live borrow edges");
+  DMSIM_ASSERT(borrow_slab_.live == expected_edges.size(),
+               "reverse slab live count out of sync");
+
+  // One cache-linear pass over the columns: occupancy sums, bounds, and the
+  // derived free/memory-node/membership columns.
   std::size_t host_entries = 0;
   std::size_t free_entries = 0;
   std::size_t mem_free_entries = 0;
-  for (const auto& n : nodes_) {
-    DMSIM_ASSERT(n.local_used == local[n.id.get()],
+  MiB lent_total = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    DMSIM_ASSERT(local_used_[i] == local[i],
                  "node local_used disagrees with slots");
-    DMSIM_ASSERT(n.lent == lent[n.id.get()], "node lent disagrees with edges");
-    DMSIM_ASSERT(n.local_used + n.lent <= n.capacity, "node over-committed");
-    DMSIM_ASSERT(n.local_used >= 0 && n.lent >= 0, "negative ledger entry");
-    DMSIM_ASSERT(borrower_index_[n.id.get()].size() == borrow_edges[n.id.get()],
-                 "reverse index size disagrees with live edges");
-    // Each free-memory index must hold the node iff its predicate holds,
-    // keyed by the node's current free value.
-    const NodeIndexState& st = index_state_[n.id.get()];
-    DMSIM_ASSERT(st.free == n.free(), "cached index key out of date");
-    const FreeKey k{n.free(), n.id.get()};
-    const bool host = n.idle() && !n.memory_node();
-    const bool lendable = n.free() > 0;
-    const bool mem_free = n.memory_node() && n.free() > 0;
-    DMSIM_ASSERT(st.in_host == host && host_index_.contains(k) == host,
-                 "host index disagrees with node state");
-    DMSIM_ASSERT(st.in_free == lendable && free_index_.contains(k) == lendable,
-                 "free index disagrees with node state");
-    DMSIM_ASSERT(
-        st.in_mem_free == mem_free && mem_free_index_.contains(k) == mem_free,
-        "memory-node free index disagrees with node state");
+    DMSIM_ASSERT(lent_[i] == lent[i], "node lent disagrees with edges");
+    DMSIM_ASSERT(local_used_[i] + lent_[i] <= capacity_[i],
+                 "node over-committed");
+    DMSIM_ASSERT(local_used_[i] >= 0 && lent_[i] >= 0,
+                 "negative ledger entry");
+    const MiB free = capacity_[i] - local_used_[i] - lent_[i];
+    const bool mem = lent_[i] * 2 > capacity_[i];
+    const bool host = running_job_[i] == kIdle && !mem;
+    const bool lendable = free > 0;
+    const bool mem_free = mem && lendable;
+    DMSIM_ASSERT(free_[i] == free, "free column out of date");
+    DMSIM_ASSERT((mem_node_[i] != 0) == mem, "memory-node column out of date");
+    const std::uint8_t bits = static_cast<std::uint8_t>(
+        (host ? kInHost : 0) | (lendable ? kInFree : 0) |
+        (mem_free ? kInMemFree : 0));
+    DMSIM_ASSERT(index_bits_[i] == bits,
+                 "index membership bits disagree with node state");
     host_entries += host ? 1 : 0;
     free_entries += lendable ? 1 : 0;
     mem_free_entries += mem_free ? 1 : 0;
+    lent_total += lent_[i];
   }
-  DMSIM_ASSERT(host_index_.size() == host_entries,
-               "host index holds stale entries");
-  DMSIM_ASSERT(free_index_.size() == free_entries,
-               "free index holds stale entries");
-  DMSIM_ASSERT(mem_free_index_.size() == mem_free_entries,
-               "memory-node free index holds stale entries");
+  // Each ordered index: every entry it holds must be a node whose membership
+  // bit is set, keyed by that node's current free value; together with the
+  // per-node bit counts matching the set sizes, this proves membership is
+  // exact (no per-node tree probes needed).
+  const auto check_index = [&](const FreeIndex& index, std::uint8_t bit,
+                               std::size_t expected,
+                               const char* what) {
+    DMSIM_ASSERT(index.size() == expected, what);
+    for (const FreeKey& k : index) {
+      DMSIM_ASSERT(k.second < n && (index_bits_[k.second] & bit) != 0 &&
+                       free_[k.second] == k.first,
+                   what);
+    }
+  };
+  check_index(host_index_, kInHost, host_entries,
+              "host index disagrees with node state");
+  check_index(free_index_, kInFree, free_entries,
+              "free index disagrees with node state");
+  check_index(mem_free_index_, kInMemFree, mem_free_entries,
+              "memory-node free index disagrees with node state");
   DMSIM_ASSERT(allocated == total_allocated_,
                "aggregate allocation counter out of sync");
-  MiB lent_total = 0;
-  for (const auto& n : nodes_) lent_total += n.lent;
   DMSIM_ASSERT(lent_total == total_lent_, "aggregate lent counter out of sync");
+  if (debug_parity_) check_node_view_parity();
+}
+
+void Cluster::check_node_view_parity() const {
+  // The legacy AoS materialization recomputes free()/memory_node()/idle()
+  // from first principles; every derived column and predicate accessor must
+  // agree with it node for node.
+  const std::vector<Node> view = materialize_nodes();
+  DMSIM_ASSERT(view.size() == node_count(),
+               "materialized view size disagrees with node count");
+  for (const Node& v : view) {
+    const NodeId id = v.id;
+    const std::uint32_t i = id.get();
+    DMSIM_ASSERT(v.free() == free_[i], "view free() disagrees with column");
+    DMSIM_ASSERT(v.memory_node() == (mem_node_[i] != 0),
+                 "view memory_node() disagrees with column");
+    DMSIM_ASSERT(v.idle() == is_idle(id),
+                 "view idle() disagrees with accessor");
+    DMSIM_ASSERT(v.capacity == capacity_of(id) && v.local_used == local_used_of(id) &&
+                     v.lent == lent_of(id) && v.cores == cores_of(id) &&
+                     v.large == is_large(id),
+                 "view fields disagree with column accessors");
+    DMSIM_ASSERT(can_host(id) == (v.idle() && !v.memory_node()),
+                 "can_host() disagrees with view predicates");
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -561,12 +693,13 @@ constexpr std::uint32_t kClusterSection =
 
 void Cluster::save_state(snapshot::Writer& writer) const {
   writer.section(kClusterSection);
-  writer.u32(static_cast<std::uint32_t>(nodes_.size()));
-  for (const Node& n : nodes_) {
-    writer.u32(n.running_job.get());
-    writer.i64(n.local_used);
-    writer.i64(n.lent);
-  }
+  writer.u32(static_cast<std::uint32_t>(node_count()));
+  // v3 layout: whole columns back to back (all running_job, then all
+  // local_used, then all lent) — the serializer walks each array linearly,
+  // and a restore can bulk-load straight into the columns.
+  for (const std::uint32_t rj : running_job_) writer.u32(rj);
+  for (const MiB lu : local_used_) writer.i64(lu);
+  for (const MiB le : lent_) writer.i64(le);
 
   // Jobs in id order (unordered_map iteration order is not reproducible);
   // each job's hosts in assignment order, each slot's borrow edges in their
@@ -602,9 +735,11 @@ void Cluster::save_state(snapshot::Writer& writer) const {
   writer.u64(change_epoch_);
 }
 
-void Cluster::restore_state(snapshot::Reader& reader) {
+void Cluster::restore_state(snapshot::Reader& reader,
+                            std::uint32_t format_version) {
   reader.expect_section(kClusterSection, "cluster");
-  if (reader.u32() != nodes_.size()) {
+  const std::size_t n = node_count();
+  if (reader.u32() != n) {
     throw snapshot::SnapshotError(
         "snapshot: node count mismatch — different cluster configuration");
   }
@@ -612,27 +747,34 @@ void Cluster::restore_state(snapshot::Reader& reader) {
   // Wipe all mutable state back to the empty ledger.
   slots_.clear();
   job_hosts_.clear();
-  for (auto& edges : borrower_index_) edges.clear();
-  host_index_.clear();
-  free_index_.clear();
-  mem_free_index_.clear();
-  index_state_.assign(nodes_.size(), NodeIndexState{});
+  borrow_slab_.init(n);
   dirty_lenders_.clear();
   dirty_jobs_.clear();
-  lender_dirty_flag_.assign(nodes_.size(), 0);
+  lender_dirty_flag_.assign(n, 0);
 
-  for (Node& n : nodes_) {
-    n.running_job = JobId{reader.u32()};
-    n.local_used = reader.i64();
-    n.lent = reader.i64();
-    if (n.local_used < 0 || n.lent < 0 ||
-        n.local_used + n.lent > n.capacity) {
+  if (format_version >= 3) {
+    // Columnar layout: each occupancy column stored contiguously.
+    for (std::uint32_t i = 0; i < n; ++i) running_job_[i] = reader.u32();
+    for (std::uint32_t i = 0; i < n; ++i) local_used_[i] = reader.i64();
+    for (std::uint32_t i = 0; i < n; ++i) lent_[i] = reader.i64();
+  } else {
+    // v2 layout: one interleaved (running_job, local_used, lent) record per
+    // node.
+    for (std::uint32_t i = 0; i < n; ++i) {
+      running_job_[i] = reader.u32();
+      local_used_[i] = reader.i64();
+      lent_[i] = reader.i64();
+    }
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (local_used_[i] < 0 || lent_[i] < 0 ||
+        local_used_[i] + lent_[i] > capacity_[i]) {
       throw snapshot::SnapshotError("snapshot: node ledger out of range");
     }
   }
-  // index_state_ is zeroed and the indexes are empty, so reindexing from
-  // scratch inserts exactly the memberships the restored state implies.
-  for (const Node& n : nodes_) reindex_node(n);
+  // Derived columns and all three ordered indexes come back in one bulk
+  // pass over the restored occupancy columns.
+  rebuild_indexes_bulk();
 
   const std::uint32_t n_jobs = reader.u32();
   for (std::uint32_t j = 0; j < n_jobs; ++j) {
@@ -645,7 +787,7 @@ void Cluster::restore_state(snapshot::Reader& reader) {
     hosts.reserve(n_hosts);
     for (std::uint32_t k_ = 0; k_ < n_hosts; ++k_) {
       const std::uint32_t host = reader.u32();
-      if (host >= nodes_.size() || nodes_[host].running_job.get() != job) {
+      if (host >= n || running_job_[host] != job) {
         throw snapshot::SnapshotError(
             "snapshot: slot host is not running the slot's job");
       }
@@ -662,11 +804,11 @@ void Cluster::restore_state(snapshot::Reader& reader) {
       for (std::uint32_t e = 0; e < n_edges; ++e) {
         const std::uint32_t lender = reader.u32();
         const MiB amount = reader.i64();
-        if (lender >= nodes_.size() || lender == host || amount <= 0) {
+        if (lender >= n || lender == host || amount <= 0) {
           throw snapshot::SnapshotError("snapshot: invalid borrow edge");
         }
         slot.remote.emplace_back(NodeId{lender}, amount);
-        borrower_index_[lender].push_back(key(JobId{job}, NodeId{host}));
+        borrow_slab_.add(lender, key(JobId{job}, NodeId{host}).packed);
       }
       if (!slots_.emplace(key(JobId{job}, NodeId{host}), std::move(slot))
                .second) {

@@ -16,17 +16,31 @@
 // counters consistent; `check_invariants()` revalidates the full ledger and
 // is exercised heavily by the test suite.
 //
+// Storage layout: the ledger is a structure of arrays. Each per-node
+// attribute (capacity, local share, lent, derived free, running job, the
+// memory-node flag) lives in its own contiguous column indexed by node id,
+// so full-ledger scans — invariant sweeps, slowdown evaluation, snapshot
+// serialization, the scale_sweep probes — touch only the columns they need
+// and stay cache-linear at 100k-1M nodes, where the former vector<Node> of
+// fat per-node objects paid a full struct line per probe. The public
+// `Node` type remains as a *value view*: `node(id)` materializes one from
+// the columns, and `nodes()` yields views, so existing callers compile
+// unchanged. Hot paths use the `*_of()` column accessors instead, which
+// read exactly one array element.
+//
 // Scalability: every mutation maintains three ordered free-memory indexes
 // (hostable nodes, lendable nodes, lendable memory nodes) plus a reverse
-// lender -> borrow-edge index, so host selection, lender ordering,
-// `idle_hostable_nodes()` and `borrowers_of()` never rescan all nodes or all
-// slots. The indexes are keyed (free asc, id asc); descending-free orders
-// are produced by walking equal-free buckets back to front, which reproduces
-// the exact (free desc, id asc) order of the former sort-based comparators.
+// lender -> borrow-edge slab (a CSR-style flat edge pool with per-lender
+// rows), so host selection, lender ordering, `idle_hostable_nodes()` and
+// `borrowers_of()` never rescan all nodes or all slots. The indexes are
+// keyed (free asc, id asc); descending-free orders are produced by walking
+// equal-free buckets back to front, which reproduces the exact
+// (free desc, id asc) order of the former sort-based comparators.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <iterator>
 #include <set>
 #include <span>
 #include <unordered_map>
@@ -69,6 +83,11 @@ struct ClusterConfig {
                                                 int large_count, MiB large_mib,
                                                 int cores = 32);
 
+/// Read-only *value view* of one node, materialized from the ledger columns
+/// by `Cluster::node()` / `Cluster::nodes()`. It carries the same fields the
+/// former stored per-node struct had, so query-side callers are layout-
+/// agnostic. Views are snapshots: a view taken before a mutation does not
+/// observe it.
 struct Node {
   NodeId id{};
   int cores = 0;
@@ -108,6 +127,9 @@ struct AllocationSlot {
 
 class Cluster {
  public:
+  class NodeIterator;
+  class NodeView;
+
   explicit Cluster(ClusterConfig config);
 
   /// Wire observability: trace ledger churn (lend/reclaim, slot grow/shrink)
@@ -115,9 +137,14 @@ class Cluster {
   void set_observer(const obs::Observer* observer);
 
   // --- topology / aggregate queries -------------------------------------
-  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
-  [[nodiscard]] const Node& node(NodeId id) const;
-  [[nodiscard]] std::span<const Node> nodes() const noexcept { return nodes_; }
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return capacity_.size();
+  }
+  /// Materialize the value view of one node from the columns.
+  [[nodiscard]] Node node(NodeId id) const;
+  /// Iterable range of node views (ascending id). Prefer the column
+  /// accessors below on hot paths — a view materializes every attribute.
+  [[nodiscard]] NodeView nodes() const noexcept;
   [[nodiscard]] MiB total_capacity() const noexcept { return total_capacity_; }
   [[nodiscard]] MiB total_allocated() const noexcept { return total_allocated_; }
   [[nodiscard]] MiB total_free() const noexcept {
@@ -133,6 +160,61 @@ class Cluster {
     return config_.lender_policy;
   }
 
+  // --- single-column accessors (one array read each; hot-path safe) -------
+  [[nodiscard]] MiB capacity_of(NodeId id) const {
+    return capacity_[checked(id)];
+  }
+  [[nodiscard]] MiB local_used_of(NodeId id) const {
+    return local_used_[checked(id)];
+  }
+  [[nodiscard]] MiB lent_of(NodeId id) const { return lent_[checked(id)]; }
+  [[nodiscard]] MiB free_of(NodeId id) const { return free_[checked(id)]; }
+  [[nodiscard]] int cores_of(NodeId id) const { return cores_[checked(id)]; }
+  [[nodiscard]] bool is_large(NodeId id) const {
+    return large_[checked(id)] != 0;
+  }
+  [[nodiscard]] JobId running_job_of(NodeId id) const {
+    return JobId{running_job_[checked(id)]};
+  }
+  [[nodiscard]] bool is_idle(NodeId id) const {
+    return running_job_[checked(id)] == NodeId::kInvalid;
+  }
+  [[nodiscard]] bool is_memory_node(NodeId id) const {
+    return mem_node_[checked(id)] != 0;
+  }
+
+  // --- whole-column spans (SoA scan surface) ------------------------------
+  // Contiguous, indexed by node id. `free_column()[i]` is maintained
+  // incrementally (== capacity - local_used - lent at all times), so a
+  // full-ledger probe like "count hostable nodes with free >= X" is a
+  // branch-light linear scan over two or three columns.
+  [[nodiscard]] std::span<const MiB> capacity_column() const noexcept {
+    return capacity_;
+  }
+  [[nodiscard]] std::span<const MiB> local_used_column() const noexcept {
+    return local_used_;
+  }
+  [[nodiscard]] std::span<const MiB> lent_column() const noexcept {
+    return lent_;
+  }
+  [[nodiscard]] std::span<const MiB> free_column() const noexcept {
+    return free_;
+  }
+  [[nodiscard]] std::span<const std::uint32_t> running_job_column()
+      const noexcept {
+    return running_job_;
+  }
+  /// 1 where lent*2 > capacity (derived, maintained incrementally).
+  [[nodiscard]] std::span<const std::uint8_t> memory_node_column()
+      const noexcept {
+    return mem_node_;
+  }
+
+  /// Materialize the legacy array-of-structs per-node view. Used by the
+  /// debug parity checker and the retained *Legacy scan benchmarks; never
+  /// on a production path.
+  [[nodiscard]] std::vector<Node> materialize_nodes() const;
+
   /// Monotonic counter bumped by every mutation that changes ledger state
   /// (assignment, completion, any grow/shrink that moved memory). A policy
   /// decision is a pure function of ledger state, so an unchanged epoch
@@ -143,7 +225,10 @@ class Cluster {
   }
 
   /// True if the node is idle and not a memory node (may accept a job).
-  [[nodiscard]] bool can_host(NodeId id) const;
+  [[nodiscard]] bool can_host(NodeId id) const {
+    const std::uint32_t i = checked(id);
+    return running_job_[i] == NodeId::kInvalid && mem_node_[i] == 0;
+  }
 
   // --- ordered-index queries (policy/scheduler hot paths) -----------------
   /// Nodes with capacity >= `capacity`, ordered (capacity asc, id asc).
@@ -213,7 +298,7 @@ class Cluster {
   };
   /// Append `lender`'s borrow edges to `out` in canonical order: ascending
   /// borrower job id, then the host's position in the job's assignment.
-  /// O(edges of this lender) via the reverse index.
+  /// O(edges of this lender) via the reverse slab.
   void borrowers_of(NodeId lender, std::vector<BorrowEdge>& out) const;
   [[nodiscard]] std::vector<BorrowEdge> borrowers_of(NodeId lender) const;
 
@@ -232,22 +317,39 @@ class Cluster {
   void clear_contention_dirty();
 
   /// Full-ledger consistency check (including every incremental index);
-  /// aborts (DMSIM_ASSERT) on violation.
+  /// aborts (DMSIM_ASSERT) on violation. One cache-linear pass over the
+  /// columns plus one walk of each ordered index — no per-node tree probes.
   void check_invariants() const;
 
-  /// Serialize mutable ledger state: per-node occupancy, every job's hosts
-  /// and slots (borrow edges in their exact merged order — grow_remote
-  /// merges into existing edges positionally, so order is state), aggregate
-  /// totals and the change epoch. Topology (capacities, lender policy) is
-  /// NOT serialized; the checkpoint layer fingerprints it instead.
+  /// Cross-check the materialized per-node view against the columns:
+  /// free()/memory_node()/idle() recomputed from a legacy AoS
+  /// materialization must agree with the free/mem-node columns and
+  /// can_host() for every node. Cheap insurance that the SoA refactor and
+  /// the value-view stay in lockstep; called from check_invariants() when
+  /// parity checking is enabled (default: debug builds only).
+  void check_node_view_parity() const;
+
+  /// Enable/disable the per-invariant-check view parity sweep at runtime
+  /// (the fuzz harnesses force it on in every build type).
+  void set_debug_parity(bool enabled) noexcept { debug_parity_ = enabled; }
+
+  /// Serialize mutable ledger state: per-node occupancy columns, every
+  /// job's hosts and slots (borrow edges in their exact merged order —
+  /// grow_remote merges into existing edges positionally, so order is
+  /// state), aggregate totals and the change epoch. Topology (capacities,
+  /// lender policy) is NOT serialized; the checkpoint layer fingerprints it
+  /// instead. Writes the v3 (columnar) layout.
   void save_state(snapshot::Writer& writer) const;
 
   /// Rebuild ledger state from save_state bytes onto this (identically
-  /// configured) cluster. The incremental free-memory indexes and the
-  /// reverse borrow index are rebuilt from the restored state, contention
+  /// configured) cluster. `format_version` is the enclosing snapshot
+  /// version: 2 reads the legacy interleaved per-node layout, >= 3 the
+  /// columnar layout. The incremental free-memory indexes and the reverse
+  /// borrow slab are rebuilt in one bulk pass from the restored columns
+  /// (sort + linear set build, not n individual tree inserts), contention
   /// dirty sets are cleared (the scheduler resets its slowdown cache to a
   /// full rebuild), and check_invariants() validates the result.
-  void restore_state(snapshot::Reader& reader);
+  void restore_state(snapshot::Reader& reader, std::uint32_t format_version = 3);
 
  private:
   struct SlotKey {
@@ -269,17 +371,85 @@ class Cluster {
     return NodeId{static_cast<std::uint32_t>(k.packed & 0xffffffffu)};
   }
 
+  [[nodiscard]] std::uint32_t checked(NodeId id) const;
+
   /// (free MiB, node id): the ordered-set key of every free-memory index.
   using FreeKey = std::pair<MiB, std::uint32_t>;
   using FreeIndex = std::set<FreeKey>;
 
-  /// The index memberships a node held when last reindexed; reindex_node()
-  /// diffs against it so each mutation erases/inserts only what moved.
-  struct NodeIndexState {
-    MiB free = 0;
-    bool in_host = false;      ///< host_index_: idle and not a memory node
-    bool in_free = false;      ///< free_index_: free() > 0 (lending candidate)
-    bool in_mem_free = false;  ///< mem_free_index_: memory node with free() > 0
+  /// Index-membership bits a node held when last reindexed; reindex_node()
+  /// diffs against them so each mutation erases/inserts only what moved.
+  /// The key it was indexed under is the free_ column entry (reindex_node
+  /// updates both together).
+  static constexpr std::uint8_t kInHost = 1;      ///< host_index_: idle, not a memory node
+  static constexpr std::uint8_t kInFree = 2;      ///< free_index_: free() > 0
+  static constexpr std::uint8_t kInMemFree = 4;   ///< mem_free_index_: memory node, free() > 0
+
+  /// Reverse lender -> borrow-edge index: a CSR-style edge slab. All edges
+  /// of all lenders live in one flat entry pool; each lender's row is a
+  /// singly-linked chain through the pool (head_[lender]), and freed
+  /// entries recycle through a free list. Compared with the former
+  /// vector<vector<SlotKey>>, rows cost no per-lender heap allocation and
+  /// the whole structure is two contiguous arrays plus the pool.
+  struct BorrowSlab {
+    static constexpr std::uint32_t kNil = 0xffffffffu;
+    struct Entry {
+      std::uint64_t key = 0;       ///< packed (job, host) slot key
+      std::uint32_t next = kNil;   ///< next edge of the same lender
+    };
+    std::vector<Entry> pool;
+    std::vector<std::uint32_t> head;    ///< per lender: first edge or kNil
+    std::vector<std::uint32_t> degree;  ///< per lender: live edge count
+    std::uint32_t free_head = kNil;
+    std::size_t live = 0;
+
+    void init(std::size_t lenders) {
+      pool.clear();
+      head.assign(lenders, kNil);
+      degree.assign(lenders, 0);
+      free_head = kNil;
+      live = 0;
+    }
+    void add(std::uint32_t lender, std::uint64_t key) {
+      std::uint32_t slot;
+      if (free_head != kNil) {
+        slot = free_head;
+        free_head = pool[slot].next;
+      } else {
+        slot = static_cast<std::uint32_t>(pool.size());
+        pool.emplace_back();
+      }
+      pool[slot].key = key;
+      pool[slot].next = head[lender];
+      head[lender] = slot;
+      ++degree[lender];
+      ++live;
+    }
+    /// Unlink the (unique) entry holding `key` under `lender`.
+    /// Returns false if absent (callers assert).
+    bool remove(std::uint32_t lender, std::uint64_t key) {
+      std::uint32_t* link = &head[lender];
+      while (*link != kNil) {
+        Entry& e = pool[*link];
+        if (e.key == key) {
+          const std::uint32_t dead = *link;
+          *link = e.next;
+          e.next = free_head;
+          free_head = dead;
+          --degree[lender];
+          --live;
+          return true;
+        }
+        link = &e.next;
+      }
+      return false;
+    }
+    template <typename Fn>
+    void for_each(std::uint32_t lender, Fn&& fn) const {
+      for (std::uint32_t it = head[lender]; it != kNil; it = pool[it].next) {
+        fn(pool[it].key);
+      }
+    }
   };
 
   /// Walk `[index.begin(), end)` in descending-free order, visiting equal-
@@ -300,11 +470,18 @@ class Cluster {
     }
   }
 
-  [[nodiscard]] Node& node_mut(NodeId id);
   [[nodiscard]] AllocationSlot& slot_mut(JobId job, NodeId host);
 
-  /// Re-derive `n`'s index memberships after a mutation.
-  void reindex_node(const Node& n);
+  /// Re-derive node `i`'s free value, memory-node flag and index
+  /// memberships after a mutation of its local_used_/lent_/running_job_
+  /// columns.
+  void reindex_node(std::uint32_t i);
+  /// Rebuild free_, mem_node_, membership bits and all three ordered
+  /// indexes from the capacity/local_used/lent/running_job columns in one
+  /// bulk pass: gather keys per index, sort each flat key vector, then
+  /// range-construct the sets linearly — instead of n individual O(log n)
+  /// tree inserts.
+  void rebuild_indexes_bulk();
   void mark_lender_dirty(NodeId id);
   void mark_job_dirty(JobId job) { dirty_jobs_.push_back(job); }
   /// Mark the job and every lender of `slot` dirty: the slot's total moved,
@@ -319,7 +496,21 @@ class Cluster {
   [[nodiscard]] NodeId next_lender(NodeId exclude) const;
 
   ClusterConfig config_;
-  std::vector<Node> nodes_;
+
+  // --- structure-of-arrays ledger columns (index = node id) ---------------
+  // Immutable topology columns:
+  std::vector<MiB> capacity_;
+  std::vector<std::int32_t> cores_;
+  std::vector<std::uint8_t> large_;
+  // Mutable occupancy columns:
+  std::vector<std::uint32_t> running_job_;  ///< JobId raw; kInvalid when idle
+  std::vector<MiB> local_used_;
+  std::vector<MiB> lent_;
+  // Derived columns, maintained by reindex_node():
+  std::vector<MiB> free_;               ///< capacity - local_used - lent
+  std::vector<std::uint8_t> mem_node_;  ///< 1 iff lent*2 > capacity
+  std::vector<std::uint8_t> index_bits_;  ///< kInHost|kInFree|kInMemFree
+
   std::unordered_map<SlotKey, AllocationSlot, SlotKeyHash> slots_;
   std::unordered_map<std::uint32_t, std::vector<NodeId>> job_hosts_;
   MiB total_capacity_ = 0;
@@ -330,17 +521,22 @@ class Cluster {
   FreeIndex host_index_;
   FreeIndex free_index_;
   FreeIndex mem_free_index_;
-  std::vector<NodeIndexState> index_state_;
   std::vector<NodeId> nodes_by_capacity_;  ///< static (capacity asc, id asc)
   std::vector<MiB> capacities_sorted_;     ///< capacities in the same order
-  /// Reverse borrow index: lender -> slot keys holding a live edge to it.
-  std::vector<std::vector<SlotKey>> borrower_index_;
+  BorrowSlab borrow_slab_;  ///< reverse borrow index (lender -> slot keys)
   std::uint64_t change_epoch_ = 0;
 
   // Contention dirty sets (consumed via clear_contention_dirty()).
   std::vector<NodeId> dirty_lenders_;
   std::vector<JobId> dirty_jobs_;
   std::vector<std::uint8_t> lender_dirty_flag_;
+
+  bool debug_parity_ =
+#ifdef NDEBUG
+      false;
+#else
+      true;
+#endif
 
   // Observability (all nullptr when disabled).
   const obs::Observer* obs_ = nullptr;
@@ -363,5 +559,59 @@ class Cluster {
   /// spread across many lenders creates many edges to reclaim later.
   obs::Histogram* h_lenders_per_grow_ = nullptr;
 };
+
+/// Forward iterator over node value views (ascending id).
+class Cluster::NodeIterator {
+ public:
+  using iterator_category = std::input_iterator_tag;
+  using value_type = Node;
+  using difference_type = std::ptrdiff_t;
+  using pointer = void;
+  using reference = Node;
+
+  NodeIterator() = default;
+  NodeIterator(const Cluster* c, std::uint32_t i) noexcept : c_(c), i_(i) {}
+
+  [[nodiscard]] Node operator*() const { return c_->node(NodeId{i_}); }
+  NodeIterator& operator++() noexcept {
+    ++i_;
+    return *this;
+  }
+  NodeIterator operator++(int) noexcept {
+    NodeIterator t = *this;
+    ++i_;
+    return t;
+  }
+  friend bool operator==(const NodeIterator& a, const NodeIterator& b) noexcept {
+    return a.i_ == b.i_;
+  }
+
+ private:
+  const Cluster* c_ = nullptr;
+  std::uint32_t i_ = 0;
+};
+
+/// Range of node value views. `for (const auto& n : cluster.nodes())`
+/// behaves exactly as it did over the former stored-node span (each `n` is
+/// a materialized snapshot).
+class Cluster::NodeView {
+ public:
+  explicit NodeView(const Cluster* c) noexcept : c_(c) {}
+  [[nodiscard]] NodeIterator begin() const noexcept {
+    return NodeIterator{c_, 0};
+  }
+  [[nodiscard]] NodeIterator end() const noexcept {
+    return NodeIterator{c_, static_cast<std::uint32_t>(c_->node_count())};
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return c_->node_count(); }
+  [[nodiscard]] bool empty() const noexcept { return c_->node_count() == 0; }
+
+ private:
+  const Cluster* c_;
+};
+
+inline Cluster::NodeView Cluster::nodes() const noexcept {
+  return NodeView{this};
+}
 
 }  // namespace dmsim::cluster

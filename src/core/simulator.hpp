@@ -87,6 +87,9 @@ class Simulator {
   [[nodiscard]] const cluster::Cluster& cluster() const noexcept {
     return *cluster_;
   }
+  /// Mutable ledger access for harness-level toggles (debug parity sweeps);
+  /// production callers mutate the cluster only through the scheduler.
+  [[nodiscard]] cluster::Cluster& cluster() noexcept { return *cluster_; }
   [[nodiscard]] const sched::Scheduler& scheduler() const noexcept {
     return *scheduler_;
   }

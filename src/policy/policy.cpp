@@ -88,7 +88,7 @@ bool BaselinePolicy::try_start(const trace::JobSpec& spec,
   // that order, so take the first num_nodes idle entries.
   hosts_.clear();
   for (NodeId id : cluster.nodes_by_capacity_at_least(spec.requested_mem)) {
-    if (!cluster.node(id).idle()) continue;
+    if (!cluster.is_idle(id)) continue;
     hosts_.push_back(id);
     if (std::cmp_equal(hosts_.size(), spec.num_nodes)) break;
   }

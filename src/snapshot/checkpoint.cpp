@@ -21,7 +21,11 @@ namespace {
 
 constexpr std::string_view kMagic = "DMSIMSNP";
 // v2: the counters section gained histogram and time-series state.
-constexpr std::uint32_t kVersion = 2;
+// v3: the cluster section stores the occupancy ledger as whole columns
+//     (all running_job, then all local_used, then all lent) instead of one
+//     interleaved record per node. v2 snapshots remain readable.
+constexpr std::uint32_t kVersion = 3;
+constexpr std::uint32_t kMinVersion = 2;
 constexpr std::uint32_t kCountersSection = section_tag('C', 'N', 'T', 'R');
 constexpr std::uint32_t kEndSection = section_tag('E', 'N', 'D', '.');
 
@@ -173,10 +177,12 @@ void Stats::publish(obs::Counters& registry) const {
 std::uint64_t config_fingerprint(const Components& components) {
   check_components(components);
   Writer w;
-  // Cluster topology + lender policy.
-  const std::span<const cluster::Node> nodes = components.cluster->nodes();
-  w.u32(static_cast<std::uint32_t>(nodes.size()));
-  for (const cluster::Node& n : nodes) {
+  // Cluster topology + lender policy. Byte-for-byte the same hash input as
+  // before the columnar ledger: node count, then (capacity, cores, large)
+  // per node in id order — so v2-era fingerprints keep matching.
+  const cluster::Cluster& cl = *components.cluster;
+  w.u32(static_cast<std::uint32_t>(cl.node_count()));
+  for (const cluster::Node& n : cl.nodes()) {
     w.i64(n.capacity);
     w.i64(n.cores);
     w.boolean(n.large);
@@ -254,9 +260,10 @@ void restore_bytes(std::string_view bytes, const Components& components) {
     }
   }
   const std::uint32_t version = header.u32();
-  if (version != kVersion) {
+  if (version < kMinVersion || version > kVersion) {
     throw SnapshotError("snapshot: unsupported version " +
                         std::to_string(version) + " (expected " +
+                        std::to_string(kMinVersion) + ".." +
                         std::to_string(kVersion) + ")");
   }
   const std::uint64_t fingerprint = header.u64();
@@ -283,7 +290,7 @@ void restore_bytes(std::string_view bytes, const Components& components) {
 
   Reader r(payload);
   components.engine->restore_state(r);
-  components.cluster->restore_state(r);
+  components.cluster->restore_state(r, version);
   components.scheduler->restore_state(r);
   restore_counters_section(r, components.counters);
   r.expect_section(kEndSection, "end");

@@ -1,0 +1,63 @@
+// exa-Grizzly: deterministic scaling of the Grizzly system + trace to
+// arbitrary node counts (10k / 100k / 1M and anything in between).
+//
+// The paper tops out at Grizzly scale (1490 nodes, one simulated system of
+// 1024 x 64 GiB + 466 x 128 GiB nodes); the roadmap's north star is 100k-1M
+// nodes. This module scales both halves of the experiment:
+//
+//   * topology: a cluster of `target_nodes` nodes preserving the paper's
+//     normal:large mix ratio (1024:466) and capacities, and
+//   * workload: one simulated week whose arrival process is K independent
+//     Grizzly-week replicas (K = ceil(target / 1490)), each drawn through
+//     the same detail::draw_week_jobs generator under a distinct child seed,
+//     merged by arrival time. Load therefore scales linearly with the node
+//     count while every per-job marginal (size classes, runtimes, Table-2
+//     memory peaks) matches the original trace.
+//
+// Everything is a pure function of the config: the same (target_nodes, seed)
+// always produces byte-identical topology and jobs, across calls and across
+// thread counts — the property the scale_sweep golden tests pin.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "trace/job_spec.hpp"
+#include "workload/grizzly.hpp"
+
+namespace dmsim::workload {
+
+struct ExaGrizzlyConfig {
+  /// Total node count of the scaled system (>= 1).
+  int target_nodes = 10'000;
+  /// Node mix to replicate — defaults to the paper's simulated SC system
+  /// (1024 normal 64 GiB + 466 large 128 GiB nodes).
+  int mix_normal = 1024;
+  int mix_large = 466;
+  MiB normal_capacity = gib(64);
+  MiB large_capacity = gib(128);
+  /// Per-replica arrival-process parameters; `base.seed` is the master seed
+  /// and `base.system_nodes` the replica granularity (1490 = one Grizzly).
+  GrizzlyConfig base;
+};
+
+/// A scaled system plus one simulated week of jobs for it.
+struct ExaGrizzlyScale {
+  cluster::ClusterConfig topology;  ///< normal nodes first, then large
+  trace::Workload week_jobs;        ///< merged replicas, sorted by submit time
+  slowdown::AppPool apps;           ///< shared across replicas
+  GoogleUsageLibrary usage_library; ///< shared across replicas
+  int replicas = 0;                 ///< Grizzly-week replicas drawn
+  int normal_nodes = 0;
+  int large_nodes = 0;
+};
+
+/// Scale Grizzly to `config.target_nodes` nodes. Deterministic: topology
+/// and jobs depend only on the config.
+[[nodiscard]] ExaGrizzlyScale exa_grizzly(const ExaGrizzlyConfig& config);
+
+/// Convenience overload with default mix/capacities/arrival parameters.
+[[nodiscard]] ExaGrizzlyScale exa_grizzly(int target_nodes);
+
+}  // namespace dmsim::workload

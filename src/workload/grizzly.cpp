@@ -9,23 +9,17 @@
 namespace dmsim::workload {
 
 namespace {
-
 constexpr Seconds kWeek = 7.0 * 86400.0;
+}  // namespace
 
-struct RawJob {
-  Seconds arrival = 0.0;
-  int nodes = 1;
-  Seconds runtime = 0.0;
-  Seconds walltime = 0.0;
-  MiB peak = 0;
-};
+namespace detail {
 
 /// Draw the jobs of one week: node-seconds accumulate until the week's
 /// utilization target is met. Memory peaks follow Table 2's Grizzly columns
 /// by size class.
-[[nodiscard]] std::vector<RawJob> draw_week_jobs(const GrizzlyConfig& cfg,
-                                                 util::Rng rng,
-                                                 double utilization) {
+std::vector<RawGrizzlyJob> draw_week_jobs(const GrizzlyConfig& cfg,
+                                          util::Rng rng, double utilization) {
+  using RawJob = RawGrizzlyJob;
   const double target_node_seconds =
       utilization * static_cast<double>(cfg.system_nodes) * kWeek;
   std::vector<RawJob> jobs;
@@ -59,7 +53,7 @@ struct RawJob {
   return jobs;
 }
 
-}  // namespace
+}  // namespace detail
 
 GrizzlyTrace generate_grizzly(const GrizzlyConfig& cfg) {
   DMSIM_ASSERT(cfg.weeks > 0, "grizzly: need at least one week");
@@ -79,7 +73,7 @@ GrizzlyTrace generate_grizzly(const GrizzlyConfig& cfg) {
     const double utilization = std::clamp(
         util_rng.normal(cfg.utilization_mean, cfg.utilization_stddev), 0.15,
         0.95);
-    const auto jobs = draw_week_jobs(
+    const auto jobs = detail::draw_week_jobs(
         cfg, master.child("grizzly.week", static_cast<std::uint64_t>(w)),
         utilization);
     GrizzlyWeek week;
@@ -87,7 +81,7 @@ GrizzlyTrace generate_grizzly(const GrizzlyConfig& cfg) {
     week.target_utilization = utilization;
     week.job_count = jobs.size();
     double node_seconds = 0.0;
-    for (const RawJob& j : jobs) {
+    for (const detail::RawGrizzlyJob& j : jobs) {
       node_seconds += static_cast<double>(j.nodes) * j.runtime;
       week.max_job_node_hours =
           std::max(week.max_job_node_hours,
@@ -126,14 +120,14 @@ trace::Workload materialize_grizzly_week(const GrizzlyConfig& cfg,
   util::Rng master(cfg.seed);
   const GrizzlyWeek& week = trace.weeks[static_cast<std::size_t>(week_index)];
   // Re-draw the identical raw jobs (same child seed as generate_grizzly).
-  const auto raw = draw_week_jobs(
+  const auto raw = detail::draw_week_jobs(
       cfg, master.child("grizzly.week", static_cast<std::uint64_t>(week_index)),
       week.target_utilization);
 
   trace::Workload jobs;
   jobs.reserve(raw.size());
   std::uint32_t next_id = 1;
-  for (const RawJob& rj : raw) {
+  for (const detail::RawGrizzlyJob& rj : raw) {
     trace::JobSpec job;
     job.id = JobId{next_id++};
     job.submit_time = rj.arrival;

@@ -16,6 +16,7 @@
 
 #include "slowdown/model.hpp"
 #include "trace/job_spec.hpp"
+#include "util/rng.hpp"
 #include "workload/google_usage.hpp"
 
 namespace dmsim::workload {
@@ -58,6 +59,28 @@ struct GrizzlyTrace {
 /// Generate and characterize all weeks, then mark `sample_weeks` random
 /// weeks with utilization >= floor as selected.
 [[nodiscard]] GrizzlyTrace generate_grizzly(const GrizzlyConfig& config);
+
+namespace detail {
+
+/// One job as drawn by the Grizzly arrival process, before materialization
+/// into a trace::JobSpec (no usage curve or app profile attached yet).
+struct RawGrizzlyJob {
+  Seconds arrival = 0.0;
+  int nodes = 1;
+  Seconds runtime = 0.0;
+  Seconds walltime = 0.0;
+  MiB peak = 0;
+};
+
+/// Draw one week of jobs for a `config.system_nodes`-node system at the
+/// given utilization target, sorted by arrival. This is THE Grizzly arrival
+/// process: generate_grizzly / materialize_grizzly_week and the exa_grizzly
+/// replica scaler all draw through it, so a replica's trace is exactly a
+/// Grizzly week under a different child seed.
+[[nodiscard]] std::vector<RawGrizzlyJob> draw_week_jobs(
+    const GrizzlyConfig& config, util::Rng rng, double utilization);
+
+}  // namespace detail
 
 /// Materialize the jobs of one week as a simulator-ready workload. The same
 /// (config, week) pair always yields the same jobs; `trace` must come from

@@ -84,6 +84,10 @@ TEST_P(SchedulerFuzzTest, TerminatesConsistently) {
 
   cluster::Cluster cluster(
       cluster::make_cluster_config(6, 64 * kGiB, 2, 128 * kGiB));
+  // Force the column/view parity sweep in every build type (it defaults to
+  // debug builds only): each audit below also cross-checks the materialized
+  // per-node view against the SoA columns.
+  cluster.set_debug_parity(true);
   const auto policy = policy::make_policy(params.policy);
   SchedulerConfig cfg;
   cfg.update_mode = params.mode;

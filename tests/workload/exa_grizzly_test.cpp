@@ -1,0 +1,126 @@
+// exa-Grizzly scaling: deterministic topology + workload at any node count,
+// the paper's node-mix ratio preserved, and sweep output over the scaled
+// systems byte-identical at any thread count.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "harness/sweep.hpp"
+#include "workload/exa_grizzly.hpp"
+
+namespace dmsim::workload {
+namespace {
+
+TEST(ExaGrizzly, DeterministicAcrossCalls) {
+  const ExaGrizzlyScale a = exa_grizzly(3000);
+  const ExaGrizzlyScale b = exa_grizzly(3000);
+
+  ASSERT_EQ(a.topology.nodes.size(), b.topology.nodes.size());
+  for (std::size_t i = 0; i < a.topology.nodes.size(); ++i) {
+    EXPECT_EQ(a.topology.nodes[i].capacity, b.topology.nodes[i].capacity);
+    EXPECT_EQ(a.topology.nodes[i].cores, b.topology.nodes[i].cores);
+    EXPECT_EQ(a.topology.nodes[i].large, b.topology.nodes[i].large);
+  }
+  ASSERT_EQ(a.week_jobs.size(), b.week_jobs.size());
+  for (std::size_t i = 0; i < a.week_jobs.size(); ++i) {
+    const trace::JobSpec& x = a.week_jobs[i];
+    const trace::JobSpec& y = b.week_jobs[i];
+    EXPECT_EQ(x.id, y.id);
+    EXPECT_EQ(x.submit_time, y.submit_time);
+    EXPECT_EQ(x.num_nodes, y.num_nodes);
+    EXPECT_EQ(x.duration, y.duration);
+    EXPECT_EQ(x.walltime, y.walltime);
+    EXPECT_EQ(x.requested_mem, y.requested_mem);
+    EXPECT_EQ(x.app_profile, y.app_profile);
+    EXPECT_EQ(x.peak_usage(), y.peak_usage());
+  }
+}
+
+TEST(ExaGrizzly, JobIdsAreDenseAndArrivalSorted) {
+  const ExaGrizzlyScale s = exa_grizzly(3000);
+  ASSERT_FALSE(s.week_jobs.empty());
+  for (std::size_t i = 0; i < s.week_jobs.size(); ++i) {
+    EXPECT_EQ(s.week_jobs[i].id.get(), i + 1);
+    if (i > 0) {
+      EXPECT_GE(s.week_jobs[i].submit_time, s.week_jobs[i - 1].submit_time);
+    }
+  }
+  EXPECT_EQ(s.replicas, 3);  // ceil(3000 / 1490)
+}
+
+TEST(ExaGrizzly, NodeMixRatioPreservedAtScale) {
+  // The paper's simulated SC system is 1024 normal : 466 large. At every
+  // target the large share must round to 466/1490 of the total, and the
+  // topology must put normal nodes first (the harness SystemConfig layout).
+  for (const int target : {1490, 10'000, 100'000}) {
+    const ExaGrizzlyScale s = exa_grizzly(target);
+    const int expected_large = static_cast<int>(
+        std::llround(static_cast<double>(target) * 466.0 / 1490.0));
+    EXPECT_EQ(s.large_nodes, expected_large) << target;
+    EXPECT_EQ(s.normal_nodes + s.large_nodes, target) << target;
+    ASSERT_EQ(s.topology.nodes.size(), static_cast<std::size_t>(target));
+    for (int i = 0; i < target; ++i) {
+      const cluster::NodeConfig& n =
+          s.topology.nodes[static_cast<std::size_t>(i)];
+      const bool should_be_large = i >= s.normal_nodes;
+      EXPECT_EQ(n.large, should_be_large) << "node " << i << " at " << target;
+      EXPECT_EQ(n.capacity, should_be_large ? gib(128) : gib(64));
+    }
+  }
+}
+
+TEST(ExaGrizzly, LoadScalesWithNodeCount) {
+  // K replicas of the same arrival process: job count should scale roughly
+  // linearly with the target (each replica is an independent week, so the
+  // ratio is not exact — utilization draws differ per replica).
+  const ExaGrizzlyScale small = exa_grizzly(1490);
+  const ExaGrizzlyScale big = exa_grizzly(14'900);
+  const double ratio = static_cast<double>(big.week_jobs.size()) /
+                       static_cast<double>(small.week_jobs.size());
+  EXPECT_GT(ratio, 5.0);
+  EXPECT_LT(ratio, 20.0);
+  EXPECT_EQ(big.replicas, 10);
+}
+
+TEST(ExaGrizzly, SweepOverScaledSystemsIsThreadCountInvariant) {
+  // The scale_sweep golden property: simulating the scaled weeks through
+  // the sweep runner yields byte-identical per-cell JSON at 1 and 8
+  // threads. Small targets keep this fast.
+  std::vector<ExaGrizzlyScale> scales;
+  scales.push_back(exa_grizzly(192));
+  scales.push_back(exa_grizzly(320));
+
+  const auto run = [&](std::size_t threads) {
+    harness::SweepRunner sweep(threads);
+    std::vector<std::size_t> handles;
+    for (const ExaGrizzlyScale& s : scales) {
+      harness::CellConfig cell;
+      cell.system.total_nodes = static_cast<int>(s.topology.nodes.size());
+      cell.system.pct_large_nodes =
+          static_cast<double>(s.large_nodes) /
+          static_cast<double>(s.normal_nodes + s.large_nodes);
+      cell.system.normal_capacity = gib(64);
+      cell.system.large_capacity = gib(128);
+      cell.system.cores_per_node = 36;
+      cell.policy = policy::PolicyKind::Dynamic;
+      handles.push_back(sweep.add(std::move(cell), s.week_jobs, s.apps));
+    }
+    sweep.run_all();
+    std::string out;
+    for (const std::size_t h : handles) {
+      out += harness::cell_result_to_json(sweep.result(h).cell);
+      out += '\n';
+    }
+    return out;
+  };
+
+  const std::string serial = run(1);
+  const std::string parallel = run(8);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_NE(serial.find("\"completed\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dmsim::workload
