@@ -1,0 +1,195 @@
+// Tiered-memory sweep: Fig. 5/7-style throughput and response-time curves
+// per memory-tier mix. Three topologies share one workload and one memory
+// ladder:
+//
+//   flat      — the paper's single remote pool (no tier table); the
+//               degenerate topology every figure bench runs
+//   rack-cxl  — two tiers: fast local-ish DRAM plus rack-scale CXL
+//   cxl-far   — three tiers: local, rack CXL, and a slow cross-rack pool
+//
+// Latency/bandwidth points follow the CXL-DMSim measurements (local DRAM
+// ~100-150 ns, rack CXL ~300-600 ns, cross-rack ~1-1.5 us); the flat pool
+// sits at the reference point (350 ns / 50 GB/s), so its slowdown factors
+// are exactly 1 and it reproduces the untiered benches bit for bit.
+//
+// --json FILE writes BENCH_tiers.json: per-mix curves (normalized
+// throughput, mean response, OOM fraction per ladder step and policy) plus
+// the standard perf aggregate.
+#include <array>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace dmsim;
+
+constexpr std::array kPolicies = {policy::PolicyKind::Static,
+                                  policy::PolicyKind::Dynamic};
+
+struct TierMix {
+  const char* name;
+  std::vector<cluster::MemoryTier> tiers;
+  std::vector<double> fractions;
+};
+
+[[nodiscard]] std::vector<TierMix> tier_mixes() {
+  using cluster::MemoryTier;
+  using cluster::TierScope;
+  std::vector<TierMix> mixes;
+  mixes.push_back({"flat", {}, {}});
+  mixes.push_back({"rack-cxl",
+                   {MemoryTier{"local", 150.0, 90.0, TierScope::Local},
+                    MemoryTier{"rack-cxl", 450.0, 64.0, TierScope::Rack}},
+                   {0.6, 0.4}});
+  mixes.push_back({"cxl-far",
+                   {MemoryTier{"local", 150.0, 90.0, TierScope::Local},
+                    MemoryTier{"rack-cxl", 450.0, 64.0, TierScope::Rack},
+                    MemoryTier{"far", 1200.0, 40.0, TierScope::CrossRack}},
+                   {0.5, 0.3, 0.2}});
+  return mixes;
+}
+
+struct MixPanel {
+  const TierMix* mix = nullptr;
+  bench::Runner::Handle reference;
+  std::vector<std::array<bench::Runner::Handle, 2>> rows;  // per ladder step
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = dmsim::bench::parse_options(argc, argv);
+  dmsim::bench::print_scale_banner(
+      opts, "tier sweep — throughput/response per memory-tier mix");
+
+  // The Runner must not claim the --json path: BENCH_tiers.json carries the
+  // per-mix curves below, not the generic per-cell perf report.
+  dmsim::bench::Options runner_opts = opts;
+  runner_opts.json_path.clear();
+  dmsim::bench::Runner runner("tier_sweep", runner_opts);
+  dmsim::bench::WorkloadCache cache(opts.scale);
+
+  const auto mixes = tier_mixes();
+  const auto& w = cache.get(0.25, 0.0);
+  const auto ladder = dmsim::bench::figure_ladder(opts.scale.synth_nodes);
+
+  // Phase 1: enqueue every (mix, ladder step, policy) cell. One shared
+  // reference — Static on the flat 100%-memory system — normalizes every
+  // mix so the curves are directly comparable.
+  std::vector<MixPanel> panels;
+  harness::SystemConfig full;
+  full.total_nodes = opts.scale.synth_nodes;
+  full.pct_large_nodes = 1.0;
+  const auto reference =
+      runner.add(full, policy::PolicyKind::Static, w.jobs, w.apps, "ref");
+  for (const TierMix& mix : mixes) {
+    MixPanel panel;
+    panel.mix = &mix;
+    panel.reference = reference;
+    for (const auto& sys : ladder) {
+      harness::SystemConfig tiered = sys;
+      tiered.tiers = mix.tiers;
+      tiered.tier_fractions = mix.fractions;
+      std::array<dmsim::bench::Runner::Handle, 2> row;
+      for (std::size_t k = 0; k < kPolicies.size(); ++k) {
+        row[k] = runner.add(tiered, kPolicies[k], w.jobs, w.apps,
+                            std::string(mix.name) + " mem=" +
+                                dmsim::bench::mem_label(sys) + " p=" +
+                                std::to_string(k));
+      }
+      panel.rows.push_back(row);
+    }
+    panels.push_back(std::move(panel));
+  }
+
+  // Phase 2: one parallel fan-out.
+  runner.run();
+
+  // Phase 3: tables per mix, byte-identical at any --threads setting.
+  const auto& ref_cell = runner.get(reference);
+  const double ref = ref_cell.valid ? ref_cell.throughput() : 0.0;
+  for (const MixPanel& panel : panels) {
+    util::TextTable table("Tier sweep | mix " + std::string(panel.mix->name) +
+                          " (" + std::to_string(panel.mix->tiers.size()) +
+                          " tiers)");
+    table.set_header({"mem%", "static", "dynamic", "resp_static_s",
+                      "resp_dynamic_s", "oom_jobs%"});
+    for (std::size_t s = 0; s < ladder.size(); ++s) {
+      std::vector<std::string> row = {dmsim::bench::mem_label(ladder[s])};
+      std::array<double, 2> resp = {0.0, 0.0};
+      double oom_fraction = 0.0;
+      for (std::size_t k = 0; k < kPolicies.size(); ++k) {
+        const auto& r = runner.get(panel.rows[s][k]);
+        if (!r.valid) {
+          row.push_back("-");
+          continue;
+        }
+        row.push_back(util::fmt(ref > 0 ? r.throughput() / ref : 0.0, 3));
+        resp[k] = r.summary.response_time.mean();
+        if (kPolicies[k] == policy::PolicyKind::Dynamic) {
+          oom_fraction = r.summary.oom_job_fraction();
+        }
+      }
+      row.push_back(util::fmt(resp[0], 1));
+      row.push_back(util::fmt(resp[1], 1));
+      row.push_back(util::fmt_pct(oom_fraction, 2));
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  runner.finish();
+
+  // BENCH_tiers.json: the per-mix curves, machine-readable.
+  if (!opts.json_path.empty()) {
+    metrics::JsonWriter jw;
+    jw.begin_object();
+    jw.key("bench").value("tier_sweep");
+    jw.key("scale").value(opts.scale.full ? "full" : "reduced");
+    jw.key("reference_throughput").value(ref);
+    jw.key("mixes").begin_array();
+    for (const MixPanel& panel : panels) {
+      jw.begin_object();
+      jw.key("mix").value(panel.mix->name);
+      jw.key("tiers").begin_array();
+      for (const auto& t : panel.mix->tiers) {
+        jw.begin_object();
+        jw.key("name").value(t.name);
+        jw.key("latency_ns").value(t.latency_ns);
+        jw.key("bandwidth_gbs").value(t.bandwidth_gbs);
+        jw.end_object();
+      }
+      jw.end_array();
+      jw.key("cells").begin_array();
+      for (std::size_t s = 0; s < ladder.size(); ++s) {
+        for (std::size_t k = 0; k < kPolicies.size(); ++k) {
+          const auto& r = runner.get(panel.rows[s][k]);
+          jw.begin_object();
+          jw.key("mem_pct").value(dmsim::bench::mem_label(ladder[s]));
+          jw.key("policy").value(std::string(
+              policy::to_string(kPolicies[k])));
+          jw.key("valid").value(r.valid);
+          jw.key("throughput").value(r.valid ? r.throughput() : 0.0);
+          jw.key("normalized_throughput")
+              .value(r.valid && ref > 0 ? r.throughput() / ref : 0.0);
+          jw.key("mean_response_s")
+              .value(r.valid ? r.summary.response_time.mean() : 0.0);
+          jw.key("oom_job_fraction")
+              .value(r.valid ? r.summary.oom_job_fraction() : 0.0);
+          jw.end_object();
+        }
+      }
+      jw.end_array();
+      jw.end_object();
+    }
+    jw.end_array();
+    jw.end_object();
+    std::ofstream out(opts.json_path);
+    out << jw.str() << '\n';
+    if (!out) {
+      std::cerr << "error: failed to write " << opts.json_path << '\n';
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -13,6 +13,11 @@ namespace {
 constexpr std::uint32_t kIdle = NodeId::kInvalid;
 }  // namespace
 
+MemoryTier default_memory_tier() {
+  return MemoryTier{"pool", kTierReferenceLatencyNs, kTierReferenceBandwidthGbs,
+                    TierScope::Rack};
+}
+
 ClusterConfig make_cluster_config(int normal_count, MiB normal_mib,
                                   int large_count, MiB large_mib, int cores) {
   DMSIM_ASSERT(normal_count >= 0 && large_count >= 0,
@@ -32,18 +37,54 @@ ClusterConfig make_cluster_config(int normal_count, MiB normal_mib,
 Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
   DMSIM_ASSERT(!config_.nodes.empty(), "cluster must have at least one node");
   const std::size_t n = config_.nodes.size();
+  // Normalize the tier table first: an empty table is the paper's flat
+  // single-pool model, one implicit tier at the reference point.
+  tiers_ = config_.tiers;
+  if (tiers_.empty()) tiers_.push_back(default_memory_tier());
+  DMSIM_ASSERT(tiers_.size() <= 255, "at most 255 memory tiers");
+  tier_latency_factor_.reserve(tiers_.size());
+  tier_bandwidth_factor_.reserve(tiers_.size());
+  for (const MemoryTier& t : tiers_) {
+    DMSIM_ASSERT(t.latency_ns > 0.0, "tier latency must be positive");
+    DMSIM_ASSERT(t.bandwidth_gbs > 0.0, "tier bandwidth must be positive");
+    tier_latency_factor_.push_back(t.latency_ns / kTierReferenceLatencyNs);
+    tier_bandwidth_factor_.push_back(kTierReferenceBandwidthGbs /
+                                     t.bandwidth_gbs);
+  }
+  tier_order_.resize(tiers_.size());
+  for (std::size_t t = 0; t < tiers_.size(); ++t) {
+    tier_order_[t] = static_cast<std::uint8_t>(t);
+  }
+  std::sort(tier_order_.begin(), tier_order_.end(),
+            [this](std::uint8_t a, std::uint8_t b) {
+              if (tiers_[a].latency_ns != tiers_[b].latency_ns) {
+                return tiers_[a].latency_ns < tiers_[b].latency_ns;
+              }
+              return a < b;
+            });
   // Every column and index container is sized up front: the node count is
   // immutable, so nothing on the ledger's hot paths ever reallocates.
   capacity_.reserve(n);
   cores_.reserve(n);
   large_.reserve(n);
+  tier_.reserve(n);
+  rack_.reserve(n);
   for (const auto& nc : config_.nodes) {
     DMSIM_ASSERT(nc.capacity > 0, "node capacity must be positive");
     DMSIM_ASSERT(nc.cores > 0, "node cores must be positive");
+    DMSIM_ASSERT(nc.tier < tiers_.size(), "node tier out of range");
     capacity_.push_back(nc.capacity);
     cores_.push_back(nc.cores);
     large_.push_back(nc.large ? 1 : 0);
+    tier_.push_back(nc.tier);
+    rack_.push_back(nc.rack);
     total_capacity_ += nc.capacity;
+  }
+  if (tiered()) {
+    tier_free_index_.resize(tiers_.size());
+    tier_mem_free_index_.resize(tiers_.size());
+    tier_free_mib_.assign(tiers_.size(), 0);
+    tier_lent_mib_.assign(tiers_.size(), 0);
   }
   running_job_.assign(n, kIdle);
   local_used_.assign(n, 0);
@@ -84,6 +125,22 @@ void Cluster::set_observer(const obs::Observer* observer) {
   s_reclaim_mib_ = obs::series_handle(observer, "ledger.reclaim_mib");
   s_edge_churn_ = obs::series_handle(observer, "ledger.edge_churn");
   h_lenders_per_grow_ = obs::histogram_handle(observer, "ledger.lenders_per_grow");
+  // Per-tier occupancy gauges exist only on tiered topologies, keeping the
+  // flat model's exported instrument set (and its goldens) unchanged.
+  g_tier_lent_.clear();
+  if (tiered()) {
+    g_tier_lent_.reserve(tiers_.size());
+    for (std::size_t t = 0; t < tiers_.size(); ++t) {
+      g_tier_lent_.push_back(obs::gauge_handle(
+          observer, "ledger.tier_occupancy." + std::to_string(t)));
+    }
+  }
+}
+
+void Cluster::publish_tier_gauges() {
+  for (std::size_t t = 0; t < g_tier_lent_.size(); ++t) {
+    if (g_tier_lent_[t]) g_tier_lent_[t]->set(tier_lent_mib_[t]);
+  }
 }
 
 std::uint32_t Cluster::checked(NodeId id) const {
@@ -150,6 +207,18 @@ void Cluster::reindex_node(std::uint32_t i) {
   if (mem_free && (!(old_bits & kInMemFree) || moved)) {
     mem_free_index_.insert(new_key);
   }
+  if (tiered()) {
+    // The per-tier variants share the membership bits (tier is immutable),
+    // so the same erase/insert conditions apply to the node's tier indexes.
+    const std::uint8_t t = tier_[i];
+    FreeIndex& tf = tier_free_index_[t];
+    FreeIndex& tmf = tier_mem_free_index_[t];
+    if ((old_bits & kInFree) && (!lendable || moved)) tf.erase(old_key);
+    if (lendable && (!(old_bits & kInFree) || moved)) tf.insert(new_key);
+    if ((old_bits & kInMemFree) && (!mem_free || moved)) tmf.erase(old_key);
+    if (mem_free && (!(old_bits & kInMemFree) || moved)) tmf.insert(new_key);
+    tier_free_mib_[t] += free - old_free;
+  }
   free_[i] = free;
   mem_node_[i] = mem ? 1 : 0;
   index_bits_[i] = static_cast<std::uint8_t>((host ? kInHost : 0) |
@@ -192,6 +261,26 @@ void Cluster::rebuild_indexes_bulk() {
   host_index_ = FreeIndex(host_keys.begin(), host_keys.end());
   free_index_ = FreeIndex(free_keys.begin(), free_keys.end());
   mem_free_index_ = FreeIndex(mem_keys.begin(), mem_keys.end());
+  if (tiered()) {
+    // Bucket the already-sorted global keys per tier (filtering preserves
+    // order, so each per-tier set also range-constructs linearly), and
+    // re-derive the per-tier free/lent totals from the columns.
+    const std::size_t tc = tiers_.size();
+    std::vector<std::vector<FreeKey>> tf(tc);
+    std::vector<std::vector<FreeKey>> tmf(tc);
+    for (const FreeKey& k : free_keys) tf[tier_[k.second]].push_back(k);
+    for (const FreeKey& k : mem_keys) tmf[tier_[k.second]].push_back(k);
+    tier_free_mib_.assign(tc, 0);
+    tier_lent_mib_.assign(tc, 0);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      tier_free_mib_[tier_[i]] += free_[i];
+      tier_lent_mib_[tier_[i]] += lent_[i];
+    }
+    for (std::size_t t = 0; t < tc; ++t) {
+      tier_free_index_[t] = FreeIndex(tf[t].begin(), tf[t].end());
+      tier_mem_free_index_[t] = FreeIndex(tmf[t].begin(), tmf[t].end());
+    }
+  }
 }
 
 void Cluster::mark_lender_dirty(NodeId id) {
@@ -256,6 +345,7 @@ void Cluster::finish_job(JobId job) {
       lent_[l] -= amount;
       total_allocated_ -= amount;
       total_lent_ -= amount;
+      if (tiered()) tier_lent_mib_[tier_[l]] -= amount;
       reindex_node(l);
       mark_lender_dirty(lender);
       const bool removed = borrow_slab_.remove(l, sit->first.packed);
@@ -277,6 +367,7 @@ void Cluster::finish_job(JobId job) {
   // gauges move (all of the job's local + borrowed memory was returned).
   if (g_lent_) g_lent_->set(total_lent_);
   if (g_allocated_) g_allocated_->set(total_allocated_);
+  publish_tier_gauges();
 }
 
 // ---------------------------------------------------------------------------
@@ -331,6 +422,15 @@ MiB Cluster::shrink_local(JobId job, NodeId host, MiB amount) {
 }
 
 NodeId Cluster::next_lender(NodeId exclude) const {
+  if (tiered()) {
+    // Nearest tier with free capacity first, spilling outward: each leg is
+    // one O(log n) probe of that tier's index pair.
+    for (const std::uint8_t t : tier_order_) {
+      const NodeId pick = next_lender_in_tier(t, exclude);
+      if (pick.valid()) return pick;
+    }
+    return NodeId{};
+  }
   // First admissible key in visit_desc order — the same (free desc, id asc)
   // walk the materialized ordering used, stopped at the first hit.
   const auto first_desc = [exclude](const FreeIndex& index,
@@ -365,6 +465,39 @@ NodeId Cluster::next_lender(NodeId exclude) const {
   return NodeId{};
 }
 
+NodeId Cluster::next_lender_in_tier(std::uint8_t t, NodeId exclude) const {
+  // The configured policy's ranking, restricted to one tier's index pair.
+  const FreeIndex& tier_free = tier_free_index_[t];
+  const auto first_desc = [exclude](const FreeIndex& index,
+                                    auto&& admit) -> NodeId {
+    NodeId found{};
+    visit_desc(index, index.end(), [&](const FreeKey& k) {
+      if (k.second == exclude.get() || !admit(k)) return true;
+      found = NodeId{k.second};
+      return false;
+    });
+    return found;
+  };
+  const auto any = [](const FreeKey&) { return true; };
+  switch (config_.lender_policy) {
+    case LenderPolicy::MostFree:
+      return first_desc(tier_free, any);
+    case LenderPolicy::LeastFree:
+      for (const FreeKey& k : tier_free) {
+        if (k.second != exclude.get()) return NodeId{k.second};
+      }
+      return NodeId{};
+    case LenderPolicy::MemoryNodesFirst: {
+      const NodeId mem = first_desc(tier_mem_free_index_[t], any);
+      if (mem.valid()) return mem;
+      return first_desc(tier_free, [this](const FreeKey& k) {
+        return mem_node_[k.second] == 0;
+      });
+    }
+  }
+  return NodeId{};
+}
+
 MiB Cluster::grow_remote(JobId job, NodeId host, MiB amount) {
   DMSIM_ASSERT(amount >= 0, "grow_remote amount must be non-negative");
   if (amount == 0) return 0;
@@ -387,6 +520,7 @@ MiB Cluster::grow_remote(JobId job, NodeId host, MiB amount) {
     lent_[l] += take;
     total_allocated_ += take;
     total_lent_ += take;
+    if (tiered()) tier_lent_mib_[tier_[l]] += take;
     remaining -= take;
     ++lenders_touched;
     reindex_node(l);
@@ -416,6 +550,7 @@ MiB Cluster::grow_remote(JobId job, NodeId host, MiB amount) {
     }
     if (g_lent_) g_lent_->set(total_lent_);
     if (g_allocated_) g_allocated_->set(total_allocated_);
+    publish_tier_gauges();
     if (obs::tracing(obs_)) {
       obs_->sink->emit(obs::Event{obs::EventKind::MemLend, obs_->now(),
                                   job.get(), host.get()}
@@ -446,6 +581,7 @@ MiB Cluster::shrink_remote(JobId job, NodeId host, MiB amount) {
     lent_[l] -= give;
     total_allocated_ -= give;
     total_lent_ -= give;
+    if (tiered()) tier_lent_mib_[tier_[l]] -= give;
     borrowed -= give;
     remaining -= give;
     reindex_node(l);
@@ -472,6 +608,7 @@ MiB Cluster::shrink_remote(JobId job, NodeId host, MiB amount) {
     }
     if (g_lent_) g_lent_->set(total_lent_);
     if (g_allocated_) g_allocated_->set(total_allocated_);
+    publish_tier_gauges();
     if (obs::tracing(obs_)) {
       obs_->sink->emit(obs::Event{obs::EventKind::MemReclaim, obs_->now(),
                                   job.get(), host.get()}
@@ -480,6 +617,52 @@ MiB Cluster::shrink_remote(JobId job, NodeId host, MiB amount) {
     }
   }
   return released;
+}
+
+MiB Cluster::shrink_remote_edge(JobId job, NodeId host, NodeId lender,
+                                MiB amount) {
+  DMSIM_ASSERT(amount >= 0, "shrink_remote_edge amount must be non-negative");
+  AllocationSlot& slot = slot_mut(job, host);
+  const auto edge =
+      std::find_if(slot.remote.begin(), slot.remote.end(),
+                   [lender](const auto& e) { return e.first == lender; });
+  if (edge == slot.remote.end() || amount == 0) return 0;
+  const MiB give = std::min(amount, edge->second);
+  const std::uint32_t l = lender.get();
+  DMSIM_ASSERT(lent_[l] >= give, "lender under-ledgered on edge shrink");
+  lent_[l] -= give;
+  total_allocated_ -= give;
+  total_lent_ -= give;
+  if (tiered()) tier_lent_mib_[tier_[l]] -= give;
+  edge->second -= give;
+  reindex_node(l);
+  mark_lender_dirty(lender);
+  std::int64_t edges_removed = 0;
+  if (edge->second == 0) {
+    const bool removed = borrow_slab_.remove(l, key(job, host).packed);
+    DMSIM_ASSERT(removed, "borrow edge missing from reverse slab");
+    slot.remote.erase(edge);
+    edges_removed = 1;
+  }
+  ++change_epoch_;
+  mark_slot_dirty(slot);
+  obs::bump(c_reclaim_ops_);
+  obs::bump(c_reclaimed_mib_, static_cast<std::uint64_t>(give));
+  if (obs_ != nullptr) {
+    const Seconds now = obs_->now();
+    obs::record(s_reclaim_mib_, now, give);
+    if (edges_removed > 0) obs::record(s_edge_churn_, now, edges_removed);
+  }
+  if (g_lent_) g_lent_->set(total_lent_);
+  if (g_allocated_) g_allocated_->set(total_allocated_);
+  publish_tier_gauges();
+  if (obs::tracing(obs_)) {
+    obs_->sink->emit(obs::Event{obs::EventKind::MemReclaim, obs_->now(),
+                                job.get(), host.get()}
+                         .with("mib", give)
+                         .with("lent_total", total_lent_));
+  }
+  return give;
 }
 
 // ---------------------------------------------------------------------------
@@ -527,7 +710,8 @@ void Cluster::borrowers_of(NodeId lender,
     for (const auto& [from, amount] : slot.remote) {
       if (from == lender) {
         DMSIM_ASSERT(amount > 0, "reverse index holds a zero edge");
-        out.push_back(BorrowEdge{slot.job, slot.host, amount});
+        out.push_back(
+            BorrowEdge{slot.job, slot.host, amount, tier_[lender.get()]});
         break;  // edges are merged: at most one per lender
       }
     }
@@ -655,6 +839,44 @@ void Cluster::check_invariants() const {
   DMSIM_ASSERT(allocated == total_allocated_,
                "aggregate allocation counter out of sync");
   DMSIM_ASSERT(lent_total == total_lent_, "aggregate lent counter out of sync");
+  if (tiered()) {
+    // Per-tier recount: free/lent totals and both index variants must agree
+    // with a fresh column sweep bucketed by the tier column.
+    const std::size_t tc = tiers_.size();
+    std::vector<MiB> tier_free(tc, 0);
+    std::vector<MiB> tier_lent(tc, 0);
+    std::vector<std::size_t> tier_free_entries(tc, 0);
+    std::vector<std::size_t> tier_mem_entries(tc, 0);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      DMSIM_ASSERT(tier_[i] < tc, "tier column out of range");
+      tier_free[tier_[i]] += free_[i];
+      tier_lent[tier_[i]] += lent_[i];
+      if (index_bits_[i] & kInFree) ++tier_free_entries[tier_[i]];
+      if (index_bits_[i] & kInMemFree) ++tier_mem_entries[tier_[i]];
+    }
+    for (std::size_t t = 0; t < tc; ++t) {
+      DMSIM_ASSERT(tier_free_mib_[t] == tier_free[t],
+                   "per-tier free total out of sync");
+      DMSIM_ASSERT(tier_lent_mib_[t] == tier_lent[t],
+                   "per-tier lent total out of sync");
+      DMSIM_ASSERT(tier_free_index_[t].size() == tier_free_entries[t],
+                   "per-tier free index disagrees with node state");
+      DMSIM_ASSERT(tier_mem_free_index_[t].size() == tier_mem_entries[t],
+                   "per-tier mem-free index disagrees with node state");
+      for (const FreeKey& k : tier_free_index_[t]) {
+        DMSIM_ASSERT(k.second < n && tier_[k.second] == t &&
+                         (index_bits_[k.second] & kInFree) != 0 &&
+                         free_[k.second] == k.first,
+                     "per-tier free index entry invalid");
+      }
+      for (const FreeKey& k : tier_mem_free_index_[t]) {
+        DMSIM_ASSERT(k.second < n && tier_[k.second] == t &&
+                         (index_bits_[k.second] & kInMemFree) != 0 &&
+                         free_[k.second] == k.first,
+                     "per-tier mem-free index entry invalid");
+      }
+    }
+  }
   if (debug_parity_) check_node_view_parity();
 }
 
@@ -694,9 +916,21 @@ constexpr std::uint32_t kClusterSection =
 void Cluster::save_state(snapshot::Writer& writer) const {
   writer.section(kClusterSection);
   writer.u32(static_cast<std::uint32_t>(node_count()));
-  // v3 layout: whole columns back to back (all running_job, then all
-  // local_used, then all lent) — the serializer walks each array linearly,
-  // and a restore can bulk-load straight into the columns.
+  // v4: the tier table and the tier/rack topology columns lead the section.
+  // They are immutable, but carrying them makes a tier-topology mixup a
+  // loud restore error instead of a silently different simulation.
+  writer.u32(static_cast<std::uint32_t>(tiers_.size()));
+  for (const MemoryTier& t : tiers_) {
+    writer.str(t.name);
+    writer.f64(t.latency_ns);
+    writer.f64(t.bandwidth_gbs);
+    writer.u8(static_cast<std::uint8_t>(t.scope));
+  }
+  for (const std::uint8_t t : tier_) writer.u8(t);
+  for (const std::uint16_t r : rack_) writer.u32(r);
+  // Occupancy columns back to back (all running_job, then all local_used,
+  // then all lent) — the serializer walks each array linearly, and a
+  // restore can bulk-load straight into the columns.
   for (const std::uint32_t rj : running_job_) writer.u32(rj);
   for (const MiB lu : local_used_) writer.i64(lu);
   for (const MiB le : lent_) writer.i64(le);
@@ -742,6 +976,39 @@ void Cluster::restore_state(snapshot::Reader& reader,
   if (reader.u32() != n) {
     throw snapshot::SnapshotError(
         "snapshot: node count mismatch — different cluster configuration");
+  }
+  if (format_version >= 4) {
+    // The stored tier topology must match this cluster's exactly; v2/v3
+    // files predate tiers and can only have been written by a flat
+    // topology (the fingerprint already pins that).
+    if (reader.u32() != tiers_.size()) {
+      throw snapshot::SnapshotError(
+          "snapshot: tier table size mismatch — different memory topology");
+    }
+    for (const MemoryTier& t : tiers_) {
+      const std::string_view name = reader.str();
+      const double latency = reader.f64();
+      const double bandwidth = reader.f64();
+      const std::uint8_t scope = reader.u8();
+      if (name != t.name || latency != t.latency_ns ||
+          bandwidth != t.bandwidth_gbs ||
+          scope != static_cast<std::uint8_t>(t.scope)) {
+        throw snapshot::SnapshotError(
+            "snapshot: tier table mismatch — different memory topology");
+      }
+    }
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (reader.u8() != tier_[i]) {
+        throw snapshot::SnapshotError(
+            "snapshot: node tier column mismatch — different memory topology");
+      }
+    }
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (reader.u32() != rack_[i]) {
+        throw snapshot::SnapshotError(
+            "snapshot: node rack column mismatch — different memory topology");
+      }
+    }
   }
 
   // Wipe all mutable state back to the empty ledger.

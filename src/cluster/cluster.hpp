@@ -43,6 +43,7 @@
 #include <iterator>
 #include <set>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -66,15 +67,48 @@ enum class LenderPolicy {
   LeastFree,         ///< pack lenders tightly (worst-fit inverse)
 };
 
+/// Interconnect reach of a memory tier, in increasing distance order.
+enum class TierScope : std::uint8_t {
+  Local = 0,      ///< same-node DRAM exposed to the pool
+  Rack = 1,       ///< rack-local CXL switch hop
+  CrossRack = 2,  ///< cross-rack fabric
+};
+
+/// The latency/bandwidth point the paper's flat remote pool implicitly
+/// models (one rack-scale CXL hop). A tier at exactly this point has
+/// latency and bandwidth factors of 1.0, so the single-default-tier
+/// topology reproduces the flat-pool arithmetic bit for bit.
+inline constexpr double kTierReferenceLatencyNs = 350.0;
+inline constexpr double kTierReferenceBandwidthGbs = 50.0;
+
+/// One row of the memory-tier descriptor table. Tiers describe how far a
+/// lender's memory is from a borrowing host: slower tiers amplify a job's
+/// remote-latency exposure (latency_ns / reference) and congest faster
+/// under shared bandwidth (reference / bandwidth_gbs).
+struct MemoryTier {
+  std::string name = "pool";
+  double latency_ns = kTierReferenceLatencyNs;
+  double bandwidth_gbs = kTierReferenceBandwidthGbs;
+  TierScope scope = TierScope::Rack;
+};
+
+/// The implicit tier of every flat-pool (un-tiered) configuration.
+[[nodiscard]] MemoryTier default_memory_tier();
+
 struct NodeConfig {
   int cores = 32;
   MiB capacity = 0;
   bool large = false;  ///< classification only; capacity carries the size
+  std::uint8_t tier = 0;   ///< index into ClusterConfig::tiers
+  std::uint16_t rack = 0;  ///< physical grouping; topology metadata only
 };
 
 struct ClusterConfig {
   std::vector<NodeConfig> nodes;
   LenderPolicy lender_policy = LenderPolicy::MemoryNodesFirst;
+  /// Memory-tier descriptor table. Empty means the flat single-pool model
+  /// of the paper: one implicit default_memory_tier() covering every node.
+  std::vector<MemoryTier> tiers;
 };
 
 /// Convenience builder: `normal_count` nodes of `normal_mib` plus
@@ -158,6 +192,54 @@ class Cluster {
   }
   [[nodiscard]] LenderPolicy lender_policy() const noexcept {
     return config_.lender_policy;
+  }
+
+  // --- memory-tier topology ----------------------------------------------
+  /// Normalized tier table (never empty: a flat config gets the implicit
+  /// default tier at index 0).
+  [[nodiscard]] std::span<const MemoryTier> tiers() const noexcept {
+    return tiers_;
+  }
+  [[nodiscard]] std::size_t tier_count() const noexcept {
+    return tiers_.size();
+  }
+  /// True when more than one tier exists. Every tier-aware code path is
+  /// gated on this so a degenerate single-tier topology takes exactly the
+  /// flat-pool instructions (the byte-identity contract).
+  [[nodiscard]] bool tiered() const noexcept { return tiers_.size() > 1; }
+  [[nodiscard]] std::uint8_t tier_of(NodeId id) const {
+    return tier_[checked(id)];
+  }
+  [[nodiscard]] std::uint16_t rack_of(NodeId id) const {
+    return rack_[checked(id)];
+  }
+  [[nodiscard]] std::span<const std::uint8_t> tier_column() const noexcept {
+    return tier_;
+  }
+  [[nodiscard]] std::span<const std::uint16_t> rack_column() const noexcept {
+    return rack_;
+  }
+  /// latency_ns / reference-latency of tier `t` (1.0 for the default tier).
+  [[nodiscard]] double tier_latency_factor(std::uint8_t t) const {
+    return tier_latency_factor_[t];
+  }
+  /// reference-bandwidth / bandwidth_gbs of tier `t` (1.0 for the default
+  /// tier); scales how fast the tier's lenders congest under pressure.
+  [[nodiscard]] double tier_bandwidth_factor(std::uint8_t t) const {
+    return tier_bandwidth_factor_[t];
+  }
+  /// Tier ids ordered nearest first (latency asc, id asc) — the spill-out
+  /// order lender selection walks when tiered.
+  [[nodiscard]] std::span<const std::uint8_t> tier_order() const noexcept {
+    return tier_order_;
+  }
+  /// Lendable free memory in tier `t` (sum of free() over its nodes).
+  [[nodiscard]] MiB tier_free(std::uint8_t t) const {
+    return tiered() ? tier_free_mib_[t] : total_free();
+  }
+  /// Memory currently lent out of tier `t`.
+  [[nodiscard]] MiB tier_lent(std::uint8_t t) const {
+    return tiered() ? tier_lent_mib_[t] : total_lent_;
   }
 
   // --- single-column accessors (one array read each; hot-path safe) -------
@@ -281,6 +363,13 @@ class Cluster {
   /// returns released MiB.
   MiB shrink_remote(JobId job, NodeId host, MiB amount);
 
+  /// Shrink one specific borrow edge by up to `amount`, returning memory to
+  /// exactly `lender`; returns released MiB (0 when no such edge). The
+  /// tier-migration primitive: paired with grow_remote (which refills from
+  /// the nearest tier with free capacity) it moves borrowed memory between
+  /// tiers without touching any other edge.
+  MiB shrink_remote_edge(JobId job, NodeId host, NodeId lender, MiB amount);
+
   [[nodiscard]] const AllocationSlot& slot(JobId job, NodeId host) const;
   [[nodiscard]] bool has_slot(JobId job, NodeId host) const;
 
@@ -290,11 +379,13 @@ class Cluster {
   /// All slots of a job (one per host), in host order.
   [[nodiscard]] std::vector<const AllocationSlot*> job_slots(JobId job) const;
 
-  /// Jobs borrowing from `lender` as (job, host, amount) triples.
+  /// Jobs borrowing from `lender` as (job, host, amount) triples. Edges are
+  /// tier-tagged with the lender's tier (every edge of one lender shares it).
   struct BorrowEdge {
     JobId job{};
     NodeId host{};
     MiB amount = 0;
+    std::uint8_t tier = 0;
   };
   /// Append `lender`'s borrow edges to `out` in canonical order: ascending
   /// borrower job id, then the host's position in the job's assignment.
@@ -333,23 +424,26 @@ class Cluster {
   /// (the fuzz harnesses force it on in every build type).
   void set_debug_parity(bool enabled) noexcept { debug_parity_ = enabled; }
 
-  /// Serialize mutable ledger state: per-node occupancy columns, every
-  /// job's hosts and slots (borrow edges in their exact merged order —
+  /// Serialize mutable ledger state: the tier table and tier/rack columns
+  /// (v4 — restore cross-checks them against the configured topology so a
+  /// tier mixup fails loudly), per-node occupancy columns, every job's
+  /// hosts and slots (borrow edges in their exact merged order —
   /// grow_remote merges into existing edges positionally, so order is
-  /// state), aggregate totals and the change epoch. Topology (capacities,
-  /// lender policy) is NOT serialized; the checkpoint layer fingerprints it
-  /// instead. Writes the v3 (columnar) layout.
+  /// state), aggregate totals and the change epoch. The rest of the
+  /// topology (capacities, lender policy) is NOT serialized; the checkpoint
+  /// layer fingerprints it instead. Writes the v4 layout.
   void save_state(snapshot::Writer& writer) const;
 
   /// Rebuild ledger state from save_state bytes onto this (identically
   /// configured) cluster. `format_version` is the enclosing snapshot
-  /// version: 2 reads the legacy interleaved per-node layout, >= 3 the
-  /// columnar layout. The incremental free-memory indexes and the reverse
-  /// borrow slab are rebuilt in one bulk pass from the restored columns
-  /// (sort + linear set build, not n individual tree inserts), contention
-  /// dirty sets are cleared (the scheduler resets its slowdown cache to a
-  /// full rebuild), and check_invariants() validates the result.
-  void restore_state(snapshot::Reader& reader, std::uint32_t format_version = 3);
+  /// version: 2 reads the legacy interleaved per-node layout, 3 the
+  /// columnar layout, >= 4 columnar plus the tier table/columns. The
+  /// incremental free-memory indexes and the reverse borrow slab are
+  /// rebuilt in one bulk pass from the restored columns (sort + linear set
+  /// build, not n individual tree inserts), contention dirty sets are
+  /// cleared (the scheduler resets its slowdown cache to a full rebuild),
+  /// and check_invariants() validates the result.
+  void restore_state(snapshot::Reader& reader, std::uint32_t format_version = 4);
 
  private:
   struct SlotKey {
@@ -493,9 +587,35 @@ class Cluster {
   /// lender remains. grow_remote drains each pick completely before asking
   /// again, so repeated calls walk the same sequence a full materialized
   /// ordering would — in O(log nodes) per pick instead of O(nodes) total.
+  /// When tiered, tiers are walked nearest first (tier_order_) and the
+  /// policy ranks lenders within each tier — "cheapest tier with free
+  /// capacity" in O(log n).
   [[nodiscard]] NodeId next_lender(NodeId exclude) const;
+  /// The within-one-tier leg of tiered lender selection: the configured
+  /// policy applied to tier `t`'s index pair.
+  [[nodiscard]] NodeId next_lender_in_tier(std::uint8_t t,
+                                           NodeId exclude) const;
+  /// Push tier_lent_mib_ into the ledger.tier_occupancy.* gauges (no-op on
+  /// flat topologies, where none are registered).
+  void publish_tier_gauges();
 
   ClusterConfig config_;
+
+  // --- memory-tier topology (immutable after construction) ----------------
+  std::vector<MemoryTier> tiers_;           ///< normalized, never empty
+  std::vector<std::uint8_t> tier_;          ///< per-node tier column
+  std::vector<std::uint16_t> rack_;         ///< per-node rack column
+  std::vector<double> tier_latency_factor_;    ///< latency_ns / reference
+  std::vector<double> tier_bandwidth_factor_;  ///< reference / bandwidth_gbs
+  std::vector<std::uint8_t> tier_order_;    ///< tier ids, latency asc, id asc
+  // Per-tier index variants, maintained ONLY when tiered() (the single-tier
+  // topology must not pay for them — and degenerates to the global indexes
+  // anyway). Membership mirrors free_index_/mem_free_index_ restricted to
+  // each tier's nodes, under the same kInFree/kInMemFree bits.
+  std::vector<FreeIndex> tier_free_index_;
+  std::vector<FreeIndex> tier_mem_free_index_;
+  std::vector<MiB> tier_free_mib_;  ///< sum of free() per tier
+  std::vector<MiB> tier_lent_mib_;  ///< sum of lent per tier
 
   // --- structure-of-arrays ledger columns (index = node id) ---------------
   // Immutable topology columns:
@@ -558,6 +678,9 @@ class Cluster {
   /// Lenders drained per satisfied grow — the fragmentation signal: a grow
   /// spread across many lenders creates many edges to reclaim later.
   obs::Histogram* h_lenders_per_grow_ = nullptr;
+  /// Per-tier lent-MiB gauges ("ledger.tier_occupancy.<i>"); registered
+  /// only when tiered, so flat-topology telemetry is unchanged.
+  std::vector<obs::Gauge*> g_tier_lent_;
 };
 
 /// Forward iterator over node value views (ascending id).

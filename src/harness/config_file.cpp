@@ -132,6 +132,73 @@ sched::OomHandling parse_oom_handling(const std::string& value) {
   throw ConfigError("unknown OOM handling: '" + value + "'");
 }
 
+namespace {
+
+[[nodiscard]] cluster::TierScope parse_tier_scope(const std::string& value) {
+  const std::string v = lower(strip(value));
+  if (v == "local") return cluster::TierScope::Local;
+  if (v == "rack") return cluster::TierScope::Rack;
+  if (v == "crossrack" || v == "cross_rack" || v == "cross-rack") {
+    return cluster::TierScope::CrossRack;
+  }
+  throw ConfigError("unknown tier scope: '" + value + "'");
+}
+
+/// MemoryTiers = name:latency_ns:bandwidth_gbs:fraction[:scope], ...
+/// e.g. "local:150:90:0.6, rack-cxl:450:64:0.4:rack". Fractions must sum
+/// to ~1; scope defaults to rack.
+void parse_memory_tiers(const std::string& value, SystemConfig& sys) {
+  sys.tiers.clear();
+  sys.tier_fractions.clear();
+  std::istringstream list(value);
+  std::string entry;
+  double sum = 0.0;
+  while (std::getline(list, entry, ',')) {
+    entry = strip(entry);
+    if (entry.empty()) continue;
+    std::vector<std::string> fields;
+    std::istringstream parts(entry);
+    std::string field;
+    while (std::getline(parts, field, ':')) fields.push_back(strip(field));
+    if (fields.size() < 4 || fields.size() > 5) {
+      throw ConfigError(
+          "invalid MemoryTiers entry '" + entry +
+          "' (want name:latency_ns:bandwidth_gbs:fraction[:scope])");
+    }
+    cluster::MemoryTier tier;
+    tier.name = fields[0];
+    tier.latency_ns = parse_number(fields[1], "tier latency");
+    tier.bandwidth_gbs = parse_number(fields[2], "tier bandwidth");
+    const double fraction = parse_number(fields[3], "tier fraction");
+    if (fields.size() == 5) tier.scope = parse_tier_scope(fields[4]);
+    if (tier.name.empty()) {
+      throw ConfigError("MemoryTiers entry needs a name: '" + entry + "'");
+    }
+    if (tier.latency_ns <= 0 || tier.bandwidth_gbs <= 0) {
+      throw ConfigError("tier latency/bandwidth must be positive: '" + entry +
+                        "'");
+    }
+    if (fraction <= 0.0 || fraction > 1.0) {
+      throw ConfigError("tier fraction must be in (0, 1]: '" + entry + "'");
+    }
+    sum += fraction;
+    sys.tiers.push_back(std::move(tier));
+    sys.tier_fractions.push_back(fraction);
+  }
+  if (sys.tiers.empty()) {
+    throw ConfigError("MemoryTiers must name at least one tier");
+  }
+  if (sys.tiers.size() > 255) {
+    throw ConfigError("MemoryTiers supports at most 255 tiers");
+  }
+  if (std::abs(sum - 1.0) > 1e-6) {
+    throw ConfigError("MemoryTiers fractions must sum to 1 (got " +
+                      std::to_string(sum) + ")");
+  }
+}
+
+}  // namespace
+
 FileConfig parse_config(std::istream& in) {
   FileConfig out;
   std::string line;
@@ -173,6 +240,8 @@ FileConfig parse_config(std::istream& in) {
       sys.cores_per_node = static_cast<int>(parse_number(value, "CoresPerNode"));
     } else if (key == "lenderpolicy") {
       sys.lender_policy = parse_lender_policy(value);
+    } else if (key == "memorytiers") {
+      parse_memory_tiers(value, sys);
     } else if (key == "allocationpolicy") {
       out.simulation.policy = parse_policy(value);
     } else if (key == "schedulerinterval") {

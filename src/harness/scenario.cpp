@@ -1,6 +1,7 @@
 #include "harness/scenario.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <filesystem>
 #include <memory>
 
@@ -18,6 +19,32 @@ cluster::ClusterConfig SystemConfig::to_cluster_config() const {
       normal_count(), normal_capacity, large_count(), large_capacity,
       cores_per_node);
   cfg.lender_policy = lender_policy;
+  if (!tiers.empty()) {
+    DMSIM_ASSERT(tier_fractions.size() == tiers.size(),
+                 "tier_fractions must match tiers");
+    cfg.tiers = tiers;
+    // Contiguous id blocks by cumulative fraction: tier t owns node ids
+    // [round(cum_{t-1} * N), round(cum_t * N)). llround keeps the split
+    // deterministic, and the final tier absorbs rounding remainders.
+    double cum = 0.0;
+    std::size_t begin = 0;
+    for (std::size_t t = 0; t < tiers.size(); ++t) {
+      cum += tier_fractions[t];
+      DMSIM_ASSERT(tier_fractions[t] >= 0.0, "tier fraction must be >= 0");
+      std::size_t end =
+          t + 1 == tiers.size()
+              ? cfg.nodes.size()
+              : static_cast<std::size_t>(std::llround(
+                    cum * static_cast<double>(cfg.nodes.size())));
+      end = std::min(end, cfg.nodes.size());
+      for (std::size_t i = begin; i < end; ++i) {
+        cfg.nodes[i].tier = static_cast<std::uint8_t>(t);
+        cfg.nodes[i].rack = static_cast<std::uint16_t>(t);
+      }
+      begin = std::max(begin, end);
+    }
+    DMSIM_ASSERT(std::abs(cum - 1.0) < 1e-6, "tier fractions must sum to 1");
+  }
   return cfg;
 }
 

@@ -26,6 +26,13 @@ struct SystemConfig {
   MiB large_capacity = gib(128);
   int cores_per_node = 32;
   cluster::LenderPolicy lender_policy = cluster::LenderPolicy::MemoryNodesFirst;
+  /// Memory-tier topology. Empty (the default) is the paper's flat single
+  /// remote pool and changes nothing. When set, `tier_fractions` must be the
+  /// same length and sum to ~1: nodes are assigned to tiers as contiguous
+  /// id blocks by cumulative fraction, and each node's rack is its tier
+  /// index (nearest-tier == same-rack in this simplified topology).
+  std::vector<cluster::MemoryTier> tiers;
+  std::vector<double> tier_fractions;
 
   [[nodiscard]] int large_count() const noexcept {
     return static_cast<int>(pct_large_nodes * total_nodes + 0.5);

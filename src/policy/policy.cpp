@@ -208,6 +208,67 @@ ResizeOutcome resize_to_demand(cluster::Cluster& cluster, JobId job,
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Tier-migration primitive (tiered topologies only)
+// ---------------------------------------------------------------------------
+
+MigrateOutcome migrate_to_nearest_tier(cluster::Cluster& cluster, JobId job,
+                                       NodeId host) {
+  MigrateOutcome out;
+  if (!cluster.tiered()) return out;
+  const cluster::AllocationSlot& slot = cluster.slot(job, host);
+  if (slot.remote.empty()) return out;
+
+  // Free lendable capacity in every tier strictly nearer than tier `t`
+  // (tier_order_ walks latency ascending). Ties in latency are "equally
+  // near": not worth a move. The host's own free memory is excluded —
+  // grow_remote never lends a slot memory from its own host, so it cannot
+  // absorb the refill.
+  const std::span<const std::uint8_t> order = cluster.tier_order();
+  const std::span<const cluster::MemoryTier> tiers = cluster.tiers();
+  const std::uint8_t host_tier = cluster.tier_of(host);
+  const MiB host_free = cluster.free_of(host);
+  const auto nearer_free = [&](std::uint8_t t) {
+    MiB free = 0;
+    for (const std::uint8_t o : order) {
+      if (tiers[o].latency_ns >= tiers[t].latency_ns) break;
+      free += cluster.tier_free(o);
+      if (o == host_tier) free -= host_free;
+    }
+    return free;
+  };
+
+  // Snapshot the edges farthest tier first (latency desc, lender id asc) —
+  // the mutation loop below rewrites slot.remote, so it cannot iterate the
+  // live vector, and the worst-placed memory should claim near-tier
+  // capacity first.
+  std::vector<std::pair<NodeId, MiB>> edges(slot.remote.begin(),
+                                            slot.remote.end());
+  std::sort(edges.begin(), edges.end(),
+            [&](const auto& a, const auto& b) {
+              const double la = tiers[cluster.tier_of(a.first)].latency_ns;
+              const double lb = tiers[cluster.tier_of(b.first)].latency_ns;
+              if (la != lb) return la > lb;
+              return a.first < b.first;
+            });
+  for (const auto& [lender, amount] : edges) {
+    const std::uint8_t t = cluster.tier_of(lender);
+    // Capped by what strictly-nearer tiers can absorb *before* the shrink:
+    // shrinking frees memory in tier t itself, which must not count, and
+    // grow_remote's nearest-first walk then provably lands every MiB in a
+    // nearer tier.
+    const MiB take = std::min(amount, nearer_free(t));
+    if (take <= 0) continue;
+    const MiB released = cluster.shrink_remote_edge(job, host, lender, take);
+    DMSIM_ASSERT(released == take, "migration shrink released a short amount");
+    const MiB granted = cluster.grow_remote(job, host, take);
+    DMSIM_ASSERT(granted == take, "migration grow landed short");
+    out.migrated += take;
+    out.remote_changed = true;
+  }
+  return out;
+}
+
 std::unique_ptr<AllocationPolicy> make_policy(PolicyKind kind) {
   switch (kind) {
     case PolicyKind::Baseline:

@@ -162,6 +162,23 @@ struct ResizeOutcome {
                                              JobId job, NodeId host,
                                              MiB demand);
 
+/// Outcome of a tier-migration pass over one (job, host) slot.
+struct MigrateOutcome {
+  MiB migrated = 0;            ///< MiB moved to a strictly nearer tier
+  bool remote_changed = false; ///< borrow edges changed
+};
+
+/// Tier-migration primitive (Dynamic policy, tiered topologies only):
+/// promote the slot's borrowed memory toward the nearest tiers. Edges are
+/// visited farthest tier first; each is moved only as far as strictly
+/// lower-latency tiers have free capacity (grow_remote's nearest-first
+/// spill guarantees the refill lands there). Demotion needs no action of
+/// its own — when near tiers are full, new grows spill outward, and later
+/// promotion pulls them back in as capacity frees up. A no-op (all zeros)
+/// on flat topologies.
+[[nodiscard]] MigrateOutcome migrate_to_nearest_tier(cluster::Cluster& cluster,
+                                                     JobId job, NodeId host);
+
 [[nodiscard]] std::unique_ptr<AllocationPolicy> make_policy(PolicyKind kind);
 
 }  // namespace dmsim::policy

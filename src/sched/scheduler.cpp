@@ -47,6 +47,7 @@ Scheduler::Scheduler(sim::Engine& engine, cluster::Cluster& cluster,
   h_backfill_wait_ = obs::histogram_handle(observer, "sched.backfill_wait_us");
   h_grow_mib_ = obs::histogram_handle(observer, "policy.grow_mib");
   h_shrink_mib_ = obs::histogram_handle(observer, "policy.shrink_mib");
+  h_migrate_mib_ = obs::histogram_handle(observer, "policy.migrate_mib");
   engine_.set_handler(this);
 }
 
@@ -597,6 +598,21 @@ Scheduler::UpdateResult Scheduler::apply_update(RunningJob& rj, JobId id) {
     if (!out.satisfied) {
       result.oom = true;
       break;
+    }
+  }
+  // After resizing, promote borrowed memory toward nearer tiers freed up by
+  // the shrinks (tiered topologies only — on a flat topology this is
+  // statically dead and the flat event stream is untouched).
+  if (!result.oom && cluster_.tiered()) {
+    MiB migrated = 0;
+    for (const NodeId host : hosts) {
+      const policy::MigrateOutcome moved =
+          policy::migrate_to_nearest_tier(cluster_, id, host);
+      migrated += moved.migrated;
+      result.remote_changed |= moved.remote_changed;
+    }
+    if (h_migrate_mib_ != nullptr && migrated > 0) {
+      h_migrate_mib_->record(migrated);
     }
   }
   // Actuator magnitude distributions (simulated MiB, so exports stay

@@ -362,6 +362,9 @@ class Scheduler : public sim::EventHandler {
   /// Simulated quantities, not wall clock — exports must stay deterministic.
   obs::Histogram* h_grow_mib_ = nullptr;
   obs::Histogram* h_shrink_mib_ = nullptr;
+  /// Tier-migration magnitude per Monitor update (MiB promoted to nearer
+  /// tiers); only ever recorded on tiered topologies.
+  obs::Histogram* h_migrate_mib_ = nullptr;
 };
 
 }  // namespace dmsim::sched

@@ -4,6 +4,7 @@
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <unordered_set>
 #include <vector>
 
 #include "util/error.hpp"
@@ -41,6 +42,7 @@ void write_app_pool_file(const std::string& path, const AppPool& pool) {
 
 AppPool read_app_pool(std::istream& in) {
   std::vector<AppProfile> apps;
+  std::unordered_set<std::string> seen_names;
   AppProfile current;
   bool in_app = false;
   std::string line;
@@ -67,6 +69,12 @@ AppPool read_app_pool(std::istream& in) {
     if (head == "app") {
       flush();
       if (!(fields >> current.name)) fail("missing app name");
+      // A repeated name would silently shadow the earlier block on lookup
+      // (matching is by pool index, but exports key on the name), so a
+      // duplicate is always an authoring error — reject it at its line.
+      if (!seen_names.insert(current.name).second) {
+        fail("duplicate app '" + current.name + "'");
+      }
       in_app = true;
     } else if (!in_app) {
       fail("field outside an app block");

@@ -20,12 +20,9 @@ namespace dmsim::snapshot {
 namespace {
 
 constexpr std::string_view kMagic = "DMSIMSNP";
-// v2: the counters section gained histogram and time-series state.
-// v3: the cluster section stores the occupancy ledger as whole columns
-//     (all running_job, then all local_used, then all lent) instead of one
-//     interleaved record per node. v2 snapshots remain readable.
-constexpr std::uint32_t kVersion = 3;
-constexpr std::uint32_t kMinVersion = 2;
+// Version history lives with the public constants in checkpoint.hpp.
+constexpr std::uint32_t kVersion = kFormatVersion;
+constexpr std::uint32_t kMinVersion = kMinFormatVersion;
 constexpr std::uint32_t kCountersSection = section_tag('C', 'N', 'T', 'R');
 constexpr std::uint32_t kEndSection = section_tag('E', 'N', 'D', '.');
 
@@ -188,6 +185,20 @@ std::uint64_t config_fingerprint(const Components& components) {
     w.boolean(n.large);
   }
   w.u8(static_cast<std::uint8_t>(components.cluster->lender_policy()));
+  // Memory-tier topology — appended ONLY when non-degenerate, so every
+  // fingerprint computed before tiers existed (necessarily flat) still
+  // matches byte for byte and v2/v3-era snapshots keep restoring.
+  if (cl.tiered()) {
+    w.u32(static_cast<std::uint32_t>(cl.tiers().size()));
+    for (const cluster::MemoryTier& t : cl.tiers()) {
+      w.str(t.name);
+      w.f64(t.latency_ns);
+      w.f64(t.bandwidth_gbs);
+      w.u8(static_cast<std::uint8_t>(t.scope));
+    }
+    for (const std::uint8_t t : cl.tier_column()) w.u8(t);
+    for (const std::uint16_t rk : cl.rack_column()) w.u32(rk);
+  }
   // Scheduler configuration.
   const sched::SchedulerConfig& sc = components.scheduler->config();
   w.f64(sc.sched_interval);
@@ -345,7 +356,13 @@ void restore_file(const std::string& path, const Components& components,
   if (in.bad()) {
     throw SnapshotError("snapshot: read error on '" + path + "'");
   }
-  restore_bytes(bytes, components);
+  try {
+    restore_bytes(bytes, components);
+  } catch (const SnapshotError& e) {
+    // Restores are usually several layers from the CLI flag that named the
+    // file; without the path a "checksum mismatch" is unactionable.
+    throw SnapshotError("restoring '" + path + "': " + e.what());
+  }
   if (stats != nullptr) {
     ++stats->restores;
     stats->bytes_read += bytes.size();

@@ -42,6 +42,17 @@ class Scheduler;
 
 namespace dmsim::snapshot {
 
+/// Snapshot envelope format version written by save_bytes, and the oldest
+/// version restore_bytes still reads. Exposed so tools (dmsim_run
+/// --version) report the real format instead of a hardcoded string.
+///   v2: counters section gained histogram and time-series state.
+///   v3: cluster occupancy ledger stored as whole columns.
+///   v4: cluster section carries the memory-tier table plus per-node
+///       tier/rack columns (v3/v2 files predate tiers and can only describe
+///       flat topologies, so they stay readable).
+inline constexpr std::uint32_t kFormatVersion = 4;
+inline constexpr std::uint32_t kMinFormatVersion = 2;
+
 /// The simulation objects a checkpoint spans. All pointers are borrowed;
 /// `counters` may be nullptr (counter state is then neither saved nor
 /// restored).

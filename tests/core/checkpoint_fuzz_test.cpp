@@ -51,6 +51,10 @@ struct FuzzCase {
   const char* name;
   policy::PolicyKind policy;
   sched::SchedulerConfig sched;
+  /// Run on a two-tier CXL-style topology: tier columns, tier-tagged borrow
+  /// edges and the migration pass must all survive the cut/restore round
+  /// trip bit for bit.
+  bool tiered = false;
 };
 
 std::vector<FuzzCase> fuzz_cases() {
@@ -81,6 +85,13 @@ std::vector<FuzzCase> fuzz_cases() {
     c.sched.oom_handling = sched::OomHandling::CheckpointRestart;
     cases.push_back(c);
   }
+  {
+    FuzzCase c{"dynamic_tiered", policy::PolicyKind::Dynamic, {}};
+    c.sched.backfill_mode = sched::BackfillMode::Easy;
+    c.sched.update_interval = 120.0;
+    c.tiered = true;
+    cases.push_back(c);
+  }
   return cases;
 }
 
@@ -90,6 +101,12 @@ SimulationConfig make_config(const FuzzCase& c) {
   cfg.system.pct_large_nodes = 0.5;
   cfg.policy = c.policy;
   cfg.sched = c.sched;
+  if (c.tiered) {
+    cfg.system.tiers = {
+        cluster::MemoryTier{"local", 150.0, 90.0, cluster::TierScope::Local},
+        cluster::MemoryTier{"rack", 450.0, 64.0, cluster::TierScope::Rack}};
+    cfg.system.tier_fractions = {0.5, 0.5};
+  }
   return cfg;
 }
 

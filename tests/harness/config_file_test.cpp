@@ -188,6 +188,51 @@ TEST(ParseConfig, EmptyValueRejected) {
   EXPECT_THROW(parse_config(in), ConfigError);
 }
 
+TEST(ParseConfig, MemoryTiersParse) {
+  std::istringstream in(
+      "Nodes = 16\n"
+      "MemoryTiers = local:150:90:0.6:local, rack-cxl:450:64:0.4\n");
+  const FileConfig cfg = parse_config(in);
+  const auto& sys = cfg.simulation.system;
+  ASSERT_EQ(sys.tiers.size(), 2u);
+  EXPECT_EQ(sys.tiers[0].name, "local");
+  EXPECT_DOUBLE_EQ(sys.tiers[0].latency_ns, 150.0);
+  EXPECT_DOUBLE_EQ(sys.tiers[0].bandwidth_gbs, 90.0);
+  EXPECT_EQ(sys.tiers[0].scope, cluster::TierScope::Local);
+  EXPECT_EQ(sys.tiers[1].name, "rack-cxl");
+  EXPECT_EQ(sys.tiers[1].scope, cluster::TierScope::Rack);  // default
+  ASSERT_EQ(sys.tier_fractions.size(), 2u);
+  EXPECT_DOUBLE_EQ(sys.tier_fractions[0], 0.6);
+  // The derived cluster config assigns contiguous id blocks: 0.6 * 16 ≈ 10
+  // nodes in tier 0, the rest in tier 1 (rack mirrors tier).
+  const cluster::ClusterConfig cc = sys.to_cluster_config();
+  ASSERT_EQ(cc.tiers.size(), 2u);
+  EXPECT_EQ(cc.nodes[0].tier, 0);
+  EXPECT_EQ(cc.nodes[9].tier, 0);
+  EXPECT_EQ(cc.nodes[10].tier, 1);
+  EXPECT_EQ(cc.nodes[15].tier, 1);
+  EXPECT_EQ(cc.nodes[15].rack, 1);
+}
+
+TEST(ParseConfig, MemoryTiersRejections) {
+  {  // fractions must sum to 1
+    std::istringstream in("MemoryTiers = a:100:50:0.5, b:200:25:0.4\n");
+    EXPECT_THROW(parse_config(in), ConfigError);
+  }
+  {  // too few fields
+    std::istringstream in("MemoryTiers = a:100:50\n");
+    EXPECT_THROW(parse_config(in), ConfigError);
+  }
+  {  // non-positive latency
+    std::istringstream in("MemoryTiers = a:0:50:1.0\n");
+    EXPECT_THROW(parse_config(in), ConfigError);
+  }
+  {  // unknown scope
+    std::istringstream in("MemoryTiers = a:100:50:1.0:continental\n");
+    EXPECT_THROW(parse_config(in), ConfigError);
+  }
+}
+
 TEST(ParseConfig, MissingFileThrows) {
   EXPECT_THROW(parse_config_file("/nonexistent/cluster.conf"), ConfigError);
 }

@@ -32,6 +32,11 @@ struct FuzzParams {
   /// Attach an AppPool so contention produces real slowdowns (and therefore
   /// walltime overruns and shifted OOM timing).
   bool with_apps;
+  /// Memory-tier topology axis: 1 = flat (the default everywhere else),
+  /// 2/3 = CXL-style tiered tables exercising per-tier indexes, tier-tagged
+  /// borrow edges and the scheduler's migration pass.
+  int tier_count = 1;
+  cluster::LenderPolicy lender = cluster::LenderPolicy::MemoryNodesFirst;
 };
 
 class SchedulerFuzzTest : public ::testing::TestWithParam<FuzzParams> {};
@@ -82,8 +87,25 @@ TEST_P(SchedulerFuzzTest, TerminatesConsistently) {
   trace::Workload jobs =
       random_workload(wl_rng, 40, shapes, pool, params.enforce_walltime);
 
-  cluster::Cluster cluster(
-      cluster::make_cluster_config(6, 64 * kGiB, 2, 128 * kGiB));
+  cluster::ClusterConfig cluster_cfg =
+      cluster::make_cluster_config(6, 64 * kGiB, 2, 128 * kGiB);
+  cluster_cfg.lender_policy = params.lender;
+  if (params.tier_count >= 2) {
+    cluster_cfg.tiers = {
+        cluster::MemoryTier{"local", 150.0, 90.0, cluster::TierScope::Local},
+        cluster::MemoryTier{"rack", 450.0, 64.0, cluster::TierScope::Rack}};
+    if (params.tier_count >= 3) {
+      cluster_cfg.tiers.push_back(cluster::MemoryTier{
+          "far", 1200.0, 40.0, cluster::TierScope::CrossRack});
+    }
+    for (std::size_t i = 0; i < cluster_cfg.nodes.size(); ++i) {
+      const auto t = static_cast<std::uint8_t>(
+          i % static_cast<std::size_t>(params.tier_count));
+      cluster_cfg.nodes[i].tier = t;
+      cluster_cfg.nodes[i].rack = t;
+    }
+  }
+  cluster::Cluster cluster(std::move(cluster_cfg));
   // Force the column/view parity sweep in every build type (it defaults to
   // debug builds only): each audit below also cross-checks the materialized
   // per-node view against the SoA columns.
@@ -173,6 +195,19 @@ std::vector<FuzzParams> fuzz_matrix() {
         out.push_back(FuzzParams{seed++, policy, mode, oom, false, false});
         out.push_back(FuzzParams{seed++, policy, mode, oom, true, true});
       }
+    }
+  }
+  // Tier axis: 1/2/3-tier topologies under every lender policy, Dynamic
+  // policy with apps so tier-weighted exposure, per-tier lender selection
+  // and the migration pass all run under the mid-run audits.
+  for (const int tiers : {1, 2, 3}) {
+    for (const auto lender :
+         {cluster::LenderPolicy::MemoryNodesFirst,
+          cluster::LenderPolicy::MostFree, cluster::LenderPolicy::LeastFree}) {
+      out.push_back(FuzzParams{seed++, policy::PolicyKind::Dynamic,
+                               UpdateMode::PerJobStaggered,
+                               OomHandling::FailRestart, true, true, tiers,
+                               lender});
     }
   }
   return out;

@@ -72,6 +72,24 @@ TEST(ProfileIo, RejectsShortCurve) {
   EXPECT_THROW(read_app_pool(in), TraceError);
 }
 
+TEST(ProfileIo, RejectsDuplicateAppNames) {
+  // A repeated `app` block would silently shadow the first on export; the
+  // parser must reject it and name the offending line.
+  std::istringstream in(
+      "app demo\n"
+      "bw_demand 5.5\n"
+      "app other\n"
+      "app demo\n");
+  try {
+    (void)read_app_pool(in);
+    FAIL() << "duplicate app accepted";
+  } catch (const TraceError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 4"), std::string::npos) << what;
+    EXPECT_NE(what.find("duplicate app 'demo'"), std::string::npos) << what;
+  }
+}
+
 TEST(ProfileIo, RejectsMissingFile) {
   EXPECT_THROW(read_app_pool_file("/nonexistent/apps.profile"), TraceError);
 }

@@ -1,16 +1,22 @@
-// Snapshot format-version compatibility (v3 columnar cluster ledger).
+// Snapshot format-version compatibility (v4 tiered cluster ledger).
 //
-// v3 stores the cluster's occupancy ledger as whole columns; v2 stored one
-// interleaved record per node. Three contracts are pinned here:
-//   * a hand-written v2 interleaved cluster section restores into the
-//     columnar ledger bit-for-bit (read-compat for old snapshot files),
-//   * a full v3 snapshot round-trips: restore + re-save is byte-identical,
-//     and the header carries version 3,
+// v4 leads the cluster section with the memory-tier table and the per-node
+// tier/rack columns; v3 stored the occupancy ledger as whole columns with
+// no tier data; v2 stored one interleaved record per node. Contracts pinned
+// here:
+//   * hand-written v2 (interleaved) and v3 (columnar, tierless) cluster
+//     sections restore into today's ledger bit-for-bit (read-compat for
+//     old snapshot files) and re-save deterministically as v4,
+//   * a full v4 snapshot round-trips — flat and tiered — with restore +
+//     re-save byte-identical, and the header carries version 4,
 //   * corrupt payloads, truncation, bad magic and out-of-range versions are
-//     rejected loudly before any component state is touched.
+//     rejected loudly before any component state is touched, and file-level
+//     restore errors name the offending path.
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -95,7 +101,7 @@ TEST(SnapshotCompat, V2InterleavedClusterSectionRestores) {
   dst.check_invariants();
 
   // Bit-for-bit equivalence with the source ledger: re-saving dst in the
-  // current (v3) format reproduces src's bytes exactly.
+  // current (v4) format reproduces src's bytes exactly.
   snapshot::Writer from_src;
   snapshot::Writer from_dst;
   src.save_state(from_src);
@@ -140,12 +146,111 @@ TEST(SnapshotCompat, V2RejectsOutOfRangeLedger) {
                snapshot::SnapshotError);
 }
 
+TEST(SnapshotCompat, V3ColumnarTierlessSectionRestores) {
+  // A v3 file carries the occupancy columns but no tier table — exactly
+  // what every pre-tier snapshot on disk looks like. It must restore into
+  // today's ledger and re-save (as v4) bit-identically to a native save.
+  cluster::Cluster src(small_config());
+  populate(src);
+
+  snapshot::Writer w;
+  w.section(snapshot::section_tag('C', 'L', 'U', 'S'));
+  const std::size_t n = src.node_count();
+  w.u32(static_cast<std::uint32_t>(n));
+  for (const std::uint32_t rj : src.running_job_column()) w.u32(rj);
+  for (const MiB lu : src.local_used_column()) w.i64(lu);
+  for (const MiB le : src.lent_column()) w.i64(le);
+  const std::vector<std::uint32_t> jobs = {1, 2};
+  w.u32(static_cast<std::uint32_t>(jobs.size()));
+  for (const std::uint32_t job : jobs) {
+    const auto hosts = src.hosts_of(JobId{job});
+    w.u32(job);
+    w.u32(static_cast<std::uint32_t>(hosts.size()));
+    for (const NodeId h : hosts) {
+      const cluster::AllocationSlot& slot = src.slot(JobId{job}, h);
+      w.u32(h.get());
+      w.i64(slot.local);
+      w.u32(static_cast<std::uint32_t>(slot.remote.size()));
+      for (const auto& [lender, amount] : slot.remote) {
+        w.u32(lender.get());
+        w.i64(amount);
+      }
+    }
+  }
+  w.i64(src.total_allocated());
+  w.i64(src.total_lent());
+  w.u64(src.change_epoch());
+
+  cluster::Cluster dst(small_config());
+  snapshot::Reader r(w.buffer());
+  dst.restore_state(r, /*format_version=*/3);
+  EXPECT_TRUE(r.at_end());
+  dst.set_debug_parity(true);
+  dst.check_invariants();
+
+  snapshot::Writer from_src;
+  snapshot::Writer from_dst;
+  src.save_state(from_src);
+  dst.save_state(from_dst);
+  EXPECT_EQ(from_src.buffer(), from_dst.buffer());
+}
+
+TEST(SnapshotCompat, V4RejectsMismatchedTierTopology) {
+  // A snapshot written by a tiered cluster must refuse to restore into the
+  // same node layout under a different tier table.
+  cluster::ClusterConfig cfg = small_config();
+  cfg.tiers = {cluster::MemoryTier{"near", 150.0, 90.0,
+                                   cluster::TierScope::Local},
+               cluster::MemoryTier{"far", 900.0, 40.0,
+                                   cluster::TierScope::CrossRack}};
+  for (std::size_t i = 0; i < cfg.nodes.size(); ++i) {
+    cfg.nodes[i].tier = i < 6 ? 0 : 1;
+  }
+  cluster::Cluster src(cfg);
+  populate(src);
+  snapshot::Writer w;
+  src.save_state(w);
+
+  {  // different tier latency
+    cluster::ClusterConfig other = cfg;
+    other.tiers[1].latency_ns = 901.0;
+    cluster::Cluster dst(other);
+    snapshot::Reader r(w.buffer());
+    EXPECT_THROW(dst.restore_state(r, 4), snapshot::SnapshotError);
+  }
+  {  // different node-to-tier assignment
+    cluster::ClusterConfig other = cfg;
+    other.nodes[0].tier = 1;
+    cluster::Cluster dst(other);
+    snapshot::Reader r(w.buffer());
+    EXPECT_THROW(dst.restore_state(r, 4), snapshot::SnapshotError);
+  }
+  {  // the matching topology restores fine
+    cluster::Cluster dst(cfg);
+    snapshot::Reader r(w.buffer());
+    dst.restore_state(r, 4);
+    EXPECT_TRUE(r.at_end());
+    dst.check_invariants();
+  }
+}
+
 /// A minimal full simulation (engine + cluster + scheduler) for whole-file
 /// snapshot tests, advanced to a busy mid-point.
 struct MiniSim {
-  explicit MiniSim(const workload::SyntheticWorkload& w) {
-    cluster_ = std::make_unique<cluster::Cluster>(
-        cluster::make_cluster_config(12, gib(64), 4, gib(128)));
+  explicit MiniSim(const workload::SyntheticWorkload& w, bool tiered = false) {
+    cluster::ClusterConfig ccfg =
+        cluster::make_cluster_config(12, gib(64), 4, gib(128));
+    if (tiered) {
+      ccfg.tiers = {cluster::MemoryTier{"near", 150.0, 90.0,
+                                        cluster::TierScope::Local},
+                    cluster::MemoryTier{"far", 1200.0, 40.0,
+                                        cluster::TierScope::CrossRack}};
+      for (std::size_t i = 0; i < ccfg.nodes.size(); ++i) {
+        ccfg.nodes[i].tier = i < 8 ? 0 : 1;
+        ccfg.nodes[i].rack = i < 8 ? 0 : 1;
+      }
+    }
+    cluster_ = std::make_unique<cluster::Cluster>(std::move(ccfg));
     policy_ = policy::make_policy(policy::PolicyKind::Dynamic);
     sched::SchedulerConfig cfg;
     cfg.sample_interval = 300.0;
@@ -183,19 +288,41 @@ workload::SyntheticWorkload mini_workload() {
              << 24;
 }
 
-TEST(SnapshotCompat, V3RoundTripIsByteIdentical) {
+TEST(SnapshotCompat, V4RoundTripIsByteIdentical) {
   const workload::SyntheticWorkload w = mini_workload();
   MiniSim source(w);
   MiniSim target(w);
   (void)source.scheduler_->run_ready(15000.0);
 
   const std::string bytes = snapshot::save_bytes(source.components());
-  EXPECT_EQ(header_version(bytes), 3U);
+  EXPECT_EQ(header_version(bytes), snapshot::kFormatVersion);
+  EXPECT_EQ(header_version(bytes), 4U);
 
   snapshot::restore_bytes(bytes, target.components());
   target.cluster_->set_debug_parity(true);
   target.cluster_->check_invariants();
   EXPECT_EQ(snapshot::save_bytes(target.components()), bytes);
+}
+
+TEST(SnapshotCompat, TieredRoundTripIsByteIdentical) {
+  // Same contract on a two-tier topology: the fingerprint (which now covers
+  // the tier table) matches between identically configured sims, the tier
+  // columns survive the trip, and re-save is byte-identical.
+  const workload::SyntheticWorkload w = mini_workload();
+  MiniSim source(w, /*tiered=*/true);
+  MiniSim target(w, /*tiered=*/true);
+  (void)source.scheduler_->run_ready(15000.0);
+
+  const std::string bytes = snapshot::save_bytes(source.components());
+  snapshot::restore_bytes(bytes, target.components());
+  target.cluster_->set_debug_parity(true);
+  target.cluster_->check_invariants();
+  EXPECT_EQ(snapshot::save_bytes(target.components()), bytes);
+
+  // A flat sim must refuse the tiered snapshot at the fingerprint.
+  MiniSim flat(w);
+  EXPECT_THROW(snapshot::restore_bytes(bytes, flat.components()),
+               snapshot::SnapshotError);
 }
 
 TEST(SnapshotCompat, CorruptSnapshotsAreRejected) {
@@ -221,8 +348,8 @@ TEST(SnapshotCompat, CorruptSnapshotsAreRejected) {
     bad[0] = 'X';
     EXPECT_THROW(snapshot::restore_bytes(bad, dst), snapshot::SnapshotError);
   }
-  {  // version below the compat window (v1) and above the writer (v4)
-    for (const char v : {'\x01', '\x04'}) {
+  {  // version below the compat window (v1) and above the writer (v5)
+    for (const char v : {'\x01', '\x05'}) {
       std::string bad = bytes;
       bad[8] = v;
       EXPECT_THROW(snapshot::restore_bytes(bad, dst), snapshot::SnapshotError);
@@ -231,6 +358,28 @@ TEST(SnapshotCompat, CorruptSnapshotsAreRejected) {
   // The pristine bytes still restore after all those rejections.
   snapshot::restore_bytes(bytes, dst);
   target.cluster_->check_invariants();
+}
+
+TEST(SnapshotCompat, RestoreFileErrorsNameThePath) {
+  const workload::SyntheticWorkload w = mini_workload();
+  MiniSim target(w);
+  const std::string path =
+      testing::TempDir() + "dmsim_compat_corrupt.snap";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "NOTASNAPSHOT";
+  }
+  try {
+    snapshot::restore_file(path, target.components());
+    FAIL() << "corrupt file restored";
+  } catch (const snapshot::SnapshotError& e) {
+    // The wrapped message must carry both the path (so `dmsim_run
+    // --restore` failures are actionable) and the underlying cause.
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("bad magic"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

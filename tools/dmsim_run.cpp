@@ -74,7 +74,8 @@ void print_version(std::ostream& os) {
   os << "dmsim_run " << DMSIM_VERSION_STRING << " (" << DMSIM_GIT_DESCRIBE
      << ", " << DMSIM_BUILD_TYPE << ")\n"
      << "compiler: " << __VERSION__ << '\n'
-     << "snapshot format: v2\n";
+     << "snapshot format: v" << snapshot::kFormatVersion << " (reads v"
+     << snapshot::kMinFormatVersion << "+)\n";
 }
 
 void print_usage(std::ostream& os) {
