@@ -1,0 +1,186 @@
+// Monitor sweep: what does imperfect memory monitoring cost? The paper's
+// dynamic policy assumes the scheduler sees each job's true usage trace
+// (an oracle). Real monitors sample — with error, staleness, and per-region
+// overhead (DAMON-style adaptive regions). This sweep crosses monitor
+// fidelity with the update interval on one memory-constrained system and
+// reports Fig. 5-style normalized throughput plus the runtime-OOM rate the
+// estimation error induces.
+//
+// Monitor axis:
+//   oracle         — ground truth; reproduces the untiered benches bit for
+//                    bit (the subsystem's identity contract)
+//   sampled-lo/hi  — fixed-period sampling with 5%/20% relative error (the
+//                    hi variant also observes a 30 s-stale window)
+//   adaptive-*     — DAMON-style split/merge regions; `fine` pays more
+//                    per-update overhead for a tighter error bound
+//
+// --json FILE writes BENCH_monitor.json: one record per (monitor, update
+// interval) cell. stdout is byte-identical at any --threads setting.
+#include <array>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace dmsim;
+
+struct MonitorVariant {
+  const char* name;
+  monitor::MonitorConfig config;
+};
+
+[[nodiscard]] std::vector<MonitorVariant> monitor_variants() {
+  using monitor::MonitorConfig;
+  using monitor::MonitorKind;
+  std::vector<MonitorVariant> variants;
+  variants.push_back({"oracle", MonitorConfig{}});
+
+  MonitorConfig lo;
+  lo.kind = MonitorKind::Sampled;
+  lo.relative_error = 0.05;
+  lo.staleness = 0.0;
+  variants.push_back({"sampled-lo", lo});
+
+  MonitorConfig hi;
+  hi.kind = MonitorKind::Sampled;
+  hi.relative_error = 0.20;
+  hi.staleness = 30.0;
+  variants.push_back({"sampled-hi", hi});
+
+  MonitorConfig coarse;
+  coarse.kind = MonitorKind::Adaptive;
+  coarse.min_interval = 60.0;
+  coarse.max_interval = 600.0;
+  coarse.error_bound = 0.10;
+  variants.push_back({"adaptive", coarse});
+
+  MonitorConfig fine;
+  fine.kind = MonitorKind::Adaptive;
+  fine.min_interval = 30.0;
+  fine.max_interval = 300.0;
+  fine.error_bound = 0.05;
+  fine.overhead_us_per_region = 50.0;
+  variants.push_back({"adaptive-fine", fine});
+
+  return variants;
+}
+
+constexpr std::array kIntervals = {120.0, 300.0, 600.0};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = dmsim::bench::parse_options(argc, argv);
+  dmsim::bench::print_scale_banner(
+      opts, "monitor sweep — throughput/OOM per monitor fidelity");
+
+  // The Runner must not claim the --json path: BENCH_monitor.json carries
+  // the per-cell curves below, not the generic perf report.
+  dmsim::bench::Options runner_opts = opts;
+  runner_opts.json_path.clear();
+  dmsim::bench::Runner runner("monitor_sweep", runner_opts);
+  dmsim::bench::WorkloadCache cache(opts.scale);
+
+  const auto variants = monitor_variants();
+  const auto& w = cache.get(0.25, 0.4);
+
+  // One memory-constrained system (the steepest part of the Fig. 5 curve,
+  // ~50% of fully-large memory) where provisioning accuracy actually binds;
+  // a fully-large Static system provides the normalization reference.
+  const auto ladder = dmsim::bench::figure_ladder(opts.scale.synth_nodes);
+  harness::SystemConfig constrained = ladder[ladder.size() / 2];
+  harness::SystemConfig full;
+  full.total_nodes = opts.scale.synth_nodes;
+  full.pct_large_nodes = 1.0;
+
+  // Phase 1: enqueue the (monitor, interval) grid under the dynamic policy.
+  const auto reference =
+      runner.add(full, policy::PolicyKind::Static, w.jobs, w.apps, "ref");
+  std::vector<std::vector<dmsim::bench::Runner::Handle>> rows;
+  for (const MonitorVariant& variant : variants) {
+    std::vector<dmsim::bench::Runner::Handle> row;
+    for (const double interval : kIntervals) {
+      sched::SchedulerConfig sched;
+      sched.update_interval = interval;
+      sched.monitor = variant.config;
+      row.push_back(runner.add(constrained, policy::PolicyKind::Dynamic,
+                               w.jobs, w.apps,
+                               std::string(variant.name) + " T=" +
+                                   std::to_string(static_cast<int>(interval)),
+                               sched));
+    }
+    rows.push_back(std::move(row));
+  }
+
+  // Phase 2: one parallel fan-out.
+  runner.run();
+
+  // Phase 3: one table, monitors as rows, intervals as column groups.
+  const auto& ref_cell = runner.get(reference);
+  const double ref = ref_cell.valid ? ref_cell.throughput() : 0.0;
+  util::TextTable table("Monitor sweep | dynamic policy, mem=" +
+                        dmsim::bench::mem_label(constrained) + "%");
+  std::vector<std::string> header = {"monitor"};
+  for (const double interval : kIntervals) {
+    const std::string t = std::to_string(static_cast<int>(interval));
+    header.push_back("thr@" + t + "s");
+    header.push_back("oom@" + t + "s");
+  }
+  table.set_header(std::move(header));
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    std::vector<std::string> row = {variants[v].name};
+    for (std::size_t s = 0; s < kIntervals.size(); ++s) {
+      const auto& r = runner.get(rows[v][s]);
+      if (!r.valid) {
+        row.push_back("-");
+        row.push_back("-");
+        continue;
+      }
+      row.push_back(util::fmt(ref > 0 ? r.throughput() / ref : 0.0, 3));
+      row.push_back(util::fmt_pct(r.summary.oom_job_fraction(), 2));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+  runner.finish();
+
+  // BENCH_monitor.json: the full grid, machine-readable.
+  if (!opts.json_path.empty()) {
+    metrics::JsonWriter jw;
+    jw.begin_object();
+    jw.key("bench").value("monitor_sweep");
+    jw.key("scale").value(opts.scale.full ? "full" : "reduced");
+    jw.key("mem_pct").value(dmsim::bench::mem_label(constrained));
+    jw.key("reference_throughput").value(ref);
+    jw.key("cells").begin_array();
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+      for (std::size_t s = 0; s < kIntervals.size(); ++s) {
+        const auto& r = runner.get(rows[v][s]);
+        jw.begin_object();
+        jw.key("monitor").value(variants[v].name);
+        jw.key("kind").value(
+            std::string(monitor::to_string(variants[v].config.kind)));
+        jw.key("update_interval_s").value(kIntervals[s]);
+        jw.key("valid").value(r.valid);
+        jw.key("throughput").value(r.valid ? r.throughput() : 0.0);
+        jw.key("normalized_throughput")
+            .value(r.valid && ref > 0 ? r.throughput() / ref : 0.0);
+        jw.key("mean_response_s")
+            .value(r.valid ? r.summary.response_time.mean() : 0.0);
+        jw.key("oom_job_fraction")
+            .value(r.valid ? r.summary.oom_job_fraction() : 0.0);
+        jw.end_object();
+      }
+    }
+    jw.end_array();
+    jw.end_object();
+    std::ofstream out(opts.json_path);
+    out << jw.str() << '\n';
+    if (!out) {
+      std::cerr << "error: failed to write " << opts.json_path << '\n';
+      return 1;
+    }
+  }
+  return 0;
+}

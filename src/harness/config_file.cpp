@@ -121,6 +121,67 @@ cluster::LenderPolicy parse_lender_policy(const std::string& value) {
   throw ConfigError("unknown lender policy: '" + value + "'");
 }
 
+monitor::MonitorConfig parse_monitor(const std::string& value) {
+  std::vector<std::string> fields;
+  std::istringstream parts(strip(value));
+  std::string field;
+  while (std::getline(parts, field, ':')) fields.push_back(strip(field));
+  if (fields.empty()) throw ConfigError("empty Monitor value");
+  const std::string kind = lower(fields[0]);
+
+  monitor::MonitorConfig cfg;
+  if (kind == "oracle") {
+    if (fields.size() != 1) {
+      throw ConfigError("Monitor=oracle takes no parameters: '" + value + "'");
+    }
+    return cfg;
+  }
+  if (kind == "sampled") {
+    if (fields.size() != 3) {
+      throw ConfigError("invalid Monitor value '" + value +
+                        "' (want sampled:relative_error:staleness)");
+    }
+    cfg.kind = monitor::MonitorKind::Sampled;
+    cfg.relative_error = parse_number(fields[1], "monitor relative error");
+    cfg.staleness = parse_duration(fields[2]);
+    if (cfg.relative_error < 0.0 || cfg.relative_error >= 1.0) {
+      throw ConfigError("monitor relative error must be in [0, 1): '" + value +
+                        "'");
+    }
+    return cfg;
+  }
+  if (kind == "adaptive") {
+    if (fields.size() < 4 || fields.size() > 5) {
+      throw ConfigError(
+          "invalid Monitor value '" + value +
+          "' (want adaptive:min_interval:max_interval:error_bound"
+          "[:overhead_us_per_region])");
+    }
+    cfg.kind = monitor::MonitorKind::Adaptive;
+    cfg.min_interval = parse_duration(fields[1]);
+    cfg.max_interval = parse_duration(fields[2]);
+    cfg.error_bound = parse_number(fields[3], "monitor error bound");
+    if (fields.size() == 5) {
+      cfg.overhead_us_per_region =
+          parse_number(fields[4], "monitor overhead");
+    }
+    if (cfg.min_interval <= 0.0 || cfg.max_interval < cfg.min_interval) {
+      throw ConfigError("monitor intervals must satisfy 0 < min <= max: '" +
+                        value + "'");
+    }
+    if (cfg.error_bound <= 0.0) {
+      throw ConfigError("monitor error bound must be positive: '" + value +
+                        "'");
+    }
+    if (cfg.overhead_us_per_region < 0.0) {
+      throw ConfigError("monitor overhead must be non-negative: '" + value +
+                        "'");
+    }
+    return cfg;
+  }
+  throw ConfigError("unknown monitor kind: '" + fields[0] + "'");
+}
+
 sched::OomHandling parse_oom_handling(const std::string& value) {
   const std::string v = lower(strip(value));
   if (v == "fail_restart" || v == "failrestart" || v == "f/r") {
@@ -274,6 +335,8 @@ FileConfig parse_config(std::istream& in) {
       }
     } else if (key == "updateinterval") {
       sch.update_interval = parse_duration(value);
+    } else if (key == "monitor") {
+      sch.monitor = parse_monitor(value);
     } else if (key == "oomhandling") {
       sch.oom_handling = parse_oom_handling(value);
     } else if (key == "guaranteedafterfailures") {

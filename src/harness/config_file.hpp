@@ -19,6 +19,7 @@
 //     QueueDepth       = 100
 //     BackfillDepth    = 100
 //     UpdateInterval   = 5min
+//     Monitor          = oracle                # sampled:ERR:LAG | adaptive:MIN:MAX:ERR[:US]
 //     OomHandling      = fail_restart          # checkpoint_restart
 //     GuaranteedAfterFailures = 3
 //     PriorityBoostPerFailure = 1
@@ -58,5 +59,6 @@ struct FileConfig {
 [[nodiscard]] policy::PolicyKind parse_policy(const std::string& value);
 [[nodiscard]] cluster::LenderPolicy parse_lender_policy(const std::string& value);
 [[nodiscard]] sched::OomHandling parse_oom_handling(const std::string& value);
+[[nodiscard]] monitor::MonitorConfig parse_monitor(const std::string& value);
 
 }  // namespace dmsim::harness

@@ -32,6 +32,7 @@ Scheduler::Scheduler(sim::Engine& engine, cluster::Cluster& cluster,
       policy_(policy),
       model_(pool),
       config_(std::move(config)),
+      monitor_(monitor::make_monitor(config_.monitor)),
       obs_(observer) {
   DMSIM_ASSERT(config_.sched_interval >= 0.0, "negative scheduling interval");
   DMSIM_ASSERT(config_.queue_depth > 0, "queue depth must be positive");
@@ -48,6 +49,14 @@ Scheduler::Scheduler(sim::Engine& engine, cluster::Cluster& cluster,
   h_grow_mib_ = obs::histogram_handle(observer, "policy.grow_mib");
   h_shrink_mib_ = obs::histogram_handle(observer, "policy.shrink_mib");
   h_migrate_mib_ = obs::histogram_handle(observer, "policy.migrate_mib");
+  // Monitor instruments exist only for non-oracle monitors: resolving a
+  // handle creates the registry entry, and an oracle run's registry must
+  // stay byte-identical to the pre-monitor simulator.
+  if (config_.monitor.kind != monitor::MonitorKind::Oracle) {
+    h_mon_error_ = obs::histogram_handle(observer, "monitor.estimate_error_mib");
+    h_mon_overhead_ = obs::histogram_handle(observer, "monitor.overhead_us");
+    g_mon_regions_ = obs::gauge_handle(observer, "monitor.regions");
+  }
   engine_.set_handler(this);
 }
 
@@ -305,6 +314,12 @@ void Scheduler::scheduling_pass() {
         pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(idx));
         set_queue_gauge();
         ++totals_.backfill_starts;
+        // Counts toward the end-of-pass slowdown refresh: a backfill start
+        // that borrows shifts contention exactly like an FCFS start, and a
+        // backfill-only pass used to skip the refresh, leaving the new job
+        // and its lenders' borrowers running on stale slowdowns until some
+        // later event happened to refresh (caught by slowdowns_fresh()).
+        ++started;
         if (h_wait_ != nullptr) {
           const std::int64_t waited = obs::to_micros(engine_.now() - enqueued);
           h_wait_->record(waited);
@@ -359,6 +374,7 @@ void Scheduler::start_running(const PendingEntry& entry) {
   rj.slowdown = 1.0;
   rj.restarts = entry.restarts;
   rj.guaranteed = entry.guaranteed;
+  rj.provisioned = spec.requested_mem;
 
   busy_nodes_ += spec.num_nodes;
 
@@ -378,20 +394,75 @@ void Scheduler::start_running(const PendingEntry& entry) {
 
   if (policy_.dynamic_updates() && !job.guaranteed) {
     ++global_updatable_;
+    // The zeroth window runs from start until the first update; staggering
+    // stretches it to up to 1.5x the update interval. In GlobalBatch mode
+    // the next tick is at most one interval away, so the interval is a
+    // conservative cover for the gap.
+    Seconds first_gap = config_.update_interval;
     if (config_.update_mode == UpdateMode::PerJobStaggered) {
-      const Seconds first =
-          config_.update_interval * (0.5 + update_phase(spec.id));
+      first_gap = config_.update_interval * (0.5 + update_phase(spec.id));
       job.update_event = engine_.schedule_typed_after(
-          first, sim::EventPayload::monitor_update(spec.id.get()));
+          first_gap, sim::EventPayload::monitor_update(spec.id.get()));
     } else if (!global_update_scheduled_) {
       global_update_scheduled_ = true;
       engine_.schedule_typed_after(config_.update_interval,
                                    sim::EventPayload::global_batch_tick());
     }
+    cover_first_window(spec.id, job, first_gap);
   }
   if (config_.enforce_walltime && spec.walltime > 0.0) {
     job.walltime_event = engine_.schedule_typed_after(
         spec.walltime, sim::EventPayload::walltime_kill(spec.id.get()));
+  }
+}
+
+void Scheduler::cover_first_window(JobId id, RunningJob& rj, Seconds first_gap) {
+  const trace::JobSpec& spec = spec_of(rj.spec_index);
+  const MiB plan = monitor_->plan_initial(id, spec, rj.progress,
+                                          effective_slowdown(rj), first_gap);
+  // A plan at or below the request is already covered by the initial
+  // allocation; leave the ledger untouched (and the event stream unchanged).
+  if (plan <= spec.requested_mem) return;
+
+  const std::span<const NodeId> hosts = cluster_.hosts_of(id);
+  bool oom = false;
+  bool any_changed = false;
+  MiB acquired = 0;
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    const MiB current = cluster_.slot(id, hosts[i]).total();
+    const MiB demand =
+        std::max(current, static_cast<MiB>(std::llround(
+                              static_cast<double>(plan) * spec.usage_scale(i))));
+    if (demand == current) continue;  // grow-only: never shrink at start
+    const policy::ResizeOutcome out =
+        policy::resize_to_demand(cluster_, id, hosts[i], demand);
+    acquired += out.acquired;
+    any_changed = true;
+    if (!out.satisfied) {
+      oom = true;
+      break;
+    }
+  }
+  if (!any_changed) return;
+  rj.provisioned = plan;
+  if (h_grow_mib_ != nullptr && acquired > 0) h_grow_mib_->record(acquired);
+  if (obs::tracing(obs_)) {
+    obs_->sink->emit(
+        obs::Event{obs::EventKind::MonitorUpdate, engine_.now(), id.get()}
+            .in_span(obs::Event::kNone,
+                     obs::span_id(id.get(), rj.restarts, obs::SpanPhase::Running))
+            .with("demand_mib", plan)
+            .with("released_mib", static_cast<MiB>(0))
+            .with("oom", oom ? 1 : 0));
+  }
+  if (oom) {
+    // The first window cannot be provisioned. Killing here would corrupt the
+    // scheduling pass iterating pending_, so pull the job's first update to
+    // "now": apply_update re-detects the shortfall and routes it through the
+    // normal OOM handling once the pass has finished.
+    engine_.cancel(rj.update_event);
+    rj.update_event = engine_.schedule_typed_after(
+        0.0, sim::EventPayload::monitor_update(id.get()));
   }
 }
 
@@ -414,11 +485,13 @@ Seconds Scheduler::reservation_shadow_time(const trace::JobSpec& head) const {
     double progress = rj.progress;
     if (spec.duration > 0.0) {
       progress = std::min(
-          1.0, progress + (now - rj.last_fold) / (spec.duration * rj.slowdown));
+          1.0, progress + (now - rj.last_fold) /
+                              (spec.duration * effective_slowdown(rj)));
     }
     const Seconds by_walltime = rj.start_time + std::max(spec.walltime, 0.0);
     const Seconds by_progress =
-        now + std::max(0.0, 1.0 - progress) * spec.duration * rj.slowdown;
+        now +
+        std::max(0.0, 1.0 - progress) * spec.duration * effective_slowdown(rj);
     MiB mem = 0;
     for (const NodeId h : cluster_.hosts_of(spec.id)) {
       mem += cluster_.slot(spec.id, h).total();
@@ -456,7 +529,7 @@ void Scheduler::fold_progress(RunningJob& rj) {
   if (spec.duration <= 0.0) {
     rj.progress = 1.0;
   } else {
-    const double rate = 1.0 / (spec.duration * rj.slowdown);
+    const double rate = 1.0 / (spec.duration * effective_slowdown(rj));
     rj.progress =
         std::min(1.0, rj.progress + (now - rj.last_fold) * rate);
   }
@@ -467,7 +540,7 @@ void Scheduler::project_end(JobId id, RunningJob& rj) {
   const trace::JobSpec& spec = spec_of(rj.spec_index);
   engine_.cancel(rj.end_event);
   const Seconds remaining =
-      std::max(0.0, 1.0 - rj.progress) * spec.duration * rj.slowdown;
+      std::max(0.0, 1.0 - rj.progress) * spec.duration * effective_slowdown(rj);
   rj.end_event = engine_.schedule_typed_after(
       remaining, sim::EventPayload::job_end(id.get()));
 }
@@ -519,6 +592,25 @@ void Scheduler::refresh_slowdowns() {
   }
 }
 
+bool Scheduler::slowdowns_fresh() const {
+  std::vector<slowdown::ContentionModel::JobInput> inputs;
+  std::vector<double> cached;
+  inputs.reserve(running_.size());
+  cached.reserve(running_.size());
+  for (const auto& [id_value, rj] : running_) {
+    inputs.push_back(slowdown::ContentionModel::JobInput{
+        JobId{id_value}, spec_of(rj.spec_index).app_profile});
+    cached.push_back(rj.slowdown);
+  }
+  const std::vector<double> fresh = model_.evaluate(cluster_, inputs);
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    // The incremental refresher skips re-projection inside kSlowdownEps, so
+    // a cached value may sit up to that far from the model's answer.
+    if (std::abs(fresh[i] - cached[i]) > kSlowdownEps) return false;
+  }
+  return true;
+}
+
 void Scheduler::cancel_job_events(RunningJob& rj) {
   engine_.cancel(rj.end_event);
   engine_.cancel(rj.update_event);
@@ -549,6 +641,7 @@ void Scheduler::on_job_end(JobId id) {
 
   const trace::JobSpec& spec = spec_of(rj.spec_index);
   cancel_job_events(rj);
+  monitor_->on_job_stop(id);
   cluster_.finish_job(id);
   busy_nodes_ -= spec.num_nodes;
 
@@ -568,21 +661,53 @@ void Scheduler::on_job_end(JobId id) {
 
 Scheduler::UpdateResult Scheduler::apply_update(RunningJob& rj, JobId id) {
   UpdateResult result;
+  // Default interval so the early-return path (job about to end) reschedules
+  // exactly as it always did.
+  result.next_interval = config_.update_interval;
   ++totals_.update_events;
   fold_progress(rj);
   if (rj.progress >= 1.0 - kProgressEps) return result;  // end event fires now
 
+  const double window_start = rj.checkpoint;
   rj.checkpoint = rj.progress;  // Monitor point doubles as the C/R checkpoint
   const trace::JobSpec& spec = spec_of(rj.spec_index);
 
-  // Demand for the coming window: the maximum usage between this progress
-  // point and the next expected update (§2.3).
-  double window_end = 1.0;
-  if (spec.duration > 0.0) {
-    window_end = rj.progress +
-                 config_.update_interval / (spec.duration * rj.slowdown);
+  // Realistic monitors make provisioning a bet: the estimate sized the last
+  // window's allocation, the trace is the truth. If true usage exceeded what
+  // was provisioned, the job touched memory it never had — a runtime OOM.
+  // The oracle is exempt by construction (its window estimates are exact).
+  if (monitor_->models_runtime_oom()) {
+    const MiB true_elapsed = spec.usage.max_in(window_start, rj.progress);
+    if (true_elapsed > rj.provisioned) {
+      result.oom = true;
+      if (obs::tracing(obs_)) {
+        obs_->sink->emit(
+            obs::Event{obs::EventKind::MonitorUpdate, engine_.now(), id.get()}
+                .in_span(obs::Event::kNone,
+                         obs::span_id(id.get(), rj.restarts,
+                                      obs::SpanPhase::Running))
+                .with("demand_mib", true_elapsed)
+                .with("released_mib", static_cast<MiB>(0))
+                .with("oom", 1));
+      }
+      return result;
+    }
   }
-  const MiB base_demand = spec.usage.max_in(rj.progress, window_end);
+
+  // Demand for the coming window and the time until the next update — both
+  // come from the monitor (§2.3: Monitor feeds the Decider). The look-ahead
+  // is sized from the actual gap the monitor chooses, not a fixed interval.
+  const monitor::Reading reading = monitor_->update(
+      id, spec, rj.progress, effective_slowdown(rj), config_.update_interval,
+      /*interval_locked=*/config_.update_mode == UpdateMode::GlobalBatch);
+  result.next_interval = reading.next_interval;
+  const MiB base_demand = reading.demand;
+  rj.provisioned = base_demand;
+  obs::record(h_mon_error_, reading.abs_error);
+  obs::record(h_mon_overhead_, reading.overhead_us);
+  if (g_mon_regions_ != nullptr) {
+    g_mon_regions_->set(reading.regions);
+  }
 
   const std::span<const NodeId> hosts = cluster_.hosts_of(id);
   MiB acquired = 0;
@@ -621,6 +746,13 @@ Scheduler::UpdateResult Scheduler::apply_update(RunningJob& rj, JobId id) {
   if (h_shrink_mib_ != nullptr && result.released > 0) {
     h_shrink_mib_->record(result.released);
   }
+  // Fold the modeled monitoring cost into the execution rate. The oracle's
+  // factor is exactly 1.0 forever, so this branch never fires there and the
+  // end-event stream is untouched.
+  if (reading.overhead_factor != rj.monitor_overhead) {
+    rj.monitor_overhead = reading.overhead_factor;
+    if (!result.oom) project_end(id, rj);
+  }
   if (obs::tracing(obs_)) {
     obs_->sink->emit(
         obs::Event{obs::EventKind::MonitorUpdate, engine_.now(), id.get()}
@@ -647,11 +779,24 @@ void Scheduler::on_update(JobId id) {
     return;
   }
 
-  rj.update_event = engine_.schedule_typed_after(
-      config_.update_interval, sim::EventPayload::monitor_update(id.get()));
-  // Contention only shifts when borrow edges changed; purely local resizes
-  // leave every job's slowdown untouched.
-  if (result.remote_changed) refresh_slowdowns();
+  // The monitor owns the cadence: the next update lands where its chosen
+  // interval says, and apply_update sized its look-ahead to match. (A
+  // GlobalBatch run can reach here via cover_first_window's immediate
+  // update; the global tick chain keeps driving such jobs, so no per-job
+  // chain is started.)
+  if (config_.update_mode == UpdateMode::PerJobStaggered) {
+    rj.update_event = engine_.schedule_typed_after(
+        result.next_interval, sim::EventPayload::monitor_update(id.get()));
+  }
+  // Contention shifts not only when borrow edges change: pressure ratios
+  // divide by a slot's TOTAL allocation, so a purely local resize of a
+  // remote-borrowing slot moves other jobs' slowdowns too. The cluster
+  // marks exactly those slots dirty — refresh whenever this update left
+  // anything dirty, not just on borrow-edge changes.
+  if (result.remote_changed || !cluster_.dirty_jobs().empty() ||
+      !cluster_.dirty_lenders().empty()) {
+    refresh_slowdowns();
+  }
   if (result.released > 0 && !pending_.empty()) request_scheduling_pass();
 }
 
@@ -683,7 +828,21 @@ void Scheduler::on_global_update() {
     kill_and_requeue(victim,
                      config_.oom_handling == OomHandling::CheckpointRestart);
   }
-  if (any_remote_changed && victims.empty()) refresh_slowdowns();
+  // With victims, the batch relies on kill_and_requeue for the survivors'
+  // refresh: its unconditional refresh_slowdowns() runs after the last kill,
+  // i.e. after every ledger change of this batch (the earlier apply_updates
+  // included), and a refresh covers ALL dirty jobs, not just the victim.
+  // Pin that reasoning: the dirty sets must be fully consumed here.
+  if (!victims.empty()) {
+    DMSIM_ASSERT(
+        cluster_.dirty_jobs().empty() && cluster_.dirty_lenders().empty(),
+        "global batch with OOM victims left slowdown inputs dirty");
+  }
+  if (victims.empty() &&
+      (any_remote_changed || !cluster_.dirty_jobs().empty() ||
+       !cluster_.dirty_lenders().empty())) {
+    refresh_slowdowns();
+  }
   if (released > 0 && !pending_.empty()) request_scheduling_pass();
 
   // Re-arm only while an update-participating job is running. Guaranteed
@@ -712,6 +871,7 @@ void Scheduler::kill_and_requeue(JobId id, bool checkpoint_restart) {
             checkpoint_restart ? "checkpoint_restart" : "fail_restart");
 
   cancel_job_events(rj);
+  monitor_->on_job_stop(id);
   cluster_.finish_job(id);
   busy_nodes_ -= spec.num_nodes;
 
@@ -766,6 +926,7 @@ void Scheduler::on_walltime(JobId id) {
   const trace::JobSpec& spec = spec_of(rj.spec_index);
 
   cancel_job_events(rj);
+  monitor_->on_job_stop(id);
   cluster_.finish_job(id);
   busy_nodes_ -= spec.num_nodes;
 
@@ -815,7 +976,8 @@ MiB Scheduler::current_used_memory() const {
     double progress = rj.progress;
     if (spec.duration > 0.0) {
       progress = std::min(
-          1.0, progress + (now - rj.last_fold) / (spec.duration * rj.slowdown));
+          1.0, progress + (now - rj.last_fold) /
+                              (spec.duration * effective_slowdown(rj)));
     }
     const MiB per_node = spec.usage.at(progress);
     double scale_sum = 0.0;
@@ -898,6 +1060,9 @@ void Scheduler::save_state(snapshot::Writer& writer) const {
     writer.f64(rj.checkpoint);
     writer.i64(rj.restarts);
     writer.boolean(rj.guaranteed);
+    // Format v5: monitor fold state per running job.
+    writer.f64(rj.monitor_overhead);
+    writer.i64(rj.provisioned);
   }
 
   std::vector<std::uint32_t> preds;
@@ -961,9 +1126,12 @@ void Scheduler::save_state(snapshot::Writer& writer) const {
   writer.f64(busy_integral_);
   writer.i64(busy_nodes_);
   writer.f64(horizon_);
+
+  // Format v5: per-job monitor state (noise counters / adaptive regions).
+  monitor_->save_state(writer);
 }
 
-void Scheduler::restore_state(snapshot::Reader& reader) {
+void Scheduler::restore_state(snapshot::Reader& reader, std::uint32_t version) {
   reader.expect_section(kSchedSection, "scheduler");
   if (reader.u64() != workload_.size()) {
     throw snapshot::SnapshotError(
@@ -1009,6 +1177,15 @@ void Scheduler::restore_state(snapshot::Reader& reader) {
     rj.checkpoint = reader.f64();
     rj.restarts = static_cast<int>(reader.i64());
     rj.guaranteed = reader.boolean();
+    if (version >= 5) {
+      rj.monitor_overhead = reader.f64();
+      rj.provisioned = reader.i64();
+    } else {
+      // Pre-monitor snapshots were oracle runs by definition (a non-oracle
+      // config changes the fingerprint): zero overhead, request provisioned.
+      rj.monitor_overhead = 1.0;
+      rj.provisioned = workload_[rj.spec_index].requested_mem;
+    }
     if (!running_.emplace(id_value, rj).second) {
       throw snapshot::SnapshotError("snapshot: duplicate running job");
     }
@@ -1092,6 +1269,11 @@ void Scheduler::restore_state(snapshot::Reader& reader) {
   busy_integral_ = reader.f64();
   busy_nodes_ = static_cast<int>(reader.i64());
   horizon_ = reader.f64();
+
+  // Monitor state: v5 sections carry it; older sections predate the monitor
+  // subsystem and restore a fresh (empty) oracle-equivalent monitor.
+  monitor_ = monitor::make_monitor(config_.monitor);
+  if (version >= 5) monitor_->restore_state(reader);
 
   // The incremental slowdown cache is intentionally NOT serialized: reset()
   // forces a full rebuild on the next refresh, which recomputes bitwise-

@@ -21,12 +21,14 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "monitor/monitor.hpp"
 #include "obs/observer.hpp"
 #include "policy/policy.hpp"
 #include "sim/engine.hpp"
@@ -73,6 +75,9 @@ struct SchedulerConfig {
   BackfillMode backfill_mode = BackfillMode::Easy;
   Seconds update_interval = 300.0; ///< Monitor period for dynamic jobs
   UpdateMode update_mode = UpdateMode::PerJobStaggered;
+  /// How demand estimates are produced (oracle / sampled / adaptive). The
+  /// default oracle reproduces the pre-monitor simulator byte-for-byte.
+  monitor::MonitorConfig monitor;
   OomHandling oom_handling = OomHandling::FailRestart;
   /// After this many OOM failures a job restarts with a guaranteed (static,
   /// request-sized, update-exempt) allocation. 0 disables the mitigation.
@@ -190,8 +195,10 @@ class Scheduler : public sim::EventHandler {
   /// submit_workload() with the same workload; the slowdown cache is reset
   /// and rebuilt incrementally (bitwise-equal recompute, so replay is
   /// unaffected). Restore the engine first: pending-event handles in the
-  /// snapshot must match the restored slab.
-  void restore_state(snapshot::Reader& reader);
+  /// snapshot must match the restored slab. `version` is the snapshot
+  /// format version: sections older than v5 predate the monitor subsystem
+  /// and restore with oracle-equivalent per-job monitor state.
+  void restore_state(snapshot::Reader& reader, std::uint32_t version);
 
   [[nodiscard]] const std::vector<JobRecord>& records() const noexcept {
     return records_;
@@ -213,6 +220,14 @@ class Scheduler : public sim::EventHandler {
   /// Time-weighted averages over [0, makespan] for utilization metrics.
   [[nodiscard]] double avg_allocated_mib() const noexcept;
   [[nodiscard]] double avg_busy_nodes() const noexcept;
+
+  /// Debug audit: recompute every running job's slowdown from scratch with
+  /// the contention model and compare against the cached values. Pins the
+  /// invariant that no event leaves a surviving job's slowdown stale —
+  /// notably a GlobalBatch update whose OOM victims' kill_and_requeue calls
+  /// are relied upon to refresh the survivors. O(jobs x edges); meant for
+  /// tests and fuzz audits, not the hot path.
+  [[nodiscard]] bool slowdowns_fresh() const;
 
  private:
   /// Typed-event dispatch: every production event the engine fires lands
@@ -255,6 +270,14 @@ class Scheduler : public sim::EventHandler {
     double checkpoint = 0.0;     ///< last monitored progress (C/R restart point)
     int restarts = 0;
     bool guaranteed = false;
+    /// Monitoring cost folded into the execution rate: the job runs at
+    /// 1 / (slowdown * monitor_overhead). Exactly 1.0 under the oracle, so
+    /// the fold is bit-exact identity there (x * 1.0 == x in IEEE 754).
+    double monitor_overhead = 1.0;
+    /// Per-node demand the last Monitor update provisioned for (the request
+    /// until the first update). Monitors that model runtime OOM compare it
+    /// against each elapsed window's true maximum.
+    MiB provisioned = 0;
   };
 
   [[nodiscard]] const trace::JobSpec& spec_of(std::size_t index) const {
@@ -281,16 +304,35 @@ class Scheduler : public sim::EventHandler {
   void on_job_end(JobId id);
   void on_update(JobId id);
   void on_global_update();
-  /// Fold progress, compute the next-window demand and resize every slot of
-  /// one running job. Returns {remote_changed, released, oom}.
+  /// Fold progress, ask the monitor for the next-window demand and resize
+  /// every slot of one running job.
   struct UpdateResult {
     bool remote_changed = false;
     bool oom = false;
     MiB released = 0;
+    /// Monitor-chosen time until the job's next update. Defaults to the
+    /// configured interval so the early-return paths (job about to end)
+    /// reschedule exactly as before.
+    Seconds next_interval = 0.0;
   };
   UpdateResult apply_update(RunningJob& rj, JobId id);
+  /// Provision the zeroth window [start, first update): the staggered first
+  /// update can arrive up to 1.5x update_interval after start, and the
+  /// request-sized initial allocation was the only cover for that gap. Asks
+  /// the monitor for the window demand and grows (never shrinks) any slot
+  /// the request under-covers; an unsatisfiable grow forces the job's first
+  /// update to fire immediately, which re-detects the shortfall and applies
+  /// the configured OOM handling outside the scheduling pass.
+  void cover_first_window(JobId id, RunningJob& rj, Seconds first_gap);
   void on_walltime(JobId id);
   void kill_and_requeue(JobId id, bool checkpoint_restart);
+
+  /// Execution-rate divisor: contention slowdown with the modeled
+  /// monitoring cost folded in. Bitwise equal to rj.slowdown whenever the
+  /// overhead factor is 1.0 (always, under the oracle).
+  [[nodiscard]] static double effective_slowdown(const RunningJob& rj) noexcept {
+    return rj.slowdown * rj.monitor_overhead;
+  }
 
   void fold_progress(RunningJob& rj);
   void project_end(JobId id, RunningJob& rj);
@@ -315,6 +357,7 @@ class Scheduler : public sim::EventHandler {
   slowdown::ContentionModel model_;
   slowdown::IncrementalSlowdowns inc_slowdowns_{&model_};
   SchedulerConfig config_;
+  std::unique_ptr<monitor::MemoryMonitor> monitor_;
 
   // refresh_slowdowns() scratch, reused across calls.
   std::vector<std::uint32_t> running_ids_scratch_;
@@ -365,6 +408,12 @@ class Scheduler : public sim::EventHandler {
   /// Tier-migration magnitude per Monitor update (MiB promoted to nearer
   /// tiers); only ever recorded on tiered topologies.
   obs::Histogram* h_migrate_mib_ = nullptr;
+  /// Monitor-model instruments. Resolved only for non-oracle monitors so an
+  /// oracle run's telemetry export stays byte-identical to the pre-monitor
+  /// simulator (empty instruments would still create registry entries).
+  obs::Histogram* h_mon_error_ = nullptr;
+  obs::Histogram* h_mon_overhead_ = nullptr;
+  obs::Gauge* g_mon_regions_ = nullptr;
 };
 
 }  // namespace dmsim::sched

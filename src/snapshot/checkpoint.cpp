@@ -214,6 +214,19 @@ std::uint64_t config_fingerprint(const Components& components) {
   w.i64(sc.max_restarts);
   w.boolean(sc.enforce_walltime);
   w.f64(sc.sample_interval);
+  // Monitor model — appended ONLY for non-oracle monitors, so every
+  // fingerprint computed before the monitor subsystem existed (necessarily
+  // oracle) still matches byte for byte and v2..v4 snapshots keep restoring.
+  if (sc.monitor.kind != monitor::MonitorKind::Oracle) {
+    w.u8(static_cast<std::uint8_t>(sc.monitor.kind));
+    w.f64(sc.monitor.relative_error);
+    w.f64(sc.monitor.staleness);
+    w.f64(sc.monitor.min_interval);
+    w.f64(sc.monitor.max_interval);
+    w.f64(sc.monitor.error_bound);
+    w.f64(sc.monitor.overhead_us_per_region);
+    w.u64(sc.monitor.seed);
+  }
   // The full workload: any perturbation (different seed, different trace)
   // changes every downstream decision, so it all goes into the hash.
   const trace::Workload& jobs = components.scheduler->workload();
@@ -302,7 +315,7 @@ void restore_bytes(std::string_view bytes, const Components& components) {
   Reader r(payload);
   components.engine->restore_state(r);
   components.cluster->restore_state(r, version);
-  components.scheduler->restore_state(r);
+  components.scheduler->restore_state(r, version);
   restore_counters_section(r, components.counters);
   r.expect_section(kEndSection, "end");
   if (!r.at_end()) {

@@ -50,7 +50,12 @@ namespace dmsim::snapshot {
 ///   v4: cluster section carries the memory-tier table plus per-node
 ///       tier/rack columns (v3/v2 files predate tiers and can only describe
 ///       flat topologies, so they stay readable).
-inline constexpr std::uint32_t kFormatVersion = 4;
+///   v5: scheduler section carries per-running-job monitor fold state
+///       (overhead factor, provisioned MiB) plus the memory-monitor's
+///       per-job state (noise counters / adaptive regions). Older files
+///       predate the monitor subsystem — necessarily oracle runs — and
+///       restore with oracle-equivalent defaults.
+inline constexpr std::uint32_t kFormatVersion = 5;
 inline constexpr std::uint32_t kMinFormatVersion = 2;
 
 /// The simulation objects a checkpoint spans. All pointers are borrowed;

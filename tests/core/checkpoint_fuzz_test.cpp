@@ -11,6 +11,7 @@
 
 #include "core/simulator.hpp"
 #include "metrics/json_export.hpp"
+#include "monitor/monitor.hpp"
 #include "snapshot/checkpoint.hpp"
 #include "snapshot/snapshot.hpp"
 #include "util/rng.hpp"
@@ -90,6 +91,33 @@ std::vector<FuzzCase> fuzz_cases() {
     c.sched.backfill_mode = sched::BackfillMode::Easy;
     c.sched.update_interval = 120.0;
     c.tiered = true;
+    cases.push_back(c);
+  }
+  {
+    // Live AdaptiveMonitor state — per-job region lists, adapted periods,
+    // and the noise RNG stream — must survive the cut/restore round trip
+    // bit for bit, including mid-run runtime-OOM handling.
+    FuzzCase c{"dynamic_adaptive_monitor", policy::PolicyKind::Dynamic, {}};
+    c.sched.backfill_mode = sched::BackfillMode::Easy;
+    c.sched.update_interval = 120.0;
+    c.sched.monitor.kind = monitor::MonitorKind::Adaptive;
+    c.sched.monitor.min_interval = 45.0;
+    c.sched.monitor.max_interval = 360.0;
+    c.sched.monitor.error_bound = 0.08;
+    c.sched.monitor.overhead_us_per_region = 25.0;
+    cases.push_back(c);
+  }
+  {
+    // Sampled monitor with staleness: the estimate depends on counters that
+    // advance once per update, so any drift after restore shows up fast.
+    FuzzCase c{"dynamic_sampled_monitor", policy::PolicyKind::Dynamic, {}};
+    c.sched.enable_backfill = false;
+    c.sched.update_mode = sched::UpdateMode::GlobalBatch;
+    c.sched.update_interval = 90.0;
+    c.sched.monitor.kind = monitor::MonitorKind::Sampled;
+    c.sched.monitor.relative_error = 0.15;
+    c.sched.monitor.staleness = 60.0;
+    c.sched.oom_handling = sched::OomHandling::CheckpointRestart;
     cases.push_back(c);
   }
   return cases;

@@ -1,0 +1,185 @@
+// Golden oracle-path identity: a run configured with Monitor=oracle (the
+// default) must be indistinguishable — byte for byte — from a run built
+// before the monitor subsystem existed. This pins the subsystem's
+// load-bearing design rule: every monitor-aware code path is either gated
+// on a non-oracle kind (runtime-OOM checks, the monitor.* instruments) or
+// algebraically inert for the oracle (effective_slowdown multiplies by
+// exactly 1.0; next_interval echoes the configured update interval; the
+// zeroth-window plan only grows when the truth already exceeds the
+// request, which the oracle decides with the same max_in call the old
+// update path used). Three surfaces are compared:
+//   * the full simulation JSON document (fig5/ablation-style export),
+//   * the NDJSON event trace,
+//   * the telemetry registry export,
+// plus a fig5-style run_cells grid whose per-cell JSON must match, and a
+// non-vacuity check that sampled/adaptive monitors DO diverge.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "harness/sweep.hpp"
+#include "metrics/json_export.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace_sink.hpp"
+#include "util/rng.hpp"
+
+namespace dmsim {
+namespace {
+
+trace::Workload monitor_golden_workload(const slowdown::AppPool& apps) {
+  util::Rng rng(20260808);
+  trace::Workload jobs;
+  Seconds submit = 0.0;
+  for (std::uint32_t i = 1; i <= 64; ++i) {
+    trace::JobSpec j;
+    j.id = JobId{i};
+    submit += rng.uniform() * 50.0;
+    j.submit_time = submit;
+    j.num_nodes = 1 + static_cast<int>(rng() % 6);
+    j.duration = 120.0 + rng.uniform() * 800.0;
+    j.walltime = j.duration * 2.0;
+    const MiB peak = gib(6) + static_cast<MiB>(rng() % gib(100));
+    j.usage = trace::UsageTrace(std::vector<trace::UsagePoint>{
+        {0.0, peak / 3}, {0.3, (peak * 2) / 3}, {0.65, peak}});
+    // Under-requests keep the grow/shrink machinery (where monitor demand
+    // estimates actually land) live through the whole run.
+    j.requested_mem = rng.uniform() < 0.35 ? (peak * 3) / 4 : peak;
+    j.app_profile = apps.match(j.num_nodes, j.duration);
+    jobs.push_back(std::move(j));
+  }
+  return jobs;
+}
+
+struct RunArtifacts {
+  std::string json;
+  std::string ndjson;
+  std::string telemetry;
+};
+
+RunArtifacts run_once(const SimulationConfig& cfg, const trace::Workload& jobs,
+                      const slowdown::AppPool& apps) {
+  std::ostringstream trace_out;
+  obs::NdjsonSink sink(trace_out);
+  obs::Counters counters;
+  Simulator sim(cfg, jobs, &apps, &sink, &counters);
+  const SimulationResult result = sim.run();
+  EXPECT_TRUE(result.valid);
+  RunArtifacts out;
+  out.json = metrics::to_json(result);
+  out.ndjson = trace_out.str();
+  out.telemetry = metrics::telemetry_to_json(counters.snapshot());
+  return out;
+}
+
+SimulationConfig base_config() {
+  SimulationConfig cfg;
+  cfg.system.total_nodes = 48;
+  cfg.system.pct_large_nodes = 0.25;
+  cfg.policy = policy::PolicyKind::Dynamic;
+  cfg.sched.backfill_mode = sched::BackfillMode::Easy;
+  cfg.sched.sample_interval = 200.0;
+  cfg.sched.update_interval = 150.0;
+  return cfg;
+}
+
+TEST(MonitorGolden, ExplicitOracleIsByteIdenticalToDefault) {
+  const slowdown::AppPool apps =
+      slowdown::AppPool::synthetic(util::Rng(17), 16);
+  const trace::Workload jobs = monitor_golden_workload(apps);
+
+  const SimulationConfig implicit = base_config();
+  const RunArtifacts ref = run_once(implicit, jobs, apps);
+  ASSERT_FALSE(ref.ndjson.empty());
+
+  // The oracle spelled out, with every non-oracle knob set to noisy values:
+  // none of them may leak into an oracle run.
+  SimulationConfig spelled = base_config();
+  spelled.sched.monitor.kind = monitor::MonitorKind::Oracle;
+  spelled.sched.monitor.relative_error = 0.9;
+  spelled.sched.monitor.staleness = 1e6;
+  spelled.sched.monitor.min_interval = 1.0;
+  spelled.sched.monitor.max_interval = 2.0;
+  spelled.sched.monitor.error_bound = 1e-6;
+  spelled.sched.monitor.overhead_us_per_region = 1e9;
+  spelled.sched.monitor.seed = 999;
+  const RunArtifacts oracle = run_once(spelled, jobs, apps);
+  EXPECT_EQ(oracle.json, ref.json);
+  EXPECT_EQ(oracle.ndjson, ref.ndjson);
+  EXPECT_EQ(oracle.telemetry, ref.telemetry);
+}
+
+TEST(MonitorGolden, NonOracleMonitorsActuallyDiverge) {
+  // Sanity check on the golden above: the comparison is not vacuous — both
+  // imperfect monitors change the simulation, and differently.
+  const slowdown::AppPool apps =
+      slowdown::AppPool::synthetic(util::Rng(17), 16);
+  const trace::Workload jobs = monitor_golden_workload(apps);
+
+  const RunArtifacts ref = run_once(base_config(), jobs, apps);
+
+  SimulationConfig sampled_cfg = base_config();
+  sampled_cfg.sched.monitor.kind = monitor::MonitorKind::Sampled;
+  sampled_cfg.sched.monitor.relative_error = 0.2;
+  sampled_cfg.sched.monitor.staleness = 60.0;
+  const RunArtifacts sampled = run_once(sampled_cfg, jobs, apps);
+  EXPECT_NE(sampled.json, ref.json);
+
+  SimulationConfig adaptive_cfg = base_config();
+  adaptive_cfg.sched.monitor.kind = monitor::MonitorKind::Adaptive;
+  adaptive_cfg.sched.monitor.min_interval = 30.0;
+  adaptive_cfg.sched.monitor.max_interval = 300.0;
+  adaptive_cfg.sched.monitor.error_bound = 0.05;
+  const RunArtifacts adaptive = run_once(adaptive_cfg, jobs, apps);
+  EXPECT_NE(adaptive.json, ref.json);
+  EXPECT_NE(adaptive.json, sampled.json);
+
+  // The monitor.* instruments exist only on non-oracle runs: invisible in
+  // the oracle telemetry, present in the sampled/adaptive telemetry.
+  EXPECT_EQ(ref.telemetry.find("monitor."), std::string::npos);
+  EXPECT_NE(sampled.telemetry.find("monitor.estimate_error_mib"),
+            std::string::npos);
+  EXPECT_NE(adaptive.telemetry.find("monitor.regions"), std::string::npos);
+}
+
+TEST(MonitorGolden, Fig5StyleCellGridMatchesPerCell) {
+  // The same identity through the bench plumbing (run_cells + the per-cell
+  // JSON serializer the figure goldens compare): default grid vs
+  // explicit-oracle grid, every cell byte-equal.
+  const slowdown::AppPool apps =
+      slowdown::AppPool::synthetic(util::Rng(17), 16);
+  const trace::Workload jobs = monitor_golden_workload(apps);
+
+  std::vector<harness::CellConfig> default_cells;
+  std::vector<harness::CellConfig> oracle_cells;
+  for (const double mix : {0.25, 0.75}) {
+    for (const auto policy :
+         {policy::PolicyKind::Static, policy::PolicyKind::Dynamic}) {
+      harness::CellConfig cell;
+      cell.system.total_nodes = 32;
+      cell.system.pct_large_nodes = mix;
+      cell.policy = policy;
+      cell.collect_telemetry = true;
+      default_cells.push_back(cell);
+      cell.sched.monitor.kind = monitor::MonitorKind::Oracle;
+      cell.sched.monitor.seed = 4242;  // ignored by the oracle
+      oracle_cells.push_back(cell);
+    }
+  }
+  const auto default_results = harness::run_cells(default_cells, jobs, apps, 2);
+  const auto oracle_results = harness::run_cells(oracle_cells, jobs, apps, 2);
+  ASSERT_EQ(default_results.size(), oracle_results.size());
+  for (std::size_t i = 0; i < default_results.size(); ++i) {
+    EXPECT_EQ(harness::cell_result_to_json(oracle_results[i]),
+              harness::cell_result_to_json(default_results[i]))
+        << "cell " << i;
+    EXPECT_EQ(metrics::telemetry_to_json(oracle_results[i].telemetry),
+              metrics::telemetry_to_json(default_results[i].telemetry))
+        << "cell " << i;
+  }
+}
+
+}  // namespace
+}  // namespace dmsim

@@ -1,0 +1,294 @@
+// MemoryMonitor unit contracts: the window guard, oracle exactness, the
+// sampled monitor's deterministic noise/staleness model, and the adaptive
+// monitor's split/merge + period adaptation — including the region cap and
+// byte-identical state round-trips.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "monitor/monitor.hpp"
+#include "snapshot/snapshot.hpp"
+#include "trace/job_spec.hpp"
+
+namespace dmsim {
+namespace {
+
+using monitor::MonitorConfig;
+using monitor::MonitorKind;
+using monitor::Reading;
+
+/// A job with a pronounced mid-life spike: flat 1000 MiB, a 4000 MiB spike
+/// over [0.45, 0.55), then 1500 MiB. Coarse monitors blur the spike.
+trace::JobSpec spiky_job(JobId id = JobId{7}) {
+  trace::JobSpec spec;
+  spec.id = id;
+  spec.num_nodes = 1;
+  spec.requested_mem = 2000;
+  spec.duration = 3600.0;
+  spec.walltime = 7200.0;
+  spec.usage = trace::UsageTrace({{0.0, 1000},
+                                  {0.45, 4000},
+                                  {0.55, 1500}});
+  return spec;
+}
+
+TEST(DemandWindowEnd, GuardsDegenerateInputs) {
+  // Normal case: 600 s of look-ahead on a 3600 s job at slowdown 1 covers
+  // one sixth of the progress axis.
+  EXPECT_DOUBLE_EQ(monitor::demand_window_end(0.25, 600.0, 3600.0, 1.0),
+                   0.25 + 600.0 / 3600.0);
+  // Zero / negative duration: the window must degrade to "rest of the job",
+  // never divide by zero.
+  EXPECT_DOUBLE_EQ(monitor::demand_window_end(0.25, 600.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(monitor::demand_window_end(0.25, 600.0, -5.0, 1.0), 1.0);
+  // Non-positive look-ahead.
+  EXPECT_DOUBLE_EQ(monitor::demand_window_end(0.25, 0.0, 3600.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(monitor::demand_window_end(0.25, -60.0, 3600.0, 1.0), 1.0);
+  // Poisoned slowdown: NaN and zero both collapse to the full window rather
+  // than handing max_in an inverted or NaN bound.
+  EXPECT_DOUBLE_EQ(monitor::demand_window_end(
+                       0.25, 600.0, 3600.0,
+                       std::numeric_limits<double>::quiet_NaN()),
+                   1.0);
+  EXPECT_DOUBLE_EQ(monitor::demand_window_end(0.25, 600.0, 3600.0, 0.0), 1.0);
+  // Huge look-ahead (e.g. an absurd update interval): saturates at 1.0-ish
+  // finite values, never infinity.
+  const double end = monitor::demand_window_end(
+      0.1, std::numeric_limits<double>::max(), 1.0, 1.0);
+  EXPECT_TRUE(std::isfinite(end));
+  EXPECT_GE(end, 0.1);
+}
+
+TEST(OracleMonitor, ReturnsExactWindowMaximum) {
+  auto mon = monitor::make_monitor(MonitorConfig{});
+  ASSERT_EQ(mon->kind(), MonitorKind::Oracle);
+  EXPECT_FALSE(mon->models_runtime_oom());
+
+  const trace::JobSpec spec = spiky_job();
+  // Window [0.4, 0.5667) covers the spike start: demand is the true peak.
+  const Reading r = mon->update(spec.id, spec, 0.4, 1.0, 600.0, false);
+  EXPECT_EQ(r.demand, spec.usage.max_in(0.4, 0.4 + 600.0 / 3600.0));
+  EXPECT_EQ(r.demand, 4000);
+  EXPECT_DOUBLE_EQ(r.next_interval, 600.0);
+  EXPECT_DOUBLE_EQ(r.overhead_factor, 1.0);
+  EXPECT_EQ(r.abs_error, 0);
+  EXPECT_EQ(r.overhead_us, 0);
+
+  // plan_initial covers the stretched zeroth window the same way.
+  EXPECT_EQ(mon->plan_initial(spec.id, spec, 0.0, 1.0, 3600.0 * 0.5), 4000);
+  EXPECT_EQ(mon->plan_initial(spec.id, spec, 0.0, 1.0, 600.0), 1000);
+}
+
+TEST(SampledMonitor, NoiseIsDeterministicAndBounded) {
+  MonitorConfig cfg;
+  cfg.kind = MonitorKind::Sampled;
+  cfg.relative_error = 0.2;
+  const trace::JobSpec spec = spiky_job();
+
+  auto a = monitor::make_monitor(cfg);
+  auto b = monitor::make_monitor(cfg);
+  EXPECT_TRUE(a->models_runtime_oom());
+  for (int i = 0; i < 32; ++i) {
+    const double p = i / 40.0;
+    const Reading ra = a->update(spec.id, spec, p, 1.0, 300.0, false);
+    const Reading rb = b->update(spec.id, spec, p, 1.0, 300.0, false);
+    // Identical config => identical noise sequence => identical readings.
+    EXPECT_EQ(ra.demand, rb.demand) << "update " << i;
+    // Headroom provisioning: demand is estimate * (1 + err), and the raw
+    // estimate is observed * [1 - err, 1 + err].
+    const MiB observed =
+        spec.usage.max_in(p, monitor::demand_window_end(p, 300.0,
+                                                        spec.duration, 1.0));
+    const auto lo = static_cast<double>(observed) * (1.0 - cfg.relative_error) *
+                    (1.0 + cfg.relative_error);
+    const auto hi = static_cast<double>(observed) * (1.0 + cfg.relative_error) *
+                    (1.0 + cfg.relative_error);
+    EXPECT_GE(static_cast<double>(ra.demand), std::floor(lo)) << "update " << i;
+    EXPECT_LE(static_cast<double>(ra.demand), std::ceil(hi)) << "update " << i;
+  }
+
+  // A different seed produces a different sequence somewhere.
+  MonitorConfig other = cfg;
+  other.seed = 12345;
+  auto c = monitor::make_monitor(other);
+  bool diverged = false;
+  for (int i = 0; i < 32 && !diverged; ++i) {
+    const double p = i / 40.0;
+    diverged = c->update(spec.id, spec, p, 1.0, 300.0, false).demand !=
+               a->update(spec.id, spec, p, 1.0, 300.0, false).demand;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(SampledMonitor, StalenessObservesThePast) {
+  // With zero noise the estimate is exactly the observed window max, so
+  // staleness is directly visible: at the spike the stale monitor still
+  // reports the pre-spike plateau.
+  MonitorConfig cfg;
+  cfg.kind = MonitorKind::Sampled;
+  cfg.relative_error = 0.0;
+  cfg.staleness = 720.0;  // 0.2 of progress at slowdown 1
+  const trace::JobSpec spec = spiky_job();
+  auto mon = monitor::make_monitor(cfg);
+
+  // Fresh window [0.45, 0.5333) sits on the spike; the stale view describes
+  // [0.25, 0.3333), still on the 1000 MiB plateau.
+  const Reading r = mon->update(spec.id, spec, 0.45, 1.0, 300.0, false);
+  EXPECT_EQ(r.demand, 1000);
+  // And the reported error is the full spike height.
+  EXPECT_EQ(r.abs_error, 3000);
+}
+
+TEST(SampledMonitor, StateRoundTripsAndStopsReset) {
+  MonitorConfig cfg;
+  cfg.kind = MonitorKind::Sampled;
+  cfg.relative_error = 0.15;
+  const trace::JobSpec spec = spiky_job();
+
+  auto mon = monitor::make_monitor(cfg);
+  (void)mon->update(spec.id, spec, 0.1, 1.0, 300.0, false);
+  (void)mon->update(spec.id, spec, 0.2, 1.0, 300.0, false);
+
+  // Save, keep updating, then restore a twin and replay: readings match.
+  snapshot::Writer w;
+  mon->save_state(w);
+  const Reading expected = mon->update(spec.id, spec, 0.3, 1.0, 300.0, false);
+
+  auto twin = monitor::make_monitor(cfg);
+  snapshot::Reader r(w.buffer());
+  twin->restore_state(r);
+  EXPECT_TRUE(r.at_end());
+  const Reading got = twin->update(spec.id, spec, 0.3, 1.0, 300.0, false);
+  EXPECT_EQ(got.demand, expected.demand);
+
+  // Re-save is byte-identical.
+  snapshot::Writer w2;
+  twin->save_state(w2);
+  snapshot::Writer w3;
+  mon->save_state(w3);
+  // mon advanced one update past the cut; the twin replayed the same update.
+  EXPECT_EQ(w2.buffer(), w3.buffer());
+
+  // on_job_stop drops the counter: the noise sequence starts over.
+  mon->on_job_stop(spec.id);
+  auto fresh = monitor::make_monitor(cfg);
+  EXPECT_EQ(mon->update(spec.id, spec, 0.1, 1.0, 300.0, false).demand,
+            fresh->update(spec.id, spec, 0.1, 1.0, 300.0, false).demand);
+}
+
+TEST(AdaptiveMonitor, SplitsOnMissAndMergesOnAgreement) {
+  MonitorConfig cfg;
+  cfg.kind = MonitorKind::Adaptive;
+  cfg.min_interval = 60.0;
+  cfg.max_interval = 600.0;
+  cfg.error_bound = 0.1;
+  const trace::JobSpec spec = spiky_job();
+
+  monitor::AdaptiveMonitor mon(cfg);
+  EXPECT_TRUE(mon.models_runtime_oom());
+  EXPECT_EQ(mon.region_count(spec.id), 0U);
+
+  // Window [0.40, 0.4833) straddles the spike onset at 0.45: the single
+  // [0,1] region's probe at the overlap midpoint (~0.44) sees the plateau
+  // while the window truth is the spike — a miss, so the region splits and
+  // the period halves.
+  const Reading r1 = mon.update(spec.id, spec, 0.40, 1.0, 300.0, false);
+  EXPECT_EQ(mon.region_count(spec.id), 2U);
+  EXPECT_GT(r1.abs_error, 0);
+  EXPECT_LT(r1.next_interval, 300.0);
+  EXPECT_GE(r1.next_interval, cfg.min_interval);
+  EXPECT_GT(r1.overhead_factor, 1.0);
+  EXPECT_EQ(r1.regions, 2);
+
+  // Drive updates across the whole job: regions never exceed the cap and
+  // the period stays inside [min, max].
+  std::size_t peak_regions = 0;
+  for (int i = 1; i < 200; ++i) {
+    const double p = i / 200.0;
+    const Reading r = mon.update(spec.id, spec, p, 1.0, 300.0, false);
+    peak_regions = std::max(peak_regions, mon.region_count(spec.id));
+    ASSERT_LE(mon.region_count(spec.id), monitor::kMaxRegionsPerJob);
+    ASSERT_GE(r.next_interval, cfg.min_interval);
+    ASSERT_LE(r.next_interval, cfg.max_interval);
+  }
+  // The spike forced real splitting...
+  EXPECT_GT(peak_regions, 2U);
+  // ...and agreement on the flat tail merged some of it back.
+  EXPECT_LT(mon.region_count(spec.id), peak_regions);
+
+  mon.on_job_stop(spec.id);
+  EXPECT_EQ(mon.region_count(spec.id), 0U);
+}
+
+TEST(AdaptiveMonitor, IntervalLockPinsThePeriod) {
+  MonitorConfig cfg;
+  cfg.kind = MonitorKind::Adaptive;
+  cfg.min_interval = 60.0;
+  cfg.max_interval = 600.0;
+  const trace::JobSpec spec = spiky_job();
+  monitor::AdaptiveMonitor mon(cfg);
+
+  // GlobalBatch mode: a single timer drives every job, so next_interval
+  // must echo the base interval even while the estimate adapts.
+  for (int i = 0; i < 20; ++i) {
+    const Reading r = mon.update(spec.id, spec, i / 20.0, 1.0, 300.0, true);
+    ASSERT_DOUBLE_EQ(r.next_interval, 300.0);
+  }
+}
+
+TEST(AdaptiveMonitor, StateRoundTripIsByteIdentical) {
+  MonitorConfig cfg;
+  cfg.kind = MonitorKind::Adaptive;
+  cfg.min_interval = 60.0;
+  cfg.max_interval = 600.0;
+  cfg.error_bound = 0.05;
+  const trace::JobSpec spec = spiky_job();
+  const trace::JobSpec spec2 = spiky_job(JobId{11});
+
+  monitor::AdaptiveMonitor mon(cfg);
+  for (int i = 0; i < 40; ++i) {
+    (void)mon.update(spec.id, spec, i / 40.0, 1.0, 300.0, false);
+    (void)mon.update(spec2.id, spec2, i / 50.0, 1.3, 300.0, false);
+  }
+
+  snapshot::Writer w;
+  mon.save_state(w);
+
+  monitor::AdaptiveMonitor twin(cfg);
+  snapshot::Reader r(w.buffer());
+  twin.restore_state(r);
+  EXPECT_TRUE(r.at_end());
+  EXPECT_EQ(twin.region_count(spec.id), mon.region_count(spec.id));
+  EXPECT_EQ(twin.region_count(spec2.id), mon.region_count(spec2.id));
+
+  snapshot::Writer w2;
+  twin.save_state(w2);
+  EXPECT_EQ(w.buffer(), w2.buffer());
+
+  // And the restored monitor continues identically.
+  for (int i = 40; i < 60; ++i) {
+    const Reading a = mon.update(spec.id, spec, i / 60.0, 1.0, 300.0, false);
+    const Reading b = twin.update(spec.id, spec, i / 60.0, 1.0, 300.0, false);
+    ASSERT_EQ(a.demand, b.demand);
+    ASSERT_DOUBLE_EQ(a.next_interval, b.next_interval);
+    ASSERT_EQ(a.regions, b.regions);
+  }
+}
+
+TEST(MakeMonitor, DispatchesOnKind) {
+  MonitorConfig cfg;
+  EXPECT_EQ(monitor::make_monitor(cfg)->kind(), MonitorKind::Oracle);
+  cfg.kind = MonitorKind::Sampled;
+  EXPECT_EQ(monitor::make_monitor(cfg)->kind(), MonitorKind::Sampled);
+  cfg.kind = MonitorKind::Adaptive;
+  EXPECT_EQ(monitor::make_monitor(cfg)->kind(), MonitorKind::Adaptive);
+  EXPECT_STREQ(monitor::to_string(MonitorKind::Oracle), "oracle");
+  EXPECT_STREQ(monitor::to_string(MonitorKind::Sampled), "sampled");
+  EXPECT_STREQ(monitor::to_string(MonitorKind::Adaptive), "adaptive");
+}
+
+}  // namespace
+}  // namespace dmsim

@@ -1,0 +1,97 @@
+// Regression: the zeroth monitoring window must be provisioned for the gap
+// the staggered schedule actually leaves, not for exactly one interval.
+//
+// PerJobStaggered fires a job's first update at interval * (0.5 + phase)
+// with phase in [0, 1) — up to 1.5 intervals after start. The old demand
+// look-ahead was hard-coded to one interval, so for phase > 0.5 the tail
+// [interval, (0.5 + phase) * interval] of the zeroth window was never
+// provisioned: a usage spike there ran on memory the ledger had not
+// granted. cover_first_window() now sizes the look-ahead from the actual
+// time to the first update.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "policy/policy.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/engine.hpp"
+#include "trace/job_spec.hpp"
+
+namespace dmsim {
+namespace {
+
+/// Job 1's stagger phase is (2654435761 % 4096) / 4096 ~= 0.6057, so its
+/// first update fires ~1.106 intervals after start — a tail of ~31.7 s
+/// beyond the old one-interval look-ahead at interval 300.
+constexpr double kPhaseJob1 = 2481.0 / 4096.0;
+
+trace::JobSpec tail_spike_job() {
+  trace::JobSpec j;
+  j.id = JobId{1};
+  j.submit_time = 0.0;
+  j.num_nodes = 1;
+  j.duration = 1000.0;
+  j.walltime = 4000.0;
+  j.requested_mem = gib(8);
+  // The spike sits at progress [0.305, 0.325): past the old look-ahead
+  // window [0, 0.300] but inside the real zeroth window [0, ~0.3317].
+  j.usage = trace::UsageTrace(std::vector<trace::UsagePoint>{
+      {0.0, gib(8)}, {0.305, gib(30)}, {0.325, gib(8)}});
+  return j;
+}
+
+TEST(MonitorWindow, FirstWindowCoversTheStaggerTail) {
+  ASSERT_GT(kPhaseJob1, 0.5);  // the premise: job 1 has an uncovered tail
+
+  sim::Engine engine;
+  cluster::Cluster cluster(
+      cluster::make_cluster_config(4, gib(64), 0, gib(128)));
+  auto policy = policy::make_policy(policy::PolicyKind::Dynamic);
+  sched::SchedulerConfig cfg;
+  cfg.update_interval = 300.0;
+  sched::Scheduler sched(engine, cluster, *policy, nullptr, cfg, nullptr);
+  sched.submit_workload({tail_spike_job()});
+
+  // Run to just after the job starts but well before the first update
+  // (~331.7 s): the zeroth-window plan must already cover the spike.
+  (void)sched.run_ready(50.0);
+  const auto hosts = cluster.hosts_of(JobId{1});
+  ASSERT_EQ(hosts.size(), 1U);
+  EXPECT_GE(cluster.slot(JobId{1}, hosts[0]).total(), gib(30))
+      << "zeroth-window provisioning missed the stagger tail";
+
+  // The run completes without the spike ever exceeding the allocation.
+  (void)sched.run_ready(1e18);
+  sched.finalize();
+  EXPECT_EQ(sched.totals().oom_events, 0U);
+  EXPECT_EQ(sched.totals().completed, 1U);
+}
+
+TEST(MonitorWindow, NoGrowthWhenRequestCoversTheWindow) {
+  // Control: a flat job at its request must leave the ledger untouched at
+  // start (the identity rule depends on this early-out).
+  sim::Engine engine;
+  cluster::Cluster cluster(
+      cluster::make_cluster_config(4, gib(64), 0, gib(128)));
+  auto policy = policy::make_policy(policy::PolicyKind::Dynamic);
+  sched::SchedulerConfig cfg;
+  cfg.update_interval = 300.0;
+  sched::Scheduler sched(engine, cluster, *policy, nullptr, cfg, nullptr);
+
+  trace::JobSpec j = tail_spike_job();
+  j.usage = trace::UsageTrace::constant(gib(8));
+  sched.submit_workload({j});
+
+  (void)sched.run_ready(50.0);
+  const auto hosts = cluster.hosts_of(JobId{1});
+  ASSERT_EQ(hosts.size(), 1U);
+  EXPECT_EQ(cluster.slot(JobId{1}, hosts[0]).total(), gib(8));
+  (void)sched.run_ready(1e18);
+  sched.finalize();
+  EXPECT_EQ(sched.totals().completed, 1U);
+}
+
+}  // namespace
+}  // namespace dmsim

@@ -37,6 +37,13 @@ struct FuzzParams {
   /// borrow edges and the scheduler's migration pass.
   int tier_count = 1;
   cluster::LenderPolicy lender = cluster::LenderPolicy::MemoryNodesFirst;
+  /// Memory-monitor axis: non-oracle monitors estimate with error, adapt
+  /// the update cadence, and inject runtime-OOM kills mid-window.
+  monitor::MonitorKind monitor = monitor::MonitorKind::Oracle;
+  /// Degenerate-input axis: sprinkle zero-duration jobs into the workload
+  /// and run with an absurd update interval, so the demand look-ahead
+  /// window guard (monitor::demand_window_end) is exercised end to end.
+  bool degenerate = false;
 };
 
 class SchedulerFuzzTest : public ::testing::TestWithParam<FuzzParams> {};
@@ -44,7 +51,8 @@ class SchedulerFuzzTest : public ::testing::TestWithParam<FuzzParams> {};
 trace::Workload random_workload(util::Rng& rng, std::size_t count,
                                 const workload::GoogleUsageLibrary& shapes,
                                 const slowdown::AppPool* apps,
-                                bool tight_walltimes) {
+                                bool tight_walltimes,
+                                bool degenerate = false) {
   trace::Workload jobs;
   jobs.reserve(count);
   for (std::uint32_t i = 1; i <= count; ++i) {
@@ -53,6 +61,9 @@ trace::Workload random_workload(util::Rng& rng, std::size_t count,
     j.submit_time = rng.uniform(0.0, 20000.0);
     j.num_nodes = static_cast<int>(rng.uniform_int(1, 4));
     j.duration = rng.uniform(60.0, 14400.0);
+    // Degenerate axis: every fifth job takes zero time — its progress folds
+    // straight to 1.0 and its look-ahead window must not divide by zero.
+    if (degenerate && i % 5 == 0) j.duration = 0.0;
     // Tight walltimes underestimate by up to 20% so enforcement kills some
     // jobs outright; the loose range only overruns via contention slowdown.
     j.walltime = j.duration * (tight_walltimes ? rng.uniform(0.8, 1.5)
@@ -84,8 +95,9 @@ TEST_P(SchedulerFuzzTest, TerminatesConsistently) {
                        : slowdown::AppPool{};
   const slowdown::AppPool* pool = params.with_apps ? &apps : nullptr;
   util::Rng wl_rng = rng.child("workload");
-  trace::Workload jobs =
-      random_workload(wl_rng, 40, shapes, pool, params.enforce_walltime);
+  trace::Workload jobs = random_workload(wl_rng, 40, shapes, pool,
+                                         params.enforce_walltime,
+                                         params.degenerate);
 
   cluster::ClusterConfig cluster_cfg =
       cluster::make_cluster_config(6, 64 * kGiB, 2, 128 * kGiB);
@@ -116,6 +128,18 @@ TEST_P(SchedulerFuzzTest, TerminatesConsistently) {
   cfg.oom_handling = params.oom;
   cfg.max_restarts = 10;
   cfg.enforce_walltime = params.enforce_walltime;
+  cfg.monitor.kind = params.monitor;
+  if (params.monitor == monitor::MonitorKind::Sampled) {
+    cfg.monitor.relative_error = 0.2;
+    cfg.monitor.staleness = 120.0;
+  } else if (params.monitor == monitor::MonitorKind::Adaptive) {
+    cfg.monitor.min_interval = 60.0;
+    cfg.monitor.max_interval = 1200.0;
+    cfg.monitor.error_bound = 0.08;
+  }
+  // Huge update interval: the first look-ahead window spans the whole job
+  // and overflow in the window arithmetic must saturate, not go NaN.
+  if (params.degenerate) cfg.update_interval = 9e15;
   sim::Engine engine;
   Scheduler scheduler(engine, cluster, *policy, pool, cfg);
   scheduler.submit_workload(jobs);
@@ -128,6 +152,10 @@ TEST_P(SchedulerFuzzTest, TerminatesConsistently) {
   std::uint64_t audits = 0;
   std::function<void()> audit = [&] {
     cluster.check_invariants();
+    // Between events every running job's cached slowdown must equal a fresh
+    // model evaluation — no OOM-victim batch, backfill pass or monitor
+    // resize may leave survivors on stale projections.
+    EXPECT_TRUE(scheduler.slowdowns_fresh());
     ++audits;
     const auto& t = scheduler.totals();
     const std::uint64_t terminal =
@@ -209,6 +237,36 @@ std::vector<FuzzParams> fuzz_matrix() {
                                OomHandling::FailRestart, true, true, tiers,
                                lender});
     }
+  }
+  // Monitor axis: imperfect monitors under both update modes and both OOM
+  // policies, so runtime-OOM kills, adaptive cadence changes and overhead
+  // slowdown folds all run under the mid-run audits.
+  for (const auto kind :
+       {monitor::MonitorKind::Sampled, monitor::MonitorKind::Adaptive}) {
+    for (const auto mode :
+         {UpdateMode::PerJobStaggered, UpdateMode::GlobalBatch}) {
+      for (const auto oom :
+           {OomHandling::FailRestart, OomHandling::CheckpointRestart}) {
+        FuzzParams p{seed++,  policy::PolicyKind::Dynamic, mode, oom,
+                     true,    true};
+        p.monitor = kind;
+        out.push_back(p);
+      }
+    }
+  }
+  // Degenerate-input axis: zero-duration jobs + an absurd update interval,
+  // with and without an imperfect monitor in the loop.
+  for (const auto kind :
+       {monitor::MonitorKind::Oracle, monitor::MonitorKind::Sampled}) {
+    FuzzParams p{seed++,
+                 policy::PolicyKind::Dynamic,
+                 UpdateMode::PerJobStaggered,
+                 OomHandling::FailRestart,
+                 false,
+                 true};
+    p.monitor = kind;
+    p.degenerate = true;
+    out.push_back(p);
   }
   return out;
 }

@@ -1,14 +1,17 @@
-// Snapshot format-version compatibility (v4 tiered cluster ledger).
+// Snapshot format-version compatibility (v5 scheduler monitor state).
 //
-// v4 leads the cluster section with the memory-tier table and the per-node
-// tier/rack columns; v3 stored the occupancy ledger as whole columns with
-// no tier data; v2 stored one interleaved record per node. Contracts pinned
-// here:
+// v5 appends per-running-job monitor fold state plus the memory-monitor's
+// own per-job section; v4 leads the cluster section with the memory-tier
+// table and the per-node tier/rack columns; v3 stored the occupancy ledger
+// as whole columns with no tier data; v2 stored one interleaved record per
+// node. Contracts pinned here:
 //   * hand-written v2 (interleaved) and v3 (columnar, tierless) cluster
 //     sections restore into today's ledger bit-for-bit (read-compat for
-//     old snapshot files) and re-save deterministically as v4,
-//   * a full v4 snapshot round-trips — flat and tiered — with restore +
-//     re-save byte-identical, and the header carries version 4,
+//     old snapshot files) and re-save deterministically as v5,
+//   * a v4 whole-file snapshot (pre-monitor, so necessarily an oracle run)
+//     restores with oracle-equivalent monitor defaults,
+//   * a full v5 snapshot round-trips — flat and tiered — with restore +
+//     re-save byte-identical, and the header carries version 5,
 //   * corrupt payloads, truncation, bad magic and out-of-range versions are
 //     rejected loudly before any component state is touched, and file-level
 //     restore errors name the offending path.
@@ -288,7 +291,7 @@ workload::SyntheticWorkload mini_workload() {
              << 24;
 }
 
-TEST(SnapshotCompat, V4RoundTripIsByteIdentical) {
+TEST(SnapshotCompat, V5RoundTripIsByteIdentical) {
   const workload::SyntheticWorkload w = mini_workload();
   MiniSim source(w);
   MiniSim target(w);
@@ -296,12 +299,41 @@ TEST(SnapshotCompat, V4RoundTripIsByteIdentical) {
 
   const std::string bytes = snapshot::save_bytes(source.components());
   EXPECT_EQ(header_version(bytes), snapshot::kFormatVersion);
-  EXPECT_EQ(header_version(bytes), 4U);
+  EXPECT_EQ(header_version(bytes), 5U);
 
   snapshot::restore_bytes(bytes, target.components());
   target.cluster_->set_debug_parity(true);
   target.cluster_->check_invariants();
   EXPECT_EQ(snapshot::save_bytes(target.components()), bytes);
+}
+
+TEST(SnapshotCompat, V4OracleSnapshotRestores) {
+  // Read-compat with pre-monitor (v4) files. Every v4 file was written by an
+  // oracle run, and an oracle scheduler section with no running jobs is
+  // byte-identical between v4 and v5: the per-running-job monitor fields
+  // contribute zero rows and the oracle monitor's state section is empty. So
+  // a save cut before any job starts, with the header version patched to 4,
+  // IS a well-formed v4 file (payload, size and checksum all unchanged) —
+  // and it must restore into today's scheduler with oracle-equivalent
+  // defaults, then re-save as v5 with the identical payload.
+  const workload::SyntheticWorkload w = mini_workload();
+  MiniSim source(w);
+  const std::string v5 = snapshot::save_bytes(source.components());
+
+  std::string v4 = v5;
+  v4[8] = '\x04';  // version u32 little-endian at offset 8
+  ASSERT_EQ(header_version(v4), 4U);
+
+  MiniSim target(w);
+  snapshot::restore_bytes(v4, target.components());
+  target.cluster_->check_invariants();
+  EXPECT_EQ(snapshot::save_bytes(target.components()), v5);
+
+  // The restored run must finish exactly like the source run.
+  (void)source.scheduler_->run_ready(1e18);
+  (void)target.scheduler_->run_ready(1e18);
+  EXPECT_EQ(snapshot::save_bytes(target.components()),
+            snapshot::save_bytes(source.components()));
 }
 
 TEST(SnapshotCompat, TieredRoundTripIsByteIdentical) {
@@ -348,8 +380,8 @@ TEST(SnapshotCompat, CorruptSnapshotsAreRejected) {
     bad[0] = 'X';
     EXPECT_THROW(snapshot::restore_bytes(bad, dst), snapshot::SnapshotError);
   }
-  {  // version below the compat window (v1) and above the writer (v5)
-    for (const char v : {'\x01', '\x05'}) {
+  {  // version below the compat window (v1) and above the writer (v6)
+    for (const char v : {'\x01', '\x06'}) {
       std::string bad = bytes;
       bad[8] = v;
       EXPECT_THROW(snapshot::restore_bytes(bad, dst), snapshot::SnapshotError);
