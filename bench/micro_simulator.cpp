@@ -5,11 +5,14 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <functional>
+#include <memory>
 #include <sstream>
 #include <utility>
 
 #include "core/dmsim.hpp"
+#include "snapshot/image.hpp"
 
 namespace {
 
@@ -332,6 +335,80 @@ void BM_CheckpointSaveRestore(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(bytes_total));
 }
 BENCHMARK(BM_CheckpointSaveRestore)->Unit(benchmark::kMicrosecond);
+
+// The two restore paths of the two-level snapshot model, on the same
+// mid-run state. BM_RestoreFromFile pays the serve-naive per-query cost:
+// file read, checksum sweep, full config-fingerprint recompute, decode.
+// BM_ForkFromImage is the serve fast path: the image was opened and
+// validated once, each fork is a decode plus one 64-bit fingerprint
+// compare. CI asserts the fork is at least 5x cheaper — the floor that
+// keeps validation and byte copies out of the per-fork path.
+struct RestoreBenchSim {
+  explicit RestoreBenchSim(const workload::SyntheticWorkload& w) {
+    harness::SystemConfig sys;
+    sys.total_nodes = 64;
+    sys.pct_large_nodes = 0.25;
+    cluster_ = std::make_unique<cluster::Cluster>(sys.to_cluster_config());
+    policy_ = policy::make_policy(policy::PolicyKind::Dynamic);
+    sched::SchedulerConfig cfg;
+    cfg.sample_interval = 300.0;
+    scheduler_ = std::make_unique<sched::Scheduler>(
+        engine_, *cluster_, *policy_, &w.apps, cfg, nullptr);
+    scheduler_->submit_workload(w.jobs);
+  }
+  [[nodiscard]] snapshot::Components components() noexcept {
+    return {&engine_, cluster_.get(), scheduler_.get(), nullptr};
+  }
+  sim::Engine engine_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<policy::AllocationPolicy> policy_;
+  std::unique_ptr<sched::Scheduler> scheduler_;
+};
+
+[[nodiscard]] workload::SyntheticWorkload restore_bench_workload() {
+  workload::SyntheticWorkloadConfig cfg;
+  cfg.cirne.num_jobs = 128;
+  cfg.cirne.system_nodes = 64;
+  cfg.cirne.max_job_nodes = 16;
+  cfg.pct_large_jobs = 0.5;
+  cfg.overestimation = 0.6;
+  cfg.seed = 4;
+  return workload::generate_synthetic(cfg);
+}
+
+void BM_RestoreFromFile(benchmark::State& state) {
+  const auto w = restore_bench_workload();
+  RestoreBenchSim source(w);
+  RestoreBenchSim target(w);
+  (void)source.scheduler_->run_ready(20000.0);
+  const std::string path = "micro_restore.snap";
+  snapshot::save_file(path, source.components());
+  const snapshot::Components dst = target.components();
+  for (auto _ : state) {
+    snapshot::restore_file(path, dst);
+  }
+  state.SetItemsProcessed(state.iterations());
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_RestoreFromFile)->Unit(benchmark::kMicrosecond);
+
+void BM_ForkFromImage(benchmark::State& state) {
+  const auto w = restore_bench_workload();
+  RestoreBenchSim source(w);
+  RestoreBenchSim target(w);
+  (void)source.scheduler_->run_ready(20000.0);
+  const std::string path = "micro_fork.snap";
+  snapshot::save_file(path, source.components());
+  const std::shared_ptr<const snapshot::Image> image = snapshot::Image::open(path);
+  const std::uint64_t fp = image->fingerprint();
+  const snapshot::Components dst = target.components();
+  for (auto _ : state) {
+    image->materialize_trusted(dst, fp);
+  }
+  state.SetItemsProcessed(state.iterations());
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_ForkFromImage)->Unit(benchmark::kMicrosecond);
 
 // --- Scheduler hot-path benches at paper scale (1490 nodes) ----------------
 //

@@ -110,6 +110,48 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
   }
 }
 
+void Cluster::add_nodes(std::span<const NodeConfig> new_nodes) {
+  if (new_nodes.empty()) return;
+  const std::size_t n = capacity_.size() + new_nodes.size();
+  DMSIM_ASSERT(n <= NodeId::kInvalid, "node count overflows NodeId");
+  for (const NodeConfig& nc : new_nodes) {
+    DMSIM_ASSERT(nc.capacity > 0, "node capacity must be positive");
+    DMSIM_ASSERT(nc.cores > 0, "node cores must be positive");
+    DMSIM_ASSERT(nc.tier < tiers_.size(), "node tier out of range");
+    config_.nodes.push_back(nc);
+    capacity_.push_back(nc.capacity);
+    cores_.push_back(nc.cores);
+    large_.push_back(nc.large ? 1 : 0);
+    tier_.push_back(nc.tier);
+    rack_.push_back(nc.rack);
+    running_job_.push_back(kIdle);
+    local_used_.push_back(0);
+    lent_.push_back(0);
+    lender_dirty_flag_.push_back(0);
+    total_capacity_ += nc.capacity;
+  }
+  borrow_slab_.grow(n);
+  // The bulk pass resizes free_/mem_node_/index_bits_ and re-derives every
+  // ordered index and per-tier total from the columns.
+  rebuild_indexes_bulk();
+  nodes_by_capacity_.clear();
+  nodes_by_capacity_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) nodes_by_capacity_.push_back(NodeId{i});
+  std::sort(nodes_by_capacity_.begin(), nodes_by_capacity_.end(),
+            [this](NodeId a, NodeId b) {
+              const MiB ca = capacity_[a.get()];
+              const MiB cb = capacity_[b.get()];
+              if (ca != cb) return ca < cb;
+              return a < b;
+            });
+  capacities_sorted_.clear();
+  capacities_sorted_.reserve(n);
+  for (NodeId id : nodes_by_capacity_) {
+    capacities_sorted_.push_back(capacity_[id.get()]);
+  }
+  ++change_epoch_;
+}
+
 void Cluster::set_observer(const obs::Observer* observer) {
   obs_ = observer;
   c_lend_ops_ = obs::counter_handle(observer, "ledger.lend_ops");

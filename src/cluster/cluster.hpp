@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "obs/observer.hpp"
+#include "util/error.hpp"
 #include "util/units.hpp"
 
 namespace dmsim::snapshot {
@@ -338,6 +339,16 @@ class Cluster {
                [&](const FreeKey& k) { return fn(NodeId{k.second}); });
   }
 
+  // --- topology edits ------------------------------------------------------
+  /// Append idle nodes to the cluster — the what-if overlay's "+N memory
+  /// nodes" edit. New nodes take the next ids, start empty, and every
+  /// derived column/index is rebuilt in one bulk pass. Must be called while
+  /// no simulation events are in flight for the new nodes (the serve layer
+  /// applies it right after restoring a snapshot, before resuming). Note
+  /// the config fingerprint hashes the ORIGINAL topology; callers restoring
+  /// snapshots must apply topology edits after the restore.
+  void add_nodes(std::span<const NodeConfig> new_nodes);
+
   // --- job placement -----------------------------------------------------
   /// Mark `hosts` as running `job` and create empty allocation slots.
   /// Every host must currently satisfy can_host().
@@ -503,6 +514,13 @@ class Cluster {
       degree.assign(lenders, 0);
       free_head = kNil;
       live = 0;
+    }
+    /// Extend the lender rows (new lenders start with no edges) while
+    /// preserving the existing pool — the add_nodes companion.
+    void grow(std::size_t lenders) {
+      DMSIM_ASSERT(lenders >= head.size(), "borrow slab cannot shrink");
+      head.resize(lenders, kNil);
+      degree.resize(lenders, 0);
     }
     void add(std::uint32_t lender, std::uint64_t key) {
       std::uint32_t slot;

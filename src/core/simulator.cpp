@@ -56,6 +56,24 @@ std::unique_ptr<Simulator> Simulator::restore_from(
   return sim;
 }
 
+std::unique_ptr<Simulator> Simulator::restore_from(
+    std::shared_ptr<const snapshot::Image> image,
+    const SimulationConfig& config, trace::Workload workload,
+    const slowdown::AppPool* apps, obs::TraceSink* sink,
+    obs::Counters* counters) {
+  DMSIM_ASSERT(image != nullptr, "restore_from needs an image");
+  auto sim = std::unique_ptr<Simulator>(new Simulator(
+      config, std::move(workload), apps, sink, counters, /*defer_sink=*/true));
+  image->materialize(sim->components());
+  ++sim->ck_stats_.restores;
+  sim->ck_stats_.bytes_read += image->size_bytes();
+  if (sink != nullptr) {
+    sim->observer_.sink = sink;
+    sim->engine_->set_observer(&sim->observer_);
+  }
+  return sim;
+}
+
 snapshot::Components Simulator::components() noexcept {
   return snapshot::Components{engine_.get(), cluster_.get(), scheduler_.get(),
                               observer_.counters};

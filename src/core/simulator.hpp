@@ -77,6 +77,16 @@ class Simulator {
       trace::Workload workload, const slowdown::AppPool* apps,
       obs::TraceSink* sink = nullptr, obs::Counters* counters = nullptr);
 
+  /// Resume from a shared, parsed-once snapshot image instead of a file —
+  /// the fork primitive: a thousand Simulators may materialize the same
+  /// warm image concurrently without re-reading or re-parsing bytes. Same
+  /// fingerprint contract and deferred-sink semantics as the file overload.
+  [[nodiscard]] static std::unique_ptr<Simulator> restore_from(
+      std::shared_ptr<const snapshot::Image> image,
+      const SimulationConfig& config, trace::Workload workload,
+      const slowdown::AppPool* apps, obs::TraceSink* sink = nullptr,
+      obs::Counters* counters = nullptr);
+
   /// Checkpoint activity of run(plan)/restore_from. Deliberately not part
   /// of SimulationResult: restored runs checkpoint differently than the
   /// uninterrupted runs they must match byte for byte.

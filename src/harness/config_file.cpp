@@ -370,6 +370,20 @@ FileConfig parse_config(std::istream& in) {
     } else if (key == "seed") {
       wl.seed = static_cast<std::uint64_t>(parse_number(value, "Seed"));
       out.has_workload = true;
+    } else if (key == "servethreads") {
+      const double n = parse_number(value, "ServeThreads");
+      if (n < 0.0) throw ConfigError("ServeThreads must be >= 0");
+      out.serve.threads = static_cast<std::size_t>(n);
+    } else if (key == "servecacheimages") {
+      const double n = parse_number(value, "ServeCacheImages");
+      if (n < 1.0) throw ConfigError("ServeCacheImages must be >= 1");
+      out.serve.cache_images = static_cast<std::size_t>(n);
+    } else if (key == "serveport") {
+      const double n = parse_number(value, "ServePort");
+      if (n < 0.0 || n > 65535.0) {
+        throw ConfigError("ServePort must be in [0, 65535]");
+      }
+      out.serve.port = static_cast<int>(n);
     } else {
       throw ConfigError("config line " + std::to_string(line_no) +
                         ": unknown key '" + key + "'");

@@ -31,6 +31,11 @@
 //     Overestimation   = 0.6
 //     MaxJobNodes      = 128
 //     Seed             = 42
+//
+//     # optional what-if serving (dmsim_serve)
+//     ServeThreads     = 4        # simulation pool size (0 = hardware)
+//     ServeCacheImages = 4        # warm snapshot images kept in the LRU
+//     ServePort        = 0        # TCP port (0 = kernel-assigned)
 #pragma once
 
 #include <iosfwd>
@@ -41,10 +46,19 @@
 
 namespace dmsim::harness {
 
+/// dmsim_serve settings (Serve* keys). Other tools ignore them, so one
+/// config file can drive a run, a sweep and the serve daemon.
+struct ServeFileConfig {
+  std::size_t threads = 0;       ///< simulation pool size (0 = hardware)
+  std::size_t cache_images = 4;  ///< warm images kept by the LRU cache
+  int port = 0;                  ///< TCP port (0 = kernel-assigned)
+};
+
 struct FileConfig {
   SimulationConfig simulation;
   workload::SyntheticWorkloadConfig workload;
   bool has_workload = false;  ///< true if any workload key was present
+  ServeFileConfig serve;
 };
 
 /// Parse a configuration stream/file. Throws ConfigError on unknown keys or

@@ -81,11 +81,24 @@ CellResult run_cell(const CellConfig& cell, const trace::Workload& jobs,
                     obs::Counters* counters) {
   const CheckpointSpec* ck =
       cell.checkpoint.has_value() ? &*cell.checkpoint : nullptr;
-  const bool resuming = ck != nullptr && ck->resume &&
-                        std::filesystem::exists(ck->path);
+  const bool forking = cell.restore_image != nullptr;
+  const bool resuming_file = !forking && ck != nullptr && ck->resume &&
+                             std::filesystem::exists(ck->path);
+  const bool resuming = resuming_file || forking;
+  const WhatIfOverlay* overlay =
+      cell.overlay.has_value() ? &*cell.overlay : nullptr;
+  // Overlay swaps take effect for the whole (remaining) run; the cell's
+  // base policy/sched stay what a restored image's fingerprint is checked
+  // against.
+  const policy::PolicyKind effective_policy =
+      overlay != nullptr && overlay->policy.has_value() ? *overlay->policy
+                                                        : cell.policy;
+  const sched::SchedulerConfig& effective_sched =
+      overlay != nullptr && overlay->sched.has_value() ? *overlay->sched
+                                                       : cell.sched;
 
   cluster::Cluster cluster(cell.system.to_cluster_config());
-  const auto policy = policy::make_policy(cell.policy);
+  const auto policy = policy::make_policy(effective_policy);
   sim::Engine engine;
   // A cell-private registry when telemetry was requested without one: each
   // sweep cell then aggregates independently, so sweeps stay thread-safe.
@@ -103,7 +116,7 @@ CellResult run_cell(const CellConfig& cell, const trace::Workload& jobs,
     cluster.set_observer(obs_ptr);
     policy->set_observer(obs_ptr);
   }
-  sched::Scheduler scheduler(engine, cluster, *policy, &apps, cell.sched,
+  sched::Scheduler scheduler(engine, cluster, *policy, &apps, effective_sched,
                              obs_ptr);
   scheduler.submit_workload(jobs);
 
@@ -121,11 +134,40 @@ CellResult run_cell(const CellConfig& cell, const trace::Workload& jobs,
   }
   const snapshot::Components components{&engine, &cluster, &scheduler,
                                         counters};
-  if (resuming) {
+  if (forking) {
+    // Fork from the shared warm image: no file read, no envelope re-parse,
+    // and the fingerprint check is one 64-bit compare when the caller
+    // precomputed it. The fingerprint always covers the BASE configuration
+    // (cell.sched, the un-edited cluster, the base workload); overlay
+    // deltas apply below, after the restore.
+    const std::uint64_t base_fp =
+        cell.trusted_fingerprint.has_value()
+            ? *cell.trusted_fingerprint
+            : snapshot::config_fingerprint(cluster, cell.sched, jobs);
+    cell.restore_image->materialize_trusted(components, base_fp);
+    ++result.checkpoint.restores;
+    result.checkpoint.bytes_read += cell.restore_image->size_bytes();
+  } else if (resuming_file) {
     snapshot::restore_file(ck->path, components, &result.checkpoint);
-    if (sink != nullptr) {
-      observer.sink = sink;
-      engine.set_observer(&observer);  // the engine caches the sink pointer
+  }
+  if (resuming && sink != nullptr) {
+    observer.sink = sink;
+    engine.set_observer(&observer);  // the engine caches the sink pointer
+  }
+  if (overlay != nullptr) {
+    if (!overlay->extra_nodes.empty()) cluster.add_nodes(overlay->extra_nodes);
+    if (!overlay->extra_jobs.empty()) {
+      scheduler.submit_extra_jobs(overlay->extra_jobs);
+    }
+    result.provisioned_memory = cluster.total_capacity();
+    result.system_cost_usd = metrics::CostModel{}.system_cost(cluster);
+    result.infeasible_jobs = scheduler.infeasible_count();
+    result.valid = (result.infeasible_jobs == 0);
+    if (!result.valid) {
+      if (cell.collect_telemetry && counters != nullptr) {
+        result.telemetry = counters->snapshot();
+      }
+      return result;
     }
   }
   if (ck != nullptr && (ck->every > 0.0 || !ck->cuts.empty())) {

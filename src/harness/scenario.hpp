@@ -3,6 +3,8 @@
 // Every bench binary reproducing a paper table/figure is built on this.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -13,6 +15,7 @@
 #include "policy/policy.hpp"
 #include "sched/scheduler.hpp"
 #include "snapshot/checkpoint.hpp"
+#include "snapshot/image.hpp"
 #include "workload/generator.hpp"
 
 namespace dmsim::harness {
@@ -70,6 +73,27 @@ struct CheckpointSpec {
   bool resume = false;         ///< restore from `path` if present
 };
 
+/// What-if deltas a fork applies on top of a restored image (or a fresh
+/// run). All deltas apply AFTER the snapshot materializes — the snapshot's
+/// fingerprint covers the BASE configuration, so the base cell fields must
+/// match the saving run while the overlay diverges from it:
+///   * extra_jobs are injected at >= the restored clock with fresh ids,
+///   * extra_nodes append idle nodes to the cluster,
+///   * policy / sched swap the allocation policy or scheduler configuration
+///     for the remainder of the run (the cell's base `policy`/`sched` stay
+///     what the fingerprint is checked against).
+struct WhatIfOverlay {
+  std::vector<trace::JobSpec> extra_jobs;
+  std::vector<cluster::NodeConfig> extra_nodes;
+  std::optional<policy::PolicyKind> policy;
+  std::optional<sched::SchedulerConfig> sched;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return extra_jobs.empty() && extra_nodes.empty() && !policy.has_value() &&
+           !sched.has_value();
+  }
+};
+
 /// One simulation cell: run `workload` on `system` under `policy`.
 struct CellConfig {
   SystemConfig system;
@@ -82,6 +106,18 @@ struct CellConfig {
   /// registry), and deterministic: the snapshot only aggregates
   /// simulated-time quantities, so it is identical at any thread count.
   bool collect_telemetry = false;
+  /// Fork-from-image restore: materialize this shared warm image instead of
+  /// starting from time zero. The image is never re-read or re-parsed —
+  /// a thousand cells may share one pointer across sweep threads.
+  std::shared_ptr<const snapshot::Image> restore_image;
+  /// Precomputed base-configuration fingerprint for the restore (see
+  /// snapshot::config_fingerprint(cluster, sched, workload)). When unset,
+  /// run_cell computes it from the cell's base config — correct but it
+  /// re-hashes the full workload per fork; a serve loop sets it once.
+  std::optional<std::uint64_t> trusted_fingerprint;
+  /// What-if deltas, applied after the restore (or right after submission
+  /// for a fresh run).
+  std::optional<WhatIfOverlay> overlay;
 };
 
 struct CellResult {

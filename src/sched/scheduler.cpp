@@ -185,6 +185,38 @@ void Scheduler::submit_workload(trace::Workload workload) {
   }
 }
 
+void Scheduler::submit_extra_jobs(std::vector<trace::JobSpec> extra) {
+  DMSIM_ASSERT(!workload_.empty(),
+               "submit_extra_jobs needs a submitted workload");
+  for (trace::JobSpec& spec : extra) {
+    DMSIM_ASSERT(spec.id.valid(), "extra job without id");
+    DMSIM_ASSERT(!record_index_.contains(spec.id.get()),
+                 "duplicate job id in extra submission");
+    // A submit event in the past would violate the engine's time order.
+    spec.submit_time = std::max(spec.submit_time, engine_.now());
+    spec.preceding_job = JobId{};
+    spec.think_time = 0.0;
+    JobRecord rec;
+    rec.id = spec.id;
+    rec.submit_time = spec.submit_time;
+    rec.num_nodes = spec.num_nodes;
+    rec.requested_mem = spec.requested_mem;
+    rec.peak_usage = spec.peak_usage();
+    record_index_.emplace(spec.id.get(), records_.size());
+    const std::size_t index = workload_.size();
+    workload_.push_back(std::move(spec));
+    if (!policy_.feasible(workload_[index], cluster_)) {
+      rec.infeasible = true;
+      ++infeasible_count_;
+      records_.push_back(rec);
+      continue;
+    }
+    records_.push_back(rec);
+    engine_.schedule_typed(workload_[index].submit_time,
+                           sim::EventPayload::job_submit(index));
+  }
+}
+
 void Scheduler::run() {
   engine_.run();
   finalize();

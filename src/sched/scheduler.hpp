@@ -161,6 +161,15 @@ class Scheduler : public sim::EventHandler {
   /// are recorded (outcome NeverStarted, infeasible flag) and never queued.
   void submit_workload(trace::Workload workload);
 
+  /// Inject additional jobs into an already-submitted (possibly restored)
+  /// run — the what-if overlay's extra-submission edit. Ids must be fresh;
+  /// each spec's submit time is clamped to the current clock and its
+  /// dependency fields are cleared (overlay jobs are independent — the base
+  /// workload's dependency graph must not grow edges mid-run). Note the
+  /// config fingerprint hashes the workload as submitted; callers restoring
+  /// snapshots must apply extra submissions after the restore.
+  void submit_extra_jobs(std::vector<trace::JobSpec> extra);
+
   /// Drive the engine to completion. Afterwards every feasible job has a
   /// terminal outcome. Equivalent to run_ready(+inf) + finalize().
   void run();

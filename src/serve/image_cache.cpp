@@ -1,0 +1,63 @@
+#include "serve/image_cache.hpp"
+
+#include "util/error.hpp"
+
+namespace dmsim::serve {
+
+ImageCache::ImageCache(std::size_t capacity) : capacity_(capacity) {
+  DMSIM_ASSERT(capacity >= 1, "image cache needs capacity >= 1");
+}
+
+std::shared_ptr<const snapshot::Image> ImageCache::get(
+    const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(path);
+    if (it != index_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->image;
+    }
+  }
+  // Parse outside the lock: opening a multi-megabyte snapshot must not
+  // stall cache hits on other connections.
+  std::shared_ptr<const snapshot::Image> image = snapshot::Image::open(path);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++misses_;
+  const auto it = index_.find(path);
+  if (it != index_.end()) {
+    // A racing miss beat us; keep its entry (ours is equivalent).
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->image;
+  }
+  lru_.push_front(Entry{path, image});
+  index_.emplace(path, lru_.begin());
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().path);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  return image;
+}
+
+std::size_t ImageCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+std::uint64_t ImageCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t ImageCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::uint64_t ImageCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+}  // namespace dmsim::serve

@@ -1,0 +1,58 @@
+// LRU cache of warm snapshot images.
+//
+// The serve daemon answers every query by forking a parsed-once
+// snapshot::Image; this cache keys warm images by path so repeated queries
+// against the same snapshot never re-read or re-parse bytes. Eviction drops
+// only the cache's reference — images are refcounted, so forks in flight
+// keep an evicted image alive until they finish, and a re-query after
+// eviction simply re-opens the file.
+//
+// Thread-safe: get() may be called from every connection handler
+// concurrently. The file read on a miss happens OUTSIDE the lock (two
+// racing misses may both parse; one result wins, the other is dropped —
+// wasted work, never inconsistency).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "snapshot/image.hpp"
+
+namespace dmsim::serve {
+
+class ImageCache {
+ public:
+  /// `capacity` = max images kept warm (>= 1).
+  explicit ImageCache(std::size_t capacity);
+
+  /// The image for `path`: cached when warm, opened (and cached, evicting
+  /// the least-recently-used entry past capacity) on a miss. Throws
+  /// SnapshotError for unreadable/corrupt files — nothing is cached then.
+  [[nodiscard]] std::shared_ptr<const snapshot::Image> get(
+      const std::string& path);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
+  [[nodiscard]] std::uint64_t evictions() const;
+
+ private:
+  struct Entry {
+    std::string path;
+    std::shared_ptr<const snapshot::Image> image;
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace dmsim::serve

@@ -1,0 +1,160 @@
+#include "serve/query.hpp"
+
+#include <limits>
+#include <string>
+
+#include "harness/config_file.hpp"
+#include "serve/json.hpp"
+#include "trace/usage_trace.hpp"
+#include "util/units.hpp"
+
+namespace dmsim::serve {
+
+std::string_view to_string(QueryOp op) noexcept {
+  switch (op) {
+    case QueryOp::Info:
+      return "info";
+    case QueryOp::Baseline:
+      return "baseline";
+    case QueryOp::Submit:
+      return "submit";
+    case QueryOp::Policy:
+      return "policy";
+    case QueryOp::Topology:
+      return "topology";
+    case QueryOp::Shutdown:
+      return "shutdown";
+  }
+  return "?";
+}
+
+namespace {
+
+[[nodiscard]] QueryOp parse_op(const std::string& name) {
+  if (name == "info") return QueryOp::Info;
+  if (name == "baseline") return QueryOp::Baseline;
+  if (name == "submit") return QueryOp::Submit;
+  if (name == "policy") return QueryOp::Policy;
+  if (name == "topology") return QueryOp::Topology;
+  if (name == "shutdown") return QueryOp::Shutdown;
+  throw ServeError("query: unknown op '" + name + "'");
+}
+
+[[nodiscard]] trace::JobSpec parse_job(const JsonValue& obj) {
+  if (!obj.is_object()) throw ServeError("query: jobs[] entries are objects");
+  const std::int64_t id = obj.int_or("id", -1);
+  if (id < 0 || id >= std::numeric_limits<std::uint32_t>::max()) {
+    throw ServeError("query: job needs an \"id\" in [0, 2^32-1)");
+  }
+  trace::JobSpec spec;
+  spec.id = JobId{static_cast<std::uint32_t>(id)};
+  spec.submit_time = obj.num_or("submit_time", 0.0);
+  spec.num_nodes = static_cast<int>(obj.int_or("num_nodes", 1));
+  spec.requested_mem = static_cast<MiB>(obj.int_or("mem_mib", 0));
+  spec.duration = obj.num_or("duration", 0.0);
+  spec.walltime = obj.num_or("walltime", 2.0 * spec.duration);
+  const MiB used =
+      static_cast<MiB>(obj.int_or("used_mib", spec.requested_mem));
+  spec.usage = trace::UsageTrace::constant(used);
+  if (spec.num_nodes < 1) throw ServeError("query: job num_nodes must be >= 1");
+  if (spec.requested_mem <= 0) {
+    throw ServeError("query: job mem_mib must be > 0");
+  }
+  if (used <= 0 || used > spec.requested_mem) {
+    throw ServeError("query: job used_mib must be in (0, mem_mib]");
+  }
+  if (spec.duration <= 0.0) throw ServeError("query: job duration must be > 0");
+  if (spec.walltime < spec.duration) {
+    throw ServeError("query: job walltime must be >= duration");
+  }
+  return spec;
+}
+
+[[nodiscard]] sched::SchedulerConfig parse_sched_swap(
+    const JsonValue& obj, const sched::SchedulerConfig& base) {
+  if (!obj.is_object()) throw ServeError("query: \"sched\" must be an object");
+  sched::SchedulerConfig sc = base;
+  sc.sched_interval = obj.num_or("sched_interval", sc.sched_interval);
+  sc.update_interval = obj.num_or("update_interval", sc.update_interval);
+  sc.queue_depth = static_cast<int>(obj.int_or("queue_depth", sc.queue_depth));
+  sc.backfill_depth =
+      static_cast<int>(obj.int_or("backfill_depth", sc.backfill_depth));
+  sc.enable_backfill = obj.bool_or("backfill", sc.enable_backfill);
+  if (sc.sched_interval <= 0.0 || sc.update_interval <= 0.0 ||
+      sc.queue_depth < 1 || sc.backfill_depth < 0) {
+    throw ServeError("query: sched swap values out of range");
+  }
+  return sc;
+}
+
+}  // namespace
+
+Query parse_query(std::string_view line,
+                  const sched::SchedulerConfig& base_sched) {
+  const JsonValue doc = json_parse(line);
+  if (!doc.is_object()) throw ServeError("query: expected a JSON object");
+
+  Query q;
+  q.op = parse_op(doc.str_or("op", ""));
+  q.id = doc.str_or("id", "");
+  q.snapshot = doc.str_or("snapshot", "");
+  if (const JsonValue* sched = doc.find("sched"); sched != nullptr) {
+    q.sched = parse_sched_swap(*sched, base_sched);
+  }
+
+  switch (q.op) {
+    case QueryOp::Submit: {
+      const JsonValue* jobs = doc.find("jobs");
+      if (jobs == nullptr || !jobs->is_array() || jobs->array.empty()) {
+        throw ServeError("query: submit needs a non-empty \"jobs\" array");
+      }
+      q.extra_jobs.reserve(jobs->array.size());
+      for (const JsonValue& j : jobs->array) q.extra_jobs.push_back(parse_job(j));
+      break;
+    }
+    case QueryOp::Policy: {
+      const JsonValue* policies = doc.find("policies");
+      if (policies == nullptr || !policies->is_array() ||
+          policies->array.empty()) {
+        throw ServeError("query: policy needs a non-empty \"policies\" array");
+      }
+      q.policies.reserve(policies->array.size());
+      for (const JsonValue& p : policies->array) {
+        if (p.kind != JsonValue::Kind::String) {
+          throw ServeError("query: policies[] entries are strings");
+        }
+        try {
+          q.policies.push_back(harness::parse_policy(p.string));
+        } catch (const Error& e) {
+          throw ServeError(std::string("query: ") + e.what());
+        }
+      }
+      break;
+    }
+    case QueryOp::Topology: {
+      const std::int64_t count = doc.int_or("add_nodes", 0);
+      if (count < 1 || count > 1'000'000) {
+        throw ServeError("query: topology needs \"add_nodes\" in [1, 1e6]");
+      }
+      cluster::NodeConfig node;
+      node.capacity = static_cast<MiB>(doc.int_or("capacity_mib", 0));
+      node.cores = static_cast<int>(doc.int_or("cores", node.cores));
+      node.large = doc.bool_or("large", true);
+      node.tier = static_cast<std::uint8_t>(doc.int_or("tier", 0));
+      node.rack = static_cast<std::uint16_t>(doc.int_or("rack", 0));
+      if (node.capacity <= 0) {
+        throw ServeError("query: topology needs \"capacity_mib\" > 0");
+      }
+      if (node.cores < 1) throw ServeError("query: topology cores must be >= 1");
+      q.extra_nodes.assign(static_cast<std::size_t>(count), node);
+      break;
+    }
+    case QueryOp::Info:
+    case QueryOp::Baseline:
+    case QueryOp::Shutdown:
+      break;
+  }
+  return q;
+}
+
+}  // namespace dmsim::serve

@@ -1,0 +1,139 @@
+// What-if serving daemon: answer provisioning queries against a warm image.
+//
+// The server holds one base scenario (system, policy, scheduler config,
+// workload, app pool) and a snapshot of that scenario mid-run. Every
+// query forks the parsed-once snapshot::Image — shared, refcounted, never
+// re-read — applies the query's overlay (extra jobs, policy or scheduler
+// swaps, topology edits) and simulates the remainder of the run.
+//
+// Concurrency model:
+//   * connection threads parse queries and block on a future each;
+//   * admissions are batched: a dispatcher thread drains the admission
+//     queue in arrival order and runs each batch as one SweepRunner round,
+//     so concurrent queries share the simulation thread pool instead of
+//     oversubscribing it — and a policy race lands its variants in one
+//     round;
+//   * images are served from an LRU ImageCache keyed by path.
+//
+// Determinism: a cell result is a pure function of the forked cell, replies
+// serialize results with the deterministic harness::cell_result_to_json,
+// and volatile data (cache hit rates, wall timings) never enters a reply —
+// so the same query against the same image yields a byte-identical reply
+// at any thread count and under any interleaving.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "harness/scenario.hpp"
+#include "harness/sweep.hpp"
+#include "serve/image_cache.hpp"
+#include "serve/query.hpp"
+
+namespace dmsim::serve {
+
+/// The base scenario every query forks from. The snapshot image(s) served
+/// must have been taken under exactly this configuration — the server
+/// computes the base fingerprint once and refuses mismatched images.
+struct ServeScenario {
+  harness::SystemConfig system;
+  policy::PolicyKind policy = policy::PolicyKind::Dynamic;
+  sched::SchedulerConfig sched;
+  trace::Workload jobs;
+  const slowdown::AppPool* apps = nullptr;
+  std::string snapshot_path;  ///< default image for queries without "snapshot"
+};
+
+struct ServerOptions {
+  std::size_t threads = 0;       ///< simulation pool size (0 = hardware)
+  std::size_t cache_images = 4;  ///< LRU capacity in warm images
+  int port = 0;                  ///< TCP port for listen_and_serve (0 = any)
+};
+
+class Server {
+ public:
+  Server(ServeScenario scenario, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Answer one query line with one reply line (no trailing newline).
+  /// Never throws: protocol and snapshot errors become "status":"error"
+  /// replies. Thread-safe.
+  [[nodiscard]] std::string handle_line(const std::string& line);
+
+  /// --once mode: drain newline-delimited queries from `in`, write one
+  /// reply line each to `out` (flushed per line, so the stream can be a
+  /// pipe). Stops at EOF or after a shutdown query. Returns the number of
+  /// queries answered.
+  std::size_t run_once(std::istream& in, std::ostream& out);
+
+  /// Serve on 127.0.0.1:options.port (0 = kernel-assigned; see port()).
+  /// Writes "dmsim_serve: listening on 127.0.0.1:<port>" to `log` once
+  /// bound, then blocks until a shutdown query (or request_shutdown()).
+  /// One thread per connection; each connection may pipeline queries.
+  void listen_and_serve(std::ostream& log);
+
+  /// Stop listen_and_serve from any thread. Idempotent.
+  void request_shutdown();
+
+  [[nodiscard]] bool shutdown_requested() const noexcept {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+  /// Port actually bound (valid once listen_and_serve has logged).
+  [[nodiscard]] int port() const noexcept {
+    return bound_port_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint64_t base_fingerprint() const noexcept {
+    return base_fp_;
+  }
+  [[nodiscard]] ImageCache& cache() noexcept { return cache_; }
+
+ private:
+  struct Admission {
+    harness::CellConfig cell;
+    std::promise<harness::CellResult> reply;
+  };
+
+  /// Base fork of the scenario onto the query's image: resolves the image
+  /// through the cache, validates its fingerprint against the base, and
+  /// seeds the overlay with the query's scheduler swap. Throws ServeError.
+  [[nodiscard]] harness::CellConfig make_fork(const Query& query);
+
+  /// Admit cells (one batch) and wait for their results, arrival order.
+  [[nodiscard]] std::vector<harness::CellResult> run_batched(
+      std::vector<harness::CellConfig> cells);
+
+  [[nodiscard]] std::string reply_info(const Query& query);
+  void dispatcher_loop();
+  void serve_connection(int fd);
+
+  ServeScenario scenario_;
+  ServerOptions options_;
+  std::uint64_t base_fp_ = 0;
+  std::unordered_set<std::uint32_t> base_job_ids_;
+  ImageCache cache_;
+
+  std::mutex adm_mutex_;
+  std::condition_variable adm_cv_;
+  std::deque<Admission> admissions_;
+  bool stop_dispatcher_ = false;
+  harness::SweepRunner runner_;  ///< touched only by the dispatcher thread
+  std::thread dispatcher_;
+
+  std::atomic<bool> shutdown_{false};
+  std::atomic<int> listen_fd_{-1};
+  std::atomic<int> bound_port_{0};
+};
+
+}  // namespace dmsim::serve

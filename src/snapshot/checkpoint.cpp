@@ -1,5 +1,8 @@
 #include "snapshot/checkpoint.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -11,6 +14,8 @@
 #include "obs/counters.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/engine.hpp"
+#include "snapshot/format.hpp"
+#include "snapshot/image.hpp"
 #include "snapshot/snapshot.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -19,12 +24,8 @@ namespace dmsim::snapshot {
 
 namespace {
 
-constexpr std::string_view kMagic = "DMSIMSNP";
 // Version history lives with the public constants in checkpoint.hpp.
 constexpr std::uint32_t kVersion = kFormatVersion;
-constexpr std::uint32_t kMinVersion = kMinFormatVersion;
-constexpr std::uint32_t kCountersSection = section_tag('C', 'N', 'T', 'R');
-constexpr std::uint32_t kEndSection = section_tag('E', 'N', 'D', '.');
 
 [[nodiscard]] double elapsed_since(
     std::chrono::steady_clock::time_point start) {
@@ -38,6 +39,23 @@ void check_components(const Components& c) {
                    c.scheduler != nullptr,
                "checkpoint components must name engine, cluster and scheduler");
 }
+
+// Little-endian u32 at `offset` — the section tag each payload section
+// leads with, lifted back out for the section table.
+[[nodiscard]] std::uint32_t tag_at(std::string_view payload,
+                                   std::size_t offset) {
+  std::uint32_t tag = 0;
+  for (int i = 0; i < 4; ++i) {
+    tag |= static_cast<std::uint32_t>(static_cast<unsigned char>(
+               payload[offset + static_cast<std::size_t>(i)]))
+           << (8 * i);
+  }
+  return tag;
+}
+
+}  // namespace
+
+namespace detail {
 
 void save_counters_section(Writer& w, const obs::Counters* counters) {
   w.section(kCountersSection);
@@ -151,7 +169,7 @@ void restore_counters_section(Reader& r, obs::Counters* counters) {
   if (counters != nullptr) counters->restore(snap);
 }
 
-}  // namespace
+}  // namespace detail
 
 void Stats::publish(obs::Counters& registry) const {
   registry.counter("sim.checkpoint.saves") = saves;
@@ -171,20 +189,20 @@ void Stats::publish(obs::Counters& registry) const {
       .set(static_cast<std::int64_t>(max_save_seconds * 1e6));
 }
 
-std::uint64_t config_fingerprint(const Components& components) {
-  check_components(components);
+std::uint64_t config_fingerprint(const cluster::Cluster& cl,
+                                 const sched::SchedulerConfig& sc,
+                                 const trace::Workload& jobs) {
   Writer w;
   // Cluster topology + lender policy. Byte-for-byte the same hash input as
   // before the columnar ledger: node count, then (capacity, cores, large)
   // per node in id order — so v2-era fingerprints keep matching.
-  const cluster::Cluster& cl = *components.cluster;
   w.u32(static_cast<std::uint32_t>(cl.node_count()));
   for (const cluster::Node& n : cl.nodes()) {
     w.i64(n.capacity);
     w.i64(n.cores);
     w.boolean(n.large);
   }
-  w.u8(static_cast<std::uint8_t>(components.cluster->lender_policy()));
+  w.u8(static_cast<std::uint8_t>(cl.lender_policy()));
   // Memory-tier topology — appended ONLY when non-degenerate, so every
   // fingerprint computed before tiers existed (necessarily flat) still
   // matches byte for byte and v2/v3-era snapshots keep restoring.
@@ -200,7 +218,6 @@ std::uint64_t config_fingerprint(const Components& components) {
     for (const std::uint16_t rk : cl.rack_column()) w.u32(rk);
   }
   // Scheduler configuration.
-  const sched::SchedulerConfig& sc = components.scheduler->config();
   w.f64(sc.sched_interval);
   w.i64(sc.queue_depth);
   w.i64(sc.backfill_depth);
@@ -229,7 +246,6 @@ std::uint64_t config_fingerprint(const Components& components) {
   }
   // The full workload: any perturbation (different seed, different trace)
   // changes every downstream decision, so it all goes into the hash.
-  const trace::Workload& jobs = components.scheduler->workload();
   w.u64(jobs.size());
   for (const trace::JobSpec& spec : jobs) {
     w.u32(spec.id.get());
@@ -252,17 +268,32 @@ std::uint64_t config_fingerprint(const Components& components) {
   return util::fnv1a(w.buffer());
 }
 
+std::uint64_t config_fingerprint(const Components& components) {
+  check_components(components);
+  return config_fingerprint(*components.cluster,
+                            components.scheduler->config(),
+                            components.scheduler->workload());
+}
+
 std::string save_bytes(const Components& components) {
   check_components(components);
   Writer payload;
+  // Section boundaries, recorded as each component writes so the envelope
+  // trailer can index the payload without re-parsing it.
+  std::size_t offsets[5];
+  offsets[0] = payload.buffer().size();
   components.engine->save_state(payload);
+  offsets[1] = payload.buffer().size();
   components.cluster->save_state(payload);
+  offsets[2] = payload.buffer().size();
   components.scheduler->save_state(payload);
-  save_counters_section(payload, components.counters);
-  payload.section(kEndSection);
+  offsets[3] = payload.buffer().size();
+  detail::save_counters_section(payload, components.counters);
+  offsets[4] = payload.buffer().size();
+  payload.section(detail::kEndSection);
 
   Writer out;
-  for (const char c : kMagic) out.u8(static_cast<std::uint8_t>(c));
+  for (const char c : detail::kMagic) out.u8(static_cast<std::uint8_t>(c));
   out.u32(kVersion);
   out.u64(config_fingerprint(components));
   out.u64(payload.buffer().size());
@@ -271,56 +302,31 @@ std::string save_bytes(const Components& components) {
   bytes += payload.buffer();
   Writer tail;
   tail.u64(checksum);
+  // Section table: self-checksummed trailer AFTER the payload checksum (see
+  // detail::kTocSection). Readers that predate it stop at the checksum.
+  tail.section(detail::kTocSection);
+  constexpr std::uint32_t kSectionCount = 5;
+  tail.u32(kSectionCount);
+  const std::string_view view = payload.buffer();
+  for (std::uint32_t i = 0; i < kSectionCount; ++i) {
+    const std::size_t begin = offsets[i];
+    const std::size_t end = i + 1 < kSectionCount ? offsets[i + 1]
+                                                  : payload.buffer().size();
+    tail.u32(tag_at(view, begin));
+    tail.u64(begin);
+    tail.u64(end - begin);
+    tail.u64(util::fnv1a(view.substr(begin, end - begin)));
+  }
+  // Trailer checksum covers the trailer bytes only (the payload checksum
+  // field precedes the trailer and already guards the payload).
+  tail.u64(util::fnv1a(std::string_view(tail.buffer()).substr(8)));
   bytes += tail.buffer();
   return bytes;
 }
 
 void restore_bytes(std::string_view bytes, const Components& components) {
   check_components(components);
-  Reader header(bytes);
-  for (const char c : kMagic) {
-    if (header.remaining() == 0 || header.u8() != static_cast<std::uint8_t>(c)) {
-      throw SnapshotError("snapshot: bad magic — not a dmsim snapshot");
-    }
-  }
-  const std::uint32_t version = header.u32();
-  if (version < kMinVersion || version > kVersion) {
-    throw SnapshotError("snapshot: unsupported version " +
-                        std::to_string(version) + " (expected " +
-                        std::to_string(kMinVersion) + ".." +
-                        std::to_string(kVersion) + ")");
-  }
-  const std::uint64_t fingerprint = header.u64();
-  const std::uint64_t expected = config_fingerprint(components);
-  if (fingerprint != expected) {
-    throw SnapshotError(
-        "snapshot: configuration fingerprint mismatch — the snapshot was "
-        "taken under a different cluster/scheduler/workload configuration");
-  }
-  const std::uint64_t payload_size = header.u64();
-  if (header.remaining() < payload_size + 8) {
-    throw SnapshotError("snapshot: truncated payload");
-  }
-  const std::string_view payload =
-      bytes.substr(header.position(), payload_size);
-  Reader tail(bytes.substr(header.position() + payload_size));
-  const std::uint64_t checksum = tail.u64();
-  if (!tail.at_end()) {
-    throw SnapshotError("snapshot: trailing bytes after checksum");
-  }
-  if (checksum != util::fnv1a(payload)) {
-    throw SnapshotError("snapshot: payload checksum mismatch — corrupt file");
-  }
-
-  Reader r(payload);
-  components.engine->restore_state(r);
-  components.cluster->restore_state(r, version);
-  components.scheduler->restore_state(r, version);
-  restore_counters_section(r, components.counters);
-  r.expect_section(kEndSection, "end");
-  if (!r.at_end()) {
-    throw SnapshotError("snapshot: unconsumed payload bytes");
-  }
+  Image::from_bytes(std::string(bytes))->materialize(components);
 }
 
 void save_file(const std::string& path, const Components& components,
@@ -328,22 +334,49 @@ void save_file(const std::string& path, const Components& components,
   const auto start = std::chrono::steady_clock::now();
   const std::string bytes = save_bytes(components);
   // Write-then-rename so an interrupted save never clobbers the previous
-  // (complete) snapshot with a truncated one.
+  // (complete) snapshot with a truncated one. The temp file is fsynced
+  // before the rename and the directory after it — otherwise a crash right
+  // after "success" can surface a renamed-but-unwritten (truncated) file.
   const std::string tmp = path + ".tmp";
   {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
       throw SnapshotError("snapshot: cannot open '" + tmp + "' for writing");
     }
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    out.flush();
-    if (!out) {
+    std::size_t written = 0;
+    while (written < bytes.size()) {
+      const ssize_t n =
+          ::write(fd, bytes.data() + written, bytes.size() - written);
+      if (n < 0) {
+        ::close(fd);
+        throw SnapshotError("snapshot: short write to '" + tmp + "'");
+      }
+      written += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+      ::close(fd);
+      throw SnapshotError("snapshot: cannot fsync '" + tmp + "'");
+    }
+    if (::close(fd) != 0) {
       throw SnapshotError("snapshot: short write to '" + tmp + "'");
     }
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     throw SnapshotError("snapshot: cannot rename '" + tmp + "' to '" + path +
                         "'");
+  }
+  {
+    // Durability of the rename itself requires fsyncing the directory.
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash + 1);
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+      // Some filesystems reject directory fsync; the rename is still atomic
+      // there, so failure downgrades durability rather than the save.
+      (void)::fsync(dfd);
+      ::close(dfd);
+    }
   }
   if (stats != nullptr) {
     ++stats->saves;
@@ -369,8 +402,10 @@ void restore_file(const std::string& path, const Components& components,
   if (in.bad()) {
     throw SnapshotError("snapshot: read error on '" + path + "'");
   }
+  const std::size_t total_bytes = bytes.size();
   try {
-    restore_bytes(bytes, components);
+    check_components(components);
+    Image::from_bytes(std::move(bytes))->materialize(components);
   } catch (const SnapshotError& e) {
     // Restores are usually several layers from the CLI flag that named the
     // file; without the path a "checksum mismatch" is unactionable.
@@ -378,7 +413,7 @@ void restore_file(const std::string& path, const Components& components,
   }
   if (stats != nullptr) {
     ++stats->restores;
-    stats->bytes_read += bytes.size();
+    stats->bytes_read += total_bytes;
     stats->restore_seconds += elapsed_since(start);
   }
 }

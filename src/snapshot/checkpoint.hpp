@@ -25,6 +25,7 @@
 #include <string_view>
 #include <vector>
 
+#include "trace/job_spec.hpp"
 #include "util/units.hpp"
 
 namespace dmsim::obs {
@@ -38,6 +39,7 @@ class Cluster;
 }
 namespace dmsim::sched {
 class Scheduler;
+struct SchedulerConfig;
 }
 
 namespace dmsim::snapshot {
@@ -105,6 +107,14 @@ struct Plan {
 /// Hash of everything a snapshot assumes but does not carry: cluster
 /// topology + lender policy, scheduler config, and the full workload.
 [[nodiscard]] std::uint64_t config_fingerprint(const Components& components);
+
+/// Same hash computed from the raw configuration pieces, without live
+/// components. Lets a serve loop fingerprint a scenario ONCE (cluster built
+/// from config, base scheduler config, base workload) and fork images with
+/// the cheap trusted compare instead of re-hashing per fork.
+[[nodiscard]] std::uint64_t config_fingerprint(
+    const cluster::Cluster& cluster, const sched::SchedulerConfig& config,
+    const trace::Workload& workload);
 
 /// Serialize the full simulation state to snapshot bytes (envelope
 /// included). Const in effect: the simulation is not perturbed.

@@ -27,6 +27,7 @@
 #include "metrics/json_export.hpp"
 #include "slowdown/profile_io.hpp"
 #include "snapshot/checkpoint.hpp"
+#include "snapshot/image.hpp"
 #include "trace/swf_validate.hpp"
 #include "trace/usage_io.hpp"
 #include "util/table.hpp"
@@ -65,6 +66,7 @@ struct Options {
   Seconds checkpoint_every = 0.0;
   std::vector<Seconds> checkpoint_at;
   std::optional<std::string> restore_path;
+  std::optional<std::string> snapshot_info;
   bool counters = false;
   bool help = false;
   bool version = false;
@@ -103,6 +105,9 @@ void print_usage(std::ostream& os) {
         "  --checkpoint-at T    save a snapshot at simulated time T (repeatable)\n"
         "  --restore FILE       resume from a snapshot saved by --checkpoint;\n"
         "                       config and workload must match the saving run\n"
+        "  --snapshot-info FILE print a snapshot's header metadata (format\n"
+        "                       version, fingerprint, sections) and exit —\n"
+        "                       validates checksums, restores nothing\n"
         "  --version            print build/version information\n"
         "  --help               this text\n";
 }
@@ -172,6 +177,8 @@ void print_usage(std::ostream& os) {
       opt.checkpoint_at.push_back(at);
     } else if (arg == "--restore") {
       opt.restore_path = need_value(i, "--restore");
+    } else if (arg == "--snapshot-info") {
+      opt.snapshot_info = need_value(i, "--snapshot-info");
     } else if (arg == "--counters") {
       opt.counters = true;
     } else if (arg == "--version") {
@@ -191,10 +198,47 @@ void print_usage(std::ostream& os) {
     throw ConfigError(
         "--checkpoint needs --checkpoint-every and/or --checkpoint-at");
   }
-  if (!opt.help && !opt.version && opt.config_path.empty()) {
+  if (!opt.help && !opt.version && !opt.snapshot_info &&
+      opt.config_path.empty()) {
     throw ConfigError("--config is required");
   }
   return opt;
+}
+
+/// --snapshot-info: parse + validate the envelope (magic, version,
+/// checksums, section table) without constructing any simulation state.
+int print_snapshot_info(const std::string& path, std::ostream& os) {
+  const std::shared_ptr<const snapshot::Image> image =
+      snapshot::Image::open(path);
+  const auto hex = [](std::uint64_t v) {
+    char buf[17] = {};
+    static constexpr char kHex[] = "0123456789abcdef";
+    for (int i = 15; i >= 0; --i) {
+      buf[i] = kHex[v & 0xf];
+      v >>= 4;
+    }
+    return std::string(buf, 16);
+  };
+  util::TextTable table("snapshot " + path);
+  table.set_header({"field", "value"});
+  table.add_row({"format version", "v" + std::to_string(image->version())});
+  table.add_row({"config fingerprint", hex(image->fingerprint())});
+  table.add_row({"payload checksum", hex(image->payload_checksum())});
+  table.add_row({"total bytes", std::to_string(image->size_bytes())});
+  table.add_row({"payload bytes", std::to_string(image->payload().size())});
+  table.add_row({"section table",
+                 image->has_section_table() ? "yes" : "no (pre-TOC writer)"});
+  table.print(os);
+  if (image->has_section_table()) {
+    util::TextTable sections("sections");
+    sections.set_header({"name", "offset", "bytes", "checksum"});
+    for (const auto& s : image->sections()) {
+      sections.add_row({s.name, std::to_string(s.offset),
+                        std::to_string(s.size), hex(s.checksum)});
+    }
+    sections.print(os);
+  }
+  return 0;
 }
 
 [[nodiscard]] const char* outcome_name(sched::JobOutcome outcome) {
@@ -454,6 +498,9 @@ int main(int argc, char** argv) {
     if (opt.version) {
       print_version(std::cout);
       return 0;
+    }
+    if (opt.snapshot_info) {
+      return print_snapshot_info(*opt.snapshot_info, std::cout);
     }
     return run(opt);
   } catch (const std::exception& e) {

@@ -1,0 +1,298 @@
+// dmsim_serve — what-if provisioning service over a warm snapshot image.
+//
+// Loads the scenario (config + synthetic workload), opens the snapshot once
+// as an immutable snapshot::Image, and answers newline-delimited JSON
+// queries (see src/serve/query.hpp) by forking the image: extra job
+// submissions, policy races, scheduler-config swaps and topology edits,
+// each simulated to completion on a shared SweepRunner pool.
+//
+//   dmsim_serve --config cluster.conf --snapshot run.snap --once < queries
+//   dmsim_serve --config cluster.conf --snapshot run.snap --port 0
+//   dmsim_serve --connect 127.0.0.1:PORT --queries q.ndjson --concurrency 64
+//
+// The client mode exists for tests and CI: it fires every query on its own
+// connection (up to --concurrency at a time) and prints the replies in
+// input order, so its output is diffable against a --once run of the same
+// query file regardless of scheduling.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/config_file.hpp"
+#include "serve/server.hpp"
+#include "slowdown/profile_io.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace dmsim;
+
+struct Options {
+  std::string config_path;
+  std::string snapshot_path;
+  std::optional<std::string> profiles_path;
+  bool once = false;
+  std::optional<int> port;
+  std::optional<std::size_t> threads;
+  std::optional<std::size_t> cache_images;
+  // Client mode.
+  std::string connect;  ///< "host:port"; non-empty selects client mode
+  std::string queries_path;
+  std::size_t concurrency = 16;
+  bool help = false;
+};
+
+void print_usage(std::ostream& os) {
+  os << "usage: dmsim_serve --config FILE --snapshot FILE [options]\n"
+        "       dmsim_serve --connect HOST:PORT --queries FILE [options]\n"
+        "  --config FILE     scenario configuration (required for serving)\n"
+        "  --snapshot FILE   default warm image queries fork (required)\n"
+        "  --profiles FILE   application profiles for the slowdown model\n"
+        "  --once            answer queries from stdin, reply on stdout, exit\n"
+        "  --port N          TCP port (default: config ServePort; 0 = any)\n"
+        "  --threads N       simulation pool size (default: ServeThreads)\n"
+        "  --cache N         warm images kept in the LRU (default: 4)\n"
+        "  --connect H:P     client mode: send queries to a running daemon\n"
+        "  --queries FILE    client mode: NDJSON query file ('-' = stdin)\n"
+        "  --concurrency N   client mode: parallel connections (default 16)\n"
+        "  --help            this text\n";
+}
+
+[[nodiscard]] Options parse_args(int argc, char** argv) {
+  Options opt;
+  const auto need_value = [&](int& i, const char* flag) -> std::string {
+    if (i + 1 >= argc) throw ConfigError(std::string(flag) + " needs a value");
+    return argv[++i];
+  };
+  const auto need_int = [&](int& i, const char* flag) -> long {
+    const std::string value = need_value(i, flag);
+    long parsed = 0;
+    const auto res =
+        std::from_chars(value.data(), value.data() + value.size(), parsed);
+    if (res.ec != std::errc{} || res.ptr != value.data() + value.size()) {
+      throw ConfigError(std::string(flag) + ": not an integer: '" + value +
+                        "'");
+    }
+    return parsed;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--config") {
+      opt.config_path = need_value(i, "--config");
+    } else if (arg == "--snapshot") {
+      opt.snapshot_path = need_value(i, "--snapshot");
+    } else if (arg == "--profiles") {
+      opt.profiles_path = need_value(i, "--profiles");
+    } else if (arg == "--once") {
+      opt.once = true;
+    } else if (arg == "--port") {
+      const long port = need_int(i, "--port");
+      if (port < 0 || port > 65535) throw ConfigError("--port out of range");
+      opt.port = static_cast<int>(port);
+    } else if (arg == "--threads") {
+      const long threads = need_int(i, "--threads");
+      if (threads < 0) throw ConfigError("--threads must be >= 0");
+      opt.threads = static_cast<std::size_t>(threads);
+    } else if (arg == "--cache") {
+      const long cache = need_int(i, "--cache");
+      if (cache < 1) throw ConfigError("--cache must be >= 1");
+      opt.cache_images = static_cast<std::size_t>(cache);
+    } else if (arg == "--connect") {
+      opt.connect = need_value(i, "--connect");
+    } else if (arg == "--queries") {
+      opt.queries_path = need_value(i, "--queries");
+    } else if (arg == "--concurrency") {
+      const long n = need_int(i, "--concurrency");
+      if (n < 1) throw ConfigError("--concurrency must be >= 1");
+      opt.concurrency = static_cast<std::size_t>(n);
+    } else if (arg == "--help" || arg == "-h") {
+      opt.help = true;
+    } else {
+      throw ConfigError("unknown argument: " + arg);
+    }
+  }
+  if (opt.help) return opt;
+  if (!opt.connect.empty()) {
+    if (opt.queries_path.empty()) {
+      throw ConfigError("--connect needs --queries");
+    }
+    return opt;
+  }
+  if (opt.config_path.empty()) throw ConfigError("--config is required");
+  if (opt.snapshot_path.empty()) throw ConfigError("--snapshot is required");
+  return opt;
+}
+
+// ---------------------------------------------------------------------------
+// Client mode: one connection per query, replies printed in input order.
+
+[[nodiscard]] int connect_to(const std::string& target) {
+  const std::size_t colon = target.rfind(':');
+  if (colon == std::string::npos) {
+    throw ConfigError("--connect expects HOST:PORT");
+  }
+  const std::string host = target.substr(0, colon);
+  const std::string port_text = target.substr(colon + 1);
+  int port = 0;
+  const auto res = std::from_chars(port_text.data(),
+                                   port_text.data() + port_text.size(), port);
+  if (res.ec != std::errc{} || port <= 0 || port > 65535) {
+    throw ConfigError("--connect: bad port '" + port_text + "'");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw ConfigError("client: cannot create socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw ConfigError("client: bad host '" + host + "' (IPv4 only)");
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    throw ConfigError("client: cannot connect to " + target + " (" +
+                      std::strerror(err) + ")");
+  }
+  return fd;
+}
+
+[[nodiscard]] std::string roundtrip(const std::string& target,
+                                    const std::string& query) {
+  const int fd = connect_to(target);
+  const std::string out = query + "\n";
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t n = ::send(fd, out.data() + sent, out.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      throw ConfigError("client: send failed");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  ::shutdown(fd, SHUT_WR);
+  std::string reply;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) break;
+    reply.append(chunk, static_cast<std::size_t>(n));
+    if (reply.find('\n') != std::string::npos) break;
+  }
+  ::close(fd);
+  const std::size_t nl = reply.find('\n');
+  if (nl == std::string::npos) {
+    throw ConfigError("client: no reply for query: " + query);
+  }
+  return reply.substr(0, nl);
+}
+
+int run_client(const Options& opt) {
+  std::vector<std::string> queries;
+  {
+    std::ifstream file;
+    std::istream* in = &std::cin;
+    if (opt.queries_path != "-") {
+      file.open(opt.queries_path);
+      if (!file) throw ConfigError("cannot open " + opt.queries_path);
+      in = &file;
+    }
+    std::string line;
+    while (std::getline(*in, line)) {
+      if (!line.empty()) queries.push_back(line);
+    }
+  }
+  std::vector<std::string> replies(queries.size());
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> workers;
+  const std::size_t workers_needed = std::min(opt.concurrency, queries.size());
+  workers.reserve(workers_needed);
+  for (std::size_t w = 0; w < workers_needed; ++w) {
+    workers.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= queries.size()) return;
+        try {
+          replies[i] = roundtrip(opt.connect, queries[i]);
+        } catch (const std::exception& e) {
+          replies[i] = std::string("client error: ") + e.what();
+          failed.store(true);
+        }
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  for (const std::string& reply : replies) std::cout << reply << '\n';
+  std::cout << std::flush;
+  return failed.load() ? 1 : 0;
+}
+
+// ---------------------------------------------------------------------------
+
+int run_server(const Options& opt) {
+  const harness::FileConfig cfg = harness::parse_config_file(opt.config_path);
+  if (!cfg.has_workload) {
+    throw ConfigError(
+        "dmsim_serve needs the config's synthetic workload keys (Jobs=...): "
+        "the scenario workload must match the snapshot's saving run");
+  }
+  auto generated = workload::generate_synthetic(cfg.workload);
+  slowdown::AppPool apps =
+      opt.profiles_path ? slowdown::read_app_pool_file(*opt.profiles_path)
+                        : std::move(generated.apps);
+
+  serve::ServeScenario scenario;
+  scenario.system = cfg.simulation.system;
+  scenario.policy = cfg.simulation.policy;
+  scenario.sched = cfg.simulation.sched;
+  scenario.jobs = std::move(generated.jobs);
+  scenario.apps = &apps;
+  scenario.snapshot_path = opt.snapshot_path;
+
+  serve::ServerOptions options;
+  options.threads = opt.threads.value_or(cfg.serve.threads);
+  options.cache_images = opt.cache_images.value_or(cfg.serve.cache_images);
+  options.port = opt.port.value_or(cfg.serve.port);
+
+  serve::Server server(std::move(scenario), options);
+  if (opt.once) {
+    server.run_once(std::cin, std::cout);
+    return 0;
+  }
+  server.listen_and_serve(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options opt = parse_args(argc, argv);
+    if (opt.help) {
+      print_usage(std::cout);
+      return 0;
+    }
+    if (!opt.connect.empty()) return run_client(opt);
+    return run_server(opt);
+  } catch (const std::exception& e) {
+    std::cerr << "dmsim_serve: " << e.what() << '\n';
+    print_usage(std::cerr);
+    return 1;
+  }
+}

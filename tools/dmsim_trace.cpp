@@ -392,7 +392,7 @@ void print_json(std::ostream& os, const Report& r, std::size_t top) {
 }
 
 void print_usage(std::ostream& os) {
-  os << "usage: dmsim_trace TRACE.ndjson [options]\n"
+  os << "usage: dmsim_trace TRACE.ndjson [options]   ('-' reads stdin)\n"
         "  --json     emit the report as a single JSON object\n"
         "  --top N    list the N slowest-responding jobs (default 10)\n"
         "  --help     this text\n";
@@ -417,6 +417,15 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       print_usage(std::cout);
       return 0;
+    } else if (arg == "-") {
+      // "-" = read the trace from stdin (pipeline use:
+      // `dmsim_run --trace /dev/stdout ... | dmsim_trace -`).
+      if (path.empty()) {
+        path = arg;
+      } else {
+        std::cerr << "dmsim_trace: more than one trace file given\n";
+        return 1;
+      }
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "dmsim_trace: unknown argument: " << arg << '\n';
       print_usage(std::cerr);
@@ -433,11 +442,15 @@ int main(int argc, char** argv) {
     print_usage(std::cerr);
     return 1;
   }
-  std::ifstream in(path);
-  if (!in) {
-    std::cerr << "dmsim_trace: cannot open " << path << '\n';
-    return 1;
+  std::ifstream file;
+  if (path != "-") {
+    file.open(path);
+    if (!file) {
+      std::cerr << "dmsim_trace: cannot open " << path << '\n';
+      return 1;
+    }
   }
+  std::istream& in = (path == "-") ? std::cin : file;
 
   Report report;
   std::map<std::int64_t, double> open_queue;
